@@ -1,0 +1,153 @@
+package prid
+
+import (
+	"fmt"
+
+	"prid/internal/attack"
+	"prid/internal/metrics"
+)
+
+// Attacker mounts the PRID model-inversion attack. Constructing one
+// requires only what every participant in a distributed HDC deployment
+// already holds: the shared Model (class hypervectors + encoding basis).
+type Attacker struct {
+	model *Model
+	rec   *attack.Reconstructor
+	iters int
+}
+
+// AttackOption configures NewAttacker.
+type AttackOption func(*attackOptions)
+
+type attackOptions struct {
+	iterations int
+}
+
+// WithAttackIterations sets the reconstruction refinement depth
+// (default 4).
+func WithAttackIterations(n int) AttackOption {
+	return func(o *attackOptions) { o.iterations = n }
+}
+
+// NewAttacker prepares an attack against the shared model, decoding its
+// class hypervectors once with the learning-based decoder.
+func NewAttacker(m *Model, opts ...AttackOption) (*Attacker, error) {
+	o := attackOptions{iterations: 4}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if o.iterations < 1 {
+		return nil, fmt.Errorf("prid: attack iterations %d < 1", o.iterations)
+	}
+	return &Attacker{
+		model: m,
+		rec:   attack.NewReconstructor(m.basis, m.model, m.dec),
+		iters: o.iterations,
+	}, nil
+}
+
+// Membership reports the class the query matches and the similarity
+// δ_max — the paper's train-set availability check. High similarity means
+// train points with high overlap with the query likely exist.
+func (a *Attacker) Membership(query []float64) (class int, similarity float64, err error) {
+	if len(query) != a.model.Features() {
+		return 0, 0, fmt.Errorf("prid: query has %d features, model expects %d", len(query), a.model.Features())
+	}
+	mem := attack.CheckMembership(a.model.model, a.model.basis, query)
+	return mem.Class, mem.Similarity, nil
+}
+
+// Reconstruction is a train-data estimate extracted from the model.
+type Reconstruction struct {
+	// Class is the class whose training data the estimate describes.
+	Class int
+	// Data is the reconstructed feature vector.
+	Data []float64
+	// Similarity is the final cosine similarity of the reconstruction's
+	// encoding to the matched class hypervector.
+	Similarity float64
+}
+
+// Reconstruct runs the paper's combined (feature + dimension replacement)
+// attack against the model for one query.
+func (a *Attacker) Reconstruct(query []float64) (Reconstruction, error) {
+	if len(query) != a.model.Features() {
+		return Reconstruction{}, fmt.Errorf("prid: query has %d features, model expects %d", len(query), a.model.Features())
+	}
+	cfg := attack.DefaultConfig()
+	cfg.Iterations = a.iters
+	res := a.rec.Combined(query, cfg)
+	return Reconstruction{Class: res.Class, Data: res.Recon, Similarity: res.Similarity}, nil
+}
+
+// DecodeClass returns the attacker's decoded estimate of class l's mean
+// training sample — the "general shape" leak (e.g. the shape of the zero
+// digit) that decoding a class hypervector reveals.
+func (a *Attacker) DecodeClass(l int) ([]float64, error) {
+	if l < 0 || l >= a.model.Classes() {
+		return nil, fmt.Errorf("prid: class %d out of range [0,%d)", l, a.model.Classes())
+	}
+	return a.rec.ClassFeatures(l), nil
+}
+
+// MembershipAUC evaluates the model as a membership oracle: it scores the
+// member samples (training data) and non-member samples with δ_max and
+// returns the area under the resulting ROC curve. 0.5 means the model
+// discloses nothing about membership; 1.0 means perfect disclosure.
+func (a *Attacker) MembershipAUC(members, nonMembers [][]float64) (float64, error) {
+	if len(members) == 0 || len(nonMembers) == 0 {
+		return 0, fmt.Errorf("prid: MembershipAUC needs both member and non-member samples")
+	}
+	for _, set := range [][][]float64{members, nonMembers} {
+		for i, s := range set {
+			if len(s) != a.model.Features() {
+				return 0, fmt.Errorf("prid: sample %d has %d features, model expects %d",
+					i, len(s), a.model.Features())
+			}
+		}
+	}
+	return attack.MembershipAUC(a.model.model, a.model.basis, members, nonMembers), nil
+}
+
+// AuditLeakage is the defender-side self-audit: before sharing a model,
+// measure how much an attacker holding it would extract about the training
+// set, as the mean leakage Δ of combined-attack reconstructions over the
+// given probe queries (held-out samples work well). It is the one-call
+// loop behind the repository's defense evaluations.
+func (m *Model) AuditLeakage(trainX [][]float64, queries [][]float64) (float64, error) {
+	if len(trainX) == 0 || len(queries) == 0 {
+		return 0, fmt.Errorf("prid: AuditLeakage needs train data and probe queries")
+	}
+	a, err := NewAttacker(m)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	for i, q := range queries {
+		recon, err := a.Reconstruct(q)
+		if err != nil {
+			return 0, fmt.Errorf("prid: auditing query %d: %w", i, err)
+		}
+		s, err := MeasureLeakage(trainX, q, recon.Data)
+		if err != nil {
+			return 0, fmt.Errorf("prid: auditing query %d: %w", i, err)
+		}
+		sum += s
+	}
+	return sum / float64(len(queries)), nil
+}
+
+// MeasureLeakage scores a reconstruction with the paper's normalized
+// information-leakage metric Δ ∈ [0, 1]: 0 means the reconstruction
+// reveals nothing beyond an uninformative constant probe, 1 means it
+// matches the best extraction possible (producing actual train samples).
+func MeasureLeakage(train [][]float64, query, recon []float64) (float64, error) {
+	if len(train) == 0 {
+		return 0, fmt.Errorf("prid: empty train set")
+	}
+	if len(query) != len(recon) || len(query) != len(train[0]) {
+		return 0, fmt.Errorf("prid: length mismatch: query %d, recon %d, train %d",
+			len(query), len(recon), len(train[0]))
+	}
+	return metrics.MeasureLeakage(train, query, recon, metrics.TopKNearest).Score(), nil
+}

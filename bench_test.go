@@ -1,0 +1,265 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section V) at quick scale, plus end-to-end micro-benchmarks
+// of the pipeline stages. Run all of them with:
+//
+//	go test -bench=. -benchmem
+//
+// Each BenchmarkFig*/BenchmarkTable* iteration performs the full
+// experiment behind that paper artifact; the wall time measures the cost
+// of reproducing it, and the experiment's correctness properties are
+// asserted by internal/experiments' tests.
+package prid
+
+import (
+	"bytes"
+	"testing"
+
+	"prid/internal/dataset"
+	"prid/internal/experiments"
+)
+
+func benchScale() experiments.Scale {
+	sc := experiments.Quick()
+	// Trim the attack-query count so the heavyweight sweeps stay in
+	// benchmark territory rather than minutes.
+	sc.Queries = 4
+	return sc
+}
+
+func BenchmarkFig1Decoding(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig1(sc)
+		if r.LearningLS <= r.Analytical {
+			b.Fatalf("learning PSNR %.1f not above analytical %.1f", r.LearningLS, r.Analytical)
+		}
+	}
+}
+
+func BenchmarkFig3Reconstruction(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig3(sc)
+		if len(r.Iterations) == 0 {
+			b.Fatal("no iterations")
+		}
+	}
+}
+
+func BenchmarkFig5NoiseIteration(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig5(sc)
+		if len(r.Rounds) == 0 {
+			b.Fatal("no rounds")
+		}
+	}
+}
+
+func BenchmarkFig6Quantization(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig6(sc)
+		if len(r.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig7AttackMatrix(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig7(sc)
+		if len(r.Cells) == 0 {
+			b.Fatal("no cells")
+		}
+	}
+}
+
+func BenchmarkFig8Dimensionality(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig8(sc)
+		if len(r.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig9NoiseSweep(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig9(sc)
+		if len(r.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkFig10QuantSweep(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.Fig10(sc)
+		if len(r.Rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+func BenchmarkTableIAccuracy(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.TableI(sc)
+		if len(r.Rows) != 6 {
+			b.Fatal("missing datasets")
+		}
+	}
+}
+
+func BenchmarkTableIIHybrid(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.TableII(sc)
+		if len(r.Combined) == 0 {
+			b.Fatal("no combined series")
+		}
+	}
+}
+
+// Micro-benchmarks of the public-API pipeline stages on a fixed workload.
+
+func benchWorkload(b *testing.B) (*dataset.Dataset, *Model) {
+	b.Helper()
+	cfg := dataset.DefaultConfig()
+	cfg.TrainSize = 150
+	cfg.TestSize = 30
+	ds := dataset.MustLoad("MNIST", cfg)
+	m, err := TrainClassifier(ds.TrainX, ds.TrainY, ds.Classes, WithDimension(1024))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds, m
+}
+
+func BenchmarkTrainClassifier(b *testing.B) {
+	cfg := dataset.DefaultConfig()
+	cfg.TrainSize = 150
+	cfg.TestSize = 30
+	ds := dataset.MustLoad("MNIST", cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TrainClassifier(ds.TrainX, ds.TrainY, ds.Classes, WithDimension(1024)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredict(b *testing.B) {
+	ds, m := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Predict(ds.TestX[i%len(ds.TestX)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNewAttacker(b *testing.B) {
+	_, m := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewAttacker(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReconstruct(b *testing.B) {
+	ds, m := benchWorkload(b)
+	a, err := NewAttacker(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := a.Reconstruct(ds.TestX[i%len(ds.TestX)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDefendHybrid(b *testing.B) {
+	ds, m := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.DefendHybrid(ds.TrainX, ds.TrainY, 0.4, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation benches — regenerate the reproduction's design-choice studies.
+
+func BenchmarkAblationDP(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationDP(sc)
+		if len(r.DP) == 0 {
+			b.Fatal("no DP rows")
+		}
+	}
+}
+
+func BenchmarkAblationEncoders(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationEncoders(sc)
+		if len(r.Rows) != 3 {
+			b.Fatal("missing encoder rows")
+		}
+	}
+}
+
+func BenchmarkAblationMargin(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationMargin(sc)
+		if len(r.Rows) == 0 {
+			b.Fatal("no margin rows")
+		}
+	}
+}
+
+func BenchmarkAblationTraining(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationTraining(sc)
+		if len(r.Rows) != 4 {
+			b.Fatal("missing training rows")
+		}
+	}
+}
+
+func BenchmarkAblationClustering(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		r := experiments.AblationClustering(sc)
+		if r.Purity <= 0 {
+			b.Fatal("clustering failed")
+		}
+	}
+}
+
+func BenchmarkSaveLoad(b *testing.B) {
+	_, m := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := m.Save(&buf); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Load(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,428 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"prid"
+	"prid/internal/baseline"
+	"prid/internal/dataset"
+	"prid/internal/experiments"
+	"prid/internal/report"
+	"prid/internal/rng"
+	"prid/internal/vecmath"
+)
+
+func cmdDatasets(args []string) error {
+	fs := newFlagSet("datasets")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	t := report.NewTable("Table I datasets (synthetic stand-ins; paper sizes shown)",
+		"name", "n", "k", "paper train", "paper test", "comparator")
+	for _, s := range dataset.Specs() {
+		t.AddRow(s.Name, report.I(s.Features), report.I(s.Classes),
+			report.I(s.PaperTrain), report.I(s.PaperTest), s.Comparator)
+	}
+	return t.WriteText(os.Stdout)
+}
+
+// dataFlags holds the shared dataset/model flags.
+type dataFlags struct {
+	name  *string
+	data  *string
+	dim   *int
+	train *int
+	test  *int
+}
+
+// loadFlags adds the shared dataset/model flags.
+func loadFlags(fs *flag.FlagSet) dataFlags {
+	return dataFlags{
+		name:  fs.String("dataset", "MNIST", "synthetic dataset name (see 'prid datasets')"),
+		data:  fs.String("data", "", "CSV file (features..., integer label per line) to use instead of a synthetic dataset"),
+		dim:   fs.Int("dim", 2048, "hypervector dimensionality D"),
+		train: fs.Int("train", 300, "training samples to generate (synthetic datasets only)"),
+		test:  fs.Int("test", 100, "test samples to generate (synthetic datasets only)"),
+	}
+}
+
+// load resolves the flags to a dataset: a user CSV when --data is set
+// (80/20 train/test split), a synthetic stand-in otherwise.
+func (d dataFlags) load() (*dataset.Dataset, error) {
+	if *d.data != "" {
+		f, err := os.Open(*d.data)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		x, y, err := dataset.ReadCSV(f)
+		if err != nil {
+			return nil, err
+		}
+		return dataset.FromSamples(*d.data, x, y, 0.2)
+	}
+	cfg := dataset.DefaultConfig()
+	cfg.TrainSize = *d.train
+	cfg.TestSize = *d.test
+	return dataset.Load(*d.name, cfg)
+}
+
+func cmdTrain(args []string) error {
+	fs := newFlagSet("train")
+	df := loadFlags(fs)
+	save := fs.String("save", "", "write the trained model (basis + classes) to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := df.load()
+	if err != nil {
+		return err
+	}
+	model, err := prid.TrainClassifier(ds.TrainX, ds.TrainY, ds.Classes, prid.WithDimension(*df.dim))
+	if err != nil {
+		return err
+	}
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err != nil {
+			return err
+		}
+		if err := model.Save(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("model written to %s\n", *save)
+	}
+	hdcAcc, err := model.Accuracy(ds.TestX, ds.TestY)
+	if err != nil {
+		return err
+	}
+	// Comparator per Table I for the synthetic datasets; user CSVs get the
+	// MLP by default.
+	comparator := "DNN"
+	if *df.data == "" {
+		spec, err := dataset.SpecByName(*df.name)
+		if err != nil {
+			return err
+		}
+		comparator = spec.Comparator
+	}
+	var comp baseline.Classifier
+	if comparator == "AdaBoost" {
+		comp = baseline.TrainAdaBoost(ds.TrainX, ds.TrainY, ds.Classes, baseline.DefaultAdaBoostConfig())
+	} else {
+		comp = baseline.TrainMLP(ds.TrainX, ds.TrainY, ds.Classes, baseline.DefaultMLPConfig())
+	}
+	t := report.NewTable(fmt.Sprintf("%s — test accuracy (D=%d, %d train / %d test)",
+		ds.Name, *df.dim, len(ds.TrainX), len(ds.TestX)),
+		"model", "accuracy")
+	t.AddRow("HDC (PRID)", report.Pct(hdcAcc))
+	t.AddRow(comp.Name(), report.Pct(baseline.Accuracy(comp, ds.TestX, ds.TestY)))
+	return t.WriteText(os.Stdout)
+}
+
+func cmdAttack(args []string) error {
+	fs := newFlagSet("attack")
+	df := loadFlags(fs)
+	queries := fs.Int("queries", 5, "number of held-out queries to attack")
+	visual := fs.Bool("visual", true, "render image datasets as ASCII art")
+	load := fs.String("load", "", "attack a model file written by 'train --save' instead of training")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := df.load()
+	if err != nil {
+		return err
+	}
+	var model *prid.Model
+	if *load != "" {
+		f, err := os.Open(*load)
+		if err != nil {
+			return err
+		}
+		model, err = prid.Load(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
+		if model.Features() != ds.Features {
+			return fmt.Errorf("loaded model expects %d features but dataset %s has %d",
+				model.Features(), *df.name, ds.Features)
+		}
+	} else {
+		model, err = prid.TrainClassifier(ds.TrainX, ds.TrainY, ds.Classes, prid.WithDimension(*df.dim))
+		if err != nil {
+			return err
+		}
+	}
+	attacker, err := prid.NewAttacker(model)
+	if err != nil {
+		return err
+	}
+	if *queries > len(ds.TestX) {
+		*queries = len(ds.TestX)
+	}
+	t := report.NewTable(fmt.Sprintf("model inversion attack on %s (D=%d)", *df.name, *df.dim),
+		"query", "matched class", "δ_max", "leakage Δ (query)", "leakage Δ (recon)")
+	var qs, rs []float64
+	var firstRecon []float64
+	for i := 0; i < *queries; i++ {
+		q := ds.TestX[i]
+		class, sim, err := attacker.Membership(q)
+		if err != nil {
+			return err
+		}
+		recon, err := attacker.Reconstruct(q)
+		if err != nil {
+			return err
+		}
+		if firstRecon == nil {
+			firstRecon = recon.Data
+		}
+		lq, err := prid.MeasureLeakage(ds.TrainX, q, q)
+		if err != nil {
+			return err
+		}
+		lr, err := prid.MeasureLeakage(ds.TrainX, q, recon.Data)
+		if err != nil {
+			return err
+		}
+		qs = append(qs, lq)
+		rs = append(rs, lr)
+		t.AddRow(report.I(i), report.I(class), report.F(sim), report.F(lq), report.F(lr))
+	}
+	if err := t.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Printf("\nmean leakage: query %.3f → reconstruction %.3f\n", vecmath.Mean(qs), vecmath.Mean(rs))
+	if *visual && ds.ImageW > 0 {
+		decoded, err := attacker.DecodeClass(0)
+		if err != nil {
+			return err
+		}
+		clamped := vecmath.Clone(decoded)
+		vecmath.ClampSlice(clamped, 0, 1)
+		rc := vecmath.Clone(firstRecon)
+		vecmath.ClampSlice(rc, 0, 1)
+		fmt.Println()
+		fmt.Println(report.SideBySide("   ",
+			"query 0\n"+report.RenderImage(ds.TestX[0], ds.ImageW, ds.ImageH),
+			"decoded class 0\n"+report.RenderImage(clamped, ds.ImageW, ds.ImageH),
+			"reconstruction\n"+report.RenderImage(rc, ds.ImageW, ds.ImageH)))
+	}
+	return nil
+}
+
+func cmdDefend(args []string) error {
+	fs := newFlagSet("defend")
+	df := loadFlags(fs)
+	method := fs.String("method", "hybrid", "defense: noise, quantize, or hybrid")
+	fraction := fs.Float64("fraction", 0.4, "noise fraction (noise/hybrid)")
+	bits := fs.Int("bits", 2, "quantization bits (quantize/hybrid)")
+	queries := fs.Int("queries", 5, "queries for the leakage measurement")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := df.load()
+	if err != nil {
+		return err
+	}
+	model, err := prid.TrainClassifier(ds.TrainX, ds.TrainY, ds.Classes, prid.WithDimension(*df.dim))
+	if err != nil {
+		return err
+	}
+	var defended *prid.Model
+	switch *method {
+	case "noise":
+		defended, err = model.DefendNoise(ds.TrainX, ds.TrainY, *fraction)
+	case "quantize":
+		defended, err = model.DefendQuantize(ds.TrainX, ds.TrainY, *bits)
+	case "hybrid":
+		defended, err = model.DefendHybrid(ds.TrainX, ds.TrainY, *fraction, *bits)
+	default:
+		return fmt.Errorf("unknown defense %q (noise, quantize, hybrid)", *method)
+	}
+	if err != nil {
+		return err
+	}
+	if *queries > len(ds.TestX) {
+		*queries = len(ds.TestX)
+	}
+	leak := func(m *prid.Model) (float64, error) {
+		a, err := prid.NewAttacker(m)
+		if err != nil {
+			return 0, err
+		}
+		var scores []float64
+		for i := 0; i < *queries; i++ {
+			r, err := a.Reconstruct(ds.TestX[i])
+			if err != nil {
+				return 0, err
+			}
+			s, err := prid.MeasureLeakage(ds.TrainX, ds.TestX[i], r.Data)
+			if err != nil {
+				return 0, err
+			}
+			scores = append(scores, s)
+		}
+		return vecmath.Mean(scores), nil
+	}
+	accBefore, _ := model.Accuracy(ds.TestX, ds.TestY)
+	accAfter, _ := defended.Accuracy(ds.TestX, ds.TestY)
+	leakBefore, err := leak(model)
+	if err != nil {
+		return err
+	}
+	leakAfter, err := leak(defended)
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(fmt.Sprintf("%s defense on %s (D=%d)", *method, *df.name, *df.dim),
+		"model", "test accuracy", "leakage Δ")
+	t.AddRow("undefended", report.Pct(accBefore), report.F(leakBefore))
+	t.AddRow("defended", report.Pct(accAfter), report.F(leakAfter))
+	if err := t.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	reduction := 0.0
+	if leakBefore > 0 {
+		reduction = 1 - leakAfter/leakBefore
+		if reduction < 0 {
+			reduction = 0
+		}
+	}
+	fmt.Printf("\nleakage reduction %.1f%% at %.1f%% quality loss\n",
+		reduction*100, (accBefore-accAfter)*100)
+	return nil
+}
+
+func cmdExperiment(args []string) error {
+	fs := newFlagSet("experiment")
+	scaleName := fs.String("scale", "quick", "experiment scale: quick or paper")
+	csv := fs.Bool("csv", false, "emit CSV instead of the text table")
+	jsonOut := fs.Bool("json", false, "emit JSON instead of the text table")
+	svgDir := fs.String("svg", "", "also write each experiment's figure as <dir>/<id>.svg")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rest := fs.Args()
+	if len(rest) > 1 {
+		// Allow flags after the experiment id ("experiment all --scale
+		// paper"): the flag package stops at the first positional, so
+		// re-parse what followed it.
+		if err := fs.Parse(rest[1:]); err != nil {
+			return err
+		}
+		rest = append(rest[:1], fs.Args()...)
+	}
+	if len(rest) != 1 {
+		return fmt.Errorf("experiment needs exactly one id or 'all' (valid: %s)",
+			strings.Join(experiments.IDs(), ", "))
+	}
+	var sc experiments.Scale
+	switch *scaleName {
+	case "quick":
+		sc = experiments.Quick()
+	case "paper":
+		sc = experiments.Paper()
+	default:
+		return fmt.Errorf("unknown scale %q (quick, paper)", *scaleName)
+	}
+	ids := []string{rest[0]}
+	if rest[0] == "all" {
+		ids = experiments.IDs()
+	}
+	for i, id := range ids {
+		if i > 0 {
+			fmt.Println()
+		}
+		var err error
+		switch {
+		case *csv:
+			err = experiments.RunCSV(id, sc, os.Stdout)
+		case *jsonOut:
+			err = experiments.RunJSON(id, sc, os.Stdout)
+		default:
+			err = experiments.Run(id, sc, os.Stdout)
+		}
+		if err != nil {
+			return err
+		}
+		if *svgDir != "" && experiments.HasChart(id) {
+			if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+				return err
+			}
+			path := filepath.Join(*svgDir, id+".svg")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			// The chart re-runs the experiment: runs are deterministic, so
+			// figure and table always agree, at the cost of a second pass.
+			if err := experiments.RunSVG(id, sc, f); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "figure written to %s\n", path)
+		}
+	}
+	return nil
+}
+
+func cmdMembership(args []string) error {
+	fs := newFlagSet("membership")
+	df := loadFlags(fs)
+	probes := fs.Int("probes", 40, "member/non-member samples per evaluation")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ds, err := df.load()
+	if err != nil {
+		return err
+	}
+	model, err := prid.TrainClassifier(ds.TrainX, ds.TrainY, ds.Classes, prid.WithDimension(*df.dim))
+	if err != nil {
+		return err
+	}
+	attacker, err := prid.NewAttacker(model)
+	if err != nil {
+		return err
+	}
+	n := *probes
+	if n > len(ds.TrainX) {
+		n = len(ds.TrainX)
+	}
+	if n > len(ds.TestX) {
+		n = len(ds.TestX)
+	}
+	src := rng.New(0x3e3)
+	random := make([][]float64, n)
+	for i := range random {
+		v := make([]float64, ds.Features)
+		src.FillUniform(v, 0, 1)
+		random[i] = v
+	}
+	aucRandom, err := attacker.MembershipAUC(ds.TrainX[:n], random)
+	if err != nil {
+		return err
+	}
+	aucHeldOut, err := attacker.MembershipAUC(ds.TrainX[:n], ds.TestX[:n])
+	if err != nil {
+		return err
+	}
+	t := report.NewTable(fmt.Sprintf("membership disclosure on %s (AUC; 0.5 = nothing revealed)", ds.Name),
+		"non-member population", "AUC")
+	t.AddRow("random probes", report.F(aucRandom))
+	t.AddRow("held-out in-distribution samples", report.F(aucHeldOut))
+	return t.WriteText(os.Stdout)
+}

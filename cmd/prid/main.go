@@ -1,0 +1,75 @@
+// Command prid is the command-line front end of the PRID reproduction:
+// train HDC models on the synthetic Table I datasets, mount the model
+// inversion attack, apply the privacy defenses, and regenerate every
+// table and figure of the paper's evaluation.
+//
+// Usage:
+//
+//	prid datasets
+//	prid train --dataset MNIST [--dim 4096]
+//	prid attack --dataset MNIST [--dim 2048] [--queries 5]
+//	prid defend --dataset MNIST --method hybrid [--fraction 0.4] [--bits 2]
+//	prid experiment all [--scale quick|paper]
+//	prid experiment fig7 [--scale quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "prid:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		usage()
+		return fmt.Errorf("missing command")
+	}
+	switch args[0] {
+	case "datasets":
+		return cmdDatasets(args[1:])
+	case "train":
+		return cmdTrain(args[1:])
+	case "attack":
+		return cmdAttack(args[1:])
+	case "defend":
+		return cmdDefend(args[1:])
+	case "membership":
+		return cmdMembership(args[1:])
+	case "experiment":
+		return cmdExperiment(args[1:])
+	case "help", "-h", "--help":
+		usage()
+		return nil
+	default:
+		usage()
+		return fmt.Errorf("unknown command %q", args[0])
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `prid — model inversion privacy attacks in hyperdimensional learning
+
+commands:
+  datasets                     list the Table I benchmark roster
+  train      --dataset NAME    train HDC and the comparator, report accuracy
+  attack     --dataset NAME    mount the model inversion attack, report leakage
+  defend     --dataset NAME    apply a privacy defense, report the trade-off
+  membership --dataset NAME    evaluate membership disclosure (ROC AUC)
+  experiment ID|all            regenerate a paper table/figure (fig1..fig10, table1, table2)
+
+run 'prid <command> -h' for per-command flags`)
+}
+
+// newFlagSet builds a flag set that prints its own usage on error.
+func newFlagSet(name string) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	return fs
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Fast shared arguments: tiny dims and splits keep each CLI invocation in
+// tens of milliseconds.
+var fastArgs = []string{"--dataset", "ACTIVITY", "--dim", "256", "--train", "60", "--test", "30"}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                      // no command
+		{"bogus"},                               // unknown command
+		{"train", "--dataset", "NOPE"},          // unknown dataset
+		{"defend", "--method", "nope"},          // unknown defense
+		{"experiment"},                          // missing id
+		{"experiment", "nope"},                  // unknown id
+		{"experiment", "fig1", "--scale", "xx"}, // unknown scale
+		{"attack", "--load", "/does/not/exist"}, // missing model file
+		{"train", "--data", "/does/not/exist"},  // missing CSV
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v): expected error", args)
+		}
+	}
+}
+
+func TestRunHelp(t *testing.T) {
+	if err := run([]string{"help"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDatasetsCommand(t *testing.T) {
+	if err := run([]string{"datasets"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainCommand(t *testing.T) {
+	if err := run(append([]string{"train"}, fastArgs...)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTrainSaveAttackLoadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.prid")
+	if err := run(append([]string{"train", "--save", path}, fastArgs...)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("model file missing: %v", err)
+	}
+	args := append([]string{"attack", "--load", path, "--queries", "2", "--visual=false"}, fastArgs...)
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttackLoadRejectsWrongDataset(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.prid")
+	if err := run(append([]string{"train", "--save", path}, fastArgs...)); err != nil {
+		t.Fatal(err)
+	}
+	// EXTRA has 225 features; the saved model expects 75.
+	args := []string{"attack", "--load", path, "--dataset", "EXTRA", "--dim", "256", "--train", "60", "--test", "30"}
+	err := run(args)
+	if err == nil || !strings.Contains(err.Error(), "features") {
+		t.Fatalf("feature mismatch not rejected: %v", err)
+	}
+}
+
+func TestDefendCommand(t *testing.T) {
+	for _, method := range []string{"noise", "quantize", "hybrid"} {
+		args := append([]string{"defend", "--method", method, "--queries", "2"}, fastArgs...)
+		if err := run(args); err != nil {
+			t.Fatalf("defend %s: %v", method, err)
+		}
+	}
+}
+
+func TestMembershipCommand(t *testing.T) {
+	if err := run(append([]string{"membership", "--probes", "10"}, fastArgs...)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSVDataPath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "data.csv")
+	var b strings.Builder
+	b.WriteString("f1,f2,f3,label\n")
+	for i := 0; i < 60; i++ {
+		if i%2 == 0 {
+			b.WriteString("0.1,0.9,0.2,0\n")
+		} else {
+			b.WriteString("0.9,0.1,0.8,1\n")
+		}
+	}
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"train", "--data", path, "--dim", "128"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExperimentCommandFormats(t *testing.T) {
+	// ablation-margin is among the quickest experiments.
+	if err := run([]string{"experiment", "ablation-margin"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"experiment", "ablation-margin", "--csv"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"experiment", "ablation-margin", "--json"}); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	if err := run([]string{"experiment", "fig8", "--svg", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig8.svg")); err != nil {
+		t.Fatalf("svg not written: %v", err)
+	}
+}

@@ -1,0 +1,113 @@
+package prid
+
+import (
+	"fmt"
+
+	"prid/internal/decode"
+	"prid/internal/defense"
+)
+
+// validateDefenseSet checks the training data handed to a defense.
+func (m *Model) validateDefenseSet(x [][]float64, y []int) error {
+	if len(x) == 0 {
+		return fmt.Errorf("prid: defense needs the training set")
+	}
+	if len(x) != len(y) {
+		return fmt.Errorf("prid: %d samples but %d labels", len(x), len(y))
+	}
+	for i, row := range x {
+		if len(row) != m.Features() {
+			return fmt.Errorf("prid: sample %d has %d features, model expects %d", i, len(row), m.Features())
+		}
+	}
+	for i, label := range y {
+		if label < 0 || label >= m.Classes() {
+			return fmt.Errorf("prid: label %d of sample %d out of range [0,%d)", label, i, m.Classes())
+		}
+	}
+	return nil
+}
+
+// DefendNoise returns a copy of the model hardened by iterative
+// intelligent noise injection (paper Section IV-A): the given fraction of
+// the model's least significant decoded features is randomized each round,
+// with Equation-2 retraining on (x, y) compensating the quality loss. The
+// receiver is not modified.
+func (m *Model) DefendNoise(x [][]float64, y []int, fraction float64) (*Model, error) {
+	if err := m.validateDefenseSet(x, y); err != nil {
+		return nil, err
+	}
+	if fraction < 0 || fraction > 1 {
+		return nil, fmt.Errorf("prid: noise fraction %v outside [0,1]", fraction)
+	}
+	encoded := m.basis.EncodeAll(x)
+	out := defense.NoiseInjection(m.basis, m.model, m.dec, encoded, y, defense.DefaultNoiseConfig(fraction))
+	return &Model{basis: m.basis, model: out.Model, dec: m.dec}, nil
+}
+
+// DefendQuantize returns a copy of the model hardened by iterative model
+// quantization (paper Section IV-B): the shared model is reduced to the
+// given bit width while a full-precision shadow absorbs Equation-2 updates
+// during retraining on (x, y). The receiver is not modified.
+func (m *Model) DefendQuantize(x [][]float64, y []int, bits int) (*Model, error) {
+	if err := m.validateDefenseSet(x, y); err != nil {
+		return nil, err
+	}
+	if bits < 1 {
+		return nil, fmt.Errorf("prid: quantization bits %d < 1", bits)
+	}
+	encoded := m.basis.EncodeAll(x)
+	out := defense.IterativeQuantization(m.model, encoded, y, defense.DefaultQuantConfig(bits))
+	return &Model{basis: m.basis, model: out.Model, dec: m.dec}, nil
+}
+
+// DefendReduceDimensions retrains the system at a lower hypervector
+// dimensionality (the defense implied by the paper's Section V-B): fewer
+// dimensions store less recoverable information, and below the feature
+// count the encoding stops being injective entirely. Unlike the other
+// defenses this changes the encoding basis, so the returned Model is a
+// new system — previously encoded data and shared bases do not carry
+// over. The receiver is not modified.
+func (m *Model) DefendReduceDimensions(x [][]float64, y []int, newDim int) (*Model, error) {
+	if err := m.validateDefenseSet(x, y); err != nil {
+		return nil, err
+	}
+	if newDim < 1 {
+		return nil, fmt.Errorf("prid: reduced dimension %d < 1", newDim)
+	}
+	if newDim >= m.Dimension() {
+		return nil, fmt.Errorf("prid: reduced dimension %d not below current %d", newDim, m.Dimension())
+	}
+	red := defense.DimensionReduction(x, y, m.Classes(), defense.DefaultReduceConfig(newDim))
+	// Below (or near) the feature count the Gram matrix is singular; a
+	// ridge keeps the attached decoder well posed.
+	ridge := 0.0
+	if newDim <= m.Features() {
+		ridge = 0.01 * float64(newDim)
+	}
+	ls, err := decode.NewLeastSquares(red.Basis, ridge)
+	if err != nil {
+		return nil, fmt.Errorf("prid: preparing decoder for reduced system: %w", err)
+	}
+	return &Model{basis: red.Basis, model: red.Model, dec: ls}, nil
+}
+
+// DefendHybrid returns a copy of the model hardened by the combined
+// defense (paper Section V-E): per-round noise injection into the
+// full-precision shadow plus quantized sharing — the configuration the
+// paper's Table II shows dominating either defense alone. The receiver is
+// not modified.
+func (m *Model) DefendHybrid(x [][]float64, y []int, fraction float64, bits int) (*Model, error) {
+	if err := m.validateDefenseSet(x, y); err != nil {
+		return nil, err
+	}
+	if fraction < 0 || fraction > 1 {
+		return nil, fmt.Errorf("prid: noise fraction %v outside [0,1]", fraction)
+	}
+	if bits < 1 {
+		return nil, fmt.Errorf("prid: quantization bits %d < 1", bits)
+	}
+	encoded := m.basis.EncodeAll(x)
+	out := defense.Hybrid(m.basis, m.model, m.dec, encoded, y, defense.DefaultHybridConfig(fraction, bits))
+	return &Model{basis: m.basis, model: out.Model, dec: m.dec}, nil
+}

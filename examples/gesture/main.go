@@ -1,0 +1,128 @@
+// Gesture demonstrates order-aware HDC on sensor streams: two gesture
+// classes share the exact same motion primitives in different orders
+// (swipe-then-hold vs hold-then-swipe), so only the position-binding
+// sequence encoder separates them — and, because the sequence encoder is
+// still linear in the bound step encodings, its shared models leak too.
+//
+//	go run ./examples/gesture
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prid/internal/hdc"
+	"prid/internal/report"
+	"prid/internal/rng"
+	"prid/internal/vecmath"
+)
+
+const (
+	stepFeatures = 12 // accelerometer-style channels per time step
+	window       = 6  // steps per gesture
+	dim          = 4096
+)
+
+// orderBlind sums per-step encodings with no position binding: a set, not
+// a sequence.
+type orderBlind struct {
+	inner *hdc.Basis
+}
+
+func (o orderBlind) Features() int { return window * stepFeatures }
+func (o orderBlind) Dim() int      { return o.inner.Dim() }
+func (o orderBlind) Encode(features []float64) []float64 {
+	h := make([]float64, o.inner.Dim())
+	for t := 0; t < window; t++ {
+		step := features[t*stepFeatures : (t+1)*stepFeatures]
+		enc := o.inner.Encode(step)
+		for j := range h {
+			h[j] += enc[j]
+		}
+	}
+	return h
+}
+
+// primitives are the shared motion building blocks.
+func primitives(src *rng.Source) (swipe, hold, lift []float64) {
+	swipe = make([]float64, stepFeatures)
+	hold = make([]float64, stepFeatures)
+	lift = make([]float64, stepFeatures)
+	src.FillNorm(swipe)
+	src.FillNorm(hold)
+	src.FillNorm(lift)
+	return
+}
+
+// gesture builds one noisy instance of a gesture from its primitive order.
+func gesture(order [][]float64, src *rng.Source) []float64 {
+	flat := make([]float64, 0, window*stepFeatures)
+	for _, step := range order {
+		for _, v := range step {
+			flat = append(flat, v+src.Gaussian(0, 0.1))
+		}
+	}
+	return flat
+}
+
+func main() {
+	src := rng.New(42)
+	swipe, hold, lift := primitives(src)
+	// Class 0: swipe → swipe → hold → hold → lift → lift.
+	// Class 1: the same primitives reversed.
+	orders := [2][][]float64{
+		{swipe, swipe, hold, hold, lift, lift},
+		{lift, lift, hold, hold, swipe, swipe},
+	}
+
+	var x [][]float64
+	var y []int
+	for i := 0; i < 40; i++ {
+		for c := 0; c < 2; c++ {
+			x = append(x, gesture(orders[c], src))
+			y = append(y, c)
+		}
+	}
+
+	// Order-aware encoder vs order-blind bundling: the blind encoder sums
+	// the per-step encodings with no position binding, so reversing the
+	// steps produces the identical hypervector and the two classes are
+	// indistinguishable by construction.
+	seq := hdc.NewSequenceBasis(stepFeatures, dim, window, src.Split())
+	blind := orderBlind{inner: hdc.NewBasis(stepFeatures, dim, src.Split())}
+	flat := hdc.NewBasis(window*stepFeatures, dim, src.Split())
+
+	seqModel := hdc.Train(seq, x, y, 2)
+	blindModel := hdc.Train(blind, x, y, 2)
+	flatModel := hdc.Train(flat, x, y, 2)
+
+	var testX [][]float64
+	var testY []int
+	for i := 0; i < 20; i++ {
+		for c := 0; c < 2; c++ {
+			testX = append(testX, gesture(orders[c], src))
+			testY = append(testY, c)
+		}
+	}
+
+	t := report.NewTable("order-defined gestures: same primitives, different order",
+		"encoder", "test accuracy")
+	t.AddRow("sequence (position binding)", report.Pct(hdc.AccuracyRaw(seqModel, seq, testX, testY)))
+	t.AddRow("order-blind bundling", report.Pct(hdc.AccuracyRaw(blindModel, blind, testX, testY)))
+	t.AddRow("flat linear basis (per-position features)", report.Pct(hdc.AccuracyRaw(flatModel, flat, testX, testY)))
+	fmt.Println(t)
+
+	// The privacy angle: the flat encoding of the same window decodes back
+	// to the raw stream — a shared gesture model leaks the motion data.
+	h := flat.Encode(testX[0])
+	recovered := make([]float64, len(testX[0]))
+	for k := range recovered {
+		recovered[k] = flat.Decode(h, k)
+	}
+	psnr := vecmath.PSNR(testX[0], recovered)
+	if psnr < 10 {
+		log.Fatalf("unexpectedly poor decode: %.1f dB", psnr)
+	}
+	fmt.Printf("analytical decode of one encoded gesture window: %.1f dB PSNR\n", psnr)
+	fmt.Println("the shared model exposes the raw sensor stream — the PRID defenses apply here too.")
+}

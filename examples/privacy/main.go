@@ -1,0 +1,105 @@
+// Privacy walks the defense side of PRID: the noise-injection sweep, the
+// quantization sweep, and the hybrid — reporting the accuracy/leakage
+// trade-off of each setting (the paper's Figures 9–10 and Table II, as a
+// guided demo).
+//
+//	go run ./examples/privacy
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prid"
+	"prid/internal/dataset"
+	"prid/internal/report"
+	"prid/internal/vecmath"
+)
+
+func main() {
+	cfg := dataset.DefaultConfig()
+	cfg.TrainSize = 200
+	cfg.TestSize = 80
+	ds := dataset.MustLoad("FACE", cfg)
+
+	model, err := prid.TrainClassifier(ds.TrainX, ds.TrainY, ds.Classes, prid.WithDimension(2048))
+	if err != nil {
+		log.Fatal(err)
+	}
+	baseAcc, _ := model.Accuracy(ds.TestX, ds.TestY)
+	baseLeak := meanLeakage(model, ds)
+	fmt.Printf("undefended FACE model: accuracy %.1f%%, leakage Δ %.3f\n\n", baseAcc*100, baseLeak)
+
+	row := func(t *report.Table, label string, defended *prid.Model) {
+		acc, _ := defended.Accuracy(ds.TestX, ds.TestY)
+		leak := meanLeakage(defended, ds)
+		reduction := 0.0
+		if baseLeak > 0 {
+			if reduction = 1 - leak/baseLeak; reduction < 0 {
+				reduction = 0
+			}
+		}
+		loss := baseAcc - acc
+		if loss < 0 {
+			loss = 0
+		}
+		t.AddRow(label, report.Pct(acc), report.Pct(loss), report.F(leak), report.Pct(reduction))
+	}
+
+	noise := report.NewTable("intelligent noise injection (Section IV-A)",
+		"noise", "accuracy", "quality loss", "Δ", "leakage reduction")
+	for _, f := range []float64{0.2, 0.4, 0.6} {
+		defended, err := model.DefendNoise(ds.TrainX, ds.TrainY, f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		row(noise, report.Pct(f), defended)
+	}
+	fmt.Println(noise)
+
+	quantT := report.NewTable("iterative model quantization (Section IV-B)",
+		"bits", "accuracy", "quality loss", "Δ", "leakage reduction")
+	for _, bits := range []int{8, 4, 2, 1} {
+		defended, err := model.DefendQuantize(ds.TrainX, ds.TrainY, bits)
+		if err != nil {
+			log.Fatal(err)
+		}
+		row(quantT, report.I(bits), defended)
+	}
+	fmt.Println(quantT)
+
+	hybrid := report.NewTable("hybrid: noise + quantization (Section V-E)",
+		"setting", "accuracy", "quality loss", "Δ", "leakage reduction")
+	for _, s := range []struct {
+		f    float64
+		bits int
+	}{{0.2, 4}, {0.4, 2}, {0.6, 1}} {
+		defended, err := model.DefendHybrid(ds.TrainX, ds.TrainY, s.f, s.bits)
+		if err != nil {
+			log.Fatal(err)
+		}
+		row(hybrid, fmt.Sprintf("%.0f%% + %d-bit", s.f*100, s.bits), defended)
+	}
+	fmt.Println(hybrid)
+}
+
+// meanLeakage attacks m with a handful of held-out queries and averages Δ.
+func meanLeakage(m *prid.Model, ds *dataset.Dataset) float64 {
+	attacker, err := prid.NewAttacker(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var scores []float64
+	for i := 0; i < 5 && i < len(ds.TestX); i++ {
+		recon, err := attacker.Reconstruct(ds.TestX[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := prid.MeasureLeakage(ds.TrainX, ds.TestX[i], recon.Data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		scores = append(scores, s)
+	}
+	return vecmath.Mean(scores)
+}

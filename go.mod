@@ -1,0 +1,3 @@
+module prid
+
+go 1.22

@@ -1,0 +1,316 @@
+package attack
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"prid/internal/decode"
+	"prid/internal/hdc"
+	"prid/internal/metrics"
+	"prid/internal/rng"
+	"prid/internal/vecmath"
+)
+
+// fixture is a small structured classification problem with a trained
+// model and an attacker's reconstructor.
+type fixture struct {
+	basis   *hdc.Basis
+	model   *hdc.Model
+	train   [][]float64
+	trainY  []int
+	queries [][]float64 // held-out samples, one per class
+	recon   *Reconstructor
+}
+
+func newFixture(t testing.TB, seed uint64) *fixture {
+	t.Helper()
+	src := rng.New(seed)
+	const n, d, k, perClass = 24, 1024, 3, 12
+	protos := make([][]float64, k)
+	for c := range protos {
+		p := make([]float64, n)
+		for _, j := range src.Sample(n, 6) {
+			p[j] = src.Uniform(0.6, 1)
+		}
+		protos[c] = p
+	}
+	draw := func(c int, noise float64) []float64 {
+		v := vecmath.Clone(protos[c])
+		for j := range v {
+			v[j] += src.Gaussian(0, noise)
+			if v[j] < 0 {
+				v[j] = 0
+			}
+		}
+		return v
+	}
+	f := &fixture{basis: hdc.NewBasis(n, d, src.Split())}
+	for c := 0; c < k; c++ {
+		for i := 0; i < perClass; i++ {
+			f.train = append(f.train, draw(c, 0.08))
+			f.trainY = append(f.trainY, c)
+		}
+		// Queries carry extra noise relative to the train samples, giving a
+		// successful attack headroom to land closer to the train set than
+		// the raw query does.
+		f.queries = append(f.queries, draw(c, 0.20))
+	}
+	f.model = hdc.Train(f.basis, f.train, f.trainY, k)
+	ls, err := decode.NewLeastSquares(f.basis, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.recon = NewReconstructor(f.basis, f.model, ls)
+	return f
+}
+
+func TestCheckMembershipFindsClass(t *testing.T) {
+	f := newFixture(t, 1)
+	for c, q := range f.queries {
+		mem := CheckMembership(f.model, f.basis, q)
+		if mem.Class != c {
+			t.Fatalf("query of class %d matched class %d (sims %v)", c, mem.Class, mem.Similarities)
+		}
+		if mem.Similarity <= 0.5 {
+			t.Fatalf("in-distribution query similarity %v suspiciously low", mem.Similarity)
+		}
+		if mem.Similarity != mem.Similarities[mem.Class] {
+			t.Fatal("Similarity field inconsistent with Similarities")
+		}
+	}
+}
+
+func TestMembershipSeparatesInAndOutOfDistribution(t *testing.T) {
+	f := newFixture(t, 2)
+	src := rng.New(77)
+	random := make([]float64, 24)
+	src.FillUniform(random, 0, 1)
+	in := CheckMembership(f.model, f.basis, f.queries[0])
+	out := CheckMembership(f.model, f.basis, random)
+	if in.Similarity <= out.Similarity {
+		t.Fatalf("in-distribution δ=%v not above random query δ=%v", in.Similarity, out.Similarity)
+	}
+}
+
+// The rank-one masked-similarity shortcut must agree with brute-force
+// re-encoding.
+func TestMaskedFeatureSimsMatchBruteForce(t *testing.T) {
+	f := newFixture(t, 3)
+	q := f.queries[0]
+	h := f.basis.Encode(q)
+	c := f.model.Class(0)
+	fast := f.recon.maskedFeatureSims(c, h, q)
+	for i := range q {
+		masked := vecmath.Clone(q)
+		masked[i] = 0
+		want := vecmath.Cosine(f.basis.Encode(masked), c)
+		if math.Abs(fast[i]-want) > 1e-9 {
+			t.Fatalf("feature %d: fast %v vs brute force %v", i, fast[i], want)
+		}
+	}
+}
+
+func TestFeatureReplacementExtractsNearCeiling(t *testing.T) {
+	// Against an undefended model, the attack's reconstruction must retain
+	// most of the query's ceiling leakage (the query itself scores 1 by
+	// construction: ΔR(query) = ΔT).
+	f := newFixture(t, 4)
+	cfg := DefaultConfig()
+	var reconScores []float64
+	for _, q := range f.queries {
+		res := f.recon.FeatureReplacement(q, cfg)
+		rec := metrics.MeasureLeakage(f.train, q, res.Recon, metrics.TopKNearest)
+		reconScores = append(reconScores, rec.Score())
+	}
+	if m := vecmath.Mean(reconScores); m < 0.7 {
+		t.Fatalf("feature replacement leakage %v; undefended model should leak near the ceiling", m)
+	}
+}
+
+func TestFeatureReplacementRaisesClassSimilarity(t *testing.T) {
+	f := newFixture(t, 5)
+	for _, q := range f.queries {
+		before := CheckMembership(f.model, f.basis, q).Similarity
+		res := f.recon.FeatureReplacement(q, DefaultConfig())
+		if res.Similarity < before-1e-9 {
+			t.Fatalf("reconstruction similarity %v fell below query similarity %v", res.Similarity, before)
+		}
+	}
+}
+
+func TestDimensionReplacementProducesValidRecon(t *testing.T) {
+	f := newFixture(t, 6)
+	res := f.recon.DimensionReplacement(f.queries[1], DefaultConfig())
+	if len(res.Recon) != 24 {
+		t.Fatalf("recon length %d", len(res.Recon))
+	}
+	if res.Class != 1 {
+		t.Fatalf("matched class %d, want 1", res.Class)
+	}
+	for _, v := range res.Recon {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatal("reconstruction contains non-finite values")
+		}
+	}
+	rec := metrics.MeasureLeakage(f.train, f.queries[1], res.Recon, metrics.TopKNearest)
+	if rec.Score() <= 0 {
+		t.Fatalf("dimension replacement extracted nothing (Δ=0)")
+	}
+}
+
+// The paper's trade-off: dimension replacement stays closer to the query
+// (higher PSNR against the query) than feature replacement, which pulls
+// harder toward the class.
+func TestDimensionVsFeatureTradeoff(t *testing.T) {
+	f := newFixture(t, 7)
+	cfg := DefaultConfig()
+	var featPSNR, dimPSNR vecmath.Welford
+	for _, q := range f.queries {
+		fr := f.recon.FeatureReplacement(q, cfg)
+		dr := f.recon.DimensionReplacement(q, cfg)
+		featPSNR.Add(vecmath.PSNR(q, fr.Recon))
+		dimPSNR.Add(vecmath.PSNR(q, dr.Recon))
+	}
+	if dimPSNR.Mean() <= featPSNR.Mean() {
+		t.Fatalf("dimension PSNR %v not above feature PSNR %v", dimPSNR.Mean(), featPSNR.Mean())
+	}
+}
+
+func TestCombinedExtractsNearCeiling(t *testing.T) {
+	f := newFixture(t, 8)
+	cfg := DefaultConfig()
+	cfg.Iterations = 4
+	var combined []float64
+	for _, q := range f.queries {
+		res := f.recon.Combined(q, cfg)
+		combined = append(combined, metrics.MeasureLeakage(f.train, q, res.Recon, metrics.TopKNearest).Score())
+	}
+	if m := vecmath.Mean(combined); m < 0.7 {
+		t.Fatalf("combined attack leakage %v; undefended model should leak near the ceiling", m)
+	}
+}
+
+func TestReconstructionApproachesTrainData(t *testing.T) {
+	// Figure 3's claim: the reconstruction is closer (lower minimum MSE) to
+	// the train set than the query is, on average.
+	f := newFixture(t, 9)
+	cfg := DefaultConfig()
+	cfg.Iterations = 4
+	minMSE := func(v []float64) float64 {
+		best := math.Inf(1)
+		for _, tr := range f.train {
+			if m := vecmath.MSE(v, tr); m < best {
+				best = m
+			}
+		}
+		return best
+	}
+	var qMSE, rMSE vecmath.Welford
+	for _, q := range f.queries {
+		res := f.recon.Combined(q, cfg)
+		qMSE.Add(minMSE(q))
+		rMSE.Add(minMSE(res.Recon))
+	}
+	if rMSE.Mean() >= qMSE.Mean() {
+		t.Fatalf("reconstruction min-MSE %v not below query min-MSE %v", rMSE.Mean(), qMSE.Mean())
+	}
+}
+
+func TestClassFeaturesEstimateClassMean(t *testing.T) {
+	f := newFixture(t, 10)
+	for c := 0; c < 3; c++ {
+		mean := make([]float64, 24)
+		count := 0
+		for i, y := range f.trainY {
+			if y == c {
+				vecmath.Axpy(1, f.train[i], mean)
+				count++
+			}
+		}
+		vecmath.Scale(1/float64(count), mean)
+		got := f.recon.ClassFeatures(c)
+		if mse := vecmath.MSE(got, mean); mse > 1e-10 {
+			t.Fatalf("class %d decoded mean MSE %g", c, mse)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	f := newFixture(t, 11)
+	mustPanic(t, "zero iterations", func() {
+		f.recon.FeatureReplacement(f.queries[0], Config{Iterations: 0, MarginFactor: 1})
+	})
+	mustPanic(t, "negative margin", func() {
+		f.recon.DimensionReplacement(f.queries[0], Config{Iterations: 1, MarginFactor: -1})
+	})
+	mustPanic(t, "wrong query length", func() {
+		f.recon.FeatureReplacement([]float64{1, 2}, DefaultConfig())
+	})
+	mustPanic(t, "dimension mismatch", func() {
+		other := hdc.NewModel(2, 99)
+		NewReconstructor(f.basis, other, decode.Analytical{Basis: f.basis})
+	})
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", name)
+		}
+	}()
+	fn()
+}
+
+func BenchmarkFeatureReplacement(b *testing.B) {
+	f := newFixture(b, 1)
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.recon.FeatureReplacement(f.queries[0], cfg)
+	}
+}
+
+func BenchmarkDimensionReplacement(b *testing.B) {
+	f := newFixture(b, 1)
+	cfg := DefaultConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.recon.DimensionReplacement(f.queries[0], cfg)
+	}
+}
+
+// Property: for arbitrary in-range queries, every attack variant returns a
+// finite reconstruction of the right length matched to a valid class.
+func TestAttackOutputsWellFormedProperty(t *testing.T) {
+	f := newFixture(t, 60)
+	check := func(seed uint64) bool {
+		src := rng.New(seed)
+		q := make([]float64, 24)
+		src.FillUniform(q, 0, 1)
+		cfg := DefaultConfig()
+		cfg.Iterations = 2
+		for _, res := range []Result{
+			f.recon.FeatureReplacement(q, cfg),
+			f.recon.DimensionReplacement(q, cfg),
+			f.recon.Combined(q, cfg),
+		} {
+			if len(res.Recon) != 24 || res.Class < 0 || res.Class >= 3 {
+				return false
+			}
+			for _, v := range res.Recon {
+				if math.IsNaN(v) || math.IsInf(v, 0) {
+					return false
+				}
+			}
+			if res.Similarity < -1-1e-9 || res.Similarity > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package attack
+
+import (
+	"fmt"
+	"sort"
+
+	"prid/internal/hdc"
+)
+
+// MembershipScores computes the membership signal δ_max (best class
+// similarity) for every sample in x — the statistic Section III-B uses to
+// check "the availability of a data point in a training set".
+func MembershipScores(m *hdc.Model, enc hdc.Encoder, x [][]float64) []float64 {
+	out := make([]float64, len(x))
+	for i, f := range x {
+		out[i] = CheckMembership(m, enc, f).Similarity
+	}
+	return out
+}
+
+// ROCPoint is one (false positive rate, true positive rate) operating
+// point of the membership test.
+type ROCPoint struct {
+	Threshold float64
+	FPR, TPR  float64
+}
+
+// MembershipROC evaluates δ_max as a membership test: members should score
+// above non-members. It returns the ROC curve (one point per distinct
+// threshold, descending) and the area under it. AUC 0.5 means the model
+// reveals nothing about membership; 1.0 means perfect membership
+// disclosure. Both slices must be non-empty.
+func MembershipROC(memberScores, nonMemberScores []float64) ([]ROCPoint, float64) {
+	if len(memberScores) == 0 || len(nonMemberScores) == 0 {
+		panic(fmt.Sprintf("attack: MembershipROC with %d members, %d non-members",
+			len(memberScores), len(nonMemberScores)))
+	}
+	type labeled struct {
+		score  float64
+		member bool
+	}
+	all := make([]labeled, 0, len(memberScores)+len(nonMemberScores))
+	for _, s := range memberScores {
+		all = append(all, labeled{s, true})
+	}
+	for _, s := range nonMemberScores {
+		all = append(all, labeled{s, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].score > all[j].score })
+
+	var curve []ROCPoint
+	tp, fp := 0, 0
+	nPos, nNeg := float64(len(memberScores)), float64(len(nonMemberScores))
+	for i := 0; i < len(all); {
+		// Consume all samples sharing one score so ties move diagonally.
+		threshold := all[i].score
+		for i < len(all) && all[i].score == threshold {
+			if all[i].member {
+				tp++
+			} else {
+				fp++
+			}
+			i++
+		}
+		curve = append(curve, ROCPoint{
+			Threshold: threshold,
+			FPR:       float64(fp) / nNeg,
+			TPR:       float64(tp) / nPos,
+		})
+	}
+	// Trapezoidal AUC over the curve, anchored at (0,0).
+	auc := 0.0
+	prev := ROCPoint{FPR: 0, TPR: 0}
+	for _, p := range curve {
+		auc += (p.FPR - prev.FPR) * (p.TPR + prev.TPR) / 2
+		prev = p
+	}
+	return curve, auc
+}
+
+// MembershipAUC is the one-call form: score members (train samples) and
+// non-members with the model, return the AUC of the δ_max test.
+func MembershipAUC(m *hdc.Model, enc hdc.Encoder, members, nonMembers [][]float64) float64 {
+	_, auc := MembershipROC(
+		MembershipScores(m, enc, members),
+		MembershipScores(m, enc, nonMembers))
+	return auc
+}

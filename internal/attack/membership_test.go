@@ -1,0 +1,89 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"prid/internal/rng"
+)
+
+func TestMembershipROCKnownCases(t *testing.T) {
+	// Perfect separation → AUC 1.
+	curve, auc := MembershipROC([]float64{0.9, 0.8}, []float64{0.2, 0.1})
+	if auc != 1 {
+		t.Fatalf("separable AUC = %v", auc)
+	}
+	if len(curve) == 0 || curve[len(curve)-1].TPR != 1 || curve[len(curve)-1].FPR != 1 {
+		t.Fatalf("curve must end at (1,1): %+v", curve)
+	}
+	// Inverted → AUC 0.
+	if _, auc := MembershipROC([]float64{0.1, 0.2}, []float64{0.8, 0.9}); auc != 0 {
+		t.Fatalf("inverted AUC = %v", auc)
+	}
+	// Identical scores → diagonal → AUC 0.5.
+	if _, auc := MembershipROC([]float64{0.5, 0.5}, []float64{0.5, 0.5}); math.Abs(auc-0.5) > 1e-12 {
+		t.Fatalf("tied AUC = %v", auc)
+	}
+}
+
+func TestMembershipROCMonotone(t *testing.T) {
+	r := rng.New(80)
+	members := make([]float64, 50)
+	nonMembers := make([]float64, 50)
+	for i := range members {
+		members[i] = r.Gaussian(0.7, 0.1)
+		nonMembers[i] = r.Gaussian(0.5, 0.1)
+	}
+	curve, auc := MembershipROC(members, nonMembers)
+	if auc <= 0.7 {
+		t.Fatalf("shifted Gaussians AUC %v, want clearly above chance", auc)
+	}
+	prevF, prevT := 0.0, 0.0
+	for _, p := range curve {
+		if p.FPR < prevF-1e-12 || p.TPR < prevT-1e-12 {
+			t.Fatalf("ROC not monotone: %+v", curve)
+		}
+		prevF, prevT = p.FPR, p.TPR
+	}
+}
+
+func TestMembershipROCPanicsEmpty(t *testing.T) {
+	mustPanic(t, "empty members", func() { MembershipROC(nil, []float64{1}) })
+	mustPanic(t, "empty non-members", func() { MembershipROC([]float64{1}, nil) })
+}
+
+func TestMembershipAUCOnModel(t *testing.T) {
+	// Members (training samples) must be distinguishable from random
+	// non-member probes via δ_max.
+	f := newFixture(t, 40)
+	src := rng.New(90)
+	nonMembers := make([][]float64, 12)
+	for i := range nonMembers {
+		v := make([]float64, 24)
+		src.FillUniform(v, 0, 1)
+		nonMembers[i] = v
+	}
+	auc := MembershipAUC(f.model, f.basis, f.train[:12], nonMembers)
+	if auc < 0.9 {
+		t.Fatalf("membership AUC %v for train vs random probes, want ≥ 0.9", auc)
+	}
+	// In-distribution held-out queries are much harder to distinguish:
+	// the AUC must drop toward chance relative to random probes.
+	aucHeldOut := MembershipAUC(f.model, f.basis, f.train[:12], f.queries)
+	if aucHeldOut > auc {
+		t.Fatalf("held-out AUC %v above random-probe AUC %v", aucHeldOut, auc)
+	}
+}
+
+func TestMembershipScoresLength(t *testing.T) {
+	f := newFixture(t, 41)
+	scores := MembershipScores(f.model, f.basis, f.queries)
+	if len(scores) != len(f.queries) {
+		t.Fatalf("scores length %d", len(scores))
+	}
+	for _, s := range scores {
+		if s < -1 || s > 1 {
+			t.Fatalf("score %v outside [-1,1]", s)
+		}
+	}
+}

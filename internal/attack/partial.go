@@ -1,0 +1,92 @@
+package attack
+
+import (
+	"fmt"
+
+	"prid/internal/vecmath"
+)
+
+// ReconstructPartial mounts the attack with a *partial* query: the
+// attacker knows only the features where known[i] is true (e.g. the top
+// half of an image, or the public subset of a sensor record) and extracts
+// the rest from the model. Unknown features are seeded from the decoded
+// class estimate, then refined by the same masking probe as
+// FeatureReplacement — but only unknown positions are ever updated, so the
+// attacker's ground-truth knowledge is preserved exactly.
+//
+// This is the sharpest form of the paper's threat: the model fills in
+// private attributes the attacker never observed.
+func (r *Reconstructor) ReconstructPartial(query []float64, known []bool, cfg Config) Result {
+	cfg.validate()
+	n := r.basis.Features()
+	if len(query) != n || len(known) != n {
+		panic(fmt.Sprintf("attack: ReconstructPartial with query %d / mask %d, basis %d",
+			len(query), len(known), n))
+	}
+
+	// Build the initial probe: known features from the query, unknown
+	// positions zeroed for the membership check (zero contributes nothing
+	// to the encoding, so the match is driven purely by known evidence).
+	probe := make([]float64, n)
+	for i, k := range known {
+		if k {
+			probe[i] = query[i]
+		}
+	}
+	mem := CheckMembership(r.model, r.basis, probe)
+	class := mem.Class
+	c := r.model.Class(class)
+	classFeat := r.classFeatures[class]
+
+	// Seed unknowns from the decoded class.
+	recon := make([]float64, n)
+	for i, k := range known {
+		if k {
+			recon[i] = query[i]
+		} else {
+			recon[i] = classFeat[i]
+		}
+	}
+
+	// Refine only the unknown positions: where the probe says the current
+	// value conflicts with the class evidence, fall back to the class
+	// value; the Equation-1 margin rule decides.
+	for iter := 0; iter < cfg.Iterations; iter++ {
+		h := r.basis.Encode(recon)
+		deltaMax := vecmath.Cosine(h, c)
+		sims := r.maskedFeatureSims(c, h, recon)
+		margin := cfg.MarginFactor * vecmath.StdDev(sims)
+		changed := false
+		for i := 0; i < n; i++ {
+			if known[i] {
+				continue
+			}
+			if sims[i] <= deltaMax-margin {
+				// Strong class evidence at i: adopt the class value.
+				if recon[i] != classFeat[i] {
+					recon[i] = classFeat[i]
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	final := r.basis.Encode(recon)
+	return Result{Class: class, Recon: recon, Similarity: vecmath.Cosine(final, c)}
+}
+
+// KnownFraction is a mask helper: the first ⌈fraction·n⌉ features marked
+// known (for images: the top rows). It panics outside [0, 1].
+func KnownFraction(n int, fraction float64) []bool {
+	if fraction < 0 || fraction > 1 {
+		panic(fmt.Sprintf("attack: KnownFraction %v outside [0,1]", fraction))
+	}
+	mask := make([]bool, n)
+	count := int(fraction*float64(n) + 0.5)
+	for i := 0; i < count && i < n; i++ {
+		mask[i] = true
+	}
+	return mask
+}

@@ -1,0 +1,109 @@
+package attack
+
+import (
+	"testing"
+
+	"prid/internal/metrics"
+	"prid/internal/vecmath"
+)
+
+func TestReconstructPartialPreservesKnownFeatures(t *testing.T) {
+	f := newFixture(t, 50)
+	q := f.queries[0]
+	known := KnownFraction(len(q), 0.5)
+	res := f.recon.ReconstructPartial(q, known, DefaultConfig())
+	for i, k := range known {
+		if k && res.Recon[i] != q[i] {
+			t.Fatalf("known feature %d was modified: %v != %v", i, res.Recon[i], q[i])
+		}
+	}
+}
+
+func TestReconstructPartialFindsClassFromHalfQuery(t *testing.T) {
+	f := newFixture(t, 51)
+	for c, q := range f.queries {
+		known := KnownFraction(len(q), 0.5)
+		res := f.recon.ReconstructPartial(q, known, DefaultConfig())
+		if res.Class != c {
+			t.Fatalf("half query of class %d matched class %d", c, res.Class)
+		}
+	}
+}
+
+func TestReconstructPartialBeatsKnownOnlyBaseline(t *testing.T) {
+	// Filling in the unknown half from the model must land the estimate
+	// closer to the training distribution than the zero-padded partial
+	// query does.
+	f := newFixture(t, 52)
+	var filled, baseline []float64
+	for _, q := range f.queries {
+		known := KnownFraction(len(q), 0.5)
+		res := f.recon.ReconstructPartial(q, known, DefaultConfig())
+		padded := make([]float64, len(q))
+		for i, k := range known {
+			if k {
+				padded[i] = q[i]
+			}
+		}
+		filled = append(filled, metrics.MeasureLeakage(f.train, q, res.Recon, metrics.TopKNearest).Score())
+		baseline = append(baseline, metrics.MeasureLeakage(f.train, q, padded, metrics.TopKNearest).Score())
+	}
+	if vecmath.Mean(filled) <= vecmath.Mean(baseline) {
+		t.Fatalf("partial reconstruction Δ %.3f not above zero-padded baseline %.3f",
+			vecmath.Mean(filled), vecmath.Mean(baseline))
+	}
+}
+
+func TestReconstructPartialRecoversHiddenHalf(t *testing.T) {
+	// The unknown half of the reconstruction must approximate the true
+	// hidden features far better than the class-agnostic zero guess.
+	f := newFixture(t, 53)
+	q := f.queries[1]
+	known := KnownFraction(len(q), 0.5)
+	res := f.recon.ReconstructPartial(q, known, DefaultConfig())
+	var mseRecon, mseZero float64
+	hidden := 0
+	for i, k := range known {
+		if !k {
+			d := res.Recon[i] - q[i]
+			mseRecon += d * d
+			mseZero += q[i] * q[i]
+			hidden++
+		}
+	}
+	mseRecon /= float64(hidden)
+	mseZero /= float64(hidden)
+	if mseRecon >= mseZero {
+		t.Fatalf("hidden-half MSE %.4f not below zero-guess %.4f", mseRecon, mseZero)
+	}
+}
+
+func TestKnownFraction(t *testing.T) {
+	m := KnownFraction(10, 0.3)
+	count := 0
+	for _, k := range m {
+		if k {
+			count++
+		}
+	}
+	if count != 3 {
+		t.Fatalf("KnownFraction(10, 0.3) marked %d", count)
+	}
+	if KnownFraction(4, 0)[0] {
+		t.Fatal("zero fraction marked features")
+	}
+	all := KnownFraction(4, 1)
+	for _, k := range all {
+		if !k {
+			t.Fatal("full fraction left features unknown")
+		}
+	}
+	mustPanic(t, "fraction > 1", func() { KnownFraction(4, 1.5) })
+}
+
+func TestReconstructPartialPanics(t *testing.T) {
+	f := newFixture(t, 54)
+	mustPanic(t, "mask length", func() {
+		f.recon.ReconstructPartial(f.queries[0], make([]bool, 3), DefaultConfig())
+	})
+}

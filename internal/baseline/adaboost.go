@@ -1,0 +1,182 @@
+package baseline
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// stump is a one-feature threshold weak learner: predicts +1 when
+// polarity*(x[feature] − threshold) > 0, else −1.
+type stump struct {
+	feature   int
+	threshold float64
+	polarity  float64 // +1 or −1
+	alpha     float64 // weight in the ensemble
+}
+
+func (s stump) predict(x []float64) float64 {
+	if s.polarity*(x[s.feature]-s.threshold) > 0 {
+		return 1
+	}
+	return -1
+}
+
+// AdaBoost is a multiclass classifier built from one-vs-rest binary
+// AdaBoost ensembles of decision stumps (SAMME-style reduction). It is the
+// paper's comparator for the FACE and EXTRA datasets.
+type AdaBoost struct {
+	classes   int
+	ensembles [][]stump // one ensemble of stumps per class
+}
+
+// AdaBoostConfig controls TrainAdaBoost.
+type AdaBoostConfig struct {
+	// Rounds is the number of stumps per one-vs-rest ensemble.
+	Rounds int
+	// Thresholds is the number of candidate split points tried per feature
+	// (quantiles of the feature's values).
+	Thresholds int
+}
+
+// DefaultAdaBoostConfig is sized for the quick synthetic datasets.
+func DefaultAdaBoostConfig() AdaBoostConfig {
+	return AdaBoostConfig{Rounds: 40, Thresholds: 8}
+}
+
+// TrainAdaBoost fits one-vs-rest boosted stumps on the labeled set.
+func TrainAdaBoost(x [][]float64, y []int, classes int, cfg AdaBoostConfig) *AdaBoost {
+	if len(x) == 0 || len(x) != len(y) {
+		panic(fmt.Sprintf("baseline: TrainAdaBoost with %d samples, %d labels", len(x), len(y)))
+	}
+	if cfg.Rounds < 1 || cfg.Thresholds < 1 {
+		panic("baseline: TrainAdaBoost misconfigured")
+	}
+	ab := &AdaBoost{classes: classes, ensembles: make([][]stump, classes)}
+	for c := 0; c < classes; c++ {
+		target := make([]float64, len(y))
+		for i, yi := range y {
+			if yi == c {
+				target[i] = 1
+			} else {
+				target[i] = -1
+			}
+		}
+		ab.ensembles[c] = boostBinary(x, target, cfg)
+	}
+	return ab
+}
+
+// boostBinary runs standard binary AdaBoost with stumps against ±1 targets.
+func boostBinary(x [][]float64, target []float64, cfg AdaBoostConfig) []stump {
+	m := len(x)
+	n := len(x[0])
+	w := make([]float64, m)
+	for i := range w {
+		w[i] = 1 / float64(m)
+	}
+	candidates := thresholdCandidates(x, n, cfg.Thresholds)
+	var ensemble []stump
+	for round := 0; round < cfg.Rounds; round++ {
+		best, bestErr := bestStump(x, target, w, candidates)
+		if bestErr >= 0.5 {
+			break // no weak learner better than chance remains
+		}
+		eps := math.Max(bestErr, 1e-10)
+		best.alpha = 0.5 * math.Log((1-eps)/eps)
+		ensemble = append(ensemble, best)
+		// Reweight: mistakes gain weight, hits lose it.
+		var sum float64
+		for i := range w {
+			w[i] *= math.Exp(-best.alpha * target[i] * best.predict(x[i]))
+			sum += w[i]
+		}
+		for i := range w {
+			w[i] /= sum
+		}
+		if bestErr < 1e-9 {
+			break // perfect stump; further rounds add nothing
+		}
+	}
+	return ensemble
+}
+
+// thresholdCandidates returns per-feature candidate thresholds at the
+// quantiles of the observed values.
+func thresholdCandidates(x [][]float64, n, per int) [][]float64 {
+	out := make([][]float64, n)
+	vals := make([]float64, len(x))
+	for f := 0; f < n; f++ {
+		for i := range x {
+			vals[i] = x[i][f]
+		}
+		sort.Float64s(vals)
+		cands := make([]float64, 0, per)
+		for t := 1; t <= per; t++ {
+			idx := t * (len(vals) - 1) / (per + 1)
+			cands = append(cands, vals[idx])
+		}
+		out[f] = cands
+	}
+	return out
+}
+
+// bestStump scans every (feature, threshold, polarity) candidate for the
+// lowest weighted error.
+func bestStump(x [][]float64, target, w []float64, candidates [][]float64) (stump, float64) {
+	best := stump{polarity: 1}
+	bestErr := math.Inf(1)
+	for f := range candidates {
+		for _, thr := range candidates[f] {
+			// Error with polarity +1; polarity −1 is its complement.
+			var errPos float64
+			for i := range x {
+				pred := -1.0
+				if x[i][f]-thr > 0 {
+					pred = 1
+				}
+				if pred != target[i] {
+					errPos += w[i]
+				}
+			}
+			if errPos < bestErr {
+				best = stump{feature: f, threshold: thr, polarity: 1}
+				bestErr = errPos
+			}
+			if errNeg := 1 - errPos; errNeg < bestErr {
+				best = stump{feature: f, threshold: thr, polarity: -1}
+				bestErr = errNeg
+			}
+		}
+	}
+	return best, bestErr
+}
+
+// Predict implements Classifier: the class whose ensemble produces the
+// highest weighted margin.
+func (a *AdaBoost) Predict(x []float64) int {
+	bestClass, bestScore := 0, math.Inf(-1)
+	for c, ens := range a.ensembles {
+		var score float64
+		for _, s := range ens {
+			score += s.alpha * s.predict(x)
+		}
+		if score > bestScore {
+			bestClass, bestScore = c, score
+		}
+	}
+	return bestClass
+}
+
+// Name implements Classifier.
+func (a *AdaBoost) Name() string { return "AdaBoost" }
+
+// Rounds returns the ensemble sizes actually fitted per class (boosting can
+// stop early on perfect or exhausted weak learners).
+func (a *AdaBoost) Rounds() []int {
+	out := make([]int, len(a.ensembles))
+	for i, e := range a.ensembles {
+		out[i] = len(e)
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package baseline
+
+import (
+	"testing"
+
+	"prid/internal/dataset"
+	"prid/internal/rng"
+	"prid/internal/vecmath"
+)
+
+// blobs builds an easy k-class Gaussian problem.
+func blobs(n, k, perClass int, spread float64, seed uint64) (x [][]float64, y []int) {
+	src := rng.New(seed)
+	centers := make([][]float64, k)
+	for c := range centers {
+		v := make([]float64, n)
+		src.FillUniform(v, 0, 1)
+		centers[c] = v
+	}
+	for c := 0; c < k; c++ {
+		for i := 0; i < perClass; i++ {
+			s := vecmath.Clone(centers[c])
+			for j := range s {
+				s[j] += src.Gaussian(0, spread)
+			}
+			x = append(x, s)
+			y = append(y, c)
+		}
+	}
+	return x, y
+}
+
+func TestMLPLearnsBlobs(t *testing.T) {
+	x, y := blobs(10, 3, 40, 0.05, 1)
+	m := TrainMLP(x, y, 3, DefaultMLPConfig())
+	if acc := Accuracy(m, x, y); acc < 0.95 {
+		t.Fatalf("MLP train accuracy %.3f on easy blobs", acc)
+	}
+	if m.Name() != "DNN" {
+		t.Fatalf("Name = %q", m.Name())
+	}
+}
+
+func TestAdaBoostLearnsBlobs(t *testing.T) {
+	x, y := blobs(10, 3, 40, 0.05, 2)
+	a := TrainAdaBoost(x, y, 3, DefaultAdaBoostConfig())
+	if acc := Accuracy(a, x, y); acc < 0.9 {
+		t.Fatalf("AdaBoost train accuracy %.3f on easy blobs", acc)
+	}
+	if a.Name() != "AdaBoost" {
+		t.Fatalf("Name = %q", a.Name())
+	}
+	for _, r := range a.Rounds() {
+		if r < 1 {
+			t.Fatal("an ensemble fitted zero stumps")
+		}
+	}
+}
+
+func TestAdaBoostBinarySeparable(t *testing.T) {
+	// A single threshold on feature 0 separates the classes; boosting must
+	// nail it.
+	x := [][]float64{{0.1, 0.5}, {0.2, 0.4}, {0.3, 0.9}, {0.7, 0.1}, {0.8, 0.6}, {0.9, 0.3}}
+	y := []int{0, 0, 0, 1, 1, 1}
+	a := TrainAdaBoost(x, y, 2, AdaBoostConfig{Rounds: 10, Thresholds: 5})
+	if acc := Accuracy(a, x, y); acc != 1 {
+		t.Fatalf("AdaBoost accuracy %.3f on threshold-separable data", acc)
+	}
+}
+
+func TestComparatorsOnSyntheticDatasets(t *testing.T) {
+	// Both comparators must beat chance comfortably on the Table I
+	// stand-ins they are assigned to.
+	if testing.Short() {
+		t.Skip("comparator sweep is slow")
+	}
+	for _, name := range []string{"ACTIVITY", "EXTRA"} {
+		ds := dataset.MustLoad(name, dataset.DefaultConfig())
+		chance := 1.0 / float64(ds.Classes)
+		mlp := TrainMLP(ds.TrainX, ds.TrainY, ds.Classes, DefaultMLPConfig())
+		if acc := Accuracy(mlp, ds.TestX, ds.TestY); acc < chance+0.3 {
+			t.Fatalf("%s: MLP test accuracy %.3f too close to chance", name, acc)
+		}
+		abCfg := DefaultAdaBoostConfig()
+		abCfg.Rounds = 25
+		ab := TrainAdaBoost(ds.TrainX, ds.TrainY, ds.Classes, abCfg)
+		if acc := Accuracy(ab, ds.TestX, ds.TestY); acc < chance+0.2 {
+			t.Fatalf("%s: AdaBoost test accuracy %.3f too close to chance", name, acc)
+		}
+	}
+}
+
+func TestAccuracyEmpty(t *testing.T) {
+	m := TrainMLP([][]float64{{1, 2}}, []int{0}, 1, MLPConfig{Hidden: 2, Epochs: 1, LearningRate: 0.1, Seed: 1})
+	if Accuracy(m, nil, nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}
+
+func TestTrainPanics(t *testing.T) {
+	mustPanic(t, "MLP empty", func() { TrainMLP(nil, nil, 2, DefaultMLPConfig()) })
+	mustPanic(t, "MLP bad config", func() {
+		TrainMLP([][]float64{{1}}, []int{0}, 1, MLPConfig{Hidden: 0, Epochs: 1})
+	})
+	mustPanic(t, "AdaBoost empty", func() { TrainAdaBoost(nil, nil, 2, DefaultAdaBoostConfig()) })
+	mustPanic(t, "AdaBoost bad config", func() {
+		TrainAdaBoost([][]float64{{1}}, []int{0}, 1, AdaBoostConfig{Rounds: 0, Thresholds: 1})
+	})
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", name)
+		}
+	}()
+	fn()
+}
+
+func BenchmarkMLPTrainSmall(b *testing.B) {
+	x, y := blobs(20, 3, 30, 0.05, 1)
+	cfg := DefaultMLPConfig()
+	cfg.Epochs = 5
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TrainMLP(x, y, 3, cfg)
+	}
+}
+
+func BenchmarkAdaBoostTrainSmall(b *testing.B) {
+	x, y := blobs(20, 3, 30, 0.05, 1)
+	cfg := AdaBoostConfig{Rounds: 10, Thresholds: 4}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		TrainAdaBoost(x, y, 3, cfg)
+	}
+}

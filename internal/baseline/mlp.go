@@ -1,0 +1,81 @@
+// Package baseline implements the non-HDC comparators of the paper's
+// Table I: a dense MLP classifier (the "DNN" entries) and AdaBoost over
+// decision stumps (the "AdaBoost" entries). Both are deliberately modest —
+// their role is to anchor the "HDC is within 0.2% of the state of the art
+// on average" comparison, not to chase benchmark records.
+package baseline
+
+import (
+	"fmt"
+
+	"prid/internal/nn"
+	"prid/internal/rng"
+)
+
+// Classifier is the common face of the comparators.
+type Classifier interface {
+	// Predict returns the class of one feature vector.
+	Predict(x []float64) int
+	// Name identifies the comparator in Table I output.
+	Name() string
+}
+
+// Accuracy scores a classifier on a labeled set.
+func Accuracy(c Classifier, x [][]float64, y []int) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range x {
+		if c.Predict(x[i]) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(x))
+}
+
+// MLP is a one-hidden-layer ReLU network classifier.
+type MLP struct {
+	net *nn.Network
+}
+
+// MLPConfig controls TrainMLP.
+type MLPConfig struct {
+	Hidden       int
+	Epochs       int
+	LearningRate float64
+	Seed         uint64
+}
+
+// DefaultMLPConfig is sized for the quick synthetic datasets.
+func DefaultMLPConfig() MLPConfig {
+	return MLPConfig{Hidden: 64, Epochs: 30, LearningRate: 0.02, Seed: 0xD1}
+}
+
+// TrainMLP fits an MLP classifier on the labeled set.
+func TrainMLP(x [][]float64, y []int, classes int, cfg MLPConfig) *MLP {
+	if len(x) == 0 || len(x) != len(y) {
+		panic(fmt.Sprintf("baseline: TrainMLP with %d samples, %d labels", len(x), len(y)))
+	}
+	if cfg.Hidden < 1 || cfg.Epochs < 1 {
+		panic("baseline: TrainMLP misconfigured")
+	}
+	src := rng.New(cfg.Seed)
+	net := nn.NewNetwork(
+		nn.NewDense(len(x[0]), cfg.Hidden, src),
+		&nn.ReLU{},
+		nn.NewDense(cfg.Hidden, classes, src),
+	)
+	nn.FitClassifier(net, x, y, nn.ClassifierConfig{
+		Epochs:       cfg.Epochs,
+		LearningRate: cfg.LearningRate,
+		Seed:         cfg.Seed + 1,
+	})
+	return &MLP{net: net}
+}
+
+// Predict implements Classifier.
+func (m *MLP) Predict(x []float64) int { return nn.Predict(m.net, x) }
+
+// Name implements Classifier.
+func (m *MLP) Name() string { return "DNN" }

@@ -1,0 +1,127 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ReadCSV parses a labeled dataset from CSV: one sample per line, feature
+// columns first, the integer class label in the last column. Lines whose
+// first field is not numeric (a header) are skipped only at the top of the
+// file. Features are used as-is (no normalization — callers decide).
+func ReadCSV(r io.Reader) (x [][]float64, y []int, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	lineNo := 0
+	width := -1
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if len(fields) < 2 {
+			return nil, nil, fmt.Errorf("dataset: line %d has %d fields, need at least 2 (features..., label)", lineNo, len(fields))
+		}
+		if _, convErr := strconv.ParseFloat(strings.TrimSpace(fields[0]), 64); convErr != nil && len(x) == 0 {
+			continue // header row
+		}
+		row := make([]float64, len(fields)-1)
+		for i := 0; i < len(fields)-1; i++ {
+			v, convErr := strconv.ParseFloat(strings.TrimSpace(fields[i]), 64)
+			if convErr != nil {
+				return nil, nil, fmt.Errorf("dataset: line %d field %d: %v", lineNo, i+1, convErr)
+			}
+			row[i] = v
+		}
+		label, convErr := strconv.Atoi(strings.TrimSpace(fields[len(fields)-1]))
+		if convErr != nil {
+			return nil, nil, fmt.Errorf("dataset: line %d label: %v", lineNo, convErr)
+		}
+		if label < 0 {
+			return nil, nil, fmt.Errorf("dataset: line %d: negative label %d", lineNo, label)
+		}
+		if width == -1 {
+			width = len(row)
+		} else if len(row) != width {
+			return nil, nil, fmt.Errorf("dataset: line %d has %d features, expected %d", lineNo, len(row), width)
+		}
+		x = append(x, row)
+		y = append(y, label)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("dataset: reading CSV: %w", err)
+	}
+	if len(x) == 0 {
+		return nil, nil, fmt.Errorf("dataset: CSV contains no samples")
+	}
+	return x, y, nil
+}
+
+// WriteCSV writes a labeled dataset in the format ReadCSV parses.
+func WriteCSV(w io.Writer, x [][]float64, y []int) error {
+	if len(x) != len(y) {
+		return fmt.Errorf("dataset: %d samples but %d labels", len(x), len(y))
+	}
+	bw := bufio.NewWriter(w)
+	for i, row := range x {
+		for _, v := range row {
+			if _, err := fmt.Fprintf(bw, "%g,", v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(bw, "%d\n", y[i]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// FromSamples wraps pre-loaded data (e.g. from ReadCSV) as a Dataset with
+// a deterministic train/test split: every k-th sample (k = 1/testFraction)
+// goes to the test split. Classes is inferred as max(label)+1.
+func FromSamples(name string, x [][]float64, y []int, testFraction float64) (*Dataset, error) {
+	if len(x) == 0 || len(x) != len(y) {
+		return nil, fmt.Errorf("dataset: FromSamples with %d samples, %d labels", len(x), len(y))
+	}
+	if testFraction < 0 || testFraction >= 1 {
+		return nil, fmt.Errorf("dataset: test fraction %v outside [0,1)", testFraction)
+	}
+	classes := 0
+	for i, label := range y {
+		if label < 0 {
+			return nil, fmt.Errorf("dataset: sample %d has negative label", i)
+		}
+		if label+1 > classes {
+			classes = label + 1
+		}
+		if len(x[i]) != len(x[0]) {
+			return nil, fmt.Errorf("dataset: sample %d has %d features, expected %d", i, len(x[i]), len(x[0]))
+		}
+	}
+	if classes < 2 {
+		return nil, fmt.Errorf("dataset: need at least 2 classes, found %d", classes)
+	}
+	ds := &Dataset{Name: name, Features: len(x[0]), Classes: classes}
+	stride := 0
+	if testFraction > 0 {
+		stride = int(1 / testFraction)
+	}
+	for i := range x {
+		if stride > 0 && i%stride == stride-1 {
+			ds.TestX = append(ds.TestX, x[i])
+			ds.TestY = append(ds.TestY, y[i])
+		} else {
+			ds.TrainX = append(ds.TrainX, x[i])
+			ds.TrainY = append(ds.TrainY, y[i])
+		}
+	}
+	if len(ds.TrainX) == 0 {
+		return nil, fmt.Errorf("dataset: split left no training samples")
+	}
+	return ds, nil
+}

@@ -1,0 +1,120 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadCSVBasic(t *testing.T) {
+	in := "0.1,0.2,0\n0.3,0.4,1\n0.5,0.6,0\n"
+	x, y, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x) != 3 || len(y) != 3 {
+		t.Fatalf("got %d samples, %d labels", len(x), len(y))
+	}
+	if x[1][0] != 0.3 || x[1][1] != 0.4 || y[1] != 1 {
+		t.Fatalf("row 1 parsed as %v / %d", x[1], y[1])
+	}
+}
+
+func TestReadCSVHeaderAndBlankLines(t *testing.T) {
+	in := "f1,f2,label\n\n0.1,0.2,0\n\n0.3,0.4,1\n"
+	x, y, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(x) != 2 || y[0] != 0 || y[1] != 1 {
+		t.Fatalf("header handling wrong: %v %v", x, y)
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"too few fields": "1.0\n",
+		"bad feature":    "0.1,oops,0\n",
+		"bad label":      "0.1,0.2,zero\n",
+		"negative label": "0.1,0.2,-1\n",
+		"ragged rows":    "0.1,0.2,0\n0.1,0.2,0.3,1\n",
+		"empty file":     "",
+		"header only":    "a,b,c\n",
+	}
+	for name, in := range cases {
+		if _, _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: no error", name)
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	x := [][]float64{{0.125, -3}, {7, 0.5}}
+	y := []int{1, 0}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, x, y); err != nil {
+		t.Fatal(err)
+	}
+	gotX, gotY, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if gotY[i] != y[i] {
+			t.Fatalf("label %d changed", i)
+		}
+		for j := range x[i] {
+			if gotX[i][j] != x[i][j] {
+				t.Fatalf("value (%d,%d) changed: %v != %v", i, j, gotX[i][j], x[i][j])
+			}
+		}
+	}
+}
+
+func TestWriteCSVMismatch(t *testing.T) {
+	if err := WriteCSV(&bytes.Buffer{}, [][]float64{{1}}, nil); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+}
+
+func TestFromSamples(t *testing.T) {
+	var x [][]float64
+	var y []int
+	for i := 0; i < 20; i++ {
+		x = append(x, []float64{float64(i), float64(i) * 2})
+		y = append(y, i%3)
+	}
+	ds, err := FromSamples("user", x, y, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Classes != 3 || ds.Features != 2 {
+		t.Fatalf("inferred shape k=%d n=%d", ds.Classes, ds.Features)
+	}
+	if len(ds.TestX) != 5 || len(ds.TrainX) != 15 {
+		t.Fatalf("split %d/%d, want 15/5", len(ds.TrainX), len(ds.TestX))
+	}
+	// Zero test fraction → everything trains.
+	all, err := FromSamples("user", x, y, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all.TrainX) != 20 || len(all.TestX) != 0 {
+		t.Fatalf("zero-fraction split %d/%d", len(all.TrainX), len(all.TestX))
+	}
+}
+
+func TestFromSamplesErrors(t *testing.T) {
+	if _, err := FromSamples("u", nil, nil, 0.2); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := FromSamples("u", [][]float64{{1}, {2}}, []int{0, 0}, 0.2); err == nil {
+		t.Fatal("single class accepted")
+	}
+	if _, err := FromSamples("u", [][]float64{{1}, {2, 3}}, []int{0, 1}, 0.2); err == nil {
+		t.Fatal("ragged accepted")
+	}
+	if _, err := FromSamples("u", [][]float64{{1}, {2}}, []int{0, 1}, 1.0); err == nil {
+		t.Fatal("test fraction 1 accepted")
+	}
+}

@@ -1,0 +1,209 @@
+package dataset
+
+import (
+	"testing"
+
+	"prid/internal/hdc"
+	"prid/internal/rng"
+	"prid/internal/vecmath"
+)
+
+func TestSpecsMatchTableI(t *testing.T) {
+	want := map[string][2]int{ // name -> {n, k}
+		"SPEECH":   {617, 26},
+		"MNIST":    {784, 10},
+		"FACE":     {608, 2},
+		"ACTIVITY": {75, 5},
+		"EXTRA":    {225, 4},
+		"UCIHAR":   {561, 12},
+	}
+	if len(Specs()) != len(want) {
+		t.Fatalf("expected %d specs, got %d", len(want), len(Specs()))
+	}
+	for _, s := range Specs() {
+		w, ok := want[s.Name]
+		if !ok {
+			t.Fatalf("unexpected dataset %q", s.Name)
+		}
+		if s.Features != w[0] || s.Classes != w[1] {
+			t.Fatalf("%s: n=%d k=%d, want n=%d k=%d", s.Name, s.Features, s.Classes, w[0], w[1])
+		}
+	}
+}
+
+func TestImageSpecsConsistent(t *testing.T) {
+	for _, s := range Specs() {
+		if s.ImageW > 0 || s.ImageH > 0 {
+			if s.ImageW*s.ImageH != s.Features {
+				t.Fatalf("%s: image %dx%d != %d features", s.Name, s.ImageW, s.ImageH, s.Features)
+			}
+		}
+	}
+}
+
+func TestSpecByNameError(t *testing.T) {
+	if _, err := SpecByName("NOPE"); err == nil {
+		t.Fatal("unknown name accepted")
+	}
+	if _, err := SpecByName("MNIST"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadShapesAndRange(t *testing.T) {
+	for _, name := range Names() {
+		ds, err := Load(name, DefaultConfig())
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(ds.TrainX) == 0 || len(ds.TestX) == 0 {
+			t.Fatalf("%s: empty split", name)
+		}
+		if len(ds.TrainX) != len(ds.TrainY) || len(ds.TestX) != len(ds.TestY) {
+			t.Fatalf("%s: X/Y length mismatch", name)
+		}
+		for _, row := range ds.TrainX {
+			if len(row) != ds.Features {
+				t.Fatalf("%s: row has %d features, want %d", name, len(row), ds.Features)
+			}
+			for _, v := range row {
+				if v < 0 || v > 1 {
+					t.Fatalf("%s: feature %v outside [0,1]", name, v)
+				}
+			}
+		}
+		for _, y := range ds.TrainY {
+			if y < 0 || y >= ds.Classes {
+				t.Fatalf("%s: label %d out of range", name, y)
+			}
+		}
+	}
+}
+
+func TestLoadDeterministic(t *testing.T) {
+	a := MustLoad("MNIST", DefaultConfig())
+	b := MustLoad("MNIST", DefaultConfig())
+	if len(a.TrainX) != len(b.TrainX) {
+		t.Fatal("sizes differ across identical loads")
+	}
+	for i := range a.TrainX {
+		if a.TrainY[i] != b.TrainY[i] || vecmath.MSE(a.TrainX[i], b.TrainX[i]) != 0 {
+			t.Fatalf("sample %d differs across identical loads", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	cfgA := DefaultConfig()
+	cfgB := DefaultConfig()
+	cfgB.Seed = cfgA.Seed + 1
+	a := MustLoad("EXTRA", cfgA)
+	b := MustLoad("EXTRA", cfgB)
+	if vecmath.MSE(a.TrainX[0], b.TrainX[0]) == 0 {
+		t.Fatal("different seeds produced identical first samples")
+	}
+}
+
+func TestClassBalance(t *testing.T) {
+	ds := MustLoad("UCIHAR", DefaultConfig())
+	counts := ds.ClassCounts()
+	lo, hi := counts[0], counts[0]
+	for _, c := range counts {
+		if c < lo {
+			lo = c
+		}
+		if c > hi {
+			hi = c
+		}
+	}
+	if hi-lo > 1 {
+		t.Fatalf("class imbalance: %v", counts)
+	}
+}
+
+func TestSizeOverrides(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TrainSize = 37
+	cfg.TestSize = 13
+	ds := MustLoad("ACTIVITY", cfg)
+	if len(ds.TrainX) != 37 || len(ds.TestX) != 13 {
+		t.Fatalf("sizes %d/%d, want 37/13", len(ds.TrainX), len(ds.TestX))
+	}
+}
+
+// Every synthetic dataset must be learnable by single-pass HDC well above
+// chance — otherwise it cannot play its Table I role.
+func TestDatasetsLearnableByHDC(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			ds := MustLoad(name, DefaultConfig())
+			basis := hdc.NewBasis(ds.Features, 1024, rng.New(7))
+			m := hdc.Train(basis, ds.TrainX, ds.TrainY, ds.Classes)
+			acc := hdc.AccuracyRaw(m, basis, ds.TestX, ds.TestY)
+			chance := 1.0 / float64(ds.Classes)
+			if acc < chance+0.25 {
+				t.Fatalf("%s: HDC accuracy %.3f barely above chance %.3f", name, acc, chance)
+			}
+		})
+	}
+}
+
+func TestGlyphPrototypesDistinct(t *testing.T) {
+	ds := MustLoad("MNIST", DefaultConfig())
+	// Mean train images of any two classes must differ substantially.
+	means := make([][]float64, ds.Classes)
+	counts := make([]int, ds.Classes)
+	for i := range means {
+		means[i] = make([]float64, ds.Features)
+	}
+	for i, x := range ds.TrainX {
+		vecmath.Axpy(1, x, means[ds.TrainY[i]])
+		counts[ds.TrainY[i]]++
+	}
+	for c := range means {
+		vecmath.Scale(1/float64(counts[c]), means[c])
+	}
+	for a := 0; a < ds.Classes; a++ {
+		for b := a + 1; b < ds.Classes; b++ {
+			if vecmath.MSE(means[a], means[b]) < 1e-3 {
+				t.Fatalf("classes %d and %d have nearly identical means", a, b)
+			}
+		}
+	}
+}
+
+func TestFaceClassesSeparate(t *testing.T) {
+	ds := MustLoad("FACE", DefaultConfig())
+	// Within-class mean distance must be smaller than between-class.
+	var within, between vecmath.Welford
+	for i := 0; i < len(ds.TrainX); i++ {
+		for j := i + 1; j < len(ds.TrainX) && j < i+20; j++ {
+			d := vecmath.MSE(ds.TrainX[i], ds.TrainX[j])
+			if ds.TrainY[i] == ds.TrainY[j] {
+				within.Add(d)
+			} else {
+				between.Add(d)
+			}
+		}
+	}
+	if within.Mean() >= between.Mean() {
+		t.Fatalf("FACE within-class distance %v not below between-class %v", within.Mean(), between.Mean())
+	}
+}
+
+func TestSortedNames(t *testing.T) {
+	names := SortedNames()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("names not sorted: %v", names)
+		}
+	}
+}
+
+func BenchmarkLoadMNIST(b *testing.B) {
+	cfg := DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		MustLoad("MNIST", cfg)
+	}
+}

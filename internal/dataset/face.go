@@ -1,0 +1,72 @@
+package dataset
+
+import (
+	"math"
+
+	"prid/internal/rng"
+)
+
+// faceGenerator synthesizes the two-class FACE benchmark: class 0 ("face")
+// renders a smooth face-like composition of Gaussian blobs — head oval, two
+// dark eyes, a mouth bar — on the 32×19 raster; class 1 ("non-face")
+// renders smoothed clutter with matched brightness statistics, so the
+// classifier must use spatial structure rather than mean intensity.
+type faceGenerator struct {
+	spec  Spec
+	noise float64
+}
+
+func newFaceGenerator(spec Spec, noise float64, src *rng.Source) *faceGenerator {
+	_ = src
+	return &faceGenerator{spec: spec, noise: noise}
+}
+
+// blob adds a signed Gaussian bump centered at (cx, cy) with radius r.
+func blob(img []float64, w, h int, cx, cy, r, amp float64) {
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			dx := (float64(x) - cx) / r
+			dy := (float64(y) - cy) / r
+			img[y*w+x] += amp * math.Exp(-(dx*dx + dy*dy))
+		}
+	}
+}
+
+func (g *faceGenerator) sample(class int, src *rng.Source) []float64 {
+	w, h := g.spec.ImageW, g.spec.ImageH
+	img := make([]float64, w*h)
+	switch class {
+	case 0:
+		// Face: head oval brightened, eyes and mouth darkened, all with
+		// positional jitter.
+		cx := float64(w)/2 + src.Gaussian(0, 1)
+		cy := float64(h)/2 + src.Gaussian(0, 0.7)
+		blob(img, w, h, cx, cy, float64(h)*0.55, 0.85)
+		eyeDX := float64(w)*0.18 + src.Gaussian(0, 0.4)
+		eyeY := cy - float64(h)*0.15 + src.Gaussian(0, 0.3)
+		blob(img, w, h, cx-eyeDX, eyeY, 1.6, -0.6)
+		blob(img, w, h, cx+eyeDX, eyeY, 1.6, -0.6)
+		mouthY := cy + float64(h)*0.22 + src.Gaussian(0, 0.3)
+		blob(img, w, h, cx-1.2, mouthY, 1.4, -0.4)
+		blob(img, w, h, cx, mouthY, 1.4, -0.45)
+		blob(img, w, h, cx+1.2, mouthY, 1.4, -0.4)
+	default:
+		// Non-face clutter: several random blobs with brightness matched to
+		// the face class on average.
+		blobs := 4 + src.Intn(4)
+		for i := 0; i < blobs; i++ {
+			blob(img, w, h,
+				src.Uniform(0, float64(w)),
+				src.Uniform(0, float64(h)),
+				src.Uniform(1.5, float64(h)*0.5),
+				src.Uniform(-0.5, 0.8))
+		}
+		for i := range img {
+			img[i] += 0.25
+		}
+	}
+	for i := range img {
+		img[i] += src.Gaussian(0, g.noise*0.4)
+	}
+	return img
+}

@@ -1,0 +1,35 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV hardens the CSV parser: arbitrary text must either parse
+// into a structurally consistent dataset or error — never panic.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("0.1,0.2,0\n0.3,0.4,1\n")
+	f.Add("header,row,label\n1,2,0\n")
+	f.Add("")
+	f.Add(",,,\n")
+	f.Add("1e308,2,-0\n")
+	f.Add("NaN,1,0\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		x, y, err := ReadCSV(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(x) == 0 || len(x) != len(y) {
+			t.Fatalf("accepted inconsistent dataset: %d samples, %d labels", len(x), len(y))
+		}
+		width := len(x[0])
+		for i, row := range x {
+			if len(row) != width {
+				t.Fatalf("accepted ragged rows: row %d has %d features, row 0 has %d", i, len(row), width)
+			}
+			if y[i] < 0 {
+				t.Fatalf("accepted negative label %d", y[i])
+			}
+		}
+	})
+}

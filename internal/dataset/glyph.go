@@ -1,0 +1,177 @@
+package dataset
+
+import (
+	"math"
+
+	"prid/internal/rng"
+)
+
+// glyphFont is a 5×7 bitmap font for the digits 0–9: the class prototypes
+// of the MNIST stand-in. Each glyph is upscaled to the 28×28 raster with
+// bilinear smoothing, then individual samples get sub-pixel translation,
+// per-stroke intensity jitter, and pixel noise — enough variation that
+// reconstruction from the model is a non-trivial attack, while the class
+// shape stays as recognizable as a handwritten digit.
+var glyphFont = [10][7]string{
+	{ // 0
+		".###.",
+		"#...#",
+		"#..##",
+		"#.#.#",
+		"##..#",
+		"#...#",
+		".###.",
+	},
+	{ // 1
+		"..#..",
+		".##..",
+		"..#..",
+		"..#..",
+		"..#..",
+		"..#..",
+		".###.",
+	},
+	{ // 2
+		".###.",
+		"#...#",
+		"....#",
+		"...#.",
+		"..#..",
+		".#...",
+		"#####",
+	},
+	{ // 3
+		".###.",
+		"#...#",
+		"....#",
+		"..##.",
+		"....#",
+		"#...#",
+		".###.",
+	},
+	{ // 4
+		"...#.",
+		"..##.",
+		".#.#.",
+		"#..#.",
+		"#####",
+		"...#.",
+		"...#.",
+	},
+	{ // 5
+		"#####",
+		"#....",
+		"####.",
+		"....#",
+		"....#",
+		"#...#",
+		".###.",
+	},
+	{ // 6
+		".###.",
+		"#....",
+		"#....",
+		"####.",
+		"#...#",
+		"#...#",
+		".###.",
+	},
+	{ // 7
+		"#####",
+		"....#",
+		"...#.",
+		"..#..",
+		"..#..",
+		".#...",
+		".#...",
+	},
+	{ // 8
+		".###.",
+		"#...#",
+		"#...#",
+		".###.",
+		"#...#",
+		"#...#",
+		".###.",
+	},
+	{ // 9
+		".###.",
+		"#...#",
+		"#...#",
+		".####",
+		"....#",
+		"....#",
+		".###.",
+	},
+}
+
+// glyphGenerator renders digit-class samples onto a spec.ImageW×ImageH
+// raster.
+type glyphGenerator struct {
+	spec       Spec
+	noise      float64
+	prototypes [][]float64 // pre-rendered clean rasters per class
+}
+
+func newGlyphGenerator(spec Spec, noise float64, src *rng.Source) *glyphGenerator {
+	g := &glyphGenerator{spec: spec, noise: noise}
+	g.prototypes = make([][]float64, spec.Classes)
+	for c := 0; c < spec.Classes; c++ {
+		g.prototypes[c] = renderGlyph(c%10, spec.ImageW, spec.ImageH, 0, 0)
+	}
+	_ = src
+	return g
+}
+
+// renderGlyph rasterizes digit d onto a w×h canvas with sub-pixel offset
+// (dx, dy), using bilinear sampling of the 5×7 bitmap so edges are soft
+// like antialiased handwriting.
+func renderGlyph(d, w, h int, dx, dy float64) []float64 {
+	const gw, gh = 5, 7
+	img := make([]float64, w*h)
+	// The glyph occupies the central ~70% of the canvas.
+	marginX := 0.15 * float64(w)
+	marginY := 0.15 * float64(h)
+	spanX := float64(w) - 2*marginX
+	spanY := float64(h) - 2*marginY
+	bitmap := glyphFont[d]
+	at := func(gx, gy int) float64 {
+		if gx < 0 || gx >= gw || gy < 0 || gy >= gh {
+			return 0
+		}
+		if bitmap[gy][gx] == '#' {
+			return 1
+		}
+		return 0
+	}
+	for py := 0; py < h; py++ {
+		for px := 0; px < w; px++ {
+			// Map pixel center back into glyph coordinates.
+			gx := (float64(px) + 0.5 - marginX - dx) / spanX * gw
+			gy := (float64(py) + 0.5 - marginY - dy) / spanY * gh
+			gx -= 0.5
+			gy -= 0.5
+			x0, y0 := int(math.Floor(gx)), int(math.Floor(gy))
+			fx, fy := gx-float64(x0), gy-float64(y0)
+			v := at(x0, y0)*(1-fx)*(1-fy) +
+				at(x0+1, y0)*fx*(1-fy) +
+				at(x0, y0+1)*(1-fx)*fy +
+				at(x0+1, y0+1)*fx*fy
+			img[py*w+px] = v
+		}
+	}
+	return img
+}
+
+func (g *glyphGenerator) sample(class int, src *rng.Source) []float64 {
+	w, h := g.spec.ImageW, g.spec.ImageH
+	// Random sub-pixel translation up to ±1.5 px and stroke gain.
+	dx := src.Uniform(-1.5, 1.5)
+	dy := src.Uniform(-1.5, 1.5)
+	img := renderGlyph(class%10, w, h, dx, dy)
+	gain := 1 + src.Gaussian(0, 0.1)
+	for i := range img {
+		img[i] = img[i]*gain + src.Gaussian(0, g.noise*0.5)
+	}
+	return img
+}

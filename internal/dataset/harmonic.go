@@ -1,0 +1,83 @@
+package dataset
+
+import (
+	"math"
+
+	"prid/internal/rng"
+)
+
+// harmonicGenerator synthesizes the non-image sensor/speech datasets. Each
+// class prototype is a mixture of low-frequency sinusoids over the feature
+// index — mimicking the smooth, band-limited structure of spectral and
+// inertial features — plus a class-specific offset pattern. Samples are the
+// prototype with amplitude/phase jitter and smoothed additive noise, so
+// neighboring features stay correlated the way real sensor channels are.
+type harmonicGenerator struct {
+	spec       Spec
+	noise      float64
+	prototypes [][]float64
+}
+
+func newHarmonicGenerator(spec Spec, noise float64, src *rng.Source) *harmonicGenerator {
+	g := &harmonicGenerator{spec: spec, noise: noise}
+	g.prototypes = make([][]float64, spec.Classes)
+	for c := range g.prototypes {
+		g.prototypes[c] = harmonicPrototype(spec.Features, src)
+	}
+	return g
+}
+
+// harmonicPrototype draws a smooth [0,1] curve from a random sinusoid
+// mixture.
+func harmonicPrototype(n int, src *rng.Source) []float64 {
+	const terms = 6
+	amps := make([]float64, terms)
+	freqs := make([]float64, terms)
+	phases := make([]float64, terms)
+	for t := 0; t < terms; t++ {
+		amps[t] = src.Uniform(0.2, 1) / float64(t+1)
+		freqs[t] = src.Uniform(0.5, 8)
+		phases[t] = src.Uniform(0, 2*math.Pi)
+	}
+	proto := make([]float64, n)
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for i := range proto {
+		x := float64(i) / float64(n)
+		var v float64
+		for t := 0; t < terms; t++ {
+			v += amps[t] * math.Sin(2*math.Pi*freqs[t]*x+phases[t])
+		}
+		proto[i] = v
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	// Normalize to [0.1, 0.9] so jitter rarely clips.
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	for i, v := range proto {
+		proto[i] = 0.1 + 0.8*(v-lo)/span
+	}
+	return proto
+}
+
+func (g *harmonicGenerator) sample(class int, src *rng.Source) []float64 {
+	proto := g.prototypes[class]
+	n := len(proto)
+	out := make([]float64, n)
+	gain := 1 + src.Gaussian(0, 0.05)
+	// Smoothed noise: a 5-tap moving average of white noise keeps adjacent
+	// features correlated.
+	raw := make([]float64, n+4)
+	src.FillNorm(raw)
+	for i := 0; i < n; i++ {
+		smooth := (raw[i] + raw[i+1] + raw[i+2] + raw[i+3] + raw[i+4]) / 5
+		out[i] = proto[i]*gain + g.noise*smooth
+	}
+	return out
+}

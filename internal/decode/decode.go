@@ -1,0 +1,204 @@
+// Package decode inverts the HDC encoding: it recovers feature-space
+// vectors from hypervectors, which is the capability the whole PRID attack
+// rests on (paper Section III-A). Three decoders are provided:
+//
+//   - Analytical: f_k ≈ (B_k · H) / D, exploiting near-orthogonality of the
+//     random basis. One pass, noisy (cross-talk between bases).
+//   - IterativeAnalytical: the paper's error-feedback refinement — re-encode
+//     the estimate, decode the residual, and correct with step λ until the
+//     estimate stabilizes.
+//   - LeastSquares: the paper's "learning-based" decoder in closed form.
+//     Encoding is H = Bᵀf (B stacks base hypervectors as rows), so decoding
+//     is linear regression; we solve the ridge normal equations
+//     (B·Bᵀ + αI) f = B·H with a cached Cholesky factorization.
+//   - SGD: the same regression solved the way the paper describes it — a
+//     single-layer network whose trained weights are the decoded features.
+//
+// All decoders implement Decoder, so the attack and defense layers are
+// agnostic to which one is in use.
+package decode
+
+import (
+	"fmt"
+	"math"
+
+	"prid/internal/hdc"
+	"prid/internal/nn"
+	"prid/internal/rng"
+	"prid/internal/vecmath"
+)
+
+// Decoder recovers an n-feature vector from a D-dimensional hypervector.
+type Decoder interface {
+	// Decode returns the feature-space estimate of h.
+	Decode(h []float64) []float64
+	// Name identifies the decoder in experiment reports.
+	Name() string
+}
+
+// Analytical is the one-shot analytical decoder f_k = (B_k · H)/D.
+type Analytical struct {
+	Basis *hdc.Basis
+}
+
+// Name implements Decoder.
+func (a Analytical) Name() string { return "analytical" }
+
+// Decode implements Decoder.
+func (a Analytical) Decode(h []float64) []float64 {
+	b := a.Basis
+	if len(h) != b.Dim() {
+		panic(fmt.Sprintf("decode: Analytical.Decode length %d, want %d", len(h), b.Dim()))
+	}
+	f := b.Matrix().MulVec(h)
+	vecmath.Scale(1/float64(b.Dim()), f)
+	return f
+}
+
+// IterativeAnalytical refines the analytical estimate by error feedback:
+//
+//	F⁰   = decode(H)
+//	Eᵗ   = decode(H − encode(Fᵗ))
+//	Fᵗ⁺¹ = Fᵗ + λ·Eᵗ
+//
+// Each round removes part of the cross-talk the one-shot decoder leaves
+// behind; λ < 1 keeps the fixed-point iteration contractive.
+type IterativeAnalytical struct {
+	Basis      *hdc.Basis
+	Iterations int     // refinement rounds after the initial estimate
+	Lambda     float64 // correction step, 0 < λ ≤ 1
+}
+
+// NewIterativeAnalytical returns the paper's iterative decoder with 10
+// refinement rounds and a step chosen for guaranteed contraction: the
+// iteration matrix is I − λ·(B·Bᵀ)/D, whose largest eigenvalue for a
+// random ±1 basis approaches the Marchenko–Pastur edge (1 + √(n/D))², so
+// any λ below 2/(1+√(n/D))² converges; we take half that bound. For
+// n ≪ D this is ≈ 1 (fast), and it stays stable even at n ≈ D where the
+// paper's "small constant λ" would otherwise diverge.
+func NewIterativeAnalytical(b *hdc.Basis) IterativeAnalytical {
+	edge := 1 + math.Sqrt(float64(b.Features())/float64(b.Dim()))
+	return IterativeAnalytical{Basis: b, Iterations: 10, Lambda: 1 / (edge * edge)}
+}
+
+// Name implements Decoder.
+func (it IterativeAnalytical) Name() string { return "iterative-analytical" }
+
+// Decode implements Decoder.
+func (it IterativeAnalytical) Decode(h []float64) []float64 {
+	if it.Iterations < 0 || it.Lambda <= 0 {
+		panic("decode: IterativeAnalytical misconfigured")
+	}
+	one := Analytical{Basis: it.Basis}
+	f := one.Decode(h)
+	reencoded := make([]float64, it.Basis.Dim())
+	residual := make([]float64, it.Basis.Dim())
+	for t := 0; t < it.Iterations; t++ {
+		it.Basis.EncodeInto(reencoded, f)
+		vecmath.SubInto(residual, h, reencoded)
+		e := one.Decode(residual)
+		vecmath.Axpy(it.Lambda, e, f)
+	}
+	return f
+}
+
+// LeastSquares is the closed-form learning-based decoder. Construction
+// factors the n×n ridge Gram matrix once; Decode then costs one n×D
+// mat-vec plus two triangular solves, so decoding many hypervectors
+// against one basis (the common case: every class of every model, every
+// attack iteration) amortizes the factorization.
+type LeastSquares struct {
+	basis *hdc.Basis
+	chol  *vecmath.Cholesky
+	ridge float64
+}
+
+// NewLeastSquares factors (B·Bᵀ + ridge·I). A small positive ridge keeps
+// the system well conditioned when n approaches D; ridge 0 is exact
+// ordinary least squares and is valid whenever the bases are linearly
+// independent (essentially always for n < D).
+func NewLeastSquares(b *hdc.Basis, ridge float64) (*LeastSquares, error) {
+	if ridge < 0 {
+		return nil, fmt.Errorf("decode: negative ridge %v", ridge)
+	}
+	gram := b.Matrix().Gram()
+	if ridge > 0 {
+		gram.AddDiagonal(ridge)
+	}
+	chol, err := vecmath.NewCholesky(gram)
+	if err != nil {
+		return nil, fmt.Errorf("decode: factoring ridge Gram matrix: %w", err)
+	}
+	return &LeastSquares{basis: b, chol: chol, ridge: ridge}, nil
+}
+
+// Name implements Decoder.
+func (ls *LeastSquares) Name() string { return "learning-ls" }
+
+// Decode implements Decoder.
+func (ls *LeastSquares) Decode(h []float64) []float64 {
+	if len(h) != ls.basis.Dim() {
+		panic(fmt.Sprintf("decode: LeastSquares.Decode length %d, want %d", len(h), ls.basis.Dim()))
+	}
+	rhs := ls.basis.Matrix().MulVec(h) // B·H, length n
+	return ls.chol.Solve(rhs)
+}
+
+// SGD is the learning-based decoder exactly as the paper describes it: a
+// linear regression trained by stochastic gradient descent, where each
+// hypervector dimension j is a training sample with input
+// (B_1j, ..., B_nj) and target h_j, and the trained weights are the decoded
+// features. It converges to the LeastSquares solution (the problem is
+// convex); it exists so the reproduction can report both routes and so the
+// decoder works without an O(n²D) Gram pass when only one vector needs
+// decoding.
+type SGD struct {
+	Basis  *hdc.Basis
+	Config nn.RegressionConfig
+}
+
+// NewSGD returns an SGD decoder with defaults tuned for ±1 inputs: the
+// per-dimension gradient scale is n, so the step size shrinks with n.
+func NewSGD(b *hdc.Basis) SGD {
+	cfg := nn.DefaultRegressionConfig()
+	cfg.LearningRate = 0.5 / float64(b.Features())
+	cfg.Epochs = 20
+	return SGD{Basis: b, Config: cfg}
+}
+
+// Name implements Decoder.
+func (s SGD) Name() string { return "learning-sgd" }
+
+// Decode implements Decoder.
+func (s SGD) Decode(h []float64) []float64 {
+	b := s.Basis
+	if len(h) != b.Dim() {
+		panic(fmt.Sprintf("decode: SGD.Decode length %d, want %d", len(h), b.Dim()))
+	}
+	n, d := b.Features(), b.Dim()
+	// Column-major view of the basis: sample j is the j-th element of every
+	// base hypervector.
+	xs := make([][]float64, d)
+	ys := make([][]float64, d)
+	for j := 0; j < d; j++ {
+		col := make([]float64, n)
+		for k := 0; k < n; k++ {
+			col[k] = b.Row(k)[j]
+		}
+		xs[j] = col
+		ys[j] = []float64{h[j]}
+	}
+	net := buildRegressionNet(n)
+	nn.FitRegression(net, xs, ys, s.Config)
+	dense := net.Layers[0].(*nn.Dense)
+	return vecmath.Clone(dense.W.Row(0))
+}
+
+// buildRegressionNet builds the single-layer regression network whose
+// weight row is the decoded feature vector. Weights start at zero (not
+// random) so the recovered features carry no initialization noise.
+func buildRegressionNet(n int) *nn.Network {
+	d := nn.NewDense(n, 1, rng.New(0))
+	vecmath.Zero(d.W.Data)
+	return nn.NewNetwork(d)
+}

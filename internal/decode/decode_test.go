@@ -1,0 +1,290 @@
+package decode
+
+import (
+	"math"
+	"testing"
+
+	"prid/internal/hdc"
+	"prid/internal/rng"
+	"prid/internal/vecmath"
+)
+
+// setup builds a basis and one encoded sample for decoder tests.
+func setup(n, d int, seed uint64) (*hdc.Basis, []float64, []float64) {
+	src := rng.New(seed)
+	b := hdc.NewBasis(n, d, src)
+	f := make([]float64, n)
+	src.FillUniform(f, 0, 1)
+	return b, f, b.Encode(f)
+}
+
+func TestAnalyticalRecoversApproximately(t *testing.T) {
+	b, f, h := setup(16, 8192, 1)
+	got := Analytical{Basis: b}.Decode(h)
+	for k := range f {
+		if math.Abs(got[k]-f[k]) > 0.1 {
+			t.Fatalf("feature %d: got %v want %v", k, got[k], f[k])
+		}
+	}
+}
+
+func TestIterativeBeatsOneShot(t *testing.T) {
+	// Iterative error feedback must reduce decoding MSE relative to the
+	// one-shot analytical decode on the same sample.
+	b, f, h := setup(64, 1024, 2)
+	oneShot := Analytical{Basis: b}.Decode(h)
+	iterative := NewIterativeAnalytical(b).Decode(h)
+	mse1 := vecmath.MSE(f, oneShot)
+	mseIter := vecmath.MSE(f, iterative)
+	if mseIter >= mse1 {
+		t.Fatalf("iterative MSE %g not better than one-shot %g", mseIter, mse1)
+	}
+}
+
+func TestLeastSquaresExactOnCleanData(t *testing.T) {
+	// With no noise and n < D, ordinary least squares inverts the encoding
+	// exactly (up to floating point).
+	b, f, h := setup(32, 512, 3)
+	ls, err := NewLeastSquares(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ls.Decode(h)
+	if mse := vecmath.MSE(f, got); mse > 1e-18 {
+		t.Fatalf("LS decode MSE %g on clean data, want ~0", mse)
+	}
+}
+
+func TestLearningBeatsAnalyticalUnderNoise(t *testing.T) {
+	// The paper's Figure 1 result: with 20% Gaussian noise on the encoding,
+	// the learning-based decoder achieves markedly higher PSNR than the
+	// analytical one.
+	b, f, h := setup(64, 2048, 4)
+	src := rng.New(99)
+	AddGaussianNoise(h, 0.2, src)
+	ls, err := NewLeastSquares(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	analytical := Analytical{Basis: b}.Decode(h)
+	learned := ls.Decode(h)
+	pa := vecmath.PSNR(f, analytical)
+	pl := vecmath.PSNR(f, learned)
+	if pl <= pa {
+		t.Fatalf("learning PSNR %v not above analytical %v", pl, pa)
+	}
+}
+
+func TestSGDMatchesLeastSquares(t *testing.T) {
+	// The SGD decoder solves the same convex regression; its estimate must
+	// land close to the closed-form solution.
+	b, f, h := setup(12, 512, 5)
+	ls, err := NewLeastSquares(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := ls.Decode(h)
+	sgd := NewSGD(b).Decode(h)
+	if mse := vecmath.MSE(exact, sgd); mse > 1e-3 {
+		t.Fatalf("SGD decode MSE %g from LS solution", mse)
+	}
+	if mse := vecmath.MSE(f, sgd); mse > 1e-3 {
+		t.Fatalf("SGD decode MSE %g from truth", mse)
+	}
+}
+
+func TestRidgeShrinksSolution(t *testing.T) {
+	b, _, h := setup(16, 256, 6)
+	ls0, err := NewLeastSquares(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lsBig, err := NewLeastSquares(b, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n0 := vecmath.Norm2(ls0.Decode(h))
+	nBig := vecmath.Norm2(lsBig.Decode(h))
+	if nBig >= n0 {
+		t.Fatalf("ridge did not shrink: %v >= %v", nBig, n0)
+	}
+}
+
+func TestNewLeastSquaresRejectsNegativeRidge(t *testing.T) {
+	b, _, _ := setup(4, 64, 7)
+	if _, err := NewLeastSquares(b, -1); err == nil {
+		t.Fatal("negative ridge accepted")
+	}
+}
+
+func TestDecoderNames(t *testing.T) {
+	b, _, _ := setup(4, 64, 8)
+	ls, _ := NewLeastSquares(b, 0)
+	names := map[string]bool{}
+	for _, d := range []Decoder{Analytical{Basis: b}, NewIterativeAnalytical(b), ls, NewSGD(b)} {
+		if d.Name() == "" {
+			t.Fatal("empty decoder name")
+		}
+		if names[d.Name()] {
+			t.Fatalf("duplicate decoder name %q", d.Name())
+		}
+		names[d.Name()] = true
+	}
+}
+
+func TestClassesRecoverMeanTrainSample(t *testing.T) {
+	// Decoding a bundled class and normalizing by count must recover the
+	// mean of the class's train features (exactly, for the LS decoder).
+	src := rng.New(9)
+	const n, d, per = 10, 256, 7
+	b := hdc.NewBasis(n, d, src)
+	var x [][]float64
+	var y []int
+	mean := make([]float64, n)
+	for i := 0; i < per; i++ {
+		f := make([]float64, n)
+		src.FillUniform(f, 0, 1)
+		x = append(x, f)
+		y = append(y, 0)
+		vecmath.Axpy(1.0/per, f, mean)
+	}
+	m := hdc.Train(b, x, y, 1)
+	ls, err := NewLeastSquares(b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	decoded := Classes(ls, m, true)
+	if mse := vecmath.MSE(decoded[0], mean); mse > 1e-18 {
+		t.Fatalf("decoded class MSE %g from class mean", mse)
+	}
+	// Without normalization the decoded class is the feature *sum*.
+	raw := Classes(ls, m, false)
+	scaled := vecmath.Clone(mean)
+	vecmath.Scale(per, scaled)
+	if mse := vecmath.MSE(raw[0], scaled); mse > 1e-15 {
+		t.Fatalf("unnormalized decoded class MSE %g from feature sum", mse)
+	}
+}
+
+func TestAddGaussianNoise(t *testing.T) {
+	src := rng.New(10)
+	h := make([]float64, 4096)
+	vecmath.Fill(h, 2)
+	sigma := AddGaussianNoise(h, 0.5, src)
+	if math.Abs(sigma-1) > 1e-12 { // RMS of the constant-2 signal is 2; 0.5×2 = 1
+		t.Fatalf("sigma = %v, want 1", sigma)
+	}
+	var w vecmath.Welford
+	for _, v := range h {
+		w.Add(v)
+	}
+	if math.Abs(w.Mean()-2) > 0.1 {
+		t.Fatalf("noisy mean %v drifted from 2", w.Mean())
+	}
+	if math.Abs(w.StdDev()-1) > 0.1 {
+		t.Fatalf("noisy stddev %v, want ~1", w.StdDev())
+	}
+	if got := AddGaussianNoise(h, 0, src); got != 0 {
+		t.Fatal("zero fraction should add nothing")
+	}
+}
+
+func TestAddGaussianNoisePanicsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative fraction did not panic")
+		}
+	}()
+	AddGaussianNoise([]float64{1}, -0.1, rng.New(1))
+}
+
+func TestDecodePanicsOnWrongLength(t *testing.T) {
+	b, _, _ := setup(4, 64, 11)
+	ls, _ := NewLeastSquares(b, 0)
+	for _, d := range []Decoder{Analytical{Basis: b}, ls, NewSGD(b)} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s accepted wrong-length input", d.Name())
+				}
+			}()
+			d.Decode(make([]float64, 3))
+		}()
+	}
+}
+
+func BenchmarkAnalyticalDecode256x2048(b *testing.B) {
+	basis, _, h := setup(256, 2048, 1)
+	dec := Analytical{Basis: basis}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dec.Decode(h)
+	}
+}
+
+func BenchmarkLeastSquaresDecode256x2048(b *testing.B) {
+	basis, _, h := setup(256, 2048, 1)
+	ls, err := NewLeastSquares(basis, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ls.Decode(h)
+	}
+}
+
+func BenchmarkLeastSquaresSetup256x2048(b *testing.B) {
+	basis, _, _ := setup(256, 2048, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewLeastSquares(basis, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestLevelDecoderInvertsRecordEncoding(t *testing.T) {
+	// The record encoding defeats the *linear* decoders, but correlation
+	// decoding recovers it to within the encoder's own quantization — the
+	// encoder-swap "defense" fails against an attacker who has the encoder.
+	src := rng.New(60)
+	const n, d, q = 24, 4096, 16
+	enc := hdc.NewLevelEncoder(n, d, q, 0, 1, src)
+	f := make([]float64, n)
+	src.FillUniform(f, 0, 1)
+	h := enc.Encode(f)
+	got := Level{Encoder: enc}.Decode(h)
+	binWidth := 1.0 / q
+	for i := range f {
+		if diff := math.Abs(got[i] - f[i]); diff > binWidth {
+			t.Fatalf("feature %d: recovered %.3f vs true %.3f (more than one bin off)", i, got[i], f[i])
+		}
+	}
+	// And it must beat the linear LS decoder on the same encoding by a
+	// wide margin.
+	basis := hdc.NewBasis(n, d, rng.New(61))
+	ls, err := NewLeastSquares(basis, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	linear := ls.Decode(h)
+	if vecmath.PSNR(f, got) < vecmath.PSNR(f, linear)+10 {
+		t.Fatalf("correlation decode %.1f dB not well above linear %.1f dB on record encoding",
+			vecmath.PSNR(f, got), vecmath.PSNR(f, linear))
+	}
+}
+
+func TestLevelDecoderName(t *testing.T) {
+	enc := hdc.NewLevelEncoder(2, 64, 4, 0, 1, rng.New(62))
+	l := Level{Encoder: enc}
+	if l.Name() == "" {
+		t.Fatal("empty name")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong length accepted")
+		}
+	}()
+	l.Decode(make([]float64, 3))
+}

@@ -1,0 +1,53 @@
+package decode
+
+import (
+	"fmt"
+
+	"prid/internal/hdc"
+	"prid/internal/vecmath"
+)
+
+// Level inverts the record-based (ID–level) encoding — demonstrating that
+// switching encoders is *not* a privacy defense either. The record
+// encoding H = Σ_i ID_i ⊙ L_{q(f_i)} is nonlinear in the feature values,
+// so the linear decoders fail on it (the encoder ablation shows −dB
+// PSNR); but an attacker holding the encoder can still invert it by
+// correlation: for feature i, every candidate level q scores
+//
+//	s_q = ⟨H, ID_i ⊙ L_q⟩ ≈ D·[q = q(f_i)] + cross-talk,
+//
+// so argmax_q s_q recovers the quantized feature. The recovered value is
+// the level's bin midpoint — exact up to the encoder's own quantization.
+type Level struct {
+	Encoder *hdc.LevelEncoder
+}
+
+// Name implements Decoder.
+func (l Level) Name() string { return "level-correlation" }
+
+// Decode implements Decoder: it returns the bin-midpoint estimate of each
+// feature.
+func (l Level) Decode(h []float64) []float64 {
+	e := l.Encoder
+	if len(h) != e.Dim() {
+		panic(fmt.Sprintf("decode: Level.Decode length %d, want %d", len(h), e.Dim()))
+	}
+	n := e.Features()
+	out := make([]float64, n)
+	bound := make([]float64, e.Dim())
+	for i := 0; i < n; i++ {
+		id := e.ID(i)
+		best, bestScore := 0, 0.0
+		for q := 0; q <= e.Quantization(); q++ {
+			lvl := e.Level(q)
+			for j := range bound {
+				bound[j] = id[j] * lvl[j]
+			}
+			if s := vecmath.Dot(h, bound); q == 0 || s > bestScore {
+				best, bestScore = q, s
+			}
+		}
+		out[i] = e.LevelMidpoint(best)
+	}
+	return out
+}

@@ -1,0 +1,54 @@
+package decode
+
+import (
+	"math"
+
+	"prid/internal/hdc"
+	"prid/internal/rng"
+	"prid/internal/vecmath"
+)
+
+// Classes decodes every class hypervector of m back to feature space. A
+// class hypervector is the (retrained) sum of its training encodings, and
+// encoding is linear, so decoding a class recovers the *sum* of the train
+// features of that class; when normalize is true each decoded class is
+// divided by its bundle count, yielding the per-class mean train sample —
+// the "general shape of the train data" the paper shows (e.g. the shape of
+// the zero digit on MNIST).
+//
+// Classes with a zero bundle count (possible for models built directly via
+// SetClass) are left unscaled.
+func Classes(dec Decoder, m *hdc.Model, normalize bool) [][]float64 {
+	out := make([][]float64, m.NumClasses())
+	for l := 0; l < m.NumClasses(); l++ {
+		f := dec.Decode(m.Class(l))
+		if normalize && m.Count(l) > 0 {
+			vecmath.Scale(1/float64(m.Count(l)), f)
+		}
+		out[l] = f
+	}
+	return out
+}
+
+// AddGaussianNoise adds zero-mean Gaussian noise to h whose standard
+// deviation is fraction × the RMS magnitude of h, in place. This is the
+// "p% Gaussian noise" protocol of the paper's Figure 1 (PRIVE-HD-style
+// noise on the encoded sample): fraction 0.2 reproduces the 20% setting.
+// It returns the noise standard deviation used.
+func AddGaussianNoise(h []float64, fraction float64, src *rng.Source) float64 {
+	if fraction < 0 {
+		panic("decode: negative noise fraction")
+	}
+	if fraction == 0 || len(h) == 0 {
+		return 0
+	}
+	var energy float64
+	for _, v := range h {
+		energy += v * v
+	}
+	sigma := fraction * math.Sqrt(energy/float64(len(h)))
+	for i := range h {
+		h[i] += src.Gaussian(0, sigma)
+	}
+	return sigma
+}

@@ -1,0 +1,378 @@
+// Package defense implements PRID's two privacy-preserving mechanisms
+// (paper Section IV) and their hybrid (Section V-E):
+//
+//   - Iterative intelligent noise injection: decode the model to feature
+//     space, find the *insignificant* features (lowest variance across the
+//     decoded classes — they store common, class-independent information),
+//     replace them with noise drawn from the distribution of the remaining
+//     features, rebuild the model, and retrain (Equation 2) to recover the
+//     accuracy the noise cost. Repeat until accuracy stabilizes.
+//   - Iterative model quantization: keep a full-precision shadow model and
+//     an n-bit quantized model; classify training data with the quantized
+//     model, apply Equation-2 updates to the shadow on every misprediction,
+//     and refresh the quantized model from the shadow each pass. The
+//     shared/deployed artifact is the quantized model, whose reduced
+//     precision starves the decoders.
+//   - Hybrid: noise-inject the shadow each round of quantized training —
+//     the paper's strongest privacy/accuracy trade-off (Table II).
+//
+// All loops run on pre-encoded training data: the experiments encode once
+// and defend many model variants.
+package defense
+
+import (
+	"fmt"
+
+	"prid/internal/decode"
+	"prid/internal/hdc"
+	"prid/internal/quant"
+	"prid/internal/rng"
+	"prid/internal/vecmath"
+)
+
+// Round records one defense iteration for the convergence figures (5, 9,
+// 10).
+type Round struct {
+	// Round is the 1-based iteration index.
+	Round int
+	// AccuracyBefore is the training accuracy immediately after the
+	// privacy mutation (noise injection and/or quantization refresh),
+	// before any retraining in this round.
+	AccuracyBefore float64
+	// AccuracyAfter is the training accuracy after the round's Equation-2
+	// retraining.
+	AccuracyAfter float64
+}
+
+// Result is the outcome of a defense run.
+type Result struct {
+	// Model is the artifact to share and run inference with (the quantized
+	// model for the quantization and hybrid defenses). It is the
+	// best-scoring round's model, not necessarily the last round's: the
+	// privacy mutations are stochastic, and the paper's "iterate until the
+	// accuracy stabilizes" criterion implies keeping a converged-quality
+	// state rather than whatever the final injection left behind.
+	Model *hdc.Model
+	// Shadow is the full-precision companion model kept by the quantization
+	// and hybrid defenses; nil for pure noise injection.
+	Shadow *hdc.Model
+	// History holds per-round accuracy, in order.
+	History []Round
+}
+
+// bestTracker keeps the best model seen across rounds.
+type bestTracker struct {
+	acc   float64
+	model *hdc.Model
+}
+
+func (b *bestTracker) observe(m *hdc.Model, acc float64) {
+	if b.model == nil || acc > b.acc {
+		b.acc = acc
+		b.model = m.Clone()
+	}
+}
+
+// Stabilizer detects accuracy convergence: Done reports true once the
+// last Window accuracies all sit within Tol of each other.
+type Stabilizer struct {
+	Window int
+	Tol    float64
+	accs   []float64
+}
+
+// Add records a round's accuracy.
+func (s *Stabilizer) Add(acc float64) { s.accs = append(s.accs, acc) }
+
+// Done reports whether the accuracy has stabilized.
+func (s *Stabilizer) Done() bool {
+	if s.Window < 1 || len(s.accs) < s.Window {
+		return false
+	}
+	tail := s.accs[len(s.accs)-s.Window:]
+	lo, hi := vecmath.MinMax(tail)
+	return hi-lo <= s.Tol
+}
+
+// NoiseConfig controls NoiseInjection.
+type NoiseConfig struct {
+	// Fraction of decoded model features (those with the lowest
+	// across-class variance) randomized each round, in [0, 1].
+	Fraction float64
+	// Rounds bounds the noise → retrain iterations.
+	Rounds int
+	// RetrainEpochs is the number of Equation-2 passes after each
+	// injection; 0 disables retraining (the paper's "without retraining"
+	// ablation in Figure 9).
+	RetrainEpochs int
+	// LearningRate is α in Equation 2.
+	LearningRate float64
+	// StabilizeWindow/StabilizeTol stop the loop early once accuracy is
+	// stable; a zero window disables early stopping.
+	StabilizeWindow int
+	StabilizeTol    float64
+	// Seed drives the injected noise.
+	Seed uint64
+}
+
+// DefaultNoiseConfig matches the paper's protocol at quick scale.
+func DefaultNoiseConfig(fraction float64) NoiseConfig {
+	return NoiseConfig{
+		Fraction:        fraction,
+		Rounds:          6,
+		RetrainEpochs:   5,
+		LearningRate:    0.2,
+		StabilizeWindow: 3,
+		StabilizeTol:    0.005,
+		Seed:            0x5eed,
+	}
+}
+
+func (c NoiseConfig) validate() {
+	if c.Fraction < 0 || c.Fraction > 1 {
+		panic(fmt.Sprintf("defense: noise fraction %v outside [0,1]", c.Fraction))
+	}
+	if c.Rounds < 1 {
+		panic(fmt.Sprintf("defense: rounds %d < 1", c.Rounds))
+	}
+	if c.RetrainEpochs < 0 {
+		panic(fmt.Sprintf("defense: retrain epochs %d < 0", c.RetrainEpochs))
+	}
+}
+
+// NoiseInjection runs the Section IV-A defense against model (which is not
+// mutated) and returns the defended copy. basis and dec must match the
+// model; encoded/y are the training set, already encoded with basis.
+func NoiseInjection(basis *hdc.Basis, model *hdc.Model, dec decode.Decoder,
+	encoded [][]float64, y []int, cfg NoiseConfig) *Result {
+	cfg.validate()
+	src := rng.New(cfg.Seed)
+	defended := model.Clone()
+	res := &Result{}
+	stab := Stabilizer{Window: cfg.StabilizeWindow, Tol: cfg.StabilizeTol}
+	var best bestTracker
+	for round := 1; round <= cfg.Rounds; round++ {
+		injectNoise(basis, defended, dec, cfg.Fraction, src)
+		before := hdc.Accuracy(defended, encoded, y)
+		for e := 0; e < cfg.RetrainEpochs; e++ {
+			if hdc.RetrainEpoch(defended, encoded, y, cfg.LearningRate) == 0 {
+				break
+			}
+		}
+		after := hdc.Accuracy(defended, encoded, y)
+		best.observe(defended, after)
+		res.History = append(res.History, Round{Round: round, AccuracyBefore: before, AccuracyAfter: after})
+		stab.Add(after)
+		if stab.Done() {
+			break
+		}
+	}
+	res.Model = best.model
+	return res
+}
+
+// injectNoise performs one Section IV-A mutation: decode every class,
+// randomize the lowest-variance fraction of feature positions, and rebuild
+// the class hypervectors from the noised features.
+func injectNoise(basis *hdc.Basis, m *hdc.Model, dec decode.Decoder, fraction float64, src *rng.Source) {
+	if fraction == 0 {
+		return
+	}
+	k := m.NumClasses()
+	n := basis.Features()
+	decoded := decode.Classes(dec, m, true)
+	// Across-class variance per feature position: low variance ⇒ the
+	// feature stores class-independent (common) information ⇒ insignificant
+	// for classification but useful to an attacker's decoder.
+	variance := make([]float64, n)
+	column := make([]float64, k)
+	for i := 0; i < n; i++ {
+		for l := 0; l < k; l++ {
+			column[l] = decoded[l][i]
+		}
+		variance[i] = vecmath.Variance(column)
+	}
+	count := int(fraction * float64(n))
+	if count > n {
+		count = n
+	}
+	// Lowest-variance positions: TopK of the negated variances.
+	neg := make([]float64, n)
+	for i, v := range variance {
+		neg[i] = -v
+	}
+	targets := vecmath.TopK(neg, count)
+	for l := 0; l < k; l++ {
+		feats := decoded[l]
+		// Noise matches the distribution of the surviving (significant)
+		// features of this class, per the paper.
+		mean, std := survivingStats(feats, targets)
+		for _, i := range targets {
+			feats[i] = src.Gaussian(mean, std)
+		}
+		rebuilt := basis.Encode(feats)
+		if c := m.Count(l); c > 0 {
+			vecmath.Scale(float64(c), rebuilt) // restore accumulated-class scale
+		}
+		m.SetClass(l, rebuilt)
+	}
+}
+
+// survivingStats returns the mean and standard deviation of the features
+// of feats that are not in the randomized target set.
+func survivingStats(feats []float64, targets []int) (mean, std float64) {
+	targeted := make([]bool, len(feats))
+	for _, i := range targets {
+		targeted[i] = true
+	}
+	var w vecmath.Welford
+	for i, v := range feats {
+		if !targeted[i] {
+			w.Add(v)
+		}
+	}
+	if w.Count() == 0 {
+		// Everything was randomized; fall back to the full-feature stats.
+		for _, v := range feats {
+			w.Add(v)
+		}
+	}
+	return w.Mean(), w.StdDev()
+}
+
+// QuantConfig controls IterativeQuantization and the quantized half of
+// Hybrid.
+type QuantConfig struct {
+	// Bits is the precision of the shared model.
+	Bits int
+	// Rounds bounds the quantize → adjust iterations.
+	Rounds int
+	// LearningRate is α in Equation 2 (applied to the full-precision
+	// shadow).
+	LearningRate float64
+	// StabilizeWindow/StabilizeTol stop early on converged accuracy.
+	StabilizeWindow int
+	StabilizeTol    float64
+}
+
+// DefaultQuantConfig matches the paper's protocol at quick scale.
+func DefaultQuantConfig(bits int) QuantConfig {
+	return QuantConfig{
+		Bits:            bits,
+		Rounds:          8,
+		LearningRate:    0.1,
+		StabilizeWindow: 3,
+		StabilizeTol:    0.005,
+	}
+}
+
+func (c QuantConfig) validate() {
+	if c.Bits < 1 {
+		panic(fmt.Sprintf("defense: bits %d < 1", c.Bits))
+	}
+	if c.Rounds < 1 {
+		panic(fmt.Sprintf("defense: rounds %d < 1", c.Rounds))
+	}
+}
+
+// IterativeQuantization runs the Section IV-B defense: the returned Model
+// is the quantized artifact, Shadow the full-precision companion. model is
+// not mutated.
+func IterativeQuantization(model *hdc.Model, encoded [][]float64, y []int, cfg QuantConfig) *Result {
+	cfg.validate()
+	shadow := model.Clone()
+	quantized := quant.Model(shadow, cfg.Bits)
+	res := &Result{Shadow: shadow}
+	stab := Stabilizer{Window: cfg.StabilizeWindow, Tol: cfg.StabilizeTol}
+	var best bestTracker
+	best.observe(quantized, hdc.Accuracy(quantized, encoded, y))
+	for round := 1; round <= cfg.Rounds; round++ {
+		before := hdc.Accuracy(quantized, encoded, y)
+		// Model adjustment: classify with the quantized model, update the
+		// full-precision shadow on mispredictions (updating the quantized
+		// model directly would diverge — it lacks the precision to absorb
+		// small corrections).
+		for i, h := range encoded {
+			pred, _ := quantized.Classify(h)
+			if pred != y[i] {
+				shadow.Update(h, y[i], pred, cfg.LearningRate)
+			}
+		}
+		quant.ModelInto(quantized, shadow, cfg.Bits)
+		after := hdc.Accuracy(quantized, encoded, y)
+		best.observe(quantized, after)
+		res.History = append(res.History, Round{Round: round, AccuracyBefore: before, AccuracyAfter: after})
+		stab.Add(after)
+		if stab.Done() {
+			break
+		}
+	}
+	res.Model = best.model
+	return res
+}
+
+// HybridConfig combines both defenses.
+type HybridConfig struct {
+	Noise NoiseConfig
+	Quant QuantConfig
+}
+
+// DefaultHybridConfig pairs the two defaults.
+func DefaultHybridConfig(fraction float64, bits int) HybridConfig {
+	return HybridConfig{Noise: DefaultNoiseConfig(fraction), Quant: DefaultQuantConfig(bits)}
+}
+
+// Hybrid runs the Section V-E combined defense: each round injects noise
+// into the full-precision shadow, adjusts the shadow against the quantized
+// model's mispredictions, and refreshes the quantized model from the noisy
+// shadow. The returned Model is the quantized artifact.
+func Hybrid(basis *hdc.Basis, model *hdc.Model, dec decode.Decoder,
+	encoded [][]float64, y []int, cfg HybridConfig) *Result {
+	cfg.Noise.validate()
+	cfg.Quant.validate()
+	src := rng.New(cfg.Noise.Seed)
+	shadow := model.Clone()
+	quantized := quant.Model(shadow, cfg.Quant.Bits)
+	res := &Result{Shadow: shadow}
+	stab := Stabilizer{Window: cfg.Quant.StabilizeWindow, Tol: cfg.Quant.StabilizeTol}
+	var best bestTracker
+	rounds := cfg.Quant.Rounds
+	if cfg.Noise.Rounds > rounds {
+		rounds = cfg.Noise.Rounds
+	}
+	adjustEpochs := cfg.Noise.RetrainEpochs
+	if adjustEpochs < 1 {
+		adjustEpochs = 1
+	}
+	for round := 1; round <= rounds; round++ {
+		injectNoise(basis, shadow, dec, cfg.Noise.Fraction, src)
+		quant.ModelInto(quantized, shadow, cfg.Quant.Bits)
+		before := hdc.Accuracy(quantized, encoded, y)
+		// Each round gets the same multi-epoch recovery budget as the pure
+		// noise defense: one adjustment pass cannot keep up with a fresh
+		// injection per round, and the accuracy would ratchet downward.
+		for e := 0; e < adjustEpochs; e++ {
+			errs := 0
+			for i, h := range encoded {
+				pred, _ := quantized.Classify(h)
+				if pred != y[i] {
+					shadow.Update(h, y[i], pred, cfg.Quant.LearningRate)
+					errs++
+				}
+			}
+			quant.ModelInto(quantized, shadow, cfg.Quant.Bits)
+			if errs == 0 {
+				break
+			}
+		}
+		after := hdc.Accuracy(quantized, encoded, y)
+		best.observe(quantized, after)
+		res.History = append(res.History, Round{Round: round, AccuracyBefore: before, AccuracyAfter: after})
+		stab.Add(after)
+		if stab.Done() {
+			break
+		}
+	}
+	res.Model = best.model
+	return res
+}

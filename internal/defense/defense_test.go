@@ -1,0 +1,341 @@
+package defense
+
+import (
+	"testing"
+
+	"prid/internal/attack"
+	"prid/internal/decode"
+	"prid/internal/hdc"
+	"prid/internal/metrics"
+	"prid/internal/quant"
+	"prid/internal/rng"
+	"prid/internal/vecmath"
+)
+
+// fixture builds a trained model plus everything the defenses need.
+type fixture struct {
+	basis   *hdc.Basis
+	model   *hdc.Model
+	dec     decode.Decoder
+	train   [][]float64
+	trainY  []int
+	encoded [][]float64
+	queries [][]float64
+}
+
+func newFixture(t testing.TB, seed uint64) *fixture {
+	t.Helper()
+	src := rng.New(seed)
+	const n, d, k, perClass = 24, 1024, 3, 12
+	protos := make([][]float64, k)
+	for c := range protos {
+		p := make([]float64, n)
+		for _, j := range src.Sample(n, 6) {
+			p[j] = src.Uniform(0.6, 1)
+		}
+		protos[c] = p
+	}
+	draw := func(c int, noise float64) []float64 {
+		v := vecmath.Clone(protos[c])
+		for j := range v {
+			v[j] += src.Gaussian(0, noise)
+			if v[j] < 0 {
+				v[j] = 0
+			}
+		}
+		return v
+	}
+	f := &fixture{basis: hdc.NewBasis(n, d, src.Split())}
+	for c := 0; c < k; c++ {
+		for i := 0; i < perClass; i++ {
+			f.train = append(f.train, draw(c, 0.08))
+			f.trainY = append(f.trainY, c)
+		}
+		f.queries = append(f.queries, draw(c, 0.20))
+	}
+	f.model = hdc.Train(f.basis, f.train, f.trainY, k)
+	f.encoded = f.basis.EncodeAll(f.train)
+	ls, err := decode.NewLeastSquares(f.basis, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.dec = ls
+	return f
+}
+
+// leakage runs the combined attack against m and returns the mean Δ over
+// the fixture queries.
+func (f *fixture) leakage(m *hdc.Model) float64 {
+	rec := attack.NewReconstructor(f.basis, m, f.dec)
+	cfg := attack.DefaultConfig()
+	cfg.Iterations = 4
+	var scores []float64
+	for _, q := range f.queries {
+		res := rec.Combined(q, cfg)
+		scores = append(scores, metrics.MeasureLeakage(f.train, q, res.Recon, metrics.TopKNearest).Score())
+	}
+	return vecmath.Mean(scores)
+}
+
+func TestNoiseInjectionPreservesAccuracy(t *testing.T) {
+	f := newFixture(t, 1)
+	baseline := hdc.Accuracy(f.model, f.encoded, f.trainY)
+	res := NoiseInjection(f.basis, f.model, f.dec, f.encoded, f.trainY, DefaultNoiseConfig(0.4))
+	defended := hdc.Accuracy(res.Model, f.encoded, f.trainY)
+	if loss := metrics.QualityLoss(baseline, defended); loss > 0.1 {
+		t.Fatalf("noise injection cost %.1f%% accuracy (baseline %.3f → %.3f)", loss*100, baseline, defended)
+	}
+	if len(res.History) == 0 {
+		t.Fatal("no rounds recorded")
+	}
+	if !res.Model.IsFinite() {
+		t.Fatal("defended model contains non-finite values")
+	}
+}
+
+func TestNoiseInjectionDoesNotMutateInput(t *testing.T) {
+	f := newFixture(t, 2)
+	orig := f.model.Clone()
+	NoiseInjection(f.basis, f.model, f.dec, f.encoded, f.trainY, DefaultNoiseConfig(0.5))
+	for l := 0; l < f.model.NumClasses(); l++ {
+		if vecmath.MSE(orig.Class(l), f.model.Class(l)) != 0 {
+			t.Fatal("NoiseInjection mutated the input model")
+		}
+	}
+}
+
+func TestNoiseInjectionReducesLeakage(t *testing.T) {
+	f := newFixture(t, 3)
+	before := f.leakage(f.model)
+	res := NoiseInjection(f.basis, f.model, f.dec, f.encoded, f.trainY, DefaultNoiseConfig(0.6))
+	after := f.leakage(res.Model)
+	if after >= before {
+		t.Fatalf("noise injection did not reduce leakage: %.4f → %.4f", before, after)
+	}
+}
+
+func TestRetrainingRecoversNoiseLoss(t *testing.T) {
+	// The Figure 9 ablation: at the same noise level, retraining must end
+	// with accuracy at least as high as the no-retraining variant.
+	f := newFixture(t, 4)
+	with := DefaultNoiseConfig(0.6)
+	without := with
+	without.RetrainEpochs = 0
+	without.Rounds = 1
+	with.Rounds = 1
+	resWith := NoiseInjection(f.basis, f.model, f.dec, f.encoded, f.trainY, with)
+	resWithout := NoiseInjection(f.basis, f.model, f.dec, f.encoded, f.trainY, without)
+	accWith := hdc.Accuracy(resWith.Model, f.encoded, f.trainY)
+	accWithout := hdc.Accuracy(resWithout.Model, f.encoded, f.trainY)
+	if accWith < accWithout {
+		t.Fatalf("retraining made things worse: with %.3f < without %.3f", accWith, accWithout)
+	}
+	// Within a round, AccuracyAfter must never be below AccuracyBefore by
+	// more than noise (retraining only updates on mispredictions).
+	r := resWith.History[0]
+	if r.AccuracyAfter+0.05 < r.AccuracyBefore {
+		t.Fatalf("round accuracy fell after retraining: %.3f → %.3f", r.AccuracyBefore, r.AccuracyAfter)
+	}
+}
+
+func TestNoiseZeroFractionIsNoOp(t *testing.T) {
+	f := newFixture(t, 5)
+	cfg := DefaultNoiseConfig(0)
+	cfg.RetrainEpochs = 0
+	cfg.Rounds = 1
+	cfg.StabilizeWindow = 0
+	res := NoiseInjection(f.basis, f.model, f.dec, f.encoded, f.trainY, cfg)
+	for l := 0; l < f.model.NumClasses(); l++ {
+		if vecmath.MSE(res.Model.Class(l), f.model.Class(l)) != 0 {
+			t.Fatal("zero-fraction injection changed the model")
+		}
+	}
+}
+
+func TestIterativeQuantizationModelIsQuantized(t *testing.T) {
+	f := newFixture(t, 6)
+	res := IterativeQuantization(f.model, f.encoded, f.trainY, DefaultQuantConfig(2))
+	for l := 0; l < res.Model.NumClasses(); l++ {
+		if dv := quant.DistinctValues(res.Model.Class(l)); dv > 4 {
+			t.Fatalf("2-bit defended class %d has %d distinct values", l, dv)
+		}
+	}
+	if res.Shadow == nil {
+		t.Fatal("quantization defense must return the shadow model")
+	}
+	if quant.DistinctValues(res.Shadow.Class(0)) <= 4 {
+		t.Fatal("shadow model should remain full precision")
+	}
+}
+
+func TestIterativeQuantizationRecoversAccuracy(t *testing.T) {
+	f := newFixture(t, 7)
+	baseline := hdc.Accuracy(f.model, f.encoded, f.trainY)
+	naive := quant.Model(f.model, 1)
+	naiveAcc := hdc.Accuracy(naive, f.encoded, f.trainY)
+	res := IterativeQuantization(f.model, f.encoded, f.trainY, DefaultQuantConfig(1))
+	trainedAcc := hdc.Accuracy(res.Model, f.encoded, f.trainY)
+	if trainedAcc < naiveAcc {
+		t.Fatalf("iterative quantized training %.3f below naive quantization %.3f", trainedAcc, naiveAcc)
+	}
+	if loss := metrics.QualityLoss(baseline, trainedAcc); loss > 0.15 {
+		t.Fatalf("1-bit defended model lost %.1f%% accuracy", loss*100)
+	}
+}
+
+func TestQuantizationReducesLeakage(t *testing.T) {
+	f := newFixture(t, 8)
+	before := f.leakage(f.model)
+	res := IterativeQuantization(f.model, f.encoded, f.trainY, DefaultQuantConfig(1))
+	after := f.leakage(res.Model)
+	if after >= before {
+		t.Fatalf("1-bit quantization did not reduce leakage: %.4f → %.4f", before, after)
+	}
+}
+
+func TestHybridRunsAndQuantizes(t *testing.T) {
+	f := newFixture(t, 9)
+	baseline := hdc.Accuracy(f.model, f.encoded, f.trainY)
+	res := Hybrid(f.basis, f.model, f.dec, f.encoded, f.trainY, DefaultHybridConfig(0.4, 4))
+	for l := 0; l < res.Model.NumClasses(); l++ {
+		if dv := quant.DistinctValues(res.Model.Class(l)); dv > 16 {
+			t.Fatalf("4-bit hybrid class %d has %d distinct values", l, dv)
+		}
+	}
+	acc := hdc.Accuracy(res.Model, f.encoded, f.trainY)
+	if loss := metrics.QualityLoss(baseline, acc); loss > 0.15 {
+		t.Fatalf("hybrid lost %.1f%% accuracy", loss*100)
+	}
+	if len(res.History) == 0 {
+		t.Fatal("hybrid recorded no rounds")
+	}
+}
+
+func TestHybridReducesLeakageAtLeastAsMuchAsQuantAlone(t *testing.T) {
+	f := newFixture(t, 10)
+	quantOnly := IterativeQuantization(f.model, f.encoded, f.trainY, DefaultQuantConfig(4))
+	hybrid := Hybrid(f.basis, f.model, f.dec, f.encoded, f.trainY, DefaultHybridConfig(0.5, 4))
+	lq := f.leakage(quantOnly.Model)
+	lh := f.leakage(hybrid.Model)
+	if lh > lq+0.05 {
+		t.Fatalf("hybrid leakage %.4f notably above quantization-only %.4f", lh, lq)
+	}
+}
+
+func TestStabilizer(t *testing.T) {
+	s := Stabilizer{Window: 3, Tol: 0.01}
+	s.Add(0.5)
+	s.Add(0.9)
+	if s.Done() {
+		t.Fatal("Done with fewer than Window samples")
+	}
+	s.Add(0.905)
+	if s.Done() {
+		t.Fatal("Done despite spread above tolerance")
+	}
+	s.Add(0.906)
+	s.Add(0.907)
+	if !s.Done() {
+		t.Fatal("not Done after three stable accuracies")
+	}
+	zero := Stabilizer{}
+	zero.Add(1)
+	if zero.Done() {
+		t.Fatal("zero-window stabilizer should never finish")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	f := newFixture(t, 11)
+	mustPanic(t, "fraction > 1", func() {
+		cfg := DefaultNoiseConfig(1.5)
+		NoiseInjection(f.basis, f.model, f.dec, f.encoded, f.trainY, cfg)
+	})
+	mustPanic(t, "zero rounds", func() {
+		cfg := DefaultNoiseConfig(0.2)
+		cfg.Rounds = 0
+		NoiseInjection(f.basis, f.model, f.dec, f.encoded, f.trainY, cfg)
+	})
+	mustPanic(t, "zero bits", func() {
+		IterativeQuantization(f.model, f.encoded, f.trainY, DefaultQuantConfig(0))
+	})
+}
+
+func mustPanic(t *testing.T, name string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", name)
+		}
+	}()
+	fn()
+}
+
+func BenchmarkNoiseInjectionRound(b *testing.B) {
+	f := newFixture(b, 1)
+	cfg := DefaultNoiseConfig(0.4)
+	cfg.Rounds = 1
+	cfg.StabilizeWindow = 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		NoiseInjection(f.basis, f.model, f.dec, f.encoded, f.trainY, cfg)
+	}
+}
+
+func BenchmarkQuantizedTrainingRound(b *testing.B) {
+	f := newFixture(b, 1)
+	cfg := DefaultQuantConfig(4)
+	cfg.Rounds = 1
+	cfg.StabilizeWindow = 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		IterativeQuantization(f.model, f.encoded, f.trainY, cfg)
+	}
+}
+
+func TestDimensionReductionKeepsAccuracy(t *testing.T) {
+	f := newFixture(t, 30)
+	baseline := hdc.Accuracy(f.model, f.encoded, f.trainY)
+	red := DimensionReduction(f.train, f.trainY, 3, DefaultReduceConfig(256))
+	encoded := red.Basis.EncodeAll(f.train)
+	acc := hdc.Accuracy(red.Model, encoded, f.trainY)
+	if acc < baseline-0.1 {
+		t.Fatalf("reduced-D accuracy %.3f far below baseline %.3f", acc, baseline)
+	}
+	if red.Model.Dim() != 256 || red.Basis.Dim() != 256 {
+		t.Fatalf("dimension not reduced: model %d basis %d", red.Model.Dim(), red.Basis.Dim())
+	}
+}
+
+func TestDimensionReductionReducesLeakage(t *testing.T) {
+	f := newFixture(t, 31)
+	before := f.leakage(f.model)
+	// Reduce below the feature count (24): encoding stops being injective.
+	red := DimensionReduction(f.train, f.trainY, 3, DefaultReduceConfig(16))
+	ls, err := decode.NewLeastSquares(red.Basis, 0.01*16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := attack.NewReconstructor(red.Basis, red.Model, ls)
+	cfg := attack.DefaultConfig()
+	cfg.Iterations = 4
+	var scores []float64
+	for _, q := range f.queries {
+		res := rec.Combined(q, cfg)
+		scores = append(scores, metrics.MeasureLeakage(f.train, q, res.Recon, metrics.TopKNearest).Score())
+	}
+	after := vecmath.Mean(scores)
+	if after >= before {
+		t.Fatalf("dimension reduction did not reduce leakage: %.3f → %.3f", before, after)
+	}
+}
+
+func TestDimensionReductionPanics(t *testing.T) {
+	f := newFixture(t, 32)
+	mustPanic(t, "zero dim", func() {
+		DimensionReduction(f.train, f.trainY, 3, DefaultReduceConfig(0))
+	})
+	mustPanic(t, "label mismatch", func() {
+		DimensionReduction(f.train, f.trainY[:1], 3, DefaultReduceConfig(64))
+	})
+}

@@ -1,0 +1,226 @@
+package experiments
+
+import (
+	"io"
+
+	"prid/internal/report"
+)
+
+// SVGWriter is anything that can render itself as an SVG figure.
+type SVGWriter interface {
+	WriteSVG(w io.Writer) error
+}
+
+// Charter is implemented by experiment results that have a natural chart
+// form; Run with an --svg directory uses it to regenerate the paper's
+// figures as actual figure files.
+type Charter interface {
+	Chart() SVGWriter
+}
+
+// Chart renders Figure 1 as a bar chart of decoder PSNRs.
+func (r Fig1Result) Chart() SVGWriter {
+	return report.BarChart{
+		Title:  "Figure 1 — decoding PSNR under 20% hypervector noise (MNIST)",
+		YLabel: "PSNR (dB)",
+		Groups: []string{"analytical", "iterative", "learning (LS)"},
+		Series: []report.Series{{Name: "PSNR", Y: []float64{r.Analytical, r.Iterative, r.LearningLS}}},
+	}
+}
+
+// Chart renders Figure 3 as reconstruction MSE vs iterations, with the
+// query baseline as a flat reference series.
+func (r Fig3Result) Chart() SVGWriter {
+	var xs, ys, base []float64
+	for _, it := range r.Iterations {
+		xs = append(xs, float64(it.Iteration))
+		ys = append(ys, it.MeanMSE)
+		base = append(base, r.QueryMeanMSE)
+	}
+	return report.LineChart{
+		Title:  "Figure 3 — reconstruction MSE vs attack iterations (MNIST)",
+		XLabel: "iterations",
+		YLabel: "mean MSE to train set",
+		Series: []report.Series{
+			{Name: "reconstruction", X: xs, Y: ys},
+			{Name: "query baseline", X: xs, Y: base},
+		},
+	}
+}
+
+// Chart renders Figure 5's two panels as one chart: accuracy and leakage
+// per noise-injection round.
+func (r Fig5Result) Chart() SVGWriter {
+	xs := []float64{0}
+	acc := []float64{r.BaselineAccuracy}
+	leak := []float64{r.BaselineLeakage}
+	for _, round := range r.Rounds {
+		xs = append(xs, float64(round.Round))
+		acc = append(acc, round.AccuracyAfter)
+		leak = append(leak, round.Leakage)
+	}
+	return report.LineChart{
+		Title:  "Figure 5 — iterative noise injection (MNIST, 40% noise)",
+		XLabel: "round",
+		YLabel: "accuracy / leakage Δ",
+		YMin:   0, YMax: 1,
+		Series: []report.Series{
+			{Name: "accuracy", X: xs, Y: acc},
+			{Name: "leakage Δ", X: xs, Y: leak},
+		},
+	}
+}
+
+// Chart renders Figure 6 as accuracy vs quantization bits.
+func (r Fig6Result) Chart() SVGWriter {
+	var xs, naive, iterative []float64
+	for _, row := range r.Rows {
+		xs = append(xs, float64(row.Bits))
+		naive = append(naive, row.NaiveAcc)
+		iterative = append(iterative, row.Accuracy)
+	}
+	return report.LineChart{
+		Title:  "Figure 6 — face detection under model quantization",
+		XLabel: "bits",
+		YLabel: "test accuracy",
+		Series: []report.Series{
+			{Name: "naive", X: xs, Y: naive},
+			{Name: "iterative", X: xs, Y: iterative},
+		},
+	}
+}
+
+// Chart renders Figure 7 as grouped bars: per-dataset Δ for each method
+// under the learning-based decoder.
+func (r Fig7Result) Chart() SVGWriter {
+	groupIdx := map[string]int{}
+	var groups []string
+	for _, c := range r.Cells {
+		if _, ok := groupIdx[c.Dataset]; !ok {
+			groupIdx[c.Dataset] = len(groups)
+			groups = append(groups, c.Dataset)
+		}
+	}
+	series := []report.Series{
+		{Name: "feature", Y: make([]float64, len(groups))},
+		{Name: "dimension", Y: make([]float64, len(groups))},
+		{Name: "combined", Y: make([]float64, len(groups))},
+	}
+	for _, c := range r.Cells {
+		if c.Decoder != "learning" {
+			continue
+		}
+		for i := range series {
+			if series[i].Name == c.Method {
+				series[i].Y[groupIdx[c.Dataset]] = c.Delta
+			}
+		}
+	}
+	return report.BarChart{
+		Title:  "Figure 7 — leakage Δ by method (learning decoder)",
+		YLabel: "Δ",
+		YMax:   1,
+		Groups: groups,
+		Series: series,
+	}
+}
+
+// Chart renders Figure 8 as leakage and accuracy vs dimensionality.
+func (r Fig8Result) Chart() SVGWriter {
+	var xs, leak, acc []float64
+	for _, row := range r.Rows {
+		xs = append(xs, float64(row.Dim))
+		leak = append(leak, row.Delta)
+		acc = append(acc, row.Accuracy)
+	}
+	return report.LineChart{
+		Title:  "Figure 8 — dimensionality vs leakage and accuracy (MNIST)",
+		XLabel: "D",
+		YLabel: "accuracy / leakage Δ",
+		YMin:   0, YMax: 1,
+		Series: []report.Series{
+			{Name: "leakage Δ", X: xs, Y: leak},
+			{Name: "accuracy", X: xs, Y: acc},
+		},
+	}
+}
+
+// Chart renders Figure 9 as quality loss (with/without retraining) and
+// leakage reduction vs the noise fraction.
+func (r Fig9Result) Chart() SVGWriter {
+	var xs, lossWith, lossWithout, reduction []float64
+	for _, row := range r.Rows {
+		xs = append(xs, row.Fraction)
+		lossWith = append(lossWith, row.LossWith)
+		lossWithout = append(lossWithout, row.LossWithout)
+		reduction = append(reduction, row.LeakageReduction)
+	}
+	return report.LineChart{
+		Title:  "Figure 9 — noise injection sweep (MNIST)",
+		XLabel: "noise fraction",
+		YLabel: "fraction",
+		Series: []report.Series{
+			{Name: "loss w/ retrain", X: xs, Y: lossWith},
+			{Name: "loss w/o retrain", X: xs, Y: lossWithout},
+			{Name: "leakage reduction", X: xs, Y: reduction},
+		},
+	}
+}
+
+// Chart renders Figure 10 as leakage reduction and quality loss vs bits.
+func (r Fig10Result) Chart() SVGWriter {
+	var xs, reduction, loss []float64
+	for _, row := range r.Rows {
+		xs = append(xs, float64(row.Bits))
+		reduction = append(reduction, row.LeakageReduction)
+		loss = append(loss, row.QualityLoss)
+	}
+	return report.LineChart{
+		Title:  "Figure 10 — model quantization sweep (MNIST)",
+		XLabel: "bits",
+		YLabel: "fraction",
+		Series: []report.Series{
+			{Name: "leakage reduction", X: xs, Y: reduction},
+			{Name: "quality loss", X: xs, Y: loss},
+		},
+	}
+}
+
+// Chart renders Table I as grouped accuracy bars per dataset.
+func (r TableIResult) Chart() SVGWriter {
+	var groups []string
+	hdcAcc := make([]float64, 0, len(r.Rows))
+	compAcc := make([]float64, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		groups = append(groups, row.Dataset)
+		hdcAcc = append(hdcAcc, row.HDCAccuracy)
+		compAcc = append(compAcc, row.ComparatorAcc)
+	}
+	return report.BarChart{
+		Title:  "Table I — HDC vs comparator accuracy",
+		YLabel: "test accuracy",
+		YMax:   1,
+		Groups: groups,
+		Series: []report.Series{
+			{Name: "HDC (PRID)", Y: hdcAcc},
+			{Name: "comparator", Y: compAcc},
+		},
+	}
+}
+
+// Chart renders Table II as leakage reduction vs quality-loss budget.
+func (r TableIIResult) Chart() SVGWriter {
+	xs := make([]float64, len(r.Targets))
+	copy(xs, r.Targets)
+	return report.LineChart{
+		Title:  "Table II — leakage reduction at matched quality loss (MNIST)",
+		XLabel: "quality-loss budget",
+		YLabel: "leakage reduction",
+		YMin:   0, YMax: 1,
+		Series: []report.Series{
+			{Name: "noise injection", X: xs, Y: r.Noise},
+			{Name: "quantization", X: xs, Y: r.Quant},
+			{Name: "combined", X: xs, Y: r.Combined},
+		},
+	}
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Chart rendering is pure over the result structs, so these tests build
+// small synthetic results instead of re-running the experiments.
+
+func renderChart(t *testing.T, c Charter) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := c.Chart().WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "</svg>") {
+		t.Fatal("malformed SVG")
+	}
+	return out
+}
+
+func TestFig1ChartSynthetic(t *testing.T) {
+	r := Fig1Result{Analytical: 10, Iterative: 17, LearningLS: 18, Samples: 3}
+	out := renderChart(t, r)
+	if !strings.Contains(out, "Figure 1") {
+		t.Fatal("missing title")
+	}
+}
+
+func TestFig3ChartSynthetic(t *testing.T) {
+	r := Fig3Result{
+		QueryMeanMSE: 0.09,
+		Iterations: []Fig3Iteration{
+			{Iteration: 1, MeanMSE: 0.085, MinMSE: 0.02},
+			{Iteration: 2, MeanMSE: 0.084, MinMSE: 0.02},
+		},
+	}
+	renderChart(t, r)
+}
+
+func TestFig5ChartSynthetic(t *testing.T) {
+	r := Fig5Result{
+		BaselineAccuracy: 0.95, BaselineLeakage: 0.9,
+		Rounds: []Fig5Round{{Round: 1, AccuracyAfter: 0.93, Leakage: 0.6}},
+	}
+	renderChart(t, r)
+}
+
+func TestFig6ChartSynthetic(t *testing.T) {
+	r := Fig6Result{
+		BaselineAccuracy: 0.95,
+		Rows: []Fig6Row{
+			{Bits: 1, Accuracy: 0.9, NaiveAcc: 0.85},
+			{Bits: 32, Accuracy: 0.95, NaiveAcc: 0.95},
+		},
+	}
+	renderChart(t, r)
+}
+
+func TestFig7ChartSynthetic(t *testing.T) {
+	r := Fig7Result{Cells: []Fig7Cell{
+		{Dataset: "MNIST", Method: "feature", Decoder: "learning", Delta: 0.9},
+		{Dataset: "MNIST", Method: "dimension", Decoder: "learning", Delta: 0.95},
+		{Dataset: "MNIST", Method: "combined", Decoder: "learning", Delta: 0.97},
+		{Dataset: "FACE", Method: "feature", Decoder: "learning", Delta: 0.8},
+		{Dataset: "FACE", Method: "dimension", Decoder: "learning", Delta: 0.85},
+		{Dataset: "FACE", Method: "combined", Decoder: "learning", Delta: 0.88},
+		{Dataset: "FACE", Method: "feature", Decoder: "analytical", Delta: 0.7},
+	}}
+	out := renderChart(t, r)
+	// Two groups, three series → 6 bars + 3 legend swatches + background.
+	if strings.Count(out, "<rect") != 10 {
+		t.Fatalf("expected 10 rects, got %d", strings.Count(out, "<rect"))
+	}
+}
+
+func TestFig8ChartSynthetic(t *testing.T) {
+	r := Fig8Result{Rows: []Fig8Row{
+		{Dim: 128, Accuracy: 0.9, Delta: 0.5},
+		{Dim: 1024, Accuracy: 0.95, Delta: 0.95},
+	}}
+	renderChart(t, r)
+}
+
+func TestFig9ChartSynthetic(t *testing.T) {
+	r := Fig9Result{Rows: []Fig9Row{
+		{Fraction: 0.2, LossWith: 0, LossWithout: 0.1, LeakageReduction: 0.2},
+		{Fraction: 0.8, LossWith: 0.02, LossWithout: 0.4, LeakageReduction: 0.6},
+	}}
+	renderChart(t, r)
+}
+
+func TestFig10ChartSynthetic(t *testing.T) {
+	r := Fig10Result{Rows: []Fig10Row{
+		{Bits: 1, QualityLoss: 0.05, LeakageReduction: 0.8},
+		{Bits: 32, QualityLoss: 0, LeakageReduction: 0},
+	}}
+	renderChart(t, r)
+}
+
+func TestTableIChartSynthetic(t *testing.T) {
+	r := TableIResult{Rows: []TableIRow{
+		{Dataset: "MNIST", HDCAccuracy: 0.95, ComparatorAcc: 0.97},
+		{Dataset: "FACE", HDCAccuracy: 0.93, ComparatorAcc: 0.96},
+	}}
+	renderChart(t, r)
+	if r.Table().NumRows() != 2 {
+		t.Fatal("TableI table rows wrong")
+	}
+}
+
+func TestTableIIChartSynthetic(t *testing.T) {
+	r := TableIIResult{
+		Targets:  []float64{0.01, 0.05},
+		Noise:    []float64{0.1, 0.3},
+		Quant:    []float64{0.2, 0.5},
+		Combined: []float64{0.4, 0.7},
+	}
+	renderChart(t, r)
+	if r.Table().NumRows() != 3 {
+		t.Fatal("TableII table rows wrong")
+	}
+}
+
+func TestSyntheticTables(t *testing.T) {
+	// Table() methods on synthetic results must render without running the
+	// experiments.
+	tables := []Renderable{
+		Fig1Result{},
+		Fig3Result{Iterations: []Fig3Iteration{{Iteration: 1}}},
+		Fig5Result{Rounds: []Fig5Round{{Round: 1}}},
+		Fig6Result{Rows: []Fig6Row{{Bits: 1}}},
+		Fig7Result{Cells: []Fig7Cell{{Dataset: "X", Method: "feature", Decoder: "learning"}}},
+		Fig8Result{Rows: []Fig8Row{{Dim: 64}}},
+		Fig9Result{Rows: []Fig9Row{{Fraction: 0.2}}},
+		Fig10Result{Rows: []Fig10Row{{Bits: 1}}},
+		TableIResult{Rows: []TableIRow{{Dataset: "X"}}},
+		TableIIResult{Targets: []float64{0.01}, Noise: []float64{0}, Quant: []float64{0}, Combined: []float64{0}},
+		AblationDPResult{DP: []AblationDPRow{{SigmaFraction: 1}}},
+		AblationEncoderResult{Rows: []AblationEncoderRow{{Encoder: "x"}}},
+		AblationMarginResult{Rows: []AblationMarginRow{{MarginFactor: 1}}},
+		AblationTrainingResult{Rows: []AblationTrainingRow{{Mode: "x"}}},
+		AblationClusteringResult{},
+		AblationFederatedResult{Rows: []AblationFederatedRow{{ModelsObserved: 1}}},
+	}
+	for i, r := range tables {
+		if r.Table().String() == "" {
+			t.Fatalf("table %d rendered empty", i)
+		}
+	}
+}

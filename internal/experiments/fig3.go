@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"math"
+
+	"prid/internal/attack"
+	"prid/internal/report"
+	"prid/internal/vecmath"
+)
+
+// Fig3Iteration is one row of the Figure 3 MSE study.
+type Fig3Iteration struct {
+	Iteration int
+	// MeanMSE is the mean (over queries) of the mean MSE between the
+	// reconstruction and the train set.
+	MeanMSE float64
+	// MinMSE is the mean of the minimum MSE to any train sample — how close
+	// the reconstruction gets to its nearest training point.
+	MinMSE float64
+}
+
+// Fig3Result reproduces Figure 3: the reconstruction's MSE distribution
+// against the train set across attack iterations, compared to the query's
+// own distribution. The paper's claim: the reconstruction achieves lower
+// MSE than the query, i.e. the attack extracts training information beyond
+// what the query already contains.
+type Fig3Result struct {
+	// QueryMeanMSE/QueryMinMSE are the baselines using the raw query.
+	QueryMeanMSE float64
+	QueryMinMSE  float64
+	// Iterations holds the reconstruction rows per refinement depth.
+	Iterations []Fig3Iteration
+	// Visual shows query / decoded class / reconstruction / nearest train
+	// sample side by side, like the paper's Figure 3b.
+	Visual string
+}
+
+// Fig3 runs the Figure 3 protocol on MNIST-like data with the combined
+// attack at increasing iteration depths.
+func Fig3(sc Scale) Fig3Result {
+	tr := prepare("MNIST", sc, sc.Dim)
+	rec := attack.NewReconstructor(tr.basis, tr.model, tr.ls)
+
+	mseStats := func(v []float64) (mean, min float64) {
+		min = math.Inf(1)
+		var w vecmath.Welford
+		for _, t := range tr.ds.TrainX {
+			m := vecmath.MSE(v, t)
+			w.Add(m)
+			if m < min {
+				min = m
+			}
+		}
+		return w.Mean(), min
+	}
+
+	var res Fig3Result
+	var qMean, qMin vecmath.Welford
+	for _, q := range tr.queries {
+		m, mn := mseStats(q)
+		qMean.Add(m)
+		qMin.Add(mn)
+	}
+	res.QueryMeanMSE = qMean.Mean()
+	res.QueryMinMSE = qMin.Mean()
+
+	for _, iters := range []int{1, 2, 3, 4, 5} {
+		cfg := attackConfig(iters)
+		var rMean, rMin vecmath.Welford
+		for _, q := range tr.queries {
+			out := rec.Combined(q, cfg)
+			m, mn := mseStats(out.Recon)
+			rMean.Add(m)
+			rMin.Add(mn)
+		}
+		res.Iterations = append(res.Iterations, Fig3Iteration{
+			Iteration: iters,
+			MeanMSE:   rMean.Mean(),
+			MinMSE:    rMin.Mean(),
+		})
+	}
+
+	// Visual: the first query, its matched decoded class, the final
+	// reconstruction, and the closest train sample.
+	q := tr.queries[0]
+	out := rec.Combined(q, attackConfig(sc.AttackIterations))
+	best, bestMSE := 0, math.Inf(1)
+	for i, t := range tr.ds.TrainX {
+		if m := vecmath.MSE(out.Recon, t); m < bestMSE {
+			best, bestMSE = i, m
+		}
+	}
+	w, h := tr.ds.ImageW, tr.ds.ImageH
+	res.Visual = report.SideBySide("   ",
+		"query\n"+report.RenderImage(q, w, h),
+		"decoded class\n"+report.RenderImage(clampUnit(rec.ClassFeatures(out.Class)), w, h),
+		"reconstructed\n"+report.RenderImage(clampUnit(out.Recon), w, h),
+		"nearest train\n"+report.RenderImage(tr.ds.TrainX[best], w, h),
+	)
+	return res
+}
+
+// Table renders the MSE-vs-iterations series.
+func (r Fig3Result) Table() *report.Table {
+	t := report.NewTable("Figure 3 — reconstruction MSE vs attack iterations (MNIST)",
+		"probe", "mean MSE to train set", "min MSE to train set")
+	t.AddRow("query (baseline)", report.F(r.QueryMeanMSE), report.F(r.QueryMinMSE))
+	for _, it := range r.Iterations {
+		t.AddRow("recon @iter "+report.I(it.Iteration), report.F(it.MeanMSE), report.F(it.MinMSE))
+	}
+	return t
+}

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"sync"
+
+	"prid/internal/attack"
+	"prid/internal/dataset"
+	"prid/internal/decode"
+	"prid/internal/metrics"
+	"prid/internal/report"
+	"prid/internal/vecmath"
+)
+
+// Fig7Cell is one (dataset, method, decoder) measurement.
+type Fig7Cell struct {
+	Dataset string
+	Method  string // "feature", "dimension", "combined"
+	Decoder string // "analytical", "learning"
+	Delta   float64
+	PSNR    float64
+}
+
+// Fig7Result reproduces Figure 7: information leakage of the three
+// reconstruction methods under both decoders, across all datasets.
+// Expected shape, per the paper: learning > analytical for every method;
+// feature replacement leaks more (higher Δ) than dimension replacement,
+// which wins on PSNR; combined extracts the most.
+type Fig7Result struct {
+	Cells []Fig7Cell
+}
+
+// Fig7 runs the attack matrix over every Table I dataset. Datasets are
+// independent (each has its own seed-derived stream), so they run in
+// parallel; cell order in the result is kept deterministic by collecting
+// per-dataset slices and concatenating in Table I order.
+func Fig7(sc Scale) Fig7Result {
+	names := dataset.Names()
+	perDataset := make([][]Fig7Cell, len(names))
+	var wg sync.WaitGroup
+	wg.Add(len(names))
+	for ni, name := range names {
+		go func(ni int, name string) {
+			defer wg.Done()
+			perDataset[ni] = fig7Dataset(name, sc)
+		}(ni, name)
+	}
+	wg.Wait()
+	var res Fig7Result
+	for _, cells := range perDataset {
+		res.Cells = append(res.Cells, cells...)
+	}
+	return res
+}
+
+// fig7Dataset computes the six cells of one dataset.
+func fig7Dataset(name string, sc Scale) []Fig7Cell {
+	var cells []Fig7Cell
+	tr := prepare(name, sc, sc.Dim)
+	decoders := []struct {
+		label string
+		dec   decode.Decoder
+	}{
+		{"analytical", decode.NewIterativeAnalytical(tr.basis)},
+		{"learning", tr.ls},
+	}
+	for _, d := range decoders {
+		rec := attack.NewReconstructor(tr.basis, tr.model, d.dec)
+		cfg := attackConfig(sc.AttackIterations)
+		methods := []struct {
+			label string
+			run   func(q []float64) attack.Result
+		}{
+			{"feature", func(q []float64) attack.Result { return rec.FeatureReplacement(q, cfg) }},
+			{"dimension", func(q []float64) attack.Result { return rec.DimensionReplacement(q, cfg) }},
+			{"combined", func(q []float64) attack.Result { return rec.Combined(q, cfg) }},
+		}
+		for _, m := range methods {
+			var deltas, psnrs []float64
+			for _, q := range tr.queries {
+				out := m.run(q)
+				deltas = append(deltas, metrics.MeasureLeakage(tr.ds.TrainX, q, out.Recon, metrics.TopKNearest).Score())
+				p := vecmath.PSNR(q, out.Recon)
+				if p > metrics.PSNRCap {
+					p = metrics.PSNRCap
+				}
+				psnrs = append(psnrs, p)
+			}
+			cells = append(cells, Fig7Cell{
+				Dataset: name,
+				Method:  m.label,
+				Decoder: d.label,
+				Delta:   vecmath.Mean(deltas),
+				PSNR:    vecmath.Mean(psnrs),
+			})
+		}
+	}
+	return cells
+}
+
+// Mean returns the mean Δ over all datasets for one (method, decoder)
+// pair — the per-series aggregate the figure's bars encode.
+func (r Fig7Result) Mean(method, decoder string) float64 {
+	var vals []float64
+	for _, c := range r.Cells {
+		if c.Method == method && c.Decoder == decoder {
+			vals = append(vals, c.Delta)
+		}
+	}
+	return vecmath.Mean(vals)
+}
+
+// MeanPSNR returns the mean reconstruction PSNR for one (method, decoder)
+// pair.
+func (r Fig7Result) MeanPSNR(method, decoder string) float64 {
+	var vals []float64
+	for _, c := range r.Cells {
+		if c.Method == method && c.Decoder == decoder {
+			vals = append(vals, c.PSNR)
+		}
+	}
+	return vecmath.Mean(vals)
+}
+
+// Table renders the full matrix.
+func (r Fig7Result) Table() *report.Table {
+	t := report.NewTable("Figure 7 — leakage Δ and PSNR by reconstruction method and decoder",
+		"dataset", "method", "decoder", "Δ", "PSNR")
+	for _, c := range r.Cells {
+		t.AddRow(c.Dataset, c.Method, c.Decoder, report.F(c.Delta), report.DB(c.PSNR))
+	}
+	return t
+}

@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"prid/internal/report"
+)
+
+// Renderable is any experiment result that can print its paper
+// table/figure.
+type Renderable interface {
+	Table() *report.Table
+}
+
+// Runner executes one registered experiment at a scale.
+type Runner func(sc Scale) Renderable
+
+// registry maps experiment ids (as used by cmd/prid) to runners.
+var registry = map[string]Runner{
+	"fig1":   func(sc Scale) Renderable { return Fig1(sc) },
+	"fig3":   func(sc Scale) Renderable { return Fig3(sc) },
+	"fig5":   func(sc Scale) Renderable { return Fig5(sc) },
+	"fig6":   func(sc Scale) Renderable { return Fig6(sc) },
+	"fig7":   func(sc Scale) Renderable { return Fig7(sc) },
+	"fig8":   func(sc Scale) Renderable { return Fig8(sc) },
+	"fig9":   func(sc Scale) Renderable { return Fig9(sc) },
+	"fig10":  func(sc Scale) Renderable { return Fig10(sc) },
+	"table1": func(sc Scale) Renderable { return TableI(sc) },
+	"table2": func(sc Scale) Renderable { return TableII(sc) },
+	// Ablations of this reproduction's design choices (not paper figures).
+	"ablation-dp":         func(sc Scale) Renderable { return AblationDP(sc) },
+	"ablation-encoder":    func(sc Scale) Renderable { return AblationEncoders(sc) },
+	"ablation-margin":     func(sc Scale) Renderable { return AblationMargin(sc) },
+	"ablation-training":   func(sc Scale) Renderable { return AblationTraining(sc) },
+	"ablation-clustering": func(sc Scale) Renderable { return AblationClustering(sc) },
+	"ablation-federated":  func(sc Scale) Renderable { return AblationFederated(sc) },
+	"ablation-partial":    func(sc Scale) Renderable { return AblationPartial(sc) },
+}
+
+// IDs returns the registered experiment ids, sorted.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the experiment with the given id and writes its table to w.
+// Extra panels (the ASCII visuals of Figures 1, 3 and 6) are appended
+// after the table.
+func Run(id string, sc Scale, w io.Writer) error {
+	return run(id, sc, w, formatText)
+}
+
+// RunCSV executes the experiment and writes its table as CSV (no visual
+// panels) — for piping into plotting tools.
+func RunCSV(id string, sc Scale, w io.Writer) error {
+	return run(id, sc, w, formatCSV)
+}
+
+// RunJSON executes the experiment and writes its table as JSON.
+func RunJSON(id string, sc Scale, w io.Writer) error {
+	return run(id, sc, w, formatJSON)
+}
+
+// RunSVG executes the experiment and writes its figure as SVG. It returns
+// an error for experiments with no chart form.
+func RunSVG(id string, sc Scale, w io.Writer) error {
+	runner, ok := registry[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (valid: %v)", id, IDs())
+	}
+	res := runner(sc)
+	charter, ok := res.(Charter)
+	if !ok {
+		return fmt.Errorf("experiments: %s has no chart form (tables/visuals only)", id)
+	}
+	return charter.Chart().WriteSVG(w)
+}
+
+// HasChart reports whether the experiment can render an SVG figure.
+// It consults a static list so callers can filter before paying for a run.
+func HasChart(id string) bool {
+	switch id {
+	case "fig1", "fig3", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "table1", "table2":
+		return true
+	}
+	return false
+}
+
+type outputFormat int
+
+const (
+	formatText outputFormat = iota
+	formatCSV
+	formatJSON
+)
+
+func run(id string, sc Scale, w io.Writer, format outputFormat) error {
+	runner, ok := registry[id]
+	if !ok {
+		return fmt.Errorf("experiments: unknown experiment %q (valid: %v)", id, IDs())
+	}
+	res := runner(sc)
+	switch format {
+	case formatCSV:
+		return res.Table().WriteCSV(w)
+	case formatJSON:
+		return res.Table().WriteJSON(w)
+	}
+	if err := res.Table().WriteText(w); err != nil {
+		return err
+	}
+	switch v := res.(type) {
+	case Fig1Result:
+		_, err := fmt.Fprintf(w, "\n%s\n", v.Visual)
+		return err
+	case Fig3Result:
+		_, err := fmt.Fprintf(w, "\n%s\n", v.Visual)
+		return err
+	case Fig5Result:
+		_, err := fmt.Fprintf(w, "\naccuracy %s   leakage %s\n", v.AccuracySparkline(), v.LeakageSparkline())
+		return err
+	case Fig6Result:
+		_, err := fmt.Fprintf(w, "\n%s\n", report.SideBySide("   ",
+			"decoded class (undefended)\n"+v.VisualBefore,
+			"decoded class (defended)\n"+v.VisualAfter))
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"prid/internal/baseline"
+	"prid/internal/dataset"
+	"prid/internal/report"
+	"prid/internal/vecmath"
+)
+
+// TableIRow is one dataset's accuracy comparison.
+type TableIRow struct {
+	Dataset       string
+	Features      int
+	Classes       int
+	HDCAccuracy   float64 // single-pass + retrained HDC, test accuracy
+	Comparator    string  // "DNN" or "AdaBoost" per Table I
+	ComparatorAcc float64
+}
+
+// TableIResult reproduces Table I: the dataset roster with HDC accuracy
+// against the per-dataset state-of-the-art comparator. The paper reports
+// HDC within 0.2% of the comparators on average; the reproduction target
+// is parity within a few points on every synthetic stand-in.
+type TableIResult struct {
+	Rows []TableIRow
+}
+
+// TableI trains HDC (with Equation-2 retraining, the paper's full
+// protocol) and the matching comparator on every dataset.
+func TableI(sc Scale) TableIResult {
+	var res TableIResult
+	for _, spec := range dataset.Specs() {
+		tr := prepare(spec.Name, sc, sc.Dim)
+		// prepare already applies the paper's full protocol (single-pass
+		// accumulation + Equation-2 retraining).
+		row := TableIRow{
+			Dataset:     spec.Name,
+			Features:    spec.Features,
+			Classes:     spec.Classes,
+			HDCAccuracy: tr.testAccuracy(tr.model),
+			Comparator:  spec.Comparator,
+		}
+		switch spec.Comparator {
+		case "AdaBoost":
+			cfg := baseline.DefaultAdaBoostConfig()
+			ab := baseline.TrainAdaBoost(tr.ds.TrainX, tr.ds.TrainY, tr.ds.Classes, cfg)
+			row.ComparatorAcc = baseline.Accuracy(ab, tr.ds.TestX, tr.ds.TestY)
+		default:
+			mlp := baseline.TrainMLP(tr.ds.TrainX, tr.ds.TrainY, tr.ds.Classes, baseline.DefaultMLPConfig())
+			row.ComparatorAcc = baseline.Accuracy(mlp, tr.ds.TestX, tr.ds.TestY)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// MeanGap returns mean(comparator − HDC) accuracy across datasets; the
+// paper's headline is ≈ 0.2%.
+func (r TableIResult) MeanGap() float64 {
+	var gaps []float64
+	for _, row := range r.Rows {
+		gaps = append(gaps, row.ComparatorAcc-row.HDCAccuracy)
+	}
+	return vecmath.Mean(gaps)
+}
+
+// Table renders the roster.
+func (r TableIResult) Table() *report.Table {
+	t := report.NewTable("Table I — datasets and accuracy vs state-of-the-art comparator",
+		"dataset", "n", "k", "HDC acc", "comparator", "comparator acc")
+	for _, row := range r.Rows {
+		t.AddRow(row.Dataset, report.I(row.Features), report.I(row.Classes),
+			report.Pct(row.HDCAccuracy), row.Comparator, report.Pct(row.ComparatorAcc))
+	}
+	return t
+}

@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+
+	"prid/internal/defense"
+	"prid/internal/hdc"
+	"prid/internal/metrics"
+	"prid/internal/report"
+)
+
+// CurvePoint is one measured (defense strength → cost/benefit) sample.
+type CurvePoint struct {
+	Strength    string  // human-readable knob setting, e.g. "noise 40%" or "2-bit"
+	QualityLoss float64 // test-accuracy loss vs the undefended model
+	Reduction   float64 // leakage reduction vs the undefended model
+}
+
+// TableIIResult reproduces Table II: the leakage reduction each defense
+// achieves when tuned to a given quality-loss budget. The paper reports,
+// at 5% (3%) loss: noise 32% (22%), quantization 87% (59%), combined 92%
+// (66%) — the combined defense dominating at every budget, which is also
+// the paper's headline claim.
+type TableIIResult struct {
+	// Targets are the quality-loss budgets, as fractions (0.005 = 0.5%).
+	Targets []float64
+	// Noise/Quant/Combined hold the interpolated leakage reduction at each
+	// target.
+	Noise    []float64
+	Quant    []float64
+	Combined []float64
+	// Curves keep the raw sweep points per defense for EXPERIMENTS.md.
+	NoiseCurve    []CurvePoint
+	QuantCurve    []CurvePoint
+	CombinedCurve []CurvePoint
+}
+
+// TableII sweeps each defense's strength knob and reads the leakage
+// reduction at the paper's loss budgets off each defense's Pareto
+// frontier.
+func TableII(sc Scale) TableIIResult {
+	tr := prepare("MNIST", sc, sc.Dim)
+	baseAcc := tr.testAccuracy(tr.model)
+	baseDelta := tr.runCombinedAttack(tr.model, tr.ls, sc.AttackIterations).Delta
+
+	measure := func(label string, defended *defenseOutcome) CurvePoint {
+		return CurvePoint{
+			Strength:    label,
+			QualityLoss: metrics.QualityLoss(baseAcc, defended.accuracy),
+			Reduction:   metrics.Reduction(baseDelta, defended.delta),
+		}
+	}
+
+	res := TableIIResult{Targets: []float64{0.005, 0.01, 0.02, 0.03, 0.05}}
+
+	for _, fraction := range []float64{0.1, 0.2, 0.4, 0.6, 0.8} {
+		out := defense.NoiseInjection(tr.basis, tr.model, tr.ls, tr.encTr, tr.ds.TrainY,
+			defense.DefaultNoiseConfig(fraction))
+		res.NoiseCurve = append(res.NoiseCurve,
+			measure(fmt.Sprintf("noise %.0f%%", fraction*100), tr.outcome(out.Model, sc)))
+	}
+	for _, bits := range []int{8, 6, 4, 3, 2, 1} {
+		out := defense.IterativeQuantization(tr.model, tr.encTr, tr.ds.TrainY, defense.DefaultQuantConfig(bits))
+		res.QuantCurve = append(res.QuantCurve,
+			measure(fmt.Sprintf("%d-bit", bits), tr.outcome(out.Model, sc)))
+	}
+	// The hybrid frontier needs density around the low-bit settings: strong
+	// noise plus 1-bit quantization can overshoot a loss budget that milder
+	// noise with the same bit width fits.
+	hybrids := []struct {
+		fraction float64
+		bits     int
+	}{
+		{0.1, 8}, {0.2, 6}, {0.2, 4}, {0.4, 4},
+		{0.2, 2}, {0.4, 2}, {0.1, 1}, {0.2, 1}, {0.4, 1}, {0.6, 1},
+	}
+	for _, hcfg := range hybrids {
+		out := defense.Hybrid(tr.basis, tr.model, tr.ls, tr.encTr, tr.ds.TrainY,
+			defense.DefaultHybridConfig(hcfg.fraction, hcfg.bits))
+		res.CombinedCurve = append(res.CombinedCurve,
+			measure(fmt.Sprintf("noise %.0f%% + %d-bit", hcfg.fraction*100, hcfg.bits), tr.outcome(out.Model, sc)))
+	}
+
+	res.Noise = bestWithinBudget(res.NoiseCurve, res.Targets)
+	res.Quant = bestWithinBudget(res.QuantCurve, res.Targets)
+	res.Combined = bestWithinBudget(res.CombinedCurve, res.Targets)
+	return res
+}
+
+// defenseOutcome caches the two measurements every curve point needs.
+type defenseOutcome struct {
+	accuracy float64
+	delta    float64
+}
+
+func (tr *trained) outcome(m *hdc.Model, sc Scale) *defenseOutcome {
+	return &defenseOutcome{
+		accuracy: tr.testAccuracy(m),
+		delta:    tr.runCombinedAttack(m, tr.ls, sc.AttackIterations).Delta,
+	}
+}
+
+// bestWithinBudget evaluates the defense's Pareto frontier at each target:
+// the strongest leakage reduction among the swept settings whose measured
+// quality loss fits the budget. This is what "leakage at X% quality loss"
+// means operationally — the deployer picks the best knob setting their
+// accuracy budget allows — and it is monotone in the budget by
+// construction.
+func bestWithinBudget(curve []CurvePoint, targets []float64) []float64 {
+	out := make([]float64, len(targets))
+	for ti, t := range targets {
+		best := 0.0 // the undefended model: zero loss, zero reduction
+		for _, p := range curve {
+			if p.QualityLoss <= t+1e-12 && p.Reduction > best {
+				best = p.Reduction
+			}
+		}
+		out[ti] = best
+	}
+	return out
+}
+
+// Table renders the budgeted comparison.
+func (r TableIIResult) Table() *report.Table {
+	headers := []string{"defense"}
+	for _, t := range r.Targets {
+		headers = append(headers, "@"+report.Pct(t))
+	}
+	tb := report.NewTable("Table II — leakage reduction at matched quality loss (MNIST)", headers...)
+	row := func(name string, vals []float64) {
+		cells := []string{name}
+		for _, v := range vals {
+			cells = append(cells, report.Pct(v))
+		}
+		tb.AddRow(cells...)
+	}
+	row("Noise Injection", r.Noise)
+	row("Quantization", r.Quant)
+	row("Combined", r.Combined)
+	return tb
+}

@@ -1,0 +1,207 @@
+// Package federated models the deployment scenario that motivates PRID:
+// edge devices train HDC models on private data shards and exchange them
+// with an aggregator. It provides the shard/train/share/aggregate loop,
+// the honest-but-curious aggregator's view (the exact artifacts it can
+// invert), and the SecureHD-style mitigation of per-device private bases.
+//
+// The threat model follows the paper: every participant knows the shared
+// encoding basis (it is the system's "key" and must be common for models
+// to be aggregable), so any participant can run the PRID attack on any
+// model it receives. With SecureHD-style private bases, models are no
+// longer mutually decodable — but they are also no longer aggregable,
+// which is the trade-off the simulation exposes.
+package federated
+
+import (
+	"fmt"
+	"sort"
+
+	"prid/internal/hdc"
+	"prid/internal/rng"
+)
+
+// Device is one edge participant holding a private shard.
+type Device struct {
+	ID int
+	// X, Y are the device's private training data — what PRID tries to
+	// reconstruct from the shared model.
+	X [][]float64
+	Y []int
+	// Basis is the device's encoding basis: the shared one in the standard
+	// setting, or a private one under the SecureHD mitigation.
+	Basis *hdc.Basis
+	// Model is the device's locally trained model after Train.
+	Model *hdc.Model
+
+	classes int
+}
+
+// Config controls a simulation.
+type Config struct {
+	Devices int
+	Classes int
+	// Dim is the hypervector dimensionality.
+	Dim int
+	// PrivateBases gives every device its own basis (the SecureHD
+	// mitigation) instead of one shared basis.
+	PrivateBases bool
+	// NonIID shards by label instead of round-robin: samples are grouped
+	// by class and dealt out in contiguous runs, so each device sees only
+	// a subset of the classes — the pathological-but-common federated
+	// regime (each hospital sees its own case mix).
+	NonIID bool
+	// RetrainEpochs of Equation-2 retraining in local training.
+	RetrainEpochs int
+	// Seed drives basis generation and sharding.
+	Seed uint64
+}
+
+// DefaultConfig is a small shared-basis federation.
+func DefaultConfig(devices, classes, dim int) Config {
+	return Config{Devices: devices, Classes: classes, Dim: dim, RetrainEpochs: 5, Seed: 0xfed}
+}
+
+// Simulation is a constructed federation.
+type Simulation struct {
+	Devices []*Device
+	// SharedBasis is the common basis in the standard setting; nil when
+	// PrivateBases is set.
+	SharedBasis *hdc.Basis
+	cfg         Config
+}
+
+// New shards (x, y) round-robin across cfg.Devices devices and prepares
+// their bases. Round-robin keeps shards class-balanced, mimicking
+// geographically distributed sensors seeing the same phenomenon.
+func New(x [][]float64, y []int, cfg Config) (*Simulation, error) {
+	if cfg.Devices < 1 {
+		return nil, fmt.Errorf("federated: need at least 1 device, got %d", cfg.Devices)
+	}
+	if len(x) < cfg.Devices {
+		return nil, fmt.Errorf("federated: %d samples cannot cover %d devices", len(x), cfg.Devices)
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("federated: %d samples but %d labels", len(x), len(y))
+	}
+	if cfg.Classes < 2 || cfg.Dim < 1 {
+		return nil, fmt.Errorf("federated: invalid classes %d or dim %d", cfg.Classes, cfg.Dim)
+	}
+	n := len(x[0])
+	src := rng.New(cfg.Seed)
+	sim := &Simulation{cfg: cfg}
+	if !cfg.PrivateBases {
+		sim.SharedBasis = hdc.NewBasis(n, cfg.Dim, src.Split())
+	}
+	for d := 0; d < cfg.Devices; d++ {
+		dev := &Device{ID: d, classes: cfg.Classes}
+		if cfg.PrivateBases {
+			dev.Basis = hdc.NewBasis(n, cfg.Dim, src.Split())
+		} else {
+			dev.Basis = sim.SharedBasis
+		}
+		sim.Devices = append(sim.Devices, dev)
+	}
+	order := make([]int, len(x))
+	for i := range order {
+		order[i] = i
+	}
+	if cfg.NonIID {
+		// Stable label grouping: all class-0 samples first, then class-1,
+		// ... Dealing contiguous runs round-robin gives each device a
+		// label-skewed shard.
+		sort.SliceStable(order, func(a, b int) bool { return y[order[a]] < y[order[b]] })
+		chunk := (len(order) + cfg.Devices - 1) / cfg.Devices
+		for d := 0; d < cfg.Devices; d++ {
+			lo := d * chunk
+			hi := lo + chunk
+			if hi > len(order) {
+				hi = len(order)
+			}
+			for _, idx := range order[lo:hi] {
+				sim.Devices[d].X = append(sim.Devices[d].X, x[idx])
+				sim.Devices[d].Y = append(sim.Devices[d].Y, y[idx])
+			}
+		}
+		return sim, nil
+	}
+	for i, idx := range order {
+		dev := sim.Devices[i%cfg.Devices]
+		dev.X = append(dev.X, x[idx])
+		dev.Y = append(dev.Y, y[idx])
+	}
+	return sim, nil
+}
+
+// ClassPresence infers which classes a shared model was trained on — a
+// coarse but damaging leak in non-IID federations (it reveals, e.g., which
+// conditions a hospital treats). A class hypervector that accumulated no
+// samples is exactly zero after single-pass training and stays
+// near-degenerate after retraining, so the detector thresholds each
+// class's norm at `threshold` × the maximum class norm.
+func ClassPresence(m *hdc.Model, threshold float64) []bool {
+	norms := m.Norms()
+	maxNorm := 0.0
+	for _, n := range norms {
+		if n > maxNorm {
+			maxNorm = n
+		}
+	}
+	present := make([]bool, len(norms))
+	for l, n := range norms {
+		present[l] = maxNorm > 0 && n >= threshold*maxNorm
+	}
+	return present
+}
+
+// TrainAll trains every device locally (single pass + Equation-2
+// retraining) and returns the models in device order — the artifacts that
+// go over the wire.
+func (s *Simulation) TrainAll() []*hdc.Model {
+	models := make([]*hdc.Model, len(s.Devices))
+	for i, dev := range s.Devices {
+		encoded := dev.Basis.EncodeAll(dev.X)
+		m := hdc.TrainEncoded(encoded, dev.Y, dev.classes, dev.Basis.Dim())
+		if s.cfg.RetrainEpochs > 0 {
+			hdc.Retrain(m, encoded, dev.Y, 0.1, s.cfg.RetrainEpochs)
+		}
+		dev.Model = m
+		models[i] = m
+	}
+	return models
+}
+
+// Aggregate sums class hypervectors across models into the global model —
+// valid only under a shared basis (encodings of different private bases
+// live in unrelated subspaces). It returns an error under private bases,
+// making the SecureHD trade-off explicit.
+func (s *Simulation) Aggregate(models []*hdc.Model) (*hdc.Model, error) {
+	if s.cfg.PrivateBases {
+		return nil, fmt.Errorf("federated: models trained under private bases are not aggregable")
+	}
+	if len(models) == 0 {
+		return nil, fmt.Errorf("federated: nothing to aggregate")
+	}
+	global := hdc.NewModel(s.cfg.Classes, s.cfg.Dim)
+	for _, m := range models {
+		if m.NumClasses() != s.cfg.Classes || m.Dim() != s.cfg.Dim {
+			return nil, fmt.Errorf("federated: model shape %dx%d does not match federation %dx%d",
+				m.NumClasses(), m.Dim(), s.cfg.Classes, s.cfg.Dim)
+		}
+		global.Merge(m)
+	}
+	return global, nil
+}
+
+// GlobalAccuracy trains all devices, aggregates, and scores the global
+// model on a held-out set — the federation's end-to-end utility.
+func (s *Simulation) GlobalAccuracy(testX [][]float64, testY []int) (float64, error) {
+	models := s.TrainAll()
+	global, err := s.Aggregate(models)
+	if err != nil {
+		return 0, err
+	}
+	if s.SharedBasis == nil {
+		return 0, fmt.Errorf("federated: no shared basis to encode test data")
+	}
+	return hdc.AccuracyRaw(global, s.SharedBasis, testX, testY), nil
+}

@@ -1,0 +1,274 @@
+package federated
+
+import (
+	"testing"
+
+	"prid/internal/decode"
+	"prid/internal/hdc"
+	"prid/internal/rng"
+	"prid/internal/vecmath"
+)
+
+// blobs builds an easy classification problem.
+func blobs(n, k, perClass int, seed uint64) (x [][]float64, y []int) {
+	src := rng.New(seed)
+	centers := make([][]float64, k)
+	for c := range centers {
+		v := make([]float64, n)
+		src.FillUniform(v, 0, 1)
+		centers[c] = v
+	}
+	for c := 0; c < k; c++ {
+		for i := 0; i < perClass; i++ {
+			s := vecmath.Clone(centers[c])
+			for j := range s {
+				s[j] += src.Gaussian(0, 0.1)
+			}
+			x = append(x, s)
+			y = append(y, c)
+		}
+	}
+	return x, y
+}
+
+func TestShardingBalanced(t *testing.T) {
+	x, y := blobs(8, 3, 30, 1)
+	sim, err := New(x, y, DefaultConfig(3, 3, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, dev := range sim.Devices {
+		if len(dev.X) != len(x)/3 {
+			t.Fatalf("device %d got %d samples, want %d", dev.ID, len(dev.X), len(x)/3)
+		}
+		counts := make([]int, 3)
+		for _, label := range dev.Y {
+			counts[label]++
+		}
+		for c, cnt := range counts {
+			if cnt == 0 {
+				t.Fatalf("device %d has no samples of class %d", dev.ID, c)
+			}
+		}
+	}
+}
+
+func TestAggregatedModelBeatsOrMatchesLocal(t *testing.T) {
+	trainX, trainY := blobs(12, 3, 40, 2)
+	testX, testY := blobs(12, 3, 15, 2) // same seed → same centers
+	sim, err := New(trainX, trainY, DefaultConfig(4, 3, 1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := sim.TrainAll()
+	global, err := sim.Aggregate(models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	globalAcc := hdc.AccuracyRaw(global, sim.SharedBasis, testX, testY)
+	var localAccs []float64
+	for i, dev := range sim.Devices {
+		localAccs = append(localAccs, hdc.AccuracyRaw(models[i], dev.Basis, testX, testY))
+	}
+	if globalAcc < vecmath.Mean(localAccs)-0.05 {
+		t.Fatalf("global accuracy %.3f clearly below mean local %.3f", globalAcc, vecmath.Mean(localAccs))
+	}
+	if globalAcc < 0.9 {
+		t.Fatalf("global accuracy %.3f too low on easy blobs", globalAcc)
+	}
+}
+
+func TestGlobalAccuracyHelper(t *testing.T) {
+	trainX, trainY := blobs(10, 2, 30, 3)
+	testX, testY := blobs(10, 2, 10, 3)
+	sim, err := New(trainX, trainY, DefaultConfig(3, 2, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := sim.GlobalAccuracy(testX, testY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.9 {
+		t.Fatalf("GlobalAccuracy %.3f too low", acc)
+	}
+}
+
+// The core PRID observation: under a shared basis, any participant can
+// decode any other participant's model. Under SecureHD-style private
+// bases, decoding with the wrong basis fails.
+func TestPrivateBasesBlockCrossDecoding(t *testing.T) {
+	trainX, trainY := blobs(16, 2, 30, 4)
+
+	shared, err := New(trainX, trainY, DefaultConfig(2, 2, 2048))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharedModels := shared.TrainAll()
+
+	cfg := DefaultConfig(2, 2, 2048)
+	cfg.PrivateBases = true
+	private, err := New(trainX, trainY, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	privateModels := private.TrainAll()
+
+	// Decode device 0's class-0 mean with device 1's basis (the attacker's
+	// view: it only has its own basis).
+	decodeWith := func(basis *hdc.Basis, m *hdc.Model) []float64 {
+		ls, err := decode.NewLeastSquares(basis, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := ls.Decode(m.Class(0))
+		vecmath.Scale(1/float64(m.Count(0)), out)
+		return out
+	}
+	classMean := make([]float64, 16)
+	count := 0
+	for i, yv := range shared.Devices[0].Y {
+		if yv == 0 {
+			vecmath.Axpy(1, shared.Devices[0].X[i], classMean)
+			count++
+		}
+	}
+	vecmath.Scale(1/float64(count), classMean)
+
+	sharedRecon := decodeWith(shared.Devices[1].Basis, sharedModels[0])
+	privateRecon := decodeWith(private.Devices[1].Basis, privateModels[0])
+	sharedPSNR := vecmath.PSNR(classMean, sharedRecon)
+	privatePSNR := vecmath.PSNR(classMean, privateRecon)
+	if sharedPSNR < privatePSNR+10 {
+		t.Fatalf("private bases did not block decoding: shared %v dB vs private %v dB", sharedPSNR, privatePSNR)
+	}
+}
+
+func TestPrivateBasesNotAggregable(t *testing.T) {
+	trainX, trainY := blobs(8, 2, 20, 5)
+	cfg := DefaultConfig(2, 2, 256)
+	cfg.PrivateBases = true
+	sim, err := New(trainX, trainY, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Aggregate(sim.TrainAll()); err == nil {
+		t.Fatal("aggregation under private bases should fail")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	x, y := blobs(4, 2, 10, 6)
+	if _, err := New(x, y, DefaultConfig(0, 2, 64)); err == nil {
+		t.Fatal("0 devices accepted")
+	}
+	if _, err := New(x[:1], y[:1], DefaultConfig(5, 2, 64)); err == nil {
+		t.Fatal("fewer samples than devices accepted")
+	}
+	if _, err := New(x, y[:2], DefaultConfig(2, 2, 64)); err == nil {
+		t.Fatal("label mismatch accepted")
+	}
+	if _, err := New(x, y, DefaultConfig(2, 1, 64)); err == nil {
+		t.Fatal("1 class accepted")
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	x, y := blobs(4, 2, 10, 7)
+	sim, err := New(x, y, DefaultConfig(2, 2, 64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.Aggregate(nil); err == nil {
+		t.Fatal("empty aggregate accepted")
+	}
+	if _, err := sim.Aggregate([]*hdc.Model{hdc.NewModel(3, 64)}); err == nil {
+		t.Fatal("shape mismatch accepted")
+	}
+}
+
+func TestNonIIDShardingSkewsLabels(t *testing.T) {
+	x, y := blobs(8, 4, 40, 8) // 160 samples, 4 classes
+	cfg := DefaultConfig(4, 4, 256)
+	cfg.NonIID = true
+	sim, err := New(x, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every device must be missing at least one class (label-skewed),
+	// while the union still covers everything.
+	union := make([]bool, 4)
+	for _, dev := range sim.Devices {
+		seen := make([]bool, 4)
+		for _, label := range dev.Y {
+			seen[label] = true
+			union[label] = true
+		}
+		missing := 0
+		for _, s := range seen {
+			if !s {
+				missing++
+			}
+		}
+		if missing == 0 {
+			t.Fatalf("device %d saw all classes under non-IID sharding: %v", dev.ID, seen)
+		}
+	}
+	for c, s := range union {
+		if !s {
+			t.Fatalf("class %d lost entirely by sharding", c)
+		}
+	}
+}
+
+func TestNonIIDGlobalModelStillWorks(t *testing.T) {
+	trainX, trainY := blobs(10, 4, 40, 9)
+	testX, testY := blobs(10, 4, 10, 9)
+	cfg := DefaultConfig(4, 4, 1024)
+	cfg.NonIID = true
+	sim, err := New(trainX, trainY, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := sim.GlobalAccuracy(testX, testY)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.85 {
+		t.Fatalf("non-IID aggregated accuracy %.3f", acc)
+	}
+}
+
+func TestClassPresenceLeak(t *testing.T) {
+	// The class-presence leak: a shared model from a non-IID device reveals
+	// which classes its private shard contained.
+	x, y := blobs(8, 4, 40, 10)
+	cfg := DefaultConfig(4, 4, 512)
+	cfg.NonIID = true
+	sim, err := New(x, y, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	models := sim.TrainAll()
+	for d, dev := range sim.Devices {
+		truth := make([]bool, 4)
+		for _, label := range dev.Y {
+			truth[label] = true
+		}
+		inferred := ClassPresence(models[d], 0.1)
+		for c := range truth {
+			if truth[c] != inferred[c] {
+				t.Fatalf("device %d class %d: presence %v inferred as %v", d, c, truth[c], inferred[c])
+			}
+		}
+	}
+}
+
+func TestClassPresenceZeroModel(t *testing.T) {
+	m := hdc.NewModel(3, 16)
+	for _, p := range ClassPresence(m, 0.1) {
+		if p {
+			t.Fatal("zero model reported class presence")
+		}
+	}
+}

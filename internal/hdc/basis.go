@@ -1,0 +1,127 @@
+// Package hdc implements the hyperdimensional-computing substrate PRID
+// attacks and defends: the random-basis linear encoder of Imani et al.
+// (SecureHD, the encoder the paper builds on), class-hypervector models,
+// single-pass training, perceptron-style iterative retraining (the paper's
+// Equation 2), and cosine-similarity inference.
+//
+// Encoding maps a feature vector F = {f_1, ..., f_n} to a hypervector
+// H = Σ_k f_k · B_k where each base hypervector B_k ∈ {−1, +1}^D is drawn
+// once, uniformly at random. Random ±1 vectors in high dimension are nearly
+// orthogonal, which is what makes the encoding both information-preserving
+// (each feature occupies its own quasi-orthogonal subspace — the property
+// the PRID attack exploits) and robust.
+package hdc
+
+import (
+	"fmt"
+
+	"prid/internal/rng"
+	"prid/internal/vecmath"
+)
+
+// Encoder maps feature vectors to hypervectors. Both the dense and the
+// bit-packed basis implement it, as do the defended encoders layered on
+// top.
+type Encoder interface {
+	// Encode maps an n-feature vector to a D-dimensional hypervector.
+	Encode(features []float64) []float64
+	// Features returns the input dimensionality n.
+	Features() int
+	// Dim returns the hypervector dimensionality D.
+	Dim() int
+}
+
+// Basis is a dense set of n random ±1 base hypervectors of dimension D,
+// stored row-major (row k is B_k). It is the encoding key: anyone holding
+// it can encode, and — as the paper shows — decode.
+type Basis struct {
+	n, d int
+	data []float64 // n*d, row k at data[k*d:(k+1)*d], values in {-1,+1}
+}
+
+// NewBasis draws an n×D random ±1 basis from src. It panics if n or D is
+// not positive: a basis is sized once, at system setup, so a bad size is a
+// programming error.
+func NewBasis(n, d int, src *rng.Source) *Basis {
+	if n <= 0 || d <= 0 {
+		panic(fmt.Sprintf("hdc: NewBasis with non-positive size n=%d d=%d", n, d))
+	}
+	b := &Basis{n: n, d: d, data: make([]float64, n*d)}
+	src.FillRademacher(b.data)
+	return b
+}
+
+// Features returns the number of base hypervectors n (one per feature).
+func (b *Basis) Features() int { return b.n }
+
+// Dim returns the hypervector dimensionality D.
+func (b *Basis) Dim() int { return b.d }
+
+// Row returns base hypervector B_k as a slice aliasing the basis storage.
+// Callers must not modify it.
+func (b *Basis) Row(k int) []float64 {
+	return b.data[k*b.d : (k+1)*b.d]
+}
+
+// Matrix returns the n×D basis as a vecmath.Matrix view sharing storage
+// with the basis. It is the B matrix of the learning-based decoder.
+func (b *Basis) Matrix() *vecmath.Matrix {
+	return &vecmath.Matrix{Rows: b.n, Cols: b.d, Data: b.data}
+}
+
+// Encode maps features (length n) to a fresh D-dimensional hypervector
+// H = Σ_k f_k · B_k.
+func (b *Basis) Encode(features []float64) []float64 {
+	h := make([]float64, b.d)
+	b.EncodeInto(h, features)
+	return h
+}
+
+// EncodeInto writes the encoding of features into dst (length D),
+// overwriting its contents.
+func (b *Basis) EncodeInto(dst, features []float64) {
+	if len(features) != b.n {
+		panic(fmt.Sprintf("hdc: Encode with %d features, basis has %d", len(features), b.n))
+	}
+	if len(dst) != b.d {
+		panic(fmt.Sprintf("hdc: EncodeInto dst length %d, want %d", len(dst), b.d))
+	}
+	vecmath.Zero(dst)
+	for k, f := range features {
+		if f == 0 {
+			continue // zero features contribute nothing; skip the D-length pass
+		}
+		vecmath.Axpy(f, b.Row(k), dst)
+	}
+}
+
+// EncodeAll encodes every row of X, returning one hypervector per sample.
+func (b *Basis) EncodeAll(x [][]float64) [][]float64 {
+	out := make([][]float64, len(x))
+	for i, f := range x {
+		out[i] = b.Encode(f)
+	}
+	return out
+}
+
+// AddFeature updates an existing encoding h in place as if feature k had
+// been increased by delta: h += delta · B_k. The PRID feature-replacement
+// attack uses this to mask single features (delta = −f_k) in O(D) instead
+// of re-encoding in O(nD).
+func (b *Basis) AddFeature(h []float64, k int, delta float64) {
+	if len(h) != b.d {
+		panic(fmt.Sprintf("hdc: AddFeature hypervector length %d, want %d", len(h), b.d))
+	}
+	if delta == 0 {
+		return
+	}
+	vecmath.Axpy(delta, b.Row(k), h)
+}
+
+// Decode recovers feature k analytically from a hypervector: because base
+// hypervectors are nearly orthogonal and Bᵢ·Bᵢ = D exactly,
+// f_k ≈ (B_k · H) / D. This is the paper's analytical single-feature
+// decoder; package decode builds the full decoders on top of it.
+func (b *Basis) Decode(h []float64, k int) float64 {
+	return vecmath.Dot(b.Row(k), h) / float64(b.d)
+}

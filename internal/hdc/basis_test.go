@@ -1,0 +1,189 @@
+package hdc
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"prid/internal/rng"
+	"prid/internal/vecmath"
+)
+
+func TestBasisValuesArePlusMinusOne(t *testing.T) {
+	b := NewBasis(16, 256, rng.New(1))
+	for k := 0; k < b.Features(); k++ {
+		for _, v := range b.Row(k) {
+			if v != 1 && v != -1 {
+				t.Fatalf("basis element %v is not ±1", v)
+			}
+		}
+	}
+}
+
+func TestBasisNearOrthogonality(t *testing.T) {
+	// Random ±1 vectors of dimension D have cosine similarity with standard
+	// deviation 1/sqrt(D); with D = 4096 any |cos| above ~6/sqrt(D) ≈ 0.094
+	// would be a 6-sigma event.
+	b := NewBasis(32, 4096, rng.New(2))
+	for i := 0; i < b.Features(); i++ {
+		for j := i + 1; j < b.Features(); j++ {
+			c := vecmath.Cosine(b.Row(i), b.Row(j))
+			if math.Abs(c) > 6.0/math.Sqrt(4096) {
+				t.Fatalf("bases %d,%d cosine %v too large", i, j, c)
+			}
+		}
+	}
+}
+
+func TestBasisSelfSimilarity(t *testing.T) {
+	b := NewBasis(4, 128, rng.New(3))
+	for k := 0; k < 4; k++ {
+		if got := vecmath.Dot(b.Row(k), b.Row(k)); got != 128 {
+			t.Fatalf("B_%d · B_%d = %v, want D=128", k, k, got)
+		}
+	}
+}
+
+func TestEncodeMatchesDefinition(t *testing.T) {
+	b := NewBasis(5, 64, rng.New(4))
+	f := []float64{0.3, -1.2, 0, 2.5, 0.01}
+	h := b.Encode(f)
+	want := make([]float64, 64)
+	for k, v := range f {
+		for j, bj := range b.Row(k) {
+			want[j] += v * bj
+		}
+	}
+	if mse := vecmath.MSE(h, want); mse > 1e-20 {
+		t.Fatalf("Encode deviates from definition, MSE %g", mse)
+	}
+}
+
+// Property: encoding is linear — Encode(a·f1 + b·f2) = a·Encode(f1) + b·Encode(f2).
+func TestEncodeLinearity(t *testing.T) {
+	basis := NewBasis(8, 256, rng.New(5))
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		f1 := make([]float64, 8)
+		f2 := make([]float64, 8)
+		r.FillNorm(f1)
+		r.FillNorm(f2)
+		a, c := r.Uniform(-2, 2), r.Uniform(-2, 2)
+		combo := make([]float64, 8)
+		for i := range combo {
+			combo[i] = a*f1[i] + c*f2[i]
+		}
+		left := basis.Encode(combo)
+		h1, h2 := basis.Encode(f1), basis.Encode(f2)
+		right := make([]float64, 256)
+		vecmath.Axpy(a, h1, right)
+		vecmath.Axpy(c, h2, right)
+		return vecmath.MSE(left, right) < 1e-18
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRecoversFeatures(t *testing.T) {
+	// With D >> n, the analytical decoder B_k·H/D recovers each feature up
+	// to cross-talk noise of magnitude ~ sqrt(n/D) per unit feature energy.
+	b := NewBasis(10, 8192, rng.New(6))
+	f := []float64{1, -0.5, 0.25, 0, 2, -1.5, 0.7, 0.1, -0.1, 0.9}
+	h := b.Encode(f)
+	for k, want := range f {
+		got := b.Decode(h, k)
+		if math.Abs(got-want) > 0.15 {
+			t.Fatalf("Decode(%d) = %v, want %v ± 0.15", k, got, want)
+		}
+	}
+}
+
+func TestAddFeatureMatchesReencoding(t *testing.T) {
+	b := NewBasis(6, 128, rng.New(7))
+	f := []float64{0.5, 1.5, -2, 0.25, 1, -1}
+	h := b.Encode(f)
+	// Mask feature 2 via AddFeature and via full re-encode; must agree.
+	masked := vecmath.Clone(f)
+	masked[2] = 0
+	want := b.Encode(masked)
+	b.AddFeature(h, 2, -f[2])
+	if mse := vecmath.MSE(h, want); mse > 1e-20 {
+		t.Fatalf("AddFeature mask deviates from re-encoding, MSE %g", mse)
+	}
+}
+
+func TestEncodeIntoReusesBuffer(t *testing.T) {
+	b := NewBasis(3, 32, rng.New(8))
+	dst := make([]float64, 32)
+	vecmath.Fill(dst, 99) // stale contents must be overwritten
+	b.EncodeInto(dst, []float64{1, 2, 3})
+	want := b.Encode([]float64{1, 2, 3})
+	if mse := vecmath.MSE(dst, want); mse != 0 {
+		t.Fatalf("EncodeInto differs from Encode, MSE %g", mse)
+	}
+}
+
+func TestEncodeAll(t *testing.T) {
+	b := NewBasis(2, 16, rng.New(9))
+	x := [][]float64{{1, 0}, {0, 1}, {1, 1}}
+	hs := b.EncodeAll(x)
+	if len(hs) != 3 {
+		t.Fatalf("EncodeAll returned %d rows", len(hs))
+	}
+	for i, f := range x {
+		if mse := vecmath.MSE(hs[i], b.Encode(f)); mse != 0 {
+			t.Fatalf("EncodeAll row %d differs", i)
+		}
+	}
+}
+
+func TestMatrixViewAliases(t *testing.T) {
+	b := NewBasis(4, 8, rng.New(10))
+	m := b.Matrix()
+	if m.Rows != 4 || m.Cols != 8 {
+		t.Fatalf("Matrix shape %dx%d", m.Rows, m.Cols)
+	}
+	if &m.Data[0] != &b.data[0] {
+		t.Fatal("Matrix should share storage with the basis")
+	}
+}
+
+func TestBasisPanics(t *testing.T) {
+	b := NewBasis(2, 8, rng.New(11))
+	mustPanic(t, "NewBasis(0, 8)", func() { NewBasis(0, 8, rng.New(1)) })
+	mustPanic(t, "Encode wrong length", func() { b.Encode([]float64{1}) })
+	mustPanic(t, "EncodeInto wrong dst", func() { b.EncodeInto(make([]float64, 3), []float64{1, 2}) })
+	mustPanic(t, "AddFeature wrong h", func() { b.AddFeature(make([]float64, 3), 0, 1) })
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", name)
+		}
+	}()
+	f()
+}
+
+func TestBasisDeterminism(t *testing.T) {
+	a := NewBasis(4, 64, rng.New(42))
+	b := NewBasis(4, 64, rng.New(42))
+	for k := 0; k < 4; k++ {
+		if vecmath.MSE(a.Row(k), b.Row(k)) != 0 {
+			t.Fatal("same seed produced different bases")
+		}
+	}
+}
+
+func BenchmarkEncode784x2048(b *testing.B) {
+	basis := NewBasis(784, 2048, rng.New(1))
+	f := make([]float64, 784)
+	rng.New(2).FillNorm(f)
+	dst := make([]float64, 2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		basis.EncodeInto(dst, f)
+	}
+}

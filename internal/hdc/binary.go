@@ -1,0 +1,182 @@
+package hdc
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// BinaryModel is the sign-quantized, bit-packed form of a Model: one bit
+// per class dimension (1 → +1, 0 → −1). This is the representation binary
+// HDC accelerators (and the paper's 1-bit defense) deploy: similarity
+// reduces to Hamming distance, computed with XOR + popcount at 64
+// dimensions per instruction, and the model shrinks 64×.
+//
+// For a query hypervector the cosine against a ±1 class vector is
+// monotone in the Hamming distance between their sign patterns, so
+// classification by minimum Hamming distance matches classification by
+// cosine against the sign-quantized classes whenever the query is also
+// sign-binarized. Classify uses the query's signs; ClassifyFloat keeps
+// the query's magnitudes (dot product against ±1, still branch-free).
+type BinaryModel struct {
+	k, d  int
+	words int
+	bits  []uint64 // k rows × words
+}
+
+// Binarize packs the sign pattern of every class hypervector of m.
+func Binarize(m *Model) *BinaryModel {
+	words := (m.d + 63) / 64
+	b := &BinaryModel{k: len(m.classes), d: m.d, words: words, bits: make([]uint64, len(m.classes)*words)}
+	for l, class := range m.classes {
+		row := b.bits[l*words : (l+1)*words]
+		for j, v := range class {
+			if v >= 0 {
+				row[j/64] |= 1 << uint(j%64)
+			}
+		}
+	}
+	return b
+}
+
+// NumClasses returns k.
+func (b *BinaryModel) NumClasses() int { return b.k }
+
+// Dim returns D.
+func (b *BinaryModel) Dim() int { return b.d }
+
+// MemoryBytes returns the packed footprint.
+func (b *BinaryModel) MemoryBytes() int { return len(b.bits) * 8 }
+
+// packSigns packs the sign pattern of h into dst (length words). Tail
+// bits beyond d stay zero on both sides, cancelling in XOR.
+func (b *BinaryModel) packSigns(dst []uint64, h []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+	for j, v := range h {
+		if v >= 0 {
+			dst[j/64] |= 1 << uint(j%64)
+		}
+	}
+}
+
+// Classify sign-binarizes the query and returns the class with the
+// minimum Hamming distance, plus the distance vector. Ties resolve to the
+// lowest class index.
+func (b *BinaryModel) Classify(h []float64) (int, []int) {
+	if len(h) != b.d {
+		panic(fmt.Sprintf("hdc: BinaryModel.Classify length %d, want %d", len(h), b.d))
+	}
+	q := make([]uint64, b.words)
+	b.packSigns(q, h)
+	dists := make([]int, b.k)
+	best := 0
+	for l := 0; l < b.k; l++ {
+		row := b.bits[l*b.words : (l+1)*b.words]
+		hd := 0
+		for w := range row {
+			hd += bits.OnesCount64(row[w] ^ q[w])
+		}
+		dists[l] = hd
+		if hd < dists[best] {
+			best = l
+		}
+	}
+	return best, dists
+}
+
+// ClassifyFloat keeps the query's magnitudes: score_l = Σ_j h_j·sign_lj,
+// evaluated without unpacking (add where the bit is set, subtract the
+// total otherwise: Σ h_j·s_j = 2·Σ_{set} h_j − Σ h_j).
+func (b *BinaryModel) ClassifyFloat(h []float64) (int, []float64) {
+	if len(h) != b.d {
+		panic(fmt.Sprintf("hdc: BinaryModel.ClassifyFloat length %d, want %d", len(h), b.d))
+	}
+	var total float64
+	for _, v := range h {
+		total += v
+	}
+	scores := make([]float64, b.k)
+	best := 0
+	for l := 0; l < b.k; l++ {
+		row := b.bits[l*b.words : (l+1)*b.words]
+		var setSum float64
+		for w, word := range row {
+			base := w * 64
+			for word != 0 {
+				j := bits.TrailingZeros64(word)
+				setSum += h[base+j]
+				word &= word - 1
+			}
+		}
+		scores[l] = 2*setSum - total
+		if scores[l] > scores[best] {
+			best = l
+		}
+	}
+	return best, scores
+}
+
+// Accuracy classifies every pre-encoded sample by Hamming distance.
+func (b *BinaryModel) Accuracy(encoded [][]float64, y []int) float64 {
+	if len(encoded) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, h := range encoded {
+		if pred, _ := b.Classify(h); pred == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(encoded))
+}
+
+// HammingSimilarity converts a Hamming distance to the equivalent cosine
+// of the two ±1 sign patterns: cos = 1 − 2·hd/D.
+func (b *BinaryModel) HammingSimilarity(hd int) float64 {
+	return 1 - 2*float64(hd)/float64(b.d)
+}
+
+// AgreesWithCosine reports the fraction of samples where Hamming
+// classification matches cosine classification against the sign-quantized
+// float model — a consistency diagnostic for tests (exact ties may differ,
+// everything else must agree).
+func (b *BinaryModel) AgreesWithCosine(m *Model, encoded [][]float64) float64 {
+	if len(encoded) == 0 {
+		return 1
+	}
+	signs := m.Clone()
+	for l := 0; l < signs.NumClasses(); l++ {
+		class := signs.Class(l)
+		for j, v := range class {
+			if v >= 0 {
+				class[j] = 1
+			} else {
+				class[j] = -1
+			}
+		}
+	}
+	agree := 0
+	for _, h := range encoded {
+		sh := make([]float64, len(h))
+		for j, v := range h {
+			if v >= 0 {
+				sh[j] = 1
+			} else {
+				sh[j] = -1
+			}
+		}
+		pc, _ := signs.Classify(sh)
+		ph, _ := b.Classify(h)
+		if pc == ph {
+			agree++
+		}
+	}
+	return float64(agree) / float64(len(encoded))
+}
+
+// CompressionRatio returns the size ratio of the float model to the
+// packed one.
+func (b *BinaryModel) CompressionRatio() float64 {
+	return float64(b.k*b.d*8) / float64(b.MemoryBytes())
+}

@@ -1,0 +1,129 @@
+package hdc
+
+import (
+	"testing"
+
+	"prid/internal/rng"
+)
+
+func TestBinaryModelClassifiesSeparableData(t *testing.T) {
+	src := rng.New(70)
+	x, y := twoClusterData(20, 30, src)
+	basis := NewBasis(20, 2048, src.Split())
+	m := Train(basis, x, y, 2)
+	bm := Binarize(m)
+	encoded := basis.EncodeAll(x)
+	if acc := bm.Accuracy(encoded, y); acc < 0.95 {
+		t.Fatalf("binary model accuracy %.3f on separable clusters", acc)
+	}
+}
+
+func TestBinaryAgreesWithCosineOnSigns(t *testing.T) {
+	src := rng.New(71)
+	x, y := twoClusterData(16, 25, src)
+	basis := NewBasis(16, 1024, src.Split())
+	m := Train(basis, x, y, 2)
+	bm := Binarize(m)
+	encoded := basis.EncodeAll(x)
+	if agree := bm.AgreesWithCosine(m, encoded); agree < 0.99 {
+		t.Fatalf("Hamming vs cosine-on-signs agreement only %.3f", agree)
+	}
+	_ = y
+}
+
+func TestClassifyFloatMatchesDotProduct(t *testing.T) {
+	src := rng.New(72)
+	m := NewModel(3, 100)
+	for l := 0; l < 3; l++ {
+		h := make([]float64, 100)
+		src.FillNorm(h)
+		m.Bundle(l, h)
+	}
+	bm := Binarize(m)
+	q := make([]float64, 100)
+	src.FillNorm(q)
+	_, scores := bm.ClassifyFloat(q)
+	for l := 0; l < 3; l++ {
+		var want float64
+		for j, v := range m.Class(l) {
+			if v >= 0 {
+				want += q[j]
+			} else {
+				want -= q[j]
+			}
+		}
+		if diff := scores[l] - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("class %d: packed score %v vs direct %v", l, scores[l], want)
+		}
+	}
+}
+
+func TestHammingSimilarityConversion(t *testing.T) {
+	bm := &BinaryModel{k: 1, d: 100, words: 2, bits: make([]uint64, 2)}
+	if got := bm.HammingSimilarity(0); got != 1 {
+		t.Fatalf("hd=0 similarity %v", got)
+	}
+	if got := bm.HammingSimilarity(50); got != 0 {
+		t.Fatalf("hd=D/2 similarity %v", got)
+	}
+	if got := bm.HammingSimilarity(100); got != -1 {
+		t.Fatalf("hd=D similarity %v", got)
+	}
+}
+
+func TestBinaryModelMemory(t *testing.T) {
+	m := NewModel(10, 2048)
+	bm := Binarize(m)
+	if ratio := bm.CompressionRatio(); ratio < 60 {
+		t.Fatalf("compression ratio %.1f, want ≈ 64", ratio)
+	}
+	if bm.NumClasses() != 10 || bm.Dim() != 2048 {
+		t.Fatalf("shape %dx%d", bm.NumClasses(), bm.Dim())
+	}
+}
+
+func TestBinaryClassifyPanics(t *testing.T) {
+	bm := Binarize(NewModel(2, 64))
+	mustPanic(t, "Classify wrong length", func() { bm.Classify(make([]float64, 3)) })
+	mustPanic(t, "ClassifyFloat wrong length", func() { bm.ClassifyFloat(make([]float64, 3)) })
+}
+
+func TestBinaryAccuracyEmpty(t *testing.T) {
+	bm := Binarize(NewModel(2, 64))
+	if bm.Accuracy(nil, nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+}
+
+func BenchmarkFloatClassify10x2048(b *testing.B) {
+	src := rng.New(1)
+	m := NewModel(10, 2048)
+	for l := 0; l < 10; l++ {
+		h := make([]float64, 2048)
+		src.FillNorm(h)
+		m.Bundle(l, h)
+	}
+	q := make([]float64, 2048)
+	src.FillNorm(q)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Classify(q)
+	}
+}
+
+func BenchmarkBinaryClassify10x2048(b *testing.B) {
+	src := rng.New(1)
+	m := NewModel(10, 2048)
+	for l := 0; l < 10; l++ {
+		h := make([]float64, 2048)
+		src.FillNorm(h)
+		m.Bundle(l, h)
+	}
+	bm := Binarize(m)
+	q := make([]float64, 2048)
+	src.FillNorm(q)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm.Classify(q)
+	}
+}

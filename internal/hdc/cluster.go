@@ -1,0 +1,184 @@
+package hdc
+
+import (
+	"fmt"
+
+	"prid/internal/rng"
+	"prid/internal/vecmath"
+)
+
+// Clustering is the unsupervised counterpart of the class model (the HDC
+// clustering line the paper cites): cosine k-means over encoded
+// hypervectors. Its centroids are structurally identical to class
+// hypervectors — sums of member encodings — which means everything PRID
+// shows about model inversion applies verbatim to shared *clustering*
+// models: decoding a centroid reveals the mean of its members. The
+// clustering ablation tests exercise exactly that.
+type Clustering struct {
+	// Centroids are the k cluster hypervectors (sums of member encodings,
+	// like Model class vectors).
+	Centroids [][]float64
+	// Assignments maps each input sample to its cluster.
+	Assignments []int
+	// Sizes counts members per cluster.
+	Sizes []int
+	// Iterations actually run before convergence.
+	Iterations int
+}
+
+// ClusterConfig controls Cluster.
+type ClusterConfig struct {
+	K        int
+	MaxIters int
+	Seed     uint64
+}
+
+// DefaultClusterConfig uses 20 Lloyd iterations.
+func DefaultClusterConfig(k int) ClusterConfig {
+	return ClusterConfig{K: k, MaxIters: 20, Seed: 0xc105}
+}
+
+// Cluster runs cosine k-means on pre-encoded hypervectors: centroids are
+// member sums (cosine is scale-free, so sums and means classify
+// identically), assignment is by maximum cosine similarity, and
+// initialization picks k distinct samples (k-means++-lite: the first is
+// random, each next is the sample least similar to the chosen set).
+func Cluster(encoded [][]float64, cfg ClusterConfig) *Clustering {
+	if cfg.K < 1 {
+		panic(fmt.Sprintf("hdc: Cluster with k=%d", cfg.K))
+	}
+	if len(encoded) < cfg.K {
+		panic(fmt.Sprintf("hdc: Cluster k=%d with only %d samples", cfg.K, len(encoded)))
+	}
+	if cfg.MaxIters < 1 {
+		panic(fmt.Sprintf("hdc: Cluster with MaxIters=%d", cfg.MaxIters))
+	}
+	d := len(encoded[0])
+	src := rng.New(cfg.Seed)
+
+	// Farthest-point initialization.
+	chosen := []int{src.Intn(len(encoded))}
+	for len(chosen) < cfg.K {
+		worstIdx, worstSim := -1, 2.0
+		for i := range encoded {
+			best := -2.0
+			for _, c := range chosen {
+				if s := vecmath.Cosine(encoded[i], encoded[c]); s > best {
+					best = s
+				}
+			}
+			if best < worstSim {
+				worstSim, worstIdx = best, i
+			}
+		}
+		chosen = append(chosen, worstIdx)
+	}
+	centroids := make([][]float64, cfg.K)
+	for j, idx := range chosen {
+		centroids[j] = vecmath.Clone(encoded[idx])
+	}
+
+	cl := &Clustering{
+		Centroids:   centroids,
+		Assignments: make([]int, len(encoded)),
+		Sizes:       make([]int, cfg.K),
+	}
+	for i := range cl.Assignments {
+		cl.Assignments[i] = -1
+	}
+	for iter := 1; iter <= cfg.MaxIters; iter++ {
+		cl.Iterations = iter
+		changed := false
+		for i, h := range encoded {
+			best, bestSim := 0, -2.0
+			for j, c := range cl.Centroids {
+				if s := vecmath.Cosine(h, c); s > bestSim {
+					best, bestSim = j, s
+				}
+			}
+			if cl.Assignments[i] != best {
+				cl.Assignments[i] = best
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		// Rebuild centroids as member sums; an emptied cluster keeps its
+		// old centroid (it can re-acquire members next round).
+		next := make([][]float64, cfg.K)
+		sizes := make([]int, cfg.K)
+		for j := range next {
+			next[j] = make([]float64, d)
+		}
+		for i, h := range encoded {
+			vecmath.Axpy(1, h, next[cl.Assignments[i]])
+			sizes[cl.Assignments[i]]++
+		}
+		for j := range next {
+			if sizes[j] > 0 {
+				cl.Centroids[j] = next[j]
+			}
+		}
+		cl.Sizes = sizes
+	}
+	// Final size pass (covers the converged-first-iteration path).
+	for j := range cl.Sizes {
+		cl.Sizes[j] = 0
+	}
+	for _, a := range cl.Assignments {
+		cl.Sizes[a]++
+	}
+	return cl
+}
+
+// AsModel views the clustering as an HDC Model — one "class" per cluster,
+// with bundle counts set to the cluster sizes. This is the bridge through
+// which the PRID attack applies to shared clustering models.
+func (cl *Clustering) AsModel() *Model {
+	if len(cl.Centroids) == 0 {
+		panic("hdc: AsModel on empty clustering")
+	}
+	m := NewModel(len(cl.Centroids), len(cl.Centroids[0]))
+	for j, c := range cl.Centroids {
+		m.SetClass(j, c)
+		m.counts[j] = cl.Sizes[j]
+	}
+	return m
+}
+
+// Purity scores the clustering against ground-truth labels: for each
+// cluster take its majority label, and return the fraction of samples
+// whose cluster majority matches their own label.
+func (cl *Clustering) Purity(y []int) float64 {
+	if len(y) != len(cl.Assignments) {
+		panic(fmt.Sprintf("hdc: Purity with %d labels for %d assignments", len(y), len(cl.Assignments)))
+	}
+	if len(y) == 0 {
+		return 0
+	}
+	maxLabel := 0
+	for _, label := range y {
+		if label > maxLabel {
+			maxLabel = label
+		}
+	}
+	counts := make([][]int, len(cl.Centroids))
+	for j := range counts {
+		counts[j] = make([]int, maxLabel+1)
+	}
+	for i, a := range cl.Assignments {
+		counts[a][y[i]]++
+	}
+	correct := 0
+	for _, row := range counts {
+		best := 0
+		for _, c := range row {
+			if c > best {
+				best = c
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(len(y))
+}

@@ -1,0 +1,131 @@
+package hdc
+
+import (
+	"testing"
+
+	"prid/internal/rng"
+	"prid/internal/vecmath"
+)
+
+// clusterData builds k well-separated clusters in feature space and
+// returns their encodings plus labels.
+func clusterData(t *testing.T, k, perClass, n, d int, seed uint64) (*Basis, [][]float64, [][]float64, []int) {
+	t.Helper()
+	src := rng.New(seed)
+	protos := make([][]float64, k)
+	for c := range protos {
+		p := make([]float64, n)
+		src.FillUniform(p, 0, 1)
+		protos[c] = p
+	}
+	var x [][]float64
+	var y []int
+	for c := 0; c < k; c++ {
+		for i := 0; i < perClass; i++ {
+			s := vecmath.Clone(protos[c])
+			for j := range s {
+				s[j] += src.Gaussian(0, 0.05)
+			}
+			x = append(x, s)
+			y = append(y, c)
+		}
+	}
+	basis := NewBasis(n, d, src.Split())
+	return basis, x, basis.EncodeAll(x), y
+}
+
+func TestClusterRecoversStructure(t *testing.T) {
+	_, _, encoded, y := clusterData(t, 3, 20, 16, 1024, 90)
+	cl := Cluster(encoded, DefaultClusterConfig(3))
+	if purity := cl.Purity(y); purity < 0.95 {
+		t.Fatalf("purity %.3f on well-separated clusters", purity)
+	}
+	total := 0
+	for _, s := range cl.Sizes {
+		if s == 0 {
+			t.Fatal("empty cluster on balanced data")
+		}
+		total += s
+	}
+	if total != len(encoded) {
+		t.Fatalf("sizes sum to %d, want %d", total, len(encoded))
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	_, _, encoded, _ := clusterData(t, 2, 15, 12, 512, 91)
+	a := Cluster(encoded, DefaultClusterConfig(2))
+	b := Cluster(encoded, DefaultClusterConfig(2))
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatal("same config produced different clusterings")
+		}
+	}
+}
+
+// The privacy corollary: decoding a shared clustering's centroid reveals
+// the mean of the samples in that cluster, exactly like a class
+// hypervector.
+func TestClusterCentroidsLeakMemberMeans(t *testing.T) {
+	basis, x, encoded, _ := clusterData(t, 3, 15, 16, 1024, 92)
+	cl := Cluster(encoded, DefaultClusterConfig(3))
+	m := cl.AsModel()
+	// Decode each centroid analytically and compare to the member mean.
+	for j := range cl.Centroids {
+		mean := make([]float64, 16)
+		count := 0
+		for i, a := range cl.Assignments {
+			if a == j {
+				vecmath.Axpy(1, x[i], mean)
+				count++
+			}
+		}
+		if count == 0 {
+			continue
+		}
+		vecmath.Scale(1/float64(count), mean)
+		decoded := make([]float64, 16)
+		for f := 0; f < 16; f++ {
+			decoded[f] = basis.Decode(m.Class(j), f) / float64(count)
+		}
+		if c := vecmath.Cosine(decoded, mean); c < 0.95 {
+			t.Fatalf("centroid %d decode cosine %.3f to member mean", j, c)
+		}
+	}
+}
+
+func TestAsModelShape(t *testing.T) {
+	_, _, encoded, _ := clusterData(t, 2, 10, 8, 256, 93)
+	cl := Cluster(encoded, DefaultClusterConfig(2))
+	m := cl.AsModel()
+	if m.NumClasses() != 2 || m.Dim() != 256 {
+		t.Fatalf("model shape %dx%d", m.NumClasses(), m.Dim())
+	}
+	if m.Count(0)+m.Count(1) != len(encoded) {
+		t.Fatal("bundle counts do not cover all samples")
+	}
+}
+
+func TestClusterPanics(t *testing.T) {
+	_, _, encoded, _ := clusterData(t, 2, 5, 4, 64, 94)
+	mustPanic(t, "k=0", func() { Cluster(encoded, ClusterConfig{K: 0, MaxIters: 1}) })
+	mustPanic(t, "k > samples", func() { Cluster(encoded[:1], ClusterConfig{K: 2, MaxIters: 1}) })
+	mustPanic(t, "no iters", func() { Cluster(encoded, ClusterConfig{K: 2, MaxIters: 0}) })
+	cl := Cluster(encoded, DefaultClusterConfig(2))
+	mustPanic(t, "purity mismatch", func() { cl.Purity([]int{0}) })
+}
+
+func BenchmarkCluster60x1024(b *testing.B) {
+	src := rng.New(1)
+	encoded := make([][]float64, 60)
+	for i := range encoded {
+		h := make([]float64, 1024)
+		src.FillNorm(h)
+		encoded[i] = h
+	}
+	cfg := DefaultClusterConfig(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Cluster(encoded, cfg)
+	}
+}

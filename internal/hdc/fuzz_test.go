@@ -1,0 +1,64 @@
+package hdc
+
+import (
+	"bytes"
+	"testing"
+
+	"prid/internal/rng"
+)
+
+// FuzzReadBasis hardens the basis deserializer: arbitrary bytes must
+// either parse into a structurally valid basis or error — never panic,
+// never hang, never allocate absurdly.
+func FuzzReadBasis(f *testing.F) {
+	var valid bytes.Buffer
+	if err := WriteBasis(&valid, NewBasis(3, 70, rng.New(1))); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte(basisMagic))
+	f.Add([]byte{})
+	f.Add([]byte("PRIDBAS1\x01\x00\x00\x00\xff\xff\xff\xff"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := ReadBasis(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if b.Features() <= 0 || b.Dim() <= 0 {
+			t.Fatalf("accepted basis with shape %dx%d", b.Features(), b.Dim())
+		}
+		for k := 0; k < b.Features(); k++ {
+			for _, v := range b.Row(k) {
+				if v != 1 && v != -1 {
+					t.Fatalf("accepted basis with non-±1 value %v", v)
+				}
+			}
+		}
+	})
+}
+
+// FuzzReadModel hardens the model deserializer the same way, and
+// additionally requires every accepted model to be finite.
+func FuzzReadModel(f *testing.F) {
+	m := NewModel(2, 17)
+	m.Bundle(0, make([]float64, 17))
+	var valid bytes.Buffer
+	if err := WriteModel(&valid, m); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte(modelMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := ReadModel(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if got.NumClasses() <= 0 || got.Dim() <= 0 {
+			t.Fatalf("accepted model with shape %dx%d", got.NumClasses(), got.Dim())
+		}
+		if !got.IsFinite() {
+			t.Fatal("accepted non-finite model")
+		}
+	})
+}

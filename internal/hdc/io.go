@@ -1,0 +1,162 @@
+package hdc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Serialization of the two artifacts federated HDC exchanges: the encoding
+// basis (bit-packed: ±1 entries need one bit) and the model (class
+// hypervectors as float64). The format is versioned and little-endian:
+//
+//	magic "PRIDBAS1" | n uint32 | d uint32 | packed basis words
+//	magic "PRIDMDL1" | k uint32 | d uint32 | counts k×uint32 | classes k×d×float64
+//
+// Readers validate magic, version and sizes and fail loudly on trailing
+// garbage being absent — corrupt model files must never load silently.
+
+const (
+	basisMagic = "PRIDBAS1"
+	modelMagic = "PRIDMDL1"
+	// maxSerializedDim guards against absurd allocations from corrupt
+	// headers (a 16M-dimensional hypervector is far beyond any HDC use).
+	maxSerializedDim = 1 << 24
+)
+
+// WriteBasis serializes b to w in packed form.
+func WriteBasis(w io.Writer, b *Basis) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(basisMagic); err != nil {
+		return fmt.Errorf("hdc: writing basis magic: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(b.n)); err != nil {
+		return fmt.Errorf("hdc: writing basis n: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(b.d)); err != nil {
+		return fmt.Errorf("hdc: writing basis d: %w", err)
+	}
+	packed := PackBasis(b)
+	if err := binary.Write(bw, binary.LittleEndian, packed.bits); err != nil {
+		return fmt.Errorf("hdc: writing basis bits: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadBasis deserializes a basis written by WriteBasis. The reader is not
+// buffered internally: multiple artifacts are commonly concatenated in one
+// stream (basis followed by model), and a read-ahead buffer would consume
+// bytes belonging to the next section.
+func ReadBasis(r io.Reader) (*Basis, error) {
+	if err := expectMagic(r, basisMagic); err != nil {
+		return nil, err
+	}
+	n, err := readDim(r, "basis n")
+	if err != nil {
+		return nil, err
+	}
+	d, err := readDim(r, "basis d")
+	if err != nil {
+		return nil, err
+	}
+	words := (d + 63) / 64
+	p := &PackedBasis{n: n, d: d, words: words, bits: make([]uint64, n*words)}
+	if err := binary.Read(r, binary.LittleEndian, p.bits); err != nil {
+		return nil, fmt.Errorf("hdc: reading basis bits: %w", err)
+	}
+	// Tail bits beyond d must be zero (the writer masks them); reject
+	// otherwise, it means truncation/corruption landed mid-stream.
+	if tail := uint(d % 64); tail != 0 {
+		mask := ^((uint64(1) << tail) - 1)
+		for row := 0; row < n; row++ {
+			if p.bits[row*words+words-1]&mask != 0 {
+				return nil, fmt.Errorf("hdc: basis row %d has non-zero tail bits (corrupt stream)", row)
+			}
+		}
+	}
+	return p.Unpack(), nil
+}
+
+// WriteModel serializes m to w.
+func WriteModel(w io.Writer, m *Model) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(modelMagic); err != nil {
+		return fmt.Errorf("hdc: writing model magic: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(len(m.classes))); err != nil {
+		return fmt.Errorf("hdc: writing model k: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(m.d)); err != nil {
+		return fmt.Errorf("hdc: writing model d: %w", err)
+	}
+	for _, c := range m.counts {
+		if err := binary.Write(bw, binary.LittleEndian, uint32(c)); err != nil {
+			return fmt.Errorf("hdc: writing model counts: %w", err)
+		}
+	}
+	for _, class := range m.classes {
+		if err := binary.Write(bw, binary.LittleEndian, class); err != nil {
+			return fmt.Errorf("hdc: writing class hypervector: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadModel deserializes a model written by WriteModel. Like ReadBasis it
+// reads exactly its own section, so artifacts can be concatenated.
+func ReadModel(r io.Reader) (*Model, error) {
+	if err := expectMagic(r, modelMagic); err != nil {
+		return nil, err
+	}
+	k, err := readDim(r, "model k")
+	if err != nil {
+		return nil, err
+	}
+	d, err := readDim(r, "model d")
+	if err != nil {
+		return nil, err
+	}
+	m := NewModel(k, d)
+	for l := 0; l < k; l++ {
+		var c uint32
+		if err := binary.Read(r, binary.LittleEndian, &c); err != nil {
+			return nil, fmt.Errorf("hdc: reading model counts: %w", err)
+		}
+		m.counts[l] = int(c)
+	}
+	for l := 0; l < k; l++ {
+		if err := binary.Read(r, binary.LittleEndian, m.classes[l]); err != nil {
+			return nil, fmt.Errorf("hdc: reading class %d: %w", l, err)
+		}
+		for j, v := range m.classes[l] {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("hdc: class %d dimension %d is not finite (corrupt stream)", l, j)
+			}
+		}
+	}
+	return m, nil
+}
+
+func expectMagic(r io.Reader, magic string) error {
+	buf := make([]byte, len(magic))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return fmt.Errorf("hdc: reading magic: %w", err)
+	}
+	if string(buf) != magic {
+		return fmt.Errorf("hdc: bad magic %q, want %q (wrong file type or version)", buf, magic)
+	}
+	return nil
+}
+
+func readDim(r io.Reader, what string) (int, error) {
+	var v uint32
+	if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
+		return 0, fmt.Errorf("hdc: reading %s: %w", what, err)
+	}
+	if v == 0 || v > maxSerializedDim {
+		return 0, fmt.Errorf("hdc: %s = %d out of range (corrupt stream)", what, v)
+	}
+	return int(v), nil
+}

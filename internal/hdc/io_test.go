@@ -1,0 +1,179 @@
+package hdc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"prid/internal/rng"
+	"prid/internal/vecmath"
+)
+
+func TestBasisRoundTrip(t *testing.T) {
+	for _, d := range []int{64, 100, 128, 1000} {
+		b := NewBasis(17, d, rng.New(uint64(d)))
+		var buf bytes.Buffer
+		if err := WriteBasis(&buf, b); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadBasis(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Features() != 17 || got.Dim() != d {
+			t.Fatalf("d=%d: shape %dx%d after round trip", d, got.Features(), got.Dim())
+		}
+		for k := 0; k < 17; k++ {
+			if vecmath.MSE(b.Row(k), got.Row(k)) != 0 {
+				t.Fatalf("d=%d: row %d changed in round trip", d, k)
+			}
+		}
+	}
+}
+
+func TestModelRoundTrip(t *testing.T) {
+	src := rng.New(1)
+	m := NewModel(3, 257)
+	for l := 0; l < 3; l++ {
+		for i := 0; i < l+1; i++ {
+			h := make([]float64, 257)
+			src.FillNorm(h)
+			m.Bundle(l, h)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumClasses() != 3 || got.Dim() != 257 {
+		t.Fatalf("shape %dx%d after round trip", got.NumClasses(), got.Dim())
+	}
+	for l := 0; l < 3; l++ {
+		if got.Count(l) != m.Count(l) {
+			t.Fatalf("class %d count %d, want %d", l, got.Count(l), m.Count(l))
+		}
+		if vecmath.MSE(m.Class(l), got.Class(l)) != 0 {
+			t.Fatalf("class %d changed in round trip", l)
+		}
+	}
+}
+
+func TestRoundTripPreservesInference(t *testing.T) {
+	src := rng.New(2)
+	x, y := twoClusterData(10, 20, src)
+	basis := NewBasis(10, 512, src.Split())
+	model := Train(basis, x, y, 2)
+
+	var bbuf, mbuf bytes.Buffer
+	if err := WriteBasis(&bbuf, basis); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteModel(&mbuf, model); err != nil {
+		t.Fatal(err)
+	}
+	basis2, err := ReadBasis(&bbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model2, err := ReadModel(&mbuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range x {
+		p1, _ := model.Classify(basis.Encode(f))
+		p2, _ := model2.Classify(basis2.Encode(f))
+		if p1 != p2 {
+			t.Fatalf("sample %d: prediction changed after round trip", i)
+		}
+	}
+}
+
+func TestReadRejectsWrongMagic(t *testing.T) {
+	if _, err := ReadBasis(strings.NewReader("NOTMAGIC????????")); err == nil {
+		t.Fatal("bad basis magic accepted")
+	}
+	if _, err := ReadModel(strings.NewReader("NOTMAGIC????????")); err == nil {
+		t.Fatal("bad model magic accepted")
+	}
+	// Cross-type: a basis stream fed to ReadModel must fail on magic.
+	b := NewBasis(2, 64, rng.New(3))
+	var buf bytes.Buffer
+	if err := WriteBasis(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadModel(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("basis stream accepted as model")
+	}
+}
+
+func TestReadRejectsTruncation(t *testing.T) {
+	b := NewBasis(4, 100, rng.New(4))
+	var buf bytes.Buffer
+	if err := WriteBasis(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	for _, cut := range []int{4, 10, len(raw) / 2, len(raw) - 1} {
+		if _, err := ReadBasis(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	m := NewModel(2, 32)
+	m.Bundle(0, make([]float64, 32))
+	buf.Reset()
+	if err := WriteModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	raw = buf.Bytes()
+	if _, err := ReadModel(bytes.NewReader(raw[:len(raw)-3])); err == nil {
+		t.Fatal("truncated model accepted")
+	}
+}
+
+func TestReadRejectsAbsurdHeader(t *testing.T) {
+	// magic + n=0 must be rejected before any allocation.
+	raw := append([]byte(basisMagic), 0, 0, 0, 0, 1, 0, 0, 0)
+	if _, err := ReadBasis(bytes.NewReader(raw)); err == nil {
+		t.Fatal("zero-dimension basis accepted")
+	}
+	// Gigantic dimension.
+	raw = append([]byte(basisMagic), 1, 0, 0, 0, 0xff, 0xff, 0xff, 0xff)
+	if _, err := ReadBasis(bytes.NewReader(raw)); err == nil {
+		t.Fatal("absurd dimension accepted")
+	}
+}
+
+func TestReadModelRejectsNonFinite(t *testing.T) {
+	m := NewModel(1, 4)
+	m.Bundle(0, []float64{1, 2, 3, 4})
+	var buf bytes.Buffer
+	if err := WriteModel(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Overwrite the first class float with a NaN bit pattern (header is
+	// magic 8 + k 4 + d 4 + counts 4 = 20 bytes).
+	nan := []byte{0, 0, 0, 0, 0, 0, 0xf8, 0x7f}
+	copy(raw[20:], nan)
+	if _, err := ReadModel(bytes.NewReader(raw)); err == nil {
+		t.Fatal("NaN class value accepted")
+	}
+}
+
+func BenchmarkBasisRoundTrip784x2048(b *testing.B) {
+	basis := NewBasis(784, 2048, rng.New(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteBasis(&buf, basis); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := ReadBasis(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

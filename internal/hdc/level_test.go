@@ -1,0 +1,142 @@
+package hdc
+
+import (
+	"math"
+	"testing"
+
+	"prid/internal/rng"
+	"prid/internal/vecmath"
+)
+
+func TestLevelVectorsCorrelationStructure(t *testing.T) {
+	e := NewLevelEncoder(4, 4096, 16, 0, 1, rng.New(1))
+	// Adjacent levels nearly identical; extremes nearly orthogonal; the
+	// similarity must decay monotonically with level distance.
+	if adj := e.LevelSimilarity(0, 1); adj < 0.9 {
+		t.Fatalf("adjacent level similarity %v, want ≥ 0.9", adj)
+	}
+	if far := e.LevelSimilarity(0, 16); math.Abs(far) > 0.15 {
+		t.Fatalf("extreme level similarity %v, want ≈ 0", far)
+	}
+	prev := 1.0
+	for l := 1; l <= 16; l++ {
+		s := e.LevelSimilarity(0, l)
+		if s > prev+1e-9 {
+			t.Fatalf("level similarity not decaying: δ(L0,L%d)=%v > δ(L0,L%d)=%v", l, s, l-1, prev)
+		}
+		prev = s
+	}
+}
+
+func TestLevelQuantizeBounds(t *testing.T) {
+	e := NewLevelEncoder(2, 64, 8, 0, 1, rng.New(2))
+	cases := []struct {
+		v    float64
+		want int
+	}{
+		{-5, 0}, {0, 0}, {0.49, 3}, {0.99, 7}, {1, 8}, {5, 8},
+	}
+	for _, c := range cases {
+		if got := e.Quantize(c.v); got != c.want {
+			t.Fatalf("Quantize(%v) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestLevelEncodeSimilarInputsSimilarOutputs(t *testing.T) {
+	src := rng.New(3)
+	e := NewLevelEncoder(32, 2048, 16, 0, 1, src)
+	f := make([]float64, 32)
+	src.FillUniform(f, 0.2, 0.8)
+	near := vecmath.Clone(f)
+	for i := range near {
+		near[i] += 0.02 // usually within the same quantization bin
+	}
+	farv := make([]float64, 32)
+	src.FillUniform(farv, 0.2, 0.8)
+	h := e.Encode(f)
+	simNear := vecmath.Cosine(h, e.Encode(near))
+	simFar := vecmath.Cosine(h, e.Encode(farv))
+	if simNear <= simFar {
+		t.Fatalf("near input similarity %v not above far input %v", simNear, simFar)
+	}
+	if simNear < 0.7 {
+		t.Fatalf("near input similarity %v too low", simNear)
+	}
+}
+
+func TestLevelEncoderTrainsClassifier(t *testing.T) {
+	src := rng.New(4)
+	x, y := twoClusterData(16, 25, src)
+	// twoClusterData emits values around ±1; map its range.
+	e := NewLevelEncoder(16, 2048, 16, -2, 2, src.Split())
+	m := Train(e, x, y, 2)
+	if acc := AccuracyRaw(m, e, x, y); acc < 0.9 {
+		t.Fatalf("level-encoded HDC accuracy %v on separable clusters", acc)
+	}
+}
+
+// The invertibility ablation: the linear decoders must NOT recover data
+// encoded with the record encoder — that nonlinearity is exactly why the
+// paper's linear encoder is the vulnerable one.
+func TestLevelEncodingResistsLinearDecoding(t *testing.T) {
+	src := rng.New(5)
+	const n, d = 24, 2048
+	linear := NewBasis(n, d, src.Split())
+	level := NewLevelEncoder(n, d, 16, 0, 1, src.Split())
+	f := make([]float64, n)
+	src.FillUniform(f, 0, 1)
+
+	// Analytical decode of the *linear* encoding against the same basis
+	// recovers f well...
+	hLin := linear.Encode(f)
+	reconLin := make([]float64, n)
+	for k := 0; k < n; k++ {
+		reconLin[k] = linear.Decode(hLin, k)
+	}
+	psnrLin := vecmath.PSNR(f, reconLin)
+
+	// ...but the record encoding is opaque to it.
+	hLvl := level.Encode(f)
+	reconLvl := make([]float64, n)
+	for k := 0; k < n; k++ {
+		reconLvl[k] = linear.Decode(hLvl, k)
+	}
+	psnrLvl := vecmath.PSNR(f, reconLvl)
+	if psnrLvl >= psnrLin-6 {
+		t.Fatalf("record encoding decodes almost as well as linear: %v dB vs %v dB", psnrLvl, psnrLin)
+	}
+}
+
+func TestLevelEncoderPanics(t *testing.T) {
+	src := rng.New(6)
+	mustPanic(t, "zero q", func() { NewLevelEncoder(2, 8, 0, 0, 1, src) })
+	mustPanic(t, "empty range", func() { NewLevelEncoder(2, 8, 4, 1, 1, src) })
+	e := NewLevelEncoder(2, 8, 4, 0, 1, src)
+	mustPanic(t, "wrong feature count", func() { e.Encode([]float64{1}) })
+	mustPanic(t, "wrong dst", func() { e.EncodeInto(make([]float64, 3), []float64{1, 2}) })
+}
+
+func TestLevelEncodeAllMatchesEncode(t *testing.T) {
+	src := rng.New(7)
+	e := NewLevelEncoder(4, 128, 8, 0, 1, src)
+	x := [][]float64{{0.1, 0.2, 0.3, 0.4}, {0.9, 0.8, 0.7, 0.6}}
+	all := e.EncodeAll(x)
+	for i, f := range x {
+		if vecmath.MSE(all[i], e.Encode(f)) != 0 {
+			t.Fatalf("EncodeAll row %d differs", i)
+		}
+	}
+}
+
+func BenchmarkLevelEncode784x2048(b *testing.B) {
+	src := rng.New(1)
+	e := NewLevelEncoder(784, 2048, 16, 0, 1, src)
+	f := make([]float64, 784)
+	src.FillUniform(f, 0, 1)
+	dst := make([]float64, 2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.EncodeInto(dst, f)
+	}
+}

@@ -1,0 +1,141 @@
+package hdc
+
+import (
+	"fmt"
+	"math"
+
+	"prid/internal/vecmath"
+)
+
+// Model is an HDC classifier: one class hypervector per class, each the
+// (possibly retrained) accumulation of the encoded training samples of that
+// class. It is exactly the artifact that edge devices share in the paper's
+// federated setting — and therefore the artifact the PRID attack targets.
+type Model struct {
+	classes [][]float64 // k rows of length d
+	d       int
+	counts  []int // training samples accumulated per class
+}
+
+// NewModel returns an empty model with k zeroed class hypervectors of
+// dimension d.
+func NewModel(k, d int) *Model {
+	if k <= 0 || d <= 0 {
+		panic(fmt.Sprintf("hdc: NewModel with non-positive size k=%d d=%d", k, d))
+	}
+	m := &Model{classes: make([][]float64, k), d: d, counts: make([]int, k)}
+	for i := range m.classes {
+		m.classes[i] = make([]float64, d)
+	}
+	return m
+}
+
+// NumClasses returns the number of classes k.
+func (m *Model) NumClasses() int { return len(m.classes) }
+
+// Dim returns the hypervector dimensionality D.
+func (m *Model) Dim() int { return m.d }
+
+// Class returns class hypervector l, aliasing model storage. Callers that
+// need to mutate a class (quantization, noise injection) do so through this
+// slice deliberately; read-only callers must not write to it.
+func (m *Model) Class(l int) []float64 { return m.classes[l] }
+
+// SetClass overwrites class hypervector l with a copy of h.
+func (m *Model) SetClass(l int, h []float64) {
+	if len(h) != m.d {
+		panic(fmt.Sprintf("hdc: SetClass with length %d, want %d", len(h), m.d))
+	}
+	copy(m.classes[l], h)
+}
+
+// Count returns the number of samples accumulated into class l by Bundle.
+func (m *Model) Count(l int) int { return m.counts[l] }
+
+// Bundle accumulates an encoded sample into class l: C_l += h. This is the
+// paper's single-pass training primitive.
+func (m *Model) Bundle(l int, h []float64) {
+	if len(h) != m.d {
+		panic(fmt.Sprintf("hdc: Bundle with length %d, want %d", len(h), m.d))
+	}
+	vecmath.Axpy(1, h, m.classes[l])
+	m.counts[l]++
+}
+
+// Similarity returns the cosine similarity δ(h, C_l).
+func (m *Model) Similarity(h []float64, l int) float64 {
+	return vecmath.Cosine(h, m.classes[l])
+}
+
+// Similarities returns δ(h, C_l) for every class l.
+func (m *Model) Similarities(h []float64) []float64 {
+	sims := make([]float64, len(m.classes))
+	for l := range m.classes {
+		sims[l] = vecmath.Cosine(h, m.classes[l])
+	}
+	return sims
+}
+
+// Classify returns the class with the highest cosine similarity to h and
+// the full similarity vector.
+func (m *Model) Classify(h []float64) (int, []float64) {
+	sims := m.Similarities(h)
+	return vecmath.ArgMax(sims), sims
+}
+
+// Update applies the paper's Equation 2 after a misprediction: the true
+// class is pulled toward the sample and the wrongly predicted class pushed
+// away, each with learning rate alpha.
+//
+//	C_true += α·H    C_pred −= α·H
+func (m *Model) Update(h []float64, trueLabel, predLabel int, alpha float64) {
+	vecmath.Axpy(alpha, h, m.classes[trueLabel])
+	vecmath.Axpy(-alpha, h, m.classes[predLabel])
+}
+
+// Clone returns a deep copy of the model.
+func (m *Model) Clone() *Model {
+	out := NewModel(len(m.classes), m.d)
+	for l, c := range m.classes {
+		copy(out.classes[l], c)
+	}
+	copy(out.counts, m.counts)
+	return out
+}
+
+// Merge accumulates another model into m: class hypervectors add
+// dimension-wise and bundle counts add per class. This is federated
+// aggregation's core operation; both models must share shape.
+func (m *Model) Merge(other *Model) {
+	if other.d != m.d || len(other.classes) != len(m.classes) {
+		panic(fmt.Sprintf("hdc: Merge shape mismatch %dx%d vs %dx%d",
+			len(m.classes), m.d, len(other.classes), other.d))
+	}
+	for l, c := range other.classes {
+		vecmath.Axpy(1, c, m.classes[l])
+		m.counts[l] += other.counts[l]
+	}
+}
+
+// Norms returns the Euclidean norm of each class hypervector; useful for
+// diagnosing degenerate (zero) classes after aggressive defense passes.
+func (m *Model) Norms() []float64 {
+	out := make([]float64, len(m.classes))
+	for l, c := range m.classes {
+		out[l] = vecmath.Norm2(c)
+	}
+	return out
+}
+
+// IsFinite reports whether every class element is a finite number. Defense
+// loops assert this after each mutation pass.
+func (m *Model) IsFinite() bool {
+	for _, c := range m.classes {
+		for _, v := range c {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,167 @@
+package hdc
+
+import (
+	"math"
+	"testing"
+
+	"prid/internal/rng"
+	"prid/internal/vecmath"
+)
+
+// twoClusterData builds an easily separable 2-class problem: class
+// prototypes are ±1 patterns with small Gaussian jitter per sample.
+func twoClusterData(n, perClass int, src *rng.Source) (x [][]float64, y []int) {
+	protoA := make([]float64, n)
+	protoB := make([]float64, n)
+	src.FillRademacher(protoA)
+	src.FillRademacher(protoB)
+	for i := 0; i < perClass; i++ {
+		for class, proto := range [][]float64{protoA, protoB} {
+			sample := make([]float64, n)
+			for j := range sample {
+				sample[j] = proto[j] + src.Gaussian(0, 0.3)
+			}
+			x = append(x, sample)
+			y = append(y, class)
+		}
+	}
+	return x, y
+}
+
+func TestModelBundleAndCounts(t *testing.T) {
+	m := NewModel(2, 4)
+	m.Bundle(0, []float64{1, 2, 3, 4})
+	m.Bundle(0, []float64{1, 0, 0, 0})
+	m.Bundle(1, []float64{-1, -1, -1, -1})
+	if m.Count(0) != 2 || m.Count(1) != 1 {
+		t.Fatalf("counts = %d, %d", m.Count(0), m.Count(1))
+	}
+	want := []float64{2, 2, 3, 4}
+	if vecmath.MSE(m.Class(0), want) != 0 {
+		t.Fatalf("class 0 = %v, want %v", m.Class(0), want)
+	}
+}
+
+func TestClassifySeparableClusters(t *testing.T) {
+	src := rng.New(31)
+	x, y := twoClusterData(20, 30, src)
+	basis := NewBasis(20, 1024, src.Split())
+	m := Train(basis, x, y, 2)
+	if acc := AccuracyRaw(m, basis, x, y); acc < 0.95 {
+		t.Fatalf("train accuracy %v on separable clusters, want ≥ 0.95", acc)
+	}
+}
+
+func TestSimilaritiesAndClassifyAgree(t *testing.T) {
+	src := rng.New(32)
+	basis := NewBasis(8, 256, src)
+	m := NewModel(3, 256)
+	f := make([]float64, 8)
+	for l := 0; l < 3; l++ {
+		src.FillNorm(f)
+		m.Bundle(l, basis.Encode(f))
+	}
+	src.FillNorm(f)
+	h := basis.Encode(f)
+	pred, sims := m.Classify(h)
+	if len(sims) != 3 {
+		t.Fatalf("sims length %d", len(sims))
+	}
+	if pred != vecmath.ArgMax(sims) {
+		t.Fatal("Classify disagrees with ArgMax of Similarities")
+	}
+	for l := range sims {
+		if sims[l] != m.Similarity(h, l) {
+			t.Fatalf("Similarities[%d] != Similarity(h, %d)", l, l)
+		}
+	}
+}
+
+func TestUpdateMovesDecision(t *testing.T) {
+	// After an Equation-2 update, the true class must be strictly more
+	// similar to the sample and the wrong class strictly less.
+	src := rng.New(33)
+	basis := NewBasis(8, 512, src)
+	m := NewModel(2, 512)
+	f := make([]float64, 8)
+	src.FillNorm(f)
+	h := basis.Encode(f)
+	other := make([]float64, 8)
+	src.FillNorm(other)
+	m.Bundle(0, basis.Encode(other))
+	m.Bundle(1, basis.Encode(other)) // both classes start unrelated to h
+	before0 := m.Similarity(h, 0)
+	before1 := m.Similarity(h, 1)
+	m.Update(h, 0, 1, 0.5)
+	if m.Similarity(h, 0) <= before0 {
+		t.Fatal("Update did not pull the true class toward the sample")
+	}
+	if m.Similarity(h, 1) >= before1 {
+		t.Fatal("Update did not push the wrong class away from the sample")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := NewModel(2, 3)
+	m.Bundle(0, []float64{1, 2, 3})
+	c := m.Clone()
+	c.Class(0)[0] = 99
+	if m.Class(0)[0] != 1 {
+		t.Fatal("Clone shares class storage")
+	}
+	if c.Count(0) != 1 {
+		t.Fatal("Clone lost counts")
+	}
+}
+
+func TestSetClassCopies(t *testing.T) {
+	m := NewModel(1, 3)
+	h := []float64{1, 2, 3}
+	m.SetClass(0, h)
+	h[0] = 99
+	if m.Class(0)[0] != 1 {
+		t.Fatal("SetClass aliases its argument")
+	}
+}
+
+func TestNormsAndIsFinite(t *testing.T) {
+	m := NewModel(2, 2)
+	m.Bundle(0, []float64{3, 4})
+	norms := m.Norms()
+	if math.Abs(norms[0]-5) > 1e-12 || norms[1] != 0 {
+		t.Fatalf("Norms = %v", norms)
+	}
+	if !m.IsFinite() {
+		t.Fatal("finite model reported non-finite")
+	}
+	m.Class(1)[0] = math.NaN()
+	if m.IsFinite() {
+		t.Fatal("NaN model reported finite")
+	}
+}
+
+func TestModelPanics(t *testing.T) {
+	m := NewModel(2, 4)
+	mustPanic(t, "NewModel(0, 1)", func() { NewModel(0, 1) })
+	mustPanic(t, "Bundle wrong length", func() { m.Bundle(0, []float64{1}) })
+	mustPanic(t, "SetClass wrong length", func() { m.SetClass(0, []float64{1}) })
+}
+
+func TestMerge(t *testing.T) {
+	a := NewModel(2, 3)
+	a.Bundle(0, []float64{1, 2, 3})
+	b := NewModel(2, 3)
+	b.Bundle(0, []float64{10, 20, 30})
+	b.Bundle(1, []float64{-1, -1, -1})
+	a.Merge(b)
+	if vecmath.MSE(a.Class(0), []float64{11, 22, 33}) != 0 {
+		t.Fatalf("merged class 0 = %v", a.Class(0))
+	}
+	if vecmath.MSE(a.Class(1), []float64{-1, -1, -1}) != 0 {
+		t.Fatalf("merged class 1 = %v", a.Class(1))
+	}
+	if a.Count(0) != 2 || a.Count(1) != 1 {
+		t.Fatalf("merged counts %d, %d", a.Count(0), a.Count(1))
+	}
+	mustPanic(t, "merge shape mismatch", func() { a.Merge(NewModel(3, 3)) })
+}

@@ -1,0 +1,124 @@
+package hdc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prid/internal/rng"
+	"prid/internal/vecmath"
+)
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	for _, d := range []int{1, 63, 64, 65, 100, 128, 200} {
+		dense := NewBasis(5, d, rng.New(uint64(d)))
+		packed := PackBasis(dense)
+		back := packed.Unpack()
+		for k := 0; k < 5; k++ {
+			if vecmath.MSE(dense.Row(k), back.Row(k)) != 0 {
+				t.Fatalf("d=%d: pack/unpack round trip changed row %d", d, k)
+			}
+		}
+	}
+}
+
+func TestPackedEncodeMatchesDense(t *testing.T) {
+	for _, d := range []int{32, 64, 100, 130} {
+		dense := NewBasis(7, d, rng.New(uint64(100+d)))
+		packed := PackBasis(dense)
+		f := make([]float64, 7)
+		rng.New(9).FillNorm(f)
+		f[3] = 0 // exercise the zero-skip path in both
+		if mse := vecmath.MSE(dense.Encode(f), packed.Encode(f)); mse != 0 {
+			t.Fatalf("d=%d: packed encode differs from dense, MSE %g", d, mse)
+		}
+	}
+}
+
+func TestPackedDecodeMatchesDense(t *testing.T) {
+	dense := NewBasis(6, 100, rng.New(21))
+	packed := PackBasis(dense)
+	f := []float64{1, -2, 0.5, 3, -0.25, 0}
+	h := dense.Encode(f)
+	for k := 0; k < 6; k++ {
+		if got, want := packed.Decode(h, k), dense.Decode(h, k); got != want {
+			t.Fatalf("packed Decode(%d) = %v, dense = %v", k, got, want)
+		}
+	}
+}
+
+func TestPackedAtMatchesDense(t *testing.T) {
+	dense := NewBasis(3, 70, rng.New(22))
+	packed := PackBasis(dense)
+	for k := 0; k < 3; k++ {
+		for j := 0; j < 70; j++ {
+			if packed.At(k, j) != dense.Row(k)[j] {
+				t.Fatalf("At(%d,%d) mismatch", k, j)
+			}
+		}
+	}
+}
+
+func TestNewPackedBasisValues(t *testing.T) {
+	p := NewPackedBasis(4, 90, rng.New(23))
+	b := p.Unpack()
+	for k := 0; k < 4; k++ {
+		for _, v := range b.Row(k) {
+			if v != 1 && v != -1 {
+				t.Fatalf("unpacked value %v not ±1", v)
+			}
+		}
+	}
+	if p.Features() != 4 || p.Dim() != 90 {
+		t.Fatalf("shape %dx%d", p.Features(), p.Dim())
+	}
+}
+
+// Property: for any seed and size, packed and dense encodings of the same
+// basis agree exactly.
+func TestPackedEncodeProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(10)
+		d := 1 + r.Intn(200)
+		dense := NewBasis(n, d, rng.New(seed^0xabc))
+		packed := PackBasis(dense)
+		feat := make([]float64, n)
+		r.FillNorm(feat)
+		return vecmath.MSE(dense.Encode(feat), packed.Encode(feat)) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackedMemorySavings(t *testing.T) {
+	p := NewPackedBasis(784, 2048, rng.New(24))
+	denseBytes := 784 * 2048 * 8
+	if p.MemoryBytes() >= denseBytes/32 {
+		t.Fatalf("packed basis uses %d bytes, expected far below dense %d", p.MemoryBytes(), denseBytes)
+	}
+}
+
+func TestPackBasisRejectsNonBinary(t *testing.T) {
+	b := NewBasis(2, 8, rng.New(25))
+	b.data[3] = 0.5
+	mustPanic(t, "PackBasis non-±1", func() { PackBasis(b) })
+}
+
+func TestPackedPanics(t *testing.T) {
+	p := NewPackedBasis(2, 16, rng.New(26))
+	mustPanic(t, "NewPackedBasis(0, 1)", func() { NewPackedBasis(0, 1, rng.New(1)) })
+	mustPanic(t, "packed Encode wrong length", func() { p.Encode([]float64{1}) })
+	mustPanic(t, "packed Decode wrong length", func() { p.Decode(make([]float64, 3), 0) })
+}
+
+func BenchmarkPackedEncode784x2048(b *testing.B) {
+	basis := NewPackedBasis(784, 2048, rng.New(1))
+	f := make([]float64, 784)
+	rng.New(2).FillNorm(f)
+	dst := make([]float64, 2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		basis.EncodeInto(dst, f)
+	}
+}

@@ -1,0 +1,45 @@
+package hdc
+
+import (
+	"runtime"
+	"sync"
+)
+
+// EncodeAllParallel encodes every row of x using up to workers goroutines
+// (0 selects GOMAXPROCS). Output order matches x, and results are
+// bit-identical to sequential EncodeAll: encoding is a pure function of
+// (encoder, row), so parallelism cannot perturb determinism. Encoding is
+// the dominant cost of training and of every experiment sweep — O(n·D)
+// per sample with perfect sample-level parallelism.
+func EncodeAllParallel(enc Encoder, x [][]float64, workers int) [][]float64 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(x) {
+		workers = len(x)
+	}
+	out := make([][]float64, len(x))
+	if workers <= 1 {
+		for i, f := range x {
+			out[i] = enc.Encode(f)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, len(x))
+	for i := range x {
+		next <- i
+	}
+	close(next)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i] = enc.Encode(x[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,81 @@
+package hdc
+
+import (
+	"testing"
+
+	"prid/internal/rng"
+	"prid/internal/vecmath"
+)
+
+func TestEncodeAllParallelMatchesSequential(t *testing.T) {
+	src := rng.New(60)
+	basis := NewBasis(32, 512, src)
+	x := make([][]float64, 37) // odd count exercises uneven work split
+	for i := range x {
+		f := make([]float64, 32)
+		src.FillNorm(f)
+		x[i] = f
+	}
+	seq := basis.EncodeAll(x)
+	for _, workers := range []int{0, 1, 2, 3, 8, 100} {
+		par := EncodeAllParallel(basis, x, workers)
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: length %d", workers, len(par))
+		}
+		for i := range seq {
+			if vecmath.MSE(seq[i], par[i]) != 0 {
+				t.Fatalf("workers=%d: row %d differs from sequential", workers, i)
+			}
+		}
+	}
+}
+
+func TestEncodeAllParallelEmpty(t *testing.T) {
+	basis := NewBasis(4, 64, rng.New(61))
+	if got := EncodeAllParallel(basis, nil, 4); len(got) != 0 {
+		t.Fatalf("empty input produced %d rows", len(got))
+	}
+}
+
+func TestEncodeAllParallelWithLevelEncoder(t *testing.T) {
+	src := rng.New(62)
+	enc := NewLevelEncoder(8, 256, 8, 0, 1, src)
+	x := [][]float64{{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8}, {0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2}}
+	seq := enc.EncodeAll(x)
+	par := EncodeAllParallel(enc, x, 2)
+	for i := range seq {
+		if vecmath.MSE(seq[i], par[i]) != 0 {
+			t.Fatalf("row %d differs", i)
+		}
+	}
+}
+
+func BenchmarkEncodeAllSequential(b *testing.B) {
+	src := rng.New(1)
+	basis := NewBasis(784, 2048, src)
+	x := make([][]float64, 64)
+	for i := range x {
+		f := make([]float64, 784)
+		src.FillNorm(f)
+		x[i] = f
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		basis.EncodeAll(x)
+	}
+}
+
+func BenchmarkEncodeAllParallel(b *testing.B) {
+	src := rng.New(1)
+	basis := NewBasis(784, 2048, src)
+	x := make([][]float64, 64)
+	for i := range x {
+		f := make([]float64, 784)
+		src.FillNorm(f)
+		x[i] = f
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EncodeAllParallel(basis, x, 0)
+	}
+}

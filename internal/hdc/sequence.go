@@ -1,0 +1,95 @@
+package hdc
+
+import (
+	"fmt"
+
+	"prid/internal/rng"
+	"prid/internal/vecmath"
+)
+
+// SequenceEncoder encodes ordered windows of feature vectors (sensor
+// streams, audio frames) into a single hypervector using the classic HDC
+// position-binding construction: each step's feature encoding is rotated
+// by its position before bundling,
+//
+//	H = Σ_t ρ^t( E(x_t) )
+//
+// where ρ is a fixed cyclic shift. Rotation is a unitary, similarity-
+// preserving bind, so two sequences are similar when they share features
+// *at the same positions* — the property plain bundling cannot express.
+// The inner per-step encoder is any Encoder (linear basis, level, ...).
+type SequenceEncoder struct {
+	inner  Encoder
+	window int
+}
+
+// NewSequenceEncoder wraps inner for sequences of exactly window steps.
+func NewSequenceEncoder(inner Encoder, window int) *SequenceEncoder {
+	if window < 1 {
+		panic(fmt.Sprintf("hdc: NewSequenceEncoder with window %d", window))
+	}
+	return &SequenceEncoder{inner: inner, window: window}
+}
+
+// Window returns the sequence length the encoder expects.
+func (s *SequenceEncoder) Window() int { return s.window }
+
+// Dim returns the hypervector dimensionality D.
+func (s *SequenceEncoder) Dim() int { return s.inner.Dim() }
+
+// StepFeatures returns the per-step feature count.
+func (s *SequenceEncoder) StepFeatures() int { return s.inner.Features() }
+
+// EncodeSequence maps a window of per-step feature vectors to one
+// hypervector.
+func (s *SequenceEncoder) EncodeSequence(steps [][]float64) []float64 {
+	if len(steps) != s.window {
+		panic(fmt.Sprintf("hdc: EncodeSequence with %d steps, window is %d", len(steps), s.window))
+	}
+	d := s.inner.Dim()
+	h := make([]float64, d)
+	rotated := make([]float64, d)
+	for t, step := range steps {
+		enc := s.inner.Encode(step)
+		rotate(rotated, enc, t)
+		vecmath.Axpy(1, rotated, h)
+	}
+	return h
+}
+
+// rotate writes src cyclically shifted right by k into dst.
+func rotate(dst, src []float64, k int) {
+	n := len(src)
+	k = k % n
+	copy(dst[k:], src[:n-k])
+	copy(dst[:k], src[n-k:])
+}
+
+// Features implements Encoder over the flattened window (window ×
+// per-step features), so SequenceEncoder drops into Train/AccuracyRaw.
+func (s *SequenceEncoder) Features() int { return s.window * s.inner.Features() }
+
+// Encode implements Encoder: features is the flattened window, step-major.
+func (s *SequenceEncoder) Encode(features []float64) []float64 {
+	n := s.inner.Features()
+	if len(features) != s.window*n {
+		panic(fmt.Sprintf("hdc: sequence Encode with %d features, want %d×%d", len(features), s.window, n))
+	}
+	steps := make([][]float64, s.window)
+	for t := range steps {
+		steps[t] = features[t*n : (t+1)*n]
+	}
+	return s.EncodeSequence(steps)
+}
+
+// SequenceSimilarity is a convenience: the cosine similarity of two
+// encoded windows.
+func (s *SequenceEncoder) SequenceSimilarity(a, b [][]float64) float64 {
+	return vecmath.Cosine(s.EncodeSequence(a), s.EncodeSequence(b))
+}
+
+// NewSequenceBasis builds a SequenceEncoder over a fresh linear basis —
+// the common construction for sensor-stream HDC.
+func NewSequenceBasis(stepFeatures, d, window int, src *rng.Source) *SequenceEncoder {
+	return NewSequenceEncoder(NewBasis(stepFeatures, d, src), window)
+}

@@ -1,0 +1,135 @@
+package hdc
+
+import (
+	"math"
+	"testing"
+
+	"prid/internal/rng"
+	"prid/internal/vecmath"
+)
+
+// seqSteps draws zero-mean steps: non-negative features would correlate
+// every step with every other and mask the order signal these tests probe.
+func seqSteps(src *rng.Source, window, n int) [][]float64 {
+	steps := make([][]float64, window)
+	for t := range steps {
+		s := make([]float64, n)
+		src.FillNorm(s)
+		steps[t] = s
+	}
+	return steps
+}
+
+func TestSequenceOrderMatters(t *testing.T) {
+	src := rng.New(100)
+	enc := NewSequenceBasis(8, 2048, 4, src)
+	steps := seqSteps(src, 4, 8)
+	// Same steps, reversed order: position binding must push similarity
+	// well below the identical-sequence case.
+	reversed := [][]float64{steps[3], steps[2], steps[1], steps[0]}
+	same := enc.SequenceSimilarity(steps, steps)
+	rev := enc.SequenceSimilarity(steps, reversed)
+	if math.Abs(same-1) > 1e-9 {
+		t.Fatalf("self similarity %v", same)
+	}
+	if rev > 0.8 {
+		t.Fatalf("reversed sequence similarity %v — order is not being encoded", rev)
+	}
+}
+
+func TestSequenceSharedPrefixRaisesSimilarity(t *testing.T) {
+	src := rng.New(101)
+	enc := NewSequenceBasis(8, 2048, 4, src)
+	a := seqSteps(src, 4, 8)
+	// b shares a's first three steps; c shares none.
+	b := [][]float64{a[0], a[1], a[2], seqSteps(src, 1, 8)[0]}
+	c := seqSteps(src, 4, 8)
+	simAB := enc.SequenceSimilarity(a, b)
+	simAC := enc.SequenceSimilarity(a, c)
+	if simAB <= simAC {
+		t.Fatalf("shared-prefix similarity %v not above unrelated %v", simAB, simAC)
+	}
+	if simAB < 0.5 {
+		t.Fatalf("3/4 shared steps only gave similarity %v", simAB)
+	}
+}
+
+func TestSequenceEncodeMatchesEncodeSequence(t *testing.T) {
+	src := rng.New(102)
+	enc := NewSequenceBasis(6, 512, 3, src)
+	steps := seqSteps(src, 3, 6)
+	flat := make([]float64, 0, 18)
+	for _, s := range steps {
+		flat = append(flat, s...)
+	}
+	if vecmath.MSE(enc.Encode(flat), enc.EncodeSequence(steps)) != 0 {
+		t.Fatal("flattened Encode differs from EncodeSequence")
+	}
+	if enc.Features() != 18 || enc.Dim() != 512 || enc.Window() != 3 || enc.StepFeatures() != 6 {
+		t.Fatal("shape accessors wrong")
+	}
+}
+
+func TestSequenceClassification(t *testing.T) {
+	// Two "gesture" classes that share the same step vectors in different
+	// orders — only an order-aware encoder separates them.
+	src := rng.New(103)
+	const n, window, d = 10, 4, 2048
+	stepA := make([]float64, n)
+	stepB := make([]float64, n)
+	src.FillUniform(stepA, 0, 1)
+	src.FillUniform(stepB, 0, 1)
+	jitter := func(s []float64) []float64 {
+		out := vecmath.Clone(s)
+		for i := range out {
+			out[i] += src.Gaussian(0, 0.03)
+		}
+		return out
+	}
+	var x [][]float64
+	var y []int
+	for i := 0; i < 30; i++ {
+		// Class 0: A A B B; class 1: B B A A.
+		flat0 := make([]float64, 0, window*n)
+		for _, s := range [][]float64{jitter(stepA), jitter(stepA), jitter(stepB), jitter(stepB)} {
+			flat0 = append(flat0, s...)
+		}
+		flat1 := make([]float64, 0, window*n)
+		for _, s := range [][]float64{jitter(stepB), jitter(stepB), jitter(stepA), jitter(stepA)} {
+			flat1 = append(flat1, s...)
+		}
+		x = append(x, flat0, flat1)
+		y = append(y, 0, 1)
+	}
+	enc := NewSequenceBasis(n, d, window, src.Split())
+	m := Train(enc, x, y, 2)
+	if acc := AccuracyRaw(m, enc, x, y); acc < 0.95 {
+		t.Fatalf("sequence classification accuracy %.3f on order-defined classes", acc)
+	}
+}
+
+func TestRotate(t *testing.T) {
+	src := []float64{1, 2, 3, 4, 5}
+	dst := make([]float64, 5)
+	rotate(dst, src, 2)
+	want := []float64{4, 5, 1, 2, 3}
+	if vecmath.MSE(dst, want) != 0 {
+		t.Fatalf("rotate = %v, want %v", dst, want)
+	}
+	rotate(dst, src, 0)
+	if vecmath.MSE(dst, src) != 0 {
+		t.Fatal("rotate by 0 changed the vector")
+	}
+	rotate(dst, src, 5)
+	if vecmath.MSE(dst, src) != 0 {
+		t.Fatal("rotate by n changed the vector")
+	}
+}
+
+func TestSequencePanics(t *testing.T) {
+	src := rng.New(104)
+	enc := NewSequenceBasis(4, 64, 3, src)
+	mustPanic(t, "window 0", func() { NewSequenceEncoder(NewBasis(2, 8, src), 0) })
+	mustPanic(t, "wrong steps", func() { enc.EncodeSequence(seqSteps(src, 2, 4)) })
+	mustPanic(t, "wrong flat length", func() { enc.Encode(make([]float64, 5)) })
+}

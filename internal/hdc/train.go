@@ -1,0 +1,151 @@
+package hdc
+
+import (
+	"fmt"
+
+	"prid/internal/vecmath"
+)
+
+// Train builds a model by single-pass accumulation: every training sample
+// is encoded and bundled into its class hypervector (C_l = Σ_j H_j^l).
+// This is the paper's baseline training mode.
+func Train(enc Encoder, x [][]float64, y []int, k int) *Model {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("hdc: Train with %d samples but %d labels", len(x), len(y)))
+	}
+	m := NewModel(k, enc.Dim())
+	h := make([]float64, enc.Dim())
+	for i, f := range x {
+		if y[i] < 0 || y[i] >= k {
+			panic(fmt.Sprintf("hdc: Train label %d out of range [0,%d)", y[i], k))
+		}
+		encodeInto(enc, h, f)
+		m.Bundle(y[i], h)
+	}
+	return m
+}
+
+// TrainEncoded builds a model from pre-encoded samples. The attack and
+// defense loops encode the training set once and reuse it, so this is the
+// hot path in the experiment harness.
+func TrainEncoded(encoded [][]float64, y []int, k, d int) *Model {
+	if len(encoded) != len(y) {
+		panic(fmt.Sprintf("hdc: TrainEncoded with %d samples but %d labels", len(encoded), len(y)))
+	}
+	m := NewModel(k, d)
+	for i, h := range encoded {
+		m.Bundle(y[i], h)
+	}
+	return m
+}
+
+// RetrainEpoch runs one perceptron-style pass (the paper's Equation 2) of
+// the model over pre-encoded samples, updating on every misprediction with
+// learning rate alpha. It returns the number of mispredictions seen, so
+// callers can iterate until the error stabilizes.
+func RetrainEpoch(m *Model, encoded [][]float64, y []int, alpha float64) int {
+	errs := 0
+	for i, h := range encoded {
+		pred, _ := m.Classify(h)
+		if pred != y[i] {
+			m.Update(h, y[i], pred, alpha)
+			errs++
+		}
+	}
+	return errs
+}
+
+// Retrain runs RetrainEpoch up to maxEpochs times, stopping early once an
+// epoch is error-free. It returns the per-epoch error counts.
+func Retrain(m *Model, encoded [][]float64, y []int, alpha float64, maxEpochs int) []int {
+	var history []int
+	for e := 0; e < maxEpochs; e++ {
+		errs := RetrainEpoch(m, encoded, y, alpha)
+		history = append(history, errs)
+		if errs == 0 {
+			break
+		}
+	}
+	return history
+}
+
+// Accuracy classifies every pre-encoded sample and returns the fraction
+// predicted correctly.
+func Accuracy(m *Model, encoded [][]float64, y []int) float64 {
+	if len(encoded) == 0 {
+		return 0
+	}
+	correct := 0
+	for i, h := range encoded {
+		if pred, _ := m.Classify(h); pred == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(encoded))
+}
+
+// AccuracyRaw encodes each sample with enc and returns the fraction
+// classified correctly — the end-to-end inference path.
+func AccuracyRaw(m *Model, enc Encoder, x [][]float64, y []int) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	h := make([]float64, enc.Dim())
+	correct := 0
+	for i, f := range x {
+		encodeInto(enc, h, f)
+		if pred, _ := m.Classify(h); pred == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(x))
+}
+
+// AdaptiveTrainEncoded performs OnlineHD-style adaptive single-pass
+// training (the paper's reference [19]): instead of bundling every sample
+// with weight 1, each sample is weighted by how much the model still
+// misses it, and mispredicted samples additionally push the wrong class
+// away:
+//
+//	correct:   C_y    += α·(1 − δ_y)·H
+//	incorrect: C_y    += α·(1 − δ_y)·H
+//	           C_pred −= α·(1 − δ_pred)·H
+//
+// Compared to plain accumulation it reaches iterative-retraining quality
+// in one pass, at the cost of a similarity computation per sample.
+func AdaptiveTrainEncoded(encoded [][]float64, y []int, k, d int, alpha float64) *Model {
+	if len(encoded) != len(y) {
+		panic(fmt.Sprintf("hdc: AdaptiveTrainEncoded with %d samples but %d labels", len(encoded), len(y)))
+	}
+	if alpha <= 0 {
+		panic(fmt.Sprintf("hdc: AdaptiveTrainEncoded with non-positive alpha %v", alpha))
+	}
+	m := NewModel(k, d)
+	for i, h := range encoded {
+		if y[i] < 0 || y[i] >= k {
+			panic(fmt.Sprintf("hdc: AdaptiveTrainEncoded label %d out of range [0,%d)", y[i], k))
+		}
+		pred, sims := m.Classify(h)
+		wTrue := alpha * (1 - sims[y[i]])
+		vecmath.Axpy(wTrue, h, m.Class(y[i]))
+		m.counts[y[i]]++
+		if pred != y[i] {
+			wPred := alpha * (1 - sims[pred])
+			vecmath.Axpy(-wPred, h, m.Class(pred))
+		}
+	}
+	return m
+}
+
+// encodeInto dispatches to the allocation-free EncodeInto when the encoder
+// provides one, falling back to Encode for foreign Encoder implementations.
+func encodeInto(enc Encoder, dst, features []float64) {
+	type intoEncoder interface {
+		EncodeInto(dst, features []float64)
+	}
+	if ie, ok := enc.(intoEncoder); ok {
+		ie.EncodeInto(dst, features)
+		return
+	}
+	copy(dst, enc.Encode(features))
+}

@@ -1,0 +1,206 @@
+package hdc
+
+import (
+	"testing"
+
+	"prid/internal/rng"
+	"prid/internal/vecmath"
+)
+
+func TestTrainEncodedMatchesTrain(t *testing.T) {
+	src := rng.New(41)
+	x, y := twoClusterData(10, 15, src)
+	basis := NewBasis(10, 256, src.Split())
+	direct := Train(basis, x, y, 2)
+	encoded := basis.EncodeAll(x)
+	viaEncoded := TrainEncoded(encoded, y, 2, basis.Dim())
+	for l := 0; l < 2; l++ {
+		if vecmath.MSE(direct.Class(l), viaEncoded.Class(l)) != 0 {
+			t.Fatalf("class %d differs between Train and TrainEncoded", l)
+		}
+	}
+}
+
+func TestRetrainImprovesHardProblem(t *testing.T) {
+	// Overlapping clusters: single-pass training leaves errors that
+	// Equation-2 retraining should reduce.
+	src := rng.New(42)
+	const n, perClass = 16, 60
+	protoA := make([]float64, n)
+	src.FillNorm(protoA)
+	protoB := vecmath.Clone(protoA)
+	for j := 0; j < 4; j++ { // classes differ in only 4 of 16 features
+		protoB[j] += 1.5
+	}
+	var x [][]float64
+	var y []int
+	for i := 0; i < perClass; i++ {
+		for class, proto := range [][]float64{protoA, protoB} {
+			s := make([]float64, n)
+			for j := range s {
+				s[j] = proto[j] + src.Gaussian(0, 0.8)
+			}
+			x = append(x, s)
+			y = append(y, class)
+		}
+	}
+	basis := NewBasis(n, 2048, src.Split())
+	encoded := basis.EncodeAll(x)
+	m := TrainEncoded(encoded, y, 2, basis.Dim())
+	before := Accuracy(m, encoded, y)
+	history := Retrain(m, encoded, y, 0.5, 20)
+	after := Accuracy(m, encoded, y)
+	if after < before {
+		t.Fatalf("retraining reduced accuracy: %v -> %v (history %v)", before, after, history)
+	}
+	if after < 0.9 {
+		t.Fatalf("retrained accuracy %v too low", after)
+	}
+}
+
+func TestRetrainStopsOnZeroErrors(t *testing.T) {
+	src := rng.New(43)
+	x, y := twoClusterData(12, 20, src)
+	basis := NewBasis(12, 1024, src.Split())
+	encoded := basis.EncodeAll(x)
+	m := TrainEncoded(encoded, y, 2, basis.Dim())
+	history := Retrain(m, encoded, y, 0.2, 50)
+	if len(history) == 50 && history[49] != 0 {
+		t.Skip("separable problem did not converge in 50 epochs; seed-dependent")
+	}
+	if history[len(history)-1] != 0 {
+		t.Fatalf("Retrain stopped early with %d errors", history[len(history)-1])
+	}
+}
+
+func TestAccuracyEmptySets(t *testing.T) {
+	m := NewModel(2, 8)
+	if Accuracy(m, nil, nil) != 0 {
+		t.Fatal("Accuracy on empty set should be 0")
+	}
+	basis := NewBasis(2, 8, rng.New(1))
+	if AccuracyRaw(m, basis, nil, nil) != 0 {
+		t.Fatal("AccuracyRaw on empty set should be 0")
+	}
+}
+
+func TestAccuracyRawMatchesEncoded(t *testing.T) {
+	src := rng.New(44)
+	x, y := twoClusterData(6, 10, src)
+	basis := NewBasis(6, 128, src.Split())
+	m := Train(basis, x, y, 2)
+	encoded := basis.EncodeAll(x)
+	if a, b := Accuracy(m, encoded, y), AccuracyRaw(m, basis, x, y); a != b {
+		t.Fatalf("Accuracy %v != AccuracyRaw %v", a, b)
+	}
+}
+
+func TestTrainWithPackedBasis(t *testing.T) {
+	src := rng.New(45)
+	x, y := twoClusterData(9, 12, src)
+	dense := NewBasis(9, 512, src.Split())
+	packed := PackBasis(dense)
+	md := Train(dense, x, y, 2)
+	mp := Train(packed, x, y, 2)
+	for l := 0; l < 2; l++ {
+		if vecmath.MSE(md.Class(l), mp.Class(l)) != 0 {
+			t.Fatalf("dense and packed training diverge on class %d", l)
+		}
+	}
+}
+
+func TestTrainPanics(t *testing.T) {
+	basis := NewBasis(2, 16, rng.New(46))
+	mustPanic(t, "Train label/sample mismatch", func() {
+		Train(basis, [][]float64{{1, 2}}, []int{0, 1}, 2)
+	})
+	mustPanic(t, "Train label out of range", func() {
+		Train(basis, [][]float64{{1, 2}}, []int{5}, 2)
+	})
+	mustPanic(t, "TrainEncoded mismatch", func() {
+		TrainEncoded([][]float64{make([]float64, 16)}, []int{0, 0}, 2, 16)
+	})
+}
+
+func BenchmarkTrain200x784x1024(b *testing.B) {
+	src := rng.New(1)
+	x, y := twoClusterData(784, 100, src)
+	basis := NewBasis(784, 1024, src.Split())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Train(basis, x, y, 2)
+	}
+}
+
+func BenchmarkRetrainEpoch(b *testing.B) {
+	src := rng.New(2)
+	x, y := twoClusterData(64, 100, src)
+	basis := NewBasis(64, 1024, src.Split())
+	encoded := basis.EncodeAll(x)
+	m := TrainEncoded(encoded, y, 2, basis.Dim())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RetrainEpoch(m, encoded, y, 0.01)
+	}
+}
+
+func TestAdaptiveTrainBeatsSinglePassOnHardProblem(t *testing.T) {
+	// Same overlapping-cluster setup as the retraining test: adaptive
+	// single-pass training must land at least as high as plain
+	// accumulation.
+	src := rng.New(52)
+	const n, perClass = 16, 60
+	protoA := make([]float64, n)
+	src.FillNorm(protoA)
+	protoB := vecmath.Clone(protoA)
+	for j := 0; j < 4; j++ {
+		protoB[j] += 1.5
+	}
+	var x [][]float64
+	var y []int
+	for i := 0; i < perClass; i++ {
+		for class, proto := range [][]float64{protoA, protoB} {
+			s := make([]float64, n)
+			for j := range s {
+				s[j] = proto[j] + src.Gaussian(0, 0.8)
+			}
+			x = append(x, s)
+			y = append(y, class)
+		}
+	}
+	basis := NewBasis(n, 2048, src.Split())
+	encoded := basis.EncodeAll(x)
+	plain := TrainEncoded(encoded, y, 2, basis.Dim())
+	adaptive := AdaptiveTrainEncoded(encoded, y, 2, basis.Dim(), 1)
+	plainAcc := Accuracy(plain, encoded, y)
+	adaptiveAcc := Accuracy(adaptive, encoded, y)
+	if adaptiveAcc < plainAcc-0.02 {
+		t.Fatalf("adaptive single-pass %.3f clearly below plain accumulation %.3f", adaptiveAcc, plainAcc)
+	}
+}
+
+func TestAdaptiveTrainMatchesPlainOnEasyProblem(t *testing.T) {
+	src := rng.New(53)
+	x, y := twoClusterData(12, 20, src)
+	basis := NewBasis(12, 1024, src.Split())
+	encoded := basis.EncodeAll(x)
+	m := AdaptiveTrainEncoded(encoded, y, 2, basis.Dim(), 1)
+	if acc := Accuracy(m, encoded, y); acc < 0.95 {
+		t.Fatalf("adaptive accuracy %.3f on separable clusters", acc)
+	}
+	if m.Count(0) == 0 || m.Count(1) == 0 {
+		t.Fatal("adaptive training lost bundle counts")
+	}
+}
+
+func TestAdaptiveTrainPanics(t *testing.T) {
+	mustPanic(t, "label mismatch", func() {
+		AdaptiveTrainEncoded([][]float64{make([]float64, 8)}, []int{0, 1}, 2, 8, 1)
+	})
+	mustPanic(t, "bad alpha", func() {
+		AdaptiveTrainEncoded(nil, nil, 2, 8, 0)
+	})
+	mustPanic(t, "label range", func() {
+		AdaptiveTrainEncoded([][]float64{make([]float64, 8)}, []int{7}, 2, 8, 1)
+	})
+}

@@ -1,0 +1,265 @@
+// Package metrics implements the evaluation measures of the paper's
+// Section V: the information-leakage score Δ built from the minimum (ΔQ),
+// maximum (ΔT), and reconstructed (ΔR) extraction levels, plus standard
+// classification bookkeeping (accuracy, confusion matrices) and
+// reconstruction quality summaries.
+package metrics
+
+import (
+	"fmt"
+
+	"prid/internal/vecmath"
+)
+
+// Leakage holds the components of the paper's information-leakage measure
+// for one query/reconstruction pair, all computed with cosine similarity in
+// the original feature space against the full training set.
+type Leakage struct {
+	// DeltaQ is the floor: the mean similarity of the uninformative
+	// constant vector (1, 1, ..., 1) to the training set — what an attacker
+	// extracts with no information at all.
+	DeltaQ float64
+	// DeltaT is the ceiling: the mean similarity of the top-k training
+	// points most similar to the query — what an attacker already holding
+	// the query could at best point to in the train set.
+	DeltaT float64
+	// DeltaR is the achieved level: the mean similarity of the
+	// reconstruction's top-k nearest training points — how close the
+	// reconstruction gets to actual training data.
+	DeltaR float64
+}
+
+// Score returns the normalized leakage Δ = (ΔR − ΔQ)/(ΔT − ΔQ) clamped to
+// [0, 1]: 0 means the reconstruction reveals nothing beyond the constant
+// vector; 1 means it matches the best-possible extraction. A degenerate
+// ceiling (ΔT ≤ ΔQ) scores 0.
+func (l Leakage) Score() float64 {
+	span := l.DeltaT - l.DeltaQ
+	if span <= 0 {
+		return 0
+	}
+	return vecmath.Clamp((l.DeltaR-l.DeltaQ)/span, 0, 1)
+}
+
+// String renders the components for experiment logs.
+func (l Leakage) String() string {
+	return fmt.Sprintf("ΔQ=%.4f ΔT=%.4f ΔR=%.4f Δ=%.4f", l.DeltaQ, l.DeltaT, l.DeltaR, l.Score())
+}
+
+// TopKNearest is the k used for the ΔT ceiling throughout the experiments.
+const TopKNearest = 5
+
+// MeasureLeakage computes the leakage components for a reconstruction of
+// query against the training set. topK bounds the ΔT ceiling average
+// (use TopKNearest for the paper protocol); it is clipped to the train-set
+// size.
+//
+// Similarity is rectified centered cosine: cosine after centering every
+// vector by the train-set mean, floored at zero. Centering is a deliberate
+// deviation from a literal raw-cosine reading of the paper: feature data
+// here is non-negative, so raw cosine aligns everything with the all-ones
+// direction and the ΔQ floor can exceed the ΔT ceiling, collapsing Δ.
+// Rectification keeps "dissimilar" at 0 rather than negative, so averages
+// do not cancel between same-class matches and different-class
+// anti-correlations.
+//
+// The three components aggregate differently, following Section V: the
+// floor ΔQ averages the constant probe's similarity over the *entire*
+// train set (it matches nothing in particular); the ceiling ΔT and the
+// achieved ΔR average the *top-k nearest* train points of the query and of
+// the reconstruction respectively — how close each probe gets to actual
+// training samples, which is the privacy-relevant quantity. Averaging ΔT
+// and ΔR over the whole set instead would let the floor exceed the ceiling
+// on dense many-class data, degenerating Δ.
+func MeasureLeakage(train [][]float64, query, recon []float64, topK int) Leakage {
+	if len(train) == 0 {
+		panic("metrics: MeasureLeakage with empty train set")
+	}
+	if topK < 1 {
+		panic("metrics: MeasureLeakage with topK < 1")
+	}
+	if topK > len(train) {
+		topK = len(train)
+	}
+	n := len(query)
+	mean := make([]float64, n)
+	for _, tr := range train {
+		vecmath.Axpy(1/float64(len(train)), tr, mean)
+	}
+	center := func(v []float64) []float64 { return vecmath.Sub(v, mean) }
+	ctrain := make([][]float64, len(train))
+	for i, tr := range train {
+		ctrain[i] = center(tr)
+	}
+	constant := make([]float64, n)
+	vecmath.Fill(constant, 1)
+	cconst := center(constant)
+	cquery := center(query)
+	crecon := center(recon)
+
+	sim := func(a, b []float64) float64 {
+		c := vecmath.Cosine(a, b)
+		if c < 0 {
+			return 0
+		}
+		return c
+	}
+	topMean := func(probe []float64) float64 {
+		sims := make([]float64, len(ctrain))
+		for i, tr := range ctrain {
+			sims[i] = sim(probe, tr)
+		}
+		var s float64
+		for _, idx := range vecmath.TopK(sims, topK) {
+			s += sims[idx]
+		}
+		return s / float64(topK)
+	}
+
+	var l Leakage
+	var sumConst float64
+	for _, tr := range ctrain {
+		sumConst += sim(cconst, tr)
+	}
+	l.DeltaQ = sumConst / float64(len(ctrain))
+	l.DeltaT = topMean(cquery)
+	l.DeltaR = topMean(crecon)
+	return l
+}
+
+// MeanLeakage averages component-wise over per-query leakages; Score() of
+// the result is the leakage of the averaged components (the paper reports
+// aggregate Δ per dataset).
+func MeanLeakage(ls []Leakage) Leakage {
+	if len(ls) == 0 {
+		return Leakage{}
+	}
+	var out Leakage
+	for _, l := range ls {
+		out.DeltaQ += l.DeltaQ
+		out.DeltaT += l.DeltaT
+		out.DeltaR += l.DeltaR
+	}
+	n := float64(len(ls))
+	out.DeltaQ /= n
+	out.DeltaT /= n
+	out.DeltaR /= n
+	return out
+}
+
+// Reduction returns the relative leakage reduction of a defended score
+// against an undefended one: 1 − defended/undefended, clamped to [0, 1].
+// An undefended score of 0 yields 0 (nothing to reduce).
+func Reduction(undefended, defended float64) float64 {
+	if undefended <= 0 {
+		return 0
+	}
+	return vecmath.Clamp(1-defended/undefended, 0, 1)
+}
+
+// ConfusionMatrix counts predictions: cell (i, j) is the number of samples
+// with true class i predicted as class j.
+type ConfusionMatrix struct {
+	K     int
+	Cells []int
+}
+
+// NewConfusionMatrix returns an empty k-class matrix.
+func NewConfusionMatrix(k int) *ConfusionMatrix {
+	if k <= 0 {
+		panic("metrics: NewConfusionMatrix with k <= 0")
+	}
+	return &ConfusionMatrix{K: k, Cells: make([]int, k*k)}
+}
+
+// Add records one prediction.
+func (c *ConfusionMatrix) Add(trueClass, predClass int) {
+	if trueClass < 0 || trueClass >= c.K || predClass < 0 || predClass >= c.K {
+		panic(fmt.Sprintf("metrics: confusion add (%d, %d) out of range k=%d", trueClass, predClass, c.K))
+	}
+	c.Cells[trueClass*c.K+predClass]++
+}
+
+// At returns cell (trueClass, predClass).
+func (c *ConfusionMatrix) At(trueClass, predClass int) int {
+	return c.Cells[trueClass*c.K+predClass]
+}
+
+// Total returns the number of recorded predictions.
+func (c *ConfusionMatrix) Total() int {
+	t := 0
+	for _, v := range c.Cells {
+		t += v
+	}
+	return t
+}
+
+// Accuracy returns the fraction of predictions on the diagonal, or 0 when
+// empty.
+func (c *ConfusionMatrix) Accuracy() float64 {
+	total := c.Total()
+	if total == 0 {
+		return 0
+	}
+	diag := 0
+	for i := 0; i < c.K; i++ {
+		diag += c.At(i, i)
+	}
+	return float64(diag) / float64(total)
+}
+
+// PerClassRecall returns the recall of each class (diagonal over row sum);
+// classes with no samples report 0.
+func (c *ConfusionMatrix) PerClassRecall() []float64 {
+	out := make([]float64, c.K)
+	for i := 0; i < c.K; i++ {
+		row := 0
+		for j := 0; j < c.K; j++ {
+			row += c.At(i, j)
+		}
+		if row > 0 {
+			out[i] = float64(c.At(i, i)) / float64(row)
+		}
+	}
+	return out
+}
+
+// QualityLoss is the accuracy drop of a defended model against a baseline,
+// in fractional terms (0.05 = five accuracy points lost), floored at 0.
+func QualityLoss(baselineAcc, defendedAcc float64) float64 {
+	if defendedAcc >= baselineAcc {
+		return 0
+	}
+	return baselineAcc - defendedAcc
+}
+
+// ReconQuality summarizes a set of reconstruction errors for a figure row.
+type ReconQuality struct {
+	MeanMSE  float64
+	MeanPSNR float64
+}
+
+// PSNRCap bounds per-sample PSNR before aggregation: an exact
+// reconstruction has infinite PSNR, which would poison a mean. 100 dB is
+// far above anything a noisy decoder achieves, so the cap never distorts a
+// real comparison.
+const PSNRCap = 100.0
+
+// MeasureRecon summarizes MSE and PSNR between reference/reconstruction
+// pairs, capping individual PSNRs at PSNRCap. Slices must be the same
+// length and non-empty.
+func MeasureRecon(refs, recons [][]float64) ReconQuality {
+	if len(refs) == 0 || len(refs) != len(recons) {
+		panic(fmt.Sprintf("metrics: MeasureRecon with %d refs, %d recons", len(refs), len(recons)))
+	}
+	var mse, psnr vecmath.Welford
+	for i := range refs {
+		mse.Add(vecmath.MSE(refs[i], recons[i]))
+		p := vecmath.PSNR(refs[i], recons[i])
+		if p > PSNRCap {
+			p = PSNRCap
+		}
+		psnr.Add(p)
+	}
+	return ReconQuality{MeanMSE: mse.Mean(), MeanPSNR: psnr.Mean()}
+}

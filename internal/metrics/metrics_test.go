@@ -1,0 +1,231 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"prid/internal/rng"
+	"prid/internal/vecmath"
+)
+
+func TestLeakageScoreBounds(t *testing.T) {
+	cases := []struct {
+		l    Leakage
+		want float64
+	}{
+		{Leakage{DeltaQ: 0.2, DeltaT: 0.8, DeltaR: 0.8}, 1},   // perfect extraction
+		{Leakage{DeltaQ: 0.2, DeltaT: 0.8, DeltaR: 0.2}, 0},   // no extraction
+		{Leakage{DeltaQ: 0.2, DeltaT: 0.8, DeltaR: 0.5}, 0.5}, // halfway
+		{Leakage{DeltaQ: 0.2, DeltaT: 0.8, DeltaR: 0.95}, 1},  // clamped above
+		{Leakage{DeltaQ: 0.2, DeltaT: 0.8, DeltaR: 0.05}, 0},  // clamped below
+		{Leakage{DeltaQ: 0.5, DeltaT: 0.5, DeltaR: 0.9}, 0},   // degenerate span
+		{Leakage{DeltaQ: 0.8, DeltaT: 0.2, DeltaR: 0.5}, 0},   // inverted span
+	}
+	for i, c := range cases {
+		if got := c.l.Score(); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: Score = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestLeakageString(t *testing.T) {
+	s := Leakage{DeltaQ: 0.1, DeltaT: 0.9, DeltaR: 0.5}.String()
+	if !strings.Contains(s, "Δ=") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+// clusteredTrain builds a sparse, structured train set (like image data)
+// where the all-ones floor sits meaningfully below the top-k ceiling.
+func clusteredTrain(src *rng.Source, n, clusters, size int) [][]float64 {
+	protos := make([][]float64, clusters)
+	for c := range protos {
+		p := make([]float64, n)
+		for _, j := range src.Sample(n, 5) { // sparse prototype: 5 active features
+			p[j] = src.Uniform(0.6, 1)
+		}
+		protos[c] = p
+	}
+	train := make([][]float64, size)
+	for i := range train {
+		v := vecmath.Clone(protos[i%clusters])
+		for j := range v {
+			v[j] += src.Gaussian(0, 0.05)
+		}
+		train[i] = v
+	}
+	return train
+}
+
+func TestMeasureLeakagePerfectReconstruction(t *testing.T) {
+	// Reconstructing a train-set query exactly must land ΔR at (or within
+	// noise of) the top-k ceiling, and the ceiling must clear the
+	// constant-vector floor.
+	src := rng.New(1)
+	train := clusteredTrain(src, 16, 3, 30)
+	query := train[3]
+	l := MeasureLeakage(train, query, query, TopKNearest)
+	if l.DeltaT <= l.DeltaQ {
+		t.Fatalf("ceiling %v not above floor %v", l.DeltaT, l.DeltaQ)
+	}
+	if got := l.Score(); got < 0.9 {
+		t.Fatalf("exact train-point reconstruction scored Δ=%v, want ≥ 0.9", got)
+	}
+	// The constant vector itself must score near 0. (Not exactly 0: ΔQ is
+	// the constant's full-set mean while ΔR aggregates its top-k nearest,
+	// which sits slightly higher.)
+	constant := make([]float64, 16)
+	vecmath.Fill(constant, 1)
+	l0 := MeasureLeakage(train, query, constant, TopKNearest)
+	if got := l0.Score(); got > 0.1 {
+		t.Fatalf("constant reconstruction leaks %v", got)
+	}
+}
+
+func TestMeasureLeakageOrdersReconstructions(t *testing.T) {
+	// A reconstruction near a train point must score strictly higher than
+	// an unrelated random vector. The train set is clustered (sparse,
+	// structured — like image data) so the all-ones floor is meaningfully
+	// below the top-k ceiling.
+	src := rng.New(2)
+	const n = 24
+	train := clusteredTrain(src, n, 4, 40)
+	query := vecmath.Clone(train[8]) // cluster 0 member
+	good := vecmath.Clone(train[8])
+	for i := range good {
+		good[i] += src.Gaussian(0, 0.02)
+	}
+	bad := make([]float64, n)
+	src.FillUniform(bad, 0, 1) // unstructured: no cluster alignment
+	lg := MeasureLeakage(train, query, good, TopKNearest)
+	lb := MeasureLeakage(train, query, bad, TopKNearest)
+	if lg.Score() <= lb.Score() {
+		t.Fatalf("good reconstruction Δ=%v not above bad Δ=%v", lg.Score(), lb.Score())
+	}
+	if lg.Score() < 0.8 {
+		t.Fatalf("near-exact reconstruction only scored Δ=%v", lg.Score())
+	}
+}
+
+func TestMeasureLeakageTopKClipped(t *testing.T) {
+	train := [][]float64{{1, 0}, {0, 1}}
+	l := MeasureLeakage(train, []float64{1, 0}, []float64{1, 0}, 100)
+	if l.DeltaT == 0 {
+		t.Fatal("clipped top-k produced zero ceiling")
+	}
+}
+
+func TestMeasureLeakagePanics(t *testing.T) {
+	mustPanic(t, "empty train", func() {
+		MeasureLeakage(nil, []float64{1}, []float64{1}, 1)
+	})
+	mustPanic(t, "topK < 1", func() {
+		MeasureLeakage([][]float64{{1}}, []float64{1}, []float64{1}, 0)
+	})
+}
+
+func TestMeanLeakage(t *testing.T) {
+	ls := []Leakage{
+		{DeltaQ: 0.1, DeltaT: 0.5, DeltaR: 0.3},
+		{DeltaQ: 0.3, DeltaT: 0.7, DeltaR: 0.5},
+	}
+	m := MeanLeakage(ls)
+	if math.Abs(m.DeltaQ-0.2) > 1e-12 || math.Abs(m.DeltaT-0.6) > 1e-12 || math.Abs(m.DeltaR-0.4) > 1e-12 {
+		t.Fatalf("MeanLeakage = %+v", m)
+	}
+	if z := MeanLeakage(nil); z.Score() != 0 {
+		t.Fatal("empty MeanLeakage should be zero")
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if got := Reduction(0.5, 0.04); math.Abs(got-0.92) > 1e-12 {
+		t.Fatalf("Reduction = %v, want 0.92", got)
+	}
+	if Reduction(0, 0.5) != 0 {
+		t.Fatal("Reduction from zero should be 0")
+	}
+	if Reduction(0.5, 0.9) != 0 {
+		t.Fatal("negative reduction should clamp to 0")
+	}
+	if Reduction(0.5, 0) != 1 {
+		t.Fatal("complete reduction should be 1")
+	}
+}
+
+func TestConfusionMatrix(t *testing.T) {
+	c := NewConfusionMatrix(3)
+	c.Add(0, 0)
+	c.Add(0, 0)
+	c.Add(0, 1)
+	c.Add(1, 1)
+	c.Add(2, 0)
+	if c.Total() != 5 {
+		t.Fatalf("Total = %d", c.Total())
+	}
+	if got := c.Accuracy(); math.Abs(got-3.0/5) > 1e-12 {
+		t.Fatalf("Accuracy = %v", got)
+	}
+	rec := c.PerClassRecall()
+	if math.Abs(rec[0]-2.0/3) > 1e-12 || rec[1] != 1 || rec[2] != 0 {
+		t.Fatalf("PerClassRecall = %v", rec)
+	}
+	if c.At(2, 0) != 1 {
+		t.Fatalf("At(2,0) = %d", c.At(2, 0))
+	}
+}
+
+func TestConfusionMatrixPanics(t *testing.T) {
+	mustPanic(t, "k<=0", func() { NewConfusionMatrix(0) })
+	c := NewConfusionMatrix(2)
+	mustPanic(t, "out of range", func() { c.Add(0, 2) })
+}
+
+func TestConfusionMatrixEmptyAccuracy(t *testing.T) {
+	if NewConfusionMatrix(2).Accuracy() != 0 {
+		t.Fatal("empty matrix accuracy should be 0")
+	}
+}
+
+func TestQualityLoss(t *testing.T) {
+	if got := QualityLoss(0.95, 0.90); math.Abs(got-0.05) > 1e-12 {
+		t.Fatalf("QualityLoss = %v", got)
+	}
+	if QualityLoss(0.90, 0.95) != 0 {
+		t.Fatal("improvement should floor at 0")
+	}
+}
+
+func TestMeasureRecon(t *testing.T) {
+	refs := [][]float64{{0, 1, 0, 1}, {1, 1, 0, 0}}
+	q := MeasureRecon(refs, refs)
+	if q.MeanMSE != 0 || q.MeanPSNR != PSNRCap {
+		t.Fatalf("exact recon quality = %+v, want MSE 0 and capped PSNR %v", q, PSNRCap)
+	}
+	mustPanic(t, "mismatched recon", func() { MeasureRecon(refs, refs[:1]) })
+}
+
+// Property: leakage Score is always in [0, 1] for components in the
+// cosine-similarity range [-1, 1] (the only range MeasureLeakage produces).
+func TestScoreBoundedProperty(t *testing.T) {
+	f := func(qi, ti, ri int16) bool {
+		scale := func(v int16) float64 { return float64(v) / 32768 }
+		s := Leakage{DeltaQ: scale(qi), DeltaT: scale(ti), DeltaR: scale(ri)}.Score()
+		return s >= 0 && s <= 1 && !math.IsNaN(s)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", name)
+		}
+	}()
+	f()
+}

@@ -1,0 +1,259 @@
+// Package nn is a minimal dense neural-network library: fully connected
+// layers, pointwise activations, MSE and softmax-cross-entropy losses, and
+// plain SGD. It exists for two roles in the PRID reproduction:
+//
+//   - the paper's learning-based decoder, a single-layer regression network
+//     trained to map base hypervectors to an encoded hypervector, whose
+//     trained weights are the decoded features (Section III-A);
+//   - the DNN comparator of Table I (an MLP classifier in
+//     internal/baseline).
+//
+// Training operates one sample at a time (stochastic, not mini-batched
+// matrices); at the scale of this reproduction that is simpler and fast
+// enough.
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"prid/internal/rng"
+	"prid/internal/vecmath"
+)
+
+// Layer is one differentiable stage of a Network. Forward must be called
+// before Backward for the same sample; Backward accumulates parameter
+// gradients that Step later applies and clears.
+type Layer interface {
+	// Forward computes the layer output for input x.
+	Forward(x []float64) []float64
+	// Backward consumes the gradient of the loss with respect to the
+	// layer's output and returns the gradient with respect to its input.
+	Backward(gradOut []float64) []float64
+	// Step applies accumulated parameter gradients scaled by -lr and
+	// clears them. Layers without parameters do nothing.
+	Step(lr float64)
+}
+
+// Dense is a fully connected layer: out = W·x + b, with W out×in.
+type Dense struct {
+	In, Out int
+	W       *vecmath.Matrix // Out×In
+	B       []float64
+
+	lastIn []float64
+	gradW  *vecmath.Matrix
+	gradB  []float64
+}
+
+// NewDense constructs a Dense layer with Glorot-uniform initial weights
+// drawn from src and zero biases.
+func NewDense(in, out int, src *rng.Source) *Dense {
+	if in <= 0 || out <= 0 {
+		panic(fmt.Sprintf("nn: NewDense with non-positive size in=%d out=%d", in, out))
+	}
+	d := &Dense{
+		In:    in,
+		Out:   out,
+		W:     vecmath.NewMatrix(out, in),
+		B:     make([]float64, out),
+		gradW: vecmath.NewMatrix(out, in),
+		gradB: make([]float64, out),
+	}
+	limit := math.Sqrt(6.0 / float64(in+out))
+	src.FillUniform(d.W.Data, -limit, limit)
+	return d
+}
+
+// Forward computes W·x + b and caches x for Backward.
+func (d *Dense) Forward(x []float64) []float64 {
+	if len(x) != d.In {
+		panic(fmt.Sprintf("nn: Dense.Forward input length %d, want %d", len(x), d.In))
+	}
+	d.lastIn = x
+	out := d.W.MulVec(x)
+	for i := range out {
+		out[i] += d.B[i]
+	}
+	return out
+}
+
+// Backward accumulates ∂L/∂W = g·xᵀ and ∂L/∂b = g, returning Wᵀ·g.
+func (d *Dense) Backward(gradOut []float64) []float64 {
+	if len(gradOut) != d.Out {
+		panic(fmt.Sprintf("nn: Dense.Backward gradient length %d, want %d", len(gradOut), d.Out))
+	}
+	if d.lastIn == nil {
+		panic("nn: Dense.Backward before Forward")
+	}
+	for i, g := range gradOut {
+		if g == 0 {
+			continue
+		}
+		vecmath.Axpy(g, d.lastIn, d.gradW.Row(i))
+		d.gradB[i] += g
+	}
+	return d.W.MulVecT(gradOut)
+}
+
+// Step applies W -= lr·gradW, b -= lr·gradB and clears the gradients.
+func (d *Dense) Step(lr float64) {
+	vecmath.Axpy(-lr, d.gradW.Data, d.W.Data)
+	vecmath.Axpy(-lr, d.gradB, d.B)
+	vecmath.Zero(d.gradW.Data)
+	vecmath.Zero(d.gradB)
+}
+
+// ReLU is the rectified linear activation.
+type ReLU struct {
+	lastIn []float64
+}
+
+// Forward returns max(x, 0) elementwise.
+func (r *ReLU) Forward(x []float64) []float64 {
+	r.lastIn = x
+	out := make([]float64, len(x))
+	for i, v := range x {
+		if v > 0 {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// Backward passes gradients through where the input was positive.
+func (r *ReLU) Backward(gradOut []float64) []float64 {
+	if r.lastIn == nil {
+		panic("nn: ReLU.Backward before Forward")
+	}
+	in := make([]float64, len(gradOut))
+	for i, g := range gradOut {
+		if r.lastIn[i] > 0 {
+			in[i] = g
+		}
+	}
+	return in
+}
+
+// Step is a no-op: ReLU has no parameters.
+func (r *ReLU) Step(lr float64) {}
+
+// Tanh is the hyperbolic tangent activation.
+type Tanh struct {
+	lastOut []float64
+}
+
+// Forward returns tanh(x) elementwise.
+func (t *Tanh) Forward(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for i, v := range x {
+		out[i] = math.Tanh(v)
+	}
+	t.lastOut = out
+	return out
+}
+
+// Backward multiplies by 1 − tanh².
+func (t *Tanh) Backward(gradOut []float64) []float64 {
+	if t.lastOut == nil {
+		panic("nn: Tanh.Backward before Forward")
+	}
+	in := make([]float64, len(gradOut))
+	for i, g := range gradOut {
+		y := t.lastOut[i]
+		in[i] = g * (1 - y*y)
+	}
+	return in
+}
+
+// Step is a no-op: Tanh has no parameters.
+func (t *Tanh) Step(lr float64) {}
+
+// Network chains layers.
+type Network struct {
+	Layers []Layer
+}
+
+// NewNetwork builds a network from the given layers in order.
+func NewNetwork(layers ...Layer) *Network {
+	return &Network{Layers: layers}
+}
+
+// Forward runs x through every layer.
+func (n *Network) Forward(x []float64) []float64 {
+	for _, l := range n.Layers {
+		x = l.Forward(x)
+	}
+	return x
+}
+
+// Backward propagates the output gradient back through every layer,
+// accumulating parameter gradients.
+func (n *Network) Backward(gradOut []float64) []float64 {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		gradOut = n.Layers[i].Backward(gradOut)
+	}
+	return gradOut
+}
+
+// Step applies and clears accumulated gradients on every layer.
+func (n *Network) Step(lr float64) {
+	for _, l := range n.Layers {
+		l.Step(lr)
+	}
+}
+
+// MSELoss returns ½·mean((pred−target)²) and its gradient with respect to
+// pred.
+func MSELoss(pred, target []float64) (float64, []float64) {
+	if len(pred) != len(target) {
+		panic(fmt.Sprintf("nn: MSELoss length mismatch %d vs %d", len(pred), len(target)))
+	}
+	grad := make([]float64, len(pred))
+	var loss float64
+	scale := 1 / float64(len(pred))
+	for i := range pred {
+		d := pred[i] - target[i]
+		loss += 0.5 * d * d * scale
+		grad[i] = d * scale
+	}
+	return loss, grad
+}
+
+// SoftmaxCrossEntropy returns the cross-entropy of softmax(logits) against
+// the integer label and the gradient with respect to the logits
+// (softmax − onehot). The log-sum-exp is computed stably.
+func SoftmaxCrossEntropy(logits []float64, label int) (float64, []float64) {
+	if label < 0 || label >= len(logits) {
+		panic(fmt.Sprintf("nn: SoftmaxCrossEntropy label %d out of range %d", label, len(logits)))
+	}
+	maxv := logits[vecmath.ArgMax(logits)]
+	var sum float64
+	grad := make([]float64, len(logits))
+	for i, v := range logits {
+		e := math.Exp(v - maxv)
+		grad[i] = e
+		sum += e
+	}
+	loss := math.Log(sum) - (logits[label] - maxv)
+	for i := range grad {
+		grad[i] /= sum
+	}
+	grad[label] -= 1
+	return loss, grad
+}
+
+// Softmax returns the softmax of logits, computed stably.
+func Softmax(logits []float64) []float64 {
+	maxv := logits[vecmath.ArgMax(logits)]
+	out := make([]float64, len(logits))
+	var sum float64
+	for i, v := range logits {
+		out[i] = math.Exp(v - maxv)
+		sum += out[i]
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}

@@ -1,0 +1,272 @@
+package nn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"prid/internal/rng"
+	"prid/internal/vecmath"
+)
+
+func TestDenseForwardKnown(t *testing.T) {
+	d := NewDense(2, 2, rng.New(1))
+	copy(d.W.Data, []float64{1, 2, 3, 4}) // rows: [1 2], [3 4]
+	copy(d.B, []float64{10, 20})
+	out := d.Forward([]float64{1, 1})
+	if out[0] != 13 || out[1] != 27 {
+		t.Fatalf("Forward = %v", out)
+	}
+}
+
+// Gradient check: compare Backward's analytic gradients against central
+// finite differences for a two-layer network with Tanh.
+func TestGradientCheck(t *testing.T) {
+	src := rng.New(2)
+	net := NewNetwork(NewDense(3, 4, src), &Tanh{}, NewDense(4, 2, src))
+	x := []float64{0.3, -0.7, 0.5}
+	target := []float64{0.2, -0.4}
+
+	lossAt := func() float64 {
+		loss, _ := MSELoss(net.Forward(x), target)
+		return loss
+	}
+
+	// Analytic gradients.
+	pred := net.Forward(x)
+	_, grad := MSELoss(pred, target)
+	net.Backward(grad)
+
+	const eps = 1e-6
+	check := func(name string, params, grads []float64) {
+		for i := range params {
+			orig := params[i]
+			params[i] = orig + eps
+			up := lossAt()
+			params[i] = orig - eps
+			down := lossAt()
+			params[i] = orig
+			numeric := (up - down) / (2 * eps)
+			if math.Abs(numeric-grads[i]) > 1e-5*(1+math.Abs(numeric)) {
+				t.Fatalf("%s[%d]: analytic %v vs numeric %v", name, i, grads[i], numeric)
+			}
+		}
+	}
+	l0 := net.Layers[0].(*Dense)
+	l2 := net.Layers[2].(*Dense)
+	check("W0", l0.W.Data, l0.gradW.Data)
+	check("b0", l0.B, l0.gradB)
+	check("W2", l2.W.Data, l2.gradW.Data)
+	check("b2", l2.B, l2.gradB)
+}
+
+func TestDenseInputGradient(t *testing.T) {
+	// Input gradient check via finite differences.
+	src := rng.New(3)
+	d := NewDense(3, 2, src)
+	x := []float64{0.1, 0.2, 0.3}
+	target := []float64{1, -1}
+	pred := d.Forward(x)
+	_, g := MSELoss(pred, target)
+	gin := d.Backward(g)
+	const eps = 1e-6
+	for i := range x {
+		xp := vecmath.Clone(x)
+		xm := vecmath.Clone(x)
+		xp[i] += eps
+		xm[i] -= eps
+		lp, _ := MSELoss(d.Forward(xp), target)
+		lm, _ := MSELoss(d.Forward(xm), target)
+		numeric := (lp - lm) / (2 * eps)
+		if math.Abs(numeric-gin[i]) > 1e-6 {
+			t.Fatalf("input grad[%d]: analytic %v vs numeric %v", i, gin[i], numeric)
+		}
+	}
+}
+
+func TestStepClearsGradients(t *testing.T) {
+	d := NewDense(2, 2, rng.New(4))
+	pred := d.Forward([]float64{1, 2})
+	_, g := MSELoss(pred, []float64{0, 0})
+	d.Backward(g)
+	d.Step(0.1)
+	for _, v := range d.gradW.Data {
+		if v != 0 {
+			t.Fatal("Step did not clear weight gradients")
+		}
+	}
+	for _, v := range d.gradB {
+		if v != 0 {
+			t.Fatal("Step did not clear bias gradients")
+		}
+	}
+}
+
+func TestReLU(t *testing.T) {
+	r := &ReLU{}
+	out := r.Forward([]float64{-1, 0, 2})
+	if out[0] != 0 || out[1] != 0 || out[2] != 2 {
+		t.Fatalf("ReLU forward = %v", out)
+	}
+	back := r.Backward([]float64{5, 5, 5})
+	if back[0] != 0 || back[1] != 0 || back[2] != 5 {
+		t.Fatalf("ReLU backward = %v", back)
+	}
+}
+
+func TestTanhRange(t *testing.T) {
+	th := &Tanh{}
+	out := th.Forward([]float64{-100, 0, 100})
+	if math.Abs(out[0]+1) > 1e-9 || out[1] != 0 || math.Abs(out[2]-1) > 1e-9 {
+		t.Fatalf("Tanh forward = %v", out)
+	}
+}
+
+func TestMSELossZero(t *testing.T) {
+	loss, grad := MSELoss([]float64{1, 2}, []float64{1, 2})
+	if loss != 0 {
+		t.Fatalf("loss = %v", loss)
+	}
+	if grad[0] != 0 || grad[1] != 0 {
+		t.Fatalf("grad = %v", grad)
+	}
+}
+
+func TestSoftmaxCrossEntropyKnown(t *testing.T) {
+	// Uniform logits over 4 classes → loss = ln 4.
+	loss, grad := SoftmaxCrossEntropy([]float64{0, 0, 0, 0}, 2)
+	if math.Abs(loss-math.Log(4)) > 1e-12 {
+		t.Fatalf("loss = %v, want ln4", loss)
+	}
+	if math.Abs(grad[2]-(0.25-1)) > 1e-12 || math.Abs(grad[0]-0.25) > 1e-12 {
+		t.Fatalf("grad = %v", grad)
+	}
+}
+
+func TestSoftmaxStability(t *testing.T) {
+	// Huge logits must not overflow.
+	p := Softmax([]float64{1000, 999, 998})
+	sum := p[0] + p[1] + p[2]
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("softmax sums to %v", sum)
+	}
+	if p[0] <= p[1] || p[1] <= p[2] {
+		t.Fatalf("softmax ordering wrong: %v", p)
+	}
+}
+
+// Property: softmax output is a probability vector for any finite logits.
+func TestSoftmaxProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(10)
+		logits := make([]float64, n)
+		r.FillUniform(logits, -50, 50)
+		p := Softmax(logits)
+		var sum float64
+		for _, v := range p {
+			if v < 0 || v > 1 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitRegressionLearnsLinearMap(t *testing.T) {
+	// Ground truth: y = A·x with a fixed random A. A single Dense layer
+	// must recover it (convex problem).
+	src := rng.New(5)
+	const in, out, samples = 4, 3, 200
+	a := vecmath.NewMatrix(out, in)
+	src.FillNorm(a.Data)
+	var xs, ys [][]float64
+	for i := 0; i < samples; i++ {
+		x := make([]float64, in)
+		src.FillNorm(x)
+		xs = append(xs, x)
+		ys = append(ys, a.MulVec(x))
+	}
+	net := NewNetwork(NewDense(in, out, src.Split()))
+	cfg := RegressionConfig{Epochs: 60, LearningRate: 0.05, Shuffle: true, Seed: 7}
+	final := FitRegression(net, xs, ys, cfg)
+	if final > 1e-4 {
+		t.Fatalf("final regression loss %v, want < 1e-4", final)
+	}
+	w := net.Layers[0].(*Dense).W
+	if mse := vecmath.MSE(w.Data, a.Data); mse > 1e-3 {
+		t.Fatalf("recovered weights MSE %v from ground truth", mse)
+	}
+}
+
+func TestFitClassifierLearnsSeparableData(t *testing.T) {
+	src := rng.New(6)
+	const n, perClass = 6, 50
+	var xs [][]float64
+	var ys []int
+	for class := 0; class < 3; class++ {
+		center := make([]float64, n)
+		src.FillUniform(center, -3, 3)
+		for i := 0; i < perClass; i++ {
+			x := make([]float64, n)
+			for j := range x {
+				x[j] = center[j] + src.Gaussian(0, 0.3)
+			}
+			xs = append(xs, x)
+			ys = append(ys, class)
+		}
+	}
+	net := NewNetwork(NewDense(n, 16, src.Split()), &ReLU{}, NewDense(16, 3, src.Split()))
+	FitClassifier(net, xs, ys, ClassifierConfig{Epochs: 40, LearningRate: 0.05, Seed: 8})
+	if acc := ClassifierAccuracy(net, xs, ys); acc < 0.95 {
+		t.Fatalf("classifier accuracy %v on separable data", acc)
+	}
+}
+
+func TestClassifierAccuracyEmpty(t *testing.T) {
+	net := NewNetwork(NewDense(2, 2, rng.New(9)))
+	if ClassifierAccuracy(net, nil, nil) != 0 {
+		t.Fatal("accuracy on empty set should be 0")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	src := rng.New(10)
+	d := NewDense(2, 3, src)
+	mustPanic(t, "NewDense(0, 1)", func() { NewDense(0, 1, src) })
+	mustPanic(t, "Forward wrong length", func() { d.Forward([]float64{1}) })
+	mustPanic(t, "Backward before Forward", func() { NewDense(2, 2, src).Backward([]float64{1, 1}) })
+	mustPanic(t, "MSELoss mismatch", func() { MSELoss([]float64{1}, []float64{1, 2}) })
+	mustPanic(t, "SCE label range", func() { SoftmaxCrossEntropy([]float64{1, 2}, 5) })
+	mustPanic(t, "FitRegression mismatch", func() {
+		FitRegression(NewNetwork(), [][]float64{{1}}, nil, DefaultRegressionConfig())
+	})
+	mustPanic(t, "FitRegression zero epochs", func() {
+		FitRegression(NewNetwork(), nil, nil, RegressionConfig{})
+	})
+}
+
+func mustPanic(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", name)
+		}
+	}()
+	f()
+}
+
+func BenchmarkDenseForward256x256(b *testing.B) {
+	src := rng.New(1)
+	d := NewDense(256, 256, src)
+	x := make([]float64, 256)
+	src.FillNorm(x)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Forward(x)
+	}
+}

@@ -1,0 +1,112 @@
+package nn
+
+import (
+	"fmt"
+
+	"prid/internal/rng"
+	"prid/internal/vecmath"
+)
+
+// RegressionConfig controls FitRegression.
+type RegressionConfig struct {
+	Epochs       int     // full passes over the data
+	LearningRate float64 // SGD step size
+	Shuffle      bool    // reshuffle sample order each epoch
+	Seed         uint64  // shuffle stream seed
+}
+
+// DefaultRegressionConfig returns the settings used by the learning-based
+// decoder: enough epochs to converge on the (convex) linear regression it
+// solves, with per-epoch shuffling.
+func DefaultRegressionConfig() RegressionConfig {
+	return RegressionConfig{Epochs: 30, LearningRate: 0.05, Shuffle: true, Seed: 1}
+}
+
+// FitRegression trains net to map each x[i] to target[i] under MSE loss by
+// plain SGD and returns the mean loss of the final epoch.
+func FitRegression(net *Network, x, target [][]float64, cfg RegressionConfig) float64 {
+	if len(x) != len(target) {
+		panic(fmt.Sprintf("nn: FitRegression with %d inputs but %d targets", len(x), len(target)))
+	}
+	if cfg.Epochs <= 0 {
+		panic("nn: FitRegression with non-positive epochs")
+	}
+	src := rng.New(cfg.Seed)
+	order := make([]int, len(x))
+	for i := range order {
+		order[i] = i
+	}
+	var lastEpochLoss float64
+	for e := 0; e < cfg.Epochs; e++ {
+		if cfg.Shuffle {
+			src.Shuffle(order)
+		}
+		var w vecmath.Welford
+		for _, i := range order {
+			pred := net.Forward(x[i])
+			loss, grad := MSELoss(pred, target[i])
+			net.Backward(grad)
+			net.Step(cfg.LearningRate)
+			w.Add(loss)
+		}
+		lastEpochLoss = w.Mean()
+	}
+	return lastEpochLoss
+}
+
+// ClassifierConfig controls FitClassifier.
+type ClassifierConfig struct {
+	Epochs       int
+	LearningRate float64
+	Seed         uint64
+}
+
+// FitClassifier trains net as a softmax classifier over integer labels by
+// SGD and returns the final-epoch mean cross-entropy.
+func FitClassifier(net *Network, x [][]float64, y []int, cfg ClassifierConfig) float64 {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("nn: FitClassifier with %d inputs but %d labels", len(x), len(y)))
+	}
+	if cfg.Epochs <= 0 {
+		panic("nn: FitClassifier with non-positive epochs")
+	}
+	src := rng.New(cfg.Seed)
+	order := make([]int, len(x))
+	for i := range order {
+		order[i] = i
+	}
+	var lastEpochLoss float64
+	for e := 0; e < cfg.Epochs; e++ {
+		src.Shuffle(order)
+		var w vecmath.Welford
+		for _, i := range order {
+			logits := net.Forward(x[i])
+			loss, grad := SoftmaxCrossEntropy(logits, y[i])
+			net.Backward(grad)
+			net.Step(cfg.LearningRate)
+			w.Add(loss)
+		}
+		lastEpochLoss = w.Mean()
+	}
+	return lastEpochLoss
+}
+
+// Predict returns the argmax class of net's logits for x.
+func Predict(net *Network, x []float64) int {
+	return vecmath.ArgMax(net.Forward(x))
+}
+
+// ClassifierAccuracy returns the fraction of samples net classifies
+// correctly.
+func ClassifierAccuracy(net *Network, x [][]float64, y []int) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range x {
+		if Predict(net, x[i]) == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(x))
+}

@@ -1,0 +1,215 @@
+// Package quant implements the symmetric uniform n-bit quantizer PRID uses
+// as a privacy defense (paper Section IV-B): reducing the precision of each
+// class-hypervector dimension destroys the fine-grained information the
+// decoders need, at some cost in classification accuracy that the iterative
+// defense training recovers.
+//
+// Quantization is per vector: a scale is chosen from the vector's own
+// dynamic range, elements snap to the nearest of the 2^bits − 1 symmetric
+// integer levels, and values are returned in the original (dequantized)
+// scale so quantized models drop into the same cosine-similarity inference
+// path. bits ≥ 32 is treated as full precision (identity), matching the
+// paper's use of "32-bit" as the undefended baseline.
+package quant
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"prid/internal/hdc"
+	"prid/internal/vecmath"
+)
+
+// FullPrecisionBits is the bit width treated as "no quantization".
+const FullPrecisionBits = 32
+
+// Quantizer snaps vectors to n-bit symmetric uniform levels.
+type Quantizer struct {
+	Bits int
+}
+
+// New returns an n-bit quantizer. It panics for bits < 1.
+func New(bits int) Quantizer {
+	if bits < 1 {
+		panic(fmt.Sprintf("quant: bits %d < 1", bits))
+	}
+	return Quantizer{Bits: bits}
+}
+
+// Levels returns the number of representable values: 2^bits. Full
+// precision reports 0 (unbounded).
+func (q Quantizer) Levels() int {
+	if q.Bits >= FullPrecisionBits {
+		return 0
+	}
+	return 1 << uint(q.Bits)
+}
+
+// Apply returns a quantized copy of x.
+func (q Quantizer) Apply(x []float64) []float64 {
+	out := vecmath.Clone(x)
+	q.ApplyInPlace(out)
+	return out
+}
+
+// ApplyInPlace quantizes x in place.
+//
+// 1-bit quantization is sign quantization at the vector's mean magnitude
+// (the binary-HDC convention of QuantHD: ±mean|x| preserves expected
+// energy). For 2 ≤ bits < 32, the 2^bits levels are fitted to the vector's
+// own value distribution with Lloyd's algorithm (1D k-means): class
+// hypervectors are near-Gaussian, and a max-scaled uniform grid would park
+// most of its levels in the empty tails and snap the bulk of the
+// dimensions to zero, destroying the between-class discrimination the
+// iterative defense training is supposed to preserve.
+func (q Quantizer) ApplyInPlace(x []float64) {
+	if q.Bits >= FullPrecisionBits || len(x) == 0 {
+		return
+	}
+	if q.Bits == 1 {
+		var meanAbs float64
+		for _, v := range x {
+			meanAbs += math.Abs(v)
+		}
+		meanAbs /= float64(len(x))
+		if meanAbs == 0 {
+			return
+		}
+		for i, v := range x {
+			if v >= 0 {
+				x[i] = meanAbs
+			} else {
+				x[i] = -meanAbs
+			}
+		}
+		return
+	}
+	levels := lloydCodebook(x, q.Levels())
+	for i, v := range x {
+		x[i] = nearestLevel(levels, v)
+	}
+}
+
+// lloydCodebook fits k quantization levels to the values of x by Lloyd's
+// algorithm, initialized at the data quantiles. The returned levels are in
+// ascending order; duplicates may remain when the data has fewer than k
+// distinct values (harmless: assignment still picks the nearest).
+func lloydCodebook(x []float64, k int) []float64 {
+	sorted := make([]float64, len(x))
+	copy(sorted, x)
+	sort.Float64s(sorted)
+	// If the data already uses at most k distinct values, the codebook is
+	// exactly those values: quantization is the identity there, which also
+	// makes repeated quantization idempotent.
+	distinct := sorted[:0:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			distinct = append(distinct, v)
+			if len(distinct) > k {
+				break
+			}
+		}
+	}
+	if len(distinct) <= k {
+		return distinct
+	}
+	levels := make([]float64, k)
+	for i := range levels {
+		pos := (float64(i) + 0.5) / float64(k) * float64(len(sorted)-1)
+		levels[i] = sorted[int(pos)]
+	}
+	sums := make([]float64, k)
+	counts := make([]int, k)
+	for iter := 0; iter < 12; iter++ {
+		for i := range sums {
+			sums[i] = 0
+			counts[i] = 0
+		}
+		// One sweep over the sorted values: advance the active level as
+		// soon as the next one is closer (levels are sorted, so the
+		// assignment boundary is the midpoint between adjacent levels).
+		li := 0
+		for _, v := range sorted {
+			for li+1 < k && math.Abs(levels[li+1]-v) <= math.Abs(levels[li]-v) {
+				li++
+			}
+			sums[li] += v
+			counts[li]++
+		}
+		changed := false
+		for i := range levels {
+			if counts[i] == 0 {
+				continue // empty cell keeps its position
+			}
+			nv := sums[i] / float64(counts[i])
+			if nv != levels[i] {
+				levels[i] = nv
+				changed = true
+			}
+		}
+		sort.Float64s(levels)
+		if !changed {
+			break
+		}
+	}
+	return levels
+}
+
+// nearestLevel returns the codebook level closest to v (codebook sorted
+// ascending), by binary search.
+func nearestLevel(levels []float64, v float64) float64 {
+	i := sort.SearchFloat64s(levels, v)
+	if i == 0 {
+		return levels[0]
+	}
+	if i == len(levels) {
+		return levels[len(levels)-1]
+	}
+	if v-levels[i-1] <= levels[i]-v {
+		return levels[i-1]
+	}
+	return levels[i]
+}
+
+// Error returns the mean squared quantization error q would introduce on x.
+func (q Quantizer) Error(x []float64) float64 {
+	return vecmath.MSE(x, q.Apply(x))
+}
+
+// Model returns a quantized deep copy of m: every class hypervector passes
+// through the quantizer independently.
+func Model(m *hdc.Model, bits int) *hdc.Model {
+	q := New(bits)
+	out := m.Clone()
+	for l := 0; l < out.NumClasses(); l++ {
+		q.ApplyInPlace(out.Class(l))
+	}
+	return out
+}
+
+// ModelInto overwrites dst's class hypervectors with quantized copies of
+// src's. dst and src must have identical shape. This is the inner step of
+// the paper's iterative quantized training, where the quantized model is
+// refreshed from the full-precision shadow after every adjustment pass.
+func ModelInto(dst, src *hdc.Model, bits int) {
+	if dst.NumClasses() != src.NumClasses() || dst.Dim() != src.Dim() {
+		panic(fmt.Sprintf("quant: ModelInto shape mismatch %dx%d vs %dx%d",
+			dst.NumClasses(), dst.Dim(), src.NumClasses(), src.Dim()))
+	}
+	q := New(bits)
+	for l := 0; l < src.NumClasses(); l++ {
+		dst.SetClass(l, src.Class(l))
+		q.ApplyInPlace(dst.Class(l))
+	}
+}
+
+// DistinctValues counts the distinct values in x — a direct check that an
+// n-bit quantized vector uses at most Levels() values.
+func DistinctValues(x []float64) int {
+	seen := make(map[float64]struct{}, len(x))
+	for _, v := range x {
+		seen[v] = struct{}{}
+	}
+	return len(seen)
+}

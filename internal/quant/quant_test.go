@@ -1,0 +1,259 @@
+package quant
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"prid/internal/hdc"
+	"prid/internal/rng"
+	"prid/internal/vecmath"
+)
+
+func TestLevels(t *testing.T) {
+	cases := []struct{ bits, want int }{
+		{1, 2}, {2, 4}, {3, 8}, {4, 16}, {8, 256}, {32, 0}, {64, 0},
+	}
+	for _, c := range cases {
+		if got := New(c.bits).Levels(); got != c.want {
+			t.Errorf("Levels(%d) = %d, want %d", c.bits, got, c.want)
+		}
+	}
+}
+
+func TestFullPrecisionIsIdentity(t *testing.T) {
+	r := rng.New(1)
+	x := make([]float64, 100)
+	r.FillNorm(x)
+	got := New(32).Apply(x)
+	if vecmath.MSE(x, got) != 0 {
+		t.Fatal("32-bit quantization modified the vector")
+	}
+}
+
+func TestOneBitSignQuantization(t *testing.T) {
+	x := []float64{3, -1, 2, -4}
+	q := New(1)
+	got := q.Apply(x)
+	// mean|x| = 2.5; signs preserved.
+	want := []float64{2.5, -2.5, 2.5, -2.5}
+	if vecmath.MSE(got, want) != 0 {
+		t.Fatalf("1-bit quantize = %v, want %v", got, want)
+	}
+}
+
+func TestApplyDoesNotMutate(t *testing.T) {
+	x := []float64{1.1, -2.2, 3.3}
+	orig := vecmath.Clone(x)
+	New(2).Apply(x)
+	if vecmath.MSE(x, orig) != 0 {
+		t.Fatal("Apply mutated its input")
+	}
+}
+
+func TestDistinctValuesBound(t *testing.T) {
+	r := rng.New(2)
+	x := make([]float64, 2000)
+	r.FillNorm(x)
+	for _, bits := range []int{1, 2, 3, 4, 6} {
+		q := New(bits)
+		got := q.Apply(x)
+		if dv := DistinctValues(got); dv > q.Levels() {
+			t.Fatalf("%d-bit quantization produced %d distinct values, max %d", bits, dv, q.Levels())
+		}
+	}
+}
+
+func TestErrorDecreasesWithBits(t *testing.T) {
+	r := rng.New(3)
+	x := make([]float64, 4096)
+	r.FillNorm(x)
+	// Monotonicity holds within the Lloyd family (bits ≥ 2). 1-bit sign
+	// quantization uses a different (mean-magnitude) scale, so it is
+	// compared only against fine quantization.
+	prev := math.Inf(1)
+	for _, bits := range []int{2, 4, 8} {
+		e := New(bits).Error(x)
+		if e > prev {
+			t.Fatalf("%d-bit error %g exceeds coarser %g", bits, e, prev)
+		}
+		prev = e
+	}
+	if one, fine := New(1).Error(x), New(8).Error(x); one <= fine {
+		t.Fatalf("1-bit error %g should exceed 8-bit error %g", one, fine)
+	}
+	if e := New(8).Error(x); e <= 0 {
+		t.Fatalf("8-bit error %g should still be positive on 4096 random values", e)
+	}
+	// With more levels than distinct values, quantization is the identity.
+	if e := New(16).Error(x); e != 0 {
+		t.Fatalf("16-bit error %g on 4096 values; 65536 levels should reproduce exactly", e)
+	}
+}
+
+func TestZeroVectorStable(t *testing.T) {
+	x := make([]float64, 10)
+	for _, bits := range []int{1, 4} {
+		got := New(bits).Apply(x)
+		for _, v := range got {
+			if v != 0 {
+				t.Fatalf("%d-bit quantization of zero vector produced %v", bits, v)
+			}
+		}
+	}
+}
+
+// Property: quantization is idempotent — applying the same quantizer twice
+// equals applying it once.
+func TestIdempotent(t *testing.T) {
+	f := func(seed uint64, bitsRaw uint8) bool {
+		bits := 1 + int(bitsRaw%8)
+		r := rng.New(seed)
+		x := make([]float64, 64)
+		r.FillNorm(x)
+		q := New(bits)
+		once := q.Apply(x)
+		twice := q.Apply(once)
+		return vecmath.MSE(once, twice) < 1e-24
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: 1-bit quantization preserves signs exactly.
+func TestSignPreservationOneBit(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		x := make([]float64, 64)
+		r.FillNorm(x)
+		got := New(1).Apply(x)
+		for i := range x {
+			if x[i] > 0 && got[i] < 0 {
+				return false
+			}
+			if x[i] < 0 && got[i] > 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every quantized value is bounded by the input's range (Lloyd
+// levels are means of input values, so they cannot escape [min, max]).
+func TestQuantizedValuesWithinRange(t *testing.T) {
+	f := func(seed uint64, bitsRaw uint8) bool {
+		bits := 2 + int(bitsRaw%7)
+		r := rng.New(seed)
+		x := make([]float64, 64)
+		r.FillNorm(x)
+		lo, hi := vecmath.MinMax(x)
+		for _, v := range New(bits).Apply(x) {
+			if v < lo-1e-12 || v > hi+1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: quantization is monotone — if a ≤ b then q(a) ≤ q(b), since
+// both snap to the nearest level of one sorted codebook.
+func TestQuantizationMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		x := make([]float64, 64)
+		r.FillNorm(x)
+		got := New(3).Apply(x)
+		for i := range x {
+			for j := range x {
+				if x[i] <= x[j] && got[i] > got[j]+1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelQuantization(t *testing.T) {
+	src := rng.New(4)
+	m := hdc.NewModel(3, 128)
+	for l := 0; l < 3; l++ {
+		h := make([]float64, 128)
+		src.FillNorm(h)
+		m.Bundle(l, h)
+	}
+	qm := Model(m, 2)
+	if qm == m {
+		t.Fatal("Model should return a copy")
+	}
+	for l := 0; l < 3; l++ {
+		if dv := DistinctValues(qm.Class(l)); dv > 4 {
+			t.Fatalf("2-bit class %d has %d distinct values", l, dv)
+		}
+		// Original untouched.
+		if DistinctValues(m.Class(l)) <= 4 {
+			t.Fatal("source model was mutated")
+		}
+	}
+	if qm.Count(0) != m.Count(0) {
+		t.Fatal("quantized model lost bundle counts")
+	}
+}
+
+func TestModelInto(t *testing.T) {
+	src := rng.New(5)
+	fullPrec := hdc.NewModel(2, 64)
+	for l := 0; l < 2; l++ {
+		h := make([]float64, 64)
+		src.FillNorm(h)
+		fullPrec.Bundle(l, h)
+	}
+	dst := hdc.NewModel(2, 64)
+	ModelInto(dst, fullPrec, 1)
+	for l := 0; l < 2; l++ {
+		if dv := DistinctValues(dst.Class(l)); dv > 2 {
+			t.Fatalf("1-bit refresh left %d distinct values", dv)
+		}
+	}
+	bad := hdc.NewModel(3, 64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("shape mismatch did not panic")
+		}
+	}()
+	ModelInto(bad, fullPrec, 1)
+}
+
+func TestNewPanicsOnZeroBits(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+func BenchmarkQuantize4096(b *testing.B) {
+	r := rng.New(1)
+	x := make([]float64, 4096)
+	r.FillNorm(x)
+	q := New(4)
+	buf := make([]float64, 4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(buf, x)
+		q.ApplyInPlace(buf)
+	}
+}

@@ -1,0 +1,49 @@
+package report
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// jsonTable is the wire form of a Table: title, ordered columns, and rows
+// as column→cell maps (self-describing for downstream tooling).
+type jsonTable struct {
+	Title   string              `json:"title,omitempty"`
+	Columns []string            `json:"columns"`
+	Rows    []map[string]string `json:"rows"`
+}
+
+// WriteJSON renders the table as a single JSON object with ordered column
+// metadata and per-row maps.
+func (t *Table) WriteJSON(w io.Writer) error {
+	out := jsonTable{Title: t.Title, Columns: t.Headers, Rows: make([]map[string]string, 0, len(t.rows))}
+	for _, row := range t.rows {
+		m := make(map[string]string, len(row))
+		for i, cell := range row {
+			m[t.Headers[i]] = cell
+		}
+		out.Rows = append(out.Rows, m)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ParseJSONTable reads a table previously written by WriteJSON — used by
+// tooling that post-processes saved experiment results.
+func ParseJSONTable(r io.Reader) (*Table, error) {
+	var in jsonTable
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, err
+	}
+	t := NewTable(in.Title, in.Columns...)
+	for _, row := range in.Rows {
+		cells := make([]string, len(in.Columns))
+		for i, col := range in.Columns {
+			cells[i] = row[col]
+		}
+		t.AddRow(cells...)
+	}
+	return t, nil
+}

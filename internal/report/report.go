@@ -1,0 +1,218 @@
+// Package report renders experiment output: fixed-width text tables and
+// CSV for the numeric results, and ASCII rasters for the paper's visual
+// figures (decoded class hypervectors, reconstructed digits and faces).
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"prid/internal/vecmath"
+)
+
+// Table accumulates rows for fixed-width or CSV rendering. Cells are
+// strings; use Cell helpers for numbers.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; the cell count must match the headers.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Headers) {
+		panic(fmt.Sprintf("report: row has %d cells, table has %d columns", len(cells), len(t.Headers)))
+	}
+	t.rows = append(t.rows, cells)
+}
+
+// NumRows returns the number of data rows added.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// F formats a float for a table cell with 3 decimal places.
+func F(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// Pct formats a fraction as a percentage cell with 1 decimal place.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// DB formats a decibel value.
+func DB(v float64) string { return fmt.Sprintf("%.1fdB", v) }
+
+// I formats an int.
+func I(v int) string { return fmt.Sprintf("%d", v) }
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	total := len(widths)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteCSV renders the table as RFC-4180-ish CSV (cells containing commas
+// or quotes are quoted).
+func (t *Table) WriteCSV(w io.Writer) error {
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				b.WriteByte('"')
+				b.WriteString(strings.ReplaceAll(c, `"`, `""`))
+				b.WriteByte('"')
+			} else {
+				b.WriteString(c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// String renders the text form.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.WriteText(&b)
+	return b.String()
+}
+
+// asciiRamp orders glyphs from empty to full intensity.
+const asciiRamp = " .:-=+*#%@"
+
+// RenderImage draws a w×h raster of values as ASCII art, normalizing the
+// value range to the glyph ramp. It panics if len(pixels) != w*h.
+func RenderImage(pixels []float64, w, h int) string {
+	if len(pixels) != w*h {
+		panic(fmt.Sprintf("report: RenderImage with %d pixels for %dx%d", len(pixels), w, h))
+	}
+	lo, hi := vecmath.MinMax(pixels)
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	var b strings.Builder
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := (pixels[y*w+x] - lo) / span
+			idx := int(v * float64(len(asciiRamp)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(asciiRamp) {
+				idx = len(asciiRamp) - 1
+			}
+			b.WriteByte(asciiRamp[idx])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// SideBySide joins multi-line blocks horizontally with a gutter, aligning
+// them top-to-bottom — used to show query / decoded class / reconstruction
+// next to each other like the paper's Figure 3.
+func SideBySide(gutter string, blocks ...string) string {
+	split := make([][]string, len(blocks))
+	widths := make([]int, len(blocks))
+	rows := 0
+	for i, bl := range blocks {
+		split[i] = strings.Split(strings.TrimRight(bl, "\n"), "\n")
+		for _, line := range split[i] {
+			if len(line) > widths[i] {
+				widths[i] = len(line)
+			}
+		}
+		if len(split[i]) > rows {
+			rows = len(split[i])
+		}
+	}
+	var b strings.Builder
+	for r := 0; r < rows; r++ {
+		for i := range split {
+			line := ""
+			if r < len(split[i]) {
+				line = split[i][r]
+			}
+			if i > 0 {
+				b.WriteString(gutter)
+			}
+			b.WriteString(line)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(line)))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Sparkline renders values as a one-line unicode bar chart — used for the
+// per-iteration accuracy/leakage traces of Figures 5, 9 and 10.
+func Sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	ramp := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := vecmath.MinMax(values)
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	var b strings.Builder
+	for _, v := range values {
+		idx := int((v - lo) / span * float64(len(ramp)-1))
+		if idx < 0 {
+			idx = 0
+		}
+		if idx >= len(ramp) {
+			idx = len(ramp) - 1
+		}
+		b.WriteRune(ramp[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,241 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableText(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", F(1.5))
+	tb.AddRow("beta-long-name", Pct(0.923))
+	out := tb.String()
+	if !strings.Contains(out, "Demo") || !strings.Contains(out, "alpha") {
+		t.Fatalf("missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "92.3%") {
+		t.Fatalf("Pct cell missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, header, rule, 2 rows.
+	if len(lines) != 5 {
+		t.Fatalf("expected 5 lines, got %d:\n%s", len(lines), out)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.AddRow("x,y", `say "hi"`)
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, `"x,y"`) {
+		t.Fatalf("comma cell not quoted: %q", out)
+	}
+	if !strings.Contains(out, `"say ""hi"""`) {
+		t.Fatalf("quote cell not escaped: %q", out)
+	}
+}
+
+func TestTableRowMismatchPanics(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched row did not panic")
+		}
+	}()
+	tb.AddRow("only-one")
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456) != "1.235" {
+		t.Fatalf("F = %q", F(1.23456))
+	}
+	if Pct(0.5) != "50.0%" {
+		t.Fatalf("Pct = %q", Pct(0.5))
+	}
+	if DB(14.26) != "14.3dB" {
+		t.Fatalf("DB = %q", DB(14.26))
+	}
+	if I(42) != "42" {
+		t.Fatalf("I = %q", I(42))
+	}
+}
+
+func TestRenderImage(t *testing.T) {
+	img := RenderImage([]float64{0, 0.5, 1, 0.25}, 2, 2)
+	lines := strings.Split(strings.TrimRight(img, "\n"), "\n")
+	if len(lines) != 2 || len(lines[0]) != 2 {
+		t.Fatalf("bad shape:\n%s", img)
+	}
+	if lines[0][0] != ' ' {
+		t.Fatalf("minimum pixel should render as space, got %q", lines[0][0])
+	}
+	if lines[0][1] == ' ' {
+		t.Fatal("mid pixel rendered as empty")
+	}
+	if lines[1][0] != '@' {
+		t.Fatalf("maximum pixel should render as '@', got %q", lines[1][0])
+	}
+}
+
+func TestRenderImageConstant(t *testing.T) {
+	img := RenderImage([]float64{3, 3, 3, 3}, 2, 2)
+	if !strings.Contains(img, "  ") {
+		t.Fatalf("constant image should render uniformly:\n%q", img)
+	}
+}
+
+func TestRenderImagePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad pixel count did not panic")
+		}
+	}()
+	RenderImage([]float64{1, 2, 3}, 2, 2)
+}
+
+func TestSideBySide(t *testing.T) {
+	out := SideBySide(" | ", "ab\ncd", "x")
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("expected 2 lines:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[0], "ab | x") {
+		t.Fatalf("first line wrong: %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "cd | ") {
+		t.Fatalf("short block not padded: %q", lines[1])
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 0.5, 1})
+	runes := []rune(s)
+	if len(runes) != 3 {
+		t.Fatalf("sparkline length %d", len(runes))
+	}
+	if runes[0] != '▁' || runes[2] != '█' {
+		t.Fatalf("sparkline extremes wrong: %q", s)
+	}
+	if Sparkline(nil) != "" {
+		t.Fatal("empty sparkline should be empty string")
+	}
+	if len([]rune(Sparkline([]float64{5, 5}))) != 2 {
+		t.Fatal("constant sparkline should still render")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", "1.5")
+	tb.AddRow("beta", "92.3%")
+	var b strings.Builder
+	if err := tb.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseJSONTable(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != "Demo" || got.NumRows() != 2 {
+		t.Fatalf("round trip lost structure: %q %d rows", got.Title, got.NumRows())
+	}
+	if got.String() != tb.String() {
+		t.Fatalf("round trip changed rendering:\n%s\nvs\n%s", got.String(), tb.String())
+	}
+}
+
+func TestParseJSONTableRejectsGarbage(t *testing.T) {
+	if _, err := ParseJSONTable(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestLineChartSVG(t *testing.T) {
+	c := LineChart{
+		Title:  "Leakage vs <D>",
+		XLabel: "D",
+		YLabel: "Δ",
+		Series: []Series{
+			{Name: "undefended", X: []float64{128, 256, 512}, Y: []float64{0.5, 0.6, 0.9}},
+			{Name: "defended", X: []float64{128, 256, 512}, Y: []float64{0.2, 0.25, 0.3}},
+		},
+	}
+	var b strings.Builder
+	if err := c.WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"<svg", "</svg>", "polyline", "Leakage vs &lt;D&gt;", "undefended", "defended"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(out, "<circle") != 6 {
+		t.Fatalf("expected 6 data points, got %d", strings.Count(out, "<circle"))
+	}
+}
+
+func TestLineChartSVGErrors(t *testing.T) {
+	var b strings.Builder
+	if err := (LineChart{}).WriteSVG(&b); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+	bad := LineChart{Series: []Series{{Name: "x", X: []float64{1}, Y: []float64{1, 2}}}}
+	if err := bad.WriteSVG(&b); err == nil {
+		t.Fatal("ragged series accepted")
+	}
+	empty := LineChart{Series: []Series{{Name: "x"}}}
+	if err := empty.WriteSVG(&b); err == nil {
+		t.Fatal("empty series accepted")
+	}
+}
+
+func TestLineChartConstantSeries(t *testing.T) {
+	c := LineChart{Series: []Series{{Name: "flat", X: []float64{1, 2}, Y: []float64{3, 3}}}}
+	var b strings.Builder
+	if err := c.WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "NaN") {
+		t.Fatal("constant series produced NaN coordinates")
+	}
+}
+
+func TestBarChartSVG(t *testing.T) {
+	c := BarChart{
+		Title:  "Δ by method",
+		YLabel: "Δ",
+		Groups: []string{"MNIST", "FACE"},
+		Series: []Series{
+			{Name: "feature", Y: []float64{0.9, 0.8}},
+			{Name: "dimension", Y: []float64{0.95, 0.85}},
+		},
+	}
+	var b strings.Builder
+	if err := c.WriteSVG(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// 2 groups × 2 series bars + 2 legend swatches = 6 rects + background.
+	if strings.Count(out, "<rect") != 7 {
+		t.Fatalf("expected 7 rects, got %d", strings.Count(out, "<rect"))
+	}
+}
+
+func TestBarChartErrors(t *testing.T) {
+	var b strings.Builder
+	if err := (BarChart{}).WriteSVG(&b); err == nil {
+		t.Fatal("empty bar chart accepted")
+	}
+	bad := BarChart{Groups: []string{"a", "b"}, Series: []Series{{Name: "x", Y: []float64{1}}}}
+	if err := bad.WriteSVG(&b); err == nil {
+		t.Fatal("mismatched bar series accepted")
+	}
+}

@@ -1,0 +1,238 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// SVG chart rendering, stdlib-only: enough of a plotting layer to emit the
+// paper's figures as standalone .svg files (line series for sweeps and
+// iteration traces, grouped bars for per-dataset comparisons). Layout is
+// deliberately simple — fixed canvas, left/bottom axes, linear scales,
+// legend in the top-right.
+
+// Series is one named line on a chart.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// LineChart describes a figure with one or more series.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// YMin/YMax fix the y-range when both are set (YMax > YMin); otherwise
+	// the range is derived from the data with 5% headroom.
+	YMin, YMax float64
+}
+
+const (
+	svgW, svgH        = 640, 400
+	padLeft, padRight = 70, 20
+	padTop, padBottom = 40, 50
+	plotW             = svgW - padLeft - padRight
+	plotH             = svgH - padTop - padBottom
+	legendSwatch      = 12
+	axisTicks         = 5
+)
+
+// palette holds the series colors, cycled when there are more series.
+var palette = []string{"#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"}
+
+// WriteSVG renders the chart.
+func (c LineChart) WriteSVG(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("report: chart %q has no series", c.Title)
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("report: series %q has %d x values, %d y values", s.Name, len(s.X), len(s.Y))
+		}
+		if len(s.X) == 0 {
+			return fmt.Errorf("report: series %q is empty", s.Name)
+		}
+		for i := range s.X {
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			ymin = math.Min(ymin, s.Y[i])
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if c.YMax > c.YMin {
+		ymin, ymax = c.YMin, c.YMax
+	} else {
+		span := ymax - ymin
+		if span == 0 {
+			span = 1
+		}
+		ymin -= 0.05 * span
+		ymax += 0.05 * span
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+
+	toX := func(v float64) float64 { return padLeft + (v-xmin)/(xmax-xmin)*plotW }
+	toY := func(v float64) float64 { return padTop + (1-(v-ymin)/(ymax-ymin))*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", svgW, svgH)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", svgW, svgH)
+	fmt.Fprintf(&b, `<text x="%d" y="20" text-anchor="middle" font-size="14" font-weight="bold">%s</text>`+"\n",
+		svgW/2, escapeXML(c.Title))
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		padLeft, padTop, padLeft, padTop+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		padLeft, padTop+plotH, padLeft+plotW, padTop+plotH)
+	// Ticks and grid.
+	for i := 0; i <= axisTicks; i++ {
+		fy := ymin + (ymax-ymin)*float64(i)/axisTicks
+		y := toY(fy)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			padLeft, y, padLeft+plotW, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" dominant-baseline="middle">%s</text>`+"\n",
+			padLeft-6, y, tickLabel(fy))
+		fx := xmin + (xmax-xmin)*float64(i)/axisTicks
+		x := toX(fx)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			x, padTop+plotH+16, tickLabel(fx))
+	}
+	// Axis labels.
+	fmt.Fprintf(&b, `<text x="%d" y="%d" text-anchor="middle">%s</text>`+"\n",
+		padLeft+plotW/2, svgH-10, escapeXML(c.XLabel))
+	fmt.Fprintf(&b, `<text x="16" y="%d" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		padTop+plotH/2, padTop+plotH/2, escapeXML(c.YLabel))
+
+	// Series.
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", toX(s.X[i]), toY(s.Y[i])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), color)
+		for i := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="3" fill="%s"/>`+"\n",
+				toX(s.X[i]), toY(s.Y[i]), color)
+		}
+		// Legend entry.
+		ly := padTop + 8 + si*18
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"/>`+"\n",
+			padLeft+plotW-150, ly, legendSwatch, legendSwatch, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" dominant-baseline="middle">%s</text>`+"\n",
+			padLeft+plotW-150+legendSwatch+5, ly+legendSwatch/2, escapeXML(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// tickLabel formats an axis value compactly.
+func tickLabel(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1000:
+		return fmt.Sprintf("%.0f", v)
+	case av >= 10:
+		return fmt.Sprintf("%.1f", v)
+	case av == 0:
+		return "0"
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func escapeXML(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}
+
+// BarChart describes grouped bars (e.g. per-dataset Δ for several attack
+// methods).
+type BarChart struct {
+	Title  string
+	YLabel string
+	// Groups label the x-axis clusters; Series[i].Y must have one value
+	// per group (Series[i].X is ignored).
+	Groups []string
+	Series []Series
+	YMax   float64 // 0 = derive from data
+}
+
+// WriteSVG renders the grouped bar chart.
+func (c BarChart) WriteSVG(w io.Writer) error {
+	if len(c.Series) == 0 || len(c.Groups) == 0 {
+		return fmt.Errorf("report: bar chart %q has no data", c.Title)
+	}
+	ymax := c.YMax
+	for _, s := range c.Series {
+		if len(s.Y) != len(c.Groups) {
+			return fmt.Errorf("report: series %q has %d values for %d groups", s.Name, len(s.Y), len(c.Groups))
+		}
+		if c.YMax == 0 {
+			for _, v := range s.Y {
+				ymax = math.Max(ymax, v)
+			}
+		}
+	}
+	if ymax <= 0 {
+		ymax = 1
+	}
+	ymax *= 1.05
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="12">`+"\n", svgW, svgH)
+	fmt.Fprintf(&b, `<rect width="%d" height="%d" fill="white"/>`+"\n", svgW, svgH)
+	fmt.Fprintf(&b, `<text x="%d" y="20" text-anchor="middle" font-size="14" font-weight="bold">%s</text>`+"\n",
+		svgW/2, escapeXML(c.Title))
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		padLeft, padTop, padLeft, padTop+plotH)
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		padLeft, padTop+plotH, padLeft+plotW, padTop+plotH)
+	for i := 0; i <= axisTicks; i++ {
+		fy := ymax * float64(i) / axisTicks
+		y := float64(padTop) + (1-fy/ymax)*plotH
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			padLeft, y, padLeft+plotW, y)
+		fmt.Fprintf(&b, `<text x="%d" y="%.1f" text-anchor="end" dominant-baseline="middle">%s</text>`+"\n",
+			padLeft-6, y, tickLabel(fy))
+	}
+	fmt.Fprintf(&b, `<text x="16" y="%d" text-anchor="middle" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		padTop+plotH/2, padTop+plotH/2, escapeXML(c.YLabel))
+
+	groupW := float64(plotW) / float64(len(c.Groups))
+	barW := groupW * 0.8 / float64(len(c.Series))
+	for gi, g := range c.Groups {
+		gx := float64(padLeft) + groupW*float64(gi)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			gx+groupW/2, padTop+plotH+16, escapeXML(g))
+		for si, s := range c.Series {
+			color := palette[si%len(palette)]
+			h := s.Y[gi] / ymax * plotH
+			x := gx + groupW*0.1 + barW*float64(si)
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"/>`+"\n",
+				x, float64(padTop)+plotH-h, barW, h, color)
+		}
+	}
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		ly := padTop + 8 + si*18
+		fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"/>`+"\n",
+			padLeft+plotW-150, ly, legendSwatch, legendSwatch, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" dominant-baseline="middle">%s</text>`+"\n",
+			padLeft+plotW-150+legendSwatch+5, ly+legendSwatch/2, escapeXML(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,225 @@
+// Package rng provides a small, deterministic, splittable pseudo-random
+// number generator used throughout the PRID reproduction.
+//
+// The generator is xoshiro256++ seeded through splitmix64. It is implemented
+// locally (rather than using math/rand) so that every experiment in the
+// repository produces bit-identical streams across Go versions and
+// platforms, and so that independent sub-streams can be split off cheaply
+// for parallel or per-component use (one stream per basis, per dataset, per
+// defense iteration, ...).
+//
+// None of the methods are safe for concurrent use on the same *Source;
+// split a child with Split and hand each goroutine its own.
+package rng
+
+import "math"
+
+// Source is a deterministic pseudo-random source. The zero value is not
+// usable; construct one with New.
+type Source struct {
+	s [4]uint64
+
+	// Marsaglia polar method cache: the method produces variates in pairs,
+	// so the second of each pair is held here for the next Norm call.
+	haveSpare bool
+	spare     float64
+}
+
+// splitmix64 advances a 64-bit state and returns the next output. It is the
+// seeding generator recommended by the xoshiro authors: it guarantees the
+// xoshiro state is well mixed even for small or similar seeds.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// New returns a Source seeded from seed. Two Sources built from the same
+// seed produce identical streams.
+func New(seed uint64) *Source {
+	var r Source
+	r.Reseed(seed)
+	return &r
+}
+
+// Reseed resets the Source to the stream determined by seed, clearing any
+// cached normal variate so the stream is fully determined by the seed.
+func (r *Source) Reseed(seed uint64) {
+	r.haveSpare = false
+	r.spare = 0
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	// A state of all zeros is the one fixed point of xoshiro; splitmix64
+	// cannot produce four consecutive zeros, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *Source) Uint64() uint64 {
+	s := &r.s
+	result := rotl(s[0]+s[3], 23) + s[0]
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = rotl(s[3], 45)
+	return result
+}
+
+// Split derives an independent child stream from the current state. The
+// parent advances, so successive Splits yield distinct children. The child
+// is decorrelated from the parent by re-mixing through splitmix64.
+func (r *Source) Split() *Source {
+	seed := r.Uint64() ^ 0xd3833e804f4c574b
+	return New(seed)
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Uniform returns a uniform float64 in [lo, hi).
+func (r *Source) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0. Lemire's
+// multiply-shift rejection method avoids modulo bias.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	bound := uint64(n)
+	for {
+		v := r.Uint64()
+		hi, lo := mul128(v, bound)
+		if lo >= bound || lo >= -bound%bound {
+			// -bound%bound == (2^64 - bound) mod bound: the threshold under
+			// which results would be biased.
+			return int(hi)
+		}
+	}
+}
+
+// mul128 returns the 128-bit product of a and b as (hi, lo).
+func mul128(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	aLo, aHi := a&mask, a>>32
+	bLo, bHi := b&mask, b>>32
+	ll := aLo * bLo
+	lh := aLo * bHi
+	hl := aHi * bLo
+	hh := aHi * bHi
+	mid := lh&mask + hl&mask + ll>>32
+	hi = hh + lh>>32 + hl>>32 + mid>>32
+	lo = mid<<32 | ll&mask
+	return hi, lo
+}
+
+// Norm returns a standard normal variate (mean 0, variance 1) using the
+// Marsaglia polar method. Spare values are cached between calls.
+func (r *Source) Norm() float64 {
+	if r.haveSpare {
+		r.haveSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.spare = v * f
+		r.haveSpare = true
+		return u * f
+	}
+}
+
+// Gaussian returns a normal variate with the given mean and standard
+// deviation.
+func (r *Source) Gaussian(mean, stddev float64) float64 {
+	return mean + stddev*r.Norm()
+}
+
+// Rademacher returns -1 or +1 with equal probability.
+func (r *Source) Rademacher() float64 {
+	if r.Uint64()&1 == 0 {
+		return 1
+	}
+	return -1
+}
+
+// Bernoulli returns true with probability p.
+func (r *Source) Bernoulli(p float64) bool {
+	return r.Float64() < p
+}
+
+// Perm returns a random permutation of [0, n) using Fisher–Yates.
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(p)
+	return p
+}
+
+// Shuffle permutes p in place.
+func (r *Source) Shuffle(p []int) {
+	for i := len(p) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// FillNorm fills dst with independent standard normal variates.
+func (r *Source) FillNorm(dst []float64) {
+	for i := range dst {
+		dst[i] = r.Norm()
+	}
+}
+
+// FillUniform fills dst with independent uniforms in [lo, hi).
+func (r *Source) FillUniform(dst []float64, lo, hi float64) {
+	for i := range dst {
+		dst[i] = r.Uniform(lo, hi)
+	}
+}
+
+// FillRademacher fills dst with independent ±1 values.
+func (r *Source) FillRademacher(dst []float64) {
+	for i := range dst {
+		dst[i] = r.Rademacher()
+	}
+}
+
+// Sample draws k distinct indices from [0, n) without replacement, in
+// random order. It panics if k > n or k < 0.
+func (r *Source) Sample(n, k int) []int {
+	if k < 0 || k > n {
+		panic("rng: Sample k out of range")
+	}
+	// Partial Fisher–Yates: only the first k slots are settled.
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p[:k]
+}

@@ -1,0 +1,173 @@
+package vecmath
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major matrix of float64. Rows and Cols are fixed at
+// construction; Data has length Rows*Cols with element (i, j) at
+// Data[i*Cols+j].
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic("vecmath: NewMatrix with negative dimension")
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// MatrixFromRows builds a matrix whose rows are copies of the given slices.
+// All rows must share one length.
+func MatrixFromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	cols := len(rows[0])
+	m := NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		checkLen("MatrixFromRows", len(r), cols)
+		copy(m.Row(i), r)
+	}
+	return m
+}
+
+// Row returns row i as a slice aliasing the matrix storage.
+func (m *Matrix) Row(i int) []float64 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	out := NewMatrix(m.Rows, m.Cols)
+	copy(out.Data, m.Data)
+	return out
+}
+
+// MulVec computes y = M·x where x has length Cols and y has length Rows.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	checkLen("MulVec", len(x), m.Cols)
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		y[i] = Dot(m.Row(i), x)
+	}
+	return y
+}
+
+// MulVecT computes y = Mᵀ·x where x has length Rows and y has length Cols.
+// It walks rows so memory access stays sequential.
+func (m *Matrix) MulVecT(x []float64) []float64 {
+	checkLen("MulVecT", len(x), m.Rows)
+	y := make([]float64, m.Cols)
+	for i := 0; i < m.Rows; i++ {
+		Axpy(x[i], m.Row(i), y)
+	}
+	return y
+}
+
+// Gram returns the Rows×Rows matrix M·Mᵀ. For the learning-based decoder
+// this is the n×n normal-equations matrix B·Bᵀ where B stacks the base
+// hypervectors as rows; n is the feature count, so the result is small even
+// when the hypervector dimension is large.
+func (m *Matrix) Gram() *Matrix {
+	g := NewMatrix(m.Rows, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		ri := m.Row(i)
+		for j := i; j < m.Rows; j++ {
+			v := Dot(ri, m.Row(j))
+			g.Set(i, j, v)
+			g.Set(j, i, v)
+		}
+	}
+	return g
+}
+
+// AddDiagonal adds alpha to every diagonal element in place (ridge
+// regularization of a Gram matrix). The matrix must be square.
+func (m *Matrix) AddDiagonal(alpha float64) {
+	if m.Rows != m.Cols {
+		panic("vecmath: AddDiagonal on non-square matrix")
+	}
+	for i := 0; i < m.Rows; i++ {
+		m.Data[i*m.Cols+i] += alpha
+	}
+}
+
+// ErrNotPositiveDefinite reports that a Cholesky factorization failed
+// because the matrix is not (numerically) symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("vecmath: matrix is not positive definite")
+
+// Cholesky holds the lower-triangular factor L of a symmetric positive
+// definite matrix A = L·Lᵀ, ready for repeated solves.
+type Cholesky struct {
+	n int
+	l *Matrix
+}
+
+// NewCholesky factors the symmetric positive definite matrix a. Only the
+// lower triangle of a is read. It returns ErrNotPositiveDefinite when a
+// pivot is not strictly positive.
+func NewCholesky(a *Matrix) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("vecmath: Cholesky of %dx%d non-square matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			sum := a.At(i, j)
+			li, lj := l.Row(i), l.Row(j)
+			for k := 0; k < j; k++ {
+				sum -= li[k] * lj[k]
+			}
+			if i == j {
+				if sum <= 0 || math.IsNaN(sum) {
+					return nil, ErrNotPositiveDefinite
+				}
+				li[j] = math.Sqrt(sum)
+			} else {
+				li[j] = sum / lj[j]
+			}
+		}
+	}
+	return &Cholesky{n: n, l: l}, nil
+}
+
+// Solve returns x such that A·x = b for the factored matrix A.
+func (c *Cholesky) Solve(b []float64) []float64 {
+	checkLen("Cholesky.Solve", len(b), c.n)
+	// Forward substitution: L·y = b.
+	y := make([]float64, c.n)
+	for i := 0; i < c.n; i++ {
+		sum := b[i]
+		li := c.l.Row(i)
+		for k := 0; k < i; k++ {
+			sum -= li[k] * y[k]
+		}
+		y[i] = sum / li[i]
+	}
+	// Back substitution: Lᵀ·x = y.
+	x := make([]float64, c.n)
+	for i := c.n - 1; i >= 0; i-- {
+		sum := y[i]
+		for k := i + 1; k < c.n; k++ {
+			sum -= c.l.At(k, i) * x[k]
+		}
+		x[i] = sum / c.l.At(i, i)
+	}
+	return x
+}
+
+// Size returns the dimension of the factored matrix.
+func (c *Cholesky) Size() int { return c.n }

@@ -1,0 +1,238 @@
+package vecmath
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prid/internal/rng"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, 5)
+	if m.At(0, 0) != 1 || m.At(1, 2) != 5 || m.At(0, 1) != 0 {
+		t.Fatal("Set/At wrong")
+	}
+	row := m.Row(1)
+	row[0] = 9
+	if m.At(1, 0) != 9 {
+		t.Fatal("Row should alias storage")
+	}
+	c := m.Clone()
+	c.Set(0, 0, 77)
+	if m.At(0, 0) != 1 {
+		t.Fatal("Clone aliases storage")
+	}
+}
+
+func TestMatrixFromRows(t *testing.T) {
+	m := MatrixFromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if m.Rows != 3 || m.Cols != 2 || m.At(2, 1) != 6 {
+		t.Fatalf("MatrixFromRows wrong: %+v", m)
+	}
+	empty := MatrixFromRows(nil)
+	if empty.Rows != 0 || empty.Cols != 0 {
+		t.Fatal("empty MatrixFromRows should be 0x0")
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := MatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	y := m.MulVec([]float64{1, 1, 1})
+	if y[0] != 6 || y[1] != 15 {
+		t.Fatalf("MulVec = %v", y)
+	}
+}
+
+func TestMulVecT(t *testing.T) {
+	m := MatrixFromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	y := m.MulVecT([]float64{1, 2})
+	want := []float64{9, 12, 15}
+	for i := range want {
+		if !almostEq(y[i], want[i], 1e-12) {
+			t.Fatalf("MulVecT = %v, want %v", y, want)
+		}
+	}
+}
+
+// Property: MulVecT is the adjoint of MulVec — ⟨M·x, y⟩ == ⟨x, Mᵀ·y⟩.
+func TestAdjointProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		rows := 1 + r.Intn(12)
+		cols := 1 + r.Intn(12)
+		m := NewMatrix(rows, cols)
+		r.FillNorm(m.Data)
+		x := make([]float64, cols)
+		y := make([]float64, rows)
+		r.FillNorm(x)
+		r.FillNorm(y)
+		left := Dot(m.MulVec(x), y)
+		right := Dot(x, m.MulVecT(y))
+		return almostEq(left, right, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGram(t *testing.T) {
+	m := MatrixFromRows([][]float64{{1, 0, 1}, {0, 2, 0}})
+	g := m.Gram()
+	if g.Rows != 2 || g.Cols != 2 {
+		t.Fatalf("Gram shape %dx%d", g.Rows, g.Cols)
+	}
+	if g.At(0, 0) != 2 || g.At(1, 1) != 4 || g.At(0, 1) != 0 || g.At(1, 0) != 0 {
+		t.Fatalf("Gram values wrong: %v", g.Data)
+	}
+}
+
+// Property: the Gram matrix is symmetric with non-negative diagonal.
+func TestGramProperties(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		rows := 1 + r.Intn(8)
+		cols := 1 + r.Intn(16)
+		m := NewMatrix(rows, cols)
+		r.FillNorm(m.Data)
+		g := m.Gram()
+		for i := 0; i < rows; i++ {
+			if g.At(i, i) < 0 {
+				return false
+			}
+			for j := 0; j < rows; j++ {
+				if !almostEq(g.At(i, j), g.At(j, i), 1e-10) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAddDiagonal(t *testing.T) {
+	m := MatrixFromRows([][]float64{{1, 2}, {3, 4}})
+	m.AddDiagonal(10)
+	if m.At(0, 0) != 11 || m.At(1, 1) != 14 || m.At(0, 1) != 2 {
+		t.Fatalf("AddDiagonal wrong: %v", m.Data)
+	}
+}
+
+func TestCholeskyKnown(t *testing.T) {
+	// A = [[4, 2], [2, 3]] is SPD with L = [[2, 0], [1, sqrt(2)]].
+	a := MatrixFromRows([][]float64{{4, 2}, {2, 3}})
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := ch.Solve([]float64{8, 7})
+	// Solving [[4,2],[2,3]] x = [8,7] → x = [1.25, 1.5].
+	if !almostEq(x[0], 1.25, 1e-10) || !almostEq(x[1], 1.5, 1e-10) {
+		t.Fatalf("Cholesky solve = %v", x)
+	}
+	if ch.Size() != 2 {
+		t.Fatalf("Size = %d", ch.Size())
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := MatrixFromRows([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := NewCholesky(a); err == nil {
+		t.Fatal("Cholesky accepted an indefinite matrix")
+	}
+	b := MatrixFromRows([][]float64{{1, 2, 3}}) // non-square
+	if _, err := NewCholesky(b); err == nil {
+		t.Fatal("Cholesky accepted a non-square matrix")
+	}
+}
+
+// Property: for random M, A = M·Mᵀ + I is SPD and Cholesky solves A·x = b
+// to high accuracy.
+func TestCholeskySolveProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(10)
+		m := NewMatrix(n, n+3)
+		r.FillNorm(m.Data)
+		a := m.Gram()
+		a.AddDiagonal(1)
+		ch, err := NewCholesky(a)
+		if err != nil {
+			return false
+		}
+		b := make([]float64, n)
+		r.FillNorm(b)
+		x := ch.Solve(b)
+		residual := Sub(a.MulVec(x), b)
+		return Norm2(residual) < 1e-8*(1+Norm2(b))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCholeskyLargerSystem(t *testing.T) {
+	r := rng.New(99)
+	const n = 50
+	m := NewMatrix(n, n*2)
+	r.FillNorm(m.Data)
+	a := m.Gram()
+	a.AddDiagonal(0.5)
+	ch, err := NewCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]float64, n)
+	r.FillNorm(want)
+	b := a.MulVec(want)
+	got := ch.Solve(b)
+	if err := MSE(want, got); err > 1e-16 {
+		t.Fatalf("50x50 solve MSE = %g", err)
+	}
+}
+
+func TestNewMatrixPanicsNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMatrix(-1, 2) did not panic")
+		}
+	}()
+	NewMatrix(-1, 2)
+}
+
+func TestAddDiagonalPanicsNonSquare(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AddDiagonal on non-square did not panic")
+		}
+	}()
+	NewMatrix(2, 3).AddDiagonal(1)
+}
+
+func BenchmarkGram128x1024(b *testing.B) {
+	r := rng.New(1)
+	m := NewMatrix(128, 1024)
+	r.FillNorm(m.Data)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Gram()
+	}
+}
+
+func BenchmarkCholesky128(b *testing.B) {
+	r := rng.New(1)
+	m := NewMatrix(128, 256)
+	r.FillNorm(m.Data)
+	a := m.Gram()
+	a.AddDiagonal(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewCholesky(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

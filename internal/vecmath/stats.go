@@ -1,0 +1,142 @@
+package vecmath
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of x, or 0 for an empty slice.
+func Mean(x []float64) float64 {
+	if len(x) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range x {
+		s += v
+	}
+	return s / float64(len(x))
+}
+
+// Variance returns the population variance of x (dividing by n, matching
+// the paper's use of σ² as a spread measure over similarity scores), or 0
+// for slices shorter than 2.
+func Variance(x []float64) float64 {
+	if len(x) < 2 {
+		return 0
+	}
+	m := Mean(x)
+	var s float64
+	for _, v := range x {
+		d := v - m
+		s += d * d
+	}
+	return s / float64(len(x))
+}
+
+// StdDev returns the population standard deviation of x.
+func StdDev(x []float64) float64 { return math.Sqrt(Variance(x)) }
+
+// MinMax returns the smallest and largest elements of x. It panics on an
+// empty slice.
+func MinMax(x []float64) (lo, hi float64) {
+	if len(x) == 0 {
+		panic("vecmath: MinMax of empty slice")
+	}
+	lo, hi = x[0], x[0]
+	for _, v := range x[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of x using linear
+// interpolation between order statistics. It panics on an empty slice or a
+// p outside [0, 100].
+func Percentile(x []float64, p float64) float64 {
+	if len(x) == 0 {
+		panic("vecmath: Percentile of empty slice")
+	}
+	if p < 0 || p > 100 {
+		panic("vecmath: Percentile p out of [0,100]")
+	}
+	sorted := Clone(x)
+	sort.Float64s(sorted)
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p / 100 * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Median returns the 50th percentile of x.
+func Median(x []float64) float64 { return Percentile(x, 50) }
+
+// Histogram counts x into bins uniform bins over [lo, hi]. Values outside
+// the range are clamped into the first or last bin. It panics for bins < 1
+// or hi <= lo.
+func Histogram(x []float64, lo, hi float64, bins int) []int {
+	if bins < 1 {
+		panic("vecmath: Histogram with bins < 1")
+	}
+	if hi <= lo {
+		panic("vecmath: Histogram with hi <= lo")
+	}
+	counts := make([]int, bins)
+	width := (hi - lo) / float64(bins)
+	for _, v := range x {
+		b := int((v - lo) / width)
+		if b < 0 {
+			b = 0
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	return counts
+}
+
+// Welford accumulates mean and variance in one streaming pass. The zero
+// value is ready to use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add incorporates one observation.
+func (w *Welford) Add(v float64) {
+	w.n++
+	d := v - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (v - w.mean)
+}
+
+// Count returns the number of observations seen.
+func (w *Welford) Count() int { return w.n }
+
+// Mean returns the running mean, or 0 before any observation.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the running population variance, or 0 with fewer than
+// two observations.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the running population standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }

@@ -1,0 +1,154 @@
+package vecmath
+
+import (
+	"testing"
+	"testing/quick"
+
+	"prid/internal/rng"
+)
+
+func TestMeanVariance(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) != 0")
+	}
+	x := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(x); got != 5 {
+		t.Fatalf("Mean = %v", got)
+	}
+	if got := Variance(x); got != 4 {
+		t.Fatalf("Variance = %v, want 4", got)
+	}
+	if got := StdDev(x); got != 2 {
+		t.Fatalf("StdDev = %v, want 2", got)
+	}
+	if Variance([]float64{42}) != 0 {
+		t.Fatal("single-element variance should be 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	lo, hi := MinMax([]float64{3, -1, 4, 1, 5})
+	if lo != -1 || hi != 5 {
+		t.Fatalf("MinMax = %v, %v", lo, hi)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MinMax(empty) did not panic")
+		}
+	}()
+	MinMax(nil)
+}
+
+func TestPercentile(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	if got := Percentile(x, 0); got != 1 {
+		t.Fatalf("p0 = %v", got)
+	}
+	if got := Percentile(x, 100); got != 5 {
+		t.Fatalf("p100 = %v", got)
+	}
+	if got := Percentile(x, 50); got != 3 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := Percentile(x, 25); got != 2 {
+		t.Fatalf("p25 = %v", got)
+	}
+	if got := Percentile([]float64{7}, 90); got != 7 {
+		t.Fatalf("single element percentile = %v", got)
+	}
+	if got := Median([]float64{1, 3}); got != 2 {
+		t.Fatalf("Median interpolation = %v", got)
+	}
+}
+
+func TestPercentileDoesNotMutate(t *testing.T) {
+	x := []float64{3, 1, 2}
+	Percentile(x, 50)
+	if x[0] != 3 || x[1] != 1 || x[2] != 2 {
+		t.Fatalf("Percentile mutated input: %v", x)
+	}
+}
+
+func TestPercentilePanics(t *testing.T) {
+	for _, p := range []float64{-1, 101} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Percentile(%v) did not panic", p)
+				}
+			}()
+			Percentile([]float64{1}, p)
+		}()
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	x := []float64{0, 0.1, 0.5, 0.9, 1.0, -5, 5}
+	h := Histogram(x, 0, 1, 2)
+	// Bins: [0, 0.5) and [0.5, 1]; out-of-range values clamp to end bins.
+	if h[0] != 3 || h[1] != 4 {
+		t.Fatalf("Histogram = %v", h)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Histogram(bins=0) did not panic")
+		}
+	}()
+	Histogram([]float64{1}, 0, 1, 0)
+}
+
+// Property: Welford agrees with the batch Mean/Variance on random data.
+func TestWelfordMatchesBatch(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 2 + r.Intn(200)
+		x := make([]float64, n)
+		r.FillNorm(x)
+		var w Welford
+		for _, v := range x {
+			w.Add(v)
+		}
+		return w.Count() == n &&
+			almostEq(w.Mean(), Mean(x), 1e-9) &&
+			almostEq(w.Variance(), Variance(x), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordEdgeCases(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.StdDev() != 0 || w.Count() != 0 {
+		t.Fatal("zero-value Welford not neutral")
+	}
+	w.Add(3)
+	if w.Mean() != 3 || w.Variance() != 0 {
+		t.Fatal("one-sample Welford wrong")
+	}
+}
+
+// Property: percentile is monotone in p.
+func TestPercentileMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n := 1 + r.Intn(50)
+		x := make([]float64, n)
+		r.FillNorm(x)
+		prev := Percentile(x, 0)
+		for p := 10.0; p <= 100; p += 10 {
+			cur := Percentile(x, p)
+			if cur < prev-1e-12 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,252 @@
+// Package vecmath implements the dense linear-algebra and statistics
+// primitives the PRID reproduction is built on: plain float64 slice
+// arithmetic, a row-major dense matrix with Gram products and a Cholesky
+// solver (the backbone of the learning-based decoder), and the similarity /
+// error measures the paper reports (cosine similarity, MSE, PSNR).
+//
+// Everything is written against stdlib only. Functions that combine two
+// slices panic when the lengths disagree: a length mismatch in this codebase
+// is always a programming error (features and bases are sized once at
+// construction), never a data condition worth returning.
+package vecmath
+
+import (
+	"fmt"
+	"math"
+)
+
+func checkLen(op string, a, b int) {
+	if a != b {
+		panic(fmt.Sprintf("vecmath: %s length mismatch: %d vs %d", op, a, b))
+	}
+}
+
+// Dot returns the inner product of a and b.
+func Dot(a, b []float64) float64 {
+	checkLen("Dot", len(a), len(b))
+	var s0, s1, s2, s3 float64
+	n := len(a)
+	i := 0
+	// Four-way unroll: the hypervector dimension D is the hot loop of the
+	// whole repository (encode, decode, similarity all reduce to Dot).
+	for ; i+4 <= n; i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < n; i++ {
+		s0 += a[i] * b[i]
+	}
+	return s0 + s1 + s2 + s3
+}
+
+// Axpy performs dst += alpha*x element-wise.
+func Axpy(alpha float64, x, dst []float64) {
+	checkLen("Axpy", len(x), len(dst))
+	for i, v := range x {
+		dst[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element of x by alpha in place.
+func Scale(alpha float64, x []float64) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Add returns a+b as a new slice.
+func Add(a, b []float64) []float64 {
+	checkLen("Add", len(a), len(b))
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] + b[i]
+	}
+	return out
+}
+
+// Sub returns a-b as a new slice.
+func Sub(a, b []float64) []float64 {
+	checkLen("Sub", len(a), len(b))
+	out := make([]float64, len(a))
+	for i := range a {
+		out[i] = a[i] - b[i]
+	}
+	return out
+}
+
+// SubInto writes a-b into dst, which must have the same length.
+func SubInto(dst, a, b []float64) {
+	checkLen("SubInto", len(a), len(b))
+	checkLen("SubInto dst", len(dst), len(a))
+	for i := range a {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// Clone returns a copy of x.
+func Clone(x []float64) []float64 {
+	out := make([]float64, len(x))
+	copy(out, x)
+	return out
+}
+
+// Zero sets every element of x to 0.
+func Zero(x []float64) {
+	for i := range x {
+		x[i] = 0
+	}
+}
+
+// Fill sets every element of x to v.
+func Fill(x []float64, v float64) {
+	for i := range x {
+		x[i] = v
+	}
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	return math.Sqrt(Dot(x, x))
+}
+
+// Normalize scales x to unit Euclidean norm in place and returns the
+// original norm. A zero vector is left unchanged and 0 is returned.
+func Normalize(x []float64) float64 {
+	n := Norm2(x)
+	if n == 0 {
+		return 0
+	}
+	Scale(1/n, x)
+	return n
+}
+
+// Cosine returns the cosine similarity of a and b, the similarity measure δ
+// used throughout the paper. If either vector is zero it returns 0.
+func Cosine(a, b []float64) float64 {
+	checkLen("Cosine", len(a), len(b))
+	var dot, na, nb float64
+	for i := range a {
+		dot += a[i] * b[i]
+		na += a[i] * a[i]
+		nb += b[i] * b[i]
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// MSE returns the mean squared error between a and b.
+func MSE(a, b []float64) float64 {
+	checkLen("MSE", len(a), len(b))
+	if len(a) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range a {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s / float64(len(a))
+}
+
+// PSNR returns the peak signal-to-noise ratio in decibels between a
+// reference signal and its reconstruction, using the reference's dynamic
+// range as the peak (the convention for image reconstruction quality used
+// by the paper's Figure 1). It returns +Inf for an exact reconstruction.
+func PSNR(ref, recon []float64) float64 {
+	mse := MSE(ref, recon)
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	lo, hi := ref[0], ref[0]
+	for _, v := range ref {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	peak := hi - lo
+	if peak == 0 {
+		peak = 1
+	}
+	return 10 * math.Log10(peak*peak/mse)
+}
+
+// ArgMax returns the index of the maximum element of x, or -1 for an empty
+// slice. Ties resolve to the earliest index.
+func ArgMax(x []float64) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(x); i++ {
+		if x[i] > x[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// ArgMin returns the index of the minimum element of x, or -1 for an empty
+// slice. Ties resolve to the earliest index.
+func ArgMin(x []float64) int {
+	if len(x) == 0 {
+		return -1
+	}
+	best := 0
+	for i := 1; i < len(x); i++ {
+		if x[i] < x[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// TopK returns the indices of the k largest elements of x in descending
+// value order. It panics if k < 0 or k > len(x). Selection is done with a
+// partial heap-free quadratic scan for small k (the common case here:
+// top-k nearest train points with k ≤ 10).
+func TopK(x []float64, k int) []int {
+	if k < 0 || k > len(x) {
+		panic("vecmath: TopK k out of range")
+	}
+	idx := make([]int, 0, k)
+	taken := make([]bool, len(x))
+	for len(idx) < k {
+		best := -1
+		for i := range x {
+			if taken[i] {
+				continue
+			}
+			if best == -1 || x[i] > x[best] {
+				best = i
+			}
+		}
+		taken[best] = true
+		idx = append(idx, best)
+	}
+	return idx
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// ClampSlice clamps every element of x to [lo, hi] in place.
+func ClampSlice(x []float64, lo, hi float64) {
+	for i := range x {
+		x[i] = Clamp(x[i], lo, hi)
+	}
+}

@@ -1,0 +1,285 @@
+package vecmath
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"prid/internal/rng"
+)
+
+func almostEq(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+func TestDot(t *testing.T) {
+	cases := []struct {
+		a, b []float64
+		want float64
+	}{
+		{nil, nil, 0},
+		{[]float64{1}, []float64{2}, 2},
+		{[]float64{1, 2, 3}, []float64{4, 5, 6}, 32},
+		{[]float64{1, -1, 1, -1, 1}, []float64{1, 1, 1, 1, 1}, 1},
+		{[]float64{0.5, 0.25, 0.125, 2, 4, 8, 16, 32, 64}, []float64{2, 4, 8, 0.5, 0.25, 0.125, 0, 0, 0}, 6},
+	}
+	for i, c := range cases {
+		if got := Dot(c.a, c.b); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("case %d: Dot = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestDotMatchesNaive(t *testing.T) {
+	r := rng.New(1)
+	for _, n := range []int{1, 2, 3, 4, 5, 7, 8, 9, 63, 64, 65, 1000} {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		r.FillNorm(a)
+		r.FillNorm(b)
+		var want float64
+		for i := range a {
+			want += a[i] * b[i]
+		}
+		if got := Dot(a, b); !almostEq(got, want, 1e-9*float64(n)) {
+			t.Errorf("n=%d: Dot=%v naive=%v", n, got, want)
+		}
+	}
+}
+
+func TestDotPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Dot with mismatched lengths did not panic")
+		}
+	}()
+	Dot([]float64{1}, []float64{1, 2})
+}
+
+func TestAxpy(t *testing.T) {
+	dst := []float64{1, 2, 3}
+	Axpy(2, []float64{10, 20, 30}, dst)
+	want := []float64{21, 42, 63}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("Axpy = %v, want %v", dst, want)
+		}
+	}
+}
+
+func TestScaleAddSub(t *testing.T) {
+	x := []float64{1, -2, 3}
+	Scale(-2, x)
+	if x[0] != -2 || x[1] != 4 || x[2] != -6 {
+		t.Fatalf("Scale = %v", x)
+	}
+	s := Add([]float64{1, 2}, []float64{3, 4})
+	if s[0] != 4 || s[1] != 6 {
+		t.Fatalf("Add = %v", s)
+	}
+	d := Sub([]float64{1, 2}, []float64{3, 5})
+	if d[0] != -2 || d[1] != -3 {
+		t.Fatalf("Sub = %v", d)
+	}
+	dst := make([]float64, 2)
+	SubInto(dst, []float64{5, 5}, []float64{2, 1})
+	if dst[0] != 3 || dst[1] != 4 {
+		t.Fatalf("SubInto = %v", dst)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := []float64{1, 2}
+	b := Clone(a)
+	b[0] = 99
+	if a[0] != 1 {
+		t.Fatal("Clone aliases its input")
+	}
+}
+
+func TestZeroFill(t *testing.T) {
+	x := []float64{1, 2, 3}
+	Fill(x, 7)
+	for _, v := range x {
+		if v != 7 {
+			t.Fatalf("Fill = %v", x)
+		}
+	}
+	Zero(x)
+	for _, v := range x {
+		if v != 0 {
+			t.Fatalf("Zero = %v", x)
+		}
+	}
+}
+
+func TestNorm2AndNormalize(t *testing.T) {
+	x := []float64{3, 4}
+	if got := Norm2(x); !almostEq(got, 5, 1e-12) {
+		t.Fatalf("Norm2 = %v", got)
+	}
+	n := Normalize(x)
+	if !almostEq(n, 5, 1e-12) {
+		t.Fatalf("Normalize returned %v", n)
+	}
+	if !almostEq(Norm2(x), 1, 1e-12) {
+		t.Fatalf("normalized norm = %v", Norm2(x))
+	}
+	z := []float64{0, 0}
+	if Normalize(z) != 0 {
+		t.Fatal("Normalize of zero vector should return 0")
+	}
+}
+
+func TestCosine(t *testing.T) {
+	if got := Cosine([]float64{1, 0}, []float64{0, 1}); !almostEq(got, 0, 1e-12) {
+		t.Fatalf("orthogonal cosine = %v", got)
+	}
+	if got := Cosine([]float64{2, 2}, []float64{5, 5}); !almostEq(got, 1, 1e-12) {
+		t.Fatalf("parallel cosine = %v", got)
+	}
+	if got := Cosine([]float64{1, 1}, []float64{-1, -1}); !almostEq(got, -1, 1e-12) {
+		t.Fatalf("antiparallel cosine = %v", got)
+	}
+	if got := Cosine([]float64{0, 0}, []float64{1, 1}); got != 0 {
+		t.Fatalf("zero-vector cosine = %v", got)
+	}
+}
+
+// Property: cosine similarity is bounded by [-1, 1] and scale invariant.
+func TestCosineProperties(t *testing.T) {
+	r := rng.New(2)
+	f := func(seed uint64) bool {
+		rr := rng.New(seed)
+		n := 1 + rr.Intn(64)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		rr.FillNorm(a)
+		rr.FillNorm(b)
+		c := Cosine(a, b)
+		if c < -1-1e-9 || c > 1+1e-9 {
+			return false
+		}
+		scaled := Clone(a)
+		Scale(1+9*rr.Float64(), scaled)
+		return almostEq(Cosine(scaled, b), c, 1e-9)
+	}
+	cfg := &quick.Config{MaxCount: 200, Rand: nil}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+	_ = r
+}
+
+func TestMSE(t *testing.T) {
+	if got := MSE([]float64{1, 2, 3}, []float64{1, 2, 3}); got != 0 {
+		t.Fatalf("identical MSE = %v", got)
+	}
+	if got := MSE([]float64{0, 0}, []float64{3, 4}); !almostEq(got, 12.5, 1e-12) {
+		t.Fatalf("MSE = %v, want 12.5", got)
+	}
+	if got := MSE(nil, nil); got != 0 {
+		t.Fatalf("empty MSE = %v", got)
+	}
+}
+
+func TestPSNR(t *testing.T) {
+	ref := []float64{0, 1, 0, 1}
+	if !math.IsInf(PSNR(ref, ref), 1) {
+		t.Fatal("PSNR of exact reconstruction should be +Inf")
+	}
+	noisy := []float64{0.1, 0.9, 0.1, 0.9}
+	good := PSNR(ref, noisy)
+	worse := PSNR(ref, []float64{0.5, 0.5, 0.5, 0.5})
+	if good <= worse {
+		t.Fatalf("PSNR ordering wrong: light noise %v <= heavy noise %v", good, worse)
+	}
+	// MSE 0.01 against peak 1 → 20 dB exactly.
+	if !almostEq(good, 20, 1e-9) {
+		t.Fatalf("PSNR = %v, want 20", good)
+	}
+}
+
+func TestArgMaxArgMin(t *testing.T) {
+	if ArgMax(nil) != -1 || ArgMin(nil) != -1 {
+		t.Fatal("empty ArgMax/ArgMin should be -1")
+	}
+	x := []float64{3, 9, -2, 9, 0}
+	if got := ArgMax(x); got != 1 {
+		t.Fatalf("ArgMax = %d, want 1 (first of ties)", got)
+	}
+	if got := ArgMin(x); got != 2 {
+		t.Fatalf("ArgMin = %d, want 2", got)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	x := []float64{5, 1, 9, 7, 3}
+	got := TopK(x, 3)
+	want := []int{2, 3, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopK = %v, want %v", got, want)
+		}
+	}
+	if len(TopK(x, 0)) != 0 {
+		t.Fatal("TopK(x, 0) should be empty")
+	}
+	all := TopK(x, len(x))
+	if len(all) != len(x) {
+		t.Fatalf("TopK full length = %d", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if x[all[i-1]] < x[all[i]] {
+			t.Fatalf("TopK not descending: %v", all)
+		}
+	}
+}
+
+func TestTopKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TopK out of range did not panic")
+		}
+	}()
+	TopK([]float64{1}, 2)
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Fatal("Clamp misbehaves")
+	}
+	x := []float64{-2, 0.5, 3}
+	ClampSlice(x, 0, 1)
+	if x[0] != 0 || x[1] != 0.5 || x[2] != 1 {
+		t.Fatalf("ClampSlice = %v", x)
+	}
+}
+
+func BenchmarkDot4096(b *testing.B) {
+	r := rng.New(1)
+	x := make([]float64, 4096)
+	y := make([]float64, 4096)
+	r.FillNorm(x)
+	r.FillNorm(y)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = Dot(x, y)
+	}
+	_ = sink
+}
+
+func BenchmarkCosine4096(b *testing.B) {
+	r := rng.New(1)
+	x := make([]float64, 4096)
+	y := make([]float64, 4096)
+	r.FillNorm(x)
+	r.FillNorm(y)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink = Cosine(x, y)
+	}
+	_ = sink
+}

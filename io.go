@@ -1,0 +1,51 @@
+package prid
+
+import (
+	"fmt"
+	"io"
+
+	"prid/internal/decode"
+	"prid/internal/hdc"
+)
+
+// Save serializes the model — basis plus class hypervectors, i.e. exactly
+// the artifacts a federated HDC participant transmits — to w in the
+// repository's versioned binary format.
+func (m *Model) Save(w io.Writer) error {
+	if err := hdc.WriteBasis(w, m.basis); err != nil {
+		return fmt.Errorf("prid: saving basis: %w", err)
+	}
+	if err := hdc.WriteModel(w, m.model); err != nil {
+		return fmt.Errorf("prid: saving model: %w", err)
+	}
+	return nil
+}
+
+// Load reads a model previously written by Save. The learning-based
+// decoder is refactored on load (its Cholesky factorization is derived
+// state, not serialized).
+func Load(r io.Reader) (*Model, error) {
+	basis, err := hdc.ReadBasis(r)
+	if err != nil {
+		return nil, fmt.Errorf("prid: loading basis: %w", err)
+	}
+	model, err := hdc.ReadModel(r)
+	if err != nil {
+		return nil, fmt.Errorf("prid: loading model: %w", err)
+	}
+	if model.Dim() != basis.Dim() {
+		return nil, fmt.Errorf("prid: basis dimension %d does not match model dimension %d", basis.Dim(), model.Dim())
+	}
+	// Reduced-dimension systems (DefendReduceDimensions) can have D ≤ n,
+	// where the Gram matrix is singular; attach a ridge-regularized decoder
+	// in that regime.
+	ridge := 0.0
+	if basis.Dim() <= basis.Features() {
+		ridge = 0.01 * float64(basis.Dim())
+	}
+	ls, err := decode.NewLeastSquares(basis, ridge)
+	if err != nil {
+		return nil, fmt.Errorf("prid: preparing decoder: %w", err)
+	}
+	return &Model{basis: basis, model: model, dec: ls}, nil
+}

@@ -1,0 +1,91 @@
+package prid
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	x, y, queries := problem(30)
+	m := mustTrain(t, x, y, WithDimension(512), WithSeed(9))
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Features() != m.Features() || loaded.Dimension() != m.Dimension() || loaded.Classes() != m.Classes() {
+		t.Fatal("shape changed in round trip")
+	}
+	for _, q := range queries {
+		p1, err := m.Predict(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, err := loaded.Predict(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p1 != p2 {
+			t.Fatal("prediction changed after Save/Load")
+		}
+	}
+	// The loaded model must be attackable — the point of the exercise.
+	a, err := NewAttacker(loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Reconstruct(queries[0]); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("this is not a model file at all")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader("")); err == nil {
+		t.Fatal("empty stream accepted")
+	}
+}
+
+func TestLoadRejectsTruncatedModelHalf(t *testing.T) {
+	x, y, _ := problem(31)
+	m := mustTrain(t, x, y, WithDimension(256))
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Keep the basis but truncate inside the model section.
+	if _, err := Load(bytes.NewReader(raw[:len(raw)-16])); err == nil {
+		t.Fatal("truncated model section accepted")
+	}
+}
+
+func TestSaveLoadReducedDimensionModel(t *testing.T) {
+	x, y, queries := problem(32)
+	m := mustTrain(t, x, y, WithDimension(256))
+	// Reduce below the feature count (24) — the singular-Gram regime.
+	reduced, err := m.DefendReduceDimensions(x, y, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := reduced.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Dimension() != 16 {
+		t.Fatalf("dimension %d after round trip", loaded.Dimension())
+	}
+	if _, err := loaded.Predict(queries[0]); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,187 @@
+// Package prid is the public API of the PRID reproduction: hyperdimensional
+// (HDC) classification, the PRID model-inversion attack against shared HDC
+// models, and the PRID privacy defenses (intelligent noise injection,
+// iterative model quantization, and their hybrid).
+//
+// The typical flow mirrors the paper's federated scenario:
+//
+//	model, _ := prid.TrainClassifier(trainX, trainY, classes)
+//	// The model (class hypervectors + encoding basis) is shared.
+//	attacker, _ := prid.NewAttacker(model)
+//	recon, _ := attacker.Reconstruct(query)       // train-data estimate
+//	leak := prid.MeasureLeakage(trainX, query, recon.Data)
+//
+//	defended, _ := model.DefendHybrid(trainX, trainY, 0.4, 2)
+//	// Attacking `defended` now extracts far less.
+//
+// Unlike the internal packages (which panic on programming errors), the
+// facade validates inputs and returns errors: it is the boundary a
+// downstream user hits first.
+package prid
+
+import (
+	"errors"
+	"fmt"
+
+	"prid/internal/decode"
+	"prid/internal/hdc"
+	"prid/internal/rng"
+)
+
+// Model is a trained HDC classifier together with its encoding basis — the
+// exact pair of artifacts participants exchange in distributed HDC
+// learning, and therefore the attack surface PRID studies.
+type Model struct {
+	basis *hdc.Basis
+	model *hdc.Model
+	dec   *decode.LeastSquares
+}
+
+// Option configures TrainClassifier.
+type Option func(*trainOptions)
+
+type trainOptions struct {
+	dim           int
+	seed          uint64
+	retrainEpochs int
+	learningRate  float64
+	adaptive      bool
+}
+
+func defaultTrainOptions() trainOptions {
+	return trainOptions{
+		dim:           4096,
+		seed:          1,
+		retrainEpochs: 5,
+		learningRate:  0.1,
+	}
+}
+
+// WithDimension sets the hypervector dimensionality D (default 4096; the
+// paper uses 10k).
+func WithDimension(d int) Option {
+	return func(o *trainOptions) { o.dim = d }
+}
+
+// WithSeed fixes the basis-generation seed, making training fully
+// deterministic (default 1).
+func WithSeed(seed uint64) Option {
+	return func(o *trainOptions) { o.seed = seed }
+}
+
+// WithRetraining sets the Equation-2 retraining epochs and learning rate
+// applied after single-pass training (defaults 5 and 0.1; 0 epochs
+// disables retraining).
+func WithRetraining(epochs int, learningRate float64) Option {
+	return func(o *trainOptions) {
+		o.retrainEpochs = epochs
+		o.learningRate = learningRate
+	}
+}
+
+// WithAdaptiveTraining switches the initial pass from plain accumulation
+// to OnlineHD-style adaptive bundling, which weighs each sample by how
+// much the model still misses it. It composes with WithRetraining (the
+// Equation-2 epochs still run afterwards).
+func WithAdaptiveTraining() Option {
+	return func(o *trainOptions) { o.adaptive = true }
+}
+
+// TrainClassifier trains an HDC model on the labeled set: single-pass
+// class-hypervector accumulation followed by Equation-2 retraining.
+func TrainClassifier(x [][]float64, y []int, classes int, opts ...Option) (*Model, error) {
+	o := defaultTrainOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	if len(x) == 0 {
+		return nil, errors.New("prid: empty training set")
+	}
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("prid: %d samples but %d labels", len(x), len(y))
+	}
+	if classes < 2 {
+		return nil, fmt.Errorf("prid: need at least 2 classes, got %d", classes)
+	}
+	n := len(x[0])
+	if n == 0 {
+		return nil, errors.New("prid: samples have no features")
+	}
+	for i, row := range x {
+		if len(row) != n {
+			return nil, fmt.Errorf("prid: sample %d has %d features, expected %d", i, len(row), n)
+		}
+	}
+	for i, label := range y {
+		if label < 0 || label >= classes {
+			return nil, fmt.Errorf("prid: label %d of sample %d out of range [0,%d)", label, i, classes)
+		}
+	}
+	if o.dim < n {
+		return nil, fmt.Errorf("prid: dimension %d below feature count %d; encoding would be lossy (use WithDimension)", o.dim, n)
+	}
+	if o.retrainEpochs < 0 {
+		return nil, fmt.Errorf("prid: negative retraining epochs %d", o.retrainEpochs)
+	}
+
+	basis := hdc.NewBasis(n, o.dim, rng.New(o.seed))
+	encoded := hdc.EncodeAllParallel(basis, x, 0)
+	var m *hdc.Model
+	if o.adaptive {
+		m = hdc.AdaptiveTrainEncoded(encoded, y, classes, o.dim, 1)
+	} else {
+		m = hdc.TrainEncoded(encoded, y, classes, o.dim)
+	}
+	if o.retrainEpochs > 0 {
+		hdc.Retrain(m, encoded, y, o.learningRate, o.retrainEpochs)
+	}
+	ls, err := decode.NewLeastSquares(basis, 0)
+	if err != nil {
+		return nil, fmt.Errorf("prid: preparing decoder: %w", err)
+	}
+	return &Model{basis: basis, model: m, dec: ls}, nil
+}
+
+// Features returns the input dimensionality n.
+func (m *Model) Features() int { return m.basis.Features() }
+
+// Dimension returns the hypervector dimensionality D.
+func (m *Model) Dimension() int { return m.basis.Dim() }
+
+// Classes returns the number of classes k.
+func (m *Model) Classes() int { return m.model.NumClasses() }
+
+// Predict returns the most similar class for one feature vector.
+func (m *Model) Predict(x []float64) (int, error) {
+	if len(x) != m.Features() {
+		return 0, fmt.Errorf("prid: sample has %d features, model expects %d", len(x), m.Features())
+	}
+	pred, _ := m.model.Classify(m.basis.Encode(x))
+	return pred, nil
+}
+
+// Similarities returns the cosine similarity of x's encoding to every
+// class hypervector.
+func (m *Model) Similarities(x []float64) ([]float64, error) {
+	if len(x) != m.Features() {
+		return nil, fmt.Errorf("prid: sample has %d features, model expects %d", len(x), m.Features())
+	}
+	return m.model.Similarities(m.basis.Encode(x)), nil
+}
+
+// Accuracy scores the model on a labeled set.
+func (m *Model) Accuracy(x [][]float64, y []int) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("prid: %d samples but %d labels", len(x), len(y))
+	}
+	if len(x) == 0 {
+		return 0, errors.New("prid: empty evaluation set")
+	}
+	return hdc.AccuracyRaw(m.model, m.basis, x, y), nil
+}
+
+// clone copies the facade with an independent underlying model (the basis
+// and decoder are immutable and shared).
+func (m *Model) clone() *Model {
+	return &Model{basis: m.basis, model: m.model.Clone(), dec: m.dec}
+}

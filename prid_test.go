@@ -1,0 +1,370 @@
+package prid
+
+import (
+	"testing"
+
+	"prid/internal/rng"
+	"prid/internal/vecmath"
+)
+
+// problem builds a small structured classification task.
+func problem(seed uint64) (trainX [][]float64, trainY []int, queries [][]float64) {
+	src := rng.New(seed)
+	const n, k, perClass = 24, 3, 12
+	protos := make([][]float64, k)
+	for c := range protos {
+		p := make([]float64, n)
+		for _, j := range src.Sample(n, 6) {
+			p[j] = src.Uniform(0.6, 1)
+		}
+		protos[c] = p
+	}
+	draw := func(c int, noise float64) []float64 {
+		v := vecmath.Clone(protos[c])
+		for j := range v {
+			v[j] += src.Gaussian(0, noise)
+			if v[j] < 0 {
+				v[j] = 0
+			}
+		}
+		return v
+	}
+	for c := 0; c < k; c++ {
+		for i := 0; i < perClass; i++ {
+			trainX = append(trainX, draw(c, 0.08))
+			trainY = append(trainY, c)
+		}
+		queries = append(queries, draw(c, 0.2))
+	}
+	return trainX, trainY, queries
+}
+
+func mustTrain(t *testing.T, x [][]float64, y []int, opts ...Option) *Model {
+	t.Helper()
+	m, err := TrainClassifier(x, y, 3, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestTrainPredictRoundTrip(t *testing.T) {
+	x, y, queries := problem(1)
+	m := mustTrain(t, x, y, WithDimension(1024), WithSeed(7))
+	if m.Features() != 24 || m.Dimension() != 1024 || m.Classes() != 3 {
+		t.Fatalf("shape: n=%d D=%d k=%d", m.Features(), m.Dimension(), m.Classes())
+	}
+	acc, err := m.Accuracy(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Fatalf("train accuracy %.3f", acc)
+	}
+	for c, q := range queries {
+		pred, err := m.Predict(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pred != c {
+			t.Fatalf("query %d predicted %d", c, pred)
+		}
+		sims, err := m.Similarities(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if vecmath.ArgMax(sims) != pred {
+			t.Fatal("Similarities disagree with Predict")
+		}
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	x, y, queries := problem(2)
+	a := mustTrain(t, x, y, WithDimension(512), WithSeed(3))
+	b := mustTrain(t, x, y, WithDimension(512), WithSeed(3))
+	sa, _ := a.Similarities(queries[0])
+	sb, _ := b.Similarities(queries[0])
+	if vecmath.MSE(sa, sb) != 0 {
+		t.Fatal("same seed produced different models")
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	x, y, _ := problem(3)
+	cases := []struct {
+		name string
+		run  func() error
+	}{
+		{"empty", func() error { _, err := TrainClassifier(nil, nil, 2); return err }},
+		{"mismatch", func() error { _, err := TrainClassifier(x, y[:3], 3); return err }},
+		{"one class", func() error { _, err := TrainClassifier(x, y, 1); return err }},
+		{"bad label", func() error {
+			yy := append([]int{}, y...)
+			yy[0] = 99
+			_, err := TrainClassifier(x, yy, 3)
+			return err
+		}},
+		{"ragged", func() error {
+			xx := append([][]float64{}, x...)
+			xx[1] = xx[1][:5]
+			_, err := TrainClassifier(xx, y, 3)
+			return err
+		}},
+		{"dim below n", func() error { _, err := TrainClassifier(x, y, 3, WithDimension(8)); return err }},
+		{"negative epochs", func() error {
+			_, err := TrainClassifier(x, y, 3, WithRetraining(-1, 0.1))
+			return err
+		}},
+	}
+	for _, c := range cases {
+		if c.run() == nil {
+			t.Errorf("%s: no error", c.name)
+		}
+	}
+}
+
+func TestAttackerEndToEnd(t *testing.T) {
+	x, y, queries := problem(4)
+	m := mustTrain(t, x, y, WithDimension(1024))
+	a, err := NewAttacker(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	class, sim, err := a.Membership(queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class != 0 || sim <= 0.5 {
+		t.Fatalf("membership class=%d sim=%.3f", class, sim)
+	}
+	recon, err := a.Reconstruct(queries[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recon.Class != 0 || len(recon.Data) != 24 {
+		t.Fatalf("reconstruction %+v", recon)
+	}
+	leakRecon, err := MeasureLeakage(x, queries[0], recon.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leakRecon < 0.6 {
+		t.Fatalf("reconstruction Δ %.3f; undefended model should leak near the ceiling", leakRecon)
+	}
+	dc, err := a.DecodeClass(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dc) != 24 {
+		t.Fatalf("decoded class length %d", len(dc))
+	}
+}
+
+func TestAttackerValidation(t *testing.T) {
+	x, y, _ := problem(5)
+	m := mustTrain(t, x, y, WithDimension(512))
+	if _, err := NewAttacker(m, WithAttackIterations(0)); err == nil {
+		t.Fatal("zero iterations accepted")
+	}
+	a, _ := NewAttacker(m)
+	if _, _, err := a.Membership([]float64{1}); err == nil {
+		t.Fatal("short query accepted by Membership")
+	}
+	if _, err := a.Reconstruct([]float64{1}); err == nil {
+		t.Fatal("short query accepted by Reconstruct")
+	}
+	if _, err := a.DecodeClass(99); err == nil {
+		t.Fatal("bad class accepted by DecodeClass")
+	}
+	if _, err := MeasureLeakage(nil, []float64{1}, []float64{1}); err == nil {
+		t.Fatal("empty train set accepted by MeasureLeakage")
+	}
+	if _, err := MeasureLeakage(x, []float64{1}, []float64{1}); err == nil {
+		t.Fatal("length mismatch accepted by MeasureLeakage")
+	}
+}
+
+func TestDefensesReduceLeakagePreserveAccuracy(t *testing.T) {
+	x, y, queries := problem(6)
+	m := mustTrain(t, x, y, WithDimension(1024))
+	baseAcc, _ := m.Accuracy(x, y)
+
+	leakage := func(mm *Model) float64 {
+		a, err := NewAttacker(mm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var scores []float64
+		for _, q := range queries {
+			r, err := a.Reconstruct(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, err := MeasureLeakage(x, q, r.Data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			scores = append(scores, s)
+		}
+		return vecmath.Mean(scores)
+	}
+	baseLeak := leakage(m)
+
+	defenses := []struct {
+		name string
+		run  func() (*Model, error)
+	}{
+		{"noise", func() (*Model, error) { return m.DefendNoise(x, y, 0.6) }},
+		{"quantize", func() (*Model, error) { return m.DefendQuantize(x, y, 1) }},
+		{"hybrid", func() (*Model, error) { return m.DefendHybrid(x, y, 0.4, 2) }},
+	}
+	for _, d := range defenses {
+		defended, err := d.run()
+		if err != nil {
+			t.Fatalf("%s: %v", d.name, err)
+		}
+		acc, _ := defended.Accuracy(x, y)
+		if acc < baseAcc-0.15 {
+			t.Fatalf("%s: accuracy %.3f fell too far below baseline %.3f", d.name, acc, baseAcc)
+		}
+		if l := leakage(defended); l >= baseLeak {
+			t.Fatalf("%s: leakage %.3f not below undefended %.3f", d.name, l, baseLeak)
+		}
+	}
+	// The original model must be untouched by all defenses.
+	if acc, _ := m.Accuracy(x, y); acc != baseAcc {
+		t.Fatal("defense mutated the receiver")
+	}
+}
+
+func TestDefenseValidation(t *testing.T) {
+	x, y, _ := problem(7)
+	m := mustTrain(t, x, y, WithDimension(512))
+	if _, err := m.DefendNoise(nil, nil, 0.5); err == nil {
+		t.Fatal("empty train set accepted")
+	}
+	if _, err := m.DefendNoise(x, y, 1.5); err == nil {
+		t.Fatal("fraction > 1 accepted")
+	}
+	if _, err := m.DefendQuantize(x, y, 0); err == nil {
+		t.Fatal("0 bits accepted")
+	}
+	if _, err := m.DefendHybrid(x, y, -0.1, 2); err == nil {
+		t.Fatal("negative fraction accepted")
+	}
+	yy := append([]int{}, y...)
+	yy[0] = 99
+	if _, err := m.DefendQuantize(x, yy, 2); err == nil {
+		t.Fatal("bad label accepted")
+	}
+}
+
+func TestAttackerMembershipAUC(t *testing.T) {
+	x, y, _ := problem(8)
+	m := mustTrain(t, x, y, WithDimension(1024))
+	a, err := NewAttacker(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(99)
+	random := make([][]float64, 10)
+	for i := range random {
+		v := make([]float64, 24)
+		src.FillUniform(v, 0, 1)
+		random[i] = v
+	}
+	auc, err := a.MembershipAUC(x[:10], random)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc < 0.8 {
+		t.Fatalf("membership AUC %v vs random probes, want ≥ 0.8", auc)
+	}
+	if _, err := a.MembershipAUC(nil, random); err == nil {
+		t.Fatal("empty members accepted")
+	}
+	if _, err := a.MembershipAUC(x[:2], [][]float64{{1}}); err == nil {
+		t.Fatal("short non-member accepted")
+	}
+}
+
+func TestAdaptiveTrainingOption(t *testing.T) {
+	x, y, queries := problem(9)
+	m, err := TrainClassifier(x, y, 3, WithDimension(1024), WithAdaptiveTraining())
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := m.Accuracy(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc < 0.95 {
+		t.Fatalf("adaptive training accuracy %.3f", acc)
+	}
+	for c, q := range queries {
+		if pred, _ := m.Predict(q); pred != c {
+			t.Fatalf("query %d predicted %d", c, pred)
+		}
+	}
+}
+
+func TestDefendReduceDimensions(t *testing.T) {
+	x, y, queries := problem(10)
+	m := mustTrain(t, x, y, WithDimension(1024))
+	reduced, err := m.DefendReduceDimensions(x, y, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reduced.Dimension() != 128 {
+		t.Fatalf("dimension %d, want 128", reduced.Dimension())
+	}
+	acc, _ := reduced.Accuracy(x, y)
+	if acc < 0.85 {
+		t.Fatalf("reduced-D accuracy %.3f", acc)
+	}
+	// It must still be a complete, attackable system.
+	a, err := NewAttacker(reduced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Reconstruct(queries[0]); err != nil {
+		t.Fatal(err)
+	}
+	// Validation.
+	if _, err := m.DefendReduceDimensions(x, y, 0); err == nil {
+		t.Fatal("zero dim accepted")
+	}
+	if _, err := m.DefendReduceDimensions(x, y, 4096); err == nil {
+		t.Fatal("non-reducing dim accepted")
+	}
+}
+
+func TestAuditLeakage(t *testing.T) {
+	x, y, queries := problem(11)
+	m := mustTrain(t, x, y, WithDimension(1024))
+	before, err := m.AuditLeakage(x, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before < 0.5 {
+		t.Fatalf("undefended audit Δ %.3f suspiciously low", before)
+	}
+	defended, err := m.DefendHybrid(x, y, 0.4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := defended.AuditLeakage(x, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Fatalf("audit did not register the defense: %.3f → %.3f", before, after)
+	}
+	if _, err := m.AuditLeakage(nil, queries); err == nil {
+		t.Fatal("empty train set accepted")
+	}
+	if _, err := m.AuditLeakage(x, nil); err == nil {
+		t.Fatal("no queries accepted")
+	}
+}
