@@ -1,0 +1,37 @@
+# Tier-1+ gate for the PRID reproduction. `make check` is what a PR must
+# pass: formatting, vet, build, and the full test suite. `make race`
+# additionally runs the race detector over the packages with concurrency
+# (and everything else), and `make bench` regenerates the throughput
+# numbers the perf PRs are judged against.
+
+GO ?= go
+
+.PHONY: build test race vet fmt check bench bench-snapshot
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+check: fmt vet build test
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable benchmark snapshot (same artifact as
+# `prid experiment quick --bench-out`).
+bench-snapshot:
+	$(GO) run ./cmd/prid experiment quick --bench-out BENCH_1.json

@@ -5,6 +5,7 @@ import (
 
 	"prid/internal/attack"
 	"prid/internal/metrics"
+	"prid/internal/obs"
 )
 
 // Attacker mounts the PRID model-inversion attack. Constructing one
@@ -118,6 +119,9 @@ func (m *Model) AuditLeakage(trainX [][]float64, queries [][]float64) (float64, 
 	if len(trainX) == 0 || len(queries) == 0 {
 		return 0, fmt.Errorf("prid: AuditLeakage needs train data and probe queries")
 	}
+	span := obs.StartSpan("attack")
+	span.AddSamples(len(queries))
+	defer span.End()
 	a, err := NewAttacker(m)
 	if err != nil {
 		return 0, err

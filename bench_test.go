@@ -16,6 +16,9 @@ import (
 
 	"prid/internal/dataset"
 	"prid/internal/experiments"
+	"prid/internal/hdc"
+	"prid/internal/obs"
+	"prid/internal/rng"
 )
 
 func benchScale() experiments.Scale {
@@ -248,6 +251,52 @@ func BenchmarkAblationClustering(b *testing.B) {
 			b.Fatal("clustering failed")
 		}
 	}
+}
+
+// BenchmarkEncodeAll measures the raw encode hot path (the acceptance
+// baseline for instrumentation overhead) and reports machine-readable
+// throughput derived from the obs metric deltas, so `go test -bench
+// EncodeAll` and the `prid experiment quick --bench-out` snapshot agree
+// on what they measure.
+func BenchmarkEncodeAll(b *testing.B) {
+	src := rng.New(1)
+	basis := hdc.NewBasis(784, 2048, src)
+	x := make([][]float64, 64)
+	for i := range x {
+		f := make([]float64, 784)
+		src.FillNorm(f)
+		x[i] = f
+	}
+	samples := obs.GetCounter("hdc.encode.samples")
+	before := samples.Value()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		basis.EncodeAll(x)
+	}
+	b.StopTimer()
+	encoded := samples.Value() - before
+	if encoded != int64(b.N*len(x)) {
+		b.Fatalf("obs counted %d encoded samples, want %d", encoded, b.N*len(x))
+	}
+	secs := b.Elapsed().Seconds()
+	b.ReportMetric(obs.Rate(encoded, secs), "samples/s")
+	b.ReportMetric(obs.Rate(encoded*784*8, secs)/1e6, "MB/s")
+}
+
+// BenchmarkQuickBenchSnapshot regenerates the full machine-readable
+// benchmark artifact (encode → train → retrain → attack) and reports its
+// headline rates, anchoring the perf trajectory across PRs.
+func BenchmarkQuickBenchSnapshot(b *testing.B) {
+	sc := benchScale()
+	var last experiments.BenchResult
+	for i := 0; i < b.N; i++ {
+		last = experiments.QuickBench(sc)
+		if last.EncodeSamples == 0 || last.Reconstructions == 0 {
+			b.Fatal("benchmark snapshot recorded no work")
+		}
+	}
+	b.ReportMetric(last.EncodeSamplesPerSec, "encode-samples/s")
+	b.ReportMetric(last.AttackReconsPerSec, "recons/s")
 }
 
 func BenchmarkSaveLoad(b *testing.B) {

@@ -3,6 +3,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -309,6 +310,7 @@ func cmdExperiment(args []string) error {
 	csv := fs.Bool("csv", false, "emit CSV instead of the text table")
 	jsonOut := fs.Bool("json", false, "emit JSON instead of the text table")
 	svgDir := fs.String("svg", "", "also write each experiment's figure as <dir>/<id>.svg")
+	benchOut := fs.String("bench-out", "", "with id 'quick': write the benchmark snapshot JSON here (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -334,6 +336,21 @@ func cmdExperiment(args []string) error {
 		sc = experiments.Paper()
 	default:
 		return fmt.Errorf("unknown scale %q (quick, paper)", *scaleName)
+	}
+	if rest[0] == "quick" {
+		// Benchmark snapshot: run the canonical pipeline once and emit
+		// machine-readable per-phase throughput from the obs metrics.
+		out := io.Writer(os.Stdout)
+		if *benchOut != "" {
+			f, err := os.Create(*benchOut)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+			defer fmt.Fprintf(os.Stderr, "benchmark snapshot written to %s\n", *benchOut)
+		}
+		return experiments.WriteQuickBench(sc, out)
 	}
 	ids := []string{rest[0]}
 	if rest[0] == "all" {

@@ -27,6 +27,28 @@ func main() {
 }
 
 func run(args []string) error {
+	g, args, err := extractGlobalFlags(args)
+	if err != nil {
+		return err
+	}
+	cleanup, err := setupObservability(g)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	err = dispatch(args)
+	if err == nil && len(args) > 0 {
+		printRunSummary(os.Stderr)
+	}
+	if g.traceJSON != "" {
+		if terr := writeTraceJSON(g.traceJSON); terr != nil && err == nil {
+			err = terr
+		}
+	}
+	return err
+}
+
+func dispatch(args []string) error {
 	if len(args) == 0 {
 		usage()
 		return fmt.Errorf("missing command")
@@ -63,6 +85,12 @@ commands:
   defend     --dataset NAME    apply a privacy defense, report the trade-off
   membership --dataset NAME    evaluate membership disclosure (ROC AUC)
   experiment ID|all            regenerate a paper table/figure (fig1..fig10, table1, table2)
+  experiment quick             machine-readable benchmark snapshot (--bench-out FILE)
+
+global flags (any position):
+  --log-level LEVEL            debug, info, warn, error (default info; env PRID_LOG_LEVEL)
+  --metrics-addr ADDR          serve /debug/vars and /debug/pprof/ on ADDR (":0" picks a port)
+  --trace-json PATH            dump the span tree + metrics snapshot after the run
 
 run 'prid <command> -h' for per-command flags`)
 }

@@ -109,6 +109,64 @@ func TestCSVDataPath(t *testing.T) {
 	}
 }
 
+func TestGlobalObservabilityFlags(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "trace.json")
+	args := append([]string{"train", "--metrics-addr", "127.0.0.1:0", "--trace-json", trace, "--log-level", "warn"}, fastArgs...)
+	if err := run(args); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatalf("trace file missing: %v", err)
+	}
+	for _, phase := range []string{"train_classifier", "encode", "retrain", "metrics"} {
+		if !strings.Contains(string(data), phase) {
+			t.Fatalf("trace missing %q:\n%.400s", phase, data)
+		}
+	}
+}
+
+func TestGlobalFlagErrors(t *testing.T) {
+	if err := run([]string{"train", "--log-level"}); err == nil {
+		t.Fatal("missing flag value not rejected")
+	}
+	if err := run(append([]string{"train", "--log-level", "loud"}, fastArgs...)); err == nil {
+		t.Fatal("bad log level not rejected")
+	}
+	if err := run(append([]string{"train", "--metrics-addr", "256.256.256.256:70000"}, fastArgs...)); err == nil {
+		t.Fatal("bad metrics addr not rejected")
+	}
+}
+
+func TestExtractGlobalFlagsForms(t *testing.T) {
+	g, rest, err := extractGlobalFlags([]string{"train", "--log-level=debug", "-metrics-addr", ":0", "--dim", "256"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.logLevel != "debug" || g.metricsAddr != ":0" {
+		t.Fatalf("flags = %+v", g)
+	}
+	if strings.Join(rest, " ") != "train --dim 256" {
+		t.Fatalf("rest = %v", rest)
+	}
+}
+
+func TestExperimentQuickBenchOut(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := run([]string{"experiment", "quick", "--bench-out", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("bench file missing: %v", err)
+	}
+	for _, key := range []string{"encode_samples_per_sec", "train_samples_per_sec", "attack_recons_per_sec", "metrics"} {
+		if !strings.Contains(string(data), key) {
+			t.Fatalf("bench snapshot missing %q:\n%.400s", key, data)
+		}
+	}
+}
+
 func TestExperimentCommandFormats(t *testing.T) {
 	// ablation-margin is among the quickest experiments.
 	if err := run([]string{"experiment", "ablation-margin"}); err != nil {

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"prid/internal/obs"
+)
+
+// globalFlags are the observability flags accepted by every command, at
+// any position in the argument list (so `prid train --metrics-addr :0`
+// and `prid --metrics-addr :0 train` both work).
+type globalFlags struct {
+	logLevel    string // --log-level debug|info|warn|error
+	metricsAddr string // --metrics-addr host:port (":0" picks a port)
+	traceJSON   string // --trace-json path: dump span tree + metrics after the run
+}
+
+// extractGlobalFlags strips the global observability flags from args,
+// accepting --flag value, --flag=value, and single-dash spellings.
+func extractGlobalFlags(args []string) (globalFlags, []string, error) {
+	var g globalFlags
+	targets := map[string]*string{
+		"log-level":    &g.logLevel,
+		"metrics-addr": &g.metricsAddr,
+		"trace-json":   &g.traceJSON,
+	}
+	rest := make([]string, 0, len(args))
+	for i := 0; i < len(args); i++ {
+		arg := args[i]
+		name := strings.TrimLeft(arg, "-")
+		dashes := len(arg) - len(name)
+		value := ""
+		hasValue := false
+		if eq := strings.IndexByte(name, '='); eq >= 0 {
+			name, value, hasValue = name[:eq], name[eq+1:], true
+		}
+		dst, ok := targets[name]
+		if !ok || dashes == 0 || dashes > 2 {
+			rest = append(rest, arg)
+			continue
+		}
+		if !hasValue {
+			if i+1 >= len(args) {
+				return g, nil, fmt.Errorf("flag --%s needs a value", name)
+			}
+			i++
+			value = args[i]
+		}
+		*dst = value
+	}
+	return g, rest, nil
+}
+
+// setupObservability applies the global flags: log level first (so the
+// rest of the run logs at the requested level), then the debug server.
+// The returned cleanup stops the server; it is safe to call when no
+// server was started.
+func setupObservability(g globalFlags) (cleanup func(), err error) {
+	cleanup = func() {}
+	if g.logLevel != "" {
+		level, err := obs.ParseLevel(g.logLevel)
+		if err != nil {
+			return cleanup, err
+		}
+		obs.SetLevel(level)
+	}
+	if g.metricsAddr != "" {
+		srv, err := obs.ServeDebug(g.metricsAddr)
+		if err != nil {
+			return cleanup, fmt.Errorf("starting metrics server on %s: %w", g.metricsAddr, err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics: serving /debug/vars and /debug/pprof/ on http://%s\n", srv.Addr())
+		cleanup = func() { srv.Close() }
+	}
+	return cleanup, nil
+}
+
+// writeTraceJSON dumps the span tree and metrics snapshot to path.
+func writeTraceJSON(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	if err := obs.WriteTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("writing trace: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "trace written to %s\n", path)
+	return nil
+}
+
+// printRunSummary emits the per-command end-of-run throughput lines from
+// the metrics the run just accumulated. Lines are only printed for
+// phases that actually ran, so `prid datasets` stays silent.
+func printRunSummary(w *os.File) {
+	snap := obs.Default.Snapshot()
+
+	if enc, ok := snap.Histograms["hdc.encode.seconds"]; ok && enc.Count > 0 {
+		samples := snap.Counters["hdc.encode.samples"]
+		floats := snap.Counters["hdc.encode.input_floats"]
+		mbps := 0.0
+		if enc.Sum > 0 {
+			mbps = float64(floats) * 8 / 1e6 / enc.Sum
+		}
+		fmt.Fprintf(w, "encode: %d samples in %.3fs (%s, %.1f MB/s)\n",
+			samples, enc.Sum, obs.FormatRate(samples, enc.Sum, "samples"), mbps)
+	}
+	if tr, ok := snap.Histograms["hdc.train.seconds"]; ok && tr.Count > 0 {
+		fmt.Fprintf(w, "train: %d samples in %.3fs (%s)\n",
+			snap.Counters["hdc.train.samples"], tr.Sum,
+			obs.FormatRate(snap.Counters["hdc.train.samples"], tr.Sum, "samples"))
+	}
+	if rt, ok := snap.Histograms["hdc.retrain.seconds"]; ok && rt.Count > 0 {
+		fmt.Fprintf(w, "retrain: %d epochs, %d updates in %.3fs (%s)\n",
+			snap.Counters["hdc.retrain.epochs"], snap.Counters["hdc.retrain.updates"], rt.Sum,
+			obs.FormatRate(snap.Counters["hdc.retrain.samples"], rt.Sum, "samples"))
+	}
+	if at, ok := snap.Histograms["attack.recon.seconds"]; ok && at.Count > 0 {
+		fmt.Fprintf(w, "attack: %d reconstructions in %.3fs (%s)\n",
+			snap.Counters["attack.reconstructions"], at.Sum,
+			obs.FormatRate(snap.Counters["attack.reconstructions"], at.Sum, "reconstructions"))
+	}
+	if df, ok := snap.Histograms["defense.seconds"]; ok && df.Count > 0 {
+		fmt.Fprintf(w, "defend: %d runs, %d rounds in %.3fs\n",
+			snap.Counters["defense.runs"], snap.Counters["defense.rounds"], df.Sum)
+	}
+}

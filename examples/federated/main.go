@@ -10,13 +10,15 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	"prid"
 	"prid/internal/dataset"
+	"prid/internal/obs"
 	"prid/internal/report"
 	"prid/internal/vecmath"
 )
+
+var logger = obs.Logger("examples/federated")
 
 const devices = 3
 
@@ -45,7 +47,7 @@ func main() {
 		m, err := prid.TrainClassifier(shardX[d], shardY[d], ds.Classes,
 			prid.WithDimension(2048), prid.WithSeed(42))
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "device training failed", "device", d, "err", err)
 		}
 		return m
 	}
@@ -71,7 +73,7 @@ func main() {
 		var err error
 		defended[d], err = models[d].DefendHybrid(shardX[d], shardY[d], 0.4, 2)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "hybrid defense failed", "device", d, "err", err)
 		}
 		acc, _ := defended[d].Accuracy(ds.TestX, ds.TestY)
 		leak := aggregatorAttack(defended[d], shardX[d], ds)
@@ -93,17 +95,17 @@ func main() {
 func aggregatorAttack(m *prid.Model, privateShard [][]float64, ds *dataset.Dataset) float64 {
 	attacker, err := prid.NewAttacker(m)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "aggregator attacker setup failed", "err", err)
 	}
 	var scores []float64
 	for i := 0; i < 5 && i < len(ds.TestX); i++ {
 		recon, err := attacker.Reconstruct(ds.TestX[i])
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "reconstruction failed", "query", i, "err", err)
 		}
 		s, err := prid.MeasureLeakage(privateShard, ds.TestX[i], recon.Data)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "leakage measurement failed", "query", i, "err", err)
 		}
 		scores = append(scores, s)
 	}

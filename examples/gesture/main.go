@@ -9,13 +9,15 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	"prid/internal/hdc"
+	"prid/internal/obs"
 	"prid/internal/report"
 	"prid/internal/rng"
 	"prid/internal/vecmath"
 )
+
+var logger = obs.Logger("examples/gesture")
 
 const (
 	stepFeatures = 12 // accelerometer-style channels per time step
@@ -121,7 +123,7 @@ func main() {
 	}
 	psnr := vecmath.PSNR(testX[0], recovered)
 	if psnr < 10 {
-		log.Fatalf("unexpectedly poor decode: %.1f dB", psnr)
+		obs.Fatal(logger, "unexpectedly poor decode", "psnr_db", psnr)
 	}
 	fmt.Printf("analytical decode of one encoded gesture window: %.1f dB PSNR\n", psnr)
 	fmt.Println("the shared model exposes the raw sensor stream — the PRID defenses apply here too.")

@@ -8,13 +8,15 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	"prid"
 	"prid/internal/dataset"
+	"prid/internal/obs"
 	"prid/internal/report"
 	"prid/internal/vecmath"
 )
+
+var logger = obs.Logger("examples/inversion")
 
 func clamp(v []float64) []float64 {
 	out := vecmath.Clone(v)
@@ -31,14 +33,14 @@ func main() {
 
 	model, err := prid.TrainClassifier(ds.TrainX, ds.TrainY, ds.Classes, prid.WithDimension(2048))
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "training failed", "err", err)
 	}
 	acc, _ := model.Accuracy(ds.TestX, ds.TestY)
 	fmt.Printf("shared HDC model: D=%d, test accuracy %.1f%%\n\n", model.Dimension(), acc*100)
 
 	attacker, err := prid.NewAttacker(model, prid.WithAttackIterations(6))
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "attacker setup failed", "err", err)
 	}
 
 	// Stage 1 — the model alone leaks each class's shape: decoding a class
@@ -48,7 +50,7 @@ func main() {
 	for c := 0; c < 5; c++ {
 		decoded, err := attacker.DecodeClass(c)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "class decode failed", "class", c, "err", err)
 		}
 		panels = append(panels, fmt.Sprintf("class %d\n%s", c, report.RenderImage(clamp(decoded), w, h)))
 	}
@@ -69,7 +71,7 @@ func main() {
 	q := ds.TestX[0]
 	recon, err := attacker.Reconstruct(q)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "reconstruction failed", "err", err)
 	}
 	// Locate the real train sample the reconstruction landed nearest to.
 	best, bestMSE := 0, vecmath.MSE(recon.Data, ds.TrainX[0])

@@ -8,13 +8,15 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	"prid"
 	"prid/internal/dataset"
+	"prid/internal/obs"
 	"prid/internal/report"
 	"prid/internal/rng"
 )
+
+var logger = obs.Logger("examples/membership")
 
 func main() {
 	cfg := dataset.DefaultConfig()
@@ -24,7 +26,7 @@ func main() {
 
 	model, err := prid.TrainClassifier(ds.TrainX, ds.TrainY, ds.Classes, prid.WithDimension(2048))
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "training failed", "err", err)
 	}
 	acc, _ := model.Accuracy(ds.TestX, ds.TestY)
 	fmt.Printf("shared FACE model: test accuracy %.1f%%\n\n", acc*100)
@@ -43,11 +45,11 @@ func main() {
 	auc := func(m *prid.Model, nonMembers [][]float64) float64 {
 		a, err := prid.NewAttacker(m)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "attacker setup failed", "err", err)
 		}
 		v, err := a.MembershipAUC(members, nonMembers)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "membership AUC failed", "err", err)
 		}
 		return v
 	}
@@ -66,7 +68,7 @@ func main() {
 	} {
 		defended, err := d.run()
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "defense failed", "defense", d.name, "err", err)
 		}
 		t.AddRow(d.name, report.F(auc(defended, random)), report.F(auc(defended, ds.TestX[:40])))
 	}

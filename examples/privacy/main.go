@@ -8,13 +8,15 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	"prid"
 	"prid/internal/dataset"
+	"prid/internal/obs"
 	"prid/internal/report"
 	"prid/internal/vecmath"
 )
+
+var logger = obs.Logger("examples/privacy")
 
 func main() {
 	cfg := dataset.DefaultConfig()
@@ -24,7 +26,7 @@ func main() {
 
 	model, err := prid.TrainClassifier(ds.TrainX, ds.TrainY, ds.Classes, prid.WithDimension(2048))
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "training failed", "err", err)
 	}
 	baseAcc, _ := model.Accuracy(ds.TestX, ds.TestY)
 	baseLeak := meanLeakage(model, ds)
@@ -51,7 +53,7 @@ func main() {
 	for _, f := range []float64{0.2, 0.4, 0.6} {
 		defended, err := model.DefendNoise(ds.TrainX, ds.TrainY, f)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "noise defense failed", "fraction", f, "err", err)
 		}
 		row(noise, report.Pct(f), defended)
 	}
@@ -62,7 +64,7 @@ func main() {
 	for _, bits := range []int{8, 4, 2, 1} {
 		defended, err := model.DefendQuantize(ds.TrainX, ds.TrainY, bits)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "quantize defense failed", "bits", bits, "err", err)
 		}
 		row(quantT, report.I(bits), defended)
 	}
@@ -76,7 +78,7 @@ func main() {
 	}{{0.2, 4}, {0.4, 2}, {0.6, 1}} {
 		defended, err := model.DefendHybrid(ds.TrainX, ds.TrainY, s.f, s.bits)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "hybrid defense failed", "fraction", s.f, "bits", s.bits, "err", err)
 		}
 		row(hybrid, fmt.Sprintf("%.0f%% + %d-bit", s.f*100, s.bits), defended)
 	}
@@ -87,17 +89,17 @@ func main() {
 func meanLeakage(m *prid.Model, ds *dataset.Dataset) float64 {
 	attacker, err := prid.NewAttacker(m)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "attacker setup failed", "err", err)
 	}
 	var scores []float64
 	for i := 0; i < 5 && i < len(ds.TestX); i++ {
 		recon, err := attacker.Reconstruct(ds.TestX[i])
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "reconstruction failed", "query", i, "err", err)
 		}
 		s, err := prid.MeasureLeakage(ds.TrainX, ds.TestX[i], recon.Data)
 		if err != nil {
-			log.Fatal(err)
+			obs.Fatal(logger, "leakage measurement failed", "query", i, "err", err)
 		}
 		scores = append(scores, s)
 	}

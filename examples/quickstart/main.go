@@ -6,11 +6,13 @@ package main
 
 import (
 	"fmt"
-	"log"
 
 	"prid"
 	"prid/internal/dataset"
+	"prid/internal/obs"
 )
+
+var logger = obs.Logger("examples/quickstart")
 
 func main() {
 	// 1. A workload: the synthetic UCIHAR stand-in (561 features, 12
@@ -21,7 +23,7 @@ func main() {
 	model, err := prid.TrainClassifier(ds.TrainX, ds.TrainY, ds.Classes,
 		prid.WithDimension(2048), prid.WithSeed(42))
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "training failed", "err", err)
 	}
 	acc, _ := model.Accuracy(ds.TestX, ds.TestY)
 	fmt.Printf("trained HDC model: n=%d D=%d k=%d, test accuracy %.1f%%\n",
@@ -31,7 +33,7 @@ func main() {
 	// participants have) can attack it.
 	attacker, err := prid.NewAttacker(model)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "attacker setup failed", "err", err)
 	}
 	query := ds.TestX[0]
 	class, sim, _ := attacker.Membership(query)
@@ -39,7 +41,7 @@ func main() {
 
 	recon, err := attacker.Reconstruct(query)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "reconstruction failed", "err", err)
 	}
 	leakRecon, _ := prid.MeasureLeakage(ds.TrainX, query, recon.Data)
 	fmt.Printf("reconstruction leakage Δ = %.3f (0 = reveals nothing, 1 = as good as real train data)\n", leakRecon)
@@ -48,7 +50,7 @@ func main() {
 	// quantization) and attack again.
 	defended, err := model.DefendHybrid(ds.TrainX, ds.TrainY, 0.4, 2)
 	if err != nil {
-		log.Fatal(err)
+		obs.Fatal(logger, "hybrid defense failed", "err", err)
 	}
 	dAcc, _ := defended.Accuracy(ds.TestX, ds.TestY)
 	dAttacker, _ := prid.NewAttacker(defended)

@@ -33,6 +33,7 @@ package attack
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"prid/internal/decode"
 	"prid/internal/hdc"
@@ -51,6 +52,7 @@ type Membership struct {
 
 // CheckMembership encodes the query and scores it against every class.
 func CheckMembership(m *hdc.Model, enc hdc.Encoder, query []float64) Membership {
+	metricMembershipChecks.Inc()
 	h := enc.Encode(query)
 	class, sims := m.Classify(h)
 	return Membership{Class: class, Similarity: sims[class], Similarities: sims}
@@ -158,6 +160,7 @@ func (r *Reconstructor) maskedFeatureSims(c, h, features []float64) []float64 {
 // features that stopped (or started) being evidence.
 func (r *Reconstructor) FeatureReplacement(query []float64, cfg Config) Result {
 	cfg.validate()
+	metricFeaturePasses.Inc()
 	n := r.basis.Features()
 	if len(query) != n {
 		panic(fmt.Sprintf("attack: query has %d features, basis %d", len(query), n))
@@ -213,6 +216,7 @@ func (r *Reconstructor) FeatureReplacement(query []float64, cfg Config) Result {
 // back to feature space.
 func (r *Reconstructor) DimensionReplacement(query []float64, cfg Config) Result {
 	cfg.validate()
+	metricDimensionPasses.Inc()
 	if len(query) != r.basis.Features() {
 		panic(fmt.Sprintf("attack: query has %d features, basis %d", len(query), r.basis.Features()))
 	}
@@ -275,6 +279,11 @@ func (r *Reconstructor) DimensionReplacement(query []float64, cfg Config) Result
 // PRID uses dimension-based reconstruction").
 func (r *Reconstructor) Combined(query []float64, cfg Config) Result {
 	cfg.validate()
+	start := time.Now()
+	defer func() {
+		metricReconstructions.Inc()
+		metricReconSecs.ObserveSince(start)
+	}()
 	oneRound := cfg
 	oneRound.Iterations = 1
 	current := vecmath.Clone(query)

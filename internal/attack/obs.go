@@ -1,0 +1,17 @@
+package attack
+
+import (
+	"prid/internal/obs"
+)
+
+// Reconstruction throughput is tracked at the Combined entry point (the
+// paper's attack and the one every evaluation path mounts); the two
+// underlying strategies count passes, which stays meaningful whether they
+// run standalone (Figure 7's per-strategy matrix) or as Combined rounds.
+var (
+	metricReconstructions  = obs.GetCounter("attack.reconstructions")
+	metricReconSecs        = obs.GetHistogram("attack.recon.seconds", nil)
+	metricFeaturePasses    = obs.GetCounter("attack.feature_passes")
+	metricDimensionPasses  = obs.GetCounter("attack.dimension_passes")
+	metricMembershipChecks = obs.GetCounter("attack.membership_checks")
+)

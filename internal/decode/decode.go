@@ -21,9 +21,11 @@ package decode
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"prid/internal/hdc"
 	"prid/internal/nn"
+	"prid/internal/obs"
 	"prid/internal/rng"
 	"prid/internal/vecmath"
 )
@@ -89,6 +91,7 @@ func (it IterativeAnalytical) Decode(h []float64) []float64 {
 	if it.Iterations < 0 || it.Lambda <= 0 {
 		panic("decode: IterativeAnalytical misconfigured")
 	}
+	defer observeDecode(time.Now())
 	one := Analytical{Basis: it.Basis}
 	f := one.Decode(h)
 	reencoded := make([]float64, it.Basis.Dim())
@@ -121,6 +124,13 @@ func NewLeastSquares(b *hdc.Basis, ridge float64) (*LeastSquares, error) {
 	if ridge < 0 {
 		return nil, fmt.Errorf("decode: negative ridge %v", ridge)
 	}
+	span := obs.StartSpan("decode_factor")
+	start := time.Now()
+	defer func() {
+		span.End()
+		metricFactorRuns.Inc()
+		metricFactorSecs.ObserveSince(start)
+	}()
 	gram := b.Matrix().Gram()
 	if ridge > 0 {
 		gram.AddDiagonal(ridge)
@@ -140,8 +150,11 @@ func (ls *LeastSquares) Decode(h []float64) []float64 {
 	if len(h) != ls.basis.Dim() {
 		panic(fmt.Sprintf("decode: LeastSquares.Decode length %d, want %d", len(h), ls.basis.Dim()))
 	}
+	start := time.Now()
 	rhs := ls.basis.Matrix().MulVec(h) // B·H, length n
-	return ls.chol.Solve(rhs)
+	out := ls.chol.Solve(rhs)
+	observeDecode(start)
+	return out
 }
 
 // SGD is the learning-based decoder exactly as the paper describes it: a
@@ -175,6 +188,7 @@ func (s SGD) Decode(h []float64) []float64 {
 	if len(h) != b.Dim() {
 		panic(fmt.Sprintf("decode: SGD.Decode length %d, want %d", len(h), b.Dim()))
 	}
+	defer observeDecode(time.Now())
 	n, d := b.Features(), b.Dim()
 	// Column-major view of the basis: sample j is the j-th element of every
 	// base hypervector.

@@ -1,0 +1,23 @@
+package decode
+
+import (
+	"time"
+
+	"prid/internal/obs"
+)
+
+// Decode calls are per-hypervector, so they get a counter + histogram
+// only; the one-off least-squares factorization is expensive enough to
+// warrant a span.
+var (
+	metricDecodes    = obs.GetCounter("decode.vectors")
+	metricDecodeSecs = obs.GetHistogram("decode.seconds", nil)
+	metricFactorRuns = obs.GetCounter("decode.ls_factorizations")
+	metricFactorSecs = obs.GetHistogram("decode.ls_factor.seconds", nil)
+)
+
+// observeDecode records one Decode call started at start.
+func observeDecode(start time.Time) {
+	metricDecodes.Inc()
+	metricDecodeSecs.ObserveSince(start)
+}

@@ -22,9 +22,11 @@ package defense
 
 import (
 	"fmt"
+	"time"
 
 	"prid/internal/decode"
 	"prid/internal/hdc"
+	"prid/internal/obs"
 	"prid/internal/quant"
 	"prid/internal/rng"
 	"prid/internal/vecmath"
@@ -146,6 +148,8 @@ func (c NoiseConfig) validate() {
 func NoiseInjection(basis *hdc.Basis, model *hdc.Model, dec decode.Decoder,
 	encoded [][]float64, y []int, cfg NoiseConfig) *Result {
 	cfg.validate()
+	span := obs.StartSpan("defend")
+	start := time.Now()
 	src := rng.New(cfg.Seed)
 	defended := model.Clone()
 	res := &Result{}
@@ -168,6 +172,7 @@ func NoiseInjection(basis *hdc.Basis, model *hdc.Model, dec decode.Decoder,
 		}
 	}
 	res.Model = best.model
+	observeDefense(span, start, len(encoded), len(res.History))
 	return res
 }
 
@@ -280,6 +285,8 @@ func (c QuantConfig) validate() {
 // not mutated.
 func IterativeQuantization(model *hdc.Model, encoded [][]float64, y []int, cfg QuantConfig) *Result {
 	cfg.validate()
+	span := obs.StartSpan("defend")
+	start := time.Now()
 	shadow := model.Clone()
 	quantized := quant.Model(shadow, cfg.Bits)
 	res := &Result{Shadow: shadow}
@@ -308,6 +315,7 @@ func IterativeQuantization(model *hdc.Model, encoded [][]float64, y []int, cfg Q
 		}
 	}
 	res.Model = best.model
+	observeDefense(span, start, len(encoded), len(res.History))
 	return res
 }
 
@@ -330,6 +338,8 @@ func Hybrid(basis *hdc.Basis, model *hdc.Model, dec decode.Decoder,
 	encoded [][]float64, y []int, cfg HybridConfig) *Result {
 	cfg.Noise.validate()
 	cfg.Quant.validate()
+	span := obs.StartSpan("defend")
+	start := time.Now()
 	src := rng.New(cfg.Noise.Seed)
 	shadow := model.Clone()
 	quantized := quant.Model(shadow, cfg.Quant.Bits)
@@ -374,5 +384,6 @@ func Hybrid(basis *hdc.Basis, model *hdc.Model, dec decode.Decoder,
 		}
 	}
 	res.Model = best.model
+	observeDefense(span, start, len(encoded), len(res.History))
 	return res
 }

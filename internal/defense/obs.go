@@ -1,0 +1,26 @@
+package defense
+
+import (
+	"time"
+
+	"prid/internal/obs"
+)
+
+// Each defense run opens a "defend" span tagged with the rounds it
+// actually took (samples = train samples × rounds); the round counter
+// lets dashboards separate convergence cost from per-round cost.
+var (
+	metricDefenseRuns   = obs.GetCounter("defense.runs")
+	metricDefenseRounds = obs.GetCounter("defense.rounds")
+	metricDefenseSecs   = obs.GetHistogram("defense.seconds", nil)
+)
+
+// observeDefense closes out one defense run started at start over n
+// training samples and the recorded history length.
+func observeDefense(span *obs.Span, start time.Time, n, rounds int) {
+	span.AddSamples(n * rounds)
+	span.End()
+	metricDefenseRuns.Inc()
+	metricDefenseRounds.Add(int64(rounds))
+	metricDefenseSecs.ObserveSince(start)
+}

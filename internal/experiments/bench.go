@@ -1,0 +1,146 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"prid/internal/dataset"
+	"prid/internal/decode"
+	"prid/internal/hdc"
+	"prid/internal/obs"
+	"prid/internal/rng"
+)
+
+// BenchResult is the machine-readable throughput snapshot written by
+// `prid experiment quick --bench-out FILE`. The throughput numbers are
+// derived from the obs metric deltas accumulated by the benchmark's own
+// pipeline run, so they measure exactly what the instrumentation
+// measures — the file is the perf trajectory anchor future PRs compare
+// against.
+type BenchResult struct {
+	Scale   string `json:"scale"`
+	Dataset string `json:"dataset"`
+	Dim     int    `json:"dim"`
+	Train   int    `json:"train_samples"`
+	Queries int    `json:"queries"`
+
+	EncodeSamples       int64   `json:"encode_samples"`
+	EncodeSeconds       float64 `json:"encode_seconds"`
+	EncodeSamplesPerSec float64 `json:"encode_samples_per_sec"`
+	EncodeMBPerSec      float64 `json:"encode_mb_per_sec"`
+
+	TrainSeconds       float64 `json:"train_seconds"`
+	TrainSamplesPerSec float64 `json:"train_samples_per_sec"`
+
+	RetrainEpochs        int64   `json:"retrain_epochs"`
+	RetrainSeconds       float64 `json:"retrain_seconds"`
+	RetrainSamplesPerSec float64 `json:"retrain_samples_per_sec"`
+
+	Reconstructions    int64   `json:"attack_reconstructions"`
+	AttackSeconds      float64 `json:"attack_seconds"`
+	AttackReconsPerSec float64 `json:"attack_recons_per_sec"`
+	MeanDelta          float64 `json:"attack_mean_delta"`
+
+	Metrics obs.Snapshot `json:"metrics"`
+}
+
+// QuickBench runs the canonical encode → train → retrain → attack
+// pipeline once at the given scale on the MNIST stand-in and reports
+// per-phase throughput from the obs metric deltas.
+func QuickBench(sc Scale) BenchResult {
+	sc.validate()
+	before := obs.Default.Snapshot()
+	span := obs.StartSpan("experiment")
+	defer span.End()
+
+	cfg := dataset.DefaultConfig()
+	cfg.Seed = sc.Seed
+	cfg.TrainSize = sc.TrainSize
+	cfg.TestSize = sc.TestSize
+	ds := dataset.MustLoad("MNIST", cfg)
+	basis := hdc.NewBasis(ds.Features, sc.Dim, rng.New(sc.Seed^0xba515))
+
+	encoded := hdc.EncodeAllParallel(basis, ds.TrainX, 0)
+	model := hdc.TrainEncoded(encoded, ds.TrainY, ds.Classes, sc.Dim)
+	hdc.Retrain(model, encoded, ds.TrainY, 0.1, 5)
+
+	tr := prepareFromParts(ds, basis, model, encoded, sc)
+	outcome := tr.runCombinedAttack(model, tr.ls, sc.AttackIterations)
+
+	after := obs.Default.Snapshot()
+	res := BenchResult{
+		Scale:     sc.Name,
+		Dataset:   ds.Name,
+		Dim:       sc.Dim,
+		Train:     len(ds.TrainX),
+		Queries:   len(tr.queries),
+		MeanDelta: outcome.Delta,
+		Metrics:   after,
+	}
+
+	counterDelta := func(name string) int64 { return after.Counters[name] - before.Counters[name] }
+	histDelta := func(name string) (int64, float64) {
+		a, b := after.Histograms[name], before.Histograms[name]
+		return a.Count - b.Count, a.Sum - b.Sum
+	}
+
+	res.EncodeSamples = counterDelta("hdc.encode.samples")
+	_, res.EncodeSeconds = histDelta("hdc.encode.seconds")
+	res.EncodeSamplesPerSec = obs.Rate(res.EncodeSamples, res.EncodeSeconds)
+	if res.EncodeSeconds > 0 {
+		res.EncodeMBPerSec = float64(counterDelta("hdc.encode.input_floats")) * 8 / 1e6 / res.EncodeSeconds
+	}
+
+	trainSamples := counterDelta("hdc.train.samples")
+	_, res.TrainSeconds = histDelta("hdc.train.seconds")
+	res.TrainSamplesPerSec = obs.Rate(trainSamples, res.TrainSeconds)
+
+	res.RetrainEpochs = counterDelta("hdc.retrain.epochs")
+	_, res.RetrainSeconds = histDelta("hdc.retrain.seconds")
+	res.RetrainSamplesPerSec = obs.Rate(counterDelta("hdc.retrain.samples"), res.RetrainSeconds)
+
+	res.Reconstructions = counterDelta("attack.reconstructions")
+	_, res.AttackSeconds = histDelta("attack.recon.seconds")
+	res.AttackReconsPerSec = obs.Rate(res.Reconstructions, res.AttackSeconds)
+	return res
+}
+
+// prepareFromParts assembles a trained workload from pieces QuickBench
+// already built, reusing runCombinedAttack without re-encoding.
+func prepareFromParts(ds *dataset.Dataset, basis *hdc.Basis, model *hdc.Model,
+	encTr [][]float64, sc Scale) *trained {
+	ridge := 0.0
+	if sc.Dim <= ds.Features {
+		ridge = 0.01 * float64(sc.Dim)
+	}
+	ls, err := decode.NewLeastSquares(basis, ridge)
+	if err != nil {
+		panic(err)
+	}
+	nq := sc.Queries
+	if nq > len(ds.TestX) {
+		nq = len(ds.TestX)
+	}
+	return &trained{
+		ds:      ds,
+		basis:   basis,
+		model:   model,
+		encTr:   encTr,
+		encTe:   basis.EncodeAll(ds.TestX),
+		ls:      ls,
+		queries: ds.TestX[:nq],
+	}
+}
+
+// WriteQuickBench runs QuickBench and writes the result as indented
+// JSON — the `prid experiment quick --bench-out` path.
+func WriteQuickBench(sc Scale, w io.Writer) error {
+	start := time.Now()
+	res := QuickBench(sc)
+	expLogger.Info("benchmark snapshot complete", "scale", sc.Name,
+		"elapsed", time.Since(start).Round(time.Millisecond).String())
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}

@@ -15,6 +15,7 @@ package experiments
 
 import (
 	"fmt"
+	"time"
 
 	"prid/internal/attack"
 	"prid/internal/dataset"
@@ -90,6 +91,11 @@ type trained struct {
 // dimension dim, and factors the learning-based decoder.
 func prepare(name string, sc Scale, dim int) *trained {
 	sc.validate()
+	start := time.Now()
+	defer func() {
+		expLogger.Debug("workload prepared", "dataset", name, "dim", dim,
+			"elapsed", time.Since(start).Round(time.Millisecond).String())
+	}()
 	cfg := dataset.DefaultConfig()
 	cfg.Seed = sc.Seed
 	cfg.TrainSize = sc.TrainSize
@@ -153,14 +159,20 @@ func (tr *trained) runCombinedAttack(m *hdc.Model, dec decode.Decoder, iteration
 	rec := attack.NewReconstructor(tr.basis, m, dec)
 	cfg := attackConfig(iterations)
 	var deltas, psnrs []float64
-	for _, q := range tr.queries {
+	for qi, q := range tr.queries {
+		trialStart := time.Now()
 		res := rec.Combined(q, cfg)
-		deltas = append(deltas, metrics.MeasureLeakage(tr.ds.TrainX, q, res.Recon, metrics.TopKNearest).Score())
+		delta := metrics.MeasureLeakage(tr.ds.TrainX, q, res.Recon, metrics.TopKNearest).Score()
+		deltas = append(deltas, delta)
 		p := vecmath.PSNR(q, res.Recon)
 		if p > metrics.PSNRCap {
 			p = metrics.PSNRCap
 		}
 		psnrs = append(psnrs, p)
+		metricTrialsTotal.Inc()
+		metricTrialSecs.ObserveSince(trialStart)
+		expLogger.Debug("attack trial", "dataset", tr.ds.Name, "query", qi,
+			"delta", delta, "elapsed", time.Since(trialStart).Round(time.Microsecond).String())
 	}
 	return attackOutcome{Delta: vecmath.Mean(deltas), PSNR: vecmath.Mean(psnrs)}
 }

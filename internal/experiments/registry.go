@@ -4,9 +4,37 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 
+	"prid/internal/obs"
 	"prid/internal/report"
 )
+
+// Observability hooks for the experiment harness: every registered run
+// opens an "experiment" span (the pipeline spans of its workload —
+// encode/train/retrain/decode/attack/defend — nest underneath), logs
+// per-figure progress, and feeds per-run timing into the registry.
+var (
+	expLogger         = obs.Logger("experiments")
+	metricExpRuns     = obs.GetCounter("experiments.runs")
+	metricExpSecs     = obs.GetHistogram("experiments.seconds", nil)
+	metricTrialSecs   = obs.GetHistogram("experiments.trial.seconds", nil)
+	metricTrialsTotal = obs.GetCounter("experiments.trials")
+)
+
+// observedRun wraps one experiment execution in its span + log pair.
+func observedRun(id string, sc Scale, runner Runner) Renderable {
+	span := obs.StartSpan("experiment")
+	start := time.Now()
+	expLogger.Info("experiment starting", "id", id, "scale", sc.Name, "dim", sc.Dim)
+	res := runner(sc)
+	span.End()
+	metricExpRuns.Inc()
+	metricExpSecs.ObserveSince(start)
+	expLogger.Info("experiment done", "id", id, "scale", sc.Name,
+		"elapsed", time.Since(start).Round(time.Millisecond).String())
+	return res
+}
 
 // Renderable is any experiment result that can print its paper
 // table/figure.
@@ -74,7 +102,7 @@ func RunSVG(id string, sc Scale, w io.Writer) error {
 	if !ok {
 		return fmt.Errorf("experiments: unknown experiment %q (valid: %v)", id, IDs())
 	}
-	res := runner(sc)
+	res := observedRun(id, sc, runner)
 	charter, ok := res.(Charter)
 	if !ok {
 		return fmt.Errorf("experiments: %s has no chart form (tables/visuals only)", id)
@@ -105,7 +133,7 @@ func run(id string, sc Scale, w io.Writer, format outputFormat) error {
 	if !ok {
 		return fmt.Errorf("experiments: unknown experiment %q (valid: %v)", id, IDs())
 	}
-	res := runner(sc)
+	res := observedRun(id, sc, runner)
 	switch format {
 	case formatCSV:
 		return res.Table().WriteCSV(w)

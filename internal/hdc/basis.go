@@ -14,7 +14,9 @@ package hdc
 
 import (
 	"fmt"
+	"time"
 
+	"prid/internal/obs"
 	"prid/internal/rng"
 	"prid/internal/vecmath"
 )
@@ -97,10 +99,13 @@ func (b *Basis) EncodeInto(dst, features []float64) {
 
 // EncodeAll encodes every row of X, returning one hypervector per sample.
 func (b *Basis) EncodeAll(x [][]float64) [][]float64 {
+	span := obs.StartSpan("encode")
+	start := time.Now()
 	out := make([][]float64, len(x))
 	for i, f := range x {
 		out[i] = b.Encode(f)
 	}
+	observeEncodeBatch(start, len(x), b.n, 1, span)
 	return out
 }
 

@@ -1,0 +1,40 @@
+package hdc
+
+import (
+	"time"
+
+	"prid/internal/obs"
+)
+
+// Metric handles, resolved once so the batch paths pay a single atomic
+// add per event. Encoding is instrumented at batch granularity
+// (EncodeAll/EncodeAllParallel), never per sample: a per-sample hook
+// would cost more than the Axpy loop it measures for small n.
+var (
+	metricEncodeSamples = obs.GetCounter("hdc.encode.samples")
+	metricEncodeFloats  = obs.GetCounter("hdc.encode.input_floats")
+	metricEncodeBatches = obs.GetCounter("hdc.encode.batches")
+	metricEncodeSecs    = obs.GetHistogram("hdc.encode.seconds", nil)
+
+	metricTrainSamples = obs.GetCounter("hdc.train.samples")
+	metricTrainRuns    = obs.GetCounter("hdc.train.runs")
+	metricTrainSecs    = obs.GetHistogram("hdc.train.seconds", nil)
+
+	metricRetrainEpochs  = obs.GetCounter("hdc.retrain.epochs")
+	metricRetrainSamples = obs.GetCounter("hdc.retrain.samples")
+	metricRetrainUpdates = obs.GetCounter("hdc.retrain.updates")
+	metricRetrainSecs    = obs.GetHistogram("hdc.retrain.seconds", nil)
+)
+
+// observeEncodeBatch closes out one encode batch started at start: n
+// samples of the given feature width, encoded by workers goroutines,
+// under an "encode" span.
+func observeEncodeBatch(start time.Time, n, features, workers int, span *obs.Span) {
+	span.AddSamples(n)
+	span.SetWorkers(workers)
+	span.End()
+	metricEncodeSecs.ObserveSince(start)
+	metricEncodeBatches.Inc()
+	metricEncodeSamples.Add(int64(n))
+	metricEncodeFloats.Add(int64(n) * int64(features))
+}

@@ -3,6 +3,10 @@ package hdc
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"prid/internal/obs"
 )
 
 // EncodeAllParallel encodes every row of x using up to workers goroutines
@@ -11,6 +15,11 @@ import (
 // (encoder, row), so parallelism cannot perturb determinism. Encoding is
 // the dominant cost of training and of every experiment sweep — O(n·D)
 // per sample with perfect sample-level parallelism.
+//
+// Work is distributed through a shared atomic cursor rather than a
+// pre-filled index channel: claiming a sample is one atomic add instead
+// of a channel receive, and the O(len(x)) buffered-channel setup (fill,
+// allocate, close) disappears entirely.
 func EncodeAllParallel(enc Encoder, x [][]float64, workers int) [][]float64 {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -18,28 +27,32 @@ func EncodeAllParallel(enc Encoder, x [][]float64, workers int) [][]float64 {
 	if workers > len(x) {
 		workers = len(x)
 	}
+	span := obs.StartSpan("encode")
+	start := time.Now()
 	out := make([][]float64, len(x))
 	if workers <= 1 {
 		for i, f := range x {
 			out[i] = enc.Encode(f)
 		}
+		observeEncodeBatch(start, len(x), enc.Features(), 1, span)
 		return out
 	}
 	var wg sync.WaitGroup
-	next := make(chan int, len(x))
-	for i := range x {
-		next <- i
-	}
-	close(next)
+	var next atomic.Int64
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for i := range next {
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(x) {
+					return
+				}
 				out[i] = enc.Encode(x[i])
 			}
 		}()
 	}
 	wg.Wait()
+	observeEncodeBatch(start, len(x), enc.Features(), workers, span)
 	return out
 }

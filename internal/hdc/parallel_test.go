@@ -1,6 +1,7 @@
 package hdc
 
 import (
+	"runtime"
 	"testing"
 
 	"prid/internal/rng"
@@ -25,6 +26,37 @@ func TestEncodeAllParallelMatchesSequential(t *testing.T) {
 		for i := range seq {
 			if vecmath.MSE(seq[i], par[i]) != 0 {
 				t.Fatalf("workers=%d: row %d differs from sequential", workers, i)
+			}
+		}
+	}
+}
+
+// TestEncodeAllParallelAtomicCursorRegression pins the worker-queue
+// rewrite (pre-filled index channel → shared atomic cursor): output must
+// stay bit-identical to sequential for every worker-count regime,
+// including degenerate (0 → GOMAXPROCS, 1 → sequential path) and
+// over-provisioned (workers > len(x)) setups.
+func TestEncodeAllParallelAtomicCursorRegression(t *testing.T) {
+	src := rng.New(63)
+	basis := NewBasis(48, 768, src)
+	x := make([][]float64, 53) // prime count: uneven split for every worker count
+	for i := range x {
+		f := make([]float64, 48)
+		src.FillNorm(f)
+		x[i] = f
+	}
+	seq := basis.EncodeAll(x)
+	for _, workers := range []int{0, 1, 3, runtime.GOMAXPROCS(0), len(x) + 7} {
+		par := EncodeAllParallel(basis, x, workers)
+		if len(par) != len(seq) {
+			t.Fatalf("workers=%d: got %d rows, want %d", workers, len(par), len(seq))
+		}
+		for i := range seq {
+			for j := range seq[i] {
+				if par[i][j] != seq[i][j] {
+					t.Fatalf("workers=%d: row %d dim %d: %v != %v (not bit-identical)",
+						workers, i, j, par[i][j], seq[i][j])
+				}
 			}
 		}
 	}

@@ -2,7 +2,9 @@ package hdc
 
 import (
 	"fmt"
+	"time"
 
+	"prid/internal/obs"
 	"prid/internal/vecmath"
 )
 
@@ -13,6 +15,15 @@ func Train(enc Encoder, x [][]float64, y []int, k int) *Model {
 	if len(x) != len(y) {
 		panic(fmt.Sprintf("hdc: Train with %d samples but %d labels", len(x), len(y)))
 	}
+	span := obs.StartSpan("train")
+	start := time.Now()
+	defer func() {
+		span.AddSamples(len(x))
+		span.End()
+		metricTrainSecs.ObserveSince(start)
+		metricTrainRuns.Inc()
+		metricTrainSamples.Add(int64(len(x)))
+	}()
 	m := NewModel(k, enc.Dim())
 	h := make([]float64, enc.Dim())
 	for i, f := range x {
@@ -32,10 +43,17 @@ func TrainEncoded(encoded [][]float64, y []int, k, d int) *Model {
 	if len(encoded) != len(y) {
 		panic(fmt.Sprintf("hdc: TrainEncoded with %d samples but %d labels", len(encoded), len(y)))
 	}
+	span := obs.StartSpan("train")
+	start := time.Now()
 	m := NewModel(k, d)
 	for i, h := range encoded {
 		m.Bundle(y[i], h)
 	}
+	span.AddSamples(len(encoded))
+	span.End()
+	metricTrainSecs.ObserveSince(start)
+	metricTrainRuns.Inc()
+	metricTrainSamples.Add(int64(len(encoded)))
 	return m
 }
 
@@ -52,12 +70,17 @@ func RetrainEpoch(m *Model, encoded [][]float64, y []int, alpha float64) int {
 			errs++
 		}
 	}
+	metricRetrainEpochs.Inc()
+	metricRetrainSamples.Add(int64(len(encoded)))
+	metricRetrainUpdates.Add(int64(errs))
 	return errs
 }
 
 // Retrain runs RetrainEpoch up to maxEpochs times, stopping early once an
 // epoch is error-free. It returns the per-epoch error counts.
 func Retrain(m *Model, encoded [][]float64, y []int, alpha float64, maxEpochs int) []int {
+	span := obs.StartSpan("retrain")
+	start := time.Now()
 	var history []int
 	for e := 0; e < maxEpochs; e++ {
 		errs := RetrainEpoch(m, encoded, y, alpha)
@@ -66,6 +89,9 @@ func Retrain(m *Model, encoded [][]float64, y []int, alpha float64, maxEpochs in
 			break
 		}
 	}
+	span.AddSamples(len(encoded) * len(history))
+	span.End()
+	metricRetrainSecs.ObserveSince(start)
 	return history
 }
 
@@ -120,6 +146,15 @@ func AdaptiveTrainEncoded(encoded [][]float64, y []int, k, d int, alpha float64)
 	if alpha <= 0 {
 		panic(fmt.Sprintf("hdc: AdaptiveTrainEncoded with non-positive alpha %v", alpha))
 	}
+	span := obs.StartSpan("train")
+	start := time.Now()
+	defer func() {
+		span.AddSamples(len(encoded))
+		span.End()
+		metricTrainSecs.ObserveSince(start)
+		metricTrainRuns.Inc()
+		metricTrainSamples.Add(int64(len(encoded)))
+	}()
 	m := NewModel(k, d)
 	for i, h := range encoded {
 		if y[i] < 0 || y[i] >= k {

@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// DebugServer serves /debug/vars (expvar, including the prid_metrics
+// snapshot) and /debug/pprof/* on a dedicated listener. It is what the
+// CLI's --metrics-addr flag starts.
+type DebugServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// ServeDebug binds addr (":0" picks a free port), publishes the Default
+// registry to expvar, and serves the debug endpoints in a background
+// goroutine until Close.
+func ServeDebug(addr string) (*DebugServer, error) {
+	PublishExpvar()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	d := &DebugServer{
+		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
+		ln:  ln,
+	}
+	go d.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	return d, nil
+}
+
+// Addr returns the bound address (resolving ":0" to the real port).
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (d *DebugServer) Close() error { return d.srv.Close() }

@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"os"
+	"strings"
+	"sync"
+)
+
+// levelVar is the process-wide log level, adjustable at runtime (the CLI
+// --log-level flag) and seeded from PRID_LOG_LEVEL at init.
+var levelVar = func() *slog.LevelVar {
+	lv := &slog.LevelVar{}
+	lv.Set(slog.LevelInfo)
+	if env := os.Getenv("PRID_LOG_LEVEL"); env != "" {
+		if l, err := ParseLevel(env); err == nil {
+			lv.Set(l)
+		} else {
+			fmt.Fprintf(os.Stderr, "obs: ignoring PRID_LOG_LEVEL=%q: %v\n", env, err)
+		}
+	}
+	return lv
+}()
+
+var (
+	logMu   sync.RWMutex
+	logBase = slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: levelVar}))
+)
+
+// ParseLevel maps the conventional level names to slog levels.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (debug, info, warn, error)", s)
+}
+
+// SetLevel adjusts the shared log level at runtime.
+func SetLevel(l slog.Level) { levelVar.Set(l) }
+
+// Level returns the current shared log level.
+func Level() slog.Level { return levelVar.Level() }
+
+// SetLogOutput redirects the shared logger (used by tests to capture
+// output). The level var is preserved.
+func SetLogOutput(w io.Writer) {
+	logMu.Lock()
+	logBase = slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: levelVar}))
+	logMu.Unlock()
+}
+
+// Logger returns the shared structured logger scoped to a component
+// ("hdc", "experiments", "cmd/prid", "examples/quickstart", ...). All
+// loggers share one level and one output.
+func Logger(component string) *slog.Logger {
+	logMu.RLock()
+	defer logMu.RUnlock()
+	return logBase.With(slog.String("component", component))
+}
+
+// Fatal logs msg (with the usual alternating key/value args) at error
+// level and exits with status 1 — the slog replacement for log.Fatal in
+// the examples.
+func Fatal(l *slog.Logger, msg string, args ...any) {
+	l.Error(msg, args...)
+	os.Exit(1)
+}

@@ -1,0 +1,306 @@
+// Package obs is the observability substrate of the PRID reproduction:
+// a concurrency-safe metrics registry (counters, gauges, fixed-bucket
+// histograms) published through expvar, span-style phase tracing for the
+// pipeline stages (encode / train / retrain / decode / attack / defend /
+// experiment), a shared log/slog logger with per-component keys, and a
+// debug HTTP server exposing /debug/vars and net/http/pprof.
+//
+// The package is stdlib-only and dependency-free within the module, so
+// every layer (internal/hdc, internal/attack, internal/decode,
+// internal/defense, internal/experiments, the facade, and cmd/prid) can
+// import it without cycles.
+//
+// Hot-path discipline: instrument at batch granularity. Callers resolve
+// metric handles once (package-level vars) and the increment operations
+// are single atomic adds — no map lookups, no allocation, no locks on the
+// hot path.
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing int64. The zero value is ready to
+// use, and all methods are safe for concurrent use.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (negative n is a programming error but is not checked on the
+// hot path).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a float64 that can go up and down (worker counts, last-seen
+// throughput). The zero value is ready to use.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram counts observations into fixed buckets (cumulative style:
+// bucket i counts observations ≤ Bounds[i]; one extra implicit +Inf
+// bucket catches the rest). Sum and Count track the running total so
+// callers can derive means and rates. All methods are safe for concurrent
+// use and allocation-free.
+type Histogram struct {
+	bounds []float64 // sorted upper bounds; immutable after construction
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// newHistogram builds a histogram over the given sorted upper bounds.
+func newHistogram(bounds []float64) *Histogram {
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Linear scan: bucket lists are short (≤ ~16) and the branch predictor
+	// beats binary search at that size.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start — the idiom for
+// timing a phase: defer'd or explicit h.ObserveSince(t0).
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the running total of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// Mean returns Sum/Count (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return h.Sum() / float64(n)
+}
+
+// DurationBuckets covers 100µs … ~100s in roughly 3× steps — wide enough
+// for both a single Encode batch and a paper-scale experiment sweep.
+var DurationBuckets = []float64{
+	0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 100,
+}
+
+// Registry is a named collection of metrics. Get-or-create accessors make
+// registration implicit; handles should be resolved once and cached by
+// the instrumented package.
+type Registry struct {
+	mu         sync.RWMutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		histograms: make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the histogram registered under name, creating it with
+// the given bucket bounds on first use (later calls may pass nil bounds;
+// mismatched bounds on an existing histogram are ignored — the first
+// registration wins).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	r.mu.RLock()
+	h, ok := r.histograms[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.histograms[name]; ok {
+		return h
+	}
+	if len(bounds) == 0 {
+		bounds = DurationBuckets
+	}
+	h = newHistogram(bounds)
+	r.histograms[name] = h
+	return h
+}
+
+// HistogramSnapshot is the JSON form of one histogram.
+type HistogramSnapshot struct {
+	Count   int64         `json:"count"`
+	Sum     float64       `json:"sum"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// BucketCount is one (upper bound, count) pair; the +Inf bucket is
+// serialized with UpperBound = null (JSON has no infinity).
+type BucketCount struct {
+	UpperBound *float64 `json:"le"`
+	Count      int64    `json:"count"`
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry; it
+// marshals to stable JSON (sorted keys via map marshaling).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Gauges     map[string]float64           `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the current value of every registered metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.histograms)),
+	}
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
+	}
+	for name, h := range r.histograms {
+		hs := HistogramSnapshot{Count: h.Count(), Sum: h.Sum()}
+		for i := range h.counts {
+			n := h.counts[i].Load()
+			if n == 0 {
+				continue
+			}
+			var le *float64
+			if i < len(h.bounds) {
+				le = &h.bounds[i]
+			}
+			hs.Buckets = append(hs.Buckets, BucketCount{UpperBound: le, Count: n})
+		}
+		s.Histograms[name] = hs
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// Default is the process-wide registry every instrumented package uses.
+var Default = NewRegistry()
+
+// GetCounter resolves a counter in the Default registry.
+func GetCounter(name string) *Counter { return Default.Counter(name) }
+
+// GetGauge resolves a gauge in the Default registry.
+func GetGauge(name string) *Gauge { return Default.Gauge(name) }
+
+// GetHistogram resolves a histogram in the Default registry (nil bounds
+// select DurationBuckets).
+func GetHistogram(name string, bounds []float64) *Histogram {
+	return Default.Histogram(name, bounds)
+}
+
+var publishOnce sync.Once
+
+// PublishExpvar exposes the Default registry's snapshot as the expvar
+// variable "prid_metrics" (and thus on /debug/vars). Safe to call more
+// than once; only the first call registers.
+func PublishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("prid_metrics", expvar.Func(func() any {
+			return Default.Snapshot()
+		}))
+	})
+}
+
+// Rate returns n/seconds, guarding the divide (0 when seconds ≤ 0).
+func Rate(n int64, seconds float64) float64 {
+	if seconds <= 0 {
+		return 0
+	}
+	return float64(n) / seconds
+}
+
+// FormatRate renders a rate with a unit for end-of-run summaries, e.g.
+// "12345.6 samples/s".
+func FormatRate(n int64, seconds float64, unit string) string {
+	return fmt.Sprintf("%.1f %s/s", Rate(n, seconds), unit)
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test.counter")
+	const goroutines, perG = 16, 1000
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != goroutines*perG {
+		t.Fatalf("counter = %d, want %d", got, goroutines*perG)
+	}
+	// The registry hands back the same instance.
+	if r.Counter("test.counter") != c {
+		t.Fatal("registry returned a different counter for the same name")
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test.gauge")
+	g.Set(3.25)
+	if got := g.Value(); got != 3.25 {
+		t.Fatalf("gauge = %v, want 3.25", got)
+	}
+	g.Set(-1)
+	if got := g.Value(); got != -1 {
+		t.Fatalf("gauge = %v, want -1", got)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test.hist", []float64{1, 2, 4})
+	const goroutines, perG = 8, 500
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(g%5) + 0.5) // values 0.5, 1.5, 2.5, 3.5, 4.5
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*perG {
+		t.Fatalf("count = %d, want %d", got, goroutines*perG)
+	}
+	// Each goroutine contributes perG observations of (g%5)+0.5.
+	wantSum := 0.0
+	for g := 0; g < goroutines; g++ {
+		wantSum += perG * (float64(g%5) + 0.5)
+	}
+	if got := h.Sum(); math.Abs(got-wantSum) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", got, wantSum)
+	}
+	if got := h.Mean(); math.Abs(got-wantSum/float64(goroutines*perG)) > 1e-9 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestHistogramBucketAssignment(t *testing.T) {
+	h := newHistogram([]float64{1, 10})
+	h.Observe(0.5)  // ≤ 1
+	h.Observe(1)    // ≤ 1 (inclusive upper bound)
+	h.Observe(5)    // ≤ 10
+	h.Observe(1000) // overflow
+	want := []int64{2, 1, 1}
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a.count").Add(7)
+	r.Gauge("b.gauge").Set(2.5)
+	h := r.Histogram("c.hist", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(50)
+
+	var buf bytes.Buffer
+	if err := r.Snapshot().WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("snapshot JSON does not round-trip: %v", err)
+	}
+	if back.Counters["a.count"] != 7 {
+		t.Fatalf("counter lost in round trip: %+v", back.Counters)
+	}
+	if back.Gauges["b.gauge"] != 2.5 {
+		t.Fatalf("gauge lost in round trip: %+v", back.Gauges)
+	}
+	hs := back.Histograms["c.hist"]
+	if hs.Count != 2 || hs.Sum != 50.5 {
+		t.Fatalf("histogram lost in round trip: %+v", hs)
+	}
+	// The overflow bucket survives with a null upper bound.
+	foundInf := false
+	for _, b := range hs.Buckets {
+		if b.UpperBound == nil {
+			foundInf = true
+			if b.Count != 1 {
+				t.Fatalf("+Inf bucket count = %d, want 1", b.Count)
+			}
+		}
+	}
+	if !foundInf {
+		t.Fatal("overflow bucket missing from snapshot")
+	}
+}
+
+func TestRegistryGetOrCreateConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	const goroutines = 16
+	counters := make([]*Counter, goroutines)
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			counters[g] = r.Counter("same.name")
+			counters[g].Inc()
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < goroutines; g++ {
+		if counters[g] != counters[0] {
+			t.Fatal("concurrent get-or-create returned distinct counters")
+		}
+	}
+	if got := counters[0].Value(); got != goroutines {
+		t.Fatalf("counter = %d, want %d", got, goroutines)
+	}
+}
+
+func TestRate(t *testing.T) {
+	if got := Rate(100, 2); got != 50 {
+		t.Fatalf("Rate = %v, want 50", got)
+	}
+	if got := Rate(100, 0); got != 0 {
+		t.Fatalf("Rate with zero seconds = %v, want 0", got)
+	}
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug":     slog.LevelDebug,
+		"info":      slog.LevelInfo,
+		"WARN":      slog.LevelWarn,
+		" warning ": slog.LevelWarn,
+		"error":     slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Fatalf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatal("ParseLevel accepted garbage")
+	}
+}
+
+func TestLoggerComponentKeyAndLevel(t *testing.T) {
+	var buf bytes.Buffer
+	SetLogOutput(&buf)
+	defer SetLogOutput(io.Discard)
+	prev := Level()
+	defer SetLevel(prev)
+
+	SetLevel(slog.LevelInfo)
+	l := Logger("hdc")
+	l.Debug("hidden")
+	l.Info("visible", "samples", 42)
+	out := buf.String()
+	if strings.Contains(out, "hidden") {
+		t.Fatalf("debug line emitted at info level:\n%s", out)
+	}
+	if !strings.Contains(out, "component=hdc") || !strings.Contains(out, "samples=42") {
+		t.Fatalf("missing component/attrs:\n%s", out)
+	}
+
+	buf.Reset()
+	SetLevel(slog.LevelDebug)
+	l.Debug("now visible")
+	if !strings.Contains(buf.String(), "now visible") {
+		t.Fatalf("debug line suppressed at debug level:\n%s", buf.String())
+	}
+}
+
+func TestServeDebugEndpoints(t *testing.T) {
+	d, err := ServeDebug("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	GetCounter("http.test.counter").Add(3)
+
+	resp, err := http.Get("http://" + d.Addr() + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/vars: status %d err %v", resp.StatusCode, err)
+	}
+	var vars map[string]json.RawMessage
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := vars["prid_metrics"]; !ok {
+		t.Fatalf("prid_metrics missing from /debug/vars (keys: %d)", len(vars))
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(vars["prid_metrics"], &snap); err != nil {
+		t.Fatalf("prid_metrics is not a Snapshot: %v", err)
+	}
+	if snap.Counters["http.test.counter"] < 3 {
+		t.Fatalf("counter missing from published snapshot: %+v", snap.Counters)
+	}
+
+	resp, err = http.Get("http://" + d.Addr() + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/pprof/: status %d", resp.StatusCode)
+	}
+}

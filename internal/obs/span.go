@@ -1,0 +1,273 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is one timed phase of a run: encode, train, retrain, decode,
+// attack, defend, experiment, or any caller-defined stage. Spans nest —
+// a span started while another is open on the same tracer becomes its
+// child — and record wall time plus the two quantities every PRID phase
+// is judged by: samples processed and workers used.
+//
+// AddSamples is safe to call from worker goroutines while the span is
+// open; Start/End structure is managed by the owning goroutine (the
+// pipeline phases are sequential, which is what makes a stack-shaped
+// tracer sufficient).
+type Span struct {
+	tracer  *Tracer
+	parent  *Span
+	name    string
+	start   time.Time
+	samples atomic.Int64
+	workers atomic.Int64
+
+	mu       sync.Mutex
+	duration time.Duration
+	ended    bool
+	children []*Span
+}
+
+// Name returns the phase name.
+func (s *Span) Name() string { return s.name }
+
+// AddSamples records n samples processed in this phase (atomic; callable
+// from worker goroutines).
+func (s *Span) AddSamples(n int) {
+	if s == nil {
+		return
+	}
+	s.samples.Add(int64(n))
+}
+
+// SetWorkers records the degree of parallelism used by the phase.
+func (s *Span) SetWorkers(n int) {
+	if s == nil {
+		return
+	}
+	s.workers.Store(int64(n))
+}
+
+// End closes the span, fixing its duration. Ending twice is a no-op, so
+// `defer span.End()` composes with early exits that already ended it.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.ended {
+		s.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.duration = time.Since(s.start)
+	s.mu.Unlock()
+	s.tracer.pop(s)
+}
+
+func (s *Span) addChild(c *Span) {
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+}
+
+// SpanSnapshot is the JSON form of one span (and, recursively, its
+// subtree).
+type SpanSnapshot struct {
+	Name       string         `json:"name"`
+	StartMS    float64        `json:"start_ms"` // offset from the trace epoch
+	DurationMS float64        `json:"duration_ms"`
+	Samples    int64          `json:"samples,omitempty"`
+	Workers    int64          `json:"workers,omitempty"`
+	SamplesPS  float64        `json:"samples_per_sec,omitempty"`
+	Open       bool           `json:"open,omitempty"` // true if End had not been called
+	Children   []SpanSnapshot `json:"children,omitempty"`
+}
+
+// snapshot copies the span subtree relative to the trace epoch.
+func (s *Span) snapshot(epoch time.Time) SpanSnapshot {
+	s.mu.Lock()
+	dur := s.duration
+	open := !s.ended
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	if open {
+		dur = time.Since(s.start)
+	}
+	snap := SpanSnapshot{
+		Name:       s.name,
+		StartMS:    float64(s.start.Sub(epoch)) / float64(time.Millisecond),
+		DurationMS: float64(dur) / float64(time.Millisecond),
+		Samples:    s.samples.Load(),
+		Workers:    s.workers.Load(),
+		Open:       open,
+	}
+	if secs := dur.Seconds(); secs > 0 && snap.Samples > 0 {
+		snap.SamplesPS = float64(snap.Samples) / secs
+	}
+	for _, c := range children {
+		snap.Children = append(snap.Children, c.snapshot(epoch))
+	}
+	return snap
+}
+
+// maxTraceSpans bounds trace memory: paper-scale sweeps open thousands of
+// encode/train spans; beyond the cap new spans are still timed and their
+// metrics recorded, but they are not retained in the tree (a counter
+// tracks the drops).
+const maxTraceSpans = 8192
+
+// Tracer owns a tree of spans. The zero Tracer is not usable; use
+// NewTracer or the package-level Default tracer helpers.
+type Tracer struct {
+	mu      sync.Mutex
+	epoch   time.Time
+	roots   []*Span
+	stack   []*Span
+	spans   int
+	dropped int64
+}
+
+// NewTracer returns an empty tracer whose epoch is the first span's start.
+func NewTracer() *Tracer { return &Tracer{} }
+
+// StartSpan opens a span named name as a child of the innermost open span
+// (or as a new root). It never returns nil; if the trace is over capacity
+// the span is timed but not retained.
+func (t *Tracer) StartSpan(name string) *Span {
+	s := &Span{tracer: t, name: name, start: time.Now()}
+	t.mu.Lock()
+	if t.epoch.IsZero() {
+		t.epoch = s.start
+	}
+	if t.spans >= maxTraceSpans {
+		t.dropped++
+		t.mu.Unlock()
+		return s
+	}
+	t.spans++
+	if n := len(t.stack); n > 0 {
+		s.parent = t.stack[n-1]
+	} else {
+		t.roots = append(t.roots, s)
+	}
+	t.stack = append(t.stack, s)
+	t.mu.Unlock()
+	if s.parent != nil {
+		s.parent.addChild(s)
+	}
+	return s
+}
+
+// pop removes s from the open-span stack. Out-of-order ends are
+// tolerated: the span is removed from wherever it sits so later pushes
+// keep nesting under the right parent.
+func (t *Tracer) pop(s *Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := len(t.stack) - 1; i >= 0; i-- {
+		if t.stack[i] == s {
+			t.stack = append(t.stack[:i], t.stack[i+1:]...)
+			return
+		}
+	}
+}
+
+// Snapshot copies the current span forest (open spans included, flagged
+// Open with their running duration).
+func (t *Tracer) Snapshot() []SpanSnapshot {
+	t.mu.Lock()
+	roots := append([]*Span(nil), t.roots...)
+	epoch := t.epoch
+	t.mu.Unlock()
+	out := make([]SpanSnapshot, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, r.snapshot(epoch))
+	}
+	return out
+}
+
+// Dropped returns how many spans were discarded by the capacity cap.
+func (t *Tracer) Dropped() int64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Reset discards all recorded spans (open spans keep functioning but are
+// no longer referenced by the tracer).
+func (t *Tracer) Reset() {
+	t.mu.Lock()
+	t.epoch = time.Time{}
+	t.roots = nil
+	t.stack = nil
+	t.spans = 0
+	t.dropped = 0
+	t.mu.Unlock()
+}
+
+// DefaultTracer is the process-wide tracer used by the instrumented
+// pipeline phases.
+var DefaultTracer = NewTracer()
+
+// StartSpan opens a span on the DefaultTracer.
+func StartSpan(name string) *Span { return DefaultTracer.StartSpan(name) }
+
+// TraceSnapshot copies the DefaultTracer's span forest.
+func TraceSnapshot() []SpanSnapshot { return DefaultTracer.Snapshot() }
+
+// ResetTrace clears the DefaultTracer.
+func ResetTrace() { DefaultTracer.Reset() }
+
+// Trace is the combined artifact --trace-json dumps after a run: the span
+// forest plus the metric snapshot taken at the same instant.
+type Trace struct {
+	Spans   []SpanSnapshot `json:"spans"`
+	Dropped int64          `json:"dropped_spans,omitempty"`
+	Metrics Snapshot       `json:"metrics"`
+}
+
+// WriteTrace dumps the DefaultTracer and Default registry as indented
+// JSON.
+func WriteTrace(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(Trace{
+		Spans:   TraceSnapshot(),
+		Dropped: DefaultTracer.Dropped(),
+		Metrics: Default.Snapshot(),
+	})
+}
+
+// Summary renders the span forest as an indented per-phase listing —
+// the per-run trace summary printed at the end of verbose CLI runs.
+func Summary(spans []SpanSnapshot) string {
+	var b strings.Builder
+	var walk func(s SpanSnapshot, depth int)
+	walk = func(s SpanSnapshot, depth int) {
+		fmt.Fprintf(&b, "%s%-12s %9.1fms", strings.Repeat("  ", depth), s.Name, s.DurationMS)
+		if s.Samples > 0 {
+			fmt.Fprintf(&b, "  %d samples", s.Samples)
+			if s.SamplesPS > 0 {
+				fmt.Fprintf(&b, " (%.0f/s)", s.SamplesPS)
+			}
+		}
+		if s.Workers > 1 {
+			fmt.Fprintf(&b, "  %d workers", s.Workers)
+		}
+		b.WriteByte('\n')
+		for _, c := range s.Children {
+			walk(c, depth+1)
+		}
+	}
+	for _, s := range spans {
+		walk(s, 0)
+	}
+	return b.String()
+}

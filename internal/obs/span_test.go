@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer()
+	run := tr.StartSpan("experiment")
+	enc := tr.StartSpan("encode")
+	enc.AddSamples(120)
+	enc.SetWorkers(4)
+	enc.End()
+	train := tr.StartSpan("train")
+	retrain := tr.StartSpan("retrain")
+	retrain.AddSamples(120)
+	retrain.End()
+	train.End()
+	run.End()
+
+	snap := tr.Snapshot()
+	if len(snap) != 1 {
+		t.Fatalf("want 1 root span, got %d", len(snap))
+	}
+	root := snap[0]
+	if root.Name != "experiment" || len(root.Children) != 2 {
+		t.Fatalf("root = %q with %d children, want experiment with 2", root.Name, len(root.Children))
+	}
+	if root.Children[0].Name != "encode" || root.Children[1].Name != "train" {
+		t.Fatalf("children = %q, %q", root.Children[0].Name, root.Children[1].Name)
+	}
+	if got := root.Children[0].Samples; got != 120 {
+		t.Fatalf("encode samples = %d, want 120", got)
+	}
+	if got := root.Children[0].Workers; got != 4 {
+		t.Fatalf("encode workers = %d, want 4", got)
+	}
+	if len(root.Children[1].Children) != 1 || root.Children[1].Children[0].Name != "retrain" {
+		t.Fatalf("train children = %+v", root.Children[1].Children)
+	}
+	if root.DurationMS < root.Children[1].DurationMS {
+		t.Fatalf("parent duration %v below child %v", root.DurationMS, root.Children[1].DurationMS)
+	}
+}
+
+func TestSpanDoubleEndAndNil(t *testing.T) {
+	tr := NewTracer()
+	s := tr.StartSpan("phase")
+	s.End()
+	s.End() // no-op
+	var nilSpan *Span
+	nilSpan.End() // no-op, no panic
+	nilSpan.AddSamples(3)
+	nilSpan.SetWorkers(2)
+	if got := len(tr.Snapshot()); got != 1 {
+		t.Fatalf("spans = %d, want 1", got)
+	}
+}
+
+func TestSpanConcurrentSampleUpdates(t *testing.T) {
+	tr := NewTracer()
+	s := tr.StartSpan("encode")
+	var wg sync.WaitGroup
+	const workers, perW = 8, 1000
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				s.AddSamples(1)
+			}
+		}()
+	}
+	wg.Wait()
+	s.End()
+	if got := tr.Snapshot()[0].Samples; got != workers*perW {
+		t.Fatalf("samples = %d, want %d", got, workers*perW)
+	}
+}
+
+func TestTracerCapDropsButDoesNotBreak(t *testing.T) {
+	tr := NewTracer()
+	for i := 0; i < maxTraceSpans+10; i++ {
+		tr.StartSpan("s").End()
+	}
+	if got := tr.Dropped(); got != 10 {
+		t.Fatalf("dropped = %d, want 10", got)
+	}
+	if got := len(tr.Snapshot()); got != maxTraceSpans {
+		t.Fatalf("retained = %d, want %d", got, maxTraceSpans)
+	}
+	tr.Reset()
+	if got := len(tr.Snapshot()); got != 0 {
+		t.Fatalf("after reset: %d spans", got)
+	}
+}
+
+func TestOutOfOrderEnd(t *testing.T) {
+	tr := NewTracer()
+	a := tr.StartSpan("a")
+	b := tr.StartSpan("b")
+	a.End() // out of order: a ends while b is open
+	c := tr.StartSpan("c")
+	c.End()
+	b.End()
+	snap := tr.Snapshot()
+	if len(snap) != 1 || snap[0].Name != "a" {
+		t.Fatalf("roots = %+v", snap)
+	}
+	// b nested under a, c nested under b (the innermost still-open span).
+	if len(snap[0].Children) != 1 || snap[0].Children[0].Name != "b" {
+		t.Fatalf("a children = %+v", snap[0].Children)
+	}
+	if len(snap[0].Children[0].Children) != 1 || snap[0].Children[0].Children[0].Name != "c" {
+		t.Fatalf("b children = %+v", snap[0].Children[0].Children)
+	}
+}
+
+func TestWriteTraceJSON(t *testing.T) {
+	ResetTrace()
+	defer ResetTrace()
+	s := StartSpan("encode")
+	s.AddSamples(10)
+	s.End()
+	GetCounter("trace.test.counter").Inc()
+
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("trace JSON does not round-trip: %v", err)
+	}
+	found := false
+	for _, sp := range back.Spans {
+		if sp.Name == "encode" && sp.Samples == 10 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("encode span missing from trace: %+v", back.Spans)
+	}
+	if back.Metrics.Counters["trace.test.counter"] < 1 {
+		t.Fatalf("metrics snapshot missing counter: %+v", back.Metrics.Counters)
+	}
+}
+
+func TestSummaryRendersPhases(t *testing.T) {
+	tr := NewTracer()
+	run := tr.StartSpan("train_classifier")
+	enc := tr.StartSpan("encode")
+	enc.AddSamples(100)
+	enc.SetWorkers(8)
+	enc.End()
+	run.End()
+	out := Summary(tr.Snapshot())
+	for _, want := range []string{"train_classifier", "encode", "100 samples", "8 workers"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+}

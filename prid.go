@@ -25,8 +25,13 @@ import (
 
 	"prid/internal/decode"
 	"prid/internal/hdc"
+	"prid/internal/obs"
 	"prid/internal/rng"
 )
+
+// logger is the facade's shared structured logger (level via
+// PRID_LOG_LEVEL or obs.SetLevel).
+var logger = obs.Logger("prid")
 
 // Model is a trained HDC classifier together with its encoding basis — the
 // exact pair of artifacts participants exchange in distributed HDC
@@ -124,6 +129,9 @@ func TrainClassifier(x [][]float64, y []int, classes int, opts ...Option) (*Mode
 		return nil, fmt.Errorf("prid: negative retraining epochs %d", o.retrainEpochs)
 	}
 
+	span := obs.StartSpan("train_classifier")
+	span.AddSamples(len(x))
+	defer span.End()
 	basis := hdc.NewBasis(n, o.dim, rng.New(o.seed))
 	encoded := hdc.EncodeAllParallel(basis, x, 0)
 	var m *hdc.Model
@@ -139,6 +147,9 @@ func TrainClassifier(x [][]float64, y []int, classes int, opts ...Option) (*Mode
 	if err != nil {
 		return nil, fmt.Errorf("prid: preparing decoder: %w", err)
 	}
+	logger.Debug("trained classifier",
+		"samples", len(x), "features", n, "classes", classes,
+		"dim", o.dim, "retrain_epochs", o.retrainEpochs, "adaptive", o.adaptive)
 	return &Model{basis: basis, model: m, dec: ls}, nil
 }
 
