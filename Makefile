@@ -6,7 +6,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt check bench bench-snapshot
+.PHONY: build test race vet fmt check bench bench-snapshot serve-smoke
 
 build:
 	$(GO) build ./...
@@ -14,8 +14,12 @@ build:
 test:
 	$(GO) test ./...
 
+# Covers the concurrent packages (internal/obs, internal/hdc, and the
+# internal/serve micro-batching server) along with everything else. The
+# experiments package needs more than the default 10m under the race
+# detector's slowdown, hence the explicit timeout.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
 
 vet:
 	$(GO) vet ./...
@@ -26,7 +30,15 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-check: fmt vet build test
+check: fmt vet build test serve-smoke
+
+# End-to-end gate for the serving subsystem: builds the binary, trains
+# and saves two quick models, starts `prid serve` on a random port,
+# drives predict / similarities / reconstruct / audit-leakage over real
+# HTTP against in-process expectations, then requires a clean SIGINT
+# drain. Fails non-zero on any mismatch.
+serve-smoke:
+	$(GO) run ./cmd/serve-smoke
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

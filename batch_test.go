@@ -1,0 +1,64 @@
+package prid
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPredictBatchMatchesSequential pins the batch path to the sequential
+// one: PredictBatch must be element-wise identical to calling Predict on
+// each row, on both train and held-out queries.
+func TestPredictBatchMatchesSequential(t *testing.T) {
+	x, y, queries := problem(41)
+	m := mustTrain(t, x, y, WithDimension(512), WithSeed(11))
+	all := append(append([][]float64{}, x...), queries...)
+	batch, err := m.PredictBatch(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(all) {
+		t.Fatalf("batch returned %d predictions for %d rows", len(batch), len(all))
+	}
+	for i, row := range all {
+		seq, err := m.Predict(row)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i] != seq {
+			t.Fatalf("row %d: batch predicted %d, sequential %d", i, batch[i], seq)
+		}
+	}
+}
+
+func TestPredictBatchValidation(t *testing.T) {
+	x, y, _ := problem(42)
+	m := mustTrain(t, x, y, WithDimension(512))
+	if _, err := m.PredictBatch(nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	ragged := [][]float64{x[0], x[1][:5], x[2]}
+	_, err := m.PredictBatch(ragged)
+	if err == nil {
+		t.Fatal("ragged batch accepted")
+	}
+	if !strings.Contains(err.Error(), "sample 1") {
+		t.Fatalf("error %q does not name the offending row", err)
+	}
+}
+
+// TestAccuracyRejectsRaggedRows locks in the up-front width validation: a
+// single ragged row must produce a descriptive error, not a mid-iteration
+// failure.
+func TestAccuracyRejectsRaggedRows(t *testing.T) {
+	x, y, _ := problem(43)
+	m := mustTrain(t, x, y, WithDimension(512))
+	xx := append([][]float64{}, x...)
+	xx[2] = xx[2][:7]
+	_, err := m.Accuracy(xx, y)
+	if err == nil {
+		t.Fatal("ragged evaluation set accepted")
+	}
+	if !strings.Contains(err.Error(), "sample 2") {
+		t.Fatalf("error %q does not name the offending row", err)
+	}
+}

@@ -167,6 +167,19 @@ func BenchmarkPredict(b *testing.B) {
 	}
 }
 
+func BenchmarkPredictBatch(b *testing.B) {
+	ds, m := benchWorkload(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.PredictBatch(ds.TestX); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	secs := b.Elapsed().Seconds()
+	b.ReportMetric(obs.Rate(int64(b.N*len(ds.TestX)), secs), "samples/s")
+}
+
 func BenchmarkNewAttacker(b *testing.B) {
 	_, m := benchWorkload(b)
 	b.ResetTimer()

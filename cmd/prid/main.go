@@ -11,6 +11,7 @@
 //	prid defend --dataset MNIST --method hybrid [--fraction 0.4] [--bits 2]
 //	prid experiment all [--scale quick|paper]
 //	prid experiment fig7 [--scale quick]
+//	prid serve --model mnist=model.prid [--listen :8080]
 package main
 
 import (
@@ -66,6 +67,8 @@ func dispatch(args []string) error {
 		return cmdMembership(args[1:])
 	case "experiment":
 		return cmdExperiment(args[1:])
+	case "serve":
+		return cmdServe(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -86,6 +89,7 @@ commands:
   membership --dataset NAME    evaluate membership disclosure (ROC AUC)
   experiment ID|all            regenerate a paper table/figure (fig1..fig10, table1, table2)
   experiment quick             machine-readable benchmark snapshot (--bench-out FILE)
+  serve      --model NAME=PATH serve saved models over HTTP (predict, attack, audit endpoints)
 
 global flags (any position):
   --log-level LEVEL            debug, info, warn, error (default info; env PRID_LOG_LEVEL)

@@ -13,15 +13,19 @@ var fastArgs = []string{"--dataset", "ACTIVITY", "--dim", "256", "--train", "60"
 
 func TestRunErrors(t *testing.T) {
 	cases := [][]string{
-		{},                                      // no command
-		{"bogus"},                               // unknown command
-		{"train", "--dataset", "NOPE"},          // unknown dataset
-		{"defend", "--method", "nope"},          // unknown defense
-		{"experiment"},                          // missing id
-		{"experiment", "nope"},                  // unknown id
-		{"experiment", "fig1", "--scale", "xx"}, // unknown scale
-		{"attack", "--load", "/does/not/exist"}, // missing model file
-		{"train", "--data", "/does/not/exist"},  // missing CSV
+		{},                                              // no command
+		{"bogus"},                                       // unknown command
+		{"train", "--dataset", "NOPE"},                  // unknown dataset
+		{"defend", "--method", "nope"},                  // unknown defense
+		{"experiment"},                                  // missing id
+		{"experiment", "nope"},                          // unknown id
+		{"experiment", "fig1", "--scale", "xx"},         // unknown scale
+		{"attack", "--load", "/does/not/exist"},         // missing model file
+		{"train", "--data", "/does/not/exist"},          // missing CSV
+		{"serve"},                                       // no models to serve
+		{"serve", "--model", "noequals"},                // malformed --model spec
+		{"serve", "--model", "m=/does/not/exist"},       // missing model file
+		{"serve", "--models-dir", "/does/not/exist/at"}, // empty glob, no models
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {

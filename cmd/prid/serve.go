@@ -1,0 +1,95 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"prid/internal/serve"
+)
+
+// modelFlags collects repeated --model name=path pairs.
+type modelFlags []string
+
+func (m *modelFlags) String() string { return strings.Join(*m, ",") }
+
+func (m *modelFlags) Set(v string) error {
+	if !strings.Contains(v, "=") {
+		return fmt.Errorf("--model wants name=path, got %q", v)
+	}
+	*m = append(*m, v)
+	return nil
+}
+
+// cmdServe runs the HTTP model-serving subsystem: it loads the requested
+// model files into the registry, serves the /v1 endpoints (predict is
+// micro-batched) plus /debug/vars and /debug/pprof, and drains in-flight
+// requests on SIGINT/SIGTERM.
+func cmdServe(args []string) error {
+	fs := newFlagSet("serve")
+	listen := fs.String("listen", ":8080", "listen address (\":0\" picks a free port)")
+	var models modelFlags
+	fs.Var(&models, "model", "serve the model file at PATH under NAME, as name=path (repeatable)")
+	dir := fs.String("models-dir", "", "also serve every *.prid file in this directory (name = file base)")
+	window := fs.Duration("batch-window", 2*time.Millisecond, "micro-batch collection window")
+	batchMax := fs.Int("batch-max", 32, "max rows per micro-batch")
+	inflight := fs.Int("max-inflight", 64, "max concurrently admitted requests (503 beyond)")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request processing timeout")
+	drain := fs.Duration("drain", 15*time.Second, "max time to drain in-flight requests on shutdown")
+	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s := serve.NewServer(serve.Config{
+		Addr:           *listen,
+		BatchWindow:    *window,
+		BatchMax:       *batchMax,
+		MaxInFlight:    *inflight,
+		RequestTimeout: *timeout,
+	})
+	for _, spec := range models {
+		name, path, _ := strings.Cut(spec, "=")
+		if err := s.Registry().LoadFile(name, path); err != nil {
+			return err
+		}
+	}
+	if *dir != "" {
+		paths, err := filepath.Glob(filepath.Join(*dir, "*.prid"))
+		if err != nil {
+			return err
+		}
+		for _, path := range paths {
+			name := strings.TrimSuffix(filepath.Base(path), ".prid")
+			if err := s.Registry().LoadFile(name, path); err != nil {
+				return err
+			}
+		}
+	}
+	if s.Registry().Len() == 0 {
+		return fmt.Errorf("serve: no models loaded (use --model name=path or --models-dir; files come from 'prid train --save')")
+	}
+	if err := s.Start(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "serve: listening on http://%s (%d models; /v1/predict /v1/similarities /v1/reconstruct /v1/audit/leakage /v1/models /debug/vars /debug/pprof)\n",
+		s.Addr(), s.Registry().Len())
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(s.Addr()), 0o644); err != nil {
+			return fmt.Errorf("serve: writing --addr-file: %w", err)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	stop() // restore default signal behaviour: a second ^C kills hard
+	fmt.Fprintf(os.Stderr, "serve: draining (up to %s)\n", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	return s.Shutdown(shutdownCtx)
+}

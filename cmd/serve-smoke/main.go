@@ -1,0 +1,255 @@
+// Command serve-smoke is the end-to-end gate for the serving subsystem,
+// run by `make serve-smoke` (and therefore `make check`). It rebuilds the
+// prid binary, trains and saves two quick models, starts `prid serve` on
+// a random port, drives the predict / similarities / reconstruct /
+// audit-leakage endpoints over real HTTP, checks every response against
+// the same deterministic computation done in-process, and finally sends
+// SIGINT and requires a clean drain. Any mismatch exits non-zero.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"prid"
+	"prid/internal/dataset"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "serve-smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("serve-smoke: OK")
+}
+
+// quick trains a small model on the named synthetic dataset.
+func quick(name string, dim int) (*prid.Model, *dataset.Dataset, error) {
+	cfg := dataset.DefaultConfig()
+	cfg.TrainSize = 90
+	cfg.TestSize = 15
+	ds, err := dataset.Load(name, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	m, err := prid.TrainClassifier(ds.TrainX, ds.TrainY, ds.Classes, prid.WithDimension(dim))
+	if err != nil {
+		return nil, nil, err
+	}
+	return m, ds, nil
+}
+
+func run() error {
+	dir, err := os.MkdirTemp("", "prid-serve-smoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	// Build the server binary from the tree under test.
+	bin := filepath.Join(dir, "prid")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/prid")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building prid: %w", err)
+	}
+
+	// Train and save two models — the registry must serve more than one.
+	activity, dsActivity, err := quick("ACTIVITY", 512)
+	if err != nil {
+		return err
+	}
+	if err := activity.SaveFile(filepath.Join(dir, "activity.prid")); err != nil {
+		return err
+	}
+	extra, _, err := quick("EXTRA", 512)
+	if err != nil {
+		return err
+	}
+	if err := extra.SaveFile(filepath.Join(dir, "extra.prid")); err != nil {
+		return err
+	}
+
+	// Start the server on a random port; it reports the address via file.
+	addrFile := filepath.Join(dir, "addr")
+	srv := exec.Command(bin, "serve",
+		"--listen", "127.0.0.1:0",
+		"--models-dir", dir,
+		"--addr-file", addrFile,
+		"--batch-window", "1ms")
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		return fmt.Errorf("starting prid serve: %w", err)
+	}
+	serverDone := make(chan error, 1)
+	go func() { serverDone <- srv.Wait() }()
+	defer srv.Process.Kill() //nolint:errcheck // belt and braces on failure paths
+
+	base, err := waitForServer(addrFile, serverDone)
+	if err != nil {
+		return err
+	}
+
+	// Registry roster.
+	var models struct {
+		Models []struct {
+			Name     string `json:"name"`
+			Features int    `json:"features"`
+		} `json:"models"`
+	}
+	if err := getJSON(base+"/v1/models", &models); err != nil {
+		return err
+	}
+	if len(models.Models) != 2 {
+		return fmt.Errorf("/v1/models lists %d models, want 2", len(models.Models))
+	}
+
+	// Predict: served answers must equal the in-process model's.
+	want, err := activity.PredictBatch(dsActivity.TestX)
+	if err != nil {
+		return err
+	}
+	var pr struct {
+		Predictions []int `json:"predictions"`
+	}
+	if err := postJSON(base+"/v1/predict",
+		map[string]any{"model": "activity", "inputs": dsActivity.TestX}, &pr); err != nil {
+		return err
+	}
+	if len(pr.Predictions) != len(want) {
+		return fmt.Errorf("predict returned %d classes, want %d", len(pr.Predictions), len(want))
+	}
+	for i := range want {
+		if pr.Predictions[i] != want[i] {
+			return fmt.Errorf("prediction %d = %d, in-process %d", i, pr.Predictions[i], want[i])
+		}
+	}
+	fmt.Printf("serve-smoke: predict ok (%d rows)\n", len(want))
+
+	// Similarities: exact match against the in-process scores.
+	wantSims, err := activity.Similarities(dsActivity.TestX[0])
+	if err != nil {
+		return err
+	}
+	var sims struct {
+		Similarities []float64 `json:"similarities"`
+	}
+	if err := postJSON(base+"/v1/similarities",
+		map[string]any{"model": "activity", "input": dsActivity.TestX[0]}, &sims); err != nil {
+		return err
+	}
+	for i := range wantSims {
+		if sims.Similarities[i] != wantSims[i] {
+			return fmt.Errorf("similarity %d = %v, in-process %v", i, sims.Similarities[i], wantSims[i])
+		}
+	}
+	fmt.Println("serve-smoke: similarities ok")
+
+	// Reconstruct: the attacker view must return a full-width estimate.
+	var rec struct {
+		Class int       `json:"class"`
+		Data  []float64 `json:"data"`
+	}
+	if err := postJSON(base+"/v1/reconstruct",
+		map[string]any{"model": "activity", "query": dsActivity.TestX[0]}, &rec); err != nil {
+		return err
+	}
+	if len(rec.Data) != dsActivity.Features {
+		return fmt.Errorf("reconstruction has %d features, want %d", len(rec.Data), dsActivity.Features)
+	}
+	fmt.Println("serve-smoke: reconstruct ok")
+
+	// Audit: served leakage must equal the deterministic in-process audit.
+	wantLeak, err := activity.AuditLeakage(dsActivity.TrainX, dsActivity.TestX[:3])
+	if err != nil {
+		return err
+	}
+	var audit struct {
+		Leakage float64 `json:"leakage"`
+	}
+	if err := postJSON(base+"/v1/audit/leakage", map[string]any{
+		"model": "activity", "train": dsActivity.TrainX, "queries": dsActivity.TestX[:3],
+	}, &audit); err != nil {
+		return err
+	}
+	if audit.Leakage != wantLeak {
+		return fmt.Errorf("served leakage %v, in-process %v", audit.Leakage, wantLeak)
+	}
+	fmt.Printf("serve-smoke: audit ok (leakage %.3f)\n", audit.Leakage)
+
+	// Graceful shutdown: SIGINT must drain and exit zero.
+	if err := srv.Process.Signal(syscall.SIGINT); err != nil {
+		return err
+	}
+	select {
+	case err := <-serverDone:
+		if err != nil {
+			return fmt.Errorf("server exited non-zero after SIGINT: %w", err)
+		}
+	case <-time.After(20 * time.Second):
+		return fmt.Errorf("server did not exit within 20s of SIGINT")
+	}
+	fmt.Println("serve-smoke: graceful shutdown ok")
+	return nil
+}
+
+// waitForServer polls for the --addr-file, failing fast if the server
+// process dies first.
+func waitForServer(addrFile string, serverDone <-chan error) (string, error) {
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		select {
+		case err := <-serverDone:
+			return "", fmt.Errorf("server exited before listening: %v", err)
+		default:
+		}
+		if raw, err := os.ReadFile(addrFile); err == nil && len(raw) > 0 {
+			base := "http://" + string(raw)
+			if resp, err := http.Get(base + "/healthz"); err == nil {
+				resp.Body.Close()
+				return base, nil
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	return "", fmt.Errorf("server not reachable within 15s")
+}
+
+func postJSON(url string, body, out any) error {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		json.NewDecoder(resp.Body).Decode(&e) //nolint:errcheck // best-effort detail
+		return fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, e.Error)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func getJSON(url string, out any) error {
+	resp, err := http.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -24,6 +24,17 @@ const (
 	// maxSerializedDim guards against absurd allocations from corrupt
 	// headers (a 16M-dimensional hypervector is far beyond any HDC use).
 	maxSerializedDim = 1 << 24
+	// maxSerializedFeatures caps the declared input dimensionality; the
+	// largest paper dataset has 784 features, so a million is generous.
+	maxSerializedFeatures = 1 << 20
+	// maxSerializedClasses caps the declared class count (the paper tops
+	// out at 26 classes).
+	maxSerializedClasses = 1 << 16
+	// maxSerializedBytes caps the payload a single section may declare:
+	// each per-field cap can be individually plausible while the product
+	// (n×d bits, k×d floats) is an attacker-controlled multi-GB
+	// allocation. 256 MB is ~50× the paper-scale 784×10k basis.
+	maxSerializedBytes = 1 << 28
 )
 
 // WriteBasis serializes b to w in packed form.
@@ -49,32 +60,44 @@ func WriteBasis(w io.Writer, b *Basis) error {
 // buffered internally: multiple artifacts are commonly concatenated in one
 // stream (basis followed by model), and a read-ahead buffer would consume
 // bytes belonging to the next section.
+//
+// The reader is hardened against adversarial headers: declared sizes are
+// capped per field and as a combined payload, and storage grows row by row
+// as bytes actually arrive, so a corrupt or truncated stream can never
+// force an allocation much larger than the data it supplies.
 func ReadBasis(r io.Reader) (*Basis, error) {
 	if err := expectMagic(r, basisMagic); err != nil {
 		return nil, err
 	}
-	n, err := readDim(r, "basis n")
+	n, err := readDim(r, "basis n", maxSerializedFeatures)
 	if err != nil {
 		return nil, err
 	}
-	d, err := readDim(r, "basis d")
+	d, err := readDim(r, "basis d", maxSerializedDim)
 	if err != nil {
 		return nil, err
 	}
 	words := (d + 63) / 64
-	p := &PackedBasis{n: n, d: d, words: words, bits: make([]uint64, n*words)}
-	if err := binary.Read(r, binary.LittleEndian, p.bits); err != nil {
-		return nil, fmt.Errorf("hdc: reading basis bits: %w", err)
+	if int64(n)*int64(words)*8 > maxSerializedBytes {
+		return nil, fmt.Errorf("hdc: basis %d×%d declares %d bytes, above the %d-byte cap (corrupt stream)",
+			n, d, int64(n)*int64(words)*8, int64(maxSerializedBytes))
 	}
 	// Tail bits beyond d must be zero (the writer masks them); reject
 	// otherwise, it means truncation/corruption landed mid-stream.
+	var tailMask uint64
 	if tail := uint(d % 64); tail != 0 {
-		mask := ^((uint64(1) << tail) - 1)
-		for row := 0; row < n; row++ {
-			if p.bits[row*words+words-1]&mask != 0 {
-				return nil, fmt.Errorf("hdc: basis row %d has non-zero tail bits (corrupt stream)", row)
-			}
+		tailMask = ^((uint64(1) << tail) - 1)
+	}
+	p := &PackedBasis{n: n, d: d, words: words}
+	row := make([]uint64, words)
+	for i := 0; i < n; i++ {
+		if err := binary.Read(r, binary.LittleEndian, row); err != nil {
+			return nil, fmt.Errorf("hdc: reading basis row %d: %w", i, err)
 		}
+		if tailMask != 0 && row[words-1]&tailMask != 0 {
+			return nil, fmt.Errorf("hdc: basis row %d has non-zero tail bits (corrupt stream)", i)
+		}
+		p.bits = append(p.bits, row...)
 	}
 	return p.Unpack(), nil
 }
@@ -105,20 +128,26 @@ func WriteModel(w io.Writer, m *Model) error {
 }
 
 // ReadModel deserializes a model written by WriteModel. Like ReadBasis it
-// reads exactly its own section, so artifacts can be concatenated.
+// reads exactly its own section, so artifacts can be concatenated. Class
+// hypervectors are allocated one at a time as their bytes arrive (see
+// ReadBasis on why headers are not trusted for up-front allocation).
 func ReadModel(r io.Reader) (*Model, error) {
 	if err := expectMagic(r, modelMagic); err != nil {
 		return nil, err
 	}
-	k, err := readDim(r, "model k")
+	k, err := readDim(r, "model k", maxSerializedClasses)
 	if err != nil {
 		return nil, err
 	}
-	d, err := readDim(r, "model d")
+	d, err := readDim(r, "model d", maxSerializedDim)
 	if err != nil {
 		return nil, err
 	}
-	m := NewModel(k, d)
+	if int64(k)*int64(d)*8 > maxSerializedBytes {
+		return nil, fmt.Errorf("hdc: model %d×%d declares %d bytes, above the %d-byte cap (corrupt stream)",
+			k, d, int64(k)*int64(d)*8, int64(maxSerializedBytes))
+	}
+	m := &Model{d: d, counts: make([]int, k)}
 	for l := 0; l < k; l++ {
 		var c uint32
 		if err := binary.Read(r, binary.LittleEndian, &c); err != nil {
@@ -127,16 +156,35 @@ func ReadModel(r io.Reader) (*Model, error) {
 		m.counts[l] = int(c)
 	}
 	for l := 0; l < k; l++ {
-		if err := binary.Read(r, binary.LittleEndian, m.classes[l]); err != nil {
-			return nil, fmt.Errorf("hdc: reading class %d: %w", l, err)
+		class, err := readFloatVector(r, d, fmt.Sprintf("class %d", l))
+		if err != nil {
+			return nil, err
 		}
-		for j, v := range m.classes[l] {
+		for j, v := range class {
 			if math.IsNaN(v) || math.IsInf(v, 0) {
 				return nil, fmt.Errorf("hdc: class %d dimension %d is not finite (corrupt stream)", l, j)
 			}
 		}
+		m.classes = append(m.classes, class)
 	}
 	return m, nil
+}
+
+// readFloatVector reads n float64 values in bounded chunks, growing the
+// result as bytes actually arrive — a lying header cannot force a large
+// up-front allocation for data the stream never supplies.
+func readFloatVector(r io.Reader, n int, what string) ([]float64, error) {
+	const chunk = 1 << 14
+	out := make([]float64, 0, min(n, chunk))
+	buf := make([]float64, min(n, chunk))
+	for len(out) < n {
+		c := min(chunk, n-len(out))
+		if err := binary.Read(r, binary.LittleEndian, buf[:c]); err != nil {
+			return nil, fmt.Errorf("hdc: reading %s: %w", what, err)
+		}
+		out = append(out, buf[:c]...)
+	}
+	return out, nil
 }
 
 func expectMagic(r io.Reader, magic string) error {
@@ -150,13 +198,13 @@ func expectMagic(r io.Reader, magic string) error {
 	return nil
 }
 
-func readDim(r io.Reader, what string) (int, error) {
+func readDim(r io.Reader, what string, max uint32) (int, error) {
 	var v uint32
 	if err := binary.Read(r, binary.LittleEndian, &v); err != nil {
 		return 0, fmt.Errorf("hdc: reading %s: %w", what, err)
 	}
-	if v == 0 || v > maxSerializedDim {
-		return 0, fmt.Errorf("hdc: %s = %d out of range (corrupt stream)", what, v)
+	if v == 0 || v > max {
+		return 0, fmt.Errorf("hdc: %s = %d out of range [1,%d] (corrupt stream)", what, v, max)
 	}
 	return int(v), nil
 }

@@ -121,6 +121,21 @@ var DurationBuckets = []float64{
 	0.0001, 0.0003, 0.001, 0.003, 0.01, 0.03, 0.1, 0.3, 1, 3, 10, 30, 100,
 }
 
+// ExponentialBuckets returns n upper bounds starting at start and growing
+// by factor — the shape for size-like distributions (batch sizes, payload
+// rows) where DurationBuckets' absolute values make no sense.
+func ExponentialBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n <= 0 {
+		panic(fmt.Sprintf("obs: ExponentialBuckets(%v, %v, %d) out of domain", start, factor, n))
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = start
+		start *= factor
+	}
+	return b
+}
+
 // Registry is a named collection of metrics. Get-or-create accessors make
 // registration implicit; handles should be resolved once and cached by
 // the instrumented package.

@@ -90,6 +90,33 @@ func TestHistogramBucketAssignment(t *testing.T) {
 	}
 }
 
+func TestExponentialBuckets(t *testing.T) {
+	got := ExponentialBuckets(1, 2, 6)
+	want := []float64{1, 2, 4, 8, 16, 32}
+	if len(got) != len(want) {
+		t.Fatalf("got %d buckets, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	for _, bad := range []func(){
+		func() { ExponentialBuckets(0, 2, 4) },
+		func() { ExponentialBuckets(1, 1, 4) },
+		func() { ExponentialBuckets(1, 2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("out-of-domain buckets did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
 func TestSnapshotJSONRoundTrip(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("a.count").Add(7)

@@ -1,0 +1,167 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrBatcherClosed is returned by Predict after Close — in practice only
+// during a hot reload that replaced the entry mid-request, or shutdown.
+var ErrBatcherClosed = errors.New("serve: batcher closed")
+
+// predictFn classifies a batch of feature rows. It is the root package's
+// Model.PredictBatch bound to one registry entry.
+type predictFn func(x [][]float64) ([]int, error)
+
+// batcher micro-batches concurrent predict calls: the first request opens
+// a collection window, requests arriving within it (up to maxBatch) are
+// encoded together through the parallel batch path, and results fan back
+// out to the callers. Under concurrent load this amortizes the per-batch
+// costs (goroutine fan-out, metric writes) and keeps the encode workers
+// saturated; an idle server still answers a lone request after at most
+// one window.
+type batcher struct {
+	fn       predictFn
+	window   time.Duration
+	maxBatch int
+	reqs     chan *batchReq
+	done     chan struct{}
+	loopDone chan struct{}
+
+	// mu orders Predict's enqueue against Close so no request can slip
+	// into the queue after the drain: Predict holds the read side across
+	// the closed-check and the channel send, Close takes the write side
+	// before signaling done.
+	mu     sync.RWMutex
+	closed bool
+}
+
+type batchReq struct {
+	x   []float64
+	out chan batchResult
+}
+
+type batchResult struct {
+	class int
+	err   error
+}
+
+func newBatcher(fn predictFn, window time.Duration, maxBatch int) *batcher {
+	if maxBatch < 1 {
+		maxBatch = 1
+	}
+	b := &batcher{
+		fn:       fn,
+		window:   window,
+		maxBatch: maxBatch,
+		reqs:     make(chan *batchReq, maxBatch),
+		done:     make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	go b.loop()
+	return b
+}
+
+// Predict submits one row and blocks until its batch is classified, the
+// context expires, or the batcher closes.
+func (b *batcher) Predict(ctx context.Context, x []float64) (int, error) {
+	req := &batchReq{x: x, out: make(chan batchResult, 1)}
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return 0, ErrBatcherClosed
+	}
+	select {
+	case b.reqs <- req:
+		b.mu.RUnlock()
+	case <-ctx.Done():
+		b.mu.RUnlock()
+		return 0, ctx.Err()
+	}
+	select {
+	case r := <-req.out:
+		return r.class, r.err
+	case <-ctx.Done():
+		// The batch still runs; the result lands in the buffered channel
+		// and is garbage collected with the request.
+		return 0, ctx.Err()
+	}
+}
+
+func (b *batcher) loop() {
+	defer close(b.loopDone)
+	for {
+		select {
+		case req := <-b.reqs:
+			b.collect(req)
+		case <-b.done:
+			// Closed: serve whatever is already queued (their callers
+			// hold replies open), then exit.
+			for {
+				select {
+				case req := <-b.reqs:
+					b.collect(req)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// collect gathers up to maxBatch requests within one window, starting
+// from first, and flushes them as a single batch. A close signal cuts
+// the window short — shutdown must not wait out an idle window.
+func (b *batcher) collect(first *batchReq) {
+	batch := append(make([]*batchReq, 0, b.maxBatch), first)
+	timer := time.NewTimer(b.window)
+	defer timer.Stop()
+	for len(batch) < b.maxBatch {
+		select {
+		case req := <-b.reqs:
+			batch = append(batch, req)
+		case <-timer.C:
+			b.flush(batch)
+			return
+		case <-b.done:
+			b.flush(batch)
+			return
+		}
+	}
+	b.flush(batch)
+}
+
+func (b *batcher) flush(batch []*batchReq) {
+	rows := make([][]float64, len(batch))
+	for i, req := range batch {
+		rows[i] = req.x
+	}
+	start := time.Now()
+	classes, err := b.fn(rows)
+	observeBatch(start, len(batch))
+	for i, req := range batch {
+		if err != nil {
+			req.out <- batchResult{err: err}
+			continue
+		}
+		req.out <- batchResult{class: classes[i]}
+	}
+}
+
+// Close stops the collection loop after it drains queued requests.
+// Requests already submitted still receive results; later Predict calls
+// fail with ErrBatcherClosed.
+func (b *batcher) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		<-b.loopDone
+		return
+	}
+	b.closed = true
+	b.mu.Unlock()
+	close(b.done)
+	<-b.loopDone
+}

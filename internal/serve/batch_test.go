@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoFn classifies each row as int(row[0]) and records every batch it
+// sees — enough to verify fan-out order and batch composition.
+type echoFn struct {
+	mu      sync.Mutex
+	batches [][]int
+	fail    error
+	calls   atomic.Int64
+}
+
+func (e *echoFn) predict(x [][]float64) ([]int, error) {
+	e.calls.Add(1)
+	if e.fail != nil {
+		return nil, e.fail
+	}
+	out := make([]int, len(x))
+	sizes := make([]int, 0, len(x))
+	for i, row := range x {
+		out[i] = int(row[0])
+		sizes = append(sizes, out[i])
+	}
+	e.mu.Lock()
+	e.batches = append(e.batches, sizes)
+	e.mu.Unlock()
+	return out, nil
+}
+
+func TestBatcherSingleRequest(t *testing.T) {
+	fn := &echoFn{}
+	b := newBatcher(fn.predict, time.Millisecond, 8)
+	defer b.Close()
+	class, err := b.Predict(context.Background(), []float64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if class != 7 {
+		t.Fatalf("class %d, want 7", class)
+	}
+}
+
+func TestBatcherCoalescesConcurrentRequests(t *testing.T) {
+	fn := &echoFn{}
+	// A long window forces coalescing: the batch can only flush early by
+	// filling up, so all n requests must land in one call.
+	const n = 6
+	b := newBatcher(fn.predict, 10*time.Second, n)
+	defer b.Close()
+	var wg sync.WaitGroup
+	results := make([]int, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			class, err := b.Predict(context.Background(), []float64{float64(i)})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = class
+		}(i)
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("batch did not flush once full (window should not matter)")
+	}
+	for i, class := range results {
+		if class != i {
+			t.Fatalf("caller %d got class %d (fan-out misrouted)", i, class)
+		}
+	}
+	if got := fn.calls.Load(); got != 1 {
+		t.Fatalf("%d predict calls, want 1 coalesced batch", got)
+	}
+}
+
+func TestBatcherPropagatesErrors(t *testing.T) {
+	fn := &echoFn{fail: errors.New("model exploded")}
+	b := newBatcher(fn.predict, time.Millisecond, 4)
+	defer b.Close()
+	if _, err := b.Predict(context.Background(), []float64{1}); err == nil || err.Error() != "model exploded" {
+		t.Fatalf("err = %v, want model exploded", err)
+	}
+}
+
+func TestBatcherContextCancellation(t *testing.T) {
+	fn := &echoFn{}
+	b := newBatcher(fn.predict, time.Hour, 1000)
+	defer b.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	if _, err := b.Predict(ctx, []float64{1}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want deadline exceeded", err)
+	}
+}
+
+func TestBatcherClose(t *testing.T) {
+	fn := &echoFn{}
+	b := newBatcher(fn.predict, time.Millisecond, 4)
+	b.Close()
+	b.Close() // idempotent
+	if _, err := b.Predict(context.Background(), []float64{1}); !errors.Is(err, ErrBatcherClosed) {
+		t.Fatalf("err = %v, want ErrBatcherClosed", err)
+	}
+}
+
+func TestBatcherCloseDrainsQueued(t *testing.T) {
+	// Hammer Predict from many goroutines while closing: every call must
+	// resolve to either a correct result or ErrBatcherClosed — never hang,
+	// never misroute. Run under -race this also proves the enqueue/close
+	// ordering.
+	fn := &echoFn{}
+	b := newBatcher(fn.predict, 500*time.Microsecond, 4)
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			class, err := b.Predict(context.Background(), []float64{float64(i)})
+			if err != nil {
+				if !errors.Is(err, ErrBatcherClosed) {
+					t.Errorf("caller %d: %v", i, err)
+				}
+				return
+			}
+			if class != i {
+				t.Errorf("caller %d got class %d", i, class)
+			}
+		}(i)
+	}
+	time.Sleep(time.Millisecond)
+	b.Close()
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("a Predict call hung across Close")
+	}
+}
+
+func TestBatcherRespectsMaxBatch(t *testing.T) {
+	fn := &echoFn{}
+	const maxBatch = 4
+	b := newBatcher(fn.predict, 20*time.Millisecond, maxBatch)
+	defer b.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 3*maxBatch; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := b.Predict(context.Background(), []float64{float64(i)}); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	fn.mu.Lock()
+	defer fn.mu.Unlock()
+	total := 0
+	for _, batch := range fn.batches {
+		if len(batch) > maxBatch {
+			t.Fatalf("batch of %d exceeds max %d", len(batch), maxBatch)
+		}
+		total += len(batch)
+	}
+	if total != 3*maxBatch {
+		t.Fatalf("%d rows classified, want %d", total, 3*maxBatch)
+	}
+}

@@ -1,0 +1,322 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// maxBodyBytes caps request bodies (64 MB): audit requests legitimately
+// carry train sets, everything else is far smaller.
+const maxBodyBytes = 1 << 26
+
+// apiError is the JSON error envelope every endpoint uses.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+// writeError emits the JSON error envelope with the given status and
+// returns err so handlers can `return writeError(...)` in one line.
+func writeError(w http.ResponseWriter, status int, err error) error {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(apiError{Error: err.Error()}) //nolint:errcheck // response already committed
+	return err
+}
+
+// writeJSON emits a 200 with the JSON body.
+func writeJSON(w http.ResponseWriter, v any) error {
+	w.Header().Set("Content-Type", "application/json")
+	return json.NewEncoder(w).Encode(v)
+}
+
+// decodeBody parses the request body into v, distinguishing malformed
+// JSON (a 400) from transport errors.
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	r.Body = http.MaxBytesReader(w, r.Body, maxBodyBytes)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("malformed request body: %w", err)
+	}
+	return nil
+}
+
+// requireMethod enforces the endpoint's method, answering 405 itself.
+func requireMethod(w http.ResponseWriter, r *http.Request, method string) error {
+	if r.Method != method {
+		w.Header().Set("Allow", method)
+		return writeError(w, http.StatusMethodNotAllowed,
+			fmt.Errorf("%s requires %s, got %s", r.URL.Path, method, r.Method))
+	}
+	return nil
+}
+
+// lookup resolves the named model, answering 404 itself on a miss.
+func (s *Server) lookup(w http.ResponseWriter, name string) (*entry, error) {
+	if name == "" {
+		return nil, writeError(w, http.StatusBadRequest, errors.New(`missing "model" field`))
+	}
+	e, ok := s.reg.Get(name)
+	if !ok {
+		return nil, writeError(w, http.StatusNotFound, fmt.Errorf("unknown model %q", name))
+	}
+	return e, nil
+}
+
+// --- GET /v1/models ---------------------------------------------------
+
+type modelsResponse struct {
+	Models []ModelInfo `json:"models"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) error {
+	if err := requireMethod(w, r, http.MethodGet); err != nil {
+		return err
+	}
+	return writeJSON(w, modelsResponse{Models: s.reg.List()})
+}
+
+// --- POST /v1/models/reload -------------------------------------------
+
+type reloadResponse struct {
+	Reloaded int `json:"reloaded"`
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) error {
+	if err := requireMethod(w, r, http.MethodPost); err != nil {
+		return err
+	}
+	n, err := s.reg.Reload()
+	if err != nil {
+		return writeError(w, http.StatusInternalServerError, err)
+	}
+	return writeJSON(w, reloadResponse{Reloaded: n})
+}
+
+// --- POST /v1/predict -------------------------------------------------
+
+type predictRequest struct {
+	Model string `json:"model"`
+	// Inputs is the general batch form; Input is the single-row
+	// convenience. Exactly one must be set.
+	Inputs [][]float64 `json:"inputs,omitempty"`
+	Input  []float64   `json:"input,omitempty"`
+}
+
+type predictResponse struct {
+	Model       string `json:"model"`
+	Predictions []int  `json:"predictions"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) error {
+	if err := requireMethod(w, r, http.MethodPost); err != nil {
+		return err
+	}
+	var req predictRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		return writeError(w, http.StatusBadRequest, err)
+	}
+	if (len(req.Inputs) == 0) == (len(req.Input) == 0) {
+		return writeError(w, http.StatusBadRequest,
+			errors.New(`exactly one of "input" and "inputs" must be set`))
+	}
+	rows := req.Inputs
+	if len(rows) == 0 {
+		rows = [][]float64{req.Input}
+	}
+	e, err := s.lookup(w, req.Model)
+	if err != nil {
+		return err
+	}
+	for i, row := range rows {
+		if len(row) != e.info.Features {
+			return writeError(w, http.StatusBadRequest,
+				fmt.Errorf("input %d has %d features, model %q expects %d", i, len(row), req.Model, e.info.Features))
+		}
+	}
+
+	// Large requests are already a full batch — run them straight through
+	// the parallel path. Small ones go through the micro-batcher so
+	// concurrent callers share encode fan-out.
+	var classes []int
+	if len(rows) >= s.cfg.BatchMax {
+		classes, err = e.model.PredictBatch(rows)
+		if err == nil {
+			observeBatchDirect(len(rows))
+		}
+	} else {
+		classes, err = s.predictBatched(r, e, rows)
+	}
+	if err != nil {
+		status := http.StatusInternalServerError
+		if r.Context().Err() != nil || errors.Is(err, ErrBatcherClosed) {
+			status = http.StatusServiceUnavailable
+		}
+		return writeError(w, status, err)
+	}
+	return writeJSON(w, predictResponse{Model: req.Model, Predictions: classes})
+}
+
+// predictBatched pushes each row through the entry's micro-batcher
+// concurrently and gathers the per-row results in order.
+func (s *Server) predictBatched(r *http.Request, e *entry, rows [][]float64) ([]int, error) {
+	classes := make([]int, len(rows))
+	errs := make([]error, len(rows))
+	var wg sync.WaitGroup
+	wg.Add(len(rows))
+	for i, row := range rows {
+		go func(i int, row []float64) {
+			defer wg.Done()
+			classes[i], errs[i] = e.batch.Predict(r.Context(), row)
+		}(i, row)
+	}
+	wg.Wait()
+	return classes, errors.Join(errs...)
+}
+
+// --- POST /v1/similarities --------------------------------------------
+
+type similaritiesRequest struct {
+	Model string    `json:"model"`
+	Input []float64 `json:"input"`
+}
+
+type similaritiesResponse struct {
+	Model        string    `json:"model"`
+	Class        int       `json:"class"`
+	Similarities []float64 `json:"similarities"`
+}
+
+func (s *Server) handleSimilarities(w http.ResponseWriter, r *http.Request) error {
+	if err := requireMethod(w, r, http.MethodPost); err != nil {
+		return err
+	}
+	var req similaritiesRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		return writeError(w, http.StatusBadRequest, err)
+	}
+	e, err := s.lookup(w, req.Model)
+	if err != nil {
+		return err
+	}
+	sims, err := e.model.Similarities(req.Input)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err)
+	}
+	best := 0
+	for i, v := range sims {
+		if v > sims[best] {
+			best = i
+		}
+	}
+	return writeJSON(w, similaritiesResponse{Model: req.Model, Class: best, Similarities: sims})
+}
+
+// --- POST /v1/reconstruct ---------------------------------------------
+
+type reconstructRequest struct {
+	Model string    `json:"model"`
+	Query []float64 `json:"query"`
+}
+
+type reconstructResponse struct {
+	Model      string    `json:"model"`
+	Class      int       `json:"class"`
+	Similarity float64   `json:"similarity"`
+	Data       []float64 `json:"data"`
+}
+
+// handleReconstruct is the attacker's view of the serving boundary: it
+// mounts the PRID combined model-inversion attack against the named
+// model using nothing a query client would not hold. Its existence is the
+// point — a deployed HDC model answers this.
+func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) error {
+	if err := requireMethod(w, r, http.MethodPost); err != nil {
+		return err
+	}
+	var req reconstructRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		return writeError(w, http.StatusBadRequest, err)
+	}
+	e, err := s.lookup(w, req.Model)
+	if err != nil {
+		return err
+	}
+	a, err := e.Attacker()
+	if err != nil {
+		return writeError(w, http.StatusInternalServerError, err)
+	}
+	recon, err := a.Reconstruct(req.Query)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err)
+	}
+	return writeJSON(w, reconstructResponse{
+		Model:      req.Model,
+		Class:      recon.Class,
+		Similarity: recon.Similarity,
+		Data:       recon.Data,
+	})
+}
+
+// --- POST /v1/audit/leakage -------------------------------------------
+
+type auditRequest struct {
+	Model   string      `json:"model"`
+	Train   [][]float64 `json:"train"`
+	Queries [][]float64 `json:"queries"`
+}
+
+type auditResponse struct {
+	Model   string  `json:"model"`
+	Leakage float64 `json:"leakage"`
+	Queries int     `json:"queries"`
+}
+
+// handleAuditLeakage is the defender-side self-audit: given the training
+// set and probe queries, it measures the mean information leakage Δ an
+// attacker holding query access to this model would extract — the
+// paper's metric, behind the same boundary the attack uses.
+func (s *Server) handleAuditLeakage(w http.ResponseWriter, r *http.Request) error {
+	if err := requireMethod(w, r, http.MethodPost); err != nil {
+		return err
+	}
+	var req auditRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		return writeError(w, http.StatusBadRequest, err)
+	}
+	e, err := s.lookup(w, req.Model)
+	if err != nil {
+		return err
+	}
+	leak, err := e.model.AuditLeakage(req.Train, req.Queries)
+	if err != nil {
+		return writeError(w, http.StatusBadRequest, err)
+	}
+	return writeJSON(w, auditResponse{Model: req.Model, Leakage: leak, Queries: len(req.Queries)})
+}
+
+// --- debug ------------------------------------------------------------
+
+// registerDebug mounts the same observability surface the CLI's
+// --metrics-addr server exposes, on the serving mux.
+func registerDebug(mux *http.ServeMux) {
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// observeBatchDirect records a bypass batch (a request that was already
+// batch-sized) in the same batch metrics.
+func observeBatchDirect(size int) {
+	metricBatchSize.Observe(float64(size))
+	metricBatchLast.Set(float64(size))
+	metricBatchRows.Add(int64(size))
+}

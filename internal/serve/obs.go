@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"time"
+
+	"prid/internal/obs"
+)
+
+// Metric handles are resolved once at package init per the obs hot-path
+// discipline: request accounting is a few atomic adds, no map lookups.
+var (
+	logger = obs.Logger("serve")
+
+	// Per-endpoint request counters and latency histograms, keyed by the
+	// short endpoint name ("predict", "similarities", ...).
+	metricRequests = map[string]*obs.Counter{}
+	metricErrors   = map[string]*obs.Counter{}
+	metricSeconds  = map[string]*obs.Histogram{}
+
+	// Batching: per-batch row-count distribution plus the last size as a
+	// gauge. serve.batch.size buckets of 1 prove single-request batches;
+	// anything landing above the 1-bucket is cross-request micro-batching.
+	metricBatchSize    = obs.GetHistogram("serve.batch.size", obs.ExponentialBuckets(1, 2, 10))
+	metricBatchLast    = obs.GetGauge("serve.batch.last_size")
+	metricBatchRows    = obs.GetCounter("serve.batch.rows")
+	metricBatchSeconds = obs.GetHistogram("serve.batch.seconds", nil)
+
+	// Admission control.
+	metricInFlight = obs.GetGauge("serve.inflight")
+	metricRejected = obs.GetCounter("serve.rejected")
+	metricReloads  = obs.GetCounter("serve.reloads")
+)
+
+// endpointNames is the fixed roster the maps above are populated for.
+var endpointNames = []string{"models", "predict", "similarities", "reconstruct", "audit"}
+
+func init() {
+	for _, name := range endpointNames {
+		metricRequests[name] = obs.GetCounter("serve." + name + ".requests")
+		metricErrors[name] = obs.GetCounter("serve." + name + ".errors")
+		metricSeconds[name] = obs.GetHistogram("serve."+name+".seconds", nil)
+	}
+}
+
+// observeBatch records one flushed predict batch.
+func observeBatch(start time.Time, size int) {
+	metricBatchSize.Observe(float64(size))
+	metricBatchLast.Set(float64(size))
+	metricBatchRows.Add(int64(size))
+	metricBatchSeconds.ObserveSince(start)
+}
+
+// observeRequest records one completed request on endpoint name.
+func observeRequest(name string, start time.Time, failed bool) {
+	metricRequests[name].Inc()
+	metricSeconds[name].ObserveSince(start)
+	if failed {
+		metricErrors[name].Inc()
+	}
+}

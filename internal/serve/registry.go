@@ -1,0 +1,163 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"prid"
+)
+
+// ModelInfo is the public shape of one registry entry, what GET
+// /v1/models returns.
+type ModelInfo struct {
+	Name      string    `json:"name"`
+	Path      string    `json:"path,omitempty"`
+	Features  int       `json:"features"`
+	Dimension int       `json:"dimension"`
+	Classes   int       `json:"classes"`
+	LoadedAt  time.Time `json:"loaded_at"`
+}
+
+// entry binds one named model to its micro-batcher and a lazily built
+// attacker (the attacker decodes every class hypervector up front, which
+// is wasted work for models never probed through /v1/reconstruct).
+type entry struct {
+	info  ModelInfo
+	model *prid.Model
+	batch *batcher
+
+	attackOnce sync.Once
+	attacker   *prid.Attacker
+	attackErr  error
+}
+
+// Attacker returns the entry's shared attacker, constructing it on first
+// use.
+func (e *entry) Attacker() (*prid.Attacker, error) {
+	e.attackOnce.Do(func() {
+		e.attacker, e.attackErr = prid.NewAttacker(e.model)
+	})
+	return e.attacker, e.attackErr
+}
+
+// Registry is a named, hot-reloadable collection of served models. Reads
+// (every request) take the read lock only long enough to grab the entry
+// pointer; loads build the replacement entry outside the lock and swap it
+// in, so a reload never stalls the hot path. Replaced entries keep
+// serving requests that already hold them — their batcher drains before
+// closing.
+type Registry struct {
+	newBatcher func(m *prid.Model) *batcher
+
+	mu      sync.RWMutex
+	entries map[string]*entry
+}
+
+// NewRegistry returns an empty registry whose entries micro-batch through
+// batchers built by mk (nil selects batchers that flush every request
+// individually — registry tests use that).
+func NewRegistry(mk func(m *prid.Model) *batcher) *Registry {
+	if mk == nil {
+		mk = func(m *prid.Model) *batcher { return newBatcher(m.PredictBatch, 0, 1) }
+	}
+	return &Registry{newBatcher: mk, entries: make(map[string]*entry)}
+}
+
+// Register installs model under name. A model already registered under
+// that name is replaced atomically; its batcher drains and closes.
+func (r *Registry) Register(name, path string, model *prid.Model) {
+	e := &entry{
+		info: ModelInfo{
+			Name:      name,
+			Path:      path,
+			Features:  model.Features(),
+			Dimension: model.Dimension(),
+			Classes:   model.Classes(),
+			LoadedAt:  time.Now().UTC(),
+		},
+		model: model,
+		batch: r.newBatcher(model),
+	}
+	r.mu.Lock()
+	old := r.entries[name]
+	r.entries[name] = e
+	r.mu.Unlock()
+	if old != nil {
+		old.batch.Close()
+	}
+	logger.Info("model registered", "name", name, "path", path,
+		"features", e.info.Features, "dim", e.info.Dimension, "classes", e.info.Classes)
+}
+
+// LoadFile loads the model file at path and registers it under name.
+func (r *Registry) LoadFile(name, path string) error {
+	model, err := prid.LoadFile(path)
+	if err != nil {
+		return fmt.Errorf("serve: loading model %q: %w", name, err)
+	}
+	r.Register(name, path, model)
+	return nil
+}
+
+// Reload re-reads every file-backed entry from disk and swaps the result
+// in (hot reload: in-flight requests finish on the old models). Entries
+// registered without a path are left untouched. The first error aborts
+// the sweep; models already reloaded stay reloaded.
+func (r *Registry) Reload() (int, error) {
+	r.mu.RLock()
+	backed := make([]*entry, 0, len(r.entries))
+	for _, e := range r.entries {
+		if e.info.Path != "" {
+			backed = append(backed, e)
+		}
+	}
+	r.mu.RUnlock()
+	sort.Slice(backed, func(i, j int) bool { return backed[i].info.Name < backed[j].info.Name })
+	for _, e := range backed {
+		if err := r.LoadFile(e.info.Name, e.info.Path); err != nil {
+			return 0, err
+		}
+	}
+	metricReloads.Inc()
+	return len(backed), nil
+}
+
+// Get returns the entry serving name.
+func (r *Registry) Get(name string) (*entry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.entries[name]
+	return e, ok
+}
+
+// List returns every entry's info, sorted by name.
+func (r *Registry) List() []ModelInfo {
+	r.mu.RLock()
+	infos := make([]ModelInfo, 0, len(r.entries))
+	for _, e := range r.entries {
+		infos = append(infos, e.info)
+	}
+	r.mu.RUnlock()
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos
+}
+
+// Len returns the number of registered models.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.entries)
+}
+
+// Close drains and closes every entry's batcher.
+func (r *Registry) Close() {
+	r.mu.Lock()
+	entries := r.entries
+	r.entries = make(map[string]*entry)
+	r.mu.Unlock()
+	for _, e := range entries {
+		e.batch.Close()
+	}
+}

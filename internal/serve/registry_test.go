@@ -1,0 +1,152 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"testing"
+
+	"prid"
+	"prid/internal/rng"
+)
+
+// trainModel builds a small deterministic 3-class model over nFeatures
+// features, returning the model plus its train set and some held-out
+// queries (for audit/reconstruct tests).
+func trainModel(t testing.TB, seed uint64, nFeatures, dim int) (*prid.Model, [][]float64, [][]float64) {
+	t.Helper()
+	src := rng.New(seed)
+	const k, perClass = 3, 10
+	protos := make([][]float64, k)
+	for c := range protos {
+		p := make([]float64, nFeatures)
+		for _, j := range src.Sample(nFeatures, nFeatures/4) {
+			p[j] = src.Uniform(0.6, 1)
+		}
+		protos[c] = p
+	}
+	draw := func(c int, noise float64) []float64 {
+		v := make([]float64, nFeatures)
+		copy(v, protos[c])
+		for j := range v {
+			v[j] += src.Gaussian(0, noise)
+			if v[j] < 0 {
+				v[j] = 0
+			}
+		}
+		return v
+	}
+	var x, queries [][]float64
+	var y []int
+	for c := 0; c < k; c++ {
+		for i := 0; i < perClass; i++ {
+			x = append(x, draw(c, 0.08))
+			y = append(y, c)
+		}
+		queries = append(queries, draw(c, 0.2))
+	}
+	m, err := prid.TrainClassifier(x, y, k, prid.WithDimension(dim), prid.WithSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, x, queries
+}
+
+func TestRegistryRegisterGetList(t *testing.T) {
+	r := NewRegistry(nil)
+	defer r.Close()
+	mb, _, _ := trainModel(t, 1, 24, 256)
+	ma, _, _ := trainModel(t, 2, 24, 512)
+	r.Register("beta", "", mb)
+	r.Register("alpha", "", ma)
+	if r.Len() != 2 {
+		t.Fatalf("len %d, want 2", r.Len())
+	}
+	e, ok := r.Get("alpha")
+	if !ok {
+		t.Fatal("alpha missing")
+	}
+	if e.info.Dimension != 512 {
+		t.Fatalf("alpha dimension %d, want 512", e.info.Dimension)
+	}
+	if _, ok := r.Get("gamma"); ok {
+		t.Fatal("phantom model found")
+	}
+	infos := r.List()
+	if len(infos) != 2 || infos[0].Name != "alpha" || infos[1].Name != "beta" {
+		t.Fatalf("list %+v not sorted by name", infos)
+	}
+}
+
+func TestRegistryLoadFileAndReload(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.prid")
+	m1, _, _ := trainModel(t, 3, 24, 256)
+	if err := m1.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry(nil)
+	defer r.Close()
+	if err := r.LoadFile("m", path); err != nil {
+		t.Fatal(err)
+	}
+	e1, _ := r.Get("m")
+	if e1.info.Dimension != 256 {
+		t.Fatalf("dimension %d, want 256", e1.info.Dimension)
+	}
+
+	// Hot swap: overwrite the file with a different model and reload.
+	m2, _, _ := trainModel(t, 4, 24, 512)
+	if err := m2.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	n, err := r.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("reloaded %d entries, want 1", n)
+	}
+	e2, _ := r.Get("m")
+	if e2.info.Dimension != 512 {
+		t.Fatalf("dimension %d after reload, want 512", e2.info.Dimension)
+	}
+	// The replaced entry's batcher must be drained and closed; the new
+	// one must serve.
+	if _, err := e1.batch.Predict(context.Background(), make([]float64, 24)); !errors.Is(err, ErrBatcherClosed) {
+		t.Fatalf("old batcher err = %v, want ErrBatcherClosed", err)
+	}
+	if _, err := e2.batch.Predict(context.Background(), make([]float64, 24)); err != nil {
+		t.Fatalf("new batcher: %v", err)
+	}
+}
+
+func TestRegistryLoadFileErrors(t *testing.T) {
+	r := NewRegistry(nil)
+	defer r.Close()
+	if err := r.LoadFile("m", filepath.Join(t.TempDir(), "absent.prid")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if r.Len() != 0 {
+		t.Fatal("failed load left an entry behind")
+	}
+}
+
+func TestRegistryAttackerCached(t *testing.T) {
+	r := NewRegistry(nil)
+	defer r.Close()
+	m, _, _ := trainModel(t, 5, 24, 256)
+	r.Register("m", "", m)
+	e, _ := r.Get("m")
+	a1, err := e.Attacker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := e.Attacker()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a1 != a2 {
+		t.Fatal("attacker rebuilt on second call")
+	}
+}

@@ -1,0 +1,176 @@
+// Package serve is the networked deployment layer of the PRID
+// reproduction: an HTTP JSON service that exposes a registry of trained
+// HDC models for prediction — and, because the paper's whole point is
+// what a deployed model gives away, the attacker's view of the same
+// boundary (/v1/reconstruct) and a defender self-audit
+// (/v1/audit/leakage). PRID's threat model is an adversary with query
+// access to a shared or served model; this package is that query access
+// made concrete.
+//
+// The hot path micro-batches concurrent predict requests (see batcher):
+// requests arriving within a small window are encoded together through
+// the root package's parallel PredictBatch and fanned back out.
+// Admission control is a fixed concurrency limit (503 + Retry-After when
+// saturated) with a per-request timeout; Shutdown drains in-flight work.
+// Every endpoint reports per-endpoint counters and latency histograms
+// plus batch-size metrics through internal/obs, published on the same
+// mux as /debug/vars and /debug/pprof.
+//
+// The package is stdlib-only, like the rest of the module.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"prid"
+	"prid/internal/obs"
+)
+
+// Config tunes a Server. The zero value is usable: defaults are filled in
+// by NewServer.
+type Config struct {
+	// Addr is the listen address (":0" picks a free port).
+	Addr string
+	// BatchWindow is how long the batcher holds the first request of a
+	// batch open for companions (default 2ms). Smaller trades batching
+	// efficiency for tail latency.
+	BatchWindow time.Duration
+	// BatchMax caps rows per micro-batch (default 32).
+	BatchMax int
+	// MaxInFlight caps concurrently admitted requests; excess requests
+	// are rejected with 503 (default 64).
+	MaxInFlight int
+	// RequestTimeout bounds one request's total processing time
+	// (default 30s; audits over large probe sets are the slow case).
+	RequestTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8080"
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 32
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Server serves a model registry over HTTP. Create with NewServer,
+// populate the registry, then Start and eventually Shutdown.
+type Server struct {
+	cfg Config
+	reg *Registry
+	srv *http.Server
+	ln  net.Listener
+	sem chan struct{}
+}
+
+// NewServer builds a server around cfg with an empty registry.
+func NewServer(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg: cfg,
+		sem: make(chan struct{}, cfg.MaxInFlight),
+	}
+	s.reg = NewRegistry(func(m *prid.Model) *batcher {
+		return newBatcher(m.PredictBatch, cfg.BatchWindow, cfg.BatchMax)
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.Handle("/v1/models", s.limited("models", s.handleModels))
+	mux.Handle("/v1/models/reload", s.limited("models", s.handleReload))
+	mux.Handle("/v1/predict", s.limited("predict", s.handlePredict))
+	mux.Handle("/v1/similarities", s.limited("similarities", s.handleSimilarities))
+	mux.Handle("/v1/reconstruct", s.limited("reconstruct", s.handleReconstruct))
+	mux.Handle("/v1/audit/leakage", s.limited("audit", s.handleAuditLeakage))
+	obs.PublishExpvar()
+	registerDebug(mux)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return s
+}
+
+// Registry exposes the server's model registry for population and
+// inspection.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Start binds the configured address and serves in a background
+// goroutine until Shutdown.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return fmt.Errorf("serve: listening on %s: %w", s.cfg.Addr, err)
+	}
+	s.ln = ln
+	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns on Shutdown/Close
+	logger.Info("serving", "addr", s.Addr(), "models", s.reg.Len(),
+		"batch_window", s.cfg.BatchWindow, "batch_max", s.cfg.BatchMax,
+		"max_inflight", s.cfg.MaxInFlight)
+	return nil
+}
+
+// Addr returns the bound address (resolving ":0" to the real port).
+// Only valid after Start.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Shutdown stops accepting new connections, waits for in-flight requests
+// to drain (bounded by ctx), then closes the registry's batchers.
+func (s *Server) Shutdown(ctx context.Context) error {
+	err := s.srv.Shutdown(ctx)
+	s.reg.Close()
+	if err != nil {
+		return fmt.Errorf("serve: shutdown: %w", err)
+	}
+	logger.Info("drained and stopped")
+	return nil
+}
+
+// limited wraps an endpoint handler with the server's admission control:
+// the concurrency semaphore (503 + Retry-After when full), the request
+// timeout, and per-endpoint request/error/latency metrics.
+func (s *Server) limited(name string, h func(w http.ResponseWriter, r *http.Request) error) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			metricRejected.Inc()
+			metricRequests[name].Inc()
+			metricErrors[name].Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable,
+				fmt.Errorf("server at capacity (%d requests in flight)", s.cfg.MaxInFlight))
+			return
+		}
+		metricInFlight.Set(float64(len(s.sem)))
+		defer func() {
+			<-s.sem
+			metricInFlight.Set(float64(len(s.sem)))
+		}()
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		start := time.Now()
+		err := h(w, r.WithContext(ctx))
+		observeRequest(name, start, err != nil)
+		if err != nil {
+			logger.Debug("request failed", "endpoint", name, "err", err)
+		}
+	})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "ok %d models\n", s.reg.Len())
+}

@@ -3,6 +3,7 @@ package prid
 import (
 	"fmt"
 	"io"
+	"os"
 
 	"prid/internal/decode"
 	"prid/internal/hdc"
@@ -21,9 +22,31 @@ func (m *Model) Save(w io.Writer) error {
 	return nil
 }
 
+// SaveFile writes the model to path (see Save).
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("prid: saving model: %w", err)
+	}
+	if err := m.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("prid: saving model: %w", err)
+	}
+	return nil
+}
+
 // Load reads a model previously written by Save. The learning-based
 // decoder is refactored on load (its Cholesky factorization is derived
 // state, not serialized).
+//
+// Load is safe on untrusted input — the threat model of a serving layer
+// hot-loading model files: declared feature/class/dimension counts are
+// capped, allocations grow only as bytes actually arrive, and corrupt,
+// truncated, or non-finite streams yield descriptive errors rather than
+// huge allocations or panics (see FuzzLoad).
 func Load(r io.Reader) (*Model, error) {
 	basis, err := hdc.ReadBasis(r)
 	if err != nil {
@@ -48,4 +71,14 @@ func Load(r io.Reader) (*Model, error) {
 		return nil, fmt.Errorf("prid: preparing decoder: %w", err)
 	}
 	return &Model{basis: basis, model: model, dec: ls}, nil
+}
+
+// LoadFile reads a model file written by SaveFile (or `prid train --save`).
+func LoadFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("prid: loading model: %w", err)
+	}
+	defer f.Close()
+	return Load(f)
 }

@@ -2,6 +2,7 @@ package prid
 
 import (
 	"bytes"
+	"encoding/binary"
 	"strings"
 	"testing"
 )
@@ -64,6 +65,84 @@ func TestLoadRejectsTruncatedModelHalf(t *testing.T) {
 	if _, err := Load(bytes.NewReader(raw[:len(raw)-16])); err == nil {
 		t.Fatal("truncated model section accepted")
 	}
+}
+
+// header assembles a serialization section header: magic plus two uint32
+// size fields, the attacker-controlled part of the format.
+func header(magic string, a, b uint32) []byte {
+	buf := []byte(magic)
+	buf = binary.LittleEndian.AppendUint32(buf, a)
+	buf = binary.LittleEndian.AppendUint32(buf, b)
+	return buf
+}
+
+// TestLoadRejectsAdversarialHeaders drives Load with streams whose
+// headers declare hostile shapes. Every case must produce a descriptive
+// error — and, critically, must do so without allocating anywhere near
+// the declared sizes (the fields are capped and reads are incremental).
+func TestLoadRejectsAdversarialHeaders(t *testing.T) {
+	x, y, _ := problem(33)
+	m := mustTrain(t, x, y, WithDimension(256))
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	basisLen := len(valid) - 16 - 4*3 - 8*3*256 // model section = magic+k+d+counts+classes
+
+	cases := []struct {
+		name string
+		data []byte
+	}{
+		{"features above cap", header("PRIDBAS1", 1<<21, 256)},
+		{"dimension above cap", header("PRIDBAS1", 24, 1<<25)},
+		{"basis payload above cap", header("PRIDBAS1", 1<<20, 1<<24)},
+		{"zero features", header("PRIDBAS1", 0, 256)},
+		{"classes above cap", append(append([]byte{}, valid[:basisLen]...), header("PRIDMDL1", 1<<17, 256)...)},
+		{"model payload above cap", append(append([]byte{}, valid[:basisLen]...), header("PRIDMDL1", 1<<16, 1<<22)...)},
+		{"model before basis", append(append([]byte{}, valid[basisLen:]...), valid[:basisLen]...)},
+		{"declared rows never arrive", header("PRIDBAS1", 1000, 1<<20)},
+		{"truncated mid-class", valid[:basisLen+16+12+100]},
+	}
+	for _, c := range cases {
+		if _, err := Load(bytes.NewReader(c.data)); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+// FuzzLoad hardens the full model loader: arbitrary bytes must either
+// load into a structurally consistent, servable model or error — never
+// panic, never hang, never allocate absurdly. This is the boundary a
+// model registry crosses when hot-loading files from disk.
+func FuzzLoad(f *testing.F) {
+	x, y, _ := problem(34)
+	m, err := TrainClassifier(x, y, 3, WithDimension(64))
+	if err != nil {
+		f.Fatal(err)
+	}
+	var valid bytes.Buffer
+	if err := m.Save(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte("PRIDBAS1"))
+	f.Add([]byte{})
+	f.Add(header("PRIDBAS1", 24, 64))
+	f.Add(header("PRIDBAS1", 0xffffffff, 0xffffffff))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if got.Features() <= 0 || got.Dimension() <= 0 || got.Classes() <= 0 {
+			t.Fatalf("accepted model with shape n=%d D=%d k=%d", got.Features(), got.Dimension(), got.Classes())
+		}
+		// An accepted model must be servable end to end.
+		if _, err := got.Predict(make([]float64, got.Features())); err != nil {
+			t.Fatalf("accepted model cannot predict: %v", err)
+		}
+	})
 }
 
 func TestSaveLoadReducedDimensionModel(t *testing.T) {

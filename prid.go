@@ -171,6 +171,40 @@ func (m *Model) Predict(x []float64) (int, error) {
 	return pred, nil
 }
 
+// validateRows checks every row of x against the model's feature count up
+// front, so a single ragged row produces one clear error instead of a
+// failure partway through a batch.
+func (m *Model) validateRows(x [][]float64) error {
+	n := m.Features()
+	for i, row := range x {
+		if len(row) != n {
+			return fmt.Errorf("prid: sample %d has %d features, model expects %d", i, len(row), n)
+		}
+	}
+	return nil
+}
+
+// PredictBatch classifies every row of x through the parallel encode path
+// and returns one class per row. Results are element-wise identical to
+// calling Predict on each row (encoding is a pure per-sample function);
+// the batch form exists because encoding dominates inference cost and
+// parallelizes perfectly across samples — it is the entry point the
+// serving layer's micro-batcher drives.
+func (m *Model) PredictBatch(x [][]float64) ([]int, error) {
+	if len(x) == 0 {
+		return nil, errors.New("prid: empty batch")
+	}
+	if err := m.validateRows(x); err != nil {
+		return nil, err
+	}
+	encoded := hdc.EncodeAllParallel(m.basis, x, 0)
+	out := make([]int, len(x))
+	for i, h := range encoded {
+		out[i], _ = m.model.Classify(h)
+	}
+	return out, nil
+}
+
 // Similarities returns the cosine similarity of x's encoding to every
 // class hypervector.
 func (m *Model) Similarities(x []float64) ([]float64, error) {
@@ -187,6 +221,9 @@ func (m *Model) Accuracy(x [][]float64, y []int) (float64, error) {
 	}
 	if len(x) == 0 {
 		return 0, errors.New("prid: empty evaluation set")
+	}
+	if err := m.validateRows(x); err != nil {
+		return 0, err
 	}
 	return hdc.AccuracyRaw(m.model, m.basis, x, y), nil
 }
