@@ -1,23 +1,29 @@
 # Tier-1+ gate for the PRID reproduction. `make check` is what a PR must
-# pass: formatting, vet, build, and the full test suite. `make race`
-# additionally runs the race detector over the packages with concurrency
-# (and everything else), and `make bench` regenerates the throughput
-# numbers the perf PRs are judged against.
+# pass: formatting, vet, build, the full test suite (shuffled), and both
+# end-to-end smokes (serving correctness and chaos resilience). `make
+# race` additionally runs the race detector over the packages with
+# concurrency (and everything else), `make chaos` hammers the server
+# with an aggressive fault schedule, and `make bench` regenerates the
+# throughput numbers the perf PRs are judged against.
 
 GO ?= go
 
-.PHONY: build test race vet fmt check bench bench-snapshot serve-smoke
+.PHONY: build test race vet fmt check bench bench-snapshot serve-smoke chaos-smoke chaos
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test order so accidental inter-test coupling
+# (shared obs counters, leftover registry state) fails loudly instead of
+# silently passing in lexical order.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
-# Covers the concurrent packages (internal/obs, internal/hdc, and the
-# internal/serve micro-batching server) along with everything else. The
-# experiments package needs more than the default 10m under the race
-# detector's slowdown, hence the explicit timeout.
+# Covers the concurrent packages (internal/obs, internal/hdc, the
+# internal/serve micro-batching server + reload-race test, and the
+# federated round) along with everything else. The experiments package
+# needs more than the default 10m under the race detector's slowdown,
+# hence the explicit timeout.
 race:
 	$(GO) test -race -timeout 30m ./...
 
@@ -30,7 +36,7 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-check: fmt vet build test serve-smoke
+check: fmt vet build test serve-smoke chaos-smoke
 
 # End-to-end gate for the serving subsystem: builds the binary, trains
 # and saves two quick models, starts `prid serve` on a random port,
@@ -39,6 +45,21 @@ check: fmt vet build test serve-smoke
 # drain. Fails non-zero on any mismatch.
 serve-smoke:
 	$(GO) run ./cmd/serve-smoke
+
+# Resilience gate: drives the server through a deterministic fault
+# schedule (errors, latency spikes, dropped/hung connections, truncated
+# and corrupted payloads, handler panics) with the retrying client and a
+# mid-run hot reload, requiring bit-identical predictions, recovered
+# panics, a clean drain, and zero goroutine leaks.
+chaos-smoke:
+	$(GO) run ./cmd/chaos-smoke
+
+# The same gate under a much nastier schedule and more traffic — for
+# soaking changes to the serving or client retry paths.
+chaos:
+	$(GO) run ./cmd/chaos-smoke \
+		-spec "error=0.25,latency=0.5:1ms-25ms,drop=0.08,hang=0.03,truncate=0.08,corrupt=0.08,panic=0.05,audit.panic=1" \
+		-requests 300
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

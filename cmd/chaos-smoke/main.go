@@ -1,0 +1,264 @@
+// Command chaos-smoke is the resilience gate for the serving subsystem,
+// run by `make chaos-smoke` (and therefore `make check`). It starts an
+// in-process server wrapped in a deterministic fault injector — error
+// returns, latency spikes, dropped and hung connections, truncated and
+// corrupted payloads, handler panics — and drives it with the retrying
+// client while a mid-run hot reload swaps the registry underneath.
+//
+// The bar it enforces:
+//
+//   - every prediction the client converges to is bit-identical to the
+//     in-process model, no matter which faults fired along the way;
+//   - injected handler panics surface as JSON 500s and the server keeps
+//     serving (the panic counter proves recovery ran);
+//   - /readyz tracks the registry/draining lifecycle;
+//   - shutdown drains cleanly and leaks no goroutines.
+//
+// Any violation exits non-zero. The schedule is configurable (-spec) so
+// `make chaos` can run a far more aggressive mix than the checked-in
+// default.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prid"
+	"prid/internal/dataset"
+	"prid/internal/faultinject"
+	"prid/internal/obs"
+	"prid/internal/serve"
+	"prid/internal/serve/client"
+)
+
+// defaultSpec injects at every fault class the framework knows, at rates
+// high enough that a few hundred requests hit each of them, while audit
+// panics unconditionally so panic recovery is proven, not sampled.
+const defaultSpec = "error=0.12,latency=0.35:1ms-15ms,drop=0.04,hang=0.02," +
+	"truncate=0.04,corrupt=0.04,panic=0.02,audit.panic=1"
+
+func main() {
+	spec := flag.String("spec", defaultSpec, "fault-injection schedule ([site.]kind=value,...)")
+	seed := flag.Uint64("seed", 0xc4a05, "fault-decision seed")
+	requests := flag.Int("requests", 200, "predict requests to drive through the chaos")
+	workers := flag.Int("workers", 8, "concurrent client workers")
+	flag.Parse()
+	if err := run(*spec, *seed, *requests, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "chaos-smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("chaos-smoke: OK")
+}
+
+func run(spec string, seed uint64, requests, workers int) error {
+	sched, err := faultinject.ParseSchedule(spec)
+	if err != nil {
+		return err
+	}
+	inj := faultinject.New(seed, sched)
+
+	// Train the reference model and save it so the registry is
+	// file-backed — the mid-run reload must genuinely re-read disk.
+	cfg := dataset.DefaultConfig()
+	cfg.TrainSize = 90
+	cfg.TestSize = 30
+	ds, err := dataset.Load("ACTIVITY", cfg)
+	if err != nil {
+		return err
+	}
+	model, err := prid.TrainClassifier(ds.TrainX, ds.TrainY, ds.Classes, prid.WithDimension(512))
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "prid-chaos-smoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "activity.prid")
+	if err := model.SaveFile(path); err != nil {
+		return err
+	}
+	queries := ds.TestX
+	want, err := model.PredictBatch(queries)
+	if err != nil {
+		return err
+	}
+
+	baseline := runtime.NumGoroutine()
+
+	srv := serve.NewServer(serve.Config{
+		Addr:           "127.0.0.1:0",
+		BatchWindow:    time.Millisecond,
+		MaxInFlight:    64,
+		RequestTimeout: 2 * time.Second, // resolves injected hangs quickly
+		Injector:       inj,
+	})
+	if err := srv.Registry().LoadFile("activity", path); err != nil {
+		return err
+	}
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //nolint:errcheck // failure paths re-shutdown
+	}()
+
+	httpClient := &http.Client{}
+	cl, err := client.New(client.Config{
+		BaseURL:     "http://" + srv.Addr(),
+		HTTPClient:  httpClient,
+		MaxAttempts: 12,
+		BaseBackoff: 5 * time.Millisecond,
+		MaxBackoff:  100 * time.Millisecond,
+		// The mix runs ~28% faults; 20 consecutive failures means the
+		// server is actually down, not merely unlucky.
+		BreakerThreshold: 20,
+		BreakerCooldown:  200 * time.Millisecond,
+		JitterSeed:       seed,
+	})
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 3*time.Minute)
+	defer cancel()
+	if err := cl.Ready(ctx); err != nil {
+		return fmt.Errorf("/readyz with a loaded registry: %w", err)
+	}
+
+	attemptsBefore := obs.GetCounter("serve.client.attempts").Value()
+	retriesBefore := obs.GetCounter("serve.client.retries").Value()
+	panicsBefore := obs.GetCounter("serve.panics").Value()
+
+	// Drive the predict traffic. Every converged answer must match the
+	// in-process model bit-for-bit — under error returns, latency
+	// spikes, dropped connections, truncated/corrupted payloads, AND one
+	// registry reload landing mid-run.
+	var (
+		wg        sync.WaitGroup
+		issued    atomic.Int64
+		mismatch  atomic.Int64
+		firstErr  atomic.Value
+		reloadGun sync.Once
+	)
+	fail := func(err error) {
+		firstErr.CompareAndSwap(nil, err) //nolint:errcheck // keep the first failure only
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(issued.Add(1)) - 1
+				if i >= requests || firstErr.Load() != nil {
+					return
+				}
+				if i == requests/2 {
+					// Halfway through: hot-reload the registry under
+					// live traffic. Reload is never retried by the
+					// client, so re-issue it here until one application
+					// survives the chaos — as an operator would.
+					reloadGun.Do(func() {
+						for attempt := 0; ; attempt++ {
+							if _, err := cl.Reload(ctx); err == nil {
+								return
+							} else if attempt >= 50 || ctx.Err() != nil {
+								fail(fmt.Errorf("mid-run reload never succeeded: %w", err))
+								return
+							}
+						}
+					})
+				}
+				q := i % len(queries)
+				got, err := cl.PredictOne(ctx, "activity", queries[q])
+				if err != nil {
+					fail(fmt.Errorf("worker %d request %d: %w", w, i, err))
+					return
+				}
+				if got != want[q] {
+					mismatch.Add(1)
+					fail(fmt.Errorf("worker %d query %d: served class %d, in-process %d", w, q, got, want[q]))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return err
+	}
+	attempts := obs.GetCounter("serve.client.attempts").Value() - attemptsBefore
+	retries := obs.GetCounter("serve.client.retries").Value() - retriesBefore
+	fmt.Printf("chaos-smoke: %d predictions bit-identical through %d attempts (%d retries)\n",
+		requests, attempts, retries)
+	fmt.Printf("chaos-smoke: injector: %s\n", inj.Summary())
+	if inj.TotalInjected() == 0 {
+		return errors.New("injector fired zero faults — the run proved nothing")
+	}
+	if strings.Contains(spec, "error=") && retries == 0 {
+		return errors.New("no client retries under an error-injecting schedule — retry path untested")
+	}
+
+	// Panic recovery: the audit site panics unconditionally under the
+	// default schedule. Each direct call must come back as a JSON 500
+	// naming the panic, with the server still serving afterwards.
+	if panicRate(sched) > 0 {
+		for i := 0; i < 3; i++ {
+			_, err := cl.AuditLeakage(ctx, "activity", ds.TrainX[:8], queries[:1])
+			var se *client.StatusError
+			if !errors.As(err, &se) || se.Code != http.StatusInternalServerError ||
+				!strings.Contains(se.Message, "panic") {
+				return fmt.Errorf("panicking audit call %d returned %v, want a 500 naming the panic", i, err)
+			}
+		}
+		got := obs.GetCounter("serve.panics").Value() - panicsBefore
+		if got == 0 {
+			return errors.New("serve.panics never advanced — recovery middleware untested")
+		}
+		if _, err := cl.PredictOne(ctx, "activity", queries[0]); err != nil {
+			return fmt.Errorf("predict after %d recovered panics: %w", got, err)
+		}
+		fmt.Printf("chaos-smoke: survived %d injected panics as JSON 500s\n", got)
+	}
+
+	// Drain and prove the process is clean: /readyz flips during
+	// shutdown, Shutdown returns nil, and no goroutines leak.
+	shutdownCtx, cancelShutdown := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancelShutdown()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("drain after chaos: %w", err)
+	}
+	httpClient.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+3 {
+			fmt.Printf("chaos-smoke: clean drain, %d goroutines (baseline %d)\n", n, baseline)
+			return nil
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			return fmt.Errorf("goroutine leak: %d alive, baseline %d\n%s",
+				n, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// panicRate returns the audit site's effective panic rate under sched.
+func panicRate(sched faultinject.Schedule) float64 {
+	if site, ok := sched["audit"]; ok {
+		return site.PanicRate
+	}
+	return sched[""].PanicRate
+}

@@ -10,6 +10,7 @@ import (
 	"syscall"
 	"time"
 
+	"prid/internal/faultinject"
 	"prid/internal/serve"
 )
 
@@ -42,8 +43,20 @@ func cmdServe(args []string) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request processing timeout")
 	drain := fs.Duration("drain", 15*time.Second, "max time to drain in-flight requests on shutdown")
 	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
+	chaos := fs.String("chaos", "", "inject faults per this schedule ([site.]kind=value,... — e.g. \"error=0.1,predict.latency=0.5:1ms-20ms\") for resilience testing")
+	chaosSeed := fs.Uint64("chaos-seed", 1, "seed for --chaos fault decisions")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var inj *faultinject.Injector
+	if *chaos != "" {
+		sched, err := faultinject.ParseSchedule(*chaos)
+		if err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		inj = faultinject.New(*chaosSeed, sched)
+		fmt.Fprintf(os.Stderr, "serve: CHAOS MODE: injecting faults per %q (seed %d) — not for production traffic\n",
+			*chaos, *chaosSeed)
 	}
 	s := serve.NewServer(serve.Config{
 		Addr:           *listen,
@@ -51,6 +64,7 @@ func cmdServe(args []string) error {
 		BatchMax:       *batchMax,
 		MaxInFlight:    *inflight,
 		RequestTimeout: *timeout,
+		Injector:       inj,
 	})
 	for _, spec := range models {
 		name, path, _ := strings.Cut(spec, "=")

@@ -1,0 +1,354 @@
+// Package faultinject is the deterministic chaos layer of the PRID
+// reproduction: a seeded fault injector that perturbs the serving and
+// federated paths with latency spikes, error returns, dropped and hung
+// connections, truncated and corrupted payloads, and handler panics —
+// all driven by per-site probability schedules so resilience tests and
+// the cmd/chaos-smoke gate exercise real failure modes reproducibly.
+//
+// Determinism: every decision is one draw from an internal/rng stream
+// behind a mutex. Serialized callers see a bit-identical decision
+// sequence for a given seed; concurrent callers see a reproducible
+// multiset of decisions (the stream itself never varies, only which
+// request receives which draw).
+//
+// The package is stdlib-only within the module, like everything else.
+package faultinject
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"prid/internal/obs"
+	"prid/internal/rng"
+)
+
+// Fault enumerates the injectable failure modes.
+type Fault int
+
+const (
+	// FaultNone lets the request through (possibly delayed).
+	FaultNone Fault = iota
+	// FaultError short-circuits with an injected error (HTTP 500).
+	FaultError
+	// FaultHang blocks until the request's context expires.
+	FaultHang
+	// FaultDrop kills the connection without writing a response.
+	FaultDrop
+	// FaultTruncate cuts the response payload short mid-body.
+	FaultTruncate
+	// FaultCorrupt overwrites response payload bytes with NUL bytes,
+	// which no JSON decoder accepts — corruption is always detectable,
+	// never silently plausible.
+	FaultCorrupt
+	// FaultPanic panics inside the handler chain, exercising the
+	// server's panic-recovery middleware.
+	FaultPanic
+)
+
+var faultNames = [...]string{"none", "error", "hang", "drop", "truncate", "corrupt", "panic"}
+
+func (f Fault) String() string {
+	if f < 0 || int(f) >= len(faultNames) {
+		return fmt.Sprintf("fault(%d)", int(f))
+	}
+	return faultNames[f]
+}
+
+// Site is the fault schedule at one injection point: independent latency
+// injection plus at most one of the terminal faults per decision (the
+// rates partition a single uniform draw, so they must sum to ≤ 1).
+type Site struct {
+	ErrorRate    float64
+	HangRate     float64
+	DropRate     float64
+	TruncateRate float64
+	CorruptRate  float64
+	PanicRate    float64
+
+	// LatencyRate is the probability of an added delay, drawn uniformly
+	// from [LatencyMin, LatencyMax). Latency composes with any fault.
+	LatencyRate float64
+	LatencyMin  time.Duration
+	LatencyMax  time.Duration
+}
+
+// validate checks rates and the latency range.
+func (s Site) validate(name string) error {
+	rates := map[string]float64{
+		"error": s.ErrorRate, "hang": s.HangRate, "drop": s.DropRate,
+		"truncate": s.TruncateRate, "corrupt": s.CorruptRate,
+		"panic": s.PanicRate, "latency": s.LatencyRate,
+	}
+	total := 0.0
+	for key, p := range rates {
+		if p < 0 || p > 1 {
+			return fmt.Errorf("faultinject: site %q: %s rate %v outside [0,1]", name, key, p)
+		}
+		if key != "latency" {
+			total += p
+		}
+	}
+	if total > 1 {
+		return fmt.Errorf("faultinject: site %q: fault rates sum to %v > 1", name, total)
+	}
+	if s.LatencyMin < 0 || s.LatencyMax < s.LatencyMin {
+		return fmt.Errorf("faultinject: site %q: latency range [%v, %v] invalid", name, s.LatencyMin, s.LatencyMax)
+	}
+	return nil
+}
+
+// Schedule maps site names to their fault schedules. The "" entry is the
+// default applied to sites with no entry of their own.
+type Schedule map[string]Site
+
+// Decision is one injector verdict: an optional delay plus at most one
+// fault.
+type Decision struct {
+	Fault   Fault
+	Latency time.Duration
+}
+
+// Injector draws deterministic fault decisions from a seeded stream.
+// Safe for concurrent use.
+type Injector struct {
+	mu     sync.Mutex
+	src    *rng.Source
+	sched  Schedule
+	counts map[string]*siteCounts
+}
+
+type siteCounts struct {
+	faults  [len(faultNames)]int64
+	latency int64
+}
+
+var (
+	metricInjected = obs.GetCounter("faultinject.injected")
+	metricLatency  = obs.GetCounter("faultinject.latency")
+)
+
+// New builds an injector over the schedule, seeded for reproducibility.
+// It panics on an invalid schedule (construction is configuration time,
+// not the hot path).
+func New(seed uint64, sched Schedule) *Injector {
+	for name, site := range sched {
+		if err := site.validate(name); err != nil {
+			panic(err)
+		}
+	}
+	if sched == nil {
+		sched = Schedule{}
+	}
+	return &Injector{
+		src:    rng.New(seed),
+		sched:  sched,
+		counts: make(map[string]*siteCounts),
+	}
+}
+
+// site resolves the schedule for name, falling back to the "" default.
+func (i *Injector) site(name string) Site {
+	if s, ok := i.sched[name]; ok {
+		return s
+	}
+	return i.sched[""]
+}
+
+// Decide draws one decision for the named site.
+func (i *Injector) Decide(name string) Decision {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	s := i.site(name)
+	c := i.counts[name]
+	if c == nil {
+		c = &siteCounts{}
+		i.counts[name] = c
+	}
+	var d Decision
+	if s.LatencyRate > 0 && i.src.Bernoulli(s.LatencyRate) {
+		if s.LatencyMax > s.LatencyMin {
+			d.Latency = s.LatencyMin + time.Duration(i.src.Float64()*float64(s.LatencyMax-s.LatencyMin))
+		} else {
+			d.Latency = s.LatencyMin
+		}
+		c.latency++
+		metricLatency.Inc()
+	}
+	// One uniform draw partitioned by the cumulative fault rates: the
+	// draw count per decision is fixed, keeping the stream aligned no
+	// matter which fault fires.
+	u := i.src.Float64()
+	for _, fr := range []struct {
+		f Fault
+		p float64
+	}{
+		{FaultError, s.ErrorRate},
+		{FaultHang, s.HangRate},
+		{FaultDrop, s.DropRate},
+		{FaultTruncate, s.TruncateRate},
+		{FaultCorrupt, s.CorruptRate},
+		{FaultPanic, s.PanicRate},
+	} {
+		if u < fr.p {
+			d.Fault = fr.f
+			c.faults[fr.f]++
+			metricInjected.Inc()
+			return d
+		}
+		u -= fr.p
+	}
+	c.faults[FaultNone]++
+	return d
+}
+
+// Counts returns the per-fault decision counts for the named site
+// (including FaultNone pass-throughs).
+func (i *Injector) Counts(name string) map[Fault]int64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make(map[Fault]int64)
+	if c := i.counts[name]; c != nil {
+		for f, n := range c.faults {
+			if n > 0 {
+				out[Fault(f)] = n
+			}
+		}
+	}
+	return out
+}
+
+// TotalInjected returns the number of non-None faults injected across
+// all sites (latency injections are counted separately, see Summary).
+func (i *Injector) TotalInjected() int64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	var total int64
+	for _, c := range i.counts {
+		for f, n := range c.faults {
+			if Fault(f) != FaultNone {
+				total += n
+			}
+		}
+	}
+	return total
+}
+
+// Summary renders the per-site decision counts for logs and the
+// chaos-smoke report.
+func (i *Injector) Summary() string {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	names := make([]string, 0, len(i.counts))
+	for name := range i.counts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, name := range names {
+		c := i.counts[name]
+		fmt.Fprintf(&b, "%s:", name)
+		for f, n := range c.faults {
+			if n > 0 {
+				fmt.Fprintf(&b, " %s=%d", Fault(f), n)
+			}
+		}
+		if c.latency > 0 {
+			fmt.Fprintf(&b, " latency=%d", c.latency)
+		}
+		b.WriteString("; ")
+	}
+	return strings.TrimSuffix(b.String(), "; ")
+}
+
+// ParseSchedule parses the CLI chaos spec: comma-separated
+// `[site.]kind=value` entries, where kind is one of error, hang, drop,
+// truncate, corrupt, panic, or latency. Latency values are either a bare
+// probability or `P:MIN-MAX` with Go durations, e.g.
+//
+//	error=0.1,latency=0.3:1ms-20ms,drop=0.05,audit.panic=1
+//
+// Entries without a site prefix populate the "" default site.
+func ParseSchedule(spec string) (Schedule, error) {
+	sched := Schedule{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, value, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("faultinject: entry %q is not key=value", part)
+		}
+		site, kind := "", key
+		if idx := strings.LastIndex(key, "."); idx >= 0 {
+			site, kind = key[:idx], key[idx+1:]
+		}
+		s := sched[site]
+		if err := applySpec(&s, kind, value); err != nil {
+			return nil, err
+		}
+		sched[site] = s
+	}
+	for name, site := range sched {
+		if err := site.validate(name); err != nil {
+			return nil, err
+		}
+	}
+	return sched, nil
+}
+
+func applySpec(s *Site, kind, value string) error {
+	if kind == "latency" {
+		prob, rng, found := strings.Cut(value, ":")
+		p, err := strconv.ParseFloat(prob, 64)
+		if err != nil {
+			return fmt.Errorf("faultinject: latency probability %q: %w", prob, err)
+		}
+		s.LatencyRate = p
+		if !found {
+			if s.LatencyMax == 0 {
+				s.LatencyMin, s.LatencyMax = time.Millisecond, 10*time.Millisecond
+			}
+			return nil
+		}
+		lo, hi, ok := strings.Cut(rng, "-")
+		if !ok {
+			return fmt.Errorf("faultinject: latency range %q wants MIN-MAX", rng)
+		}
+		min, err := time.ParseDuration(lo)
+		if err != nil {
+			return fmt.Errorf("faultinject: latency min %q: %w", lo, err)
+		}
+		max, err := time.ParseDuration(hi)
+		if err != nil {
+			return fmt.Errorf("faultinject: latency max %q: %w", hi, err)
+		}
+		s.LatencyMin, s.LatencyMax = min, max
+		return nil
+	}
+	p, err := strconv.ParseFloat(value, 64)
+	if err != nil {
+		return fmt.Errorf("faultinject: %s rate %q: %w", kind, value, err)
+	}
+	switch kind {
+	case "error":
+		s.ErrorRate = p
+	case "hang":
+		s.HangRate = p
+	case "drop":
+		s.DropRate = p
+	case "truncate":
+		s.TruncateRate = p
+	case "corrupt":
+		s.CorruptRate = p
+	case "panic":
+		s.PanicRate = p
+	default:
+		return fmt.Errorf("faultinject: unknown fault kind %q", kind)
+	}
+	return nil
+}

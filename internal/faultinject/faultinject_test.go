@@ -1,0 +1,263 @@
+package faultinject
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDecideDeterministic(t *testing.T) {
+	sched := Schedule{"": {ErrorRate: 0.2, DropRate: 0.1, LatencyRate: 0.3, LatencyMin: time.Millisecond, LatencyMax: 5 * time.Millisecond}}
+	a, b := New(42, sched), New(42, sched)
+	for i := 0; i < 500; i++ {
+		da, db := a.Decide("predict"), b.Decide("predict")
+		if da != db {
+			t.Fatalf("draw %d: %+v != %+v with identical seeds", i, da, db)
+		}
+	}
+	c := New(43, sched)
+	same := true
+	for i := 0; i < 500; i++ {
+		if a.Decide("x") != c.Decide("x") {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical decision streams")
+	}
+}
+
+func TestDecideRates(t *testing.T) {
+	inj := New(7, Schedule{"": {ErrorRate: 0.25, LatencyRate: 0.5, LatencyMin: time.Millisecond, LatencyMax: 2 * time.Millisecond}})
+	const n = 4000
+	var errs, delays int
+	for i := 0; i < n; i++ {
+		d := inj.Decide("s")
+		if d.Fault == FaultError {
+			errs++
+		}
+		if d.Latency > 0 {
+			delays++
+			if d.Latency < time.Millisecond || d.Latency >= 2*time.Millisecond {
+				t.Fatalf("latency %v outside [1ms, 2ms)", d.Latency)
+			}
+		}
+	}
+	if float64(errs)/n < 0.2 || float64(errs)/n > 0.3 {
+		t.Fatalf("error rate %v, want ≈0.25", float64(errs)/n)
+	}
+	if float64(delays)/n < 0.44 || float64(delays)/n > 0.56 {
+		t.Fatalf("latency rate %v, want ≈0.5", float64(delays)/n)
+	}
+	if got := inj.Counts("s")[FaultError]; got != int64(errs) {
+		t.Fatalf("counted %d errors, observed %d", got, errs)
+	}
+	if inj.TotalInjected() != int64(errs) {
+		t.Fatalf("TotalInjected %d, want %d", inj.TotalInjected(), errs)
+	}
+}
+
+func TestPerSiteScheduleOverridesDefault(t *testing.T) {
+	inj := New(1, Schedule{
+		"":      {ErrorRate: 0},
+		"audit": {PanicRate: 1},
+	})
+	for i := 0; i < 20; i++ {
+		if d := inj.Decide("predict"); d.Fault != FaultNone {
+			t.Fatalf("default site injected %v", d.Fault)
+		}
+		if d := inj.Decide("audit"); d.Fault != FaultPanic {
+			t.Fatalf("audit site gave %v, want panic", d.Fault)
+		}
+	}
+}
+
+func TestParseSchedule(t *testing.T) {
+	sched, err := ParseSchedule("error=0.1,latency=0.3:2ms-20ms,drop=0.05,audit.panic=1,predict.latency=0.2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	def := sched[""]
+	if def.ErrorRate != 0.1 || def.DropRate != 0.05 || def.LatencyRate != 0.3 ||
+		def.LatencyMin != 2*time.Millisecond || def.LatencyMax != 20*time.Millisecond {
+		t.Fatalf("default site parsed wrong: %+v", def)
+	}
+	if sched["audit"].PanicRate != 1 {
+		t.Fatalf("audit site parsed wrong: %+v", sched["audit"])
+	}
+	p := sched["predict"]
+	if p.LatencyRate != 0.2 || p.LatencyMin != time.Millisecond || p.LatencyMax != 10*time.Millisecond {
+		t.Fatalf("bare latency probability did not pick up default range: %+v", p)
+	}
+
+	for _, bad := range []string{
+		"error",               // not key=value
+		"error=nope",          // not a number
+		"error=1.5",           // out of range
+		"warp=0.1",            // unknown kind
+		"latency=0.2:5ms",     // malformed range
+		"error=0.7,drop=0.7",  // rates sum past 1
+		"latency=0.1:9ms-2ms", // inverted range
+	} {
+		if _, err := ParseSchedule(bad); err == nil {
+			t.Errorf("ParseSchedule(%q) accepted invalid spec", bad)
+		}
+	}
+}
+
+// chaosServer wires the middleware around a tiny JSON handler the way
+// the serve package does, with a recovery layer outside it.
+func chaosServer(t *testing.T, inj *Injector, site string) *httptest.Server {
+	t.Helper()
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		io.WriteString(w, `{"answer":42,"padding":"0123456789abcdef0123456789abcdef"}`) //nolint:errcheck
+	})
+	h := Middleware(inj, site, inner)
+	recovered := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				if err, ok := p.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+					panic(p)
+				}
+				w.WriteHeader(http.StatusInternalServerError)
+				io.WriteString(w, `{"error":"recovered"}`) //nolint:errcheck
+			}
+		}()
+		h.ServeHTTP(w, r)
+	})
+	srv := httptest.NewServer(recovered)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestMiddlewareFaults(t *testing.T) {
+	get := func(srv *httptest.Server) (*http.Response, []byte, error) {
+		resp, err := http.Get(srv.URL)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		return resp, body, err
+	}
+
+	t.Run("error", func(t *testing.T) {
+		srv := chaosServer(t, New(1, Schedule{"": {ErrorRate: 1}}), "s")
+		resp, body, err := get(srv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusInternalServerError || !bytes.Contains(body, []byte("injected error")) {
+			t.Fatalf("status %d body %q, want injected 500", resp.StatusCode, body)
+		}
+	})
+
+	t.Run("panic-recovered-outside", func(t *testing.T) {
+		srv := chaosServer(t, New(1, Schedule{"": {PanicRate: 1}}), "s")
+		resp, body, err := get(srv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusInternalServerError || !bytes.Contains(body, []byte("recovered")) {
+			t.Fatalf("status %d body %q, want recovered 500", resp.StatusCode, body)
+		}
+	})
+
+	t.Run("drop", func(t *testing.T) {
+		srv := chaosServer(t, New(1, Schedule{"": {DropRate: 1}}), "s")
+		if _, _, err := get(srv); err == nil {
+			t.Fatal("dropped connection still produced a response")
+		}
+	})
+
+	t.Run("truncate", func(t *testing.T) {
+		srv := chaosServer(t, New(1, Schedule{"": {TruncateRate: 1}}), "s")
+		_, body, err := get(srv)
+		if err == nil && len(body) > truncateAfterBytes {
+			t.Fatalf("truncated response delivered %d bytes intact", len(body))
+		}
+		var v map[string]any
+		if jerr := json.Unmarshal(body, &v); jerr == nil {
+			t.Fatalf("truncated body %q still parsed as JSON", body)
+		}
+	})
+
+	t.Run("corrupt", func(t *testing.T) {
+		srv := chaosServer(t, New(1, Schedule{"": {CorruptRate: 1}}), "s")
+		_, body, err := get(srv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Contains(body, []byte{0x00}) {
+			t.Fatalf("corrupted body %q carries no NUL bytes", body)
+		}
+		var v map[string]any
+		if jerr := json.Unmarshal(body, &v); jerr == nil {
+			t.Fatal("corrupted body still parsed as JSON")
+		}
+	})
+
+	t.Run("none-passthrough", func(t *testing.T) {
+		srv := chaosServer(t, New(1, Schedule{}), "s")
+		resp, body, err := get(srv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var v map[string]any
+		if resp.StatusCode != http.StatusOK || json.Unmarshal(body, &v) != nil {
+			t.Fatalf("clean pass-through broken: status %d body %q", resp.StatusCode, body)
+		}
+	})
+}
+
+func TestTransportFaults(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, `{"answer":42,"padding":"0123456789abcdef0123456789abcdef"}`) //nolint:errcheck
+	}))
+	t.Cleanup(srv.Close)
+
+	client := func(sched Schedule) *http.Client {
+		return &http.Client{Transport: &Transport{Injector: New(3, sched), Site: "net"}}
+	}
+
+	if _, err := client(Schedule{"": {ErrorRate: 1}}).Get(srv.URL); !errors.Is(err, ErrInjected) {
+		t.Fatalf("injected transport error not surfaced: %v", err)
+	}
+
+	resp, err := client(Schedule{"": {TruncateRate: 1}}).Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated body read err = %v (%q), want unexpected EOF", err, body)
+	}
+
+	resp, err = client(Schedule{"": {CorruptRate: 1}}).Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(body, []byte{0x00}) {
+		t.Fatalf("corrupted body %q carries no NUL bytes", body)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	inj := New(1, Schedule{"": {ErrorRate: 1}})
+	inj.Decide("a")
+	inj.Decide("b")
+	s := inj.Summary()
+	if !strings.Contains(s, "a: error=1") || !strings.Contains(s, "b: error=1") {
+		t.Fatalf("summary %q missing per-site counts", s)
+	}
+}

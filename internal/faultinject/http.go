@@ -1,0 +1,230 @@
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// Middleware wraps next with fault injection at the named site. A nil
+// injector returns next unchanged, so wiring can be unconditional.
+//
+// Fault semantics at the HTTP boundary:
+//
+//   - latency: the request is delayed (bounded by its context).
+//   - error: 500 with the JSON error envelope, next never runs.
+//   - hang: blocks until the request context expires, then answers 503 —
+//     the client sees its deadline, not a reply.
+//   - drop: panics with http.ErrAbortHandler, net/http's sanctioned way
+//     to kill the connection without a response.
+//   - panic: panics with an ordinary value, exercising the server's
+//     recovery middleware (which must sit outside this one).
+//   - truncate: forwards only the first few payload bytes, then aborts
+//     the connection so the cut can never parse as a complete reply.
+//   - corrupt: overwrites payload bytes with NUL bytes (invalid in JSON
+//     anywhere), so corruption is always a detectable decode failure.
+func Middleware(inj *Injector, site string, next http.Handler) http.Handler {
+	if inj == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		d := inj.Decide(site)
+		if d.Latency > 0 {
+			sleepCtx(r, d.Latency)
+		}
+		switch d.Fault {
+		case FaultError:
+			w.Header().Set("X-Fault-Injected", "error")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusInternalServerError)
+			fmt.Fprintf(w, `{"error":"faultinject: injected error at %s"}`, site)
+		case FaultHang:
+			<-r.Context().Done()
+			w.Header().Set("X-Fault-Injected", "hang")
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, `{"error":"faultinject: request hung past its deadline at %s"}`, site)
+		case FaultDrop:
+			panic(http.ErrAbortHandler)
+		case FaultPanic:
+			panic(fmt.Sprintf("faultinject: injected panic at %s", site))
+		case FaultTruncate:
+			tw := &truncateWriter{ResponseWriter: w, limit: truncateAfterBytes}
+			next.ServeHTTP(tw, r)
+			if tw.truncated {
+				// Abort so a short-but-prefix-valid body cannot be taken
+				// for a complete response.
+				panic(http.ErrAbortHandler)
+			}
+		case FaultCorrupt:
+			next.ServeHTTP(&corruptWriter{ResponseWriter: w}, r)
+		default:
+			next.ServeHTTP(w, r)
+		}
+	})
+}
+
+// sleepCtx delays without outliving the request.
+func sleepCtx(r *http.Request, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-r.Context().Done():
+	}
+}
+
+// truncateAfterBytes is how much of the payload a truncated response
+// still delivers — enough to look like a reply started, never enough to
+// complete one.
+const truncateAfterBytes = 12
+
+// truncateWriter forwards the first limit payload bytes and swallows the
+// rest.
+type truncateWriter struct {
+	http.ResponseWriter
+	limit     int
+	written   int
+	truncated bool
+}
+
+func (t *truncateWriter) Write(p []byte) (int, error) {
+	if t.written >= t.limit {
+		t.truncated = true
+		return len(p), nil
+	}
+	keep := t.limit - t.written
+	if keep > len(p) {
+		keep = len(p)
+	}
+	n, err := t.ResponseWriter.Write(p[:keep])
+	t.written += n
+	if keep < len(p) {
+		t.truncated = true
+	}
+	if err != nil {
+		return n, err
+	}
+	return len(p), nil
+}
+
+// corruptWriter overwrites a few bytes of the first payload chunk with
+// NUL bytes. NUL is invalid in JSON both inside strings (control
+// character) and between tokens (not whitespace), so the corruption is
+// guaranteed to surface as a decode error rather than a plausible wrong
+// value.
+type corruptWriter struct {
+	http.ResponseWriter
+	done bool
+}
+
+func (c *corruptWriter) Write(p []byte) (int, error) {
+	if c.done || len(p) == 0 {
+		return c.ResponseWriter.Write(p)
+	}
+	c.done = true
+	mangled := append([]byte(nil), p...)
+	for _, at := range []int{len(mangled) / 2, len(mangled) / 3, 2 * len(mangled) / 3} {
+		if at < len(mangled) {
+			mangled[at] = 0x00
+		}
+	}
+	return c.ResponseWriter.Write(mangled)
+}
+
+// ErrInjected is the error class Transport returns for injected
+// client-side failures; errors.Is(err, ErrInjected) identifies them.
+var ErrInjected = errors.New("faultinject: injected transport fault")
+
+// Transport injects faults on the client side of a round trip — the
+// flaky-network view, complementing Middleware's flaky-server view.
+type Transport struct {
+	Injector *Injector
+	Site     string
+	// Base handles the real round trip (http.DefaultTransport when nil).
+	Base http.RoundTripper
+}
+
+// RoundTrip applies one decision: latency delays the request, error and
+// drop fail it outright, hang waits out the request context, and
+// truncate/corrupt mangle the response body stream.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	if t.Injector == nil {
+		return base.RoundTrip(req)
+	}
+	d := t.Injector.Decide(t.Site)
+	if d.Latency > 0 {
+		sleepCtx(req, d.Latency)
+	}
+	switch d.Fault {
+	case FaultError, FaultDrop:
+		return nil, fmt.Errorf("%w: %s at %s", ErrInjected, d.Fault, t.Site)
+	case FaultHang:
+		<-req.Context().Done()
+		return nil, fmt.Errorf("%w: hang at %s: %v", ErrInjected, t.Site, req.Context().Err())
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil {
+		return resp, err
+	}
+	switch d.Fault {
+	case FaultTruncate:
+		resp.Body = &truncateBody{rc: resp.Body, remaining: truncateAfterBytes}
+		resp.ContentLength = -1
+	case FaultCorrupt:
+		resp.Body = &corruptBody{rc: resp.Body}
+	}
+	return resp, nil
+}
+
+// truncateBody cuts the response stream short with an abrupt
+// ErrUnexpectedEOF, as a connection reset mid-body would.
+type truncateBody struct {
+	rc        io.ReadCloser
+	remaining int
+}
+
+func (b *truncateBody) Read(p []byte) (int, error) {
+	if b.remaining <= 0 {
+		return 0, io.ErrUnexpectedEOF
+	}
+	if len(p) > b.remaining {
+		p = p[:b.remaining]
+	}
+	n, err := b.rc.Read(p)
+	b.remaining -= n
+	if err == nil && b.remaining <= 0 {
+		err = io.ErrUnexpectedEOF
+	}
+	return n, err
+}
+
+func (b *truncateBody) Close() error { return b.rc.Close() }
+
+// corruptBody NULs a few bytes of the first chunk read, mirroring
+// corruptWriter on the receive path.
+type corruptBody struct {
+	rc   io.ReadCloser
+	done bool
+}
+
+func (b *corruptBody) Read(p []byte) (int, error) {
+	n, err := b.rc.Read(p)
+	if !b.done && n > 0 {
+		b.done = true
+		for _, at := range []int{n / 2, n / 3, 2 * n / 3} {
+			if at < n {
+				p[at] = 0x00
+			}
+		}
+	}
+	return n, err
+}
+
+func (b *corruptBody) Close() error { return b.rc.Close() }

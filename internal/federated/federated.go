@@ -159,11 +159,7 @@ func ClassPresence(m *hdc.Model, threshold float64) []bool {
 func (s *Simulation) TrainAll() []*hdc.Model {
 	models := make([]*hdc.Model, len(s.Devices))
 	for i, dev := range s.Devices {
-		encoded := dev.Basis.EncodeAll(dev.X)
-		m := hdc.TrainEncoded(encoded, dev.Y, dev.classes, dev.Basis.Dim())
-		if s.cfg.RetrainEpochs > 0 {
-			hdc.Retrain(m, encoded, dev.Y, 0.1, s.cfg.RetrainEpochs)
-		}
+		m := s.trainDevice(dev)
 		dev.Model = m
 		models[i] = m
 	}

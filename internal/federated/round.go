@@ -1,0 +1,191 @@
+package federated
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"prid/internal/faultinject"
+	"prid/internal/hdc"
+	"prid/internal/obs"
+)
+
+// SiteDevice is the fault-injection site name for device participation:
+// schedule faults under it (e.g. "federated.device.error=0.2") to make
+// devices fail, straggle, or vanish mid-round.
+const SiteDevice = "federated.device"
+
+var (
+	logger = obs.Logger("federated")
+
+	metricParticipants = obs.GetCounter("federated.round.participants")
+	metricDropped      = obs.GetCounter("federated.round.dropped")
+	metricStraggled    = obs.GetCounter("federated.round.straggled")
+)
+
+// RoundConfig controls one fault-tolerant federation round.
+type RoundConfig struct {
+	// Timeout bounds how long the aggregator waits for device reports;
+	// 0 waits for every non-vanished device.
+	Timeout time.Duration
+	// MinParticipants is the aggregation quorum (default 1): a round
+	// with fewer successful reports fails rather than publishing a
+	// global model dominated by a handful of shards.
+	MinParticipants int
+	// Injector, when non-nil, draws one fault decision per device from
+	// the SiteDevice schedule.
+	Injector *faultinject.Injector
+}
+
+// RoundResult is the aggregator's view of a completed round.
+type RoundResult struct {
+	// Global aggregates exactly the participants' models, merged in
+	// ascending device-ID order so a given participant set is always
+	// bit-identical regardless of report arrival order.
+	Global *hdc.Model
+	// Participants, Dropped, and Straggled partition the device IDs:
+	// reported a model / reported a failure / said nothing by the
+	// deadline (crashed silently, hung, or still training).
+	Participants []int
+	Dropped      []int
+	Straggled    []int
+}
+
+type deviceReport struct {
+	id    int
+	model *hdc.Model
+	err   error
+}
+
+// TrainRound runs one federation round that tolerates failing and
+// straggling devices: every device trains concurrently, the aggregator
+// collects reports until the timeout, and the global model is built from
+// whichever quorum showed up. Fault decisions are drawn sequentially in
+// device-ID order before any goroutine starts, so a seeded injector
+// makes the round fully deterministic no matter how the scheduler
+// interleaves the workers.
+func (s *Simulation) TrainRound(cfg RoundConfig) (*RoundResult, error) {
+	if s.cfg.PrivateBases {
+		return nil, fmt.Errorf("federated: models trained under private bases are not aggregable")
+	}
+	quorum := cfg.MinParticipants
+	if quorum < 1 {
+		quorum = 1
+	}
+
+	decisions := make([]faultinject.Decision, len(s.Devices))
+	if cfg.Injector != nil {
+		for i := range s.Devices {
+			decisions[i] = cfg.Injector.Decide(SiteDevice)
+		}
+	}
+	// A hang-fated device never reports at all; don't wait for it when
+	// there is no timeout to force the issue.
+	expected := 0
+	for _, d := range decisions {
+		if d.Fault != faultinject.FaultHang {
+			expected++
+		}
+	}
+
+	// Buffered to capacity: a straggler that finishes after the deadline
+	// completes its send into the buffer and exits — no goroutine leaks,
+	// no writes into a closed channel.
+	reports := make(chan deviceReport, len(s.Devices))
+	for i, dev := range s.Devices {
+		go func(dev *Device, d faultinject.Decision) {
+			if d.Latency > 0 {
+				time.Sleep(d.Latency)
+			}
+			switch d.Fault {
+			case faultinject.FaultHang:
+				return
+			case faultinject.FaultNone:
+				reports <- deviceReport{id: dev.ID, model: s.trainDevice(dev)}
+			default:
+				// Error, drop, truncate, corrupt, panic: however the
+				// device or its link failed, the aggregator sees an
+				// unusable report and excludes the shard.
+				reports <- deviceReport{id: dev.ID, err: fmt.Errorf("device %d: injected %v", dev.ID, d.Fault)}
+			}
+		}(dev, decisions[i])
+	}
+
+	var deadline <-chan time.Time
+	if cfg.Timeout > 0 {
+		timer := time.NewTimer(cfg.Timeout)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	arrived := make(map[int]*hdc.Model)
+	var dropped []int
+collect:
+	for received := 0; received < expected; received++ {
+		select {
+		case r := <-reports:
+			if r.err != nil {
+				dropped = append(dropped, r.id)
+			} else {
+				arrived[r.id] = r.model
+			}
+		case <-deadline:
+			break collect
+		}
+	}
+
+	res := &RoundResult{Dropped: dropped}
+	for id := range arrived {
+		res.Participants = append(res.Participants, id)
+	}
+	sort.Ints(res.Participants)
+	sort.Ints(res.Dropped)
+	reported := make(map[int]bool, len(arrived)+len(dropped))
+	for id := range arrived {
+		reported[id] = true
+	}
+	for _, id := range dropped {
+		reported[id] = true
+	}
+	for _, dev := range s.Devices {
+		if !reported[dev.ID] {
+			res.Straggled = append(res.Straggled, dev.ID)
+		}
+	}
+	metricParticipants.Add(int64(len(res.Participants)))
+	metricDropped.Add(int64(len(res.Dropped)))
+	metricStraggled.Add(int64(len(res.Straggled)))
+	logger.Info("round complete",
+		"participants", len(res.Participants), "dropped", len(res.Dropped), "straggled", len(res.Straggled))
+
+	if len(res.Participants) < quorum {
+		return res, fmt.Errorf("federated: quorum not met: %d of %d devices reported models (need %d; %d dropped, %d straggled)",
+			len(res.Participants), len(s.Devices), quorum, len(res.Dropped), len(res.Straggled))
+	}
+	models := make([]*hdc.Model, 0, len(res.Participants))
+	for _, id := range res.Participants {
+		models = append(models, arrived[id])
+		// Publish the participant's model on the device from the
+		// aggregator goroutine, mirroring TrainAll; stragglers' models
+		// are discarded with their goroutines.
+		s.Devices[id].Model = arrived[id]
+	}
+	global, err := s.Aggregate(models)
+	if err != nil {
+		return res, err
+	}
+	res.Global = global
+	return res, nil
+}
+
+// trainDevice is the device-local training step shared by TrainAll and
+// TrainRound: single-pass HDC training plus Equation-2 retraining on the
+// device's private shard. It does not mutate dev, so concurrent rounds
+// and stragglers from abandoned rounds are race-free.
+func (s *Simulation) trainDevice(dev *Device) *hdc.Model {
+	encoded := dev.Basis.EncodeAll(dev.X)
+	m := hdc.TrainEncoded(encoded, dev.Y, dev.classes, dev.Basis.Dim())
+	if s.cfg.RetrainEpochs > 0 {
+		hdc.Retrain(m, encoded, dev.Y, 0.1, s.cfg.RetrainEpochs)
+	}
+	return m
+}

@@ -1,0 +1,187 @@
+package federated
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"prid/internal/faultinject"
+	"prid/internal/hdc"
+)
+
+// modelsEqual compares class hypervectors component-for-component.
+func modelsEqual(a, b *hdc.Model) bool {
+	if a.NumClasses() != b.NumClasses() || a.Dim() != b.Dim() {
+		return false
+	}
+	for l := 0; l < a.NumClasses(); l++ {
+		av, bv := a.Class(l), b.Class(l)
+		for j := range av {
+			if av[j] != bv[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestRoundMatchesTrainAllAggregate pins the fault-free baseline: with no
+// injector, a concurrent round is bit-identical to the serial
+// TrainAll+Aggregate path, whatever order device reports arrive in.
+func TestRoundMatchesTrainAllAggregate(t *testing.T) {
+	x, y := blobs(10, 3, 30, 4)
+	mk := func() *Simulation {
+		sim, err := New(x, y, DefaultConfig(5, 3, 512))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim
+	}
+	serial := mk()
+	want, err := serial.Aggregate(serial.TrainAll())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sim := mk()
+	res, err := sim.TrainRound(RoundConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Participants) != 5 || len(res.Dropped) != 0 || len(res.Straggled) != 0 {
+		t.Fatalf("fault-free round: participants %v dropped %v straggled %v, want all 5 in",
+			res.Participants, res.Dropped, res.Straggled)
+	}
+	if !modelsEqual(res.Global, want) {
+		t.Fatal("fault-free round global differs from TrainAll+Aggregate")
+	}
+	for _, dev := range sim.Devices {
+		if dev.Model == nil {
+			t.Fatalf("device %d has no published model after the round", dev.ID)
+		}
+	}
+}
+
+// TestRoundPartialAggregation drops some devices and requires the global
+// model to aggregate exactly the survivors — bit-identical to serially
+// training just those shards.
+func TestRoundPartialAggregation(t *testing.T) {
+	x, y := blobs(10, 3, 40, 4)
+	sim, err := New(x, y, DefaultConfig(8, 3, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(21, faultinject.Schedule{
+		SiteDevice: {ErrorRate: 0.4},
+	})
+	res, err := sim.TrainRound(RoundConfig{Injector: inj, MinParticipants: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dropped) == 0 || len(res.Participants) == 0 {
+		t.Fatalf("seed 21 at 40%% error: participants %v dropped %v — want a genuine partial round",
+			res.Participants, res.Dropped)
+	}
+	if got := len(res.Participants) + len(res.Dropped) + len(res.Straggled); got != 8 {
+		t.Fatalf("partition covers %d of 8 devices", got)
+	}
+
+	// Rebuild the expected global from the survivors only, serially.
+	sim2, err := New(x, y, DefaultConfig(8, 3, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var survivors []*hdc.Model
+	for _, id := range res.Participants {
+		survivors = append(survivors, sim2.trainDevice(sim2.Devices[id]))
+	}
+	want, err := sim2.Aggregate(survivors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !modelsEqual(res.Global, want) {
+		t.Fatal("partial-round global is not the exact aggregate of the surviving shards")
+	}
+}
+
+// TestRoundQuorum fails the round — rather than publishing a skewed
+// global model — when too few devices survive.
+func TestRoundQuorum(t *testing.T) {
+	x, y := blobs(8, 2, 20, 4)
+	sim, err := New(x, y, DefaultConfig(4, 2, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(3, faultinject.Schedule{
+		SiteDevice: {ErrorRate: 1},
+	})
+	res, err := sim.TrainRound(RoundConfig{Injector: inj, MinParticipants: 2})
+	if err == nil || !strings.Contains(err.Error(), "quorum not met") {
+		t.Fatalf("all-devices-dropped round returned %v, want quorum error", err)
+	}
+	if res == nil || len(res.Dropped) != 4 || res.Global != nil {
+		t.Fatalf("quorum failure must still report the partition: %+v", res)
+	}
+}
+
+// TestRoundStragglerTimeout injects latency past the round deadline on
+// every device: the aggregator must give up at the timeout, classify the
+// slow devices as stragglers, and fail quorum — without waiting for them.
+func TestRoundStragglerTimeout(t *testing.T) {
+	x, y := blobs(8, 2, 20, 4)
+	sim, err := New(x, y, DefaultConfig(4, 2, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(9, faultinject.Schedule{
+		SiteDevice: {LatencyRate: 1, LatencyMin: 2 * time.Second, LatencyMax: 3 * time.Second},
+	})
+	start := time.Now()
+	res, err := sim.TrainRound(RoundConfig{Injector: inj, Timeout: 100 * time.Millisecond})
+	elapsed := time.Since(start)
+	if err == nil || !strings.Contains(err.Error(), "quorum not met") {
+		t.Fatalf("all-straggler round returned %v, want quorum error", err)
+	}
+	if len(res.Straggled) != 4 {
+		t.Fatalf("straggled %v, want all 4 devices", res.Straggled)
+	}
+	if elapsed >= 2*time.Second {
+		t.Fatalf("round took %v — the aggregator waited for stragglers instead of timing out", elapsed)
+	}
+}
+
+// TestRoundHangingDevicesDoNotBlock gives half the fleet a hang fate and
+// no timeout: the aggregator must know not to wait for devices that will
+// never report, and classify them as stragglers.
+func TestRoundHangingDevicesDoNotBlock(t *testing.T) {
+	x, y := blobs(8, 2, 40, 4)
+	sim, err := New(x, y, DefaultConfig(6, 2, 256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := faultinject.New(17, faultinject.Schedule{
+		SiteDevice: {HangRate: 0.5},
+	})
+	done := make(chan struct{})
+	var res *RoundResult
+	var roundErr error
+	go func() {
+		defer close(done)
+		res, roundErr = sim.TrainRound(RoundConfig{Injector: inj, MinParticipants: 1})
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("round blocked forever on hanging devices")
+	}
+	if roundErr != nil {
+		t.Fatal(roundErr)
+	}
+	if len(res.Straggled) == 0 || len(res.Participants) == 0 {
+		t.Fatalf("seed 17 at 50%% hang: participants %v straggled %v — want a mixed round",
+			res.Participants, res.Straggled)
+	}
+	if res.Global == nil {
+		t.Fatal("mixed round with quorum met must publish a global model")
+	}
+}

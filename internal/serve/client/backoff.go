@@ -1,0 +1,37 @@
+package client
+
+import (
+	"context"
+	"time"
+)
+
+// Clock abstracts time for the retry engine so tests can drive backoff
+// schedules, Retry-After floors, and breaker cooldowns without real
+// sleeps. The production clock is realClock.
+type Clock interface {
+	Now() time.Time
+	// Sleep waits for d or until ctx is done, returning ctx.Err() in the
+	// latter case. d <= 0 returns immediately (after a ctx check).
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

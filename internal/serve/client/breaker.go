@@ -1,0 +1,111 @@
+package client
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen reports that the breaker blocked the call and the
+// caller's context ran out before the cooldown elapsed.
+var ErrCircuitOpen = errors.New("client: circuit breaker open")
+
+// breaker is a consecutive-failure circuit breaker.
+//
+//	closed    — requests flow; `threshold` consecutive failures open it
+//	open      — requests blocked until `cooldown` elapses
+//	half-open — one trial request probes the server: success closes the
+//	            circuit, failure re-opens it for another cooldown
+//
+// The half-open state admits a single probe at a time so a recovering
+// server is not instantly re-stampeded by every waiting caller.
+type breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+
+	failures int       // consecutive failures while closed
+	openedAt time.Time // when the circuit last opened
+	state    breakerState
+	probing  bool // a half-open trial is in flight
+}
+
+type breakerState int
+
+const (
+	stateClosed breakerState = iota
+	stateOpen
+	stateHalfOpen
+)
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown}
+}
+
+// Allow reports whether a request may proceed at time now. When blocked
+// it returns the wait until the next state change is due (always > 0).
+func (b *breaker) Allow(now time.Time) (ok bool, wait time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return true, 0
+	case stateOpen:
+		if elapsed := now.Sub(b.openedAt); elapsed >= b.cooldown {
+			b.state = stateHalfOpen
+			b.probing = true
+			return true, 0
+		} else {
+			return false, b.cooldown - elapsed
+		}
+	default: // half-open
+		if b.probing {
+			// Another caller holds the probe; check back shortly.
+			return false, b.cooldown / 4
+		}
+		b.probing = true
+		return true, 0
+	}
+}
+
+// Success records a completed request.
+func (b *breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.state = stateClosed
+	b.probing = false
+}
+
+// Failure records a failed request at time now.
+func (b *breaker) Failure(now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateHalfOpen:
+		// The trial failed: straight back to open for a fresh cooldown.
+		b.state = stateOpen
+		b.openedAt = now
+		b.probing = false
+	case stateClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.state = stateOpen
+			b.openedAt = now
+		}
+	}
+}
+
+// State returns a human-readable state name (for tests and logs).
+func (b *breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return "closed"
+	case stateOpen:
+		return "open"
+	default:
+		return "half-open"
+	}
+}

@@ -1,0 +1,425 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock advances only when the client sleeps, so entire backoff and
+// breaker-cooldown schedules run in microseconds of wall time. Every
+// sleep is recorded for assertion.
+type fakeClock struct {
+	mu     sync.Mutex
+	now    time.Time
+	sleeps []time.Duration
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+func (c *fakeClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.sleeps = append(c.sleeps, d)
+	c.now = c.now.Add(d)
+	return nil
+}
+
+func (c *fakeClock) recorded() []time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]time.Duration(nil), c.sleeps...)
+}
+
+// step is one scripted attempt outcome; the zero body is allowed.
+type step struct {
+	status int
+	body   string
+	header http.Header
+	err    error // transport-level failure instead of a response
+}
+
+// scriptRT replays steps in order, repeating the last step once the
+// script is exhausted, and records every request it saw.
+type scriptRT struct {
+	mu    sync.Mutex
+	steps []step
+	reqs  []*http.Request
+}
+
+func (rt *scriptRT) RoundTrip(req *http.Request) (*http.Response, error) {
+	rt.mu.Lock()
+	s := rt.steps[0]
+	if len(rt.steps) > 1 {
+		rt.steps = rt.steps[1:]
+	}
+	rt.reqs = append(rt.reqs, req.Clone(req.Context()))
+	rt.mu.Unlock()
+	if s.err != nil {
+		return nil, s.err
+	}
+	h := s.header
+	if h == nil {
+		h = http.Header{}
+	}
+	return &http.Response{
+		StatusCode: s.status,
+		Header:     h,
+		Body:       io.NopCloser(strings.NewReader(s.body)),
+		Request:    req,
+	}, nil
+}
+
+func (rt *scriptRT) calls() int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return len(rt.reqs)
+}
+
+// newTestClient wires a scripted transport and fake clock into a client
+// with fast, deterministic retry settings.
+func newTestClient(t *testing.T, rt *scriptRT, mutate func(*Config)) (*Client, *fakeClock) {
+	t.Helper()
+	clk := newFakeClock()
+	cfg := Config{
+		BaseURL:          "http://prid.test",
+		HTTPClient:       &http.Client{Transport: rt},
+		MaxAttempts:      4,
+		BaseBackoff:      100 * time.Millisecond,
+		MaxBackoff:       time.Second,
+		BreakerThreshold: 100, // out of the way unless a test lowers it
+		BreakerCooldown:  5 * time.Second,
+		Clock:            clk,
+		JitterSeed:       7,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, clk
+}
+
+func ok(body string) step { return step{status: http.StatusOK, body: body} }
+
+func TestRetryBehaviorTable(t *testing.T) {
+	cases := []struct {
+		name      string
+		steps     []step
+		call      func(*Client) error
+		wantCalls int
+		wantErr   bool
+		errSubstr string
+	}{
+		{
+			name:  "transient 500s then success",
+			steps: []step{{status: 500, body: `{"error":"boom"}`}, {status: 500, body: `{"error":"boom"}`}, ok(`{"predictions":[3]}`)},
+			call: func(c *Client) error {
+				got, err := c.PredictOne(context.Background(), "m", []float64{1})
+				if err == nil && got != 3 {
+					return errors.New("wrong class")
+				}
+				return err
+			},
+			wantCalls: 3,
+		},
+		{
+			name:  "transport errors then success",
+			steps: []step{{err: errors.New("connection refused")}, {err: errors.New("connection reset")}, ok(`{"predictions":[1,2]}`)},
+			call: func(c *Client) error {
+				_, err := c.Predict(context.Background(), "m", [][]float64{{1}, {2}})
+				return err
+			},
+			wantCalls: 3,
+		},
+		{
+			name:  "truncated payload retried",
+			steps: []step{ok(`{"predictions":[`), ok(`{"predictions":[5]}`)},
+			call: func(c *Client) error {
+				got, err := c.PredictOne(context.Background(), "m", []float64{1})
+				if err == nil && got != 5 {
+					return errors.New("wrong class")
+				}
+				return err
+			},
+			wantCalls: 2,
+		},
+		{
+			name:  "corrupted payload retried",
+			steps: []step{ok("{\"predictions\"\x00[5]}"), ok(`{"predictions":[5]}`)},
+			call: func(c *Client) error {
+				_, err := c.PredictOne(context.Background(), "m", []float64{1})
+				return err
+			},
+			wantCalls: 2,
+		},
+		{
+			name:  "400 is final — the request itself is wrong",
+			steps: []step{{status: 400, body: `{"error":"input[0] is NaN: features must be finite"}`}},
+			call: func(c *Client) error {
+				_, err := c.PredictOne(context.Background(), "m", []float64{1})
+				return err
+			},
+			wantCalls: 1,
+			wantErr:   true,
+			errSubstr: "features must be finite",
+		},
+		{
+			name:  "404 is final",
+			steps: []step{{status: 404, body: `{"error":"unknown model \"nope\""}`}},
+			call: func(c *Client) error {
+				_, err := c.PredictOne(context.Background(), "nope", []float64{1})
+				return err
+			},
+			wantCalls: 1,
+			wantErr:   true,
+			errSubstr: "unknown model",
+		},
+		{
+			name:  "reload never retried even on a retryable status",
+			steps: []step{{status: 503, body: `{"error":"overloaded"}`}, ok(`{"reloaded":2}`)},
+			call: func(c *Client) error {
+				_, err := c.Reload(context.Background())
+				return err
+			},
+			wantCalls: 1,
+			wantErr:   true,
+			errSubstr: "overloaded",
+		},
+		{
+			name:  "exhausting MaxAttempts reports the attempt count",
+			steps: []step{{status: 500, body: `{"error":"still broken"}`}},
+			call: func(c *Client) error {
+				_, err := c.PredictOne(context.Background(), "m", []float64{1})
+				return err
+			},
+			wantCalls: 4, // == MaxAttempts
+			wantErr:   true,
+			errSubstr: "after 4 attempts",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rt := &scriptRT{steps: tc.steps}
+			c, _ := newTestClient(t, rt, nil)
+			err := tc.call(c)
+			if tc.wantErr != (err != nil) {
+				t.Fatalf("err = %v, wantErr %v", err, tc.wantErr)
+			}
+			if err != nil && tc.errSubstr != "" && !strings.Contains(err.Error(), tc.errSubstr) {
+				t.Fatalf("err %q does not mention %q", err, tc.errSubstr)
+			}
+			if got := rt.calls(); got != tc.wantCalls {
+				t.Fatalf("%d round trips, want %d", got, tc.wantCalls)
+			}
+		})
+	}
+}
+
+func TestBackoffCappedExponentialWithJitter(t *testing.T) {
+	rt := &scriptRT{steps: []step{{status: 500, body: `{"error":"x"}`}}}
+	c, clk := newTestClient(t, rt, func(cfg *Config) {
+		cfg.MaxAttempts = 6
+		cfg.BaseBackoff = 100 * time.Millisecond
+		cfg.MaxBackoff = 400 * time.Millisecond
+	})
+	if _, err := c.PredictOne(context.Background(), "m", []float64{1}); err == nil {
+		t.Fatal("expected exhaustion error")
+	}
+	sleeps := clk.recorded()
+	if len(sleeps) != 5 { // MaxAttempts-1 retries
+		t.Fatalf("%d sleeps, want 5: %v", len(sleeps), sleeps)
+	}
+	// Retry n has nominal delay min(base<<(n-1), cap) and jitter pulls it
+	// into [nominal/2, nominal).
+	nominals := []time.Duration{100, 200, 400, 400, 400}
+	for i, s := range sleeps {
+		nominal := nominals[i] * time.Millisecond
+		if s < nominal/2 || s >= nominal {
+			t.Errorf("retry %d slept %v, want [%v, %v)", i+1, s, nominal/2, nominal)
+		}
+	}
+}
+
+func TestBackoffJitterIsSeededDeterministic(t *testing.T) {
+	run := func() []time.Duration {
+		rt := &scriptRT{steps: []step{{status: 500, body: `{"error":"x"}`}}}
+		c, clk := newTestClient(t, rt, nil)
+		c.PredictOne(context.Background(), "m", []float64{1}) //nolint:errcheck // exhaustion expected
+		return clk.recorded()
+	}
+	a, b := run(), run()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("sleep counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at retry %d: %v vs %v", i+1, a[i], b[i])
+		}
+	}
+}
+
+func TestRetryAfterFloorsBackoff(t *testing.T) {
+	h := http.Header{}
+	h.Set("Retry-After", "3")
+	rt := &scriptRT{steps: []step{
+		{status: 503, body: `{"error":"shed"}`, header: h},
+		ok(`{"predictions":[2]}`),
+	}}
+	c, clk := newTestClient(t, rt, nil)
+	got, err := c.PredictOne(context.Background(), "m", []float64{1})
+	if err != nil || got != 2 {
+		t.Fatalf("got %d, %v", got, err)
+	}
+	sleeps := clk.recorded()
+	if len(sleeps) != 1 || sleeps[0] < 3*time.Second {
+		t.Fatalf("sleeps %v: the server's Retry-After: 3 must floor the ~100ms backoff", sleeps)
+	}
+}
+
+func TestBreakerOpensAndRecovers(t *testing.T) {
+	rt := &scriptRT{steps: []step{
+		{status: 500, body: `{"error":"a"}`},
+		{status: 500, body: `{"error":"b"}`},
+		ok(`{"predictions":[4]}`),
+	}}
+	c, clk := newTestClient(t, rt, func(cfg *Config) {
+		cfg.BreakerThreshold = 2
+		cfg.BreakerCooldown = 10 * time.Second
+		cfg.MaxAttempts = 6
+	})
+	got, err := c.PredictOne(context.Background(), "m", []float64{1})
+	if err != nil || got != 4 {
+		t.Fatalf("got %d, %v", got, err)
+	}
+	if rt.calls() != 3 {
+		t.Fatalf("%d round trips, want 3 (breaker waits must not consume attempts)", rt.calls())
+	}
+	// After the second failure the circuit opened; the client must have
+	// waited out (most of) the 10s cooldown before the half-open probe.
+	var total time.Duration
+	for _, s := range clk.recorded() {
+		total += s
+	}
+	if total < 10*time.Second {
+		t.Fatalf("total sleep %v, want ≥ the 10s breaker cooldown (sleeps: %v)", total, clk.recorded())
+	}
+	if c.breaker.State() != "closed" {
+		t.Fatalf("breaker %s after successful probe, want closed", c.breaker.State())
+	}
+}
+
+func TestBreakerStateMachine(t *testing.T) {
+	b := newBreaker(2, time.Minute)
+	t0 := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	if ok, _ := b.Allow(t0); !ok {
+		t.Fatal("fresh breaker must be closed")
+	}
+	b.Failure(t0)
+	if ok, _ := b.Allow(t0); !ok {
+		t.Fatal("one failure of two must not open the circuit")
+	}
+	b.Failure(t0)
+	if ok, wait := b.Allow(t0.Add(time.Second)); ok || wait != 59*time.Second {
+		t.Fatalf("open circuit: Allow = %v wait %v, want blocked with 59s left", ok, wait)
+	}
+	// Cooldown elapsed: exactly one half-open probe may pass.
+	t1 := t0.Add(time.Minute)
+	if ok, _ := b.Allow(t1); !ok {
+		t.Fatal("cooldown elapsed: the probe must be admitted")
+	}
+	if ok, _ := b.Allow(t1); ok {
+		t.Fatal("second caller during the probe must be blocked")
+	}
+	// Probe failure re-opens for a fresh cooldown.
+	b.Failure(t1)
+	if ok, _ := b.Allow(t1.Add(30 * time.Second)); ok {
+		t.Fatal("re-opened circuit must block mid-cooldown")
+	}
+	if ok, _ := b.Allow(t1.Add(time.Minute)); !ok {
+		t.Fatal("second cooldown elapsed: probe must be admitted")
+	}
+	b.Success()
+	if b.State() != "closed" {
+		t.Fatalf("state %s after successful probe, want closed", b.State())
+	}
+	if ok, _ := b.Allow(t1.Add(2 * time.Minute)); !ok {
+		t.Fatal("closed circuit must admit requests")
+	}
+}
+
+func TestDeadlinePropagation(t *testing.T) {
+	rt := &scriptRT{steps: []step{ok(`{"predictions":[1]}`)}}
+	c, _ := newTestClient(t, rt, func(cfg *Config) {
+		cfg.AttemptTimeout = 10 * time.Second
+	})
+	before := time.Now()
+	if _, err := c.PredictOne(context.Background(), "m", []float64{1}); err != nil {
+		t.Fatal(err)
+	}
+	rt.mu.Lock()
+	req := rt.reqs[0]
+	rt.mu.Unlock()
+	dl, has := req.Context().Deadline()
+	if !has {
+		t.Fatal("attempt request carried no deadline")
+	}
+	if max := before.Add(11 * time.Second); dl.After(max) {
+		t.Fatalf("attempt deadline %v exceeds AttemptTimeout bound %v", dl, max)
+	}
+}
+
+func TestCallerCancellationIsFinal(t *testing.T) {
+	rt := &scriptRT{steps: []step{{status: 500, body: `{"error":"x"}`}}}
+	c, _ := newTestClient(t, rt, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := c.PredictOne(ctx, "m", []float64{1})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err %v, want context.Canceled", err)
+	}
+	if rt.calls() > 1 {
+		t.Fatalf("%d round trips after cancellation, want ≤ 1", rt.calls())
+	}
+}
+
+func TestStatusErrorExposed(t *testing.T) {
+	h := http.Header{}
+	h.Set("Retry-After", "4")
+	rt := &scriptRT{steps: []step{{status: 429, body: `{"error":"slow down"}`, header: h}}}
+	c, _ := newTestClient(t, rt, func(cfg *Config) { cfg.MaxAttempts = 1 })
+	_, err := c.PredictOne(context.Background(), "m", []float64{1})
+	var se *StatusError
+	if !errors.As(err, &se) {
+		t.Fatalf("err %v does not expose *StatusError", err)
+	}
+	if se.Code != 429 || se.Message != "slow down" || se.RetryAfter != 4*time.Second {
+		t.Fatalf("StatusError %+v, want 429/slow down/4s", se)
+	}
+}
+
+func TestNewRejectsRelativeBaseURL(t *testing.T) {
+	for _, bad := range []string{"", "prid.test", "/v1", "://nope"} {
+		if _, err := New(Config{BaseURL: bad}); err == nil {
+			t.Errorf("New accepted base URL %q", bad)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"sync"
@@ -42,6 +43,31 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
 		return fmt.Errorf("malformed request body: %w", err)
+	}
+	return nil
+}
+
+// checkFiniteRow rejects NaN/Inf features with a field-level message
+// (the JSON grammar cannot spell them, but the validation contract must
+// not depend on the transport: any future ingestion path — gRPC, binary
+// batch files, in-process callers — hits the same guard the root
+// package's Predict enforces).
+func checkFiniteRow(row []float64, field string) error {
+	for j, v := range row {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("%s[%d] is %v: features must be finite", field, j, v)
+		}
+	}
+	return nil
+}
+
+// checkFiniteRows is checkFiniteRow over a batch, naming the offending
+// row and feature.
+func checkFiniteRows(rows [][]float64, field string) error {
+	for i, row := range rows {
+		if err := checkFiniteRow(row, fmt.Sprintf("%s[%d]", field, i)); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -125,9 +151,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) error {
 		return writeError(w, http.StatusBadRequest,
 			errors.New(`exactly one of "input" and "inputs" must be set`))
 	}
-	rows := req.Inputs
+	rows, field := req.Inputs, "inputs"
 	if len(rows) == 0 {
-		rows = [][]float64{req.Input}
+		rows, field = [][]float64{req.Input}, "input"
 	}
 	e, err := s.lookup(w, req.Model)
 	if err != nil {
@@ -138,6 +164,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) error {
 			return writeError(w, http.StatusBadRequest,
 				fmt.Errorf("input %d has %d features, model %q expects %d", i, len(row), req.Model, e.info.Features))
 		}
+	}
+	if err := checkFiniteRows(rows, field); err != nil {
+		return writeError(w, http.StatusBadRequest, err)
 	}
 
 	// Large requests are already a full batch — run them straight through
@@ -203,6 +232,9 @@ func (s *Server) handleSimilarities(w http.ResponseWriter, r *http.Request) erro
 	e, err := s.lookup(w, req.Model)
 	if err != nil {
 		return err
+	}
+	if err := checkFiniteRow(req.Input, "input"); err != nil {
+		return writeError(w, http.StatusBadRequest, err)
 	}
 	sims, err := e.model.Similarities(req.Input)
 	if err != nil {

@@ -25,10 +25,15 @@ var (
 	metricBatchRows    = obs.GetCounter("serve.batch.rows")
 	metricBatchSeconds = obs.GetHistogram("serve.batch.seconds", nil)
 
-	// Admission control.
+	// Admission control and resilience. metricShed counts tiered
+	// load-shedding rejections per endpoint (capacity rejections land in
+	// metricRejected); metricPanics counts handler panics the recovery
+	// middleware converted into 500s.
 	metricInFlight = obs.GetGauge("serve.inflight")
 	metricRejected = obs.GetCounter("serve.rejected")
 	metricReloads  = obs.GetCounter("serve.reloads")
+	metricPanics   = obs.GetCounter("serve.panics")
+	metricShed     = map[string]*obs.Counter{}
 )
 
 // endpointNames is the fixed roster the maps above are populated for.
@@ -39,6 +44,7 @@ func init() {
 		metricRequests[name] = obs.GetCounter("serve." + name + ".requests")
 		metricErrors[name] = obs.GetCounter("serve." + name + ".errors")
 		metricSeconds[name] = obs.GetHistogram("serve."+name+".seconds", nil)
+		metricShed[name] = obs.GetCounter("serve." + name + ".shed")
 	}
 }
 

@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prid"
+	"prid/internal/faultinject"
+)
+
+// TestReloadRaceNoTornReads hammers the registry with predicts whose
+// flushes carry injected latency — so requests are mid-flight while
+// Reload swaps the entry underneath them — and requires every answer to
+// be bit-identical to the in-process model. A torn read (an entry whose
+// model and batcher came from different generations, or a half-swapped
+// pointer) would surface as a wrong class, a panic, or a race-detector
+// report under `make race`.
+func TestReloadRaceNoTornReads(t *testing.T) {
+	inj := faultinject.New(11, faultinject.Schedule{
+		"predict": {LatencyRate: 1, LatencyMin: 200 * time.Microsecond, LatencyMax: 2 * time.Millisecond},
+	})
+	m, _, queries := trainModel(t, 31, 24, 256)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "m.prid")
+	if err := m.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.PredictBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewRegistry(func(mm *prid.Model) *batcher {
+		fn := func(rows [][]float64) ([]int, error) {
+			if d := inj.Decide("predict"); d.Latency > 0 {
+				time.Sleep(d.Latency)
+			}
+			return mm.PredictBatch(rows)
+		}
+		return newBatcher(fn, time.Millisecond, 8)
+	})
+	defer reg.Close()
+	if err := reg.LoadFile("m", path); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var reloads atomic.Int64
+	var reloadWG sync.WaitGroup
+	reloadWG.Add(1)
+	go func() {
+		defer reloadWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := reg.Reload(); err != nil {
+				t.Errorf("reload: %v", err)
+				return
+			}
+			reloads.Add(1)
+		}
+	}()
+
+	const workers, iters = 8, 40
+	var closedRaces atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			for i := 0; i < iters; i++ {
+				q := (w + i) % len(queries)
+				// An entry replaced between Get and Predict answers
+				// ErrBatcherClosed — the registry's documented reload
+				// semantics (the server maps it to 503). Retry on a
+				// fresh entry, exactly as a client would.
+				for {
+					e, ok := reg.Get("m")
+					if !ok {
+						t.Errorf("worker %d: model vanished mid-run", w)
+						return
+					}
+					class, err := e.batch.Predict(ctx, queries[q])
+					if errors.Is(err, ErrBatcherClosed) {
+						closedRaces.Add(1)
+						continue
+					}
+					if err != nil {
+						t.Errorf("worker %d predict: %v", w, err)
+						return
+					}
+					if class != want[q] {
+						t.Errorf("worker %d query %d: class %d, in-process %d (torn read?)", w, q, class, want[q])
+						return
+					}
+					break
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	reloadWG.Wait()
+	if reloads.Load() == 0 {
+		t.Fatal("no reload completed during the run — race window never opened")
+	}
+	t.Logf("reload race: %d reloads against %d predicts (%d batcher-closed retries)",
+		reloads.Load(), workers*iters, closedRaces.Load())
+}

@@ -1,0 +1,114 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+)
+
+// maxRetryAfter caps the adaptive Retry-After hint (seconds).
+const maxRetryAfter = 8
+
+// retryAfterSeconds turns the observed in-flight depth into the
+// Retry-After hint on a 503. An almost-idle server invites an immediate
+// retry (1s); a saturated one pushes clients out to maxRetryAfter so the
+// herd thins instead of re-stampeding in lockstep.
+func retryAfterSeconds(depth, capacity int) int {
+	if capacity <= 0 || depth <= 0 {
+		return 1
+	}
+	sec := (depth*maxRetryAfter + capacity - 1) / capacity
+	if sec < 1 {
+		sec = 1
+	}
+	if sec > maxRetryAfter {
+		sec = maxRetryAfter
+	}
+	return sec
+}
+
+// shedFractions ranks endpoints by how early they degrade under load.
+// The expensive analysis endpoints go first so /v1/predict — the paper's
+// query-access hot path — keeps the full admission budget: the leakage
+// audit sheds at half capacity, the attack view at three quarters,
+// similarity probes at 90%. Everything absent here is rejected only by
+// the semaphore itself.
+var shedFractions = map[string]float64{
+	"audit":        0.50,
+	"reconstruct":  0.75,
+	"similarities": 0.90,
+}
+
+// shedThreshold returns the in-flight depth at which the named endpoint
+// starts shedding (== max means only full capacity rejects).
+func shedThreshold(name string, max int) int {
+	f, ok := shedFractions[name]
+	if !ok {
+		return max
+	}
+	th := int(math.Ceil(f * float64(max)))
+	if th < 1 {
+		th = 1
+	}
+	if th > max {
+		th = max
+	}
+	return th
+}
+
+// reject answers a 503 with the adaptive Retry-After hint and records it
+// in the endpoint's request/error counters plus the shed-or-rejected
+// counter.
+func (s *Server) reject(w http.ResponseWriter, name string, depth int, shed bool, err error) {
+	if shed {
+		metricShed[name].Inc()
+	} else {
+		metricRejected.Inc()
+	}
+	metricRequests[name].Inc()
+	metricErrors[name].Inc()
+	w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(depth, s.cfg.MaxInFlight)))
+	writeError(w, http.StatusServiceUnavailable, err) //nolint:errcheck // response committed
+}
+
+// recovery converts a handler panic into a 500 JSON error so one
+// poisoned request cannot take out the connection; the serving goroutine
+// answers and lives on. http.ErrAbortHandler is re-raised — it is the
+// sanctioned way to drop a connection (the fault injector's Drop fault
+// and the truncation abort both use it) and must keep its net/http
+// semantics.
+func (s *Server) recovery(name string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if p := recover(); p != nil {
+				if err, ok := p.(error); ok && errors.Is(err, http.ErrAbortHandler) {
+					panic(p)
+				}
+				metricPanics.Inc()
+				metricErrors[name].Inc()
+				logger.Error("handler panic recovered", "endpoint", name, "panic", p)
+				writeError(w, http.StatusInternalServerError, //nolint:errcheck // response committed
+					fmt.Errorf("internal error: recovered from panic: %v", p))
+			}
+		}()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// handleReady is the orchestration-facing readiness probe, distinct from
+// the /healthz liveness probe: a live process is not ready to take
+// traffic before any model is loaded, and stops being ready the moment a
+// drain begins — exactly the windows where a balancer must route around
+// it even though the process is healthy.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		writeError(w, http.StatusServiceUnavailable, errors.New("draining")) //nolint:errcheck // response committed
+	case s.reg.Len() == 0:
+		writeError(w, http.StatusServiceUnavailable, errors.New("no models loaded")) //nolint:errcheck // response committed
+	default:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintf(w, "ready %d models\n", s.reg.Len())
+	}
+}

@@ -24,9 +24,11 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"prid"
+	"prid/internal/faultinject"
 	"prid/internal/obs"
 )
 
@@ -47,6 +49,11 @@ type Config struct {
 	// RequestTimeout bounds one request's total processing time
 	// (default 30s; audits over large probe sets are the slow case).
 	RequestTimeout time.Duration
+	// Injector, when non-nil, wraps every /v1 endpoint with the
+	// deterministic chaos middleware (site = the endpoint's short name:
+	// "predict", "models", ...). Used by `prid serve --chaos` and the
+	// cmd/chaos-smoke gate; nil in normal operation.
+	Injector *faultinject.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -76,6 +83,9 @@ type Server struct {
 	srv *http.Server
 	ln  net.Listener
 	sem chan struct{}
+	// draining flips when Shutdown begins; /readyz reports 503 from then
+	// on so balancers stop routing here while in-flight work finishes.
+	draining atomic.Bool
 }
 
 // NewServer builds a server around cfg with an empty registry.
@@ -90,6 +100,7 @@ func NewServer(cfg Config) *Server {
 	})
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/readyz", s.handleReady)
 	mux.Handle("/v1/models", s.limited("models", s.handleModels))
 	mux.Handle("/v1/models/reload", s.limited("models", s.handleReload))
 	mux.Handle("/v1/predict", s.limited("predict", s.handlePredict))
@@ -125,9 +136,11 @@ func (s *Server) Start() error {
 // Only valid after Start.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
 
-// Shutdown stops accepting new connections, waits for in-flight requests
-// to drain (bounded by ctx), then closes the registry's batchers.
+// Shutdown marks the server draining (visible on /readyz), stops
+// accepting new connections, waits for in-flight requests to drain
+// (bounded by ctx), then closes the registry's batchers.
 func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
 	err := s.srv.Shutdown(ctx)
 	s.reg.Close()
 	if err != nil {
@@ -137,19 +150,40 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return nil
 }
 
-// limited wraps an endpoint handler with the server's admission control:
-// the concurrency semaphore (503 + Retry-After when full), the request
-// timeout, and per-endpoint request/error/latency metrics.
+// limited wraps an endpoint handler with the server's resilience stack,
+// outermost first: tiered load shedding and the concurrency semaphore
+// (503 + adaptive Retry-After), the request timeout, panic recovery, the
+// optional fault-injection middleware, and per-endpoint
+// request/error/latency metrics around the handler itself.
 func (s *Server) limited(name string, h func(w http.ResponseWriter, r *http.Request) error) http.Handler {
+	core := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		err := h(w, r)
+		observeRequest(name, start, err != nil)
+		if err != nil {
+			logger.Debug("request failed", "endpoint", name, "err", err)
+		}
+	})
+	var inner http.Handler = core
+	if s.cfg.Injector != nil {
+		inner = faultinject.Middleware(s.cfg.Injector, name, inner)
+	}
+	inner = s.recovery(name, inner)
+	shedAt := shedThreshold(name, s.cfg.MaxInFlight)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Tiered degradation: sheddable endpoints give way while the
+		// server still has headroom for the hot path. The depth read is
+		// approximate (racy against concurrent admits) — shedding is a
+		// pressure valve, not an invariant.
+		if depth := len(s.sem); shedAt < s.cfg.MaxInFlight && depth >= shedAt {
+			s.reject(w, name, depth, true,
+				fmt.Errorf("shedding %s under load (%d/%d in flight)", name, depth, s.cfg.MaxInFlight))
+			return
+		}
 		select {
 		case s.sem <- struct{}{}:
 		default:
-			metricRejected.Inc()
-			metricRequests[name].Inc()
-			metricErrors[name].Inc()
-			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusServiceUnavailable,
+			s.reject(w, name, s.cfg.MaxInFlight, false,
 				fmt.Errorf("server at capacity (%d requests in flight)", s.cfg.MaxInFlight))
 			return
 		}
@@ -161,12 +195,7 @@ func (s *Server) limited(name string, h func(w http.ResponseWriter, r *http.Requ
 
 		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
 		defer cancel()
-		start := time.Now()
-		err := h(w, r.WithContext(ctx))
-		observeRequest(name, start, err != nil)
-		if err != nil {
-			logger.Debug("request failed", "endpoint", name, "err", err)
-		}
+		inner.ServeHTTP(w, r.WithContext(ctx))
 	})
 }
 

@@ -22,6 +22,7 @@ package prid
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"prid/internal/decode"
 	"prid/internal/hdc"
@@ -167,18 +168,39 @@ func (m *Model) Predict(x []float64) (int, error) {
 	if len(x) != m.Features() {
 		return 0, fmt.Errorf("prid: sample has %d features, model expects %d", len(x), m.Features())
 	}
+	if err := checkFinite(x, "sample"); err != nil {
+		return 0, err
+	}
 	pred, _ := m.model.Classify(m.basis.Encode(x))
 	return pred, nil
 }
 
-// validateRows checks every row of x against the model's feature count up
-// front, so a single ragged row produces one clear error instead of a
-// failure partway through a batch.
+// checkFinite rejects NaN/Inf features with a field-level error. A NaN
+// poisons every dot product it touches (the encoding smears one bad
+// feature across all D hypervector components), so a non-finite input
+// would silently classify as class 0 instead of failing — the facade
+// refuses it at the boundary, and the serving layer enforces the same
+// contract with a 400.
+func checkFinite(row []float64, label string) error {
+	for j, v := range row {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("prid: %s[%d] is %v: features must be finite", label, j, v)
+		}
+	}
+	return nil
+}
+
+// validateRows checks every row of x against the model's feature count
+// and finiteness up front, so a single bad row produces one clear error
+// instead of a failure partway through a batch.
 func (m *Model) validateRows(x [][]float64) error {
 	n := m.Features()
 	for i, row := range x {
 		if len(row) != n {
 			return fmt.Errorf("prid: sample %d has %d features, model expects %d", i, len(row), n)
+		}
+		if err := checkFinite(row, fmt.Sprintf("sample[%d]", i)); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -210,6 +232,9 @@ func (m *Model) PredictBatch(x [][]float64) ([]int, error) {
 func (m *Model) Similarities(x []float64) ([]float64, error) {
 	if len(x) != m.Features() {
 		return nil, fmt.Errorf("prid: sample has %d features, model expects %d", len(x), m.Features())
+	}
+	if err := checkFinite(x, "sample"); err != nil {
+		return nil, err
 	}
 	return m.model.Similarities(m.basis.Encode(x)), nil
 }

@@ -1,6 +1,8 @@
 package prid
 
 import (
+	"math"
+	"strings"
 	"testing"
 
 	"prid/internal/rng"
@@ -366,5 +368,38 @@ func TestAuditLeakage(t *testing.T) {
 	}
 	if _, err := m.AuditLeakage(x, nil); err == nil {
 		t.Fatal("no queries accepted")
+	}
+}
+
+// TestNonFiniteFeaturesRejected pins the facade's finiteness contract:
+// NaN/Inf features are refused with a field-level error everywhere a
+// feature vector enters, instead of silently classifying as class 0
+// after the NaN smears across the encoding.
+func TestNonFiniteFeaturesRejected(t *testing.T) {
+	x, y, queries := problem(6)
+	m := mustTrain(t, x, y, WithDimension(512))
+	bad := append([]float64{}, queries[0]...)
+	bad[3] = math.NaN()
+
+	if _, err := m.Predict(bad); err == nil || !strings.Contains(err.Error(), "sample[3]") {
+		t.Fatalf("Predict(NaN) err %v, want field-level rejection naming sample[3]", err)
+	}
+	if _, err := m.Similarities(bad); err == nil || !strings.Contains(err.Error(), "sample[3]") {
+		t.Fatalf("Similarities(NaN) err %v, want field-level rejection", err)
+	}
+	bad[3] = math.Inf(1)
+	batch := [][]float64{queries[1], bad}
+	if _, err := m.PredictBatch(batch); err == nil || !strings.Contains(err.Error(), "sample[1][3]") {
+		t.Fatalf("PredictBatch(+Inf) err %v, want rejection naming sample[1][3]", err)
+	}
+	if _, err := m.Accuracy(batch, []int{0, 1}); err == nil {
+		t.Fatal("Accuracy accepted a non-finite sample")
+	}
+	// Finite inputs still pass through every path.
+	if _, err := m.Predict(queries[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.PredictBatch(queries); err != nil {
+		t.Fatal(err)
 	}
 }
