@@ -8,7 +8,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt check bench bench-snapshot serve-smoke chaos-smoke chaos
+.PHONY: build test race vet fmt check bench bench-compile bench-snapshot serve-smoke chaos-smoke chaos
 
 build:
 	$(GO) build ./...
@@ -36,7 +36,14 @@ fmt:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-check: fmt vet build test serve-smoke chaos-smoke
+check: fmt vet build test bench-compile serve-smoke chaos-smoke
+
+# Benchmark-compile gate: every benchmark must build and survive one
+# iteration, so benches cannot rot uncompiled (or silently broken)
+# between perf PRs. -benchtime=1x keeps it a compile+smoke, not a
+# measurement.
+bench-compile:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
 
 # End-to-end gate for the serving subsystem: builds the binary, trains
 # and saves two quick models, starts `prid serve` on a random port,
@@ -65,6 +72,8 @@ bench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Machine-readable benchmark snapshot (same artifact as
-# `prid experiment quick --bench-out`).
+# `prid experiment quick --bench-out`). Updates only the "current" label
+# in BENCH_1.json; the committed "baseline" label (the pre-optimization
+# run of PR 4) is preserved for comparison.
 bench-snapshot:
-	$(GO) run ./cmd/prid experiment quick --bench-out BENCH_1.json
+	$(GO) run ./cmd/prid experiment quick --bench-out BENCH_1.json --bench-label current

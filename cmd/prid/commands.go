@@ -3,7 +3,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -311,6 +310,7 @@ func cmdExperiment(args []string) error {
 	jsonOut := fs.Bool("json", false, "emit JSON instead of the text table")
 	svgDir := fs.String("svg", "", "also write each experiment's figure as <dir>/<id>.svg")
 	benchOut := fs.String("bench-out", "", "with id 'quick': write the benchmark snapshot JSON here (default stdout)")
+	benchLabel := fs.String("bench-label", "current", "with --bench-out: store the snapshot under this label, keeping other labels in the file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -339,18 +339,17 @@ func cmdExperiment(args []string) error {
 	}
 	if rest[0] == "quick" {
 		// Benchmark snapshot: run the canonical pipeline once and emit
-		// machine-readable per-phase throughput from the obs metrics.
-		out := io.Writer(os.Stdout)
+		// machine-readable per-phase throughput from the obs metrics. A
+		// file target gets the labeled multi-snapshot format so baseline
+		// and current runs live side by side; stdout stays a single result.
 		if *benchOut != "" {
-			f, err := os.Create(*benchOut)
-			if err != nil {
+			if err := experiments.WriteQuickBenchFile(sc, *benchOut, *benchLabel); err != nil {
 				return err
 			}
-			defer f.Close()
-			out = f
-			defer fmt.Fprintf(os.Stderr, "benchmark snapshot written to %s\n", *benchOut)
+			fmt.Fprintf(os.Stderr, "benchmark snapshot %q written to %s\n", *benchLabel, *benchOut)
+			return nil
 		}
-		return experiments.WriteQuickBench(sc, out)
+		return experiments.WriteQuickBench(sc, os.Stdout)
 	}
 	ids := []string{rest[0]}
 	if rest[0] == "all" {

@@ -33,6 +33,7 @@ package attack
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"prid/internal/decode"
@@ -95,9 +96,12 @@ type Result struct {
 }
 
 // Reconstructor holds the attacker's knowledge: the shared model, the
-// shared basis, and a decoder. Construction decodes every class hypervector
-// once (normalized to per-sample scale when bundle counts are known), since
-// all reconstructions splice from the same decoded classes.
+// shared basis, and a decoder. Construction snapshots everything that is
+// fixed per class — the decoded class features, the basis projections
+// B·C_l, and the class norms — since all reconstructions splice from the
+// same classes; the model must not be mutated while a Reconstructor holds
+// it. A Reconstructor is safe for concurrent use: the serving layer and
+// the parallel experiment sweeps share one per model.
 type Reconstructor struct {
 	basis   *hdc.Basis
 	model   *hdc.Model
@@ -105,6 +109,26 @@ type Reconstructor struct {
 	// classFeatures[l] is the decoded, count-normalized class l — the
 	// attacker's estimate of the mean train sample of that class.
 	classFeatures [][]float64
+	// classProj[l][k] = Dot(C_l, B_k), the basis projection B·C_l. The
+	// masked-similarity probe needs dot(C, B_i) for every feature of every
+	// query every iteration even though C is fixed per class; caching the
+	// n·D product here pays it once at construction.
+	classProj [][]float64
+	// classNorm[l] = ‖C_l‖, fixed per class for the same reason.
+	classNorm []float64
+	// scratch recycles the per-call probe buffers so a reconstruction
+	// allocates O(1) per iteration; pooled (not owned) because concurrent
+	// callers share the Reconstructor.
+	scratch sync.Pool
+}
+
+// probeScratch is one caller's reusable probe state.
+type probeScratch struct {
+	h         []float64 // current encoding, length D
+	projH     []float64 // B·h, length n
+	sims      []float64 // per-feature masked similarities, length n
+	dsims     []float64 // per-dimension masked similarities, length D
+	fromQuery []bool    // feature-replacement source flags, length n
 }
 
 // NewReconstructor prepares an attack against model using basis and dec.
@@ -112,45 +136,96 @@ func NewReconstructor(basis *hdc.Basis, model *hdc.Model, dec decode.Decoder) *R
 	if basis.Dim() != model.Dim() {
 		panic(fmt.Sprintf("attack: basis dimension %d != model dimension %d", basis.Dim(), model.Dim()))
 	}
-	return &Reconstructor{
+	n, d := basis.Features(), basis.Dim()
+	r := &Reconstructor{
 		basis:         basis,
 		model:         model,
 		decoder:       dec,
 		classFeatures: decode.Classes(dec, model, true),
+		classProj:     make([][]float64, model.NumClasses()),
+		classNorm:     make([]float64, model.NumClasses()),
 	}
+	bm := basis.Matrix()
+	for l := 0; l < model.NumClasses(); l++ {
+		c := model.Class(l)
+		proj := make([]float64, n)
+		bm.MulVecIntoParallel(proj, c, 0)
+		r.classProj[l] = proj
+		r.classNorm[l] = vecmath.Norm2(c)
+	}
+	r.scratch.New = func() any {
+		return &probeScratch{
+			h:         make([]float64, d),
+			projH:     make([]float64, n),
+			sims:      make([]float64, n),
+			dsims:     make([]float64, d),
+			fromQuery: make([]bool, n),
+		}
+	}
+	return r
 }
 
 // ClassFeatures returns the attacker's decoded estimate of class l's mean
 // train sample.
 func (r *Reconstructor) ClassFeatures(l int) []float64 { return r.classFeatures[l] }
 
-// maskedFeatureSims returns δ_l^i for every feature i: the similarity of
-// the query's encoding with feature i masked out against class hypervector
-// c. Computed in O(nD) overall via the rank-one update
+// simEpsRel is the relative noise floor for incrementally-updated squared
+// norms: den2 below is a difference of O(‖H‖²)-sized terms, so any value
+// smaller than their combined magnitude times this epsilon is rounding
+// noise, not a real norm. 1e-12 sits ~4 decimal orders above float64
+// machine epsilon, covering the error accumulated over the handful of
+// adds in each rank-one update.
+const simEpsRel = 1e-12
+
+// clampedSim finishes an incrementally-updated similarity
+// num/(normC·√den2). den2 can come out ≤ 0 through catastrophic
+// cancellation even when the true masked norm is a small positive number;
+// reporting 0 there (the old behaviour) silently flipped Equation 1's
+// keep/replace decision for exactly the features whose masking matters
+// most. Instead den2 is clamped up to the cancellation noise floor of the
+// terms it was computed from (scale = the sum of their magnitudes), and
+// the result is bounded to [-1, 1] like any true cosine.
+func clampedSim(num, den2, normC, scale float64) float64 {
+	if normC == 0 {
+		return 0
+	}
+	if floor := simEpsRel * scale; den2 < floor {
+		// When the true masked vector is (near) zero, num is bounded by
+		// normC·‖masked‖ and shrinks with it, so the clamped ratio stays
+		// finite; the [-1, 1] clamp below absorbs the residual noise.
+		den2 = floor
+	}
+	if den2 <= 0 {
+		return 0 // scale == 0: a genuinely all-zero probe
+	}
+	return vecmath.Clamp(num/(normC*math.Sqrt(den2)), -1, 1)
+}
+
+// maskedFeatureSimsInto fills sims[i] with δ_l^i for every feature i: the
+// similarity of the current encoding with feature i masked out against
+// class hypervector `class`. Computed via the rank-one update
 //
-//	dot(C, H − f_i·B_i)   = dot(C, H) − f_i·dot(C, B_i)
-//	‖H − f_i·B_i‖²        = ‖H‖² − 2·f_i·dot(H, B_i) + f_i²·D
+//	dot(C, H − f_i·B_i)   = dot(C, H) − f_i·(B·C)_i
+//	‖H − f_i·B_i‖²        = ‖H‖² − 2·f_i·(B·H)_i + f_i²·D
 //
-// instead of re-encoding per feature (O(n²D)).
-func (r *Reconstructor) maskedFeatureSims(c, h, features []float64) []float64 {
-	n := r.basis.Features()
+// instead of re-encoding per feature (O(n²D)). The two per-feature dot
+// products are batched into matvecs: B·C comes from the per-class cache,
+// B·H is one blocked (parallel above the flop gate) product into projH.
+func (r *Reconstructor) maskedFeatureSimsInto(sims, projH []float64, class int, h, features []float64) {
+	r.basis.Matrix().MulVecIntoParallel(projH, h, 0)
+	c := r.model.Class(class)
 	d := float64(r.basis.Dim())
 	dotCH := vecmath.Dot(c, h)
-	normC := vecmath.Norm2(c)
 	normH2 := vecmath.Dot(h, h)
-	sims := make([]float64, n)
-	for i := 0; i < n; i++ {
-		bi := r.basis.Row(i)
+	normC := r.classNorm[class]
+	projC := r.classProj[class]
+	for i := range sims {
 		f := features[i]
-		num := dotCH - f*vecmath.Dot(c, bi)
-		den2 := normH2 - 2*f*vecmath.Dot(h, bi) + f*f*d
-		if den2 <= 0 || normC == 0 {
-			sims[i] = 0
-			continue
-		}
-		sims[i] = num / (normC * math.Sqrt(den2))
+		fp := f * projH[i]
+		num := dotCH - f*projC[i]
+		den2 := normH2 - 2*fp + f*f*d
+		sims[i] = clampedSim(num, den2, normC, normH2+2*math.Abs(fp)+f*f*d)
 	}
-	return sims
 }
 
 // FeatureReplacement reconstructs a train-data estimate by the Equation 1
@@ -158,6 +233,11 @@ func (r *Reconstructor) maskedFeatureSims(c, h, features []float64) []float64 {
 // decoded class value, the rest keep their current value; each refinement
 // round re-probes the current reconstruction and flips the source of
 // features that stopped (or started) being evidence.
+//
+// The query is encoded exactly once; the probe encoding is then maintained
+// incrementally (one O(D) basis axpy per flipped feature) instead of being
+// rebuilt with an O(nD) re-encode every round, and the membership check
+// reuses the same encoding.
 func (r *Reconstructor) FeatureReplacement(query []float64, cfg Config) Result {
 	cfg.validate()
 	metricFeaturePasses.Inc()
@@ -165,48 +245,47 @@ func (r *Reconstructor) FeatureReplacement(query []float64, cfg Config) Result {
 	if len(query) != n {
 		panic(fmt.Sprintf("attack: query has %d features, basis %d", len(query), n))
 	}
-	mem := CheckMembership(r.model, r.basis, query)
-	class := mem.Class
+	s := r.scratch.Get().(*probeScratch)
+	defer r.scratch.Put(s)
+
+	h := s.h
+	r.basis.EncodeInto(h, query)
+	metricMembershipChecks.Inc()
+	class, _ := r.model.Classify(h)
 	c := r.model.Class(class)
 	classFeat := r.classFeatures[class]
 
 	recon := vecmath.Clone(query)
-	fromQuery := make([]bool, n) // source of each reconstructed feature
+	fromQuery := s.fromQuery // source of each reconstructed feature
 	for i := range fromQuery {
 		fromQuery[i] = true
 	}
 	for iter := 0; iter < cfg.Iterations; iter++ {
-		h := r.basis.Encode(recon)
 		deltaMax := vecmath.Cosine(h, c)
-		sims := r.maskedFeatureSims(c, h, recon)
-		margin := cfg.MarginFactor * vecmath.StdDev(sims)
+		r.maskedFeatureSimsInto(s.sims, s.projH, class, h, recon)
+		margin := cfg.MarginFactor * vecmath.StdDev(s.sims)
 		changed := false
 		for i := 0; i < n; i++ {
-			if sims[i] > deltaMax-margin {
-				// Masking feature i did not hurt: no strong class evidence
-				// here, keep (or restore) the query's value — Equation 1's
-				// first branch.
-				if !fromQuery[i] {
-					recon[i] = query[i]
-					fromQuery[i] = true
-					changed = true
-				}
-			} else {
-				// Masking cost more than the margin: the model holds strong
-				// evidence for this feature, take the decoded class value.
-				if fromQuery[i] {
-					recon[i] = classFeat[i]
-					fromQuery[i] = false
-					changed = true
-				}
+			// Equation 1: masking feature i not hurting (sims above the
+			// margin) means no strong class evidence, so the query's value
+			// stands; masking costing more than the margin means the model
+			// holds strong evidence, so the decoded class value takes over.
+			want, fromQ := classFeat[i], false
+			if s.sims[i] > deltaMax-margin {
+				want, fromQ = query[i], true
+			}
+			if fromQuery[i] != fromQ {
+				r.basis.AddFeature(h, i, want-recon[i])
+				recon[i] = want
+				fromQuery[i] = fromQ
+				changed = true
 			}
 		}
 		if !changed {
 			break
 		}
 	}
-	final := r.basis.Encode(recon)
-	return Result{Class: class, Recon: recon, Similarity: vecmath.Cosine(final, c)}
+	return Result{Class: class, Recon: recon, Similarity: vecmath.Cosine(h, c)}
 }
 
 // DimensionReplacement reconstructs by splicing in high-dimensional space:
@@ -220,30 +299,32 @@ func (r *Reconstructor) DimensionReplacement(query []float64, cfg Config) Result
 	if len(query) != r.basis.Features() {
 		panic(fmt.Sprintf("attack: query has %d features, basis %d", len(query), r.basis.Features()))
 	}
-	mem := CheckMembership(r.model, r.basis, query)
-	class := mem.Class
+	s := r.scratch.Get().(*probeScratch)
+	defer r.scratch.Put(s)
+
+	h := s.h
+	r.basis.EncodeInto(h, query)
+	metricMembershipChecks.Inc()
+	class, _ := r.model.Classify(h)
 	c := r.model.Class(class)
 	d := r.basis.Dim()
+	normC := r.classNorm[class]
 
-	h := r.basis.Encode(query)
+	sims := s.dsims
 	for iter := 0; iter < cfg.Iterations; iter++ {
 		dotCH := vecmath.Dot(c, h)
-		normC := vecmath.Norm2(c)
 		normH := vecmath.Norm2(h)
 		if normC == 0 || normH == 0 {
 			break
 		}
 		deltaMax := dotCH / (normC * normH)
-		// δ_j with dimension j zeroed, via the same rank-one shortcut.
-		sims := make([]float64, d)
+		normH2 := normH * normH
+		// δ_j with dimension j zeroed, via the same rank-one shortcut and
+		// the same cancellation clamp as the feature probe.
 		for j := 0; j < d; j++ {
 			num := dotCH - h[j]*c[j]
-			den2 := normH*normH - h[j]*h[j]
-			if den2 <= 0 {
-				sims[j] = 0
-				continue
-			}
-			sims[j] = num / (normC * math.Sqrt(den2))
+			den2 := normH2 - h[j]*h[j]
+			sims[j] = clampedSim(num, den2, normC, normH2+h[j]*h[j])
 		}
 		margin := cfg.MarginFactor * vecmath.StdDev(sims)
 		scale := normH / normC // match class-dimension magnitude to the query encoding
@@ -268,8 +349,8 @@ func (r *Reconstructor) DimensionReplacement(query []float64, cfg Config) Result
 		}
 	}
 	recon := r.decoder.Decode(h)
-	final := r.basis.Encode(recon)
-	return Result{Class: class, Recon: recon, Similarity: vecmath.Cosine(final, c)}
+	r.basis.EncodeInto(h, recon) // the spliced hypervector is spent; reuse its buffer
+	return Result{Class: class, Recon: recon, Similarity: vecmath.Cosine(h, c)}
 }
 
 // Combined alternates feature- and dimension-replacement per iteration —

@@ -100,7 +100,9 @@ func TestMaskedFeatureSimsMatchBruteForce(t *testing.T) {
 	q := f.queries[0]
 	h := f.basis.Encode(q)
 	c := f.model.Class(0)
-	fast := f.recon.maskedFeatureSims(c, h, q)
+	fast := make([]float64, len(q))
+	projH := make([]float64, len(q))
+	f.recon.maskedFeatureSimsInto(fast, projH, 0, h, q)
 	for i := range q {
 		masked := vecmath.Clone(q)
 		masked[i] = 0
@@ -108,6 +110,76 @@ func TestMaskedFeatureSimsMatchBruteForce(t *testing.T) {
 		if math.Abs(fast[i]-want) > 1e-9 {
 			t.Fatalf("feature %d: fast %v vs brute force %v", i, fast[i], want)
 		}
+	}
+}
+
+// The cancellation clamp: when masking a feature leaves a (numerically)
+// tiny residual norm, the incremental den2 can go ≤ 0 through catastrophic
+// cancellation. The clamped similarity must stay finite and inside
+// [-1, 1] instead of silently reporting 0 (which flipped Equation 1's
+// keep/replace decision for exactly these features).
+func TestMaskedFeatureSimsCancellationClamp(t *testing.T) {
+	f := newFixture(t, 12)
+	n := f.basis.Features()
+	// A query with a single dominant feature: masking it removes nearly
+	// the whole encoding, so den2 is a difference of nearly-equal terms.
+	q := make([]float64, n)
+	q[3] = 1
+	q[7] = 1e-9
+	h := f.basis.Encode(q)
+	sims := make([]float64, n)
+	projH := make([]float64, n)
+	f.recon.maskedFeatureSimsInto(sims, projH, 0, h, q)
+	c := f.model.Class(0)
+	for i := range sims {
+		if math.IsNaN(sims[i]) || math.IsInf(sims[i], 0) {
+			t.Fatalf("feature %d: non-finite masked similarity %v", i, sims[i])
+		}
+		if sims[i] < -1 || sims[i] > 1 {
+			t.Fatalf("feature %d: masked similarity %v outside [-1, 1]", i, sims[i])
+		}
+		masked := vecmath.Clone(q)
+		masked[i] = 0
+		hm := f.basis.Encode(masked)
+		// The brute-force reference re-encodes from scratch, so it has no
+		// cancellation. The fast path must match it whenever the true masked
+		// norm sits above the clamp's noise floor; below the floor the clamp
+		// deliberately attenuates toward 0 (the incremental den2 is pure
+		// rounding noise there), which the bounds above already cover.
+		nm := vecmath.Norm2(hm)
+		if nm*nm < 1e-9*vecmath.Norm2(h)*vecmath.Norm2(h) {
+			continue
+		}
+		want := vecmath.Cosine(hm, c)
+		if math.Abs(sims[i]-want) > 1e-6 {
+			t.Fatalf("feature %d: clamped fast %v vs brute force %v", i, sims[i], want)
+		}
+	}
+}
+
+// clampedSim directly: a den2 driven negative by cancellation noise must
+// be lifted to the relative noise floor, not reported as similarity 0.
+func TestClampedSimCancellation(t *testing.T) {
+	// True masked norm is tiny but positive; the incremental update lost it
+	// to rounding (den2 slightly negative). scale carries the magnitude of
+	// the cancelled terms.
+	got := clampedSim(1e-4, -1e-10, 1, 1e6)
+	if got == 0 {
+		t.Fatal("cancellation-clamped similarity collapsed to 0")
+	}
+	if math.IsNaN(got) || math.IsInf(got, 0) || got < -1 || got > 1 {
+		t.Fatalf("clamped similarity %v not a valid cosine", got)
+	}
+	// An exactly-representable positive den2 passes through untouched.
+	if got := clampedSim(0.5, 0.25, 1, 0.25); got != 1 {
+		t.Fatalf("clean den2 perturbed: got %v, want 1", got)
+	}
+	// Zero class norm and an all-zero probe both report 0.
+	if got := clampedSim(1, 1, 0, 1); got != 0 {
+		t.Fatalf("zero class norm: got %v, want 0", got)
+	}
+	if got := clampedSim(0, 0, 1, 0); got != 0 {
+		t.Fatalf("all-zero probe: got %v, want 0", got)
 	}
 }
 

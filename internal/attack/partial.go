@@ -50,20 +50,26 @@ func (r *Reconstructor) ReconstructPartial(query []float64, known []bool, cfg Co
 
 	// Refine only the unknown positions: where the probe says the current
 	// value conflicts with the class evidence, fall back to the class
-	// value; the Equation-1 margin rule decides.
+	// value; the Equation-1 margin rule decides. As in FeatureReplacement,
+	// the probe encoding is built once and maintained incrementally per
+	// adopted feature.
+	s := r.scratch.Get().(*probeScratch)
+	defer r.scratch.Put(s)
+	h := s.h
+	r.basis.EncodeInto(h, recon)
 	for iter := 0; iter < cfg.Iterations; iter++ {
-		h := r.basis.Encode(recon)
 		deltaMax := vecmath.Cosine(h, c)
-		sims := r.maskedFeatureSims(c, h, recon)
-		margin := cfg.MarginFactor * vecmath.StdDev(sims)
+		r.maskedFeatureSimsInto(s.sims, s.projH, class, h, recon)
+		margin := cfg.MarginFactor * vecmath.StdDev(s.sims)
 		changed := false
 		for i := 0; i < n; i++ {
 			if known[i] {
 				continue
 			}
-			if sims[i] <= deltaMax-margin {
+			if s.sims[i] <= deltaMax-margin {
 				// Strong class evidence at i: adopt the class value.
 				if recon[i] != classFeat[i] {
+					r.basis.AddFeature(h, i, classFeat[i]-recon[i])
 					recon[i] = classFeat[i]
 					changed = true
 				}
@@ -73,8 +79,7 @@ func (r *Reconstructor) ReconstructPartial(query []float64, known []bool, cfg Co
 			break
 		}
 	}
-	final := r.basis.Encode(recon)
-	return Result{Class: class, Recon: recon, Similarity: vecmath.Cosine(final, c)}
+	return Result{Class: class, Recon: recon, Similarity: vecmath.Cosine(h, c)}
 }
 
 // KnownFraction is a mask helper: the first ⌈fraction·n⌉ features marked

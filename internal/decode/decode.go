@@ -131,7 +131,11 @@ func NewLeastSquares(b *hdc.Basis, ridge float64) (*LeastSquares, error) {
 		metricFactorRuns.Inc()
 		metricFactorSecs.ObserveSince(start)
 	}()
-	gram := b.Matrix().Gram()
+	// The n×n Gram build is the decoder's construction cost (n²·D/2
+	// multiply-adds); fan it out across all cores — entries are the same
+	// Dot calls in any schedule, so the factorization input is
+	// bit-identical to the sequential build.
+	gram := b.Matrix().GramParallel(0)
 	if ridge > 0 {
 		gram.AddDiagonal(ridge)
 	}

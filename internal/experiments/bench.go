@@ -2,9 +2,13 @@ package experiments
 
 import (
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
+	"os"
 	"time"
 
+	"prid/internal/attack"
 	"prid/internal/dataset"
 	"prid/internal/decode"
 	"prid/internal/hdc"
@@ -41,6 +45,14 @@ type BenchResult struct {
 	AttackSeconds      float64 `json:"attack_seconds"`
 	AttackReconsPerSec float64 `json:"attack_recons_per_sec"`
 	MeanDelta          float64 `json:"attack_mean_delta"`
+
+	// The feature-replacement probe isolates the attack's hot kernel
+	// (Equation 1's masked-similarity sweep + re-encode loop) from the
+	// decoder and the combined alternation, so kernel-level perf work has
+	// a number that moves only when the kernel does.
+	FeatReplRuns    int64   `json:"feature_replacement_runs"`
+	FeatReplSeconds float64 `json:"feature_replacement_seconds"`
+	FeatReplPerSec  float64 `json:"feature_replacement_runs_per_sec"`
 
 	Metrics obs.Snapshot `json:"metrics"`
 }
@@ -103,7 +115,32 @@ func QuickBench(sc Scale) BenchResult {
 	res.Reconstructions = counterDelta("attack.reconstructions")
 	_, res.AttackSeconds = histDelta("attack.recon.seconds")
 	res.AttackReconsPerSec = obs.Rate(res.Reconstructions, res.AttackSeconds)
+
+	res.FeatReplRuns, res.FeatReplSeconds = measureFeatureReplacement(tr, sc)
+	res.FeatReplPerSec = obs.Rate(res.FeatReplRuns, res.FeatReplSeconds)
 	return res
+}
+
+// featReplPasses is how many full passes over the query set the
+// feature-replacement throughput probe makes: enough runs to dominate
+// timer noise at quick scale while staying well under a second.
+const featReplPasses = 5
+
+// measureFeatureReplacement times the Equation-1 feature-replacement
+// reconstruction — the masked-similarity probe loop that dominates the
+// attack's cost — over the prepared queries at the scale's refinement
+// depth.
+func measureFeatureReplacement(tr *trained, sc Scale) (runs int64, secs float64) {
+	rec := attack.NewReconstructor(tr.basis, tr.model, tr.ls)
+	cfg := attackConfig(sc.AttackIterations)
+	start := time.Now()
+	for pass := 0; pass < featReplPasses; pass++ {
+		for _, q := range tr.queries {
+			rec.FeatureReplacement(q, cfg)
+			runs++
+		}
+	}
+	return runs, time.Since(start).Seconds()
 }
 
 // prepareFromParts assembles a trained workload from pieces QuickBench
@@ -130,6 +167,7 @@ func prepareFromParts(ds *dataset.Dataset, basis *hdc.Basis, model *hdc.Model,
 		encTe:   basis.EncodeAll(ds.TestX),
 		ls:      ls,
 		queries: ds.TestX[:nq],
+		workers: sc.Workers,
 	}
 }
 
@@ -143,4 +181,45 @@ func WriteQuickBench(sc Scale, w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(res)
+}
+
+// SnapshotFile is the on-disk format of BENCH_1.json: named snapshots of
+// the same quick benchmark, so a perf PR commits its pre-change "baseline"
+// and post-change "current" runs side by side and later PRs extend the
+// trajectory by rewriting only their own label.
+type SnapshotFile struct {
+	Snapshots map[string]BenchResult `json:"snapshots"`
+}
+
+// WriteQuickBenchFile runs QuickBench and stores the result under label in
+// the snapshot file at path, preserving every other label already present
+// (`prid experiment quick --bench-out FILE --bench-label NAME`).
+func WriteQuickBenchFile(sc Scale, path, label string) error {
+	if label == "" {
+		return errors.New("experiments: empty benchmark snapshot label")
+	}
+	var file SnapshotFile
+	raw, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(raw, &file); err != nil {
+			return fmt.Errorf("experiments: parsing existing snapshot file %s: %w", path, err)
+		}
+	case errors.Is(err, os.ErrNotExist):
+		// First snapshot: start a fresh file.
+	default:
+		return err
+	}
+	if file.Snapshots == nil {
+		file.Snapshots = map[string]BenchResult{}
+	}
+	start := time.Now()
+	file.Snapshots[label] = QuickBench(sc)
+	expLogger.Info("benchmark snapshot complete", "scale", sc.Name, "label", label,
+		"elapsed", time.Since(start).Round(time.Millisecond).String())
+	out, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }

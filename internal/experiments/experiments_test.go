@@ -253,6 +253,24 @@ func TestRegistry(t *testing.T) {
 	}
 }
 
+// The acceptance gate for the parallel sweep: reconstruction outcomes are
+// bit-identical for any worker count. Per-query results land in slices
+// indexed by query and the means reduce in query order, so there is no
+// floating-point schedule dependence to hide behind a tolerance.
+func TestCombinedAttackSweepBitIdenticalAcrossWorkers(t *testing.T) {
+	sc := Quick()
+	tr := prepare("MNIST", sc, sc.Dim)
+	tr.workers = 1
+	want := tr.runCombinedAttack(tr.model, tr.ls, 2)
+	for _, workers := range []int{2, 4} {
+		tr.workers = workers
+		got := tr.runCombinedAttack(tr.model, tr.ls, 2)
+		if got != want {
+			t.Fatalf("workers=%d outcome %+v != sequential %+v", workers, got, want)
+		}
+	}
+}
+
 func TestScaleValidation(t *testing.T) {
 	defer func() {
 		if recover() == nil {

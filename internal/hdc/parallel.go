@@ -2,11 +2,10 @@ package hdc
 
 import (
 	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"prid/internal/obs"
+	"prid/internal/vecmath"
 )
 
 // EncodeAllParallel encodes every row of x using up to workers goroutines
@@ -16,10 +15,9 @@ import (
 // the dominant cost of training and of every experiment sweep — O(n·D)
 // per sample with perfect sample-level parallelism.
 //
-// Work is distributed through a shared atomic cursor rather than a
-// pre-filled index channel: claiming a sample is one atomic add instead
-// of a channel receive, and the O(len(x)) buffered-channel setup (fill,
-// allocate, close) disappears entirely.
+// Work distribution rides vecmath.ParallelRows, the shared atomic-cursor
+// worker shape: claiming a chunk of samples is one atomic add, with no
+// per-sample channel traffic or setup.
 func EncodeAllParallel(enc Encoder, x [][]float64, workers int) [][]float64 {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -27,32 +25,17 @@ func EncodeAllParallel(enc Encoder, x [][]float64, workers int) [][]float64 {
 	if workers > len(x) {
 		workers = len(x)
 	}
+	if workers < 1 {
+		workers = 1
+	}
 	span := obs.StartSpan("encode")
 	start := time.Now()
 	out := make([][]float64, len(x))
-	if workers <= 1 {
-		for i, f := range x {
-			out[i] = enc.Encode(f)
+	vecmath.ParallelRows(len(x), workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = enc.Encode(x[i])
 		}
-		observeEncodeBatch(start, len(x), enc.Features(), 1, span)
-		return out
-	}
-	var wg sync.WaitGroup
-	var next atomic.Int64
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(x) {
-					return
-				}
-				out[i] = enc.Encode(x[i])
-			}
-		}()
-	}
-	wg.Wait()
+	})
 	observeEncodeBatch(start, len(x), enc.Features(), workers, span)
 	return out
 }

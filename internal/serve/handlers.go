@@ -279,6 +279,12 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) error
 	if err != nil {
 		return err
 	}
+	// Same non-finite guard as the predict path: a NaN/Inf query would
+	// otherwise propagate through every masked-similarity probe of the
+	// reconstruction loop instead of failing at the boundary.
+	if err := checkFiniteRow(req.Query, "query"); err != nil {
+		return writeError(w, http.StatusBadRequest, err)
+	}
 	a, err := e.Attacker()
 	if err != nil {
 		return writeError(w, http.StatusInternalServerError, err)
@@ -324,6 +330,14 @@ func (s *Server) handleAuditLeakage(w http.ResponseWriter, r *http.Request) erro
 	e, err := s.lookup(w, req.Model)
 	if err != nil {
 		return err
+	}
+	// Both payloads feed the reconstruction loop and the leakage metric;
+	// reject non-finite values field-by-field like every other endpoint.
+	if err := checkFiniteRows(req.Train, "train"); err != nil {
+		return writeError(w, http.StatusBadRequest, err)
+	}
+	if err := checkFiniteRows(req.Queries, "queries"); err != nil {
+		return writeError(w, http.StatusBadRequest, err)
 	}
 	leak, err := e.model.AuditLeakage(req.Train, req.Queries)
 	if err != nil {

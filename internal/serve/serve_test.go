@@ -5,7 +5,9 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"math"
 	"net/http"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -237,6 +239,58 @@ func TestReconstructAndAuditEndpoints(t *testing.T) {
 	resp, _ = postJSON(t, base+"/v1/audit/leakage", map[string]any{"model": "alpha", "queries": queries[:1]})
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("empty-train audit status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestReconstructAndAuditRejectNonFinite pins the non-finite input guard
+// on the attack-facing endpoints. Standard JSON cannot spell NaN/Inf, so
+// the boundary has two layers and both are asserted: bodies that try to
+// smuggle non-finite numbers through the wire (literal NaN, overflow
+// exponents) die at decode with a 400 envelope, and the handler-side
+// checkFinite guard — the layer that protects any future non-JSON
+// ingestion path — rejects the exact request fields the handlers validate
+// ("query", "train", "queries") with field-level messages.
+func TestReconstructAndAuditRejectNonFinite(t *testing.T) {
+	_, base := testServer(t, Config{})
+	cases := []struct {
+		name, path, body string
+	}{
+		{"reconstruct literal NaN", "/v1/reconstruct", `{"model": "alpha", "query": [NaN]}`},
+		{"reconstruct overflow Inf", "/v1/reconstruct", `{"model": "alpha", "query": [1e999]}`},
+		{"audit NaN in train", "/v1/audit/leakage", `{"model": "alpha", "train": [[NaN]], "queries": [[0.1]]}`},
+		{"audit -Inf in queries", "/v1/audit/leakage", `{"model": "alpha", "train": [[0.1]], "queries": [[-1e999]]}`},
+	}
+	for _, c := range cases {
+		resp, err := http.Post(base+c.path, "application/json", bytes.NewReader([]byte(c.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var e apiError
+		jerr := json.NewDecoder(resp.Body).Decode(&e)
+		resp.Body.Close()
+		if jerr != nil || e.Error == "" {
+			t.Errorf("%s: error envelope missing (%v)", c.name, jerr)
+		}
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", c.name, resp.StatusCode)
+		}
+	}
+
+	// The guard the handlers wire in, with the handlers' field names.
+	rq := reconstructRequest{Model: "alpha", Query: []float64{0.1, math.NaN()}}
+	if err := checkFiniteRow(rq.Query, "query"); err == nil || !strings.Contains(err.Error(), "query[1]") {
+		t.Fatalf("reconstruct NaN guard error %v does not name query[1]", err)
+	}
+	aq := auditRequest{
+		Model:   "alpha",
+		Train:   [][]float64{{0.1}, {math.Inf(1)}},
+		Queries: [][]float64{{math.Inf(-1)}},
+	}
+	if err := checkFiniteRows(aq.Train, "train"); err == nil || !strings.Contains(err.Error(), "train[1][0]") {
+		t.Fatalf("audit +Inf guard error %v does not name train[1][0]", err)
+	}
+	if err := checkFiniteRows(aq.Queries, "queries"); err == nil || !strings.Contains(err.Error(), "queries[0][0]") {
+		t.Fatalf("audit -Inf guard error %v does not name queries[0][0]", err)
 	}
 }
 

@@ -1,0 +1,180 @@
+package vecmath
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the shared compute-kernel layer: blocked matrix-vector
+// products and a parallel row-range helper that the hot paths (attack
+// probes, decoder Gram builds, experiment sweeps) are built on. Two
+// invariants hold everywhere:
+//
+//   - Per-row accumulation order is exactly Dot's (same four lanes, same
+//     tail), so a blocked or parallel kernel is bit-identical to calling
+//     Dot row by row. Determinism is a test gate for the attack loops, so
+//     speed must never perturb the last bits.
+//   - Parallel variants distribute whole rows; no row's reduction is ever
+//     split across workers.
+
+// minParallelFlops gates goroutine fan-out: below roughly this many
+// multiply-adds the spawn/wait overhead exceeds the work, so parallel
+// entry points fall back to the sequential kernel.
+const minParallelFlops = 1 << 16
+
+// ParallelRows runs fn over disjoint chunks covering [0, n) on up to
+// workers goroutines (0 selects GOMAXPROCS). Chunks are claimed through a
+// shared atomic cursor — the worker shape proven in hdc.EncodeAllParallel:
+// claiming work is one atomic add, and imbalanced rows (e.g. a triangular
+// Gram build) self-balance because fast workers simply claim more chunks.
+// fn must be safe to run concurrently on disjoint ranges.
+func ParallelRows(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	// ~4 chunks per worker: coarse enough that cursor traffic is noise,
+	// fine enough that uneven chunk costs still balance.
+	chunk := (n + 4*workers - 1) / (4 * workers)
+	if chunk < 1 {
+		chunk = 1
+	}
+	var wg sync.WaitGroup
+	var next atomic.Int64
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(next.Add(int64(chunk))) - chunk
+				if lo >= n {
+					return
+				}
+				hi := lo + chunk
+				if hi > n {
+					hi = n
+				}
+				fn(lo, hi)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// mulVec4 computes dst[r] = rows[r]·x for four rows sharing one pass over
+// x, so each element of x is loaded once per four rows instead of once per
+// row. Each row keeps Dot's exact lane structure (four accumulators over
+// i≡0..3 mod 4, tail into lane 0, left-to-right final sum), making the
+// result bit-identical to four separate Dot calls.
+func mulVec4(dst []float64, r0, r1, r2, r3, x []float64) {
+	n := len(x)
+	var a0, a1, a2, a3 float64
+	var b0, b1, b2, b3 float64
+	var c0, c1, c2, c3 float64
+	var d0, d1, d2, d3 float64
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		x0, x1, x2, x3 := x[i], x[i+1], x[i+2], x[i+3]
+		a0 += r0[i] * x0
+		a1 += r0[i+1] * x1
+		a2 += r0[i+2] * x2
+		a3 += r0[i+3] * x3
+		b0 += r1[i] * x0
+		b1 += r1[i+1] * x1
+		b2 += r1[i+2] * x2
+		b3 += r1[i+3] * x3
+		c0 += r2[i] * x0
+		c1 += r2[i+1] * x1
+		c2 += r2[i+2] * x2
+		c3 += r2[i+3] * x3
+		d0 += r3[i] * x0
+		d1 += r3[i+1] * x1
+		d2 += r3[i+2] * x2
+		d3 += r3[i+3] * x3
+	}
+	for ; i < n; i++ {
+		xi := x[i]
+		a0 += r0[i] * xi
+		b0 += r1[i] * xi
+		c0 += r2[i] * xi
+		d0 += r3[i] * xi
+	}
+	dst[0] = a0 + a1 + a2 + a3
+	dst[1] = b0 + b1 + b2 + b3
+	dst[2] = c0 + c1 + c2 + c3
+	dst[3] = d0 + d1 + d2 + d3
+}
+
+// mulVecRange fills dst[lo:hi] with rows lo..hi of M·x through the
+// four-row blocked kernel. Row grouping does not affect values (rows are
+// independent), so any [lo, hi) split is bit-identical to the full pass.
+func (m *Matrix) mulVecRange(dst, x []float64, lo, hi int) {
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		mulVec4(dst[i:i+4], m.Row(i), m.Row(i+1), m.Row(i+2), m.Row(i+3), x)
+	}
+	for ; i < hi; i++ {
+		dst[i] = Dot(m.Row(i), x)
+	}
+}
+
+// MulVecInto computes dst = M·x without allocating, through the blocked
+// kernel. dst must have length Rows; results are bit-identical to MulVec.
+func (m *Matrix) MulVecInto(dst, x []float64) {
+	checkLen("MulVecInto", len(x), m.Cols)
+	checkLen("MulVecInto dst", len(dst), m.Rows)
+	m.mulVecRange(dst, x, 0, m.Rows)
+}
+
+// MulVecIntoParallel is MulVecInto with the row loop fanned out across up
+// to workers goroutines (0 selects GOMAXPROCS). Small products run
+// sequentially — spawning workers costs more than the product below the
+// flop gate. Bit-identical to MulVecInto for any worker count.
+func (m *Matrix) MulVecIntoParallel(dst, x []float64, workers int) {
+	checkLen("MulVecIntoParallel", len(x), m.Cols)
+	checkLen("MulVecIntoParallel dst", len(dst), m.Rows)
+	if m.Rows*m.Cols < minParallelFlops {
+		m.mulVecRange(dst, x, 0, m.Rows)
+		return
+	}
+	ParallelRows(m.Rows, workers, func(lo, hi int) {
+		m.mulVecRange(dst, x, lo, hi)
+	})
+}
+
+// GramParallel is Gram with the row loop fanned out across up to workers
+// goroutines (0 selects GOMAXPROCS). Every (i, j) entry is the same Dot
+// call as Gram's, so the result is bit-identical; the triangular row costs
+// balance through ParallelRows' chunk claiming. Each worker writes entry
+// (i, j) and its mirror (j, i) only for rows i it owns, so writes never
+// collide.
+func (m *Matrix) GramParallel(workers int) *Matrix {
+	g := NewMatrix(m.Rows, m.Rows)
+	fill := func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ri := m.Row(i)
+			for j := i; j < m.Rows; j++ {
+				v := Dot(ri, m.Row(j))
+				g.Set(i, j, v)
+				g.Set(j, i, v)
+			}
+		}
+	}
+	// Total work is ~Rows²/2 dots of length Cols.
+	if m.Rows*m.Rows/2*m.Cols < minParallelFlops {
+		fill(0, m.Rows)
+		return g
+	}
+	ParallelRows(m.Rows, workers, fill)
+	return g
+}

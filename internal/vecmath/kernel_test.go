@@ -1,0 +1,152 @@
+package vecmath
+
+import (
+	"sync"
+	"testing"
+
+	"prid/internal/rng"
+)
+
+// randMatrix fills an r×c matrix with uniform noise — big enough sizes
+// cross the parallel flop gate, odd sizes exercise block/lane tails.
+func randMatrix(r, c int, seed uint64) *Matrix {
+	m := NewMatrix(r, c)
+	rng.New(seed).FillUniform(m.Data, -1, 1)
+	return m
+}
+
+func randVec(n int, seed uint64) []float64 {
+	v := make([]float64, n)
+	rng.New(seed).FillUniform(v, -1, 1)
+	return v
+}
+
+// The blocked kernel's core contract: MulVecInto is bit-identical to
+// calling Dot row by row, at every size that exercises the 4-row block
+// remainder and the 4-lane tail.
+func TestMulVecIntoBitIdenticalToDot(t *testing.T) {
+	for _, shape := range [][2]int{{1, 1}, {3, 5}, {4, 8}, {5, 7}, {17, 33}, {64, 129}, {130, 257}} {
+		m := randMatrix(shape[0], shape[1], uint64(shape[0]*1000+shape[1]))
+		x := randVec(shape[1], 99)
+		dst := make([]float64, shape[0])
+		m.MulVecInto(dst, x)
+		for i := 0; i < m.Rows; i++ {
+			if want := Dot(m.Row(i), x); dst[i] != want {
+				t.Fatalf("%dx%d row %d: blocked %v != Dot %v", shape[0], shape[1], i, dst[i], want)
+			}
+		}
+		// And the allocating MulVec rides the same kernel.
+		y := m.MulVec(x)
+		for i := range y {
+			if y[i] != dst[i] {
+				t.Fatalf("%dx%d row %d: MulVec %v != MulVecInto %v", shape[0], shape[1], i, y[i], dst[i])
+			}
+		}
+	}
+}
+
+// Parallel matvec must be bit-identical to sequential for every worker
+// count, above and below the flop gate.
+func TestMulVecIntoParallelBitIdentical(t *testing.T) {
+	for _, shape := range [][2]int{{7, 11}, {61, 1031}, {128, 1024}} {
+		m := randMatrix(shape[0], shape[1], uint64(shape[1]))
+		x := randVec(shape[1], 7)
+		want := make([]float64, shape[0])
+		m.MulVecInto(want, x)
+		for _, workers := range []int{0, 1, 2, 3, 4, 7, 16} {
+			got := make([]float64, shape[0])
+			m.MulVecIntoParallel(got, x, workers)
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%dx%d workers=%d row %d: parallel %v != sequential %v",
+						shape[0], shape[1], workers, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// GramParallel must be bit-identical to the sequential Gram for every
+// worker count (the decoder's Cholesky input must not depend on core
+// count).
+func TestGramParallelBitIdentical(t *testing.T) {
+	for _, shape := range [][2]int{{5, 9}, {24, 1024}, {33, 513}} {
+		m := randMatrix(shape[0], shape[1], uint64(shape[0]))
+		want := m.Gram()
+		for _, workers := range []int{0, 1, 2, 4, 9} {
+			got := m.GramParallel(workers)
+			for i := range want.Data {
+				if got.Data[i] != want.Data[i] {
+					t.Fatalf("%dx%d workers=%d entry %d: parallel %v != sequential %v",
+						shape[0], shape[1], workers, i, got.Data[i], want.Data[i])
+				}
+			}
+		}
+	}
+}
+
+// ParallelRows must cover [0, n) exactly once, for any worker count,
+// including workers > n and n == 0.
+func TestParallelRowsCoversExactlyOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 5, 17, 100, 1001} {
+		for _, workers := range []int{0, 1, 2, 3, 8, 200} {
+			hits := make([]int32, n)
+			var mu sync.Mutex
+			ParallelRows(n, workers, func(lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("n=%d workers=%d: bad range [%d, %d)", n, workers, lo, hi)
+					return
+				}
+				mu.Lock()
+				for i := lo; i < hi; i++ {
+					hits[i]++
+				}
+				mu.Unlock()
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d workers=%d: index %d visited %d times", n, workers, i, h)
+				}
+			}
+		}
+	}
+}
+
+// Regression for the similarity-kernel inconsistency: Cosine must be
+// exactly Dot/(Norm2·Norm2) — the same primitive kernels every other
+// similarity call site composes — so a cosine computed inline from
+// Dot/Norm2 (the attack's incremental probes, the model's class scores)
+// is bit-identical to calling Cosine.
+func TestCosineBitIdenticalToDotNorm(t *testing.T) {
+	for _, n := range []int{1, 3, 4, 7, 1024, 1031} {
+		a := randVec(n, uint64(n))
+		b := randVec(n, uint64(n)+17)
+		want := Dot(a, b) / (Norm2(a) * Norm2(b))
+		if got := Cosine(a, b); got != want {
+			t.Fatalf("n=%d: Cosine %v != Dot/(Norm2·Norm2) %v", n, got, want)
+		}
+	}
+	// Zero vectors short-circuit to 0 instead of dividing by zero.
+	if got := Cosine(make([]float64, 8), randVec(8, 1)); got != 0 {
+		t.Fatalf("Cosine(0, b) = %v, want 0", got)
+	}
+}
+
+func BenchmarkMulVecInto128x1024(b *testing.B) {
+	m := randMatrix(128, 1024, 1)
+	x := randVec(1024, 2)
+	dst := make([]float64, 128)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.MulVecInto(dst, x)
+	}
+}
+
+func BenchmarkGramParallel64x1024(b *testing.B) {
+	m := randMatrix(64, 1024, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.GramParallel(0)
+	}
+}

@@ -55,13 +55,13 @@ func (m *Matrix) Clone() *Matrix {
 	return out
 }
 
-// MulVec computes y = M·x where x has length Cols and y has length Rows.
+// MulVec computes y = M·x where x has length Cols and y has length Rows,
+// through the blocked kernel (bit-identical to Dot row by row; see
+// kernel.go).
 func (m *Matrix) MulVec(x []float64) []float64 {
 	checkLen("MulVec", len(x), m.Cols)
 	y := make([]float64, m.Rows)
-	for i := 0; i < m.Rows; i++ {
-		y[i] = Dot(m.Row(i), x)
-	}
+	m.mulVecRange(y, x, 0, m.Rows)
 	return y
 }
 

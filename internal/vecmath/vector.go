@@ -124,18 +124,21 @@ func Normalize(x []float64) float64 {
 
 // Cosine returns the cosine similarity of a and b, the similarity measure δ
 // used throughout the paper. If either vector is zero it returns 0.
+//
+// It is built on the same Dot/Norm2 kernels as every other similarity
+// path — bit-identical to Dot(a,b)/(Norm2(a)·Norm2(b)) — so code that
+// mixes Cosine with explicit Dot/Norm2 terms (the attack's rank-one
+// similarity updates, the decoder's residuals) cannot drift from it in
+// the last bits. A hand-rolled fused loop here once disagreed with the
+// unrolled Dot below machine precision, which is exactly the margin the
+// attack's keep/replace rule decides within.
 func Cosine(a, b []float64) float64 {
 	checkLen("Cosine", len(a), len(b))
-	var dot, na, nb float64
-	for i := range a {
-		dot += a[i] * b[i]
-		na += a[i] * a[i]
-		nb += b[i] * b[i]
-	}
+	na, nb := Norm2(a), Norm2(b)
 	if na == 0 || nb == 0 {
 		return 0
 	}
-	return dot / math.Sqrt(na*nb)
+	return Dot(a, b) / (na * nb)
 }
 
 // MSE returns the mean squared error between a and b.
