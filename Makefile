@@ -1,14 +1,15 @@
 # Tier-1+ gate for the PRID reproduction. `make check` is what a PR must
-# pass: formatting, vet, build, the full test suite (shuffled), and both
-# end-to-end smokes (serving correctness and chaos resilience). `make
-# race` additionally runs the race detector over the packages with
-# concurrency (and everything else), `make chaos` hammers the server
-# with an aggressive fault schedule, and `make bench` regenerates the
-# throughput numbers the perf PRs are judged against.
+# pass: formatting (gofmt -s), vet, the pridlint invariant suite, build,
+# the full test suite (shuffled), and both end-to-end smokes (serving
+# correctness and chaos resilience). `make race` additionally runs the
+# race detector over the packages with concurrency (and everything
+# else), `make chaos` hammers the server with an aggressive fault
+# schedule, and `make bench` regenerates the throughput numbers the perf
+# PRs are judged against.
 
 GO ?= go
 
-.PHONY: build test race vet fmt check bench bench-compile bench-snapshot serve-smoke chaos-smoke chaos
+.PHONY: build test race vet fmt lint check bench bench-compile bench-snapshot serve-smoke chaos-smoke chaos
 
 build:
 	$(GO) build ./...
@@ -20,23 +21,37 @@ test:
 	$(GO) test -shuffle=on ./...
 
 # Covers the concurrent packages (internal/obs, internal/hdc, the
-# internal/serve micro-batching server + reload-race test, and the
-# federated round) along with everything else. The experiments package
-# needs more than the default 10m under the race detector's slowdown,
-# hence the explicit timeout.
+# internal/serve micro-batching server + reload-race test, the federated
+# round, and the dedicated concurrency tests in internal/attack — shared
+# Reconstructor across goroutines — and internal/vecmath — parallel
+# kernels under contention) along with everything else. The experiments
+# package needs more than the default 10m under the race detector's
+# slowdown, hence the explicit timeout.
 race:
 	$(GO) test -race -timeout 30m ./...
 
+# Full stock analyzer set; go vet enables all of them by default when no
+# -<analyzer> flags are passed, so this stays the complete suite as the
+# toolchain grows.
 vet:
 	$(GO) vet ./...
 
+# -s also demands simplified forms (composite-literal elision, range
+# cleanups), not just canonical formatting.
 fmt:
-	@out="$$(gofmt -l .)"; \
+	@out="$$(gofmt -s -l .)"; \
 	if [ -n "$$out" ]; then \
-		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+		echo "gofmt -s needed on:"; echo "$$out"; exit 1; \
 	fi
 
-check: fmt vet build test bench-compile serve-smoke chaos-smoke
+# Project invariant suite (internal/lint): determinism, float equality,
+# map-order, goroutine fan-out, library logging, and dropped-error
+# checks. Must exit clean; suppressions require a written
+# //pridlint:allow reason.
+lint:
+	$(GO) run ./cmd/pridlint ./...
+
+check: fmt vet lint build test bench-compile serve-smoke chaos-smoke
 
 # Benchmark-compile gate: every benchmark must build and survive one
 # iteration, so benches cannot rot uncompiled (or silently broken)

@@ -58,7 +58,7 @@ func (d dataFlags) load() (*dataset.Dataset, error) {
 		if err != nil {
 			return nil, err
 		}
-		defer f.Close()
+		defer f.Close() //pridlint:allow errdrop read-path close: ReadCSV already surfaced any read error
 		x, y, err := dataset.ReadCSV(f)
 		if err != nil {
 			return nil, err
@@ -92,7 +92,7 @@ func cmdTrain(args []string) error {
 			return err
 		}
 		if err := model.Save(f); err != nil {
-			f.Close()
+			_ = f.Close()
 			return err
 		}
 		if err := f.Close(); err != nil {
@@ -148,7 +148,7 @@ func cmdAttack(args []string) error {
 			return err
 		}
 		model, err = prid.Load(f)
-		f.Close()
+		_ = f.Close() //pridlint:allow errdrop read-path close: Load already surfaced any read error
 		if err != nil {
 			return err
 		}
@@ -383,7 +383,7 @@ func cmdExperiment(args []string) error {
 			// The chart re-runs the experiment: runs are deterministic, so
 			// figure and table always agree, at the cost of a second pass.
 			if err := experiments.RunSVG(id, sc, f); err != nil {
-				f.Close()
+				_ = f.Close()
 				return err
 			}
 			if err := f.Close(); err != nil {

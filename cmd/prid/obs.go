@@ -72,7 +72,7 @@ func setupObservability(g globalFlags) (cleanup func(), err error) {
 			return cleanup, fmt.Errorf("starting metrics server on %s: %w", g.metricsAddr, err)
 		}
 		fmt.Fprintf(os.Stderr, "metrics: serving /debug/vars and /debug/pprof/ on http://%s\n", srv.Addr())
-		cleanup = func() { srv.Close() }
+		cleanup = func() { _ = srv.Close() }
 	}
 	return cleanup, nil
 }
@@ -84,7 +84,7 @@ func writeTraceJSON(path string) error {
 		return fmt.Errorf("writing trace: %w", err)
 	}
 	if err := obs.WriteTrace(f); err != nil {
-		f.Close()
+		_ = f.Close()
 		return fmt.Errorf("writing trace: %w", err)
 	}
 	if err := f.Close(); err != nil {
@@ -107,26 +107,26 @@ func printRunSummary(w *os.File) {
 		if enc.Sum > 0 {
 			mbps = float64(floats) * 8 / 1e6 / enc.Sum
 		}
-		fmt.Fprintf(w, "encode: %d samples in %.3fs (%s, %.1f MB/s)\n",
+		fmt.Fprintf(w, "encode: %d samples in %.3fs (%s, %.1f MB/s)\n", //pridlint:allow errdrop end-of-run summary to stderr is best-effort
 			samples, enc.Sum, obs.FormatRate(samples, enc.Sum, "samples"), mbps)
 	}
 	if tr, ok := snap.Histograms["hdc.train.seconds"]; ok && tr.Count > 0 {
-		fmt.Fprintf(w, "train: %d samples in %.3fs (%s)\n",
+		fmt.Fprintf(w, "train: %d samples in %.3fs (%s)\n", //pridlint:allow errdrop end-of-run summary to stderr is best-effort
 			snap.Counters["hdc.train.samples"], tr.Sum,
 			obs.FormatRate(snap.Counters["hdc.train.samples"], tr.Sum, "samples"))
 	}
 	if rt, ok := snap.Histograms["hdc.retrain.seconds"]; ok && rt.Count > 0 {
-		fmt.Fprintf(w, "retrain: %d epochs, %d updates in %.3fs (%s)\n",
+		fmt.Fprintf(w, "retrain: %d epochs, %d updates in %.3fs (%s)\n", //pridlint:allow errdrop end-of-run summary to stderr is best-effort
 			snap.Counters["hdc.retrain.epochs"], snap.Counters["hdc.retrain.updates"], rt.Sum,
 			obs.FormatRate(snap.Counters["hdc.retrain.samples"], rt.Sum, "samples"))
 	}
 	if at, ok := snap.Histograms["attack.recon.seconds"]; ok && at.Count > 0 {
-		fmt.Fprintf(w, "attack: %d reconstructions in %.3fs (%s)\n",
+		fmt.Fprintf(w, "attack: %d reconstructions in %.3fs (%s)\n", //pridlint:allow errdrop end-of-run summary to stderr is best-effort
 			snap.Counters["attack.reconstructions"], at.Sum,
 			obs.FormatRate(snap.Counters["attack.reconstructions"], at.Sum, "reconstructions"))
 	}
 	if df, ok := snap.Histograms["defense.seconds"]; ok && df.Count > 0 {
-		fmt.Fprintf(w, "defend: %d runs, %d rounds in %.3fs\n",
+		fmt.Fprintf(w, "defend: %d runs, %d rounds in %.3fs\n", //pridlint:allow errdrop end-of-run summary to stderr is best-effort
 			snap.Counters["defense.runs"], snap.Counters["defense.rounds"], df.Sum)
 	}
 }

@@ -1,0 +1,111 @@
+// Command pridlint runs the project's static-analysis suite (see
+// internal/lint) over package directories or ./... patterns and reports
+// every invariant violation that is neither fixed nor carrying a
+// //pridlint:allow directive with a written reason.
+//
+// Usage:
+//
+//	pridlint [-json] [-analyzers determinism,floateq,...] [patterns...]
+//
+// With no patterns it lints ./... from the enclosing module root. Exit
+// status is 0 when clean, 1 when findings were reported, 2 on load or
+// type-check failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"prid/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("pridlint", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array instead of file:line:col text")
+	only := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers {
+			fmt.Fprintf(os.Stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	var onlyNames []string
+	if *only != "" {
+		for _, n := range strings.Split(*only, ",") {
+			n = strings.TrimSpace(n)
+			if lint.ByName(n) == nil {
+				fmt.Fprintf(os.Stderr, "pridlint: unknown analyzer %q (try -list)\n", n)
+				return 2
+			}
+			onlyNames = append(onlyNames, n)
+		}
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	moduleDir, err := findModuleRoot()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pridlint: %v\n", err)
+		return 2
+	}
+	diags, err := lint.Run(moduleDir, patterns, onlyNames)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "pridlint: %v\n", err)
+		return 2
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(os.Stderr, "pridlint: encoding output: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(os.Stderr, "pridlint: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod, mirroring how the go tool locates the module.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

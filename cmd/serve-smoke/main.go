@@ -51,7 +51,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	defer os.RemoveAll(dir)
+	defer os.RemoveAll(dir) //pridlint:allow errdrop best-effort temp-dir cleanup
 
 	// Build the server binary from the tree under test.
 	bin := filepath.Join(dir, "prid")
@@ -90,7 +90,7 @@ func run() error {
 	}
 	serverDone := make(chan error, 1)
 	go func() { serverDone <- srv.Wait() }()
-	defer srv.Process.Kill() //nolint:errcheck // belt and braces on failure paths
+	defer srv.Process.Kill() //pridlint:allow errdrop belt-and-braces kill on failure paths; normal exit is the drain below
 
 	base, err := waitForServer(addrFile, serverDone)
 	if err != nil {
@@ -146,7 +146,7 @@ func run() error {
 		return err
 	}
 	for i := range wantSims {
-		if sims.Similarities[i] != wantSims[i] {
+		if sims.Similarities[i] != wantSims[i] { //pridlint:allow floateq the smoke gate requires served results bit-identical to in-process
 			return fmt.Errorf("similarity %d = %v, in-process %v", i, sims.Similarities[i], wantSims[i])
 		}
 	}
@@ -179,7 +179,7 @@ func run() error {
 	}, &audit); err != nil {
 		return err
 	}
-	if audit.Leakage != wantLeak {
+	if audit.Leakage != wantLeak { //pridlint:allow floateq the smoke gate requires served results bit-identical to in-process
 		return fmt.Errorf("served leakage %v, in-process %v", audit.Leakage, wantLeak)
 	}
 	fmt.Printf("serve-smoke: audit ok (leakage %.3f)\n", audit.Leakage)
@@ -213,7 +213,7 @@ func waitForServer(addrFile string, serverDone <-chan error) (string, error) {
 		if raw, err := os.ReadFile(addrFile); err == nil && len(raw) > 0 {
 			base := "http://" + string(raw)
 			if resp, err := http.Get(base + "/healthz"); err == nil {
-				resp.Body.Close()
+				_ = resp.Body.Close()
 				return base, nil
 			}
 		}
@@ -231,12 +231,12 @@ func postJSON(url string, body, out any) error {
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
+	defer resp.Body.Close() //pridlint:allow errdrop best-effort close; Decode already surfaced any read error
 	if resp.StatusCode != http.StatusOK {
 		var e struct {
 			Error string `json:"error"`
 		}
-		json.NewDecoder(resp.Body).Decode(&e) //nolint:errcheck // best-effort detail
+		json.NewDecoder(resp.Body).Decode(&e) //pridlint:allow errdrop best-effort error detail; the status code already failed the call
 		return fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, e.Error)
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
@@ -247,7 +247,7 @@ func getJSON(url string, out any) error {
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close()
+	defer resp.Body.Close() //pridlint:allow errdrop best-effort close; Decode already surfaced any read error
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
 	}

@@ -186,7 +186,7 @@ const simEpsRel = 1e-12
 // terms it was computed from (scale = the sum of their magnitudes), and
 // the result is bounded to [-1, 1] like any true cosine.
 func clampedSim(num, den2, normC, scale float64) float64 {
-	if normC == 0 {
+	if normC == 0 { //pridlint:allow floateq exact guard: a zero class norm means no class vector at all
 		return 0
 	}
 	if floor := simEpsRel * scale; den2 < floor {
@@ -314,7 +314,7 @@ func (r *Reconstructor) DimensionReplacement(query []float64, cfg Config) Result
 	for iter := 0; iter < cfg.Iterations; iter++ {
 		dotCH := vecmath.Dot(c, h)
 		normH := vecmath.Norm2(h)
-		if normC == 0 || normH == 0 {
+		if normC == 0 || normH == 0 { //pridlint:allow floateq exact guard: zero norms mean degenerate inputs, not a tolerance decision
 			break
 		}
 		deltaMax := dotCH / (normC * normH)
@@ -338,7 +338,7 @@ func (r *Reconstructor) DimensionReplacement(query []float64, cfg Config) Result
 				// is what makes this the light-touch variant (higher PSNR,
 				// lower Δ than feature replacement).
 				nv := c[j] * scale
-				if nv != h[j] {
+				if nv != h[j] { //pridlint:allow floateq exact change detection keeps the convergence test bit-identical
 					h[j] = nv
 					changed = true
 				}
@@ -360,7 +360,7 @@ func (r *Reconstructor) DimensionReplacement(query []float64, cfg Config) Result
 // PRID uses dimension-based reconstruction").
 func (r *Reconstructor) Combined(query []float64, cfg Config) Result {
 	cfg.validate()
-	start := time.Now()
+	start := time.Now() //pridlint:allow determinism wall-clock feeds obs timing only, never the numerics
 	defer func() {
 		metricReconstructions.Inc()
 		metricReconSecs.ObserveSince(start)

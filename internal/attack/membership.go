@@ -54,7 +54,7 @@ func MembershipROC(memberScores, nonMemberScores []float64) ([]ROCPoint, float64
 	for i := 0; i < len(all); {
 		// Consume all samples sharing one score so ties move diagonally.
 		threshold := all[i].score
-		for i < len(all) && all[i].score == threshold {
+		for i < len(all) && all[i].score == threshold { //pridlint:allow floateq groups identical computed scores so ROC ties move diagonally
 			if all[i].member {
 				tp++
 			} else {

@@ -68,7 +68,7 @@ func (r *Reconstructor) ReconstructPartial(query []float64, known []bool, cfg Co
 			}
 			if s.sims[i] <= deltaMax-margin {
 				// Strong class evidence at i: adopt the class value.
-				if recon[i] != classFeat[i] {
+				if recon[i] != classFeat[i] { //pridlint:allow floateq exact change detection keeps the convergence test bit-identical
 					r.basis.AddFeature(h, i, classFeat[i]-recon[i])
 					recon[i] = classFeat[i]
 					changed = true

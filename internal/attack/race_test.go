@@ -1,0 +1,68 @@
+package attack
+
+import (
+	"sync"
+	"testing"
+)
+
+// A Reconstructor is documented as safe for concurrent use: the serving
+// layer and the parallel experiment sweeps share one per model, and its
+// probe buffers are recycled through a sync.Pool. This test is the race
+// gate for that contract — many goroutines hammer one Reconstructor with
+// every attack method, and every concurrent result must be bit-identical
+// to the serial run. Run under `make race`.
+func TestReconstructorConcurrentUseBitIdentical(t *testing.T) {
+	f := newFixture(t, 11)
+	cfg := DefaultConfig()
+	methods := []struct {
+		name string
+		run  func(q []float64) Result
+	}{
+		{"feature", func(q []float64) Result { return f.recon.FeatureReplacement(q, cfg) }},
+		{"dimension", func(q []float64) Result { return f.recon.DimensionReplacement(q, cfg) }},
+		{"combined", func(q []float64) Result { return f.recon.Combined(q, cfg) }},
+	}
+
+	// Serial ground truth, one result per (method, query).
+	want := make([][]Result, len(methods))
+	for mi, m := range methods {
+		want[mi] = make([]Result, len(f.queries))
+		for qi, q := range f.queries {
+			want[mi][qi] = m.run(q)
+		}
+	}
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Stagger the method order per goroutine so different attack
+			// paths overlap in time instead of marching in lockstep.
+			for step := 0; step < len(methods); step++ {
+				mi := (g + step) % len(methods)
+				for qi, q := range f.queries {
+					got := methods[mi].run(q)
+					exp := want[mi][qi]
+					if got.Class != exp.Class || got.Similarity != exp.Similarity {
+						errs <- methods[mi].name + ": class or similarity diverged under concurrency"
+						return
+					}
+					for i := range got.Recon {
+						if got.Recon[i] != exp.Recon[i] {
+							errs <- methods[mi].name + ": reconstruction diverged under concurrency"
+							return
+						}
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}

@@ -135,7 +135,7 @@ func bestStump(x [][]float64, target, w []float64, candidates [][]float64) (stum
 				if x[i][f]-thr > 0 {
 					pred = 1
 				}
-				if pred != target[i] {
+				if pred != target[i] { //pridlint:allow floateq compares exact ±1 sentinel labels, not measured values
 					errPos += w[i]
 				}
 			}

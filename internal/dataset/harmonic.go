@@ -57,7 +57,7 @@ func harmonicPrototype(n int, src *rng.Source) []float64 {
 	}
 	// Normalize to [0.1, 0.9] so jitter rarely clips.
 	span := hi - lo
-	if span == 0 {
+	if span == 0 { //pridlint:allow floateq exact guard for a constant prototype (span exactly zero)
 		span = 1
 	}
 	for i, v := range proto {

@@ -91,7 +91,7 @@ func (it IterativeAnalytical) Decode(h []float64) []float64 {
 	if it.Iterations < 0 || it.Lambda <= 0 {
 		panic("decode: IterativeAnalytical misconfigured")
 	}
-	defer observeDecode(time.Now())
+	defer observeDecode(time.Now()) //pridlint:allow determinism wall-clock feeds obs timing only, never the numerics
 	one := Analytical{Basis: it.Basis}
 	f := one.Decode(h)
 	reencoded := make([]float64, it.Basis.Dim())
@@ -125,7 +125,7 @@ func NewLeastSquares(b *hdc.Basis, ridge float64) (*LeastSquares, error) {
 		return nil, fmt.Errorf("decode: negative ridge %v", ridge)
 	}
 	span := obs.StartSpan("decode_factor")
-	start := time.Now()
+	start := time.Now() //pridlint:allow determinism wall-clock feeds obs timing only, never the numerics
 	defer func() {
 		span.End()
 		metricFactorRuns.Inc()
@@ -154,7 +154,7 @@ func (ls *LeastSquares) Decode(h []float64) []float64 {
 	if len(h) != ls.basis.Dim() {
 		panic(fmt.Sprintf("decode: LeastSquares.Decode length %d, want %d", len(h), ls.basis.Dim()))
 	}
-	start := time.Now()
+	start := time.Now()                //pridlint:allow determinism wall-clock feeds obs timing only, never the numerics
 	rhs := ls.basis.Matrix().MulVec(h) // B·H, length n
 	out := ls.chol.Solve(rhs)
 	observeDecode(start)
@@ -192,7 +192,7 @@ func (s SGD) Decode(h []float64) []float64 {
 	if len(h) != b.Dim() {
 		panic(fmt.Sprintf("decode: SGD.Decode length %d, want %d", len(h), b.Dim()))
 	}
-	defer observeDecode(time.Now())
+	defer observeDecode(time.Now()) //pridlint:allow determinism wall-clock feeds obs timing only, never the numerics
 	n, d := b.Features(), b.Dim()
 	// Column-major view of the basis: sample j is the j-th element of every
 	// base hypervector.

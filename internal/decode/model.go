@@ -39,7 +39,7 @@ func AddGaussianNoise(h []float64, fraction float64, src *rng.Source) float64 {
 	if fraction < 0 {
 		panic("decode: negative noise fraction")
 	}
-	if fraction == 0 || len(h) == 0 {
+	if fraction == 0 || len(h) == 0 { //pridlint:allow floateq exact zero fast path: fraction 0 must add no noise at all
 		return 0
 	}
 	var energy float64

@@ -149,7 +149,7 @@ func NoiseInjection(basis *hdc.Basis, model *hdc.Model, dec decode.Decoder,
 	encoded [][]float64, y []int, cfg NoiseConfig) *Result {
 	cfg.validate()
 	span := obs.StartSpan("defend")
-	start := time.Now()
+	start := time.Now() //pridlint:allow determinism wall-clock feeds obs timing only, never the numerics
 	src := rng.New(cfg.Seed)
 	defended := model.Clone()
 	res := &Result{}
@@ -180,7 +180,7 @@ func NoiseInjection(basis *hdc.Basis, model *hdc.Model, dec decode.Decoder,
 // randomize the lowest-variance fraction of feature positions, and rebuild
 // the class hypervectors from the noised features.
 func injectNoise(basis *hdc.Basis, m *hdc.Model, dec decode.Decoder, fraction float64, src *rng.Source) {
-	if fraction == 0 {
+	if fraction == 0 { //pridlint:allow floateq exact zero fast path: fraction 0 must be a no-op
 		return
 	}
 	k := m.NumClasses()
@@ -286,7 +286,7 @@ func (c QuantConfig) validate() {
 func IterativeQuantization(model *hdc.Model, encoded [][]float64, y []int, cfg QuantConfig) *Result {
 	cfg.validate()
 	span := obs.StartSpan("defend")
-	start := time.Now()
+	start := time.Now() //pridlint:allow determinism wall-clock feeds obs timing only, never the numerics
 	shadow := model.Clone()
 	quantized := quant.Model(shadow, cfg.Bits)
 	res := &Result{Shadow: shadow}
@@ -339,7 +339,7 @@ func Hybrid(basis *hdc.Basis, model *hdc.Model, dec decode.Decoder,
 	cfg.Noise.validate()
 	cfg.Quant.validate()
 	span := obs.StartSpan("defend")
-	start := time.Now()
+	start := time.Now() //pridlint:allow determinism wall-clock feeds obs timing only, never the numerics
 	src := rng.New(cfg.Noise.Seed)
 	shadow := model.Clone()
 	quantized := quant.Model(shadow, cfg.Quant.Bits)

@@ -133,7 +133,7 @@ const featReplPasses = 5
 func measureFeatureReplacement(tr *trained, sc Scale) (runs int64, secs float64) {
 	rec := attack.NewReconstructor(tr.basis, tr.model, tr.ls)
 	cfg := attackConfig(sc.AttackIterations)
-	start := time.Now()
+	start := time.Now() //pridlint:allow determinism wall-clock feeds obs timing only, never the numerics
 	for pass := 0; pass < featReplPasses; pass++ {
 		for _, q := range tr.queries {
 			rec.FeatureReplacement(q, cfg)
@@ -174,7 +174,7 @@ func prepareFromParts(ds *dataset.Dataset, basis *hdc.Basis, model *hdc.Model,
 // WriteQuickBench runs QuickBench and writes the result as indented
 // JSON — the `prid experiment quick --bench-out` path.
 func WriteQuickBench(sc Scale, w io.Writer) error {
-	start := time.Now()
+	start := time.Now() //pridlint:allow determinism wall-clock feeds obs timing only, never the numerics
 	res := QuickBench(sc)
 	expLogger.Info("benchmark snapshot complete", "scale", sc.Name,
 		"elapsed", time.Since(start).Round(time.Millisecond).String())
@@ -213,7 +213,7 @@ func WriteQuickBenchFile(sc Scale, path, label string) error {
 	if file.Snapshots == nil {
 		file.Snapshots = map[string]BenchResult{}
 	}
-	start := time.Now()
+	start := time.Now() //pridlint:allow determinism wall-clock feeds obs timing only, never the numerics
 	file.Snapshots[label] = QuickBench(sc)
 	expLogger.Info("benchmark snapshot complete", "scale", sc.Name, "label", label,
 		"elapsed", time.Since(start).Round(time.Millisecond).String())

@@ -96,7 +96,7 @@ type trained struct {
 // dimension dim, and factors the learning-based decoder.
 func prepare(name string, sc Scale, dim int) *trained {
 	sc.validate()
-	start := time.Now()
+	start := time.Now() //pridlint:allow determinism wall-clock feeds obs timing only, never the numerics
 	defer func() {
 		expLogger.Debug("workload prepared", "dataset", name, "dim", dim,
 			"elapsed", time.Since(start).Round(time.Millisecond).String())
@@ -175,7 +175,7 @@ func (tr *trained) runCombinedAttack(m *hdc.Model, dec decode.Decoder, iteration
 	vecmath.ParallelRows(len(tr.queries), tr.workers, func(lo, hi int) {
 		for qi := lo; qi < hi; qi++ {
 			q := tr.queries[qi]
-			trialStart := time.Now()
+			trialStart := time.Now() //pridlint:allow determinism wall-clock feeds obs timing only, never the numerics
 			res := rec.Combined(q, cfg)
 			deltas[qi] = metrics.MeasureLeakage(tr.ds.TrainX, q, res.Recon, metrics.TopKNearest).Score()
 			p := vecmath.PSNR(q, res.Recon)

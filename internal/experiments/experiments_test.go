@@ -312,3 +312,23 @@ func TestChartsRender(t *testing.T) {
 		t.Fatal("RunSVG on chartless experiment should fail")
 	}
 }
+
+// TestFig7WorkerCountInvariance pins the ParallelRows fan-out of the
+// Fig7 dataset sweep: per-dataset streams are independent and cells are
+// collected by index, so any worker count must reproduce the serial
+// result bit for bit.
+func TestFig7WorkerCountInvariance(t *testing.T) {
+	serial := Quick()
+	serial.Workers = 1
+	parallel := Quick()
+	parallel.Workers = 4
+	a, b := Fig7(serial), Fig7(parallel)
+	if len(a.Cells) != len(b.Cells) {
+		t.Fatalf("cell count differs: %d vs %d", len(a.Cells), len(b.Cells))
+	}
+	for i := range a.Cells {
+		if a.Cells[i] != b.Cells[i] {
+			t.Fatalf("cell %d differs across worker counts:\n  serial   %+v\n  parallel %+v", i, a.Cells[i], b.Cells[i])
+		}
+	}
+}

@@ -1,8 +1,6 @@
 package experiments
 
 import (
-	"sync"
-
 	"prid/internal/attack"
 	"prid/internal/dataset"
 	"prid/internal/decode"
@@ -30,21 +28,18 @@ type Fig7Result struct {
 }
 
 // Fig7 runs the attack matrix over every Table I dataset. Datasets are
-// independent (each has its own seed-derived stream), so they run in
-// parallel; cell order in the result is kept deterministic by collecting
-// per-dataset slices and concatenating in Table I order.
+// independent (each has its own seed-derived stream), so they fan out
+// through the vecmath.ParallelRows kernel (bounded by Scale.Workers, 0 =
+// GOMAXPROCS); cell order in the result is kept deterministic by
+// collecting per-dataset slices and concatenating in Table I order.
 func Fig7(sc Scale) Fig7Result {
 	names := dataset.Names()
 	perDataset := make([][]Fig7Cell, len(names))
-	var wg sync.WaitGroup
-	wg.Add(len(names))
-	for ni, name := range names {
-		go func(ni int, name string) {
-			defer wg.Done()
-			perDataset[ni] = fig7Dataset(name, sc)
-		}(ni, name)
-	}
-	wg.Wait()
+	vecmath.ParallelRows(len(names), sc.Workers, func(lo, hi int) {
+		for ni := lo; ni < hi; ni++ {
+			perDataset[ni] = fig7Dataset(names[ni], sc)
+		}
+	})
 	var res Fig7Result
 	for _, cells := range perDataset {
 		res.Cells = append(res.Cells, cells...)

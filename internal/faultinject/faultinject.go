@@ -16,6 +16,7 @@ package faultinject
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -85,7 +86,9 @@ func (s Site) validate(name string) error {
 	}
 	total := 0.0
 	for key, p := range rates {
-		if p < 0 || p > 1 {
+		// NaN fails neither `< 0` nor `> 1` and keeps the sum non-NaN-free,
+		// so it must be rejected explicitly or `error=NaN` sails through.
+		if math.IsNaN(p) || p < 0 || p > 1 {
 			return fmt.Errorf("faultinject: site %q: %s rate %v outside [0,1]", name, key, p)
 		}
 		if key != "latency" {

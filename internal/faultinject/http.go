@@ -39,13 +39,13 @@ func Middleware(inj *Injector, site string, next http.Handler) http.Handler {
 			w.Header().Set("X-Fault-Injected", "error")
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusInternalServerError)
-			fmt.Fprintf(w, `{"error":"faultinject: injected error at %s"}`, site)
+			fmt.Fprintf(w, `{"error":"faultinject: injected error at %s"}`, site) //pridlint:allow errdrop injected-fault body is best-effort by design
 		case FaultHang:
 			<-r.Context().Done()
 			w.Header().Set("X-Fault-Injected", "hang")
 			w.Header().Set("Content-Type", "application/json")
 			w.WriteHeader(http.StatusServiceUnavailable)
-			fmt.Fprintf(w, `{"error":"faultinject: request hung past its deadline at %s"}`, site)
+			fmt.Fprintf(w, `{"error":"faultinject: request hung past its deadline at %s"}`, site) //pridlint:allow errdrop injected-fault body is best-effort by design
 		case FaultDrop:
 			panic(http.ErrAbortHandler)
 		case FaultPanic:

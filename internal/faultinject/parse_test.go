@@ -1,0 +1,198 @@
+package faultinject
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestParseScheduleTable pins the spec grammar corner by corner: site
+// prefixes (including the empty site), duplicate keys, latency forms,
+// and every rejection class with its error text.
+func TestParseScheduleTable(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+		want Schedule // nil means the parse must fail
+		err  string   // required substring of the failure
+	}{
+		{
+			name: "empty spec is an empty schedule",
+			spec: "",
+			want: Schedule{},
+		},
+		{
+			name: "stray commas and spaces are skipped",
+			spec: " , error=0.1 ,, ",
+			want: Schedule{"": {ErrorRate: 0.1}},
+		},
+		{
+			name: "site prefix and default site coexist",
+			spec: "error=0.1,audit.panic=1",
+			want: Schedule{"": {ErrorRate: 0.1}, "audit": {PanicRate: 1}},
+		},
+		{
+			name: "dotted site keeps only the last segment as the kind",
+			spec: "v1.predict.drop=0.5",
+			want: Schedule{"v1.predict": {DropRate: 0.5}},
+		},
+		{
+			name: "leading dot is the empty site, same as no prefix",
+			spec: ".error=0.25",
+			want: Schedule{"": {ErrorRate: 0.25}},
+		},
+		{
+			name: "duplicate key: last value wins",
+			spec: "error=0.1,error=0.5",
+			want: Schedule{"": {ErrorRate: 0.5}},
+		},
+		{
+			name: "duplicate keys on different sites stay independent",
+			spec: "error=0.1,audit.error=0.9,error=0.2",
+			want: Schedule{"": {ErrorRate: 0.2}, "audit": {ErrorRate: 0.9}},
+		},
+		{
+			name: "bare latency probability gets the default range",
+			spec: "latency=0.3",
+			want: Schedule{"": {LatencyRate: 0.3, LatencyMin: time.Millisecond, LatencyMax: 10 * time.Millisecond}},
+		},
+		{
+			name: "explicit latency range",
+			spec: "latency=0.3:2ms-20ms",
+			want: Schedule{"": {LatencyRate: 0.3, LatencyMin: 2 * time.Millisecond, LatencyMax: 20 * time.Millisecond}},
+		},
+		{
+			name: "rate of exactly 1 is allowed",
+			spec: "hang=1",
+			want: Schedule{"": {HangRate: 1}},
+		},
+		{
+			name: "missing equals",
+			spec: "error",
+			err:  "not key=value",
+		},
+		{
+			name: "unknown kind",
+			spec: "explode=0.5",
+			err:  `unknown fault kind "explode"`,
+		},
+		{
+			name: "malformed float",
+			spec: "error=lots",
+			err:  `error rate "lots"`,
+		},
+		{
+			name: "NaN rate is rejected, not silently accepted",
+			spec: "error=NaN",
+			err:  "outside [0,1]",
+		},
+		{
+			name: "negative rate",
+			spec: "drop=-0.1",
+			err:  "outside [0,1]",
+		},
+		{
+			name: "rate above one",
+			spec: "corrupt=1.5",
+			err:  "outside [0,1]",
+		},
+		{
+			name: "fault rates summing past one",
+			spec: "error=0.6,drop=0.6",
+			err:  "sum to",
+		},
+		{
+			name: "latency range without a dash",
+			spec: "latency=0.3:5ms",
+			err:  "wants MIN-MAX",
+		},
+		{
+			name: "latency min above max",
+			spec: "latency=0.3:20ms-2ms",
+			err:  "range",
+		},
+		{
+			// A leading "-" would be eaten as the range separator, so the
+			// negative duration lands in the max slot.
+			name: "negative latency duration",
+			spec: "latency=0.3:1ms--5ms",
+			err:  "range",
+		},
+		{
+			name: "malformed latency probability",
+			spec: "latency=p:1ms-2ms",
+			err:  `latency probability "p"`,
+		},
+		{
+			name: "malformed latency duration",
+			spec: "latency=0.3:1ms-fast",
+			err:  `latency max "fast"`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseSchedule(tc.spec)
+			if tc.want == nil {
+				if err == nil {
+					t.Fatalf("ParseSchedule(%q) = %v, want error containing %q", tc.spec, got, tc.err)
+				}
+				if !strings.Contains(err.Error(), tc.err) {
+					t.Fatalf("ParseSchedule(%q) error %q does not contain %q", tc.spec, err, tc.err)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseSchedule(%q): %v", tc.spec, err)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("ParseSchedule(%q) = %#v, want %#v", tc.spec, got, tc.want)
+			}
+		})
+	}
+}
+
+// FuzzParseSchedule holds the parser to its safety contract on arbitrary
+// input: it never panics, it is deterministic, and any schedule it
+// accepts satisfies the Site invariants the injector relies on (finite
+// rates in [0,1], fault rates summing to ≤ 1, an ordered non-negative
+// latency range).
+func FuzzParseSchedule(f *testing.F) {
+	f.Add("error=0.1,latency=0.3:2ms-20ms,drop=0.05,audit.panic=1")
+	f.Add("latency=0.5")
+	f.Add(".error=1")
+	f.Add("a.b.c.hang=0.25,a.b.c.hang=0.75")
+	f.Add("error=NaN")
+	f.Add("error=+Inf")
+	f.Add("latency=0.1:1ms-")
+	f.Add(" , ,,truncate=0.000001")
+	f.Fuzz(func(t *testing.T, spec string) {
+		sched, err := ParseSchedule(spec)
+		again, err2 := ParseSchedule(spec)
+		if (err == nil) != (err2 == nil) || !reflect.DeepEqual(sched, again) {
+			t.Fatalf("ParseSchedule(%q) is nondeterministic", spec)
+		}
+		if err != nil {
+			return
+		}
+		for name, s := range sched {
+			for kind, p := range map[string]float64{
+				"error": s.ErrorRate, "hang": s.HangRate, "drop": s.DropRate,
+				"truncate": s.TruncateRate, "corrupt": s.CorruptRate,
+				"panic": s.PanicRate, "latency": s.LatencyRate,
+			} {
+				if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 || p > 1 {
+					t.Fatalf("ParseSchedule(%q): site %q accepted %s rate %v", spec, name, kind, p)
+				}
+			}
+			total := s.ErrorRate + s.HangRate + s.DropRate + s.TruncateRate + s.CorruptRate + s.PanicRate
+			if total > 1+1e-9 {
+				t.Fatalf("ParseSchedule(%q): site %q accepted fault-rate sum %v", spec, name, total)
+			}
+			if s.LatencyMin < 0 || s.LatencyMax < s.LatencyMin {
+				t.Fatalf("ParseSchedule(%q): site %q accepted latency range [%v, %v]", spec, name, s.LatencyMin, s.LatencyMax)
+			}
+		}
+	})
+}

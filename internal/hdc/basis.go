@@ -90,7 +90,7 @@ func (b *Basis) EncodeInto(dst, features []float64) {
 	}
 	vecmath.Zero(dst)
 	for k, f := range features {
-		if f == 0 {
+		if f == 0 { //pridlint:allow floateq exact sparsity skip: a zero feature contributes exactly nothing
 			continue // zero features contribute nothing; skip the D-length pass
 		}
 		vecmath.Axpy(f, b.Row(k), dst)
@@ -100,7 +100,7 @@ func (b *Basis) EncodeInto(dst, features []float64) {
 // EncodeAll encodes every row of X, returning one hypervector per sample.
 func (b *Basis) EncodeAll(x [][]float64) [][]float64 {
 	span := obs.StartSpan("encode")
-	start := time.Now()
+	start := time.Now() //pridlint:allow determinism wall-clock feeds obs timing only, never the numerics
 	out := make([][]float64, len(x))
 	for i, f := range x {
 		out[i] = b.Encode(f)
@@ -117,7 +117,7 @@ func (b *Basis) AddFeature(h []float64, k int, delta float64) {
 	if len(h) != b.d {
 		panic(fmt.Sprintf("hdc: AddFeature hypervector length %d, want %d", len(h), b.d))
 	}
-	if delta == 0 {
+	if delta == 0 { //pridlint:allow floateq exact no-op guard: delta 0 must leave the encoding untouched
 		return
 	}
 	vecmath.Axpy(delta, b.Row(k), h)

@@ -115,7 +115,7 @@ func (p *PackedBasis) EncodeInto(dst, features []float64) {
 	}
 	vecmath.Zero(dst)
 	for k, f := range features {
-		if f == 0 {
+		if f == 0 { //pridlint:allow floateq exact sparsity skip: a zero feature contributes exactly nothing
 			continue
 		}
 		row := p.bits[k*p.words : (k+1)*p.words]

@@ -29,7 +29,7 @@ func EncodeAllParallel(enc Encoder, x [][]float64, workers int) [][]float64 {
 		workers = 1
 	}
 	span := obs.StartSpan("encode")
-	start := time.Now()
+	start := time.Now() //pridlint:allow determinism wall-clock feeds obs timing only, never the numerics
 	out := make([][]float64, len(x))
 	vecmath.ParallelRows(len(x), workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {

@@ -16,7 +16,7 @@ func Train(enc Encoder, x [][]float64, y []int, k int) *Model {
 		panic(fmt.Sprintf("hdc: Train with %d samples but %d labels", len(x), len(y)))
 	}
 	span := obs.StartSpan("train")
-	start := time.Now()
+	start := time.Now() //pridlint:allow determinism wall-clock feeds obs timing only, never the numerics
 	defer func() {
 		span.AddSamples(len(x))
 		span.End()
@@ -44,7 +44,7 @@ func TrainEncoded(encoded [][]float64, y []int, k, d int) *Model {
 		panic(fmt.Sprintf("hdc: TrainEncoded with %d samples but %d labels", len(encoded), len(y)))
 	}
 	span := obs.StartSpan("train")
-	start := time.Now()
+	start := time.Now() //pridlint:allow determinism wall-clock feeds obs timing only, never the numerics
 	m := NewModel(k, d)
 	for i, h := range encoded {
 		m.Bundle(y[i], h)
@@ -80,7 +80,7 @@ func RetrainEpoch(m *Model, encoded [][]float64, y []int, alpha float64) int {
 // epoch is error-free. It returns the per-epoch error counts.
 func Retrain(m *Model, encoded [][]float64, y []int, alpha float64, maxEpochs int) []int {
 	span := obs.StartSpan("retrain")
-	start := time.Now()
+	start := time.Now() //pridlint:allow determinism wall-clock feeds obs timing only, never the numerics
 	var history []int
 	for e := 0; e < maxEpochs; e++ {
 		errs := RetrainEpoch(m, encoded, y, alpha)
@@ -147,7 +147,7 @@ func AdaptiveTrainEncoded(encoded [][]float64, y []int, k, d int, alpha float64)
 		panic(fmt.Sprintf("hdc: AdaptiveTrainEncoded with non-positive alpha %v", alpha))
 	}
 	span := obs.StartSpan("train")
-	start := time.Now()
+	start := time.Now() //pridlint:allow determinism wall-clock feeds obs timing only, never the numerics
 	defer func() {
 		span.AddSamples(len(encoded))
 		span.End()

@@ -1,0 +1,348 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// --- determinism -----------------------------------------------------------
+
+// AnalyzerDeterminism forbids the three ambient-nondeterminism entry
+// points in the numeric core: math/rand (streams differ across Go
+// versions and are not splittable — internal/rng is the sanctioned
+// generator), time.Now (wall-clock input to numeric paths breaks
+// replayability — inject a clock), and os.Getenv (hidden configuration
+// that makes two "identical" runs differ).
+var AnalyzerDeterminism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid math/rand, time.Now, and os.Getenv in the numeric core; use internal/rng and injected clocks",
+	Run:  runDeterminism,
+}
+
+func runDeterminism(p *Pass) {
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.Report(imp.Pos(), "import of %s in the numeric core; use prid/internal/rng for seeded, splittable, bit-stable streams", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			switch pkgFuncName(p.Info, sel) {
+			case "time.Now":
+				p.Report(sel.Pos(), "time.Now in the numeric core; inject a clock so runs replay bit-identically")
+			case "os.Getenv", "os.LookupEnv":
+				p.Report(sel.Pos(), "environment lookup in the numeric core; thread configuration through parameters")
+			}
+			return true
+		})
+	}
+}
+
+// --- floateq ---------------------------------------------------------------
+
+// epsilonHelpers are functions whose whole job is comparing floats, so
+// raw ==/!= inside their bodies is the implementation, not a bug.
+var epsilonHelpers = map[string]bool{
+	"ApproxEqual": true,
+	"approxEqual": true,
+	"AlmostEqual": true,
+	"almostEqual": true,
+	"EqualWithin": true,
+	"equalWithin": true,
+	"withinTol":   true,
+}
+
+// AnalyzerFloatEq flags ==/!= between floating-point operands. The PR 4
+// clampedSim cancellation bug is the canonical failure: float noise
+// around an exact comparison silently flips Equation-1 decisions.
+// Comparisons inside approved epsilon helpers are exempt; deliberate
+// exact guards (±0 sentinels, NaN self-comparison) carry an allow
+// directive with the reason written down.
+var AnalyzerFloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flag ==/!= between floating-point operands outside approved epsilon helpers",
+	Run:  runFloatEq,
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func runFloatEq(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			tx, ty := p.Info.TypeOf(be.X), p.Info.TypeOf(be.Y)
+			if tx == nil || ty == nil || (!isFloat(tx) && !isFloat(ty)) {
+				return true
+			}
+			if epsilonHelpers[enclosingFuncName(f, be.Pos())] {
+				return true
+			}
+			p.Report(be.OpPos, "%s between floating-point operands; use an epsilon comparison (or annotate a deliberate exact guard)", be.Op)
+			return true
+		})
+	}
+}
+
+// --- maporder --------------------------------------------------------------
+
+// AnalyzerMapOrder flags range-over-map loops whose bodies accumulate
+// floats or append into slices: Go randomizes map iteration order, so
+// both produce run-to-run different results (float addition is not
+// associative; slice order is observable). Deterministic alternatives:
+// iterate sorted keys, or collect then sort.
+var AnalyzerMapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flag range-over-map feeding float accumulation or slice append in the numeric core",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := p.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			ast.Inspect(rs.Body, func(m ast.Node) bool {
+				switch s := m.(type) {
+				case *ast.AssignStmt:
+					switch s.Tok {
+					case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+						if len(s.Lhs) == 1 && isFloat(orInvalid(p.Info.TypeOf(s.Lhs[0]))) {
+							p.Report(s.TokPos, "float accumulation inside range over map; iteration order is randomized, so the sum is not bit-stable — iterate sorted keys")
+						}
+					default:
+						for _, rhs := range s.Rhs {
+							if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(p.Info, call) {
+								p.Report(call.Pos(), "append inside range over map; element order follows randomized map order — iterate sorted keys or sort afterwards")
+							}
+						}
+					}
+				}
+				return true
+			})
+			return true
+		})
+	}
+}
+
+// orInvalid lets TypeOf(nil-safe) feed isFloat without a nil check at
+// every call site.
+func orInvalid(t types.Type) types.Type {
+	if t == nil {
+		return types.Typ[types.Invalid]
+	}
+	return t
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// --- gofan -----------------------------------------------------------------
+
+// AnalyzerGoFan flags raw `go` statements in the numeric core. Hot-path
+// fan-out must ride vecmath.ParallelRows (or kernels built on it): the
+// atomic-cursor row claim keeps per-row reduction order fixed — the
+// property the bit-identity tests gate — and the flop gate keeps tiny
+// inputs sequential. The sanctioned launch sites themselves carry allow
+// directives explaining that they are the kernel.
+var AnalyzerGoFan = &Analyzer{
+	Name: "gofan",
+	Doc:  "flag raw go-statement fan-out in the numeric core; use vecmath.ParallelRows",
+	Run:  runGoFan,
+}
+
+func runGoFan(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				p.Report(g.Pos(), "raw go statement in the numeric core; fan out through vecmath.ParallelRows so parallel results stay bit-identical to sequential")
+			}
+			return true
+		})
+	}
+}
+
+// --- obsonly ---------------------------------------------------------------
+
+// AnalyzerObsOnly forbids fmt.Print*/log.* output in library packages.
+// Libraries log through obs.Logger component loggers (leveled,
+// machine-parseable, silenceable); writing straight to stdout/stderr
+// bypasses the level gate and corrupts structured output. Commands
+// (package main) print to their user freely.
+var AnalyzerObsOnly = &Analyzer{
+	Name: "obsonly",
+	Doc:  "forbid fmt.Print*/log.* in library packages; use obs component loggers",
+	Run:  runObsOnly,
+}
+
+func runObsOnly(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name := pkgFuncName(p.Info, sel)
+			switch {
+			case name == "fmt.Print" || name == "fmt.Printf" || name == "fmt.Println":
+				p.Report(sel.Pos(), "%s writes to stdout from a library package; use obs.Logger component loggers", name)
+			case strings.HasPrefix(name, "log."):
+				if obj, ok := p.Info.Uses[sel.Sel].(*types.Func); ok && obj.Pkg() != nil && obj.Pkg().Path() == "log" {
+					p.Report(sel.Pos(), "%s uses the standard log package from a library package; use obs.Logger component loggers", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// --- errdrop ---------------------------------------------------------------
+
+// AnalyzerErrDrop flags calls whose error result is silently discarded:
+// a call used as a bare statement, or deferred, while returning an
+// error. Best-effort discards either use an explicit `_ =` assignment
+// (visible intent) or carry an allow directive with the reason.
+// fmt.Print* to stdout and writes into strings.Builder/bytes.Buffer
+// (documented never to fail) are exempt.
+var AnalyzerErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "flag call statements and defers that discard an error result",
+	Run:  runErrDrop,
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	switch rt := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < rt.Len(); i++ {
+			if types.Identical(rt.At(i).Type(), errorType) {
+				return true
+			}
+		}
+		return false
+	default:
+		return types.Identical(t, errorType)
+	}
+}
+
+// errDropExempt reports calls whose error is conventionally meaningless:
+// fmt printing to stdout, and writes into in-memory buffers
+// (strings.Builder and bytes.Buffer document that Write never returns a
+// non-nil error) — whether as methods on the buffer or as the writer
+// argument of fmt.Fprint*.
+func errDropExempt(info *types.Info, call *ast.CallExpr) bool {
+	switch name := pkgFuncName(info, call.Fun); name {
+	case "fmt.Print", "fmt.Printf", "fmt.Println":
+		return true
+	case "fmt.Fprint", "fmt.Fprintf", "fmt.Fprintln":
+		if len(call.Args) == 0 {
+			return false
+		}
+		// Fprint to the process streams is fmt.Print by another name.
+		return isMemBuffer(info.TypeOf(call.Args[0])) || isStdStream(info, call.Args[0])
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	return isMemBuffer(info.TypeOf(sel.X))
+}
+
+func isMemBuffer(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	s := strings.TrimPrefix(t.String(), "*")
+	return s == "strings.Builder" || s == "bytes.Buffer"
+}
+
+// isStdStream reports whether expr is the os.Stdout or os.Stderr
+// package variable.
+func isStdStream(info *types.Info, expr ast.Expr) bool {
+	sel, ok := expr.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == "os" && (obj.Name() == "Stdout" || obj.Name() == "Stderr")
+}
+
+func runErrDrop(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			kind := ""
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				c, ok := s.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				call, kind = c, "discarded"
+			case *ast.DeferStmt:
+				call, kind = s.Call, "deferred and discarded"
+			case *ast.GoStmt:
+				call, kind = s.Call, "discarded by go statement"
+			default:
+				return true
+			}
+			if returnsError(p.Info, call) && !errDropExempt(p.Info, call) {
+				p.Report(call.Pos(), "error result of %s is %s; handle it, assign to _ deliberately, or annotate why it cannot matter", callName(p.Info, call), kind)
+			}
+			return true
+		})
+	}
+}
+
+// callName renders a short human name for the called function.
+func callName(info *types.Info, call *ast.CallExpr) string {
+	if n := pkgFuncName(info, call.Fun); n != "" {
+		return n
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "call"
+}

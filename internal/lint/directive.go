@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Directive is one parsed //pridlint:allow comment.
+type Directive struct {
+	Analyzer string
+	Reason   string
+}
+
+// ParseDirective parses a single comment's text (including the leading
+// "//" or "/*"). It returns ok=false when the comment is not a pridlint
+// directive at all, and a non-nil error when it is one but is malformed:
+// unknown verb, unknown analyzer, or a missing reason. The reason is
+// required so every suppression in the tree carries a written
+// justification.
+func ParseDirective(text string) (Directive, bool, error) {
+	body, isDirective := directiveBody(text)
+	if !isDirective {
+		return Directive{}, false, nil
+	}
+	verb, rest, _ := strings.Cut(body, " ")
+	if verb != "allow" {
+		return Directive{}, true, fmt.Errorf("unknown pridlint verb %q (only \"allow\" is supported)", verb)
+	}
+	analyzer, reason, _ := strings.Cut(strings.TrimSpace(rest), " ")
+	if analyzer == "" {
+		return Directive{}, true, fmt.Errorf("pridlint:allow needs an analyzer name and a reason")
+	}
+	if ByName(analyzer) == nil {
+		return Directive{}, true, fmt.Errorf("pridlint:allow names unknown analyzer %q", analyzer)
+	}
+	reason = strings.TrimSpace(reason)
+	if reason == "" {
+		return Directive{}, true, fmt.Errorf("pridlint:allow %s needs a written reason", analyzer)
+	}
+	return Directive{Analyzer: analyzer, Reason: reason}, true, nil
+}
+
+// directiveBody strips comment markers and reports whether the comment
+// is addressed to pridlint. Both the Go directive form ("//pridlint:")
+// and the spaced form ("// pridlint:") are accepted; block comments are
+// not, matching the convention for machine-readable Go directives.
+func directiveBody(text string) (string, bool) {
+	if !strings.HasPrefix(text, "//") {
+		return "", false
+	}
+	body := strings.TrimSpace(strings.TrimPrefix(text, "//"))
+	const prefix = "pridlint:"
+	if !strings.HasPrefix(body, prefix) {
+		return "", false
+	}
+	return strings.TrimSpace(strings.TrimPrefix(body, prefix)), true
+}
+
+// suppressions indexes parsed directives by file and effective line. A
+// directive covers the line it is written on and, when it stands alone
+// on its line, the next line holding actual code — so a stack of
+// directives above a statement all apply to that statement.
+type suppressions struct {
+	// byLine maps file → line → analyzers allowed on that line.
+	byLine map[string]map[int]map[string]bool
+}
+
+func (s *suppressions) allows(d Diagnostic) bool {
+	return s.byLine[d.File][d.Line][d.Analyzer]
+}
+
+func (s *suppressions) add(file string, line int, analyzer string) {
+	if s.byLine == nil {
+		s.byLine = map[string]map[int]map[string]bool{}
+	}
+	lines := s.byLine[file]
+	if lines == nil {
+		lines = map[int]map[string]bool{}
+		s.byLine[file] = lines
+	}
+	set := lines[line]
+	if set == nil {
+		set = map[string]bool{}
+		lines[line] = set
+	}
+	set[analyzer] = true
+}
+
+// collectDirectives walks every comment in the package, returning the
+// suppression index plus one "directive" diagnostic per malformed
+// pridlint comment (a typo'd directive must fail loudly, not silently
+// suppress nothing).
+//
+// Coverage rule: a directive applies to the line it is written on
+// (trailing-comment form) and to the first following line that does not
+// itself hold a directive — so a stack of standalone directives above a
+// statement all reach the statement.
+func collectDirectives(pkg *Package) (*suppressions, []Diagnostic) {
+	sup := &suppressions{}
+	var bad []Diagnostic
+	for _, f := range pkg.Files {
+		type pending struct {
+			line     int
+			analyzer string
+		}
+		var ds []pending
+		directiveLines := map[int]bool{}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				d, isDirective, err := ParseDirective(c.Text)
+				if !isDirective {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if err != nil {
+					bad = append(bad, Diagnostic{
+						Analyzer: "directive",
+						File:     pos.Filename,
+						Line:     pos.Line,
+						Col:      pos.Column,
+						Message:  err.Error(),
+					})
+					continue
+				}
+				directiveLines[pos.Line] = true
+				ds = append(ds, pending{line: pos.Line, analyzer: d.Analyzer})
+			}
+		}
+		if len(ds) == 0 {
+			continue
+		}
+		file := pkg.Fset.Position(f.Package).Filename
+		for _, p := range ds {
+			sup.add(file, p.line, p.analyzer)
+			target := p.line + 1
+			for directiveLines[target] {
+				target++
+			}
+			sup.add(file, target, p.analyzer)
+		}
+	}
+	return sup, bad
+}

@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+func TestParseDirective(t *testing.T) {
+	cases := []struct {
+		name string
+		text string
+		want Directive
+		ok   bool // is a pridlint directive at all
+		err  bool // directive but malformed
+	}{
+		{"not a directive", "// plain comment", Directive{}, false, false},
+		{"not a directive, mentions pridlint", "// run pridlint before pushing", Directive{}, false, false},
+		{"block comments are not directives", "/* pridlint:allow errdrop x */", Directive{}, false, false},
+		{"empty comment", "//", Directive{}, false, false},
+		{"directive form", "//pridlint:allow errdrop best effort", Directive{"errdrop", "best effort"}, true, false},
+		{"spaced form", "// pridlint:allow floateq exact zero guard", Directive{"floateq", "exact zero guard"}, true, false},
+		{"extra interior spaces", "//pridlint:allow gofan   the kernel itself", Directive{"gofan", "the kernel itself"}, true, false},
+		{"reason keeps interior words", "//pridlint:allow maporder sorted after the loop", Directive{"maporder", "sorted after the loop"}, true, false},
+		{"missing reason", "//pridlint:allow errdrop", Directive{}, true, true},
+		{"missing reason with space", "//pridlint:allow errdrop   ", Directive{}, true, true},
+		{"missing analyzer", "//pridlint:allow", Directive{}, true, true},
+		{"unknown analyzer", "//pridlint:allow nope reason here", Directive{}, true, true},
+		{"unknown verb", "//pridlint:deny errdrop reason", Directive{}, true, true},
+		{"bare pridlint prefix", "//pridlint:", Directive{}, true, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			d, ok, err := ParseDirective(c.text)
+			if ok != c.ok {
+				t.Fatalf("ParseDirective(%q) ok = %v, want %v", c.text, ok, c.ok)
+			}
+			if (err != nil) != c.err {
+				t.Fatalf("ParseDirective(%q) err = %v, want err=%v", c.text, err, c.err)
+			}
+			if err == nil && d != c.want {
+				t.Errorf("ParseDirective(%q) = %+v, want %+v", c.text, d, c.want)
+			}
+		})
+	}
+}
+
+// FuzzParseDirective checks the parser's structural invariants over
+// arbitrary comment text: it never panics, never returns a directive
+// with an unknown analyzer or empty reason, and only claims
+// directive-hood for line comments addressed to pridlint.
+func FuzzParseDirective(f *testing.F) {
+	seeds := []string{
+		"//pridlint:allow errdrop reason",
+		"// pridlint:allow floateq why not",
+		"//pridlint:allow",
+		"//pridlint:",
+		"//pridlint:allow determinism \t tabs and spaces ",
+		"/*pridlint:allow gofan block*/",
+		"//pridlint:allow errdrop\x00nul",
+		"//pridlint:allow errdrop é世界",
+		"not a comment",
+		"//",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		d, ok, err := ParseDirective(text)
+		if !ok {
+			if err != nil {
+				t.Fatalf("non-directive %q returned error %v", text, err)
+			}
+			if d != (Directive{}) {
+				t.Fatalf("non-directive %q returned directive %+v", text, d)
+			}
+			return
+		}
+		if !strings.HasPrefix(text, "//") {
+			t.Fatalf("claimed directive for non-line-comment %q", text)
+		}
+		if err != nil {
+			return
+		}
+		if ByName(d.Analyzer) == nil {
+			t.Fatalf("parsed unknown analyzer %q from %q", d.Analyzer, text)
+		}
+		if strings.TrimSpace(d.Reason) == "" {
+			t.Fatalf("parsed empty reason from %q", text)
+		}
+		if utf8.ValidString(text) && !utf8.ValidString(d.Reason) {
+			t.Fatalf("reason not valid UTF-8 for valid input %q", text)
+		}
+	})
+}

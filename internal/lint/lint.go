@@ -1,0 +1,233 @@
+// Package lint implements pridlint, a project-specific static-analysis
+// pass built only on the standard library's go/ast, go/parser, and
+// go/types. It mechanically enforces the invariants PRID's reproduction
+// guarantees rest on — seeded determinism, bit-identical parallel
+// kernels, epsilon-safe float comparisons, obs-only logging, and
+// checked errors — instead of relying on tests happening to cover the
+// offending path.
+//
+// Each analyzer reports file:line:column diagnostics. A finding is
+// suppressed by a written-reason directive on the same line or the
+// directly preceding line:
+//
+//	//pridlint:allow <analyzer> <reason>
+//
+// The reason is mandatory: an allow without one is itself a finding.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned at file:line:col.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+}
+
+// Pass carries one type-checked package through one analyzer. Analyzers
+// call Report for every violation; suppression directives are applied
+// by the runner afterwards, so analyzers stay oblivious to them.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+
+	analyzer string
+	diags    *[]Diagnostic
+}
+
+// Report records a finding at pos.
+func (p *Pass) Report(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.analyzer,
+		File:     position.Filename,
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// An Analyzer is one named invariant check.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Analyzers is the full suite, in reporting order.
+var Analyzers = []*Analyzer{
+	AnalyzerDeterminism,
+	AnalyzerFloatEq,
+	AnalyzerMapOrder,
+	AnalyzerGoFan,
+	AnalyzerObsOnly,
+	AnalyzerErrDrop,
+}
+
+// ByName returns the analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range Analyzers {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// corePackages are the numeric-core import path suffixes (relative to
+// the module root) where determinism and bit-identity are load-bearing:
+// seeded streams must come from internal/rng, and goroutine fan-out must
+// go through the worker-gated vecmath kernels.
+var corePackages = map[string]bool{
+	"internal/vecmath":     true,
+	"internal/hdc":         true,
+	"internal/attack":      true,
+	"internal/decode":      true,
+	"internal/defense":     true,
+	"internal/dataset":     true,
+	"internal/quant":       true,
+	"internal/experiments": true,
+}
+
+// isCore reports whether the package at relPath (module-relative,
+// "" for the root package) is part of the numeric core.
+func isCore(relPath string) bool { return corePackages[relPath] }
+
+// AnalyzersFor returns the analyzers applicable to a package, given its
+// module-relative path and package name. Gating lives here — in the
+// runner, not the analyzers — so each analyzer can be driven directly
+// over any fixture package in tests.
+//
+//   - determinism, maporder, gofan: numeric-core packages only.
+//   - floateq, errdrop: every package (cmd and examples included —
+//     dropped errors and raw float comparisons are bugs anywhere).
+//   - obsonly: library packages only (package main prints to its user;
+//     libraries must go through obs component loggers).
+func AnalyzersFor(relPath, pkgName string) []*Analyzer {
+	var out []*Analyzer
+	core := isCore(relPath)
+	library := pkgName != "main"
+	for _, a := range Analyzers {
+		switch a.Name {
+		case "determinism", "maporder", "gofan":
+			if core {
+				out = append(out, a)
+			}
+		case "obsonly":
+			if library {
+				out = append(out, a)
+			}
+		default: // floateq, errdrop
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// RunPackage runs the given analyzers over one loaded package and
+// returns the surviving diagnostics: suppressed findings are dropped,
+// and malformed or unparseable pridlint directives are reported under
+// the reserved analyzer name "directive".
+func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var raw []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Fset:     pkg.Fset,
+			Files:    pkg.Files,
+			Pkg:      pkg.Types,
+			Info:     pkg.Info,
+			analyzer: a.Name,
+			diags:    &raw,
+		}
+		a.Run(pass)
+	}
+	sup, bad := collectDirectives(pkg)
+	var out []Diagnostic
+	for _, d := range raw {
+		if sup.allows(d) {
+			continue
+		}
+		out = append(out, d)
+	}
+	out = append(out, bad...)
+	sortDiagnostics(out)
+	return out
+}
+
+func sortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// enclosingFuncName returns the name of the innermost function
+// declaration containing pos, or "" when pos is at file scope. Methods
+// report their bare name ("Equal"), not the receiver-qualified one.
+func enclosingFuncName(file *ast.File, pos token.Pos) string {
+	name := ""
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if n.Pos() > pos || n.End() <= pos {
+			return n.Pos() <= pos // prune subtrees that cannot contain pos
+		}
+		if fd, ok := n.(*ast.FuncDecl); ok {
+			name = fd.Name.Name
+		}
+		return true
+	})
+	return name
+}
+
+// pkgFuncName resolves a called expression to its package-qualified
+// function name (like "time.Now" or "os.Getenv") when the callee is a
+// package-level function of an imported package, or "" otherwise.
+func pkgFuncName(info *types.Info, fun ast.Expr) string {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, ok := info.Uses[id].(*types.PkgName); !ok {
+		return ""
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return ""
+	}
+	// FullName is "path/to/pkg.Func"; shorten to "pkg.Func".
+	full := obj.FullName()
+	if i := strings.LastIndex(full, "/"); i >= 0 {
+		full = full[i+1:]
+	}
+	return full
+}

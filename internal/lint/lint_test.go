@@ -1,0 +1,239 @@
+package lint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// moduleRoot locates the repository root (the directory with go.mod) so
+// fixture loads type-check against the real module context.
+func moduleRoot(t testing.TB) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("no go.mod above test directory")
+		}
+		dir = parent
+	}
+}
+
+// wantMarkers scans a fixture file for trailing "// want <analyzer>"
+// comments and returns the expected (line, analyzer) findings.
+func wantMarkers(t *testing.T, path string) map[string]int {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	want := map[string]int{}
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		idx := strings.Index(text, "// want ")
+		if idx < 0 {
+			continue
+		}
+		for _, name := range strings.Fields(text[idx+len("// want "):]) {
+			want[fmt.Sprintf("%d:%s", line, name)]++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return want
+}
+
+// runFixture drives one analyzer over its fixture package and checks
+// the diagnostics match the // want markers exactly — so every positive
+// case must fire and every suppressed or negative case must stay quiet.
+func runFixture(t *testing.T, a *Analyzer) {
+	t.Helper()
+	root := moduleRoot(t)
+	dir := filepath.Join(root, "internal", "lint", "testdata", "src", a.Name)
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	got := map[string]int{}
+	for _, d := range RunPackage(pkg, []*Analyzer{a}) {
+		got[fmt.Sprintf("%d:%s", d.Line, d.Analyzer)]++
+	}
+	want := map[string]int{}
+	for _, f := range pkg.Files {
+		path := pkg.Fset.Position(f.Package).Filename
+		for k, v := range wantMarkers(t, path) {
+			want[k] += v
+		}
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Errorf("%s: want %d finding(s) at %s, got %d", a.Name, n, k, got[k])
+		}
+	}
+	for k, n := range got {
+		if want[k] == 0 {
+			t.Errorf("%s: unexpected finding at line:analyzer %s (%d)", a.Name, k, n)
+		}
+	}
+}
+
+func TestAnalyzerFixtures(t *testing.T) {
+	for _, a := range Analyzers {
+		t.Run(a.Name, func(t *testing.T) { runFixture(t, a) })
+	}
+}
+
+func TestAnalyzersFor(t *testing.T) {
+	names := func(as []*Analyzer) string {
+		var ns []string
+		for _, a := range as {
+			ns = append(ns, a.Name)
+		}
+		sort.Strings(ns)
+		return strings.Join(ns, ",")
+	}
+	cases := []struct {
+		rel, pkgName string
+		want         string
+	}{
+		// Numeric core: everything applies.
+		{"internal/vecmath", "vecmath", "determinism,errdrop,floateq,gofan,maporder,obsonly"},
+		{"internal/attack", "attack", "determinism,errdrop,floateq,gofan,maporder,obsonly"},
+		{"internal/experiments", "experiments", "determinism,errdrop,floateq,gofan,maporder,obsonly"},
+		// Library outside the core: no determinism/maporder/gofan.
+		{"internal/serve", "serve", "errdrop,floateq,obsonly"},
+		{"internal/rng", "rng", "errdrop,floateq,obsonly"},
+		{"", "prid", "errdrop,floateq,obsonly"},
+		// Commands: may print, still cannot drop errors or compare floats raw.
+		{"cmd/prid", "main", "errdrop,floateq"},
+		{"examples/quickstart", "main", "errdrop,floateq"},
+	}
+	for _, c := range cases {
+		if got := names(AnalyzersFor(c.rel, c.pkgName)); got != c.want {
+			t.Errorf("AnalyzersFor(%q, %q) = %s, want %s", c.rel, c.pkgName, got, c.want)
+		}
+	}
+}
+
+func TestMalformedDirectiveIsReported(t *testing.T) {
+	root := moduleRoot(t)
+	dir := t.TempDir()
+	src := `package fixture
+
+import "os"
+
+func f(path string) {
+	os.Remove(path) //pridlint:allow errdrop
+	os.Remove(path) //pridlint:allow nosuchanalyzer because
+	os.Remove(path) //pridlint:forbid errdrop reason
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "f.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunPackage(pkg, []*Analyzer{AnalyzerErrDrop})
+	byAnalyzer := map[string]int{}
+	for _, d := range diags {
+		byAnalyzer[d.Analyzer]++
+	}
+	// All three directives are malformed, so none suppress: three errdrop
+	// findings survive and three directive diagnostics are added.
+	if byAnalyzer["errdrop"] != 3 {
+		t.Errorf("errdrop findings = %d, want 3 (malformed directives must not suppress)\n%v", byAnalyzer["errdrop"], diags)
+	}
+	if byAnalyzer["directive"] != 3 {
+		t.Errorf("directive diagnostics = %d, want 3\n%v", byAnalyzer["directive"], diags)
+	}
+}
+
+func TestStackedDirectivesReachStatement(t *testing.T) {
+	root := moduleRoot(t)
+	dir := t.TempDir()
+	src := `package fixture
+
+import (
+	"fmt"
+	"os"
+)
+
+func f(path string) {
+	//pridlint:allow errdrop best-effort cleanup in fixture
+	//pridlint:allow obsonly fixture prints on purpose
+	fmt.Println(os.Remove(path))
+}
+
+func g(a, b float64) bool {
+	return a == b
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "f.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := RunPackage(pkg, []*Analyzer{AnalyzerObsOnly, AnalyzerFloatEq})
+	// The fmt.Println is suppressed by the second stacked directive; the
+	// float comparison in g is the only surviving finding.
+	if len(diags) != 1 || diags[0].Analyzer != "floateq" {
+		t.Errorf("diagnostics = %v, want exactly one floateq finding", diags)
+	}
+}
+
+func TestPackageDirsSkipsTestdataAndDedups(t *testing.T) {
+	root := moduleRoot(t)
+	dirs, err := PackageDirs(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{}
+	for _, d := range dirs {
+		seen[d]++
+		if strings.Contains(d, "testdata") {
+			t.Errorf("PackageDirs returned testdata dir %s", d)
+		}
+	}
+	for d, n := range seen {
+		if n > 1 {
+			t.Errorf("PackageDirs returned %s %d times", d, n)
+		}
+	}
+	// The module root package interleaves files with subdirectories, the
+	// historical dedup failure mode.
+	if seen[root] != 1 {
+		t.Errorf("module root listed %d times, want 1", seen[root])
+	}
+}

@@ -1,0 +1,317 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package ready for analysis.
+// Test files (_test.go) are never loaded: every pridlint invariant is
+// scoped to non-test code, and tests legitimately use raw goroutines,
+// exact float comparisons, and fmt output.
+type Package struct {
+	Fset  *token.FileSet
+	Dir   string
+	Rel   string // module-relative path ("" for the module root)
+	Name  string // package name ("main" for commands)
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages of one module using only the
+// standard library: module-internal imports are resolved recursively
+// from the module tree, and everything else goes through the go/types
+// source importer (which compiles the dependency from GOROOT source).
+type Loader struct {
+	Fset      *token.FileSet
+	ModuleDir string
+	// ModulePath is the module's import path from go.mod; imports under
+	// it are loaded from ModuleDir instead of the source importer.
+	ModulePath string
+
+	std      types.ImporterFrom
+	cache    map[string]*types.Package // by import path
+	pkgCache map[string]*Package       // by absolute dir
+	loading  map[string]bool           // import-cycle guard
+}
+
+// NewLoader returns a Loader rooted at moduleDir. The module path is
+// read from go.mod; moduleDir must contain one.
+func NewLoader(moduleDir string) (*Loader, error) {
+	modPath, err := modulePath(filepath.Join(moduleDir, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	l := &Loader{
+		Fset:       fset,
+		ModuleDir:  moduleDir,
+		ModulePath: modPath,
+		cache:      map[string]*types.Package{},
+		pkgCache:   map[string]*Package{},
+		loading:    map[string]bool{},
+	}
+	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	return l, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module line in %s", gomod)
+}
+
+// Import implements types.Importer for the type checker: module-local
+// packages load from the module tree, the rest from the source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.ModuleDir, 0)
+}
+
+// ImportFrom implements types.ImporterFrom.
+func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if pkg, ok := l.cache[path]; ok {
+		return pkg, nil
+	}
+	if path == l.ModulePath || strings.HasPrefix(path, l.ModulePath+"/") {
+		rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModulePath), "/")
+		p, err := l.LoadDir(filepath.Join(l.ModuleDir, filepath.FromSlash(rel)))
+		if err != nil {
+			return nil, err
+		}
+		return p.Types, nil
+	}
+	pkg, err := l.std.ImportFrom(path, srcDir, mode)
+	if err != nil {
+		return nil, err
+	}
+	l.cache[path] = pkg
+	return pkg, nil
+}
+
+// LoadDir parses and type-checks the package in dir (non-test files
+// only). Results are cached by import path, so shared internal
+// dependencies are checked once.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	if pkg, ok := l.pkgCache[abs]; ok {
+		return pkg, nil
+	}
+	rel, importPath := l.relPath(abs)
+	if l.loading[importPath] {
+		return nil, fmt.Errorf("lint: import cycle through %s", importPath)
+	}
+	l.loading[importPath] = true
+	defer delete(l.loading, importPath)
+
+	files, names, err := l.parseDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no non-test Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(importPath, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", importPath, typeErrs[0])
+	}
+	l.cache[importPath] = tpkg
+	pkg := &Package{
+		Fset:  l.Fset,
+		Dir:   abs,
+		Rel:   rel,
+		Name:  names,
+		Files: files,
+		Types: tpkg,
+		Info:  info,
+	}
+	l.pkgCache[abs] = pkg
+	return pkg, nil
+}
+
+// relPath maps an absolute package dir to its module-relative path and
+// import path. Directories outside the module (fixtures under a temp
+// dir, say) fall back to using the directory itself as the import path.
+func (l *Loader) relPath(abs string) (rel, importPath string) {
+	r, err := filepath.Rel(l.ModuleDir, abs)
+	if err != nil || strings.HasPrefix(r, "..") {
+		return abs, abs
+	}
+	if r == "." {
+		return "", l.ModulePath
+	}
+	rel = filepath.ToSlash(r)
+	return rel, l.ModulePath + "/" + rel
+}
+
+// parseDir parses every non-test .go file in dir with comments.
+func (l *Loader) parseDir(dir string) ([]*ast.File, string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, "", err
+	}
+	var paths []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		paths = append(paths, filepath.Join(dir, name))
+	}
+	sort.Strings(paths)
+	var files []*ast.File
+	pkgName := ""
+	for _, p := range paths {
+		f, err := parser.ParseFile(l.Fset, p, nil, parser.ParseComments)
+		if err != nil {
+			return nil, "", err
+		}
+		if pkgName == "" {
+			pkgName = f.Name.Name
+		}
+		files = append(files, f)
+	}
+	return files, pkgName, nil
+}
+
+// PackageDirs walks the module tree from root and returns every
+// directory holding at least one non-test Go file, skipping testdata,
+// vendor, hidden directories, and underscore-prefixed directories —
+// the same pruning the go tool applies to ./... patterns.
+func PackageDirs(root string) ([]string, error) {
+	var dirs []string
+	// WalkDir interleaves subdirectories between a directory's own files
+	// (lexical order), so "last appended" dedup is not enough.
+	seen := map[string]bool{}
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		name := d.Name()
+		if strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") &&
+			!strings.HasPrefix(name, ".") && !strings.HasPrefix(name, "_") {
+			if dir := filepath.Dir(path); !seen[dir] {
+				seen[dir] = true
+				dirs = append(dirs, dir)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// Run loads every package under moduleDir matched by patterns (either
+// explicit directories or the "./..." form) and runs the applicable
+// analyzers over each, returning all surviving diagnostics with
+// module-relative file paths.
+func Run(moduleDir string, patterns []string, only []string) ([]Diagnostic, error) {
+	l, err := NewLoader(moduleDir)
+	if err != nil {
+		return nil, err
+	}
+	var dirs []string
+	for _, pat := range patterns {
+		switch {
+		case pat == "./..." || pat == "...":
+			ds, err := PackageDirs(moduleDir)
+			if err != nil {
+				return nil, err
+			}
+			dirs = append(dirs, ds...)
+		case strings.HasSuffix(pat, "/..."):
+			ds, err := PackageDirs(filepath.Join(moduleDir, strings.TrimSuffix(pat, "/...")))
+			if err != nil {
+				return nil, err
+			}
+			dirs = append(dirs, ds...)
+		default:
+			if !filepath.IsAbs(pat) {
+				pat = filepath.Join(moduleDir, pat)
+			}
+			dirs = append(dirs, pat)
+		}
+	}
+	var all []Diagnostic
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, err
+		}
+		analyzers := AnalyzersFor(pkg.Rel, pkg.Name)
+		if len(only) > 0 {
+			analyzers = filterAnalyzers(analyzers, only)
+		}
+		diags := RunPackage(pkg, analyzers)
+		for i := range diags {
+			if r, err := filepath.Rel(moduleDir, diags[i].File); err == nil && !strings.HasPrefix(r, "..") {
+				diags[i].File = filepath.ToSlash(r)
+			}
+		}
+		all = append(all, diags...)
+	}
+	sortDiagnostics(all)
+	return all, nil
+}
+
+func filterAnalyzers(as []*Analyzer, only []string) []*Analyzer {
+	keep := map[string]bool{}
+	for _, n := range only {
+		keep[n] = true
+	}
+	var out []*Analyzer
+	for _, a := range as {
+		if keep[a.Name] {
+			out = append(out, a)
+		}
+	}
+	return out
+}

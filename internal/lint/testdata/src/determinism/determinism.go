@@ -1,0 +1,34 @@
+// Package fixture exercises the determinism analyzer: ambient
+// nondeterminism (math/rand, time.Now, os.Getenv) is flagged, the
+// suppressed occurrences are not.
+package fixture
+
+import (
+	"math/rand" // want determinism
+	"os"
+	"time"
+)
+
+func ambient() (int, time.Time, string) {
+	n := rand.Int()
+	now := time.Now()         // want determinism
+	home := os.Getenv("HOME") // want determinism
+	return n, now, home
+}
+
+func lookup() (string, bool) {
+	return os.LookupEnv("PRID") // want determinism
+}
+
+func suppressed() time.Time {
+	//pridlint:allow determinism fixture proves standalone directives reach the next line
+	a := time.Now()
+	b := time.Now() //pridlint:allow determinism fixture proves trailing directives cover their line
+	if a.Before(b) {
+		return a
+	}
+	return b
+}
+
+// clock is the sanctioned shape: the caller injects time.
+func clock(now func() time.Time) time.Time { return now() }

@@ -1,0 +1,48 @@
+// Package fixture exercises the errdrop analyzer: statement-level and
+// deferred error discards are flagged; handled errors, explicit blank
+// assignments, stdout prints, and in-memory buffer writes are not.
+package fixture
+
+import (
+	"fmt"
+	"os"
+	"strings"
+)
+
+func drops(path string) {
+	os.Remove(path)       // want errdrop
+	defer os.Remove(path) // want errdrop
+	f, err := os.Open(path)
+	if err != nil {
+		return
+	}
+	defer f.Close() // want errdrop
+	go failing()    // want errdrop
+}
+
+func failing() error { return nil }
+
+func handled(path string) error {
+	if err := os.Remove(path); err != nil {
+		return err
+	}
+	_ = os.Remove(path) // explicit blank assignment is visible intent
+	return nil
+}
+
+func exempt(x float64) string {
+	fmt.Println("x =", x)
+	fmt.Fprintln(os.Stderr, "x =", x)
+	var b strings.Builder
+	fmt.Fprintf(&b, "x = %v", x)
+	b.WriteString("!")
+	return b.String()
+}
+
+func notExempt(f *os.File, x float64) {
+	fmt.Fprintf(f, "x = %v", x) // want errdrop
+}
+
+func suppressed(path string) {
+	os.Remove(path) //pridlint:allow errdrop fixture treats removal as best-effort cleanup
+}

@@ -1,0 +1,40 @@
+// Package fixture exercises the floateq analyzer: raw ==/!= between
+// floats is flagged everywhere except inside approved epsilon helpers,
+// suppressed lines, and non-float comparisons.
+package fixture
+
+type celsius float64
+
+func raw(a, b float64, c float32, d celsius) bool {
+	if a == b { // want floateq
+		return true
+	}
+	if c != 2.0 { // want floateq
+		return false
+	}
+	if d == 0 { // want floateq
+		return false
+	}
+	return a != float64(c) // want floateq
+}
+
+// approxEqual is an approved epsilon helper: the exact comparison here
+// is the implementation (fast path before the epsilon test).
+func approxEqual(a, b, eps float64) bool {
+	if a == b {
+		return true
+	}
+	diff := a - b
+	if diff < 0 {
+		diff = -diff
+	}
+	return diff < eps
+}
+
+func suppressed(a float64) bool {
+	return a == 0 //pridlint:allow floateq exact zero guard is deliberate in this fixture
+}
+
+func ints(a, b int) bool { return a == b }
+
+func strs(a, b string) bool { return a != b }

@@ -1,0 +1,42 @@
+// Package fixture exercises the gofan analyzer: raw go statements are
+// flagged in the numeric core, suppressed launch sites are not.
+package fixture
+
+import "sync"
+
+func fanOut(rows [][]float64, out []float64) {
+	var wg sync.WaitGroup
+	for i := range rows {
+		wg.Add(1)
+		go func(i int) { // want gofan
+			defer wg.Done()
+			var s float64
+			for _, v := range rows[i] {
+				s += v
+			}
+			out[i] = s
+		}(i)
+	}
+	wg.Wait()
+}
+
+func sanctioned(n int, fn func(lo, hi int)) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	//pridlint:allow gofan fixture stands in for the ParallelRows kernel itself
+	go func() {
+		defer wg.Done()
+		fn(0, n)
+	}()
+	wg.Wait()
+}
+
+func sequential(rows [][]float64, out []float64) {
+	for i := range rows {
+		var s float64
+		for _, v := range rows[i] {
+			s += v
+		}
+		out[i] = s
+	}
+}

@@ -1,0 +1,48 @@
+// Package fixture exercises the maporder analyzer: float accumulation
+// and slice append driven by randomized map iteration order are
+// flagged; order-independent bodies and slice ranges are not.
+package fixture
+
+import "sort"
+
+func accumulate(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want maporder
+	}
+	return sum
+}
+
+func collect(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want maporder
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func counting(m map[string]int) int {
+	n := 0
+	for range m {
+		n++ // integer counting is order-independent
+	}
+	return n
+}
+
+func overSlice(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v // slice order is deterministic
+	}
+	return sum
+}
+
+func suppressed(m map[string]float64) []float64 {
+	var vals []float64
+	for _, v := range m {
+		vals = append(vals, v) //pridlint:allow maporder fixture sorts the collected values below
+	}
+	sort.Float64s(vals)
+	return vals
+}

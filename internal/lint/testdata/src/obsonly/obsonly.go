@@ -1,0 +1,25 @@
+// Package fixture exercises the obsonly analyzer: direct stdout prints
+// and the standard log package are flagged in library code; formatting
+// into strings and suppressed lines are not.
+package fixture
+
+import (
+	"fmt"
+	"log"
+)
+
+func noisy(x float64) {
+	fmt.Println("x =", x)      // want obsonly
+	fmt.Printf("x = %v\n", x)  // want obsonly
+	fmt.Print("x\n")           // want obsonly
+	log.Printf("x = %v\n", x)  // want obsonly
+	log.Println("done with x") // want obsonly
+}
+
+func formatting(x float64) string {
+	return fmt.Sprintf("x = %v", x)
+}
+
+func suppressed(x float64) {
+	fmt.Println("progress:", x) //pridlint:allow obsonly fixture pretends this is user-facing progress output
+}

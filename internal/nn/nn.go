@@ -87,7 +87,7 @@ func (d *Dense) Backward(gradOut []float64) []float64 {
 		panic("nn: Dense.Backward before Forward")
 	}
 	for i, g := range gradOut {
-		if g == 0 {
+		if g == 0 { //pridlint:allow floateq exact sparsity skip: a zero gradient contributes exactly nothing
 			continue
 		}
 		vecmath.Axpy(g, d.lastIn, d.gradW.Row(i))

@@ -36,7 +36,13 @@ func ServeDebug(addr string) (*DebugServer, error) {
 		srv: &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second},
 		ln:  ln,
 	}
-	go d.srv.Serve(ln) //nolint:errcheck // Serve always returns on Close
+	// A dead debug server is invisible exactly when it is needed; log
+	// any exit that was not a requested Close.
+	go func() {
+		if err := d.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			Logger("obs").Error("debug server exited", "err", err)
+		}
+	}()
 	return d, nil
 }
 

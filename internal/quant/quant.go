@@ -73,7 +73,7 @@ func (q Quantizer) ApplyInPlace(x []float64) {
 			meanAbs += math.Abs(v)
 		}
 		meanAbs /= float64(len(x))
-		if meanAbs == 0 {
+		if meanAbs == 0 { //pridlint:allow floateq exact guard: all-zero input has no sign structure to quantize
 			return
 		}
 		for i, v := range x {
@@ -104,7 +104,7 @@ func lloydCodebook(x []float64, k int) []float64 {
 	// makes repeated quantization idempotent.
 	distinct := sorted[:0:0]
 	for i, v := range sorted {
-		if i == 0 || v != sorted[i-1] {
+		if i == 0 || v != sorted[i-1] { //pridlint:allow floateq exact dedup of sorted values keeps quantization idempotent
 			distinct = append(distinct, v)
 			if len(distinct) > k {
 				break
@@ -143,7 +143,7 @@ func lloydCodebook(x []float64, k int) []float64 {
 				continue // empty cell keeps its position
 			}
 			nv := sums[i] / float64(counts[i])
-			if nv != levels[i] {
+			if nv != levels[i] { //pridlint:allow floateq exact change detection is the k-means fixed-point test
 				levels[i] = nv
 				changed = true
 			}

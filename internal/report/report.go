@@ -134,7 +134,7 @@ func RenderImage(pixels []float64, w, h int) string {
 	}
 	lo, hi := vecmath.MinMax(pixels)
 	span := hi - lo
-	if span == 0 {
+	if span == 0 { //pridlint:allow floateq exact guard for a constant image (span exactly zero)
 		span = 1
 	}
 	var b strings.Builder
@@ -200,7 +200,7 @@ func Sparkline(values []float64) string {
 	ramp := []rune("▁▂▃▄▅▆▇█")
 	lo, hi := vecmath.MinMax(values)
 	span := hi - lo
-	if span == 0 {
+	if span == 0 { //pridlint:allow floateq exact guard for a constant series (span exactly zero)
 		span = 1
 	}
 	var b strings.Builder

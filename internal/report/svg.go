@@ -69,13 +69,13 @@ func (c LineChart) WriteSVG(w io.Writer) error {
 		ymin, ymax = c.YMin, c.YMax
 	} else {
 		span := ymax - ymin
-		if span == 0 {
+		if span == 0 { //pridlint:allow floateq exact guard for a constant series (span exactly zero)
 			span = 1
 		}
 		ymin -= 0.05 * span
 		ymax += 0.05 * span
 	}
-	if xmax == xmin {
+	if xmax == xmin { //pridlint:allow floateq exact guard for a constant axis (span exactly zero)
 		xmax = xmin + 1
 	}
 
@@ -145,7 +145,7 @@ func tickLabel(v float64) string {
 		return fmt.Sprintf("%.0f", v)
 	case av >= 10:
 		return fmt.Sprintf("%.1f", v)
-	case av == 0:
+	case av == 0: //pridlint:allow floateq exact zero prints as the literal 0 label
 		return "0"
 	default:
 		return fmt.Sprintf("%.2f", v)
@@ -179,7 +179,7 @@ func (c BarChart) WriteSVG(w io.Writer) error {
 		if len(s.Y) != len(c.Groups) {
 			return fmt.Errorf("report: series %q has %d values for %d groups", s.Name, len(s.Y), len(c.Groups))
 		}
-		if c.YMax == 0 {
+		if c.YMax == 0 { //pridlint:allow floateq YMax 0 is the unset sentinel, not a measured value
 			for _, v := range s.Y {
 				ymax = math.Max(ymax, v)
 			}

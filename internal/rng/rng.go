@@ -138,7 +138,7 @@ func (r *Source) Norm() float64 {
 		u := 2*r.Float64() - 1
 		v := 2*r.Float64() - 1
 		s := u*u + v*v
-		if s >= 1 || s == 0 {
+		if s >= 1 || s == 0 { //pridlint:allow floateq exact rejection test of the Marsaglia polar method
 			continue
 		}
 		f := math.Sqrt(-2 * math.Log(s) / s)

@@ -392,7 +392,7 @@ func (c *Client) once(ctx context.Context, op call) error {
 		}
 		return &transportError{err}
 	}
-	defer resp.Body.Close()
+	defer resp.Body.Close() //pridlint:allow errdrop read errors surface via ReadAll; the close is best-effort
 	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
 	if err != nil {
 		if ctx.Err() != nil {

@@ -25,7 +25,7 @@ type apiError struct {
 func writeError(w http.ResponseWriter, status int, err error) error {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(apiError{Error: err.Error()}) //nolint:errcheck // response already committed
+	json.NewEncoder(w).Encode(apiError{Error: err.Error()}) //pridlint:allow errdrop the status line is already committed; the returned err IS the response
 	return err
 }
 

@@ -34,6 +34,9 @@ var (
 	metricReloads  = obs.GetCounter("serve.reloads")
 	metricPanics   = obs.GetCounter("serve.panics")
 	metricShed     = map[string]*obs.Counter{}
+	// metricServeFailures counts accept-loop exits that were not a
+	// requested shutdown — a process that is up but no longer serving.
+	metricServeFailures = obs.GetCounter("serve.loop_failures")
 )
 
 // endpointNames is the fixed roster the maps above are populated for.

@@ -69,7 +69,7 @@ func (s *Server) reject(w http.ResponseWriter, name string, depth int, shed bool
 	metricRequests[name].Inc()
 	metricErrors[name].Inc()
 	w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(depth, s.cfg.MaxInFlight)))
-	writeError(w, http.StatusServiceUnavailable, err) //nolint:errcheck // response committed
+	writeError(w, http.StatusServiceUnavailable, err) //pridlint:allow errdrop response already committed; the rejection itself is the signal
 }
 
 // recovery converts a handler panic into a 500 JSON error so one
@@ -88,7 +88,7 @@ func (s *Server) recovery(name string, next http.Handler) http.Handler {
 				metricPanics.Inc()
 				metricErrors[name].Inc()
 				logger.Error("handler panic recovered", "endpoint", name, "panic", p)
-				writeError(w, http.StatusInternalServerError, //nolint:errcheck // response committed
+				writeError(w, http.StatusInternalServerError, //pridlint:allow errdrop response already committed; the panic is already logged and counted
 					fmt.Errorf("internal error: recovered from panic: %v", p))
 			}
 		}()
@@ -104,11 +104,11 @@ func (s *Server) recovery(name string, next http.Handler) http.Handler {
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case s.draining.Load():
-		writeError(w, http.StatusServiceUnavailable, errors.New("draining")) //nolint:errcheck // response committed
+		writeError(w, http.StatusServiceUnavailable, errors.New("draining")) //pridlint:allow errdrop probe response; the balancer only reads the status code
 	case s.reg.Len() == 0:
-		writeError(w, http.StatusServiceUnavailable, errors.New("no models loaded")) //nolint:errcheck // response committed
+		writeError(w, http.StatusServiceUnavailable, errors.New("no models loaded")) //pridlint:allow errdrop probe response; the balancer only reads the status code
 	default:
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintf(w, "ready %d models\n", s.reg.Len())
+		fmt.Fprintf(w, "ready %d models\n", s.reg.Len()) //pridlint:allow errdrop probe response; a write failure has no in-band recovery
 	}
 }

@@ -125,7 +125,15 @@ func (s *Server) Start() error {
 		return fmt.Errorf("serve: listening on %s: %w", s.cfg.Addr, err)
 	}
 	s.ln = ln
-	go s.srv.Serve(ln) //nolint:errcheck // Serve always returns on Shutdown/Close
+	// A serve loop that dies for any reason other than a requested
+	// shutdown means the process is up but silently not serving — log it
+	// and count it so /debug/vars and the logs show the outage.
+	go func() {
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			metricServeFailures.Inc()
+			logger.Error("serve loop exited", "err", err)
+		}
+	}()
 	logger.Info("serving", "addr", s.Addr(), "models", s.reg.Len(),
 		"batch_window", s.cfg.BatchWindow, "batch_max", s.cfg.BatchMax,
 		"max_inflight", s.cfg.MaxInFlight)
@@ -201,5 +209,5 @@ func (s *Server) limited(name string, h func(w http.ResponseWriter, r *http.Requ
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "ok %d models\n", s.reg.Len())
+	fmt.Fprintf(w, "ok %d models\n", s.reg.Len()) //pridlint:allow errdrop probe response; a write failure has no in-band recovery
 }

@@ -484,3 +484,28 @@ func TestServeReloadEndpoint(t *testing.T) {
 func contextWithTimeout(d time.Duration) (context.Context, context.CancelFunc) {
 	return context.WithTimeout(context.Background(), d)
 }
+
+// TestServeLoopFailureIsCounted pins the accept-loop failure path: when
+// the listener dies underneath the server (not via Shutdown), the exit
+// must be recorded in serve.loop_failures instead of vanishing — a
+// process that is up but silently not serving is the outage mode the
+// counter exists for.
+func TestServeLoopFailureIsCounted(t *testing.T) {
+	before := metricServeFailures.Value()
+	srv := NewServer(Config{Addr: "127.0.0.1:0"})
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the listener directly: Serve returns net.ErrClosed, which is
+	// not the http.ErrServerClosed a requested shutdown produces.
+	if err := srv.ln.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for metricServeFailures.Value() == before {
+		if time.Now().After(deadline) {
+			t.Fatal("serve.loop_failures not incremented after listener death")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

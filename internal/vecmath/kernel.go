@@ -53,7 +53,7 @@ func ParallelRows(n, workers int, fn func(lo, hi int)) {
 	var next atomic.Int64
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func() { //pridlint:allow gofan this launch site IS the ParallelRows kernel everything else rides
 			defer wg.Done()
 			for {
 				lo := int(next.Add(int64(chunk))) - chunk

@@ -1,0 +1,67 @@
+package vecmath
+
+import (
+	"sync"
+	"testing"
+)
+
+// The parallel kernels share nothing but their read-only inputs, so any
+// number of concurrent callers must stay race-free and bit-identical to
+// a lone caller. This is the race gate for that contract (run under
+// `make race`): several goroutines drive ParallelRows, MulVecIntoParallel,
+// and GramParallel at once, each into its own destination, and every
+// result is compared against the serial answer.
+func TestParallelKernelsConcurrentCallersBitIdentical(t *testing.T) {
+	m := randMatrix(93, 517, 5)
+	x := randVec(517, 6)
+	wantMul := make([]float64, m.Rows)
+	m.MulVecInto(wantMul, x)
+	wantGram := m.GramParallel(1)
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			workers := 1 + g%4
+
+			// Raw ParallelRows fan-out with per-goroutine state.
+			sums := make([]float64, m.Rows)
+			ParallelRows(m.Rows, workers, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					sums[i] = Dot(m.Row(i), x)
+				}
+			})
+			for i := range sums {
+				if sums[i] != wantMul[i] {
+					errs <- "ParallelRows result diverged under concurrent callers"
+					return
+				}
+			}
+
+			got := make([]float64, m.Rows)
+			m.MulVecIntoParallel(got, x, workers)
+			for i := range got {
+				if got[i] != wantMul[i] {
+					errs <- "MulVecIntoParallel diverged under concurrent callers"
+					return
+				}
+			}
+
+			gram := m.GramParallel(workers)
+			for i := range gram.Data {
+				if gram.Data[i] != wantGram.Data[i] {
+					errs <- "GramParallel diverged under concurrent callers"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}

@@ -115,7 +115,7 @@ func Norm2(x []float64) float64 {
 // original norm. A zero vector is left unchanged and 0 is returned.
 func Normalize(x []float64) float64 {
 	n := Norm2(x)
-	if n == 0 {
+	if n == 0 { //pridlint:allow floateq exact guard: only a true zero vector is left unnormalized
 		return 0
 	}
 	Scale(1/n, x)
@@ -135,7 +135,7 @@ func Normalize(x []float64) float64 {
 func Cosine(a, b []float64) float64 {
 	checkLen("Cosine", len(a), len(b))
 	na, nb := Norm2(a), Norm2(b)
-	if na == 0 || nb == 0 {
+	if na == 0 || nb == 0 { //pridlint:allow floateq exact guard: zero norms make the cosine undefined, not small
 		return 0
 	}
 	return Dot(a, b) / (na * nb)
@@ -161,7 +161,7 @@ func MSE(a, b []float64) float64 {
 // by the paper's Figure 1). It returns +Inf for an exact reconstruction.
 func PSNR(ref, recon []float64) float64 {
 	mse := MSE(ref, recon)
-	if mse == 0 {
+	if mse == 0 { //pridlint:allow floateq exact guard: only a perfect reconstruction earns +Inf dB
 		return math.Inf(1)
 	}
 	lo, hi := ref[0], ref[0]
@@ -174,7 +174,7 @@ func PSNR(ref, recon []float64) float64 {
 		}
 	}
 	peak := hi - lo
-	if peak == 0 {
+	if peak == 0 { //pridlint:allow floateq exact guard for a constant reference (peak exactly zero)
 		peak = 1
 	}
 	return 10 * math.Log10(peak*peak/mse)

@@ -29,7 +29,7 @@ func (m *Model) SaveFile(path string) error {
 		return fmt.Errorf("prid: saving model: %w", err)
 	}
 	if err := m.Save(f); err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	if err := f.Close(); err != nil {
@@ -79,6 +79,6 @@ func LoadFile(path string) (*Model, error) {
 	if err != nil {
 		return nil, fmt.Errorf("prid: loading model: %w", err)
 	}
-	defer f.Close()
+	defer f.Close() //pridlint:allow errdrop read-path close: Load already surfaced any read error
 	return Load(f)
 }
