@@ -1,7 +1,8 @@
 # Tier-1+ gate for the PRID reproduction. `make check` is what a PR must
 # pass: formatting (gofmt -s), vet, the pridlint invariant suite, build,
-# the full test suite (shuffled), and both end-to-end smokes (serving
-# correctness and chaos resilience). `make race` additionally runs the
+# the full test suite (shuffled), and the three end-to-end smokes
+# (serving correctness, chaos resilience, load/SLO). `make race`
+# additionally runs the
 # race detector over the packages with concurrency (and everything
 # else), `make chaos` hammers the server with an aggressive fault
 # schedule, and `make bench` regenerates the throughput numbers the perf
@@ -9,7 +10,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt lint check bench bench-compile bench-snapshot serve-smoke chaos-smoke chaos
+.PHONY: build test race vet fmt lint check bench bench-compile bench-snapshot serve-smoke chaos-smoke chaos load-smoke slo-snapshot
 
 build:
 	$(GO) build ./...
@@ -51,7 +52,7 @@ fmt:
 lint:
 	$(GO) run ./cmd/pridlint ./...
 
-check: fmt vet lint build test bench-compile serve-smoke chaos-smoke
+check: fmt vet lint build test bench-compile serve-smoke chaos-smoke load-smoke
 
 # Benchmark-compile gate: every benchmark must build and survive one
 # iteration, so benches cannot rot uncompiled (or silently broken)
@@ -75,6 +76,20 @@ serve-smoke:
 # panics, a clean drain, and zero goroutine leaks.
 chaos-smoke:
 	$(GO) run ./cmd/chaos-smoke
+
+# Latency gate: the deterministic open-loop load generator drives an
+# in-process server through a spike-shaped run twice — clean, then under
+# the chaos fault schedule — and asserts SLOs on both (p99 bound, zero
+# outright failures, shed-rate bound). Fixed seed: identical request
+# counts and verdicts on every run. Writes slo-smoke.json (gitignored;
+# CI archives it as a build artifact).
+load-smoke:
+	$(GO) run ./cmd/load-smoke
+
+# Refresh the committed SLO trajectory snapshot (SLO_1.json) from a
+# load-smoke pass — the latency analogue of bench-snapshot.
+slo-snapshot:
+	$(GO) run ./cmd/load-smoke -out SLO_1.json
 
 # The same gate under a much nastier schedule and more traffic — for
 # soaking changes to the serving or client retry paths.

@@ -1,0 +1,249 @@
+// Command load-smoke is the latency gate for the serving subsystem, run
+// by `make load-smoke` (and therefore `make check`). It starts an
+// in-process server, drives it with the deterministic open-loop load
+// generator (internal/loadgen) in two phases — a clean pass and a pass
+// under the chaos middleware's fault schedule — and asserts SLOs on
+// both: a p99 bound, zero outright failures (every request is either
+// answered or deliberately shed), and a shed-rate bound.
+//
+// The request plan is a pure function of the seed, so two consecutive
+// runs issue identical request counts and reach identical SLO verdicts;
+// only the measured latencies vary. The gate also checks the tracing
+// surface end to end: responses must echo X-Request-ID and
+// /debug/requests must expose stage-annotated traces of the slowest
+// requests. The combined report is written in the BENCH snapshot format
+// (default slo-smoke.json) for CI to archive.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"reflect"
+	"time"
+
+	"prid"
+	"prid/internal/dataset"
+	"prid/internal/faultinject"
+	"prid/internal/loadgen"
+	"prid/internal/obs"
+	"prid/internal/serve"
+	"prid/internal/serve/client"
+)
+
+// defaultSpec is the fault schedule for the chaos phase: every
+// retryable fault class at rates the client's 12 attempts converge
+// through. No unconditional panics — unlike chaos-smoke, every planned
+// request here must ultimately succeed or be shed, because that is the
+// SLO under test.
+const defaultSpec = "error=0.08,latency=0.25:1ms-10ms,drop=0.03,truncate=0.03,corrupt=0.03"
+
+func main() {
+	seed := flag.Uint64("seed", 0x51073, "plan seed (fixes request counts and payloads)")
+	rps := flag.Float64("rps", 120, "target average requests per second per phase")
+	duration := flag.Duration("duration", 1500*time.Millisecond, "per-phase run window")
+	spec := flag.String("spec", defaultSpec, "chaos-phase fault schedule ([site.]kind=value,...)")
+	out := flag.String("out", "slo-smoke.json", "SLO report snapshot file (clean + chaos labels)")
+	flag.Parse()
+	if err := run(*seed, *rps, *duration, *spec, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "load-smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("load-smoke: OK")
+}
+
+func run(seed uint64, rps float64, duration time.Duration, spec, out string) error {
+	// The spike shape exercises admission control hardest: a burst at 5.5x
+	// the average rate through the middle of the window.
+	const shape = loadgen.ShapeSpike
+	mix := loadgen.DefaultMix()
+
+	// Determinism is the harness's own contract — prove it before
+	// trusting any number it reports.
+	planA, err := loadgen.Plan(seed, shape, rps, duration, mix)
+	if err != nil {
+		return err
+	}
+	planB, err := loadgen.Plan(seed, shape, rps, duration, mix)
+	if err != nil {
+		return err
+	}
+	if !reflect.DeepEqual(planA, planB) {
+		return fmt.Errorf("plan is not deterministic for seed %#x", seed)
+	}
+
+	sched, err := faultinject.ParseSchedule(spec)
+	if err != nil {
+		return err
+	}
+
+	phases := []struct {
+		label string
+		inj   *faultinject.Injector
+		slo   loadgen.SLO
+	}{
+		// Clean: tight failure budget, minimal shedding. The p99 bound is
+		// generous against CI-runner noise but catches order-of-magnitude
+		// regressions (a lost batch window, a blocked semaphore).
+		{label: "clean", inj: nil,
+			slo: loadgen.SLO{P99MS: 1500, MaxShedRate: 0.05, MaxFailed: 0}},
+		// Chaos: latency inflates under injected faults and retries, but
+		// the resilience contract holds — nothing fails outright.
+		{label: "chaos", inj: faultinject.New(seed, sched),
+			slo: loadgen.SLO{P99MS: 5000, MaxShedRate: 0.10, MaxFailed: 0}},
+	}
+
+	var requestCounts []int64
+	for _, ph := range phases {
+		rep, err := runPhase(ph.label, ph.inj, seed, shape, rps, duration, mix)
+		if err != nil {
+			return fmt.Errorf("%s phase: %w", ph.label, err)
+		}
+		if rep.Overall.Requests != int64(len(planA)) {
+			return fmt.Errorf("%s phase executed %d requests, plan had %d",
+				ph.label, rep.Overall.Requests, len(planA))
+		}
+		requestCounts = append(requestCounts, rep.Overall.Requests)
+		verdict := rep.Evaluate(ph.slo)
+		fmt.Printf("load-smoke: %s: %d requests (%d ok, %d shed, %d failed) p50=%.1fms p95=%.1fms p99=%.1fms\n",
+			ph.label, rep.Overall.Requests, rep.Overall.OK, rep.Overall.Shed, rep.Overall.Failed,
+			rep.Overall.P50MS, rep.Overall.P95MS, rep.Overall.P99MS)
+		if !verdict.Pass {
+			for _, v := range verdict.Violations {
+				fmt.Fprintln(os.Stderr, "load-smoke:", ph.label, "SLO violation:", v)
+			}
+			return fmt.Errorf("%s phase broke %d SLO rules", ph.label, len(verdict.Violations))
+		}
+		if out != "" {
+			if err := loadgen.WriteReportFile(out, ph.label, rep); err != nil {
+				return err
+			}
+		}
+	}
+	for _, n := range requestCounts[1:] {
+		if n != requestCounts[0] {
+			return fmt.Errorf("request counts diverged across phases: %v", requestCounts)
+		}
+	}
+	if out != "" {
+		fmt.Printf("load-smoke: SLO report written to %s\n", out)
+	}
+	return nil
+}
+
+// runPhase starts a fresh in-process server (with ph's injector, when
+// any), verifies the tracing surface end to end, runs one load pass, and
+// shuts the server down.
+func runPhase(label string, inj *faultinject.Injector, seed uint64, shape loadgen.Shape,
+	rps float64, duration time.Duration, mix loadgen.Mix) (*loadgen.Report, error) {
+	cfg := dataset.DefaultConfig()
+	cfg.TrainSize = 90
+	cfg.TestSize = 30
+	ds, err := dataset.Load("ACTIVITY", cfg)
+	if err != nil {
+		return nil, err
+	}
+	model, err := prid.TrainClassifier(ds.TrainX, ds.TrainY, ds.Classes, prid.WithDimension(512))
+	if err != nil {
+		return nil, err
+	}
+	srv := serve.NewServer(serve.Config{
+		Addr:           "127.0.0.1:0",
+		BatchWindow:    time.Millisecond,
+		MaxInFlight:    64,
+		RequestTimeout: 2 * time.Second,
+		Injector:       inj,
+	})
+	srv.Registry().Register("activity", "", model)
+	if err := srv.Start(); err != nil {
+		return nil, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx) //pridlint:allow errdrop best-effort shutdown; the gate already has its verdict
+	}()
+	base := "http://" + srv.Addr()
+
+	cli, err := client.New(client.Config{
+		BaseURL:          base,
+		MaxAttempts:      12,
+		BaseBackoff:      5 * time.Millisecond,
+		MaxBackoff:       100 * time.Millisecond,
+		BreakerThreshold: 20,
+		BreakerCooldown:  200 * time.Millisecond,
+		JitterSeed:       seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := cli.Ready(ctx); err != nil {
+		return nil, fmt.Errorf("/readyz: %w", err)
+	}
+
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:  base,
+		Model:    "activity",
+		Seed:     seed,
+		Shape:    shape,
+		RPS:      rps,
+		Duration: duration,
+		Mix:      mix,
+		Client:   cli,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := checkTracingSurface(base); err != nil {
+		return nil, fmt.Errorf("tracing surface: %w", err)
+	}
+	return rep, nil
+}
+
+// checkTracingSurface drives the request-ID and /debug/requests
+// contracts on a live server that has just absorbed a load run.
+func checkTracingSurface(base string) error {
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/models", nil)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("X-Request-ID", "load-smoke-probe")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body) //pridlint:allow errdrop body content irrelevant; only the header is checked
+	resp.Body.Close()              //pridlint:allow errdrop best-effort close on a drained body
+	if got := resp.Header.Get("X-Request-ID"); got != "load-smoke-probe" {
+		return fmt.Errorf("X-Request-ID echoed as %q", got)
+	}
+
+	resp, err = http.Get(base + "/debug/requests")
+	if err != nil {
+		return err
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close() //pridlint:allow errdrop best-effort close on a drained body
+	if err != nil {
+		return err
+	}
+	var snap obs.TraceRingSnapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		return fmt.Errorf("/debug/requests parse: %w", err)
+	}
+	if snap.Recorded == 0 || len(snap.Slowest) == 0 {
+		return fmt.Errorf("/debug/requests empty after a load run: %s", raw)
+	}
+	for _, tr := range snap.Slowest {
+		if tr.ID == "" || tr.Endpoint == "" {
+			return fmt.Errorf("trace missing identity: %+v", tr)
+		}
+	}
+	return nil
+}

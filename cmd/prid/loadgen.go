@@ -1,0 +1,88 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"prid/internal/loadgen"
+	"prid/internal/serve/client"
+)
+
+// cmdLoadgen drives a live PRID server with deterministic open-loop
+// traffic and reports latency quantiles per endpoint, optionally judged
+// against an SLO and written as a named snapshot (the BENCH_1.json
+// envelope). An SLO violation exits non-zero so scripts can gate on it.
+func cmdLoadgen(args []string) error {
+	fs := newFlagSet("loadgen")
+	target := fs.String("target", "http://127.0.0.1:8080", "server base URL")
+	model := fs.String("model", "", "served model to drive (default: first listed)")
+	seed := fs.Uint64("seed", 1, "plan seed (fixes request counts and payloads)")
+	shapeName := fs.String("shape", "constant", "traffic shape: constant|ramp|spike|soak")
+	rps := fs.Float64("rps", 50, "target average requests per second")
+	duration := fs.Duration("duration", 10*time.Second, "run window")
+	mixSpec := fs.String("mix", "", "endpoint weights as predict,similarities,reconstruct,audit (e.g. 0.7,0.15,0.1,0.05)")
+	sloP99 := fs.Float64("slo-p99-ms", 0, "fail if overall p99 exceeds this (0 disables)")
+	sloShed := fs.Float64("slo-max-shed", 1, "fail if shed/requests exceeds this rate")
+	sloFailed := fs.Int64("slo-max-failed", 0, "fail if more than this many requests fail outright")
+	out := fs.String("out", "", "write the report into this snapshot file (merge-preserving)")
+	label := fs.String("label", "loadgen", "snapshot label for --out")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	shape, err := loadgen.ParseShape(*shapeName)
+	if err != nil {
+		return err
+	}
+	mix := loadgen.DefaultMix()
+	if *mixSpec != "" {
+		if n, err := fmt.Sscanf(*mixSpec, "%f,%f,%f,%f",
+			&mix.Predict, &mix.Similarities, &mix.Reconstruct, &mix.Audit); err != nil || n != 4 {
+			return fmt.Errorf("loadgen: --mix wants four comma-separated weights, got %q", *mixSpec)
+		}
+	}
+	cli, err := client.New(client.Config{BaseURL: *target, JitterSeed: *seed})
+	if err != nil {
+		return err
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		BaseURL:  *target,
+		Model:    *model,
+		Seed:     *seed,
+		Shape:    shape,
+		RPS:      *rps,
+		Duration: *duration,
+		Mix:      mix,
+		Client:   cli,
+	})
+	if err != nil {
+		return err
+	}
+	verdict := rep.Evaluate(loadgen.SLO{P99MS: *sloP99, MaxShedRate: *sloShed, MaxFailed: *sloFailed})
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if *out != "" {
+		if err := loadgen.WriteReportFile(*out, *label, rep); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: report written to %s under label %q\n", *out, *label)
+	}
+	if !verdict.Pass {
+		for _, v := range verdict.Violations {
+			fmt.Fprintln(os.Stderr, "loadgen: SLO violation:", v)
+		}
+		return fmt.Errorf("loadgen: %d SLO violations", len(verdict.Violations))
+	}
+	return nil
+}

@@ -12,6 +12,7 @@
 //	prid experiment all [--scale quick|paper]
 //	prid experiment fig7 [--scale quick]
 //	prid serve --model mnist=model.prid [--listen :8080]
+//	prid loadgen --target http://127.0.0.1:8080 [--shape spike] [--rps 200]
 package main
 
 import (
@@ -69,6 +70,8 @@ func dispatch(args []string) error {
 		return cmdExperiment(args[1:])
 	case "serve":
 		return cmdServe(args[1:])
+	case "loadgen":
+		return cmdLoadgen(args[1:])
 	case "help", "-h", "--help":
 		usage()
 		return nil
@@ -90,6 +93,7 @@ commands:
   experiment ID|all            regenerate a paper table/figure (fig1..fig10, table1, table2)
   experiment quick             machine-readable benchmark snapshot (--bench-out FILE)
   serve      --model NAME=PATH serve saved models over HTTP (predict, attack, audit endpoints)
+  loadgen    --target URL      drive a live server with deterministic open-loop traffic, report SLOs
 
 global flags (any position):
   --log-level LEVEL            debug, info, warn, error (default info; env PRID_LOG_LEVEL)

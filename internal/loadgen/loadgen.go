@@ -1,0 +1,246 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"prid/internal/obs"
+	"prid/internal/rng"
+	"prid/internal/serve/client"
+)
+
+var logger = obs.Logger("loadgen")
+
+var (
+	metricSent = obs.GetCounter("loadgen.sent")
+	metricOK   = obs.GetCounter("loadgen.ok")
+	metricShed = obs.GetCounter("loadgen.shed")
+	metricFail = obs.GetCounter("loadgen.failed")
+)
+
+// Config tunes one load-generation run. BaseURL is required; everything
+// else has a default.
+type Config struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Model is the served model to target (default: the first model the
+	// server lists).
+	Model string
+	// Seed fixes the request plan and synthetic inputs (default 1).
+	Seed uint64
+	// Shape is the traffic profile (default constant).
+	Shape Shape
+	// RPS is the target average request rate (default 50).
+	RPS float64
+	// Duration is the run window (default 2s).
+	Duration time.Duration
+	// Mix weights the endpoints (default DefaultMix).
+	Mix Mix
+	// Client, when non-nil, carries the tuned retrying client to use —
+	// the chaos gate passes one with aggressive retry settings. Built
+	// from BaseURL otherwise.
+	Client *client.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Shape == "" {
+		c.Shape = ShapeConstant
+	}
+	if c.RPS <= 0 {
+		c.RPS = 50
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	zero := Mix{}
+	if c.Mix == zero {
+		c.Mix = DefaultMix()
+	}
+	return c
+}
+
+// sample is one completed request as the generator saw it.
+type sample struct {
+	endpoint string
+	latency  time.Duration
+	outcome  outcome
+}
+
+type outcome int
+
+const (
+	outcomeOK outcome = iota
+	// outcomeShed is a server-protective rejection (503/429 after the
+	// client's retries, or the client's own open circuit): the contract
+	// was "not now", not "wrong".
+	outcomeShed
+	// outcomeFailed is everything else — the answers the SLO counts as
+	// broken.
+	outcomeFailed
+)
+
+// classify maps a client call error to its SLO bucket.
+func classify(err error) outcome {
+	if err == nil {
+		return outcomeOK
+	}
+	var se *client.StatusError
+	if errors.As(err, &se) &&
+		(se.Code == http.StatusServiceUnavailable || se.Code == http.StatusTooManyRequests) {
+		return outcomeShed
+	}
+	if errors.Is(err, client.ErrCircuitOpen) {
+		return outcomeShed
+	}
+	return outcomeFailed
+}
+
+// workload is the synthetic request payloads: deterministic feature rows
+// sized to the served model, derived from the run seed.
+type workload struct {
+	model string
+	rows  [][]float64
+	// audit payloads are deliberately tiny — the audit endpoint is the
+	// expensive one and the mix already keeps it rare.
+	auditTrain   [][]float64
+	auditQueries [][]float64
+}
+
+// buildWorkload asks the server what it serves and synthesizes inputs to
+// match. Rows are uniform in [0,1) from the seeded stream, so the same
+// seed replays byte-identical request bodies.
+func buildWorkload(ctx context.Context, cli *client.Client, cfg Config) (*workload, error) {
+	infos, err := cli.Models(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: listing models: %w", err)
+	}
+	if len(infos) == 0 {
+		return nil, errors.New("loadgen: server has no models to load against")
+	}
+	info := infos[0]
+	if cfg.Model != "" {
+		found := false
+		for _, m := range infos {
+			if m.Name == cfg.Model {
+				info, found = m, true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("loadgen: model %q not served", cfg.Model)
+		}
+	}
+	src := rng.New(cfg.Seed ^ 0x10adca11)
+	row := func() []float64 {
+		r := make([]float64, info.Features)
+		for j := range r {
+			r[j] = src.Uniform(0, 1)
+		}
+		return r
+	}
+	const nRows = 32
+	w := &workload{model: info.Name}
+	for i := 0; i < nRows; i++ {
+		w.rows = append(w.rows, row())
+	}
+	for i := 0; i < 8; i++ {
+		w.auditTrain = append(w.auditTrain, row())
+	}
+	for i := 0; i < 2; i++ {
+		w.auditQueries = append(w.auditQueries, row())
+	}
+	return w, nil
+}
+
+// fire issues one planned request and returns the call error.
+func fire(ctx context.Context, cli *client.Client, w *workload, i int, endpoint string) error {
+	row := w.rows[i%len(w.rows)]
+	switch endpoint {
+	case EndpointPredict:
+		_, err := cli.PredictOne(ctx, w.model, row)
+		return err
+	case EndpointSimilarities:
+		_, _, err := cli.Similarities(ctx, w.model, row)
+		return err
+	case EndpointReconstruct:
+		_, err := cli.Reconstruct(ctx, w.model, row)
+		return err
+	case EndpointAudit:
+		_, err := cli.AuditLeakage(ctx, w.model, w.auditTrain, w.auditQueries)
+		return err
+	}
+	return fmt.Errorf("loadgen: unplannable endpoint %q", endpoint)
+}
+
+// Run executes one open-loop load generation pass against a live server
+// and returns the measured report. The request plan is deterministic in
+// cfg; ctx aborts the run early with an error (a truncated run's report
+// would lie about the shape it claims to have driven).
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	plan, err := Plan(cfg.Seed, cfg.Shape, cfg.RPS, cfg.Duration, cfg.Mix)
+	if err != nil {
+		return nil, err
+	}
+	cli := cfg.Client
+	if cli == nil {
+		cli, err = client.New(client.Config{BaseURL: cfg.BaseURL, JitterSeed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+	}
+	w, err := buildWorkload(ctx, cli, cfg)
+	if err != nil {
+		return nil, err
+	}
+	logger.Info("load run starting", "shape", string(cfg.Shape), "rps", cfg.RPS,
+		"duration", cfg.Duration, "requests", len(plan), "model", w.model, "seed", cfg.Seed)
+
+	samples := make([]sample, len(plan))
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i, p := range plan {
+		// Open loop: wait for the planned offset, never for responses.
+		if wait := p.At - time.Since(start); wait > 0 {
+			select {
+			case <-time.After(wait):
+			case <-ctx.Done():
+				wg.Wait()
+				return nil, fmt.Errorf("loadgen: run aborted after %d/%d requests: %w",
+					i, len(plan), ctx.Err())
+			}
+		}
+		wg.Add(1)
+		go func(i int, p PlannedRequest) {
+			defer wg.Done()
+			metricSent.Inc()
+			t0 := time.Now()
+			err := fire(ctx, cli, w, i, p.Endpoint)
+			s := sample{endpoint: p.Endpoint, latency: time.Since(t0), outcome: classify(err)}
+			switch s.outcome {
+			case outcomeOK:
+				metricOK.Inc()
+			case outcomeShed:
+				metricShed.Inc()
+			case outcomeFailed:
+				metricFail.Inc()
+				logger.Debug("request failed", "endpoint", p.Endpoint, "index", i, "err", err)
+			}
+			samples[i] = s
+		}(i, p)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	rep := buildReport(cfg, samples, elapsed)
+	logger.Info("load run complete", "requests", rep.Overall.Requests,
+		"ok", rep.Overall.OK, "shed", rep.Overall.Shed, "failed", rep.Overall.Failed,
+		"p99_ms", rep.Overall.P99MS, "achieved_rps", rep.AchievedRPS)
+	return rep, nil
+}

@@ -1,0 +1,266 @@
+package loadgen
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"prid"
+	"prid/internal/dataset"
+	"prid/internal/serve"
+)
+
+func TestArrivalsShapes(t *testing.T) {
+	const rps, window = 200.0, 2 * time.Second
+	for _, shape := range []Shape{ShapeConstant, ShapeRamp, ShapeSpike, ShapeSoak} {
+		at, err := Arrivals(shape, rps, window)
+		if err != nil {
+			t.Fatalf("%s: %v", shape, err)
+		}
+		want := rps * window.Seconds()
+		if math.Abs(float64(len(at))-want) > 0.1*want {
+			t.Errorf("%s: %d arrivals, want ~%.0f", shape, len(at), want)
+		}
+		for i, a := range at {
+			if a < 0 || a > window+time.Millisecond {
+				t.Fatalf("%s: arrival %d at %v outside [0, %v]", shape, i, a, window)
+			}
+			if i > 0 && a < at[i-1] {
+				t.Fatalf("%s: arrivals not sorted at %d: %v after %v", shape, i, a, at[i-1])
+			}
+		}
+	}
+}
+
+func TestArrivalsSpikeBursts(t *testing.T) {
+	at, err := Arrivals(ShapeSpike, 100, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The middle tenth of the window must hold the majority of traffic.
+	burst := 0
+	for _, a := range at {
+		if a >= 4500*time.Millisecond && a < 5500*time.Millisecond {
+			burst++
+		}
+	}
+	if frac := float64(burst) / float64(len(at)); frac < 0.45 || frac > 0.65 {
+		t.Fatalf("burst window holds %.2f of arrivals, want ~0.55", frac)
+	}
+}
+
+func TestArrivalsRejectsBadInputs(t *testing.T) {
+	if _, err := Arrivals(ShapeConstant, 0, time.Second); err == nil {
+		t.Error("zero rate accepted")
+	}
+	if _, err := Arrivals(ShapeConstant, 10, 0); err == nil {
+		t.Error("zero duration accepted")
+	}
+	if _, err := Arrivals(Shape("sawtooth"), 10, time.Second); err == nil {
+		t.Error("unknown shape accepted")
+	}
+	if _, err := ParseShape("sawtooth"); err == nil {
+		t.Error("ParseShape accepted sawtooth")
+	}
+}
+
+func TestPlanDeterministicAndMixed(t *testing.T) {
+	mix := DefaultMix()
+	a, err := Plan(7, ShapeConstant, 500, 4*time.Second, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Plan(7, ShapeConstant, 500, 4*time.Second, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different plans")
+	}
+	counts := map[string]int{}
+	for _, p := range a {
+		counts[p.Endpoint]++
+	}
+	n := float64(len(a))
+	for ep, weight := range map[string]float64{
+		EndpointPredict:      mix.Predict,
+		EndpointSimilarities: mix.Similarities,
+		EndpointReconstruct:  mix.Reconstruct,
+		EndpointAudit:        mix.Audit,
+	} {
+		got := float64(counts[ep]) / n
+		if math.Abs(got-weight) > 0.05 {
+			t.Errorf("%s: %.3f of traffic, want ~%.2f", ep, got, weight)
+		}
+	}
+
+	c, err := Plan(8, ShapeConstant, 500, 4*time.Second, mix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical endpoint assignments")
+	}
+}
+
+func TestPlanRejectsEmptyMix(t *testing.T) {
+	if _, err := Plan(1, ShapeConstant, 10, time.Second, Mix{}); err == nil {
+		t.Fatal("all-zero mix accepted")
+	}
+}
+
+func TestQuantileExact(t *testing.T) {
+	s := []float64{1, 2, 3, 4}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {0.5, 2.5}, {0.25, 1.75}, {-1, 1}, {2, 4},
+	}
+	for _, c := range cases {
+		if got := quantile(s, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := quantile(nil, 0.5); got > 0 || got < 0 {
+		t.Errorf("quantile(empty) = %v, want 0", got)
+	}
+	if got := quantile([]float64{7}, 0.99); math.Abs(got-7) > 1e-12 {
+		t.Errorf("quantile(single) = %v, want 7", got)
+	}
+}
+
+func TestEvaluateSLO(t *testing.T) {
+	rep := &Report{Overall: EndpointStats{Requests: 100, OK: 90, Shed: 8, Failed: 2, P99MS: 120}}
+	out := rep.Evaluate(SLO{P99MS: 50, MaxShedRate: 0.05, MaxFailed: 0})
+	if out.Pass {
+		t.Fatal("violating report passed")
+	}
+	if len(out.Violations) != 3 {
+		t.Fatalf("violations %v, want all three rules broken", out.Violations)
+	}
+	if rep.SLO == nil || rep.SLO.Pass {
+		t.Fatal("outcome not recorded on the report")
+	}
+
+	out = rep.Evaluate(SLO{P99MS: 500, MaxShedRate: 0.10, MaxFailed: 2})
+	if !out.Pass || len(out.Violations) != 0 {
+		t.Fatalf("generous thresholds failed: %v", out.Violations)
+	}
+	if math.Abs(out.ShedRate-0.08) > 1e-12 {
+		t.Fatalf("shed rate %v, want 0.08", out.ShedRate)
+	}
+}
+
+func TestWriteReportFileMerges(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "slo.json")
+	a := &Report{Shape: "constant", Seed: 1, Overall: EndpointStats{Requests: 10}}
+	b := &Report{Shape: "spike", Seed: 2, Overall: EndpointStats{Requests: 20}}
+	if err := WriteReportFile(path, "clean", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteReportFile(path, "chaos", b); err != nil {
+		t.Fatal(err)
+	}
+	a2 := &Report{Shape: "ramp", Seed: 3, Overall: EndpointStats{Requests: 30}}
+	if err := WriteReportFile(path, "clean", a2); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file SnapshotFile
+	if err := json.Unmarshal(raw, &file); err != nil {
+		t.Fatal(err)
+	}
+	if len(file.Snapshots) != 2 {
+		t.Fatalf("labels %v, want clean+chaos", file.Snapshots)
+	}
+	if file.Snapshots["clean"].Shape != "ramp" {
+		t.Fatalf("clean label not overwritten: %+v", file.Snapshots["clean"])
+	}
+	if file.Snapshots["chaos"].Overall.Requests != 20 {
+		t.Fatalf("chaos label not preserved: %+v", file.Snapshots["chaos"])
+	}
+
+	if err := WriteReportFile(path, "", a); err == nil {
+		t.Fatal("empty label accepted")
+	}
+}
+
+// TestRunAgainstLiveServer drives a short constant-shape run against an
+// in-process server end to end: the plan must execute in full with zero
+// outright failures, per-endpoint stats must cover the whole mix, and
+// the report must satisfy a generous SLO.
+func TestRunAgainstLiveServer(t *testing.T) {
+	cfg := dataset.DefaultConfig()
+	cfg.TrainSize = 60
+	cfg.TestSize = 10
+	ds, err := dataset.Load("ACTIVITY", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model, err := prid.TrainClassifier(ds.TrainX, ds.TrainY, ds.Classes, prid.WithDimension(256))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.NewServer(serve.Config{Addr: "127.0.0.1:0", BatchWindow: time.Millisecond})
+	srv.Registry().Register("activity", "", model)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+	}()
+
+	run := Config{
+		BaseURL:  "http://" + srv.Addr(),
+		Seed:     42,
+		Shape:    ShapeConstant,
+		RPS:      80,
+		Duration: time.Second,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	rep, err := Run(ctx, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan, err := Plan(run.Seed, run.Shape, run.RPS, run.Duration, DefaultMix())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Overall.Requests != int64(len(plan)) {
+		t.Fatalf("report covers %d requests, plan had %d", rep.Overall.Requests, len(plan))
+	}
+	if rep.Overall.Failed != 0 {
+		t.Fatalf("%d requests failed against a healthy server", rep.Overall.Failed)
+	}
+	if rep.Overall.OK+rep.Overall.Shed != rep.Overall.Requests {
+		t.Fatalf("outcome counts do not sum: %+v", rep.Overall)
+	}
+	wantEndpoints := map[string]bool{}
+	for _, p := range plan {
+		wantEndpoints[p.Endpoint] = true
+	}
+	for ep := range wantEndpoints {
+		st, ok := rep.Endpoints[ep]
+		if !ok || st.Requests == 0 {
+			t.Errorf("endpoint %s missing from report", ep)
+		}
+	}
+	if rep.Overall.P99MS <= 0 || rep.Overall.MaxMS < rep.Overall.P99MS {
+		t.Fatalf("implausible latency stats: %+v", rep.Overall)
+	}
+	if out := rep.Evaluate(SLO{P99MS: 30_000, MaxShedRate: 0.5, MaxFailed: 0}); !out.Pass {
+		t.Fatalf("generous SLO failed: %v", out.Violations)
+	}
+}

@@ -1,0 +1,202 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+// EndpointStats aggregates one endpoint's (or the whole run's) samples.
+// Latency quantiles are exact — computed from the full sorted sample
+// set, not histogram buckets — because the generator holds every
+// send/receive pair in memory.
+type EndpointStats struct {
+	Requests int64 `json:"requests"`
+	OK       int64 `json:"ok"`
+	Shed     int64 `json:"shed"`
+	Failed   int64 `json:"failed"`
+
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// Report is the machine-readable outcome of one load run — the SLO
+// evidence `prid loadgen` prints and make load-smoke asserts on.
+type Report struct {
+	Shape           string  `json:"shape"`
+	Seed            uint64  `json:"seed"`
+	TargetRPS       float64 `json:"target_rps"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	// AchievedRPS is plan size over wall-clock elapsed: how close the
+	// open loop came to its target on this machine.
+	AchievedRPS float64 `json:"achieved_rps"`
+
+	Overall   EndpointStats            `json:"overall"`
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+
+	SLO *SLOOutcome `json:"slo,omitempty"`
+}
+
+// SLO is the thresholds a run is judged against.
+type SLO struct {
+	// P99MS bounds the overall 99th-percentile latency in milliseconds.
+	P99MS float64 `json:"p99_ms"`
+	// MaxShedRate bounds shed/requests overall (0 forbids shedding).
+	MaxShedRate float64 `json:"max_shed_rate"`
+	// MaxFailed bounds outright failures — requests that were neither
+	// answered nor deliberately shed (normally 0).
+	MaxFailed int64 `json:"max_failed"`
+}
+
+// SLOOutcome is the verdict of Report.Evaluate: the measured values next
+// to their thresholds, with one violation string per broken rule.
+type SLOOutcome struct {
+	Thresholds SLO      `json:"thresholds"`
+	P99MS      float64  `json:"p99_ms"`
+	ShedRate   float64  `json:"shed_rate"`
+	Failed     int64    `json:"failed"`
+	Violations []string `json:"violations,omitempty"`
+	Pass       bool     `json:"pass"`
+}
+
+// Evaluate judges the report against slo, records the outcome on the
+// report, and returns it.
+func (r *Report) Evaluate(slo SLO) SLOOutcome {
+	out := SLOOutcome{Thresholds: slo, P99MS: r.Overall.P99MS, Failed: r.Overall.Failed}
+	if r.Overall.Requests > 0 {
+		out.ShedRate = float64(r.Overall.Shed) / float64(r.Overall.Requests)
+	}
+	if slo.P99MS > 0 && out.P99MS > slo.P99MS {
+		out.Violations = append(out.Violations,
+			fmt.Sprintf("p99 %.1fms exceeds the %.1fms bound", out.P99MS, slo.P99MS))
+	}
+	if out.ShedRate > slo.MaxShedRate {
+		out.Violations = append(out.Violations,
+			fmt.Sprintf("shed rate %.3f exceeds the %.3f bound (%d of %d requests)",
+				out.ShedRate, slo.MaxShedRate, r.Overall.Shed, r.Overall.Requests))
+	}
+	if out.Failed > slo.MaxFailed {
+		out.Violations = append(out.Violations,
+			fmt.Sprintf("%d requests failed outright (bound %d)", out.Failed, slo.MaxFailed))
+	}
+	out.Pass = len(out.Violations) == 0
+	r.SLO = &out
+	return out
+}
+
+// buildReport folds the run's samples into per-endpoint and overall
+// statistics.
+func buildReport(cfg Config, samples []sample, elapsed time.Duration) *Report {
+	rep := &Report{
+		Shape:           string(cfg.Shape),
+		Seed:            cfg.Seed,
+		TargetRPS:       cfg.RPS,
+		DurationSeconds: cfg.Duration.Seconds(),
+		Endpoints:       map[string]EndpointStats{},
+	}
+	if elapsed > 0 {
+		rep.AchievedRPS = float64(len(samples)) / elapsed.Seconds()
+	}
+	byEndpoint := map[string][]sample{}
+	for _, s := range samples {
+		byEndpoint[s.endpoint] = append(byEndpoint[s.endpoint], s)
+	}
+	for name, group := range byEndpoint {
+		rep.Endpoints[name] = foldStats(group)
+	}
+	rep.Overall = foldStats(samples)
+	return rep
+}
+
+func foldStats(group []sample) EndpointStats {
+	var st EndpointStats
+	lat := make([]float64, 0, len(group))
+	sum := 0.0
+	for _, s := range group {
+		st.Requests++
+		switch s.outcome {
+		case outcomeOK:
+			st.OK++
+		case outcomeShed:
+			st.Shed++
+		case outcomeFailed:
+			st.Failed++
+		}
+		ms := s.latency.Seconds() * 1e3
+		lat = append(lat, ms)
+		sum += ms
+	}
+	if len(lat) == 0 {
+		return st
+	}
+	sort.Float64s(lat)
+	st.MeanMS = sum / float64(len(lat))
+	st.P50MS = quantile(lat, 0.50)
+	st.P95MS = quantile(lat, 0.95)
+	st.P99MS = quantile(lat, 0.99)
+	st.MaxMS = lat[len(lat)-1]
+	return st
+}
+
+// quantile interpolates the q-th quantile of an ascending sample set.
+func quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	pos := q * float64(n-1)
+	lo := int(pos)
+	if lo >= n-1 {
+		return sorted[n-1]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo] + (sorted[lo+1]-sorted[lo])*frac
+}
+
+// SnapshotFile is the on-disk format of SLO report files — the same
+// named-snapshot envelope as the quick benchmark's BENCH_1.json, so the
+// repo's perf and latency trajectories read the same way.
+type SnapshotFile struct {
+	Snapshots map[string]Report `json:"snapshots"`
+}
+
+// WriteReportFile stores rep under label in the snapshot file at path,
+// preserving every other label already present.
+func WriteReportFile(path, label string, rep *Report) error {
+	if label == "" {
+		return errors.New("loadgen: empty SLO snapshot label")
+	}
+	var file SnapshotFile
+	raw, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		if err := json.Unmarshal(raw, &file); err != nil {
+			return fmt.Errorf("loadgen: parsing existing snapshot file %s: %w", path, err)
+		}
+	case errors.Is(err, os.ErrNotExist):
+		// First snapshot: start a fresh file.
+	default:
+		return err
+	}
+	if file.Snapshots == nil {
+		file.Snapshots = map[string]Report{}
+	}
+	file.Snapshots[label] = *rep
+	out, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}

@@ -1,0 +1,193 @@
+// Package loadgen is the deterministic open-loop load generator for the
+// PRID serving stack (`prid loadgen` and the make load-smoke gate). It
+// turns a seed, a traffic shape, a target rate, and an endpoint mix into
+// a fixed request plan, drives a live server through the retrying client
+// (internal/serve/client), measures latency from its own send/receive
+// timestamps — the client's view, which is the only latency that counts
+// — and emits a machine-readable SLO report in the same snapshot-file
+// format as the quick benchmark (BENCH_1.json).
+//
+// Open-loop means arrival times are fixed up front rather than gated on
+// responses: a slow server does not slow the generator down, so queueing
+// collapse shows up as latency and shed rate instead of being hidden by
+// a closed feedback loop. With a fixed seed the plan — request count,
+// per-endpoint counts, arrival offsets — is bit-identical across runs;
+// only the measured latencies vary.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"prid/internal/rng"
+)
+
+// Shape names a traffic pattern over the run window.
+type Shape string
+
+const (
+	// ShapeConstant fires at the target rate for the whole window.
+	ShapeConstant Shape = "constant"
+	// ShapeRamp grows linearly from zero to twice the target rate,
+	// averaging the target — the capacity-finding profile.
+	ShapeRamp Shape = "ramp"
+	// ShapeSpike holds half the target rate with an 11x burst through the
+	// middle tenth of the window, averaging the target — the
+	// shed-and-recover profile.
+	ShapeSpike Shape = "spike"
+	// ShapeSoak is the constant profile under its endurance name: same
+	// generator, intended for long windows where leaks and drift show.
+	ShapeSoak Shape = "soak"
+)
+
+// ParseShape validates a shape name from a flag.
+func ParseShape(s string) (Shape, error) {
+	switch Shape(s) {
+	case ShapeConstant, ShapeRamp, ShapeSpike, ShapeSoak:
+		return Shape(s), nil
+	}
+	return "", fmt.Errorf("loadgen: unknown shape %q (constant|ramp|spike|soak)", s)
+}
+
+// Endpoint names in a plan; these are the serving API's idempotent query
+// endpoints the generator exercises.
+const (
+	EndpointPredict      = "predict"
+	EndpointSimilarities = "similarities"
+	EndpointReconstruct  = "reconstruct"
+	EndpointAudit        = "audit"
+)
+
+// Mix weights the endpoints in the generated traffic. Weights are
+// relative (normalized internally); a non-positive weight removes the
+// endpoint from the mix.
+type Mix struct {
+	Predict      float64 `json:"predict"`
+	Similarities float64 `json:"similarities"`
+	Reconstruct  float64 `json:"reconstruct"`
+	Audit        float64 `json:"audit"`
+}
+
+// DefaultMix mirrors a serving deployment's realistic skew: prediction
+// dominates, the attacker/auditor endpoints trail.
+func DefaultMix() Mix {
+	return Mix{Predict: 0.70, Similarities: 0.15, Reconstruct: 0.10, Audit: 0.05}
+}
+
+// cdf flattens the mix into cumulative (weight, endpoint) thresholds for
+// seeded selection. Returns an error when no endpoint has weight.
+func (m Mix) cdf() ([]float64, []string, error) {
+	names := []string{EndpointPredict, EndpointSimilarities, EndpointReconstruct, EndpointAudit}
+	weights := []float64{m.Predict, m.Similarities, m.Reconstruct, m.Audit}
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return nil, nil, fmt.Errorf("loadgen: endpoint mix %+v has no positive weight", m)
+	}
+	var bounds []float64
+	var kept []string
+	acc := 0.0
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		acc += w / total
+		bounds = append(bounds, acc)
+		kept = append(kept, names[i])
+	}
+	bounds[len(bounds)-1] = 1 // absorb rounding so the last bucket always catches
+	return bounds, kept, nil
+}
+
+// PlannedRequest is one arrival in a plan: when to fire (offset from run
+// start) and which endpoint to hit.
+type PlannedRequest struct {
+	At       time.Duration
+	Endpoint string
+}
+
+// Arrivals computes the sorted arrival offsets for a shape at an average
+// rate of rps over d. The count is a pure function of (shape, rps, d).
+func Arrivals(shape Shape, rps float64, d time.Duration) ([]time.Duration, error) {
+	if rps <= 0 {
+		return nil, fmt.Errorf("loadgen: target rate %v must be positive", rps)
+	}
+	if d <= 0 {
+		return nil, fmt.Errorf("loadgen: duration %v must be positive", d)
+	}
+	T := d.Seconds()
+	switch shape {
+	case ShapeConstant, ShapeSoak:
+		return evenSpaced(0, T, rps), nil
+	case ShapeSpike:
+		// Half rate outside the burst, 11x inside the middle tenth:
+		// 0.5·rps·0.9T + 5.5·rps·0.1T = rps·T, so the average holds.
+		var out []time.Duration
+		out = append(out, evenSpaced(0, 0.45*T, 0.5*rps)...)
+		out = append(out, evenSpaced(0.45*T, 0.55*T, 5.5*rps)...)
+		out = append(out, evenSpaced(0.55*T, T, 0.5*rps)...)
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out, nil
+	case ShapeRamp:
+		// Rate 2·rps·t/T; cumulative arrivals A(t) = rps·t²/T. Inverting
+		// A(t)=i places the i-th arrival at sqrt(T·i/rps).
+		n := int(rps*T + 0.5)
+		if n < 1 {
+			n = 1
+		}
+		out := make([]time.Duration, n)
+		for i := range out {
+			out[i] = time.Duration(math.Sqrt(T*float64(i)/rps) * float64(time.Second))
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("loadgen: unknown shape %q", shape)
+}
+
+// evenSpaced emits round(rate·(end-start)) arrivals uniformly across
+// [start, end) seconds.
+func evenSpaced(start, end, rate float64) []time.Duration {
+	n := int(rate*(end-start) + 0.5)
+	if n < 1 && end > start {
+		n = 1
+	}
+	out := make([]time.Duration, n)
+	for i := range out {
+		out[i] = time.Duration((start + float64(i)/rate) * float64(time.Second))
+	}
+	return out
+}
+
+// Plan expands (seed, shape, rps, duration, mix) into the full request
+// schedule. Deterministic: the same inputs yield the same plan, so two
+// runs issue identical request counts per endpoint.
+func Plan(seed uint64, shape Shape, rps float64, d time.Duration, mix Mix) ([]PlannedRequest, error) {
+	at, err := Arrivals(shape, rps, d)
+	if err != nil {
+		return nil, err
+	}
+	bounds, names, err := mix.cdf()
+	if err != nil {
+		return nil, err
+	}
+	src := rng.New(seed)
+	plan := make([]PlannedRequest, len(at))
+	for i, t := range at {
+		u := src.Uniform(0, 1)
+		ep := names[len(names)-1]
+		for j, b := range bounds {
+			if u < b {
+				ep = names[j]
+				break
+			}
+		}
+		plan[i] = PlannedRequest{At: t, Endpoint: ep}
+	}
+	return plan, nil
+}

@@ -115,6 +115,58 @@ func (h *Histogram) Mean() float64 {
 	return h.Sum() / float64(n)
 }
 
+// Quantile estimates the q-quantile (q clamped to [0, 1]) from the
+// bucket counts by linear interpolation inside the bucket holding the
+// rank, assuming observations are spread uniformly within a bucket and
+// that observed values are non-negative (the first bucket interpolates
+// up from zero — true for every duration and size histogram in this
+// repo). A rank landing in the +Inf overflow bucket has no upper edge to
+// interpolate toward, so the largest finite bound is returned as the
+// best lower estimate. Empty histograms report 0.
+//
+// The counts are read with individual atomic loads while Observe may be
+// running concurrently, so the estimate can mix in-flight updates — the
+// same point-in-time looseness Snapshot accepts. It is an observability
+// readout, never a numeric-core input.
+func (h *Histogram) Quantile(q float64) float64 {
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	counts := make([]int64, len(h.counts))
+	var total int64
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+		total += counts[i]
+	}
+	if total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			if i >= len(h.bounds) {
+				// Overflow bucket: unbounded above.
+				return h.bounds[len(h.bounds)-1]
+			}
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			return lower + (h.bounds[i]-lower)*frac
+		}
+		cum += c
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // DurationBuckets covers 100µs … ~100s in roughly 3× steps — wide enough
 // for both a single Encode batch and a paper-scale experiment sweep.
 var DurationBuckets = []float64{

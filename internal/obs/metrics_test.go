@@ -190,3 +190,139 @@ func TestRate(t *testing.T) {
 		t.Fatalf("Rate with zero seconds = %v, want 0", got)
 	}
 }
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("Quantile(%v) on empty histogram = %v, want 0", q, got)
+		}
+	}
+	// No finite bounds at all: nothing to interpolate against.
+	none := newHistogram(nil)
+	none.Observe(42)
+	if got := none.Quantile(0.5); got != 0 {
+		t.Fatalf("Quantile on boundless histogram = %v, want 0", got)
+	}
+}
+
+func TestHistogramQuantileSingleBucket(t *testing.T) {
+	h := newHistogram([]float64{10})
+	for i := 0; i < 100; i++ {
+		h.Observe(5)
+	}
+	// All mass in the one finite bucket [0, 10]: the median interpolates
+	// to its middle, q=1 reaches its upper bound.
+	if got := h.Quantile(0.5); math.Abs(got-5) > 1e-9 {
+		t.Fatalf("median = %v, want 5", got)
+	}
+	if got := h.Quantile(1); math.Abs(got-10) > 1e-9 {
+		t.Fatalf("q=1 = %v, want 10", got)
+	}
+	if got := h.Quantile(0); got < 0 || got > 10 {
+		t.Fatalf("q=0 = %v, want within [0, 10]", got)
+	}
+}
+
+func TestHistogramQuantileAllOverflow(t *testing.T) {
+	h := newHistogram([]float64{1, 2})
+	for i := 0; i < 10; i++ {
+		h.Observe(100) // +Inf bucket
+	}
+	// The overflow bucket has no upper edge: the largest finite bound is
+	// the best (under-)estimate at every rank.
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); math.Abs(got-2) > 1e-9 {
+			t.Fatalf("Quantile(%v) = %v, want the largest finite bound 2", q, got)
+		}
+	}
+}
+
+func TestHistogramQuantileInfBucketBoundary(t *testing.T) {
+	// 90 observations in [0, 1], 10 in the +Inf bucket: p50 interpolates
+	// inside the finite bucket, p99 lands in the overflow and clamps to
+	// the finite edge instead of inventing an upper bound.
+	h := newHistogram([]float64{1})
+	for i := 0; i < 90; i++ {
+		h.Observe(0.5)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(7)
+	}
+	if got := h.Quantile(0.5); math.Abs(got-50.0/90.0) > 1e-9 {
+		t.Fatalf("p50 = %v, want %v", got, 50.0/90.0)
+	}
+	if got := h.Quantile(0.99); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("p99 = %v, want clamp to finite bound 1", got)
+	}
+}
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	// 10 observations ≤1, 10 in (1,2], 20 in (2,4].
+	for i := 0; i < 10; i++ {
+		h.Observe(0.5)
+		h.Observe(1.5)
+		h.Observe(3)
+		h.Observe(3.5)
+	}
+	// rank(0.25) = 10 → exactly the full first bucket → its upper bound.
+	if got := h.Quantile(0.25); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("q=0.25 = %v, want 1", got)
+	}
+	// rank(0.5) = 20 → end of second bucket.
+	if got := h.Quantile(0.5); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("q=0.5 = %v, want 2", got)
+	}
+	// rank(0.75) = 30 → halfway through the (2,4] bucket → 3.
+	if got := h.Quantile(0.75); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("q=0.75 = %v, want 3", got)
+	}
+	// Out-of-range q clamps rather than extrapolating.
+	if got := h.Quantile(2); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("q=2 = %v, want 4", got)
+	}
+	if lo := h.Quantile(-1); lo < 0 || lo > 1 {
+		t.Fatalf("q=-1 = %v, want inside the first bucket", lo)
+	}
+}
+
+func TestHistogramQuantileConcurrentWithObserve(t *testing.T) {
+	// Quantile and Snapshot read bucket counters with atomic loads while
+	// Observe mutates them; this drives all three concurrently so `make
+	// race` proves the claim. Estimates taken mid-flight only need to be
+	// well-formed (finite, within the bucket range), not exact.
+	r := NewRegistry()
+	h := r.Histogram("test.quantile.race", []float64{0.001, 0.01, 0.1, 1})
+	const goroutines, perG = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(i%100) / 50.0)
+			}
+		}(g)
+	}
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				for _, q := range []float64{0.5, 0.95, 0.99} {
+					v := h.Quantile(q)
+					if math.IsNaN(v) || v < 0 || v > 1 {
+						t.Errorf("mid-flight Quantile(%v) = %v out of range", q, v)
+						return
+					}
+				}
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := h.Quantile(1); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("settled q=1 = %v, want the top finite bound 1", got)
+	}
+}

@@ -1,0 +1,277 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Request-scoped tracing: a lightweight per-request trace (request ID +
+// ordered stage marks) carried through context.Context by the serving
+// layer, plus a bounded collection of the slowest completed traces for
+// /debug/requests. Unlike Span — which models the sequential pipeline
+// phases of a CLI run — a ReqTrace is owned by one request and may be
+// marked from a helper goroutine (the micro-batcher records the
+// queue-wait and service stages), so every mutation goes through a small
+// mutex. The stage slice is allocated once at construction and never
+// grows past its fixed capacity, keeping the per-request cost to one
+// allocation and a handful of short critical sections.
+
+// reqTraceMaxStages bounds the marks one trace retains. The serving
+// pipeline records at most four (admission, batch queue, service,
+// write); the headroom is for future stages, and overflow marks are
+// dropped rather than grown into.
+const reqTraceMaxStages = 8
+
+// reqIDPrefix distinguishes request IDs across process restarts: the
+// low bits of the process start time, fixed at init. Request IDs are
+// operational correlation handles, not part of any numeric result, so
+// the wall-clock read is sanctioned.
+var reqIDPrefix = uint32(time.Now().UnixNano()) //pridlint:allow determinism request-ID prefix is operational correlation state, never a numeric input
+
+// reqIDSeq is the per-process request sequence number.
+var reqIDSeq atomic.Uint64
+
+// NewRequestID returns a process-unique request ID, cheap enough to mint
+// per request: an 8-hex-digit per-process prefix plus a sequence number.
+func NewRequestID() string {
+	return fmt.Sprintf("%08x-%06d", reqIDPrefix, reqIDSeq.Add(1))
+}
+
+// ReqStage is one recorded stage boundary: the named stage ended at
+// Offset from the trace start. Stage durations are the deltas between
+// consecutive offsets (the first stage starts at zero).
+type ReqStage struct {
+	Name   string
+	Offset time.Duration
+}
+
+// ReqTrace is one request's trace. Construct with NewReqTrace, Mark the
+// end of each stage as the request moves through the pipeline, Finish
+// when the response is written. All methods are safe for concurrent use
+// and nil-safe, so instrumentation points need no guards.
+type ReqTrace struct {
+	id       string
+	endpoint string
+	start    time.Time
+
+	mu     sync.Mutex
+	stages []ReqStage
+	total  time.Duration
+	done   bool
+}
+
+// NewReqTrace starts a trace for one request on the named endpoint.
+func NewReqTrace(id, endpoint string) *ReqTrace {
+	return &ReqTrace{
+		id:       id,
+		endpoint: endpoint,
+		start:    time.Now(),
+		stages:   make([]ReqStage, 0, reqTraceMaxStages),
+	}
+}
+
+// ID returns the request ID the trace was created with.
+func (t *ReqTrace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Endpoint returns the endpoint name the trace was created for.
+func (t *ReqTrace) Endpoint() string {
+	if t == nil {
+		return ""
+	}
+	return t.endpoint
+}
+
+// Mark records that the named stage ended now. Marks after Finish or
+// past the stage capacity are dropped — a request whose batch work
+// completes after the client gave up must not mutate a finished trace.
+func (t *ReqTrace) Mark(stage string) {
+	if t == nil {
+		return
+	}
+	off := time.Since(t.start)
+	t.mu.Lock()
+	if !t.done && len(t.stages) < cap(t.stages) {
+		t.stages = append(t.stages, ReqStage{Name: stage, Offset: off})
+	}
+	t.mu.Unlock()
+}
+
+// Finish fixes the trace's total duration and freezes its stages.
+// Finishing twice keeps the first total.
+func (t *ReqTrace) Finish() {
+	if t == nil {
+		return
+	}
+	total := time.Since(t.start)
+	t.mu.Lock()
+	if !t.done {
+		t.done = true
+		t.total = total
+	}
+	t.mu.Unlock()
+}
+
+// Total returns the finished duration (the running duration if Finish
+// has not been called yet).
+func (t *ReqTrace) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.done {
+		return time.Since(t.start)
+	}
+	return t.total
+}
+
+// ReqStageSnapshot is the JSON form of one stage: when it ended (offset
+// from the request start) and how long it took (delta from the previous
+// stage's end).
+type ReqStageSnapshot struct {
+	Name       string  `json:"name"`
+	EndMS      float64 `json:"end_ms"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// ReqTraceSnapshot is the JSON form of one request trace, what
+// /debug/requests serves.
+type ReqTraceSnapshot struct {
+	ID       string             `json:"id"`
+	Endpoint string             `json:"endpoint"`
+	Start    time.Time          `json:"start"`
+	TotalMS  float64            `json:"total_ms"`
+	Stages   []ReqStageSnapshot `json:"stages,omitempty"`
+}
+
+// Snapshot copies the trace into its JSON form, deriving per-stage
+// durations from the consecutive mark offsets.
+func (t *ReqTrace) Snapshot() ReqTraceSnapshot {
+	if t == nil {
+		return ReqTraceSnapshot{}
+	}
+	t.mu.Lock()
+	stages := append([]ReqStage(nil), t.stages...)
+	total := t.total
+	if !t.done {
+		total = time.Since(t.start)
+	}
+	t.mu.Unlock()
+	snap := ReqTraceSnapshot{
+		ID:       t.id,
+		Endpoint: t.endpoint,
+		Start:    t.start,
+		TotalMS:  float64(total) / float64(time.Millisecond),
+	}
+	prev := time.Duration(0)
+	for _, s := range stages {
+		snap.Stages = append(snap.Stages, ReqStageSnapshot{
+			Name:       s.Name,
+			EndMS:      float64(s.Offset) / float64(time.Millisecond),
+			DurationMS: float64(s.Offset-prev) / float64(time.Millisecond),
+		})
+		prev = s.Offset
+	}
+	return snap
+}
+
+// reqTraceKey is the context key ReqTrace rides under.
+type reqTraceKey struct{}
+
+// ContextWithReqTrace returns ctx carrying tr.
+func ContextWithReqTrace(ctx context.Context, tr *ReqTrace) context.Context {
+	return context.WithValue(ctx, reqTraceKey{}, tr)
+}
+
+// ReqTraceFrom returns the trace carried by ctx, or nil. The nil result
+// composes with the nil-safe ReqTrace methods, so instrumentation points
+// in paths that may run without a trace stay unconditional.
+func ReqTraceFrom(ctx context.Context) *ReqTrace {
+	tr, _ := ctx.Value(reqTraceKey{}).(*ReqTrace)
+	return tr
+}
+
+// TraceRing retains the N slowest completed request traces — the
+// bounded evidence buffer behind /debug/requests. Record is O(N) with N
+// small (default 32), under one short mutex hold; it is a pressure
+// gauge, not a hot-path structure.
+type TraceRing struct {
+	mu       sync.Mutex
+	capacity int
+	traces   []*ReqTrace
+	recorded int64
+}
+
+// NewTraceRing returns a ring retaining the n slowest traces (n < 1 is
+// raised to 1).
+func NewTraceRing(n int) *TraceRing {
+	if n < 1 {
+		n = 1
+	}
+	return &TraceRing{capacity: n}
+}
+
+// Record offers a finished trace to the ring: it is kept if the ring has
+// room or if it is slower than the current fastest resident, which it
+// then evicts.
+func (r *TraceRing) Record(tr *ReqTrace) {
+	if tr == nil {
+		return
+	}
+	total := tr.Total()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.recorded++
+	if len(r.traces) < r.capacity {
+		r.traces = append(r.traces, tr)
+		return
+	}
+	min := 0
+	for i := 1; i < len(r.traces); i++ {
+		if r.traces[i].Total() < r.traces[min].Total() {
+			min = i
+		}
+	}
+	if total > r.traces[min].Total() {
+		r.traces[min] = tr
+	}
+}
+
+// Recorded returns how many traces have been offered to the ring.
+func (r *TraceRing) Recorded() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.recorded
+}
+
+// TraceRingSnapshot is the JSON form of the ring: how many requests were
+// seen, how many traces are retained, and the residents sorted
+// slowest-first.
+type TraceRingSnapshot struct {
+	Recorded int64              `json:"recorded"`
+	Capacity int                `json:"capacity"`
+	Slowest  []ReqTraceSnapshot `json:"slowest"`
+}
+
+// Snapshot copies the ring, slowest trace first.
+func (r *TraceRing) Snapshot() TraceRingSnapshot {
+	r.mu.Lock()
+	traces := append([]*ReqTrace(nil), r.traces...)
+	snap := TraceRingSnapshot{Recorded: r.recorded, Capacity: r.capacity}
+	r.mu.Unlock()
+	snap.Slowest = make([]ReqTraceSnapshot, 0, len(traces))
+	for _, t := range traces {
+		snap.Slowest = append(snap.Slowest, t.Snapshot())
+	}
+	sort.Slice(snap.Slowest, func(i, j int) bool { return snap.Slowest[i].TotalMS > snap.Slowest[j].TotalMS })
+	return snap
+}

@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNewRequestIDUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewRequestID()
+		if seen[id] {
+			t.Fatalf("duplicate request ID %q", id)
+		}
+		if !strings.Contains(id, "-") {
+			t.Fatalf("request ID %q missing prefix separator", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestReqTraceStagesAndSnapshot(t *testing.T) {
+	tr := NewReqTrace("req-1", "predict")
+	tr.Mark("admitted")
+	tr.Mark("batch_queue")
+	tr.Mark("predict")
+	tr.Finish()
+
+	snap := tr.Snapshot()
+	if snap.ID != "req-1" || snap.Endpoint != "predict" {
+		t.Fatalf("snapshot identity = %q/%q", snap.ID, snap.Endpoint)
+	}
+	if len(snap.Stages) != 3 {
+		t.Fatalf("got %d stages, want 3", len(snap.Stages))
+	}
+	names := []string{"admitted", "batch_queue", "predict"}
+	prevEnd := 0.0
+	for i, s := range snap.Stages {
+		if s.Name != names[i] {
+			t.Errorf("stage %d = %q, want %q", i, s.Name, names[i])
+		}
+		if s.EndMS < prevEnd {
+			t.Errorf("stage %d end %.3fms before previous %.3fms", i, s.EndMS, prevEnd)
+		}
+		if s.DurationMS < 0 {
+			t.Errorf("stage %d negative duration %.3fms", i, s.DurationMS)
+		}
+		if want := s.EndMS - prevEnd; !approx(s.DurationMS, want) {
+			t.Errorf("stage %d duration %.6f, want end-delta %.6f", i, s.DurationMS, want)
+		}
+		prevEnd = s.EndMS
+	}
+	if snap.TotalMS < prevEnd {
+		t.Errorf("total %.3fms shorter than last stage end %.3fms", snap.TotalMS, prevEnd)
+	}
+}
+
+func approx(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+func TestReqTraceFinishFreezes(t *testing.T) {
+	tr := NewReqTrace("req-2", "audit")
+	tr.Finish()
+	total := tr.Total()
+	tr.Mark("late") // must be dropped: the request already answered
+	time.Sleep(time.Millisecond)
+	tr.Finish() // second Finish keeps the first total
+	if got := tr.Total(); got != total {
+		t.Fatalf("total changed after second Finish: %v -> %v", total, got)
+	}
+	if n := len(tr.Snapshot().Stages); n != 0 {
+		t.Fatalf("late mark retained: %d stages", n)
+	}
+}
+
+func TestReqTraceStageCapacity(t *testing.T) {
+	tr := NewReqTrace("req-3", "predict")
+	for i := 0; i < reqTraceMaxStages+5; i++ {
+		tr.Mark("stage")
+	}
+	if n := len(tr.Snapshot().Stages); n != reqTraceMaxStages {
+		t.Fatalf("retained %d stages, want cap %d", n, reqTraceMaxStages)
+	}
+}
+
+func TestReqTraceNilSafe(t *testing.T) {
+	var tr *ReqTrace
+	tr.Mark("x")
+	tr.Finish()
+	if tr.Total() != 0 || tr.ID() != "" || tr.Endpoint() != "" {
+		t.Fatal("nil trace accessors must return zero values")
+	}
+	if snap := tr.Snapshot(); snap.ID != "" || len(snap.Stages) != 0 {
+		t.Fatal("nil trace snapshot must be empty")
+	}
+}
+
+func TestReqTraceContextRoundTrip(t *testing.T) {
+	if got := ReqTraceFrom(context.Background()); got != nil {
+		t.Fatalf("empty context carried trace %v", got)
+	}
+	tr := NewReqTrace("req-4", "similarities")
+	ctx := ContextWithReqTrace(context.Background(), tr)
+	if got := ReqTraceFrom(ctx); got != tr {
+		t.Fatalf("context round-trip returned %v, want %v", got, tr)
+	}
+}
+
+func TestReqTraceConcurrentMarks(t *testing.T) {
+	// A request goroutine and a batcher goroutine may mark the same
+	// trace; a client-abandoned request may even race Finish against a
+	// late Mark. The race detector run (make race) is the real check —
+	// this test just drives the interleavings.
+	tr := NewReqTrace("req-5", "predict")
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Mark("stage")
+				_ = tr.Total()
+				_ = tr.Snapshot()
+			}
+		}()
+	}
+	tr.Finish()
+	wg.Wait()
+}
+
+func TestTraceRingKeepsSlowest(t *testing.T) {
+	ring := NewTraceRing(3)
+	mk := func(id string, total time.Duration) *ReqTrace {
+		tr := NewReqTrace(id, "predict")
+		tr.mu.Lock()
+		tr.done = true
+		tr.total = total
+		tr.mu.Unlock()
+		return tr
+	}
+	for i, d := range []time.Duration{5, 1, 9, 3, 7, 2} {
+		ring.Record(mk(string(rune('a'+i)), d*time.Millisecond))
+	}
+	snap := ring.Snapshot()
+	if snap.Recorded != 6 || snap.Capacity != 3 {
+		t.Fatalf("recorded/capacity = %d/%d, want 6/3", snap.Recorded, snap.Capacity)
+	}
+	if len(snap.Slowest) != 3 {
+		t.Fatalf("retained %d traces, want 3", len(snap.Slowest))
+	}
+	// The three slowest were 9, 7, 5ms, in descending order.
+	want := []float64{9, 7, 5}
+	for i, s := range snap.Slowest {
+		if !approx(s.TotalMS, want[i]) {
+			t.Errorf("slowest[%d] = %.3fms, want %.0fms", i, s.TotalMS, want[i])
+		}
+	}
+}
+
+func TestTraceRingSnapshotJSON(t *testing.T) {
+	ring := NewTraceRing(2)
+	tr := NewReqTrace("req-json", "audit")
+	tr.Mark("admitted")
+	tr.Finish()
+	ring.Record(tr)
+	raw, err := json.Marshal(ring.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back TraceRingSnapshot
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Slowest) != 1 || back.Slowest[0].ID != "req-json" {
+		t.Fatalf("JSON round trip lost the trace: %s", raw)
+	}
+}
+
+func TestTraceRingConcurrentRecord(t *testing.T) {
+	ring := NewTraceRing(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tr := NewReqTrace(NewRequestID(), "predict")
+				tr.Finish()
+				ring.Record(tr)
+				_ = ring.Snapshot()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := ring.Recorded(); got != 200 {
+		t.Fatalf("recorded %d, want 200", got)
+	}
+}

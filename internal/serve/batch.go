@@ -5,6 +5,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"prid/internal/obs"
 )
 
 // ErrBatcherClosed is returned by Predict after Close — in practice only
@@ -41,6 +43,12 @@ type batcher struct {
 type batchReq struct {
 	x   []float64
 	out chan batchResult
+	// enqueued is when Predict submitted the request; the delta to the
+	// batch-fn start is the queue wait micro-batching charged it.
+	enqueued time.Time
+	// tr is the submitting request's trace (nil when the caller carries
+	// none); the batcher marks the queue and predict stages on it.
+	tr *obs.ReqTrace
 }
 
 type batchResult struct {
@@ -67,7 +75,12 @@ func newBatcher(fn predictFn, window time.Duration, maxBatch int) *batcher {
 // Predict submits one row and blocks until its batch is classified, the
 // context expires, or the batcher closes.
 func (b *batcher) Predict(ctx context.Context, x []float64) (int, error) {
-	req := &batchReq{x: x, out: make(chan batchResult, 1)}
+	req := &batchReq{
+		x:        x,
+		out:      make(chan batchResult, 1),
+		enqueued: time.Now(),
+		tr:       obs.ReqTraceFrom(ctx),
+	}
 	b.mu.RLock()
 	if b.closed {
 		b.mu.RUnlock()
@@ -137,11 +150,14 @@ func (b *batcher) flush(batch []*batchReq) {
 	rows := make([][]float64, len(batch))
 	for i, req := range batch {
 		rows[i] = req.x
+		req.tr.Mark(stageBatchQueue)
 	}
 	start := time.Now()
+	observeBatch(batch, start)
 	classes, err := b.fn(rows)
-	observeBatch(start, len(batch))
+	metricBatchServiceSeconds.ObserveSince(start)
 	for i, req := range batch {
+		req.tr.Mark(stagePredict)
 		if err != nil {
 			req.out <- batchResult{err: err}
 			continue

@@ -240,6 +240,10 @@ type call struct {
 	method, path string
 	in, out      any
 	idempotent   bool
+	// requestID is minted once per logical call in do and sent as
+	// X-Request-ID on every attempt, so the server-side log lines and
+	// /debug/requests traces of all retries of one call correlate.
+	requestID string
 }
 
 // StatusError is a non-200 reply, preserving the server's error envelope
@@ -301,6 +305,7 @@ func (c *Client) do(ctx context.Context, op call) error {
 		ctx, cancel = context.WithTimeout(ctx, c.cfg.CallTimeout)
 		defer cancel()
 	}
+	op.requestID = obs.NewRequestID()
 	attempts := 0
 	var lastErr error
 	for {
@@ -331,7 +336,8 @@ func (c *Client) do(ctx context.Context, op call) error {
 			delay = retryAfter
 		}
 		metricRetries.Inc()
-		logger.Debug("retrying", "path", op.path, "attempt", attempts, "delay", delay, "err", err)
+		logger.Debug("retrying", "path", op.path, "req_id", op.requestID,
+			"attempt", attempts, "delay", delay, "err", err)
 		if serr := c.cfg.Clock.Sleep(ctx, delay); serr != nil {
 			return c.giveUp(op, attempts, errors.Join(lastErr, serr))
 		}
@@ -382,6 +388,9 @@ func (c *Client) once(ctx context.Context, op call) error {
 	}
 	if op.in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	if op.requestID != "" {
+		req.Header.Set("X-Request-ID", op.requestID)
 	}
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {

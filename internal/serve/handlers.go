@@ -9,28 +9,39 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"sync"
+	"time"
+
+	"prid/internal/obs"
 )
 
 // maxBodyBytes caps request bodies (64 MB): audit requests legitimately
 // carry train sets, everything else is far smaller.
 const maxBodyBytes = 1 << 26
 
-// apiError is the JSON error envelope every endpoint uses.
+// apiError is the JSON error envelope every endpoint uses. RequestID
+// carries the request's X-Request-ID so a failure in a client log, a
+// chaos-smoke transcript, or a loadgen report can be matched to the
+// server-side slog line and /debug/requests trace for the same request.
 type apiError struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 // writeError emits the JSON error envelope with the given status and
 // returns err so handlers can `return writeError(...)` in one line.
-func writeError(w http.ResponseWriter, status int, err error) error {
+func writeError(w http.ResponseWriter, r *http.Request, status int, err error) error {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(apiError{Error: err.Error()}) //pridlint:allow errdrop the status line is already committed; the returned err IS the response
+	body := apiError{Error: err.Error(), RequestID: obs.ReqTraceFrom(r.Context()).ID()}
+	json.NewEncoder(w).Encode(body) //pridlint:allow errdrop the status line is already committed; the returned err IS the response
 	return err
 }
 
-// writeJSON emits a 200 with the JSON body.
-func writeJSON(w http.ResponseWriter, v any) error {
+// writeJSON emits a 200 with the JSON body, marking the end of the
+// request's service stage first so the trace splits handler compute from
+// response serialization.
+func writeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	obs.ReqTraceFrom(r.Context()).Mark(stageService)
 	w.Header().Set("Content-Type", "application/json")
 	return json.NewEncoder(w).Encode(v)
 }
@@ -76,20 +87,20 @@ func checkFiniteRows(rows [][]float64, field string) error {
 func requireMethod(w http.ResponseWriter, r *http.Request, method string) error {
 	if r.Method != method {
 		w.Header().Set("Allow", method)
-		return writeError(w, http.StatusMethodNotAllowed,
+		return writeError(w, r, http.StatusMethodNotAllowed,
 			fmt.Errorf("%s requires %s, got %s", r.URL.Path, method, r.Method))
 	}
 	return nil
 }
 
 // lookup resolves the named model, answering 404 itself on a miss.
-func (s *Server) lookup(w http.ResponseWriter, name string) (*entry, error) {
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request, name string) (*entry, error) {
 	if name == "" {
-		return nil, writeError(w, http.StatusBadRequest, errors.New(`missing "model" field`))
+		return nil, writeError(w, r, http.StatusBadRequest, errors.New(`missing "model" field`))
 	}
 	e, ok := s.reg.Get(name)
 	if !ok {
-		return nil, writeError(w, http.StatusNotFound, fmt.Errorf("unknown model %q", name))
+		return nil, writeError(w, r, http.StatusNotFound, fmt.Errorf("unknown model %q", name))
 	}
 	return e, nil
 }
@@ -104,7 +115,7 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) error {
 	if err := requireMethod(w, r, http.MethodGet); err != nil {
 		return err
 	}
-	return writeJSON(w, modelsResponse{Models: s.reg.List()})
+	return writeJSON(w, r, modelsResponse{Models: s.reg.List()})
 }
 
 // --- POST /v1/models/reload -------------------------------------------
@@ -119,9 +130,9 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) error {
 	}
 	n, err := s.reg.Reload()
 	if err != nil {
-		return writeError(w, http.StatusInternalServerError, err)
+		return writeError(w, r, http.StatusInternalServerError, err)
 	}
-	return writeJSON(w, reloadResponse{Reloaded: n})
+	return writeJSON(w, r, reloadResponse{Reloaded: n})
 }
 
 // --- POST /v1/predict -------------------------------------------------
@@ -145,28 +156,28 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) error {
 	}
 	var req predictRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		return writeError(w, http.StatusBadRequest, err)
+		return writeError(w, r, http.StatusBadRequest, err)
 	}
 	if (len(req.Inputs) == 0) == (len(req.Input) == 0) {
-		return writeError(w, http.StatusBadRequest,
+		return writeError(w, r, http.StatusBadRequest,
 			errors.New(`exactly one of "input" and "inputs" must be set`))
 	}
 	rows, field := req.Inputs, "inputs"
 	if len(rows) == 0 {
 		rows, field = [][]float64{req.Input}, "input"
 	}
-	e, err := s.lookup(w, req.Model)
+	e, err := s.lookup(w, r, req.Model)
 	if err != nil {
 		return err
 	}
 	for i, row := range rows {
 		if len(row) != e.info.Features {
-			return writeError(w, http.StatusBadRequest,
+			return writeError(w, r, http.StatusBadRequest,
 				fmt.Errorf("input %d has %d features, model %q expects %d", i, len(row), req.Model, e.info.Features))
 		}
 	}
 	if err := checkFiniteRows(rows, field); err != nil {
-		return writeError(w, http.StatusBadRequest, err)
+		return writeError(w, r, http.StatusBadRequest, err)
 	}
 
 	// Large requests are already a full batch — run them straight through
@@ -174,9 +185,11 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) error {
 	// concurrent callers share encode fan-out.
 	var classes []int
 	if len(rows) >= s.cfg.BatchMax {
+		start := time.Now()
 		classes, err = e.model.PredictBatch(rows)
 		if err == nil {
-			observeBatchDirect(len(rows))
+			observeBatchDirect(len(rows), time.Since(start))
+			obs.ReqTraceFrom(r.Context()).Mark(stagePredict)
 		}
 	} else {
 		classes, err = s.predictBatched(r, e, rows)
@@ -186,9 +199,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) error {
 		if r.Context().Err() != nil || errors.Is(err, ErrBatcherClosed) {
 			status = http.StatusServiceUnavailable
 		}
-		return writeError(w, status, err)
+		return writeError(w, r, status, err)
 	}
-	return writeJSON(w, predictResponse{Model: req.Model, Predictions: classes})
+	return writeJSON(w, r, predictResponse{Model: req.Model, Predictions: classes})
 }
 
 // predictBatched pushes each row through the entry's micro-batcher
@@ -227,18 +240,18 @@ func (s *Server) handleSimilarities(w http.ResponseWriter, r *http.Request) erro
 	}
 	var req similaritiesRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		return writeError(w, http.StatusBadRequest, err)
+		return writeError(w, r, http.StatusBadRequest, err)
 	}
-	e, err := s.lookup(w, req.Model)
+	e, err := s.lookup(w, r, req.Model)
 	if err != nil {
 		return err
 	}
 	if err := checkFiniteRow(req.Input, "input"); err != nil {
-		return writeError(w, http.StatusBadRequest, err)
+		return writeError(w, r, http.StatusBadRequest, err)
 	}
 	sims, err := e.model.Similarities(req.Input)
 	if err != nil {
-		return writeError(w, http.StatusBadRequest, err)
+		return writeError(w, r, http.StatusBadRequest, err)
 	}
 	best := 0
 	for i, v := range sims {
@@ -246,7 +259,7 @@ func (s *Server) handleSimilarities(w http.ResponseWriter, r *http.Request) erro
 			best = i
 		}
 	}
-	return writeJSON(w, similaritiesResponse{Model: req.Model, Class: best, Similarities: sims})
+	return writeJSON(w, r, similaritiesResponse{Model: req.Model, Class: best, Similarities: sims})
 }
 
 // --- POST /v1/reconstruct ---------------------------------------------
@@ -273,9 +286,9 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) error
 	}
 	var req reconstructRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		return writeError(w, http.StatusBadRequest, err)
+		return writeError(w, r, http.StatusBadRequest, err)
 	}
-	e, err := s.lookup(w, req.Model)
+	e, err := s.lookup(w, r, req.Model)
 	if err != nil {
 		return err
 	}
@@ -283,17 +296,17 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) error
 	// otherwise propagate through every masked-similarity probe of the
 	// reconstruction loop instead of failing at the boundary.
 	if err := checkFiniteRow(req.Query, "query"); err != nil {
-		return writeError(w, http.StatusBadRequest, err)
+		return writeError(w, r, http.StatusBadRequest, err)
 	}
 	a, err := e.Attacker()
 	if err != nil {
-		return writeError(w, http.StatusInternalServerError, err)
+		return writeError(w, r, http.StatusInternalServerError, err)
 	}
 	recon, err := a.Reconstruct(req.Query)
 	if err != nil {
-		return writeError(w, http.StatusBadRequest, err)
+		return writeError(w, r, http.StatusBadRequest, err)
 	}
-	return writeJSON(w, reconstructResponse{
+	return writeJSON(w, r, reconstructResponse{
 		Model:      req.Model,
 		Class:      recon.Class,
 		Similarity: recon.Similarity,
@@ -325,25 +338,25 @@ func (s *Server) handleAuditLeakage(w http.ResponseWriter, r *http.Request) erro
 	}
 	var req auditRequest
 	if err := decodeBody(w, r, &req); err != nil {
-		return writeError(w, http.StatusBadRequest, err)
+		return writeError(w, r, http.StatusBadRequest, err)
 	}
-	e, err := s.lookup(w, req.Model)
+	e, err := s.lookup(w, r, req.Model)
 	if err != nil {
 		return err
 	}
 	// Both payloads feed the reconstruction loop and the leakage metric;
 	// reject non-finite values field-by-field like every other endpoint.
 	if err := checkFiniteRows(req.Train, "train"); err != nil {
-		return writeError(w, http.StatusBadRequest, err)
+		return writeError(w, r, http.StatusBadRequest, err)
 	}
 	if err := checkFiniteRows(req.Queries, "queries"); err != nil {
-		return writeError(w, http.StatusBadRequest, err)
+		return writeError(w, r, http.StatusBadRequest, err)
 	}
 	leak, err := e.model.AuditLeakage(req.Train, req.Queries)
 	if err != nil {
-		return writeError(w, http.StatusBadRequest, err)
+		return writeError(w, r, http.StatusBadRequest, err)
 	}
-	return writeJSON(w, auditResponse{Model: req.Model, Leakage: leak, Queries: len(req.Queries)})
+	return writeJSON(w, r, auditResponse{Model: req.Model, Leakage: leak, Queries: len(req.Queries)})
 }
 
 // --- debug ------------------------------------------------------------
@@ -359,10 +372,14 @@ func registerDebug(mux *http.ServeMux) {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 }
 
-// observeBatchDirect records a bypass batch (a request that was already
-// batch-sized) in the same batch metrics.
-func observeBatchDirect(size int) {
-	metricBatchSize.Observe(float64(size))
-	metricBatchLast.Set(float64(size))
-	metricBatchRows.Add(int64(size))
+// handleDebugRequests serves the bounded ring of slowest request traces
+// as JSON: request ID, endpoint, total latency, and the per-stage
+// breakdown (admission wait, batch queue wait, service, write). It is
+// mounted beside /debug/vars — the per-request view the aggregate
+// histograms cannot give.
+func (s *Server) handleDebugRequests(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.slow.Snapshot()) //pridlint:allow errdrop debug readout; a write failure has no in-band recovery
 }

@@ -20,10 +20,15 @@ var (
 	// Batching: per-batch row-count distribution plus the last size as a
 	// gauge. serve.batch.size buckets of 1 prove single-request batches;
 	// anything landing above the 1-bucket is cross-request micro-batching.
-	metricBatchSize    = obs.GetHistogram("serve.batch.size", obs.ExponentialBuckets(1, 2, 10))
-	metricBatchLast    = obs.GetGauge("serve.batch.last_size")
-	metricBatchRows    = obs.GetCounter("serve.batch.rows")
-	metricBatchSeconds = obs.GetHistogram("serve.batch.seconds", nil)
+	// Queue vs service split: queue_seconds is per request (enqueue →
+	// batch-fn start, the latency cost micro-batching charges a request),
+	// service_seconds is per batch (the fn execution those requests then
+	// share).
+	metricBatchSize           = obs.GetHistogram("serve.batch.size", obs.ExponentialBuckets(1, 2, 10))
+	metricBatchLast           = obs.GetGauge("serve.batch.last_size")
+	metricBatchRows           = obs.GetCounter("serve.batch.rows")
+	metricBatchQueueSeconds   = obs.GetHistogram("serve.batch.queue_seconds", nil)
+	metricBatchServiceSeconds = obs.GetHistogram("serve.batch.service_seconds", nil)
 
 	// Admission control and resilience. metricShed counts tiered
 	// load-shedding rejections per endpoint (capacity rejections land in
@@ -51,12 +56,38 @@ func init() {
 	}
 }
 
-// observeBatch records one flushed predict batch.
-func observeBatch(start time.Time, size int) {
+// Stage names of the request trace, in pipeline order. Each Mark records
+// the END of the named stage, so the /debug/requests breakdown reads as
+// consecutive deltas: admission wait, micro-batch queue wait, predict
+// (batch-fn) execution, handler service, response write.
+const (
+	stageAdmitted   = "admitted"
+	stageBatchQueue = "batch_queue"
+	stagePredict    = "predict"
+	stageService    = "service"
+	stageWrite      = "write"
+)
+
+// observeBatch records one flushed predict batch: the size metrics, the
+// batch-fn service time, and each member request's queue wait (both the
+// histogram and its trace's stage mark).
+func observeBatch(batch []*batchReq, start time.Time) {
+	size := len(batch)
 	metricBatchSize.Observe(float64(size))
 	metricBatchLast.Set(float64(size))
 	metricBatchRows.Add(int64(size))
-	metricBatchSeconds.ObserveSince(start)
+	for _, req := range batch {
+		metricBatchQueueSeconds.Observe(start.Sub(req.enqueued).Seconds())
+	}
+}
+
+// observeBatchDirect records a bypass batch (a request that was already
+// batch-sized): no queue wait, service time measured by the caller.
+func observeBatchDirect(size int, service time.Duration) {
+	metricBatchSize.Observe(float64(size))
+	metricBatchLast.Set(float64(size))
+	metricBatchRows.Add(int64(size))
+	metricBatchServiceSeconds.Observe(service.Seconds())
 }
 
 // observeRequest records one completed request on endpoint name.

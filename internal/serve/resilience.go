@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+
+	"prid/internal/obs"
 )
 
 // maxRetryAfter caps the adaptive Retry-After hint (seconds).
@@ -59,8 +61,9 @@ func shedThreshold(name string, max int) int {
 
 // reject answers a 503 with the adaptive Retry-After hint and records it
 // in the endpoint's request/error counters plus the shed-or-rejected
-// counter.
-func (s *Server) reject(w http.ResponseWriter, name string, depth int, shed bool, err error) {
+// counter. The error body carries the request ID assigned upstream, so a
+// shed request stays correlatable in client logs.
+func (s *Server) reject(w http.ResponseWriter, r *http.Request, name string, depth int, shed bool, err error) {
 	if shed {
 		metricShed[name].Inc()
 	} else {
@@ -69,7 +72,7 @@ func (s *Server) reject(w http.ResponseWriter, name string, depth int, shed bool
 	metricRequests[name].Inc()
 	metricErrors[name].Inc()
 	w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfterSeconds(depth, s.cfg.MaxInFlight)))
-	writeError(w, http.StatusServiceUnavailable, err) //pridlint:allow errdrop response already committed; the rejection itself is the signal
+	writeError(w, r, http.StatusServiceUnavailable, err) //pridlint:allow errdrop response already committed; the rejection itself is the signal
 }
 
 // recovery converts a handler panic into a 500 JSON error so one
@@ -87,8 +90,9 @@ func (s *Server) recovery(name string, next http.Handler) http.Handler {
 				}
 				metricPanics.Inc()
 				metricErrors[name].Inc()
-				logger.Error("handler panic recovered", "endpoint", name, "panic", p)
-				writeError(w, http.StatusInternalServerError, //pridlint:allow errdrop response already committed; the panic is already logged and counted
+				logger.Error("handler panic recovered", "endpoint", name,
+					"req_id", obs.ReqTraceFrom(r.Context()).ID(), "panic", p)
+				writeError(w, r, http.StatusInternalServerError, //pridlint:allow errdrop response already committed; the panic is already logged and counted
 					fmt.Errorf("internal error: recovered from panic: %v", p))
 			}
 		}()
@@ -104,9 +108,9 @@ func (s *Server) recovery(name string, next http.Handler) http.Handler {
 func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case s.draining.Load():
-		writeError(w, http.StatusServiceUnavailable, errors.New("draining")) //pridlint:allow errdrop probe response; the balancer only reads the status code
+		writeError(w, r, http.StatusServiceUnavailable, errors.New("draining")) //pridlint:allow errdrop probe response; the balancer only reads the status code
 	case s.reg.Len() == 0:
-		writeError(w, http.StatusServiceUnavailable, errors.New("no models loaded")) //pridlint:allow errdrop probe response; the balancer only reads the status code
+		writeError(w, r, http.StatusServiceUnavailable, errors.New("no models loaded")) //pridlint:allow errdrop probe response; the balancer only reads the status code
 	default:
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "ready %d models\n", s.reg.Len()) //pridlint:allow errdrop probe response; a write failure has no in-band recovery

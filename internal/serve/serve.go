@@ -49,6 +49,9 @@ type Config struct {
 	// RequestTimeout bounds one request's total processing time
 	// (default 30s; audits over large probe sets are the slow case).
 	RequestTimeout time.Duration
+	// SlowTraces is how many of the slowest request traces /debug/requests
+	// retains (default 32).
+	SlowTraces int
 	// Injector, when non-nil, wraps every /v1 endpoint with the
 	// deterministic chaos middleware (site = the endpoint's short name:
 	// "predict", "models", ...). Used by `prid serve --chaos` and the
@@ -72,6 +75,9 @@ func (c Config) withDefaults() Config {
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 30 * time.Second
 	}
+	if c.SlowTraces <= 0 {
+		c.SlowTraces = 32
+	}
 	return c
 }
 
@@ -83,6 +89,10 @@ type Server struct {
 	srv *http.Server
 	ln  net.Listener
 	sem chan struct{}
+	// slow retains the slowest completed request traces for
+	// /debug/requests — the per-request latency evidence the aggregate
+	// histograms cannot show.
+	slow *obs.TraceRing
 	// draining flips when Shutdown begins; /readyz reports 503 from then
 	// on so balancers stop routing here while in-flight work finishes.
 	draining atomic.Bool
@@ -92,8 +102,9 @@ type Server struct {
 func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg: cfg,
-		sem: make(chan struct{}, cfg.MaxInFlight),
+		cfg:  cfg,
+		sem:  make(chan struct{}, cfg.MaxInFlight),
+		slow: obs.NewTraceRing(cfg.SlowTraces),
 	}
 	s.reg = NewRegistry(func(m *prid.Model) *batcher {
 		return newBatcher(m.PredictBatch, cfg.BatchWindow, cfg.BatchMax)
@@ -109,6 +120,7 @@ func NewServer(cfg Config) *Server {
 	mux.Handle("/v1/audit/leakage", s.limited("audit", s.handleAuditLeakage))
 	obs.PublishExpvar()
 	registerDebug(mux)
+	mux.HandleFunc("/debug/requests", s.handleDebugRequests)
 	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	return s
 }
@@ -158,8 +170,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return nil
 }
 
-// limited wraps an endpoint handler with the server's resilience stack,
-// outermost first: tiered load shedding and the concurrency semaphore
+// limited wraps an endpoint handler with the server's resilience and
+// observability stack, outermost first: request-ID assignment and the
+// request trace, tiered load shedding and the concurrency semaphore
 // (503 + adaptive Retry-After), the request timeout, panic recovery, the
 // optional fault-injection middleware, and per-endpoint
 // request/error/latency metrics around the handler itself.
@@ -167,9 +180,11 @@ func (s *Server) limited(name string, h func(w http.ResponseWriter, r *http.Requ
 	core := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		err := h(w, r)
+		obs.ReqTraceFrom(r.Context()).Mark(stageWrite)
 		observeRequest(name, start, err != nil)
 		if err != nil {
-			logger.Debug("request failed", "endpoint", name, "err", err)
+			logger.Debug("request failed", "endpoint", name,
+				"req_id", obs.ReqTraceFrom(r.Context()).ID(), "err", err)
 		}
 	})
 	var inner http.Handler = core
@@ -179,22 +194,39 @@ func (s *Server) limited(name string, h func(w http.ResponseWriter, r *http.Requ
 	inner = s.recovery(name, inner)
 	shedAt := shedThreshold(name, s.cfg.MaxInFlight)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Every request gets an ID (the client's, when it sent one) and a
+		// trace before any admission decision, so even a shed 503 is
+		// correlatable across client logs, server logs, and the error
+		// body. The ID is echoed on every response.
+		id := r.Header.Get("X-Request-ID")
+		if id == "" {
+			id = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", id)
+		tr := obs.NewReqTrace(id, name)
+		r = r.WithContext(obs.ContextWithReqTrace(r.Context(), tr))
+		defer func() {
+			tr.Finish()
+			s.slow.Record(tr)
+		}()
+
 		// Tiered degradation: sheddable endpoints give way while the
 		// server still has headroom for the hot path. The depth read is
 		// approximate (racy against concurrent admits) — shedding is a
 		// pressure valve, not an invariant.
 		if depth := len(s.sem); shedAt < s.cfg.MaxInFlight && depth >= shedAt {
-			s.reject(w, name, depth, true,
+			s.reject(w, r, name, depth, true,
 				fmt.Errorf("shedding %s under load (%d/%d in flight)", name, depth, s.cfg.MaxInFlight))
 			return
 		}
 		select {
 		case s.sem <- struct{}{}:
 		default:
-			s.reject(w, name, s.cfg.MaxInFlight, false,
+			s.reject(w, r, name, s.cfg.MaxInFlight, false,
 				fmt.Errorf("server at capacity (%d requests in flight)", s.cfg.MaxInFlight))
 			return
 		}
+		tr.Mark(stageAdmitted)
 		metricInFlight.Set(float64(len(s.sem)))
 		defer func() {
 			<-s.sem
