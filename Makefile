@@ -1,16 +1,17 @@
 # Tier-1+ gate for the PRID reproduction. `make check` is what a PR must
 # pass: formatting (gofmt -s), vet, the pridlint invariant suite, build,
-# the full test suite (shuffled), and the three end-to-end smokes
-# (serving correctness, chaos resilience, load/SLO). `make race`
-# additionally runs the
-# race detector over the packages with concurrency (and everything
-# else), `make chaos` hammers the server with an aggressive fault
-# schedule, and `make bench` regenerates the throughput numbers the perf
-# PRs are judged against.
+# the full test suite (shuffled), and the four end-to-end smokes
+# (serving correctness, chaos resilience, load/SLO, multi-node gateway).
+# `make race` additionally runs the race detector over the packages with
+# concurrency (and everything else), `make chaos` hammers the server
+# with an aggressive fault schedule, `make soak` runs the minutes-long
+# gateway endurance profile (deliberately not part of check), and
+# `make bench` regenerates the throughput numbers the perf PRs are
+# judged against.
 
 GO ?= go
 
-.PHONY: build test race vet fmt lint check bench bench-compile bench-snapshot serve-smoke chaos-smoke chaos load-smoke slo-snapshot
+.PHONY: build test race vet fmt lint check bench bench-compile bench-snapshot serve-smoke chaos-smoke chaos load-smoke gateway-smoke soak slo-snapshot
 
 build:
 	$(GO) build ./...
@@ -23,11 +24,13 @@ test:
 
 # Covers the concurrent packages (internal/obs, internal/hdc, the
 # internal/serve micro-batching server + reload-race test, the federated
-# round, and the dedicated concurrency tests in internal/attack — shared
-# Reconstructor across goroutines — and internal/vecmath — parallel
-# kernels under contention) along with everything else. The experiments
-# package needs more than the default 10m under the race detector's
-# slowdown, hence the explicit timeout.
+# round, internal/gateway — membership churn under concurrent traffic,
+# prober vs. router vs. per-backend atomics — and the dedicated
+# concurrency tests in internal/attack — shared Reconstructor across
+# goroutines — and internal/vecmath — parallel kernels under contention)
+# along with everything else. The experiments package needs more than
+# the default 10m under the race detector's slowdown, hence the explicit
+# timeout.
 race:
 	$(GO) test -race -timeout 30m ./...
 
@@ -52,7 +55,7 @@ fmt:
 lint:
 	$(GO) run ./cmd/pridlint ./...
 
-check: fmt vet lint build test bench-compile serve-smoke chaos-smoke load-smoke
+check: fmt vet lint build test bench-compile serve-smoke chaos-smoke load-smoke gateway-smoke
 
 # Benchmark-compile gate: every benchmark must build and survive one
 # iteration, so benches cannot rot uncompiled (or silently broken)
@@ -77,14 +80,33 @@ serve-smoke:
 chaos-smoke:
 	$(GO) run ./cmd/chaos-smoke
 
-# Latency gate: the deterministic open-loop load generator drives an
-# in-process server through a spike-shaped run twice — clean, then under
-# the chaos fault schedule — and asserts SLOs on both (p99 bound, zero
-# outright failures, shed-rate bound). Fixed seed: identical request
-# counts and verdicts on every run. Writes slo-smoke.json (gitignored;
-# CI archives it as a build artifact).
+# Latency gate: the deterministic open-loop load generator drives the
+# spike-shaped plan three times — clean, under the chaos fault schedule,
+# and through a three-backend gateway fleet with chaos everywhere — and
+# asserts SLOs on each (p99 bound, zero outright failures, shed-rate
+# bound) plus the per-backend /gatewayz breakdown on the gateway pass.
+# Fixed seed: identical request counts and verdicts on every run. The
+# report lands under a temp dir by default; set LOAD_SMOKE_OUT to keep
+# it (CI does, to archive it as a build artifact).
+LOAD_SMOKE_OUT ?=
 load-smoke:
-	$(GO) run ./cmd/load-smoke
+	$(GO) run ./cmd/load-smoke -out "$(LOAD_SMOKE_OUT)"
+
+# Multi-node gate: three chaotic backends behind the consistent-hash
+# gateway, with a backend killed and revived mid-traffic. Requires every
+# prediction bit-identical to the in-process model, zero dropped
+# requests across the churn, /gatewayz evidence of the eject/rejoin
+# transitions, a bit-identical quorum majority, and a leak-free drain.
+gateway-smoke:
+	$(GO) run ./cmd/gateway-smoke
+
+# Endurance profile (NOT part of check; minutes-long by design): the
+# gateway fleet under continuous bit-identical traffic with a rotating
+# kill/revive churn for SOAK_DURATION, asserting zero goroutine and FD
+# growth between steady-state samples at the start and end of the run.
+SOAK_DURATION ?= 2m
+soak:
+	$(GO) run ./cmd/soak -duration $(SOAK_DURATION)
 
 # Refresh the committed SLO trajectory snapshot (SLO_1.json) from a
 # load-smoke pass — the latency analogue of bench-snapshot.

@@ -1,0 +1,388 @@
+// Command gateway-smoke is the multi-node serving gate, run by `make
+// gateway-smoke` (and therefore `make check`). It stands up a fleet of
+// three in-process `prid serve` backends — each wrapped in a
+// deterministic fault injector — behind the consistent-hash gateway,
+// then kills and revives a backend in the middle of live traffic.
+//
+// The bar it enforces:
+//
+//   - every prediction through the gateway is bit-identical to the
+//     in-process model, before, during, and after the membership churn;
+//   - zero dropped requests: a backend death is absorbed by synchronous
+//     failover (and later by re-sharding), never surfaced to a client;
+//   - /gatewayz reflects the membership transitions the run forces
+//     (ejection on kill, rejoin on revive, events recorded);
+//   - quorum mode reaches a bit-identical majority on a healthy fleet;
+//   - shutdown drains cleanly and leaks no goroutines.
+//
+// Any violation exits non-zero.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prid"
+	"prid/internal/dataset"
+	"prid/internal/faultinject"
+	"prid/internal/gateway"
+	"prid/internal/serve"
+)
+
+// backendSpec is the per-backend chaos mix: every fault class here is
+// retryable, so the gateway's per-backend client plus replica failover
+// must absorb all of it without a client-visible error.
+const backendSpec = "error=0.06,latency=0.20:1ms-8ms,truncate=0.02"
+
+func main() {
+	requests := flag.Int("requests", 300, "minimum predict requests to drive through the churn")
+	workers := flag.Int("workers", 6, "concurrent client workers")
+	spec := flag.String("spec", backendSpec, "per-backend fault-injection schedule")
+	flag.Parse()
+	if err := run(*spec, *requests, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "gateway-smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("gateway-smoke: OK")
+}
+
+// startBackend boots one serve node on addr with the model file loaded
+// and chaos seeded per index.
+func startBackend(addr, modelPath string, sched faultinject.Schedule, seed uint64) (*serve.Server, error) {
+	srv := serve.NewServer(serve.Config{
+		Addr:           addr,
+		BatchWindow:    time.Millisecond,
+		MaxInFlight:    64,
+		RequestTimeout: 2 * time.Second,
+		Injector:       faultinject.New(seed, sched),
+	})
+	if err := srv.Registry().LoadFile("activity", modelPath); err != nil {
+		return nil, err
+	}
+	if err := srv.Start(); err != nil {
+		return nil, err
+	}
+	return srv, nil
+}
+
+func run(spec string, requests, workers int) error {
+	sched, err := faultinject.ParseSchedule(spec)
+	if err != nil {
+		return err
+	}
+
+	// Reference model: the in-process PredictBatch is the bit-identical
+	// baseline every gateway answer is held to.
+	cfg := dataset.DefaultConfig()
+	cfg.TrainSize = 90
+	cfg.TestSize = 30
+	ds, err := dataset.Load("ACTIVITY", cfg)
+	if err != nil {
+		return err
+	}
+	model, err := prid.TrainClassifier(ds.TrainX, ds.TrainY, ds.Classes, prid.WithDimension(512))
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "prid-gateway-smoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir) //pridlint:allow errdrop best-effort temp-dir cleanup
+	modelPath := filepath.Join(dir, "activity.prid")
+	if err := model.SaveFile(modelPath); err != nil {
+		return err
+	}
+	queries := ds.TestX
+	want, err := model.PredictBatch(queries)
+	if err != nil {
+		return err
+	}
+
+	baseline := runtime.NumGoroutine()
+
+	// The fleet: three chaotic backends.
+	const fleetSize = 3
+	backends := make([]*serve.Server, fleetSize)
+	urls := make([]string, fleetSize)
+	for i := range backends {
+		b, err := startBackend("127.0.0.1:0", modelPath, sched, 0x9a7e+uint64(i))
+		if err != nil {
+			return err
+		}
+		backends[i] = b
+		urls[i] = "http://" + b.Addr()
+	}
+	stopBackend := func(s *serve.Server) {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx) //pridlint:allow errdrop best-effort shutdown; the gate has its own verdicts
+	}
+	defer func() {
+		for _, b := range backends {
+			stopBackend(b)
+		}
+	}()
+
+	gw, err := gateway.New(gateway.Config{
+		Addr:              "127.0.0.1:0",
+		Backends:          urls,
+		ProbeInterval:     40 * time.Millisecond,
+		FailThreshold:     2,
+		ClientMaxAttempts: 6,
+		ClientBaseBackoff: 5 * time.Millisecond,
+		ClientMaxBackoff:  50 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	if err := gw.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		gw.Shutdown(ctx) //pridlint:allow errdrop best-effort shutdown on exit
+	}()
+	base := "http://" + gw.Addr()
+
+	// Continuous traffic: every response must be a 200 carrying the
+	// bit-identical class. Shed 503s would be tolerable under overload,
+	// but this run never saturates the gateway, so they fail the gate too
+	// ("zero dropped non-shed" with zero shed expected).
+	var (
+		wg       sync.WaitGroup
+		sent     atomic.Int64
+		firstErr atomic.Value
+		stop     = make(chan struct{})
+	)
+	fail := func(err error) {
+		firstErr.CompareAndSwap(nil, err) //nolint:errcheck // keep the first failure only
+	}
+	httpc := &http.Client{Timeout: 30 * time.Second}
+	predictOnce := func(w, i int) {
+		q := (w + i) % len(queries)
+		body, err := json.Marshal(map[string]any{"model": "activity", "input": queries[q]})
+		if err != nil {
+			fail(err)
+			return
+		}
+		resp, err := httpc.Post(base+"/v1/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			fail(fmt.Errorf("worker %d request %d: %w", w, i, err))
+			return
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close() //pridlint:allow errdrop body fully read; close is best-effort
+		if err != nil {
+			fail(fmt.Errorf("worker %d request %d: reading body: %w", w, i, err))
+			return
+		}
+		if resp.StatusCode != http.StatusOK {
+			fail(fmt.Errorf("worker %d request %d: dropped with status %d: %s", w, i, resp.StatusCode, raw))
+			return
+		}
+		var out struct {
+			Predictions []int `json:"predictions"`
+		}
+		if err := json.Unmarshal(raw, &out); err != nil {
+			fail(fmt.Errorf("worker %d request %d: %w", w, i, err))
+			return
+		}
+		if len(out.Predictions) != 1 || out.Predictions[0] != want[q] {
+			fail(fmt.Errorf("worker %d query %d: gateway served %v, in-process class %d",
+				w, q, out.Predictions, want[q]))
+			return
+		}
+		sent.Add(1)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if firstErr.Load() != nil {
+					return
+				}
+				predictOnce(w, i)
+			}
+		}(w)
+	}
+
+	// The churn choreography, mid-traffic: kill backend 1, let the prober
+	// eject it, revive it on the same address, let it rejoin.
+	victimAddr := backends[1].Addr()
+	victimURL := urls[1]
+	gz := func() (gateway.GatewayzResponse, error) {
+		var out gateway.GatewayzResponse
+		resp, err := httpc.Get(base + "/gatewayz")
+		if err != nil {
+			return out, err
+		}
+		defer resp.Body.Close() //pridlint:allow errdrop read errors surface via the decoder; the close is best-effort
+		return out, json.NewDecoder(resp.Body).Decode(&out)
+	}
+	waitHealthy := func(n int) error {
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			view, err := gz()
+			if err != nil {
+				return err
+			}
+			if view.Healthy == n {
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("timed out waiting for %d healthy backends (have %d)", n, view.Healthy)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+
+	time.Sleep(100 * time.Millisecond) // let traffic establish on the full fleet
+	stopBackend(backends[1])
+	if err := waitHealthy(2); err != nil {
+		return fmt.Errorf("after kill: %w", err)
+	}
+	time.Sleep(150 * time.Millisecond) // serve from the shrunken ring under traffic
+	revived, err := startBackend(victimAddr, modelPath, sched, 0x9a7e+100)
+	if err != nil {
+		return fmt.Errorf("reviving backend on %s: %w", victimAddr, err)
+	}
+	backends[1] = revived
+	if err := waitHealthy(3); err != nil {
+		return fmt.Errorf("after revive: %w", err)
+	}
+	time.Sleep(150 * time.Millisecond) // serve from the restored ring
+
+	// Top up to the request floor, then stop the workers.
+	for sent.Load() < int64(requests) && firstErr.Load() == nil {
+		time.Sleep(20 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return err
+	}
+
+	// Membership evidence: the run must have actually moved the ring.
+	view, err := gz()
+	if err != nil {
+		return err
+	}
+	if view.Healthy != fleetSize || len(view.RingMembers) != fleetSize {
+		return fmt.Errorf("final membership: healthy=%d ring=%v, want the full fleet", view.Healthy, view.RingMembers)
+	}
+	var sawDown, sawUp bool
+	for _, ev := range view.Events {
+		if ev.Backend == victimURL {
+			if ev.Up {
+				sawUp = true
+			} else {
+				sawDown = true
+			}
+		}
+	}
+	if !sawDown || !sawUp {
+		return fmt.Errorf("/gatewayz events missing the forced transitions (down=%v up=%v): %+v",
+			sawDown, sawUp, view.Events)
+	}
+	for _, b := range view.Backends {
+		if b.URL == victimURL && b.Transitions < 2 {
+			return fmt.Errorf("victim backend shows %d transitions, want >= 2", b.Transitions)
+		}
+	}
+	fmt.Printf("gateway-smoke: %d predictions bit-identical through kill/revive of %s (events=%d)\n",
+		sent.Load(), victimURL, len(view.Events))
+
+	// Quorum mini-check: a second gateway in quorum mode over the same
+	// fleet must reach a bit-identical majority.
+	qgw, err := gateway.New(gateway.Config{
+		Addr:              "127.0.0.1:0",
+		Backends:          urls,
+		Replicas:          3,
+		Quorum:            true,
+		ProbeInterval:     40 * time.Millisecond,
+		ClientMaxAttempts: 6,
+		ClientBaseBackoff: 5 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	if err := qgw.Start(); err != nil {
+		return err
+	}
+	qbase := "http://" + qgw.Addr()
+	for i := 0; i < 5; i++ {
+		body, err := json.Marshal(map[string]any{"model": "activity", "input": queries[i%len(queries)]})
+		if err != nil {
+			return err
+		}
+		resp, err := httpc.Post(qbase+"/v1/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return fmt.Errorf("quorum predict %d: %w", i, err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close() //pridlint:allow errdrop body fully read; close is best-effort
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("quorum predict %d: status %d: %s", i, resp.StatusCode, raw)
+		}
+		var out struct {
+			Predictions []int `json:"predictions"`
+		}
+		if err := json.Unmarshal(raw, &out); err != nil {
+			return err
+		}
+		if out.Predictions[0] != want[i%len(queries)] {
+			return fmt.Errorf("quorum predict %d: class %d, in-process %d", i, out.Predictions[0], want[i%len(queries)])
+		}
+	}
+	qctx, qcancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer qcancel()
+	if err := qgw.Shutdown(qctx); err != nil {
+		return fmt.Errorf("quorum gateway shutdown: %w", err)
+	}
+	fmt.Println("gateway-smoke: quorum mode reached bit-identical majority on the full fleet")
+
+	// Drain everything and prove the process is clean.
+	dctx, dcancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer dcancel()
+	if err := gw.Shutdown(dctx); err != nil {
+		return fmt.Errorf("gateway drain: %w", err)
+	}
+	for _, b := range backends {
+		stopBackend(b)
+	}
+	httpc.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+3 {
+			fmt.Printf("gateway-smoke: clean drain, %d goroutines (baseline %d)\n", n, baseline)
+			return nil
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			return fmt.Errorf("goroutine leak: %d alive, baseline %d\n%s",
+				n, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

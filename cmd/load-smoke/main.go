@@ -1,34 +1,41 @@
 // Command load-smoke is the latency gate for the serving subsystem, run
 // by `make load-smoke` (and therefore `make check`). It starts an
 // in-process server, drives it with the deterministic open-loop load
-// generator (internal/loadgen) in two phases — a clean pass and a pass
-// under the chaos middleware's fault schedule — and asserts SLOs on
-// both: a p99 bound, zero outright failures (every request is either
-// answered or deliberately shed), and a shed-rate bound.
+// generator (internal/loadgen) in three phases — a clean pass, a pass
+// under the chaos middleware's fault schedule, and a pass through a
+// three-backend `prid gateway` fleet with chaos on every backend — and
+// asserts SLOs on each: a p99 bound, zero outright failures (every
+// request is either answered or deliberately shed), and a shed-rate
+// bound. The gateway phase additionally requires the report to carry the
+// per-backend /gatewayz breakdown with nonzero routed traffic.
 //
 // The request plan is a pure function of the seed, so two consecutive
 // runs issue identical request counts and reach identical SLO verdicts;
 // only the measured latencies vary. The gate also checks the tracing
 // surface end to end: responses must echo X-Request-ID and
 // /debug/requests must expose stage-annotated traces of the slowest
-// requests. The combined report is written in the BENCH snapshot format
-// (default slo-smoke.json) for CI to archive.
+// requests. The combined report is written in the BENCH snapshot format,
+// by default under a temp dir so the gate leaves no files in the working
+// tree (CI passes -out to archive it).
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"reflect"
 	"time"
 
 	"prid"
 	"prid/internal/dataset"
 	"prid/internal/faultinject"
+	"prid/internal/gateway"
 	"prid/internal/loadgen"
 	"prid/internal/obs"
 	"prid/internal/serve"
@@ -47,8 +54,19 @@ func main() {
 	rps := flag.Float64("rps", 120, "target average requests per second per phase")
 	duration := flag.Duration("duration", 1500*time.Millisecond, "per-phase run window")
 	spec := flag.String("spec", defaultSpec, "chaos-phase fault schedule ([site.]kind=value,...)")
-	out := flag.String("out", "slo-smoke.json", "SLO report snapshot file (clean + chaos labels)")
+	out := flag.String("out", "", "SLO report snapshot file (clean + chaos + gateway labels; default: under the temp dir)")
 	flag.Parse()
+	if *out == "" {
+		// Smoke gates must not litter the working tree: the default report
+		// lands under the temp dir (CI passes an explicit -out when it
+		// wants the file as an artifact).
+		dir, err := os.MkdirTemp("", "prid-load-smoke")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "load-smoke: FAIL:", err)
+			os.Exit(1)
+		}
+		*out = filepath.Join(dir, "slo-smoke.json")
+	}
 	if err := run(*seed, *rps, *duration, *spec, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "load-smoke: FAIL:", err)
 		os.Exit(1)
@@ -129,10 +147,132 @@ func run(seed uint64, rps float64, duration time.Duration, spec, out string) err
 			return fmt.Errorf("request counts diverged across phases: %v", requestCounts)
 		}
 	}
+
+	// Third phase: the same plan through a three-backend gateway fleet,
+	// with every backend under the chaos schedule — the multi-node story
+	// of the same SLO. Besides the latency verdict, the report must carry
+	// the per-backend /gatewayz breakdown.
+	grep, err := runGatewayPhase(seed, shape, rps, duration, mix, sched)
+	if err != nil {
+		return fmt.Errorf("gateway phase: %w", err)
+	}
+	gslo := loadgen.SLO{P99MS: 5000, MaxShedRate: 0.10, MaxFailed: 0}
+	verdict := grep.Evaluate(gslo)
+	fmt.Printf("load-smoke: gateway: %d requests (%d ok, %d shed, %d failed) p50=%.1fms p95=%.1fms p99=%.1fms\n",
+		grep.Overall.Requests, grep.Overall.OK, grep.Overall.Shed, grep.Overall.Failed,
+		grep.Overall.P50MS, grep.Overall.P95MS, grep.Overall.P99MS)
+	if !verdict.Pass {
+		for _, v := range verdict.Violations {
+			fmt.Fprintln(os.Stderr, "load-smoke: gateway SLO violation:", v)
+		}
+		return fmt.Errorf("gateway phase broke %d SLO rules", len(verdict.Violations))
+	}
+	if grep.Gateway == nil {
+		return errors.New("gateway phase report is missing the per-backend breakdown")
+	}
+	var routed int64
+	for _, b := range grep.Gateway.Backends {
+		routed += b.Requests
+		fmt.Printf("load-smoke: gateway backend %s: requests=%d failures=%d shed=%d healthy=%v\n",
+			b.URL, b.Requests, b.Failures, b.Shed, b.Healthy)
+	}
+	if routed == 0 {
+		return errors.New("gateway breakdown shows zero routed requests")
+	}
 	if out != "" {
+		if err := loadgen.WriteReportFile(out, "gateway", grep); err != nil {
+			return err
+		}
 		fmt.Printf("load-smoke: SLO report written to %s\n", out)
 	}
 	return nil
+}
+
+// runGatewayPhase stands up three chaotic backends behind a gateway and
+// drives the standard plan through the gateway's front door.
+func runGatewayPhase(seed uint64, shape loadgen.Shape, rps float64, duration time.Duration,
+	mix loadgen.Mix, sched faultinject.Schedule) (*loadgen.Report, error) {
+	cfg := dataset.DefaultConfig()
+	cfg.TrainSize = 90
+	cfg.TestSize = 30
+	ds, err := dataset.Load("ACTIVITY", cfg)
+	if err != nil {
+		return nil, err
+	}
+	model, err := prid.TrainClassifier(ds.TrainX, ds.TrainY, ds.Classes, prid.WithDimension(512))
+	if err != nil {
+		return nil, err
+	}
+	const fleetSize = 3
+	backends := make([]*serve.Server, fleetSize)
+	urls := make([]string, fleetSize)
+	for i := range backends {
+		srv := serve.NewServer(serve.Config{
+			Addr:           "127.0.0.1:0",
+			BatchWindow:    time.Millisecond,
+			MaxInFlight:    64,
+			RequestTimeout: 2 * time.Second,
+			Injector:       faultinject.New(seed+uint64(i), sched),
+		})
+		srv.Registry().Register("activity", "", model)
+		if err := srv.Start(); err != nil {
+			return nil, err
+		}
+		backends[i] = srv
+		urls[i] = "http://" + srv.Addr()
+	}
+	defer func() {
+		for _, b := range backends {
+			ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+			b.Shutdown(ctx) //pridlint:allow errdrop best-effort shutdown; the gate already has its verdict
+			cancel()
+		}
+	}()
+	gw, err := gateway.New(gateway.Config{
+		Addr:              "127.0.0.1:0",
+		Backends:          urls,
+		ProbeInterval:     100 * time.Millisecond,
+		ClientMaxAttempts: 6,
+		ClientBaseBackoff: 5 * time.Millisecond,
+		ClientMaxBackoff:  50 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := gw.Start(); err != nil {
+		return nil, err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		gw.Shutdown(ctx) //pridlint:allow errdrop best-effort shutdown; the gate already has its verdict
+	}()
+	base := "http://" + gw.Addr()
+
+	cli, err := client.New(client.Config{
+		BaseURL:          base,
+		MaxAttempts:      12,
+		BaseBackoff:      5 * time.Millisecond,
+		MaxBackoff:       100 * time.Millisecond,
+		BreakerThreshold: 20,
+		BreakerCooldown:  200 * time.Millisecond,
+		JitterSeed:       seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	return loadgen.Run(ctx, loadgen.Config{
+		BaseURL:  base,
+		Model:    "activity",
+		Seed:     seed,
+		Shape:    shape,
+		RPS:      rps,
+		Duration: duration,
+		Mix:      mix,
+		Client:   cli,
+	})
 }
 
 // runPhase starts a fresh in-process server (with ph's injector, when

@@ -19,7 +19,7 @@ import (
 // envelope). An SLO violation exits non-zero so scripts can gate on it.
 func cmdLoadgen(args []string) error {
 	fs := newFlagSet("loadgen")
-	target := fs.String("target", "http://127.0.0.1:8080", "server base URL")
+	target := fs.String("target", "http://127.0.0.1:8080", "server base URL (a `prid serve` node or a `prid gateway` front; a gateway target adds the per-backend breakdown to the report)")
 	model := fs.String("model", "", "served model to drive (default: first listed)")
 	seed := fs.Uint64("seed", 1, "plan seed (fixes request counts and payloads)")
 	shapeName := fs.String("shape", "constant", "traffic shape: constant|ramp|spike|soak")

@@ -12,6 +12,7 @@
 //	prid experiment all [--scale quick|paper]
 //	prid experiment fig7 [--scale quick]
 //	prid serve --model mnist=model.prid [--listen :8080]
+//	prid gateway --backend http://127.0.0.1:8081 --backend http://127.0.0.1:8082
 //	prid loadgen --target http://127.0.0.1:8080 [--shape spike] [--rps 200]
 package main
 
@@ -70,6 +71,8 @@ func dispatch(args []string) error {
 		return cmdExperiment(args[1:])
 	case "serve":
 		return cmdServe(args[1:])
+	case "gateway":
+		return cmdGateway(args[1:])
 	case "loadgen":
 		return cmdLoadgen(args[1:])
 	case "help", "-h", "--help":
@@ -93,6 +96,7 @@ commands:
   experiment ID|all            regenerate a paper table/figure (fig1..fig10, table1, table2)
   experiment quick             machine-readable benchmark snapshot (--bench-out FILE)
   serve      --model NAME=PATH serve saved models over HTTP (predict, attack, audit endpoints)
+  gateway    --backend URL     front a fleet of serve nodes with consistent-hash routing and failover
   loadgen    --target URL      drive a live server with deterministic open-loop traffic, report SLOs
 
 global flags (any position):

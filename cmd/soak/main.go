@@ -1,0 +1,392 @@
+// Command soak is the long-haul endurance profile for the gateway fleet,
+// run by `make soak`. It is deliberately NOT part of `make check`: the
+// default window is minutes, not seconds.
+//
+// The run stands up three chaotic backends behind the gateway, drives
+// continuous bit-identical predict traffic, and churns membership the
+// whole time — each round kills a rotating victim backend, waits for the
+// prober to eject it, revives it on the same address, and waits for the
+// rejoin. On top of the zero-dropped-requests bar the smoke gate already
+// enforces, soak asserts the resource half of the contract: goroutine
+// and file-descriptor counts measured in steady state at the start of
+// the run must not have grown by the end. A gateway that leaks one
+// goroutine or socket per churn round passes a 300ms smoke and fails
+// here.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prid"
+	"prid/internal/dataset"
+	"prid/internal/faultinject"
+	"prid/internal/gateway"
+	"prid/internal/serve"
+)
+
+// soakSpec keeps a mild, fully retryable fault mix on every backend so
+// the retry and failover paths stay warm for the whole window without
+// ever justifying a dropped request.
+const soakSpec = "error=0.04,latency=0.15:1ms-6ms,truncate=0.01"
+
+// growthSlack absorbs scheduler noise in steady-state samples (in-flight
+// HTTP handlers, idle-conn reapers). Leaks scale with churn rounds —
+// tens over a default window — so a fixed small slack still catches
+// them.
+const growthSlack = 8
+
+func main() {
+	duration := flag.Duration("duration", 2*time.Minute, "soak window (traffic + churn)")
+	workers := flag.Int("workers", 4, "concurrent client workers")
+	churnEvery := flag.Duration("churn-interval", 3*time.Second, "pause between kill/revive rounds")
+	spec := flag.String("spec", soakSpec, "per-backend fault-injection schedule")
+	flag.Parse()
+	if err := run(*duration, *workers, *churnEvery, *spec); err != nil {
+		fmt.Fprintln(os.Stderr, "soak: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("soak: OK")
+}
+
+// openFDs counts the process's open file descriptors via /proc; ok is
+// false where /proc does not exist (non-linux), and the FD assertions
+// are skipped.
+func openFDs() (int, bool) {
+	ents, err := os.ReadDir("/proc/self/fd")
+	if err != nil {
+		return 0, false
+	}
+	return len(ents), true
+}
+
+// steadySample polls goroutine and FD counts over the window and keeps
+// the minimum of each — the floor of the steady state, insensitive to
+// transient in-flight spikes.
+func steadySample(window time.Duration) (goroutines, fds int, fdOK bool) {
+	goroutines = int(^uint(0) >> 1)
+	fds = int(^uint(0) >> 1)
+	deadline := time.Now().Add(window)
+	for {
+		if g := runtime.NumGoroutine(); g < goroutines {
+			goroutines = g
+		}
+		if n, ok := openFDs(); ok {
+			fdOK = true
+			if n < fds {
+				fds = n
+			}
+		}
+		if time.Now().After(deadline) {
+			return goroutines, fds, fdOK
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func startBackend(addr, modelPath string, sched faultinject.Schedule, seed uint64) (*serve.Server, error) {
+	srv := serve.NewServer(serve.Config{
+		Addr:           addr,
+		BatchWindow:    time.Millisecond,
+		MaxInFlight:    64,
+		RequestTimeout: 2 * time.Second,
+		Injector:       faultinject.New(seed, sched),
+	})
+	if err := srv.Registry().LoadFile("activity", modelPath); err != nil {
+		return nil, err
+	}
+	if err := srv.Start(); err != nil {
+		return nil, err
+	}
+	return srv, nil
+}
+
+func run(duration time.Duration, workers int, churnEvery time.Duration, spec string) error {
+	sched, err := faultinject.ParseSchedule(spec)
+	if err != nil {
+		return err
+	}
+
+	cfg := dataset.DefaultConfig()
+	cfg.TrainSize = 90
+	cfg.TestSize = 30
+	ds, err := dataset.Load("ACTIVITY", cfg)
+	if err != nil {
+		return err
+	}
+	model, err := prid.TrainClassifier(ds.TrainX, ds.TrainY, ds.Classes, prid.WithDimension(512))
+	if err != nil {
+		return err
+	}
+	dir, err := os.MkdirTemp("", "prid-soak")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir) //pridlint:allow errdrop best-effort temp-dir cleanup
+	modelPath := filepath.Join(dir, "activity.prid")
+	if err := model.SaveFile(modelPath); err != nil {
+		return err
+	}
+	queries := ds.TestX
+	want, err := model.PredictBatch(queries)
+	if err != nil {
+		return err
+	}
+
+	processBaseline := runtime.NumGoroutine()
+
+	const fleetSize = 3
+	backends := make([]*serve.Server, fleetSize)
+	urls := make([]string, fleetSize)
+	for i := range backends {
+		b, err := startBackend("127.0.0.1:0", modelPath, sched, 0x50ac+uint64(i))
+		if err != nil {
+			return err
+		}
+		backends[i] = b
+		urls[i] = "http://" + b.Addr()
+	}
+	stopBackend := func(s *serve.Server) {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(ctx) //pridlint:allow errdrop best-effort shutdown; the gate has its own verdicts
+	}
+	defer func() {
+		for _, b := range backends {
+			stopBackend(b)
+		}
+	}()
+
+	gw, err := gateway.New(gateway.Config{
+		Addr:              "127.0.0.1:0",
+		Backends:          urls,
+		ProbeInterval:     50 * time.Millisecond,
+		FailThreshold:     2,
+		ClientMaxAttempts: 6,
+		ClientBaseBackoff: 5 * time.Millisecond,
+		ClientMaxBackoff:  50 * time.Millisecond,
+	})
+	if err != nil {
+		return err
+	}
+	if err := gw.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		gw.Shutdown(ctx) //pridlint:allow errdrop best-effort shutdown on exit
+	}()
+	base := "http://" + gw.Addr()
+
+	// Continuous bit-identical traffic, same bar as gateway-smoke: any
+	// non-200 is a dropped request and fails the run.
+	var (
+		wg       sync.WaitGroup
+		sent     atomic.Int64
+		firstErr atomic.Value
+		stop     = make(chan struct{})
+	)
+	fail := func(err error) {
+		firstErr.CompareAndSwap(nil, err) //nolint:errcheck // keep the first failure only
+	}
+	httpc := &http.Client{Timeout: 30 * time.Second}
+	predictOnce := func(w, i int) {
+		q := (w + i) % len(queries)
+		body, err := json.Marshal(map[string]any{"model": "activity", "input": queries[q]})
+		if err != nil {
+			fail(err)
+			return
+		}
+		resp, err := httpc.Post(base+"/v1/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			fail(fmt.Errorf("worker %d request %d: %w", w, i, err))
+			return
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close() //pridlint:allow errdrop body fully read; close is best-effort
+		if err != nil {
+			fail(fmt.Errorf("worker %d request %d: reading body: %w", w, i, err))
+			return
+		}
+		if resp.StatusCode != http.StatusOK {
+			fail(fmt.Errorf("worker %d request %d: dropped with status %d: %s", w, i, resp.StatusCode, raw))
+			return
+		}
+		var out struct {
+			Predictions []int `json:"predictions"`
+		}
+		if err := json.Unmarshal(raw, &out); err != nil {
+			fail(fmt.Errorf("worker %d request %d: %w", w, i, err))
+			return
+		}
+		if len(out.Predictions) != 1 || out.Predictions[0] != want[q] {
+			fail(fmt.Errorf("worker %d query %d: gateway served %v, in-process class %d",
+				w, q, out.Predictions, want[q]))
+			return
+		}
+		sent.Add(1)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if firstErr.Load() != nil {
+					return
+				}
+				predictOnce(w, i)
+			}
+		}(w)
+	}
+
+	gz := func() (gateway.GatewayzResponse, error) {
+		var out gateway.GatewayzResponse
+		resp, err := httpc.Get(base + "/gatewayz")
+		if err != nil {
+			return out, err
+		}
+		defer resp.Body.Close() //pridlint:allow errdrop read errors surface via the decoder; the close is best-effort
+		return out, json.NewDecoder(resp.Body).Decode(&out)
+	}
+	waitHealthy := func(n int) error {
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			view, err := gz()
+			if err != nil {
+				return err
+			}
+			if view.Healthy == n {
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("timed out waiting for %d healthy backends (have %d)", n, view.Healthy)
+			}
+			time.Sleep(25 * time.Millisecond)
+		}
+	}
+	churnRound := func(victim int, seed uint64) error {
+		victimAddr := backends[victim].Addr()
+		stopBackend(backends[victim])
+		if err := waitHealthy(fleetSize - 1); err != nil {
+			return fmt.Errorf("after killing backend %d: %w", victim, err)
+		}
+		time.Sleep(100 * time.Millisecond)
+		revived, err := startBackend(victimAddr, modelPath, sched, seed)
+		if err != nil {
+			return fmt.Errorf("reviving backend %d on %s: %w", victim, victimAddr, err)
+		}
+		backends[victim] = revived
+		if err := waitHealthy(fleetSize); err != nil {
+			return fmt.Errorf("after reviving backend %d: %w", victim, err)
+		}
+		return nil
+	}
+
+	// Warm-up: traffic on the full fleet plus one churn round, so the
+	// baseline already includes every steady-state structure (probe
+	// timers, idle conns, trace rings) a round leaves behind.
+	time.Sleep(500 * time.Millisecond)
+	if err := churnRound(0, 0x50ac+100); err != nil {
+		return err
+	}
+	baseG, baseFD, fdOK := steadySample(2 * time.Second)
+	if !fdOK {
+		fmt.Println("soak: /proc/self/fd unavailable; FD growth assertions skipped")
+	}
+	fmt.Printf("soak: baseline after warm-up round: %d goroutines, %d fds\n", baseG, baseFD)
+
+	start := time.Now()
+	rounds := 0
+	for time.Since(start) < duration {
+		if err, _ := firstErr.Load().(error); err != nil {
+			return err
+		}
+		victim := (rounds + 1) % fleetSize // rotate; round 0 was the warm-up
+		if err := churnRound(victim, 0x50ac+200+uint64(rounds)); err != nil {
+			return err
+		}
+		rounds++
+		if rem := duration - time.Since(start); rem > 0 && churnEvery > 0 {
+			pause := churnEvery
+			if pause > rem {
+				pause = rem
+			}
+			time.Sleep(pause)
+		}
+	}
+
+	// End-of-run steady state, still under traffic and on a full fleet:
+	// the same measurement as the baseline, so growth means growth.
+	endG, endFD, _ := steadySample(2 * time.Second)
+	fmt.Printf("soak: %d churn rounds, %d requests, end state: %d goroutines, %d fds\n",
+		rounds, sent.Load(), endG, endFD)
+	if endG > baseG+growthSlack {
+		buf := make([]byte, 1<<20)
+		return fmt.Errorf("goroutine growth over %d rounds: %d -> %d\n%s",
+			rounds, baseG, endG, buf[:runtime.Stack(buf, true)])
+	}
+	if fdOK && endFD > baseFD+growthSlack {
+		return fmt.Errorf("fd growth over %d rounds: %d -> %d", rounds, baseFD, endFD)
+	}
+
+	close(stop)
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return err
+	}
+	if sent.Load() == 0 {
+		return fmt.Errorf("no traffic flowed during the soak window")
+	}
+
+	view, err := gz()
+	if err != nil {
+		return err
+	}
+	if view.Healthy != fleetSize {
+		return fmt.Errorf("final membership: %d healthy, want %d", view.Healthy, fleetSize)
+	}
+	for _, b := range view.Backends {
+		fmt.Printf("soak: backend %s: requests=%d failures=%d shed=%d transitions=%d\n",
+			b.URL, b.Requests, b.Failures, b.Shed, b.Transitions)
+	}
+
+	// Full drain: everything down, goroutines back to the process floor.
+	dctx, dcancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer dcancel()
+	if err := gw.Shutdown(dctx); err != nil {
+		return fmt.Errorf("gateway drain: %w", err)
+	}
+	for _, b := range backends {
+		stopBackend(b)
+	}
+	httpc.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= processBaseline+3 {
+			fmt.Printf("soak: clean drain, %d goroutines (process baseline %d)\n", n, processBaseline)
+			return nil
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			return fmt.Errorf("goroutine leak after drain: %d alive, baseline %d\n%s",
+				n, processBaseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -1,0 +1,69 @@
+package gateway
+
+import (
+	"sync/atomic"
+	"time"
+
+	"prid/internal/serve/client"
+)
+
+// backend is one `prid serve` process behind the gateway: its retrying
+// client, its probe-driven health state, and its per-backend traffic
+// accounting (surfaced on /gatewayz, scraped by loadgen for the
+// per-backend SLO breakdown).
+type backend struct {
+	url string
+	cli *client.Client
+
+	// healthy is flipped only by the prober (readyz-driven membership);
+	// the router reads it to order candidates and skips unhealthy
+	// backends unless none remain.
+	healthy atomic.Bool
+	// probeFails counts consecutive failed readiness probes; FailThreshold
+	// of them ejects the backend from the ring.
+	probeFails atomic.Int64
+	// transitions counts health flips (up→down and down→up both count),
+	// the evidence /gatewayz gives that membership actually moved.
+	transitions atomic.Int64
+
+	requests atomic.Int64
+	failures atomic.Int64
+	shed     atomic.Int64
+
+	// lastTransitionNS is the wall-clock nanosecond stamp of the latest
+	// health flip (0 until the first).
+	lastTransitionNS atomic.Int64
+}
+
+// BackendStatus is one backend's public state on /gatewayz.
+type BackendStatus struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// ConsecutiveProbeFailures is the prober's current failure streak.
+	ConsecutiveProbeFailures int64 `json:"consecutive_probe_failures"`
+	// Transitions counts health flips since the gateway started.
+	Transitions int64 `json:"transitions"`
+	// Requests/Failures/Shed account the calls the gateway routed here:
+	// Shed is the backend answering 503/429 (protective refusal),
+	// Failures is everything else that went wrong on this hop.
+	Requests       int64     `json:"requests"`
+	Failures       int64     `json:"failures"`
+	Shed           int64     `json:"shed"`
+	LastTransition time.Time `json:"last_transition"`
+}
+
+func (b *backend) status() BackendStatus {
+	st := BackendStatus{
+		URL:                      b.url,
+		Healthy:                  b.healthy.Load(),
+		ConsecutiveProbeFailures: b.probeFails.Load(),
+		Transitions:              b.transitions.Load(),
+		Requests:                 b.requests.Load(),
+		Failures:                 b.failures.Load(),
+		Shed:                     b.shed.Load(),
+	}
+	if ns := b.lastTransitionNS.Load(); ns != 0 {
+		st.LastTransition = time.Unix(0, ns).UTC()
+	}
+	return st
+}

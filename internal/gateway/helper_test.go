@@ -1,0 +1,165 @@
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+	"time"
+
+	"prid"
+	"prid/internal/rng"
+	"prid/internal/serve"
+)
+
+// trainModel builds a small deterministic 3-class model (a copy of the
+// serve package's test helper: same seed, same model, so cross-layer
+// bit-identity assertions are meaningful).
+func trainModel(t testing.TB, seed uint64, nFeatures, dim int) (*prid.Model, [][]float64, [][]float64) {
+	t.Helper()
+	src := rng.New(seed)
+	const k, perClass = 3, 10
+	protos := make([][]float64, k)
+	for c := range protos {
+		p := make([]float64, nFeatures)
+		for _, j := range src.Sample(nFeatures, nFeatures/4) {
+			p[j] = src.Uniform(0.6, 1)
+		}
+		protos[c] = p
+	}
+	draw := func(c int, noise float64) []float64 {
+		v := make([]float64, nFeatures)
+		copy(v, protos[c])
+		for j := range v {
+			v[j] += src.Gaussian(0, noise)
+			if v[j] < 0 {
+				v[j] = 0
+			}
+		}
+		return v
+	}
+	var x, queries [][]float64
+	var y []int
+	for c := 0; c < k; c++ {
+		for i := 0; i < perClass; i++ {
+			x = append(x, draw(c, 0.08))
+			y = append(y, c)
+		}
+		queries = append(queries, draw(c, 0.2))
+	}
+	m, err := prid.TrainClassifier(x, y, k, prid.WithDimension(dim), prid.WithSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, x, queries
+}
+
+// startBackend runs one in-process `prid serve` node on addr
+// ("127.0.0.1:0" to pick a port) with the standard alpha/beta test
+// models. The caller owns shutdown (tests kill and revive backends
+// mid-run, so no automatic cleanup here).
+func startBackend(t *testing.T, addr string) *serve.Server {
+	t.Helper()
+	s := serve.NewServer(serve.Config{Addr: addr, BatchWindow: time.Millisecond})
+	alpha, _, _ := trainModel(t, 11, 24, 256)
+	beta, _, _ := trainModel(t, 12, 16, 128)
+	s.Registry().Register("alpha", "", alpha)
+	s.Registry().Register("beta", "", beta)
+	if err := s.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// stopBackend drains s with a bounded context.
+func stopBackend(t *testing.T, s *serve.Server) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	s.Shutdown(ctx) //nolint:errcheck // tests double-stop backends during churn
+}
+
+// fastProbeConfig is the test-speed gateway tuning: quick probes, quick
+// ejection, short client retries so failover is measured in
+// milliseconds, not seconds.
+func fastProbeConfig(backends []string) Config {
+	return Config{
+		Addr:              "127.0.0.1:0",
+		Backends:          backends,
+		ProbeInterval:     20 * time.Millisecond,
+		FailThreshold:     2,
+		ClientMaxAttempts: 2,
+		ClientBaseBackoff: time.Millisecond,
+		ClientMaxBackoff:  5 * time.Millisecond,
+	}
+}
+
+// startGateway builds and starts a gateway, registering cleanup.
+func startGateway(t *testing.T, cfg Config) (*Gateway, string) {
+	t.Helper()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		g.Shutdown(ctx) //nolint:errcheck // shutdown failure is not the tested behavior
+	})
+	return g, "http://" + g.Addr()
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// gatewayz fetches and decodes the membership view.
+func gatewayz(t *testing.T, base string) GatewayzResponse {
+	t.Helper()
+	resp, err := http.Get(base + "/gatewayz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out GatewayzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// waitHealthy polls /gatewayz until the healthy-backend count reaches
+// want or the deadline passes.
+func waitHealthy(t *testing.T, base string, want int) GatewayzResponse {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		gz := gatewayz(t, base)
+		if gz.Healthy == want {
+			return gz
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %d healthy backends; got %d (%+v)", want, gz.Healthy, gz.Backends)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

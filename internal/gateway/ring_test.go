@@ -1,0 +1,212 @@
+package gateway
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func keys(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("model-%03d", i)
+	}
+	return out
+}
+
+// assignments maps every key to its current owner.
+func assignments(r *Ring, ks []string) map[string]string {
+	out := make(map[string]string, len(ks))
+	for _, k := range ks {
+		owner, ok := r.Lookup(k)
+		if !ok {
+			out[k] = ""
+			continue
+		}
+		out[k] = owner
+	}
+	return out
+}
+
+func TestRingEmpty(t *testing.T) {
+	r := NewRing(1, 8)
+	if _, ok := r.Lookup("anything"); ok {
+		t.Fatal("empty ring returned an owner")
+	}
+	if got := r.LookupN("anything", 3); got != nil {
+		t.Fatalf("empty ring LookupN = %v, want nil", got)
+	}
+	if r.Len() != 0 {
+		t.Fatalf("empty ring Len = %d", r.Len())
+	}
+}
+
+// TestRingSingleBackend: with one member, every key maps to it and
+// LookupN never invents replicas.
+func TestRingSingleBackend(t *testing.T) {
+	r := NewRing(7, 16)
+	r.Add("only")
+	for _, k := range keys(50) {
+		owner, ok := r.Lookup(k)
+		if !ok || owner != "only" {
+			t.Fatalf("Lookup(%q) = %q, %v; want only", k, owner, ok)
+		}
+		if got := r.LookupN(k, 3); len(got) != 1 || got[0] != "only" {
+			t.Fatalf("LookupN(%q, 3) = %v, want [only]", k, got)
+		}
+	}
+}
+
+// TestRingAllButOneEjected: ejecting every member but one funnels the
+// whole key space to the survivor; rejoining restores the original
+// layout exactly (same seed, same vnodes, same member set).
+func TestRingAllButOneEjected(t *testing.T) {
+	members := []string{"a", "b", "c", "d", "e"}
+	r := NewRing(3, 32)
+	for _, m := range members {
+		r.Add(m)
+	}
+	ks := keys(200)
+	before := assignments(r, ks)
+
+	for _, m := range members[1:] {
+		r.Remove(m)
+	}
+	for _, k := range ks {
+		owner, ok := r.Lookup(k)
+		if !ok || owner != "a" {
+			t.Fatalf("after mass ejection Lookup(%q) = %q, %v; want a", k, owner, ok)
+		}
+	}
+
+	for _, m := range members[1:] {
+		r.Add(m)
+	}
+	after := assignments(r, ks)
+	if !reflect.DeepEqual(before, after) {
+		t.Fatal("rejoining all members did not restore the original assignment")
+	}
+}
+
+// TestRingBoundedMovement is the consistent-hashing contract: removing
+// one member moves ONLY the keys that member owned; every other key
+// keeps its assignment. Same on the way back in.
+func TestRingBoundedMovement(t *testing.T) {
+	members := []string{"a", "b", "c", "d", "e"}
+	r := NewRing(11, 64)
+	for _, m := range members {
+		r.Add(m)
+	}
+	ks := keys(500)
+	before := assignments(r, ks)
+
+	for _, victim := range members {
+		r.Remove(victim)
+		after := assignments(r, ks)
+		moved := 0
+		for _, k := range ks {
+			if before[k] != victim {
+				if after[k] != before[k] {
+					t.Fatalf("removing %q moved key %q from %q to %q (not owned by the victim)",
+						victim, k, before[k], after[k])
+				}
+				continue
+			}
+			if after[k] == victim {
+				t.Fatalf("removed member %q still owns %q", victim, k)
+			}
+			moved++
+		}
+		ownedBefore := 0
+		for _, o := range before {
+			if o == victim {
+				ownedBefore++
+			}
+		}
+		if moved != ownedBefore {
+			t.Fatalf("removing %q moved %d keys, owned %d", victim, moved, ownedBefore)
+		}
+		// Rejoin must restore the exact pre-removal assignment.
+		r.Add(victim)
+		if got := assignments(r, ks); !reflect.DeepEqual(got, before) {
+			t.Fatalf("re-adding %q did not restore the original assignment", victim)
+		}
+	}
+}
+
+// TestRingDeterministicLayout: two rings built with the same (seed,
+// vnodes, member set) — regardless of insertion order — assign every
+// key identically; a different seed yields a different layout.
+func TestRingDeterministicLayout(t *testing.T) {
+	members := []string{"n1", "n2", "n3", "n4"}
+	ks := keys(300)
+
+	r1 := NewRing(42, 64)
+	for _, m := range members {
+		r1.Add(m)
+	}
+	r2 := NewRing(42, 64)
+	for i := len(members) - 1; i >= 0; i-- { // reverse insertion order
+		r2.Add(members[i])
+	}
+	if !reflect.DeepEqual(assignments(r1, ks), assignments(r2, ks)) {
+		t.Fatal("same seed and member set produced different layouts")
+	}
+
+	r3 := NewRing(43, 64)
+	for _, m := range members {
+		r3.Add(m)
+	}
+	if reflect.DeepEqual(assignments(r1, ks), assignments(r3, ks)) {
+		t.Fatal("different seeds produced identical layouts (suspicious for 300 keys)")
+	}
+}
+
+// TestRingLookupNDistinct: the replica set holds distinct members in
+// ring order, capped at the member count.
+func TestRingLookupNDistinct(t *testing.T) {
+	r := NewRing(5, 32)
+	for _, m := range []string{"a", "b", "c"} {
+		r.Add(m)
+	}
+	for _, k := range keys(100) {
+		got := r.LookupN(k, 5)
+		if len(got) != 3 {
+			t.Fatalf("LookupN(%q, 5) returned %d members, want 3", k, len(got))
+		}
+		seen := map[string]bool{}
+		for _, m := range got {
+			if seen[m] {
+				t.Fatalf("LookupN(%q) returned duplicate %q", k, m)
+			}
+			seen[m] = true
+		}
+		// The owner must be the head of the replica set.
+		owner, _ := r.Lookup(k)
+		if got[0] != owner {
+			t.Fatalf("LookupN(%q)[0] = %q, Lookup = %q", k, got[0], owner)
+		}
+	}
+}
+
+// TestRingSpread sanity-checks vnode balancing: with 64 vnodes over 4
+// members, no member should own a wildly disproportionate share.
+func TestRingSpread(t *testing.T) {
+	r := NewRing(9, 64)
+	members := []string{"a", "b", "c", "d"}
+	for _, m := range members {
+		r.Add(m)
+	}
+	counts := map[string]int{}
+	ks := keys(2000)
+	for _, k := range ks {
+		owner, _ := r.Lookup(k)
+		counts[owner]++
+	}
+	for _, m := range members {
+		share := float64(counts[m]) / float64(len(ks))
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("member %q owns %.1f%% of keys (counts %v)", m, 100*share, counts)
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package gateway
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"reflect"
+	"sync"
+
+	"prid/internal/serve/client"
+)
+
+// backendOp is one typed call against a single backend's client. The
+// router treats the result as opaque; quorum mode compares results with
+// reflect.DeepEqual, so ops must return plain data (slices, structs of
+// scalars), which every serving endpoint's reply already is.
+type backendOp func(ctx context.Context, cli *client.Client) (any, error)
+
+// routeError is a terminal routing failure carrying the HTTP status the
+// gateway should answer with.
+type routeError struct {
+	status     int
+	retryAfter int // seconds; 0 means no Retry-After header
+	err        error
+}
+
+func (e *routeError) Error() string { return e.err.Error() }
+func (e *routeError) Unwrap() error { return e.err }
+
+// callerFault reports whether err is a definitive 4xx from a backend —
+// the request itself is wrong, every replica would answer identically,
+// so the verdict is relayed without burning the rest of the replica set.
+// 429 is excluded: that is the backend protecting itself, not judging
+// the request.
+func callerFault(err error) (*client.StatusError, bool) {
+	var se *client.StatusError
+	if errors.As(err, &se) && se.Code >= 400 && se.Code < 500 && se.Code != http.StatusTooManyRequests {
+		return se, true
+	}
+	return nil, false
+}
+
+// shed reports whether err is a backend's protective refusal (503/429),
+// accounted separately from hard failures on /gatewayz.
+func shed(err error) bool {
+	var se *client.StatusError
+	return errors.As(err, &se) &&
+		(se.Code == http.StatusServiceUnavailable || se.Code == http.StatusTooManyRequests)
+}
+
+// candidates returns the replica set for key — the ring owner first,
+// then its clockwise successors — reordered healthy-first so the router
+// never opens with a backend the prober has already condemned (whose
+// client breaker is likely open and would stall the attempt). With the
+// whole ring ejected it falls back to the full configured fleet: trying
+// dead backends beats refusing outright, and one of them may have
+// recovered inside the probe-detection gap.
+func (g *Gateway) candidates(key string) []*backend {
+	names := g.ring.LookupN(key, g.cfg.Replicas)
+	if len(names) == 0 {
+		names = g.order
+	}
+	up := make([]*backend, 0, len(names))
+	var down []*backend
+	for _, n := range names {
+		if b := g.backends[n]; b.healthy.Load() {
+			up = append(up, b)
+		} else {
+			down = append(down, b)
+		}
+	}
+	return append(up, down...)
+}
+
+// route executes fn against the replica set for model, first-success or
+// quorum-identical per configuration.
+func (g *Gateway) route(ctx context.Context, model string, fn backendOp) (any, error) {
+	cands := g.candidates(model)
+	if g.cfg.Quorum {
+		return g.routeQuorum(ctx, cands, fn)
+	}
+	return g.routeFirst(ctx, cands, fn)
+}
+
+// routeFirst walks the candidates in order and returns the first
+// success. Each hop already carries the client's own short retry budget;
+// moving to the next replica is the gateway's retry.
+func (g *Gateway) routeFirst(ctx context.Context, cands []*backend, fn backendOp) (any, error) {
+	var lastErr error
+	allShed := true
+	for i, b := range cands {
+		if i > 0 {
+			metricFailovers.Inc()
+		}
+		b.requests.Add(1)
+		v, err := fn(ctx, b.cli)
+		if err == nil {
+			return v, nil
+		}
+		if se, definitive := callerFault(err); definitive {
+			return nil, &routeError{status: se.Code, err: errors.New(se.Message)}
+		}
+		if shed(err) {
+			b.shed.Add(1)
+		} else {
+			b.failures.Add(1)
+			allShed = false
+		}
+		lastErr = err
+		logger.Debug("replica hop failed", "backend", b.url, "err", err)
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return nil, terminal(lastErr, allShed, len(cands))
+}
+
+// routeQuorum fans fn out to every candidate concurrently and requires a
+// strict majority of the fan-out to agree bit-identically. HDC inference
+// is deterministic, so any disagreement means a corrupted or divergent
+// replica — surfaced as a 502 and counted, never papered over by
+// majority vote silently.
+func (g *Gateway) routeQuorum(ctx context.Context, cands []*backend, fn backendOp) (any, error) {
+	type result struct {
+		v   any
+		err error
+	}
+	results := make([]result, len(cands))
+	var wg sync.WaitGroup
+	for i, b := range cands {
+		wg.Add(1)
+		go func(i int, b *backend) {
+			defer wg.Done()
+			b.requests.Add(1)
+			v, err := fn(ctx, b.cli)
+			results[i] = result{v, err}
+			if err != nil {
+				if shed(err) {
+					b.shed.Add(1)
+				} else if _, definitive := callerFault(err); !definitive {
+					b.failures.Add(1)
+				}
+			}
+		}(i, b)
+	}
+	wg.Wait()
+
+	// Group bit-identical successes; the quorum bar is a strict majority
+	// of the whole fan-out, so lost replicas weaken — never fake — a
+	// quorum.
+	type group struct {
+		v any
+		n int
+	}
+	var groups []*group
+	allShed := true
+	var lastErr error
+	for _, r := range results {
+		if r.err != nil {
+			if se, definitive := callerFault(r.err); definitive {
+				return nil, &routeError{status: se.Code, err: errors.New(se.Message)}
+			}
+			if !shed(r.err) {
+				allShed = false
+			}
+			lastErr = r.err
+			continue
+		}
+		placed := false
+		for _, grp := range groups {
+			if reflect.DeepEqual(grp.v, r.v) {
+				grp.n++
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			groups = append(groups, &group{v: r.v, n: 1})
+		}
+	}
+	if len(groups) > 1 {
+		metricQuorumMismatches.Inc()
+		logger.Warn("quorum mismatch", "groups", len(groups), "replicas", len(cands))
+	}
+	need := len(cands)/2 + 1
+	var best *group
+	for _, grp := range groups {
+		if best == nil || grp.n > best.n {
+			best = grp
+		}
+	}
+	if best != nil && best.n >= need {
+		return best.v, nil
+	}
+	if len(groups) > 1 {
+		return nil, &routeError{status: http.StatusBadGateway,
+			err: fmt.Errorf("quorum mismatch: %d distinct answers across %d replicas", len(groups), len(cands))}
+	}
+	// Reaching here means at most one answer group short of a majority,
+	// so at least one replica errored and lastErr is set.
+	return nil, terminal(lastErr, allShed && best == nil, len(cands))
+}
+
+// terminal wraps the last hop error as the gateway's answer: 503 with a
+// Retry-After when every replica merely shed (the fleet is overloaded,
+// not broken), 502 otherwise.
+func terminal(lastErr error, allShed bool, tried int) error {
+	if lastErr == nil {
+		lastErr = errors.New("no replica answered")
+	}
+	if allShed {
+		return &routeError{status: http.StatusServiceUnavailable, retryAfter: 1,
+			err: fmt.Errorf("all %d replicas shed the request: %w", tried, lastErr)}
+	}
+	return &routeError{status: http.StatusBadGateway,
+		err: fmt.Errorf("all %d replicas failed: %w", tried, lastErr)}
+}

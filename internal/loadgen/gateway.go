@@ -1,0 +1,89 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+
+	"prid/internal/gateway"
+)
+
+// Gateway awareness: when the load target is a `prid gateway` rather
+// than a single serve node, the run scrapes /gatewayz before and after
+// the pass and reports the per-backend delta — which backends absorbed
+// the traffic, which shed, which failed, and whether membership moved
+// mid-run. A plain serve target has no /gatewayz and the breakdown is
+// simply omitted; the generator itself needs no flag either way because
+// the gateway speaks the same /v1 surface.
+
+// BackendDelta is one backend's share of a load run, computed from the
+// /gatewayz counters on either side of the pass.
+type BackendDelta struct {
+	URL string `json:"url"`
+	// Healthy is the backend's state at the end of the run.
+	Healthy bool `json:"healthy"`
+	// Requests/Failures/Shed are the run's deltas: calls the gateway
+	// routed to this backend, the hops that hard-failed, and the hops the
+	// backend refused protectively (503/429).
+	Requests int64 `json:"requests"`
+	Failures int64 `json:"failures"`
+	Shed     int64 `json:"shed"`
+	// Transitions counts health flips during the run (0 in a steady
+	// fleet).
+	Transitions int64 `json:"transitions"`
+}
+
+// GatewayBreakdown is the fleet view attached to a Report when the
+// target was a gateway.
+type GatewayBreakdown struct {
+	// Healthy is the healthy-backend count at the end of the run, out of
+	// Configured.
+	Healthy    int            `json:"healthy"`
+	Configured int            `json:"configured"`
+	Backends   []BackendDelta `json:"backends"`
+}
+
+// scrapeGatewayz fetches the target's /gatewayz view; (nil, nil) means
+// the target is not a gateway.
+func scrapeGatewayz(baseURL string) (*gateway.GatewayzResponse, error) {
+	resp, err := http.Get(baseURL + "/gatewayz")
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: scraping /gatewayz: %w", err)
+	}
+	defer resp.Body.Close() //pridlint:allow errdrop read errors surface via the decoder; the close is best-effort
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, resp.Body) //pridlint:allow errdrop draining a 404 body for connection reuse
+		return nil, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("loadgen: /gatewayz status %d", resp.StatusCode)
+	}
+	var out gateway.GatewayzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("loadgen: parsing /gatewayz: %w", err)
+	}
+	return &out, nil
+}
+
+// gatewayDelta folds the before/after views into the per-backend run
+// breakdown.
+func gatewayDelta(before, after *gateway.GatewayzResponse) *GatewayBreakdown {
+	prior := map[string]gateway.BackendStatus{}
+	for _, b := range before.Backends {
+		prior[b.URL] = b
+	}
+	out := &GatewayBreakdown{Healthy: after.Healthy, Configured: len(after.Backends)}
+	for _, b := range after.Backends {
+		p := prior[b.URL] // zero value for a backend added mid-run (not possible today)
+		out.Backends = append(out.Backends, BackendDelta{
+			URL:         b.URL,
+			Healthy:     b.Healthy,
+			Requests:    b.Requests - p.Requests,
+			Failures:    b.Failures - p.Failures,
+			Shed:        b.Shed - p.Shed,
+			Transitions: b.Transitions - p.Transitions,
+		})
+	}
+	return out
+}

@@ -200,6 +200,12 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A gateway target gets its fleet counters sampled around the run for
+	// the per-backend breakdown; a plain serve target returns nil here.
+	gzBefore, err := scrapeGatewayz(cfg.BaseURL)
+	if err != nil {
+		return nil, err
+	}
 	logger.Info("load run starting", "shape", string(cfg.Shape), "rps", cfg.RPS,
 		"duration", cfg.Duration, "requests", len(plan), "model", w.model, "seed", cfg.Seed)
 
@@ -239,6 +245,15 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	wg.Wait()
 	elapsed := time.Since(start)
 	rep := buildReport(cfg, samples, elapsed)
+	if gzBefore != nil {
+		gzAfter, err := scrapeGatewayz(cfg.BaseURL)
+		if err != nil {
+			return nil, err
+		}
+		if gzAfter != nil {
+			rep.Gateway = gatewayDelta(gzBefore, gzAfter)
+		}
+	}
 	logger.Info("load run complete", "requests", rep.Overall.Requests,
 		"ok", rep.Overall.OK, "shed", rep.Overall.Shed, "failed", rep.Overall.Failed,
 		"p99_ms", rep.Overall.P99MS, "achieved_rps", rep.AchievedRPS)

@@ -40,6 +40,11 @@ type Report struct {
 	Overall   EndpointStats            `json:"overall"`
 	Endpoints map[string]EndpointStats `json:"endpoints"`
 
+	// Gateway is the per-backend breakdown when the target was a `prid
+	// gateway` (scraped from /gatewayz deltas); absent for a single
+	// serve node.
+	Gateway *GatewayBreakdown `json:"gateway,omitempty"`
+
 	SLO *SLOOutcome `json:"slo,omitempty"`
 }
 

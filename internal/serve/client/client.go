@@ -305,7 +305,16 @@ func (c *Client) do(ctx context.Context, op call) error {
 		ctx, cancel = context.WithTimeout(ctx, c.cfg.CallTimeout)
 		defer cancel()
 	}
-	op.requestID = obs.NewRequestID()
+	// A caller already holding a request trace — the gateway proxying an
+	// inbound request to a backend — propagates its request ID across the
+	// hop, so one user-visible request correlates end to end: gateway
+	// logs, backend logs, and both /debug/requests rings. Callers without
+	// a trace get one ID per logical call, resent on every retry attempt.
+	if id := obs.ReqTraceFrom(ctx).ID(); id != "" {
+		op.requestID = id
+	} else {
+		op.requestID = obs.NewRequestID()
+	}
 	attempts := 0
 	var lastErr error
 	for {

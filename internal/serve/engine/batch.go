@@ -1,4 +1,4 @@
-package serve
+package engine
 
 import (
 	"context"
@@ -17,14 +17,14 @@ var ErrBatcherClosed = errors.New("serve: batcher closed")
 // Model.PredictBatch bound to one registry entry.
 type predictFn func(x [][]float64) ([]int, error)
 
-// batcher micro-batches concurrent predict calls: the first request opens
+// Batcher micro-batches concurrent predict calls: the first request opens
 // a collection window, requests arriving within it (up to maxBatch) are
 // encoded together through the parallel batch path, and results fan back
 // out to the callers. Under concurrent load this amortizes the per-batch
 // costs (goroutine fan-out, metric writes) and keeps the encode workers
 // saturated; an idle server still answers a lone request after at most
 // one window.
-type batcher struct {
+type Batcher struct {
 	fn       predictFn
 	window   time.Duration
 	maxBatch int
@@ -56,11 +56,13 @@ type batchResult struct {
 	err   error
 }
 
-func newBatcher(fn predictFn, window time.Duration, maxBatch int) *batcher {
+// NewBatcher builds a batcher over fn with the given collection window
+// and batch-size cap (a cap below 1 is raised to 1).
+func NewBatcher(fn predictFn, window time.Duration, maxBatch int) *Batcher {
 	if maxBatch < 1 {
 		maxBatch = 1
 	}
-	b := &batcher{
+	b := &Batcher{
 		fn:       fn,
 		window:   window,
 		maxBatch: maxBatch,
@@ -74,7 +76,7 @@ func newBatcher(fn predictFn, window time.Duration, maxBatch int) *batcher {
 
 // Predict submits one row and blocks until its batch is classified, the
 // context expires, or the batcher closes.
-func (b *batcher) Predict(ctx context.Context, x []float64) (int, error) {
+func (b *Batcher) Predict(ctx context.Context, x []float64) (int, error) {
 	req := &batchReq{
 		x:        x,
 		out:      make(chan batchResult, 1),
@@ -103,7 +105,7 @@ func (b *batcher) Predict(ctx context.Context, x []float64) (int, error) {
 	}
 }
 
-func (b *batcher) loop() {
+func (b *Batcher) loop() {
 	defer close(b.loopDone)
 	for {
 		select {
@@ -127,7 +129,7 @@ func (b *batcher) loop() {
 // collect gathers up to maxBatch requests within one window, starting
 // from first, and flushes them as a single batch. A close signal cuts
 // the window short — shutdown must not wait out an idle window.
-func (b *batcher) collect(first *batchReq) {
+func (b *Batcher) collect(first *batchReq) {
 	batch := append(make([]*batchReq, 0, b.maxBatch), first)
 	timer := time.NewTimer(b.window)
 	defer timer.Stop()
@@ -146,18 +148,18 @@ func (b *batcher) collect(first *batchReq) {
 	b.flush(batch)
 }
 
-func (b *batcher) flush(batch []*batchReq) {
+func (b *Batcher) flush(batch []*batchReq) {
 	rows := make([][]float64, len(batch))
 	for i, req := range batch {
 		rows[i] = req.x
-		req.tr.Mark(stageBatchQueue)
+		req.tr.Mark(StageBatchQueue)
 	}
 	start := time.Now()
 	observeBatch(batch, start)
 	classes, err := b.fn(rows)
 	metricBatchServiceSeconds.ObserveSince(start)
 	for i, req := range batch {
-		req.tr.Mark(stagePredict)
+		req.tr.Mark(StagePredict)
 		if err != nil {
 			req.out <- batchResult{err: err}
 			continue
@@ -169,7 +171,7 @@ func (b *batcher) flush(batch []*batchReq) {
 // Close stops the collection loop after it drains queued requests.
 // Requests already submitted still receive results; later Predict calls
 // fail with ErrBatcherClosed.
-func (b *batcher) Close() {
+func (b *Batcher) Close() {
 	b.mu.Lock()
 	if b.closed {
 		b.mu.Unlock()

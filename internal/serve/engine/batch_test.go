@@ -1,4 +1,4 @@
-package serve
+package engine
 
 import (
 	"context"
@@ -37,7 +37,7 @@ func (e *echoFn) predict(x [][]float64) ([]int, error) {
 
 func TestBatcherSingleRequest(t *testing.T) {
 	fn := &echoFn{}
-	b := newBatcher(fn.predict, time.Millisecond, 8)
+	b := NewBatcher(fn.predict, time.Millisecond, 8)
 	defer b.Close()
 	class, err := b.Predict(context.Background(), []float64{7})
 	if err != nil {
@@ -53,7 +53,7 @@ func TestBatcherCoalescesConcurrentRequests(t *testing.T) {
 	// A long window forces coalescing: the batch can only flush early by
 	// filling up, so all n requests must land in one call.
 	const n = 6
-	b := newBatcher(fn.predict, 10*time.Second, n)
+	b := NewBatcher(fn.predict, 10*time.Second, n)
 	defer b.Close()
 	var wg sync.WaitGroup
 	results := make([]int, n)
@@ -88,7 +88,7 @@ func TestBatcherCoalescesConcurrentRequests(t *testing.T) {
 
 func TestBatcherPropagatesErrors(t *testing.T) {
 	fn := &echoFn{fail: errors.New("model exploded")}
-	b := newBatcher(fn.predict, time.Millisecond, 4)
+	b := NewBatcher(fn.predict, time.Millisecond, 4)
 	defer b.Close()
 	if _, err := b.Predict(context.Background(), []float64{1}); err == nil || err.Error() != "model exploded" {
 		t.Fatalf("err = %v, want model exploded", err)
@@ -97,7 +97,7 @@ func TestBatcherPropagatesErrors(t *testing.T) {
 
 func TestBatcherContextCancellation(t *testing.T) {
 	fn := &echoFn{}
-	b := newBatcher(fn.predict, time.Hour, 1000)
+	b := NewBatcher(fn.predict, time.Hour, 1000)
 	defer b.Close()
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel()
@@ -108,7 +108,7 @@ func TestBatcherContextCancellation(t *testing.T) {
 
 func TestBatcherClose(t *testing.T) {
 	fn := &echoFn{}
-	b := newBatcher(fn.predict, time.Millisecond, 4)
+	b := NewBatcher(fn.predict, time.Millisecond, 4)
 	b.Close()
 	b.Close() // idempotent
 	if _, err := b.Predict(context.Background(), []float64{1}); !errors.Is(err, ErrBatcherClosed) {
@@ -122,7 +122,7 @@ func TestBatcherCloseDrainsQueued(t *testing.T) {
 	// never misroute. Run under -race this also proves the enqueue/close
 	// ordering.
 	fn := &echoFn{}
-	b := newBatcher(fn.predict, 500*time.Microsecond, 4)
+	b := NewBatcher(fn.predict, 500*time.Microsecond, 4)
 	var wg sync.WaitGroup
 	for i := 0; i < 32; i++ {
 		wg.Add(1)
@@ -154,7 +154,7 @@ func TestBatcherCloseDrainsQueued(t *testing.T) {
 func TestBatcherRespectsMaxBatch(t *testing.T) {
 	fn := &echoFn{}
 	const maxBatch = 4
-	b := newBatcher(fn.predict, 20*time.Millisecond, maxBatch)
+	b := NewBatcher(fn.predict, 20*time.Millisecond, maxBatch)
 	defer b.Close()
 	var wg sync.WaitGroup
 	for i := 0; i < 3*maxBatch; i++ {

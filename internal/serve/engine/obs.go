@@ -1,0 +1,62 @@
+package engine
+
+import (
+	"time"
+
+	"prid/internal/obs"
+)
+
+// Metric handles are resolved once at package init per the obs hot-path
+// discipline. The names keep the serve.* prefix the dashboards and
+// integration tests were built against — the engine is the same serving
+// core, relocated below the transport.
+var (
+	logger = obs.Logger("serve.engine")
+
+	// Batching: per-batch row-count distribution plus the last size as a
+	// gauge. serve.batch.size buckets of 1 prove single-request batches;
+	// anything landing above the 1-bucket is cross-request micro-batching.
+	// Queue vs service split: queue_seconds is per request (enqueue →
+	// batch-fn start, the latency cost micro-batching charges a request),
+	// service_seconds is per batch (the fn execution those requests then
+	// share).
+	metricBatchSize           = obs.GetHistogram("serve.batch.size", obs.ExponentialBuckets(1, 2, 10))
+	metricBatchLast           = obs.GetGauge("serve.batch.last_size")
+	metricBatchRows           = obs.GetCounter("serve.batch.rows")
+	metricBatchQueueSeconds   = obs.GetHistogram("serve.batch.queue_seconds", nil)
+	metricBatchServiceSeconds = obs.GetHistogram("serve.batch.service_seconds", nil)
+
+	metricReloads = obs.GetCounter("serve.reloads")
+)
+
+// Request-trace stage names the engine marks, in pipeline order. Each
+// Mark records the END of the named stage; transport adapters add their
+// own stages (admission, response write) around these.
+const (
+	// StageBatchQueue ends when a request's micro-batch starts executing.
+	StageBatchQueue = "batch_queue"
+	// StagePredict ends when the batch (or direct) predict returns.
+	StagePredict = "predict"
+)
+
+// observeBatch records one flushed predict batch: the size metrics, the
+// batch-fn service time, and each member request's queue wait (both the
+// histogram and its trace's stage mark).
+func observeBatch(batch []*batchReq, start time.Time) {
+	size := len(batch)
+	metricBatchSize.Observe(float64(size))
+	metricBatchLast.Set(float64(size))
+	metricBatchRows.Add(int64(size))
+	for _, req := range batch {
+		metricBatchQueueSeconds.Observe(start.Sub(req.enqueued).Seconds())
+	}
+}
+
+// observeBatchDirect records a bypass batch (a request that was already
+// batch-sized): no queue wait, service time measured by the caller.
+func observeBatchDirect(size int, service time.Duration) {
+	metricBatchSize.Observe(float64(size))
+	metricBatchLast.Set(float64(size))
+	metricBatchRows.Add(int64(size))
+	metricBatchServiceSeconds.Observe(service.Seconds())
+}

@@ -1,4 +1,4 @@
-package serve
+package engine
 
 import (
 	"fmt"
@@ -10,7 +10,7 @@ import (
 )
 
 // ModelInfo is the public shape of one registry entry, what GET
-// /v1/models returns.
+// /v1/models returns on every serving front end.
 type ModelInfo struct {
 	Name      string    `json:"name"`
 	Path      string    `json:"path,omitempty"`
@@ -20,22 +20,31 @@ type ModelInfo struct {
 	LoadedAt  time.Time `json:"loaded_at"`
 }
 
-// entry binds one named model to its micro-batcher and a lazily built
+// Entry binds one named model to its micro-batcher and a lazily built
 // attacker (the attacker decodes every class hypervector up front, which
 // is wasted work for models never probed through /v1/reconstruct).
-type entry struct {
+type Entry struct {
 	info  ModelInfo
 	model *prid.Model
-	batch *batcher
+	batch *Batcher
 
 	attackOnce sync.Once
 	attacker   *prid.Attacker
 	attackErr  error
 }
 
+// Info returns the entry's listing metadata.
+func (e *Entry) Info() ModelInfo { return e.info }
+
+// Model returns the loaded model.
+func (e *Entry) Model() *prid.Model { return e.model }
+
+// Batch returns the entry's micro-batcher.
+func (e *Entry) Batch() *Batcher { return e.batch }
+
 // Attacker returns the entry's shared attacker, constructing it on first
 // use.
-func (e *entry) Attacker() (*prid.Attacker, error) {
+func (e *Entry) Attacker() (*prid.Attacker, error) {
 	e.attackOnce.Do(func() {
 		e.attacker, e.attackErr = prid.NewAttacker(e.model)
 	})
@@ -49,26 +58,26 @@ func (e *entry) Attacker() (*prid.Attacker, error) {
 // serving requests that already hold them — their batcher drains before
 // closing.
 type Registry struct {
-	newBatcher func(m *prid.Model) *batcher
+	newBatcher func(m *prid.Model) *Batcher
 
 	mu      sync.RWMutex
-	entries map[string]*entry
+	entries map[string]*Entry
 }
 
 // NewRegistry returns an empty registry whose entries micro-batch through
 // batchers built by mk (nil selects batchers that flush every request
 // individually — registry tests use that).
-func NewRegistry(mk func(m *prid.Model) *batcher) *Registry {
+func NewRegistry(mk func(m *prid.Model) *Batcher) *Registry {
 	if mk == nil {
-		mk = func(m *prid.Model) *batcher { return newBatcher(m.PredictBatch, 0, 1) }
+		mk = func(m *prid.Model) *Batcher { return NewBatcher(m.PredictBatch, 0, 1) }
 	}
-	return &Registry{newBatcher: mk, entries: make(map[string]*entry)}
+	return &Registry{newBatcher: mk, entries: make(map[string]*Entry)}
 }
 
 // Register installs model under name. A model already registered under
 // that name is replaced atomically; its batcher drains and closes.
 func (r *Registry) Register(name, path string, model *prid.Model) {
-	e := &entry{
+	e := &Entry{
 		info: ModelInfo{
 			Name:      name,
 			Path:      path,
@@ -107,7 +116,7 @@ func (r *Registry) LoadFile(name, path string) error {
 // the sweep; models already reloaded stay reloaded.
 func (r *Registry) Reload() (int, error) {
 	r.mu.RLock()
-	backed := make([]*entry, 0, len(r.entries))
+	backed := make([]*Entry, 0, len(r.entries))
 	for _, e := range r.entries {
 		if e.info.Path != "" {
 			backed = append(backed, e)
@@ -125,7 +134,7 @@ func (r *Registry) Reload() (int, error) {
 }
 
 // Get returns the entry serving name.
-func (r *Registry) Get(name string) (*entry, bool) {
+func (r *Registry) Get(name string) (*Entry, bool) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	e, ok := r.entries[name]
@@ -155,7 +164,7 @@ func (r *Registry) Len() int {
 func (r *Registry) Close() {
 	r.mu.Lock()
 	entries := r.entries
-	r.entries = make(map[string]*entry)
+	r.entries = make(map[string]*Entry)
 	r.mu.Unlock()
 	for _, e := range entries {
 		e.batch.Close()

@@ -1,4 +1,4 @@
-package serve
+package engine
 
 import (
 	"context"
@@ -66,8 +66,8 @@ func TestRegistryRegisterGetList(t *testing.T) {
 	if !ok {
 		t.Fatal("alpha missing")
 	}
-	if e.info.Dimension != 512 {
-		t.Fatalf("alpha dimension %d, want 512", e.info.Dimension)
+	if e.Info().Dimension != 512 {
+		t.Fatalf("alpha dimension %d, want 512", e.Info().Dimension)
 	}
 	if _, ok := r.Get("gamma"); ok {
 		t.Fatal("phantom model found")
@@ -91,8 +91,8 @@ func TestRegistryLoadFileAndReload(t *testing.T) {
 		t.Fatal(err)
 	}
 	e1, _ := r.Get("m")
-	if e1.info.Dimension != 256 {
-		t.Fatalf("dimension %d, want 256", e1.info.Dimension)
+	if e1.Info().Dimension != 256 {
+		t.Fatalf("dimension %d, want 256", e1.Info().Dimension)
 	}
 
 	// Hot swap: overwrite the file with a different model and reload.
@@ -108,15 +108,15 @@ func TestRegistryLoadFileAndReload(t *testing.T) {
 		t.Fatalf("reloaded %d entries, want 1", n)
 	}
 	e2, _ := r.Get("m")
-	if e2.info.Dimension != 512 {
-		t.Fatalf("dimension %d after reload, want 512", e2.info.Dimension)
+	if e2.Info().Dimension != 512 {
+		t.Fatalf("dimension %d after reload, want 512", e2.Info().Dimension)
 	}
 	// The replaced entry's batcher must be drained and closed; the new
 	// one must serve.
-	if _, err := e1.batch.Predict(context.Background(), make([]float64, 24)); !errors.Is(err, ErrBatcherClosed) {
+	if _, err := e1.Batch().Predict(context.Background(), make([]float64, 24)); !errors.Is(err, ErrBatcherClosed) {
 		t.Fatalf("old batcher err = %v, want ErrBatcherClosed", err)
 	}
-	if _, err := e2.batch.Predict(context.Background(), make([]float64, 24)); err != nil {
+	if _, err := e2.Batch().Predict(context.Background(), make([]float64, 24)); err != nil {
 		t.Fatalf("new batcher: %v", err)
 	}
 }

@@ -1,4 +1,4 @@
-package serve
+package engine
 
 import (
 	"context"
@@ -35,14 +35,14 @@ func TestReloadRaceNoTornReads(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	reg := NewRegistry(func(mm *prid.Model) *batcher {
+	reg := NewRegistry(func(mm *prid.Model) *Batcher {
 		fn := func(rows [][]float64) ([]int, error) {
 			if d := inj.Decide("predict"); d.Latency > 0 {
 				time.Sleep(d.Latency)
 			}
 			return mm.PredictBatch(rows)
 		}
-		return newBatcher(fn, time.Millisecond, 8)
+		return NewBatcher(fn, time.Millisecond, 8)
 	})
 	defer reg.Close()
 	if err := reg.LoadFile("m", path); err != nil {
@@ -90,7 +90,7 @@ func TestReloadRaceNoTornReads(t *testing.T) {
 						t.Errorf("worker %d: model vanished mid-run", w)
 						return
 					}
-					class, err := e.batch.Predict(ctx, queries[q])
+					class, err := e.Batch().Predict(ctx, queries[q])
 					if errors.Is(err, ErrBatcherClosed) {
 						closedRaces.Add(1)
 						continue

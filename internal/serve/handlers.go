@@ -5,13 +5,11 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
-	"math"
 	"net/http"
 	"net/http/pprof"
-	"sync"
-	"time"
 
 	"prid/internal/obs"
+	"prid/internal/serve/engine"
 )
 
 // maxBodyBytes caps request bodies (64 MB): audit requests legitimately
@@ -37,6 +35,27 @@ func writeError(w http.ResponseWriter, r *http.Request, status int, err error) e
 	return err
 }
 
+// statusOf maps an engine error classification to its HTTP status — the
+// adapter half of the engine's Kind contract.
+func statusOf(err error) int {
+	switch engine.KindOf(err) {
+	case engine.KindInvalid:
+		return http.StatusBadRequest
+	case engine.KindNotFound:
+		return http.StatusNotFound
+	case engine.KindUnavailable:
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+// writeEngineError is writeError with the status derived from the
+// engine's error kind.
+func writeEngineError(w http.ResponseWriter, r *http.Request, err error) error {
+	return writeError(w, r, statusOf(err), err)
+}
+
 // writeJSON emits a 200 with the JSON body, marking the end of the
 // request's service stage first so the trace splits handler compute from
 // response serialization.
@@ -58,31 +77,6 @@ func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
 	return nil
 }
 
-// checkFiniteRow rejects NaN/Inf features with a field-level message
-// (the JSON grammar cannot spell them, but the validation contract must
-// not depend on the transport: any future ingestion path — gRPC, binary
-// batch files, in-process callers — hits the same guard the root
-// package's Predict enforces).
-func checkFiniteRow(row []float64, field string) error {
-	for j, v := range row {
-		if math.IsNaN(v) || math.IsInf(v, 0) {
-			return fmt.Errorf("%s[%d] is %v: features must be finite", field, j, v)
-		}
-	}
-	return nil
-}
-
-// checkFiniteRows is checkFiniteRow over a batch, naming the offending
-// row and feature.
-func checkFiniteRows(rows [][]float64, field string) error {
-	for i, row := range rows {
-		if err := checkFiniteRow(row, fmt.Sprintf("%s[%d]", field, i)); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
 // requireMethod enforces the endpoint's method, answering 405 itself.
 func requireMethod(w http.ResponseWriter, r *http.Request, method string) error {
 	if r.Method != method {
@@ -91,18 +85,6 @@ func requireMethod(w http.ResponseWriter, r *http.Request, method string) error 
 			fmt.Errorf("%s requires %s, got %s", r.URL.Path, method, r.Method))
 	}
 	return nil
-}
-
-// lookup resolves the named model, answering 404 itself on a miss.
-func (s *Server) lookup(w http.ResponseWriter, r *http.Request, name string) (*entry, error) {
-	if name == "" {
-		return nil, writeError(w, r, http.StatusBadRequest, errors.New(`missing "model" field`))
-	}
-	e, ok := s.reg.Get(name)
-	if !ok {
-		return nil, writeError(w, r, http.StatusNotFound, fmt.Errorf("unknown model %q", name))
-	}
-	return e, nil
 }
 
 // --- GET /v1/models ---------------------------------------------------
@@ -115,7 +97,7 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) error {
 	if err := requireMethod(w, r, http.MethodGet); err != nil {
 		return err
 	}
-	return writeJSON(w, r, modelsResponse{Models: s.reg.List()})
+	return writeJSON(w, r, modelsResponse{Models: s.eng.Models()})
 }
 
 // --- POST /v1/models/reload -------------------------------------------
@@ -128,9 +110,9 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) error {
 	if err := requireMethod(w, r, http.MethodPost); err != nil {
 		return err
 	}
-	n, err := s.reg.Reload()
+	n, err := s.eng.Reload()
 	if err != nil {
-		return writeError(w, r, http.StatusInternalServerError, err)
+		return writeEngineError(w, r, err)
 	}
 	return writeJSON(w, r, reloadResponse{Reloaded: n})
 }
@@ -166,59 +148,11 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) error {
 	if len(rows) == 0 {
 		rows, field = [][]float64{req.Input}, "input"
 	}
-	e, err := s.lookup(w, r, req.Model)
+	classes, err := s.eng.Predict(r.Context(), req.Model, rows, field)
 	if err != nil {
-		return err
-	}
-	for i, row := range rows {
-		if len(row) != e.info.Features {
-			return writeError(w, r, http.StatusBadRequest,
-				fmt.Errorf("input %d has %d features, model %q expects %d", i, len(row), req.Model, e.info.Features))
-		}
-	}
-	if err := checkFiniteRows(rows, field); err != nil {
-		return writeError(w, r, http.StatusBadRequest, err)
-	}
-
-	// Large requests are already a full batch — run them straight through
-	// the parallel path. Small ones go through the micro-batcher so
-	// concurrent callers share encode fan-out.
-	var classes []int
-	if len(rows) >= s.cfg.BatchMax {
-		start := time.Now()
-		classes, err = e.model.PredictBatch(rows)
-		if err == nil {
-			observeBatchDirect(len(rows), time.Since(start))
-			obs.ReqTraceFrom(r.Context()).Mark(stagePredict)
-		}
-	} else {
-		classes, err = s.predictBatched(r, e, rows)
-	}
-	if err != nil {
-		status := http.StatusInternalServerError
-		if r.Context().Err() != nil || errors.Is(err, ErrBatcherClosed) {
-			status = http.StatusServiceUnavailable
-		}
-		return writeError(w, r, status, err)
+		return writeEngineError(w, r, err)
 	}
 	return writeJSON(w, r, predictResponse{Model: req.Model, Predictions: classes})
-}
-
-// predictBatched pushes each row through the entry's micro-batcher
-// concurrently and gathers the per-row results in order.
-func (s *Server) predictBatched(r *http.Request, e *entry, rows [][]float64) ([]int, error) {
-	classes := make([]int, len(rows))
-	errs := make([]error, len(rows))
-	var wg sync.WaitGroup
-	wg.Add(len(rows))
-	for i, row := range rows {
-		go func(i int, row []float64) {
-			defer wg.Done()
-			classes[i], errs[i] = e.batch.Predict(r.Context(), row)
-		}(i, row)
-	}
-	wg.Wait()
-	return classes, errors.Join(errs...)
 }
 
 // --- POST /v1/similarities --------------------------------------------
@@ -242,24 +176,11 @@ func (s *Server) handleSimilarities(w http.ResponseWriter, r *http.Request) erro
 	if err := decodeBody(w, r, &req); err != nil {
 		return writeError(w, r, http.StatusBadRequest, err)
 	}
-	e, err := s.lookup(w, r, req.Model)
+	class, sims, err := s.eng.Similarities(req.Model, req.Input)
 	if err != nil {
-		return err
+		return writeEngineError(w, r, err)
 	}
-	if err := checkFiniteRow(req.Input, "input"); err != nil {
-		return writeError(w, r, http.StatusBadRequest, err)
-	}
-	sims, err := e.model.Similarities(req.Input)
-	if err != nil {
-		return writeError(w, r, http.StatusBadRequest, err)
-	}
-	best := 0
-	for i, v := range sims {
-		if v > sims[best] {
-			best = i
-		}
-	}
-	return writeJSON(w, r, similaritiesResponse{Model: req.Model, Class: best, Similarities: sims})
+	return writeJSON(w, r, similaritiesResponse{Model: req.Model, Class: class, Similarities: sims})
 }
 
 // --- POST /v1/reconstruct ---------------------------------------------
@@ -276,10 +197,9 @@ type reconstructResponse struct {
 	Data       []float64 `json:"data"`
 }
 
-// handleReconstruct is the attacker's view of the serving boundary: it
-// mounts the PRID combined model-inversion attack against the named
-// model using nothing a query client would not hold. Its existence is the
-// point — a deployed HDC model answers this.
+// handleReconstruct is the attacker's view of the serving boundary: the
+// engine mounts the PRID combined model-inversion attack against the
+// named model using nothing a query client would not hold.
 func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) error {
 	if err := requireMethod(w, r, http.MethodPost); err != nil {
 		return err
@@ -288,23 +208,9 @@ func (s *Server) handleReconstruct(w http.ResponseWriter, r *http.Request) error
 	if err := decodeBody(w, r, &req); err != nil {
 		return writeError(w, r, http.StatusBadRequest, err)
 	}
-	e, err := s.lookup(w, r, req.Model)
+	recon, err := s.eng.Reconstruct(req.Model, req.Query)
 	if err != nil {
-		return err
-	}
-	// Same non-finite guard as the predict path: a NaN/Inf query would
-	// otherwise propagate through every masked-similarity probe of the
-	// reconstruction loop instead of failing at the boundary.
-	if err := checkFiniteRow(req.Query, "query"); err != nil {
-		return writeError(w, r, http.StatusBadRequest, err)
-	}
-	a, err := e.Attacker()
-	if err != nil {
-		return writeError(w, r, http.StatusInternalServerError, err)
-	}
-	recon, err := a.Reconstruct(req.Query)
-	if err != nil {
-		return writeError(w, r, http.StatusBadRequest, err)
+		return writeEngineError(w, r, err)
 	}
 	return writeJSON(w, r, reconstructResponse{
 		Model:      req.Model,
@@ -328,10 +234,9 @@ type auditResponse struct {
 	Queries int     `json:"queries"`
 }
 
-// handleAuditLeakage is the defender-side self-audit: given the training
-// set and probe queries, it measures the mean information leakage Δ an
-// attacker holding query access to this model would extract — the
-// paper's metric, behind the same boundary the attack uses.
+// handleAuditLeakage is the defender-side self-audit: the paper's mean
+// information leakage Δ, measured behind the same boundary the attack
+// uses.
 func (s *Server) handleAuditLeakage(w http.ResponseWriter, r *http.Request) error {
 	if err := requireMethod(w, r, http.MethodPost); err != nil {
 		return err
@@ -340,21 +245,9 @@ func (s *Server) handleAuditLeakage(w http.ResponseWriter, r *http.Request) erro
 	if err := decodeBody(w, r, &req); err != nil {
 		return writeError(w, r, http.StatusBadRequest, err)
 	}
-	e, err := s.lookup(w, r, req.Model)
+	leak, err := s.eng.AuditLeakage(req.Model, req.Train, req.Queries)
 	if err != nil {
-		return err
-	}
-	// Both payloads feed the reconstruction loop and the leakage metric;
-	// reject non-finite values field-by-field like every other endpoint.
-	if err := checkFiniteRows(req.Train, "train"); err != nil {
-		return writeError(w, r, http.StatusBadRequest, err)
-	}
-	if err := checkFiniteRows(req.Queries, "queries"); err != nil {
-		return writeError(w, r, http.StatusBadRequest, err)
-	}
-	leak, err := e.model.AuditLeakage(req.Train, req.Queries)
-	if err != nil {
-		return writeError(w, r, http.StatusBadRequest, err)
+		return writeEngineError(w, r, err)
 	}
 	return writeJSON(w, r, auditResponse{Model: req.Model, Leakage: leak, Queries: len(req.Queries)})
 }

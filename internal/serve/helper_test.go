@@ -1,0 +1,52 @@
+package serve
+
+import (
+	"testing"
+
+	"prid"
+	"prid/internal/rng"
+)
+
+// trainModel builds a small deterministic 3-class model over nFeatures
+// features, returning the model plus its train set and some held-out
+// queries (for audit/reconstruct tests). The engine package keeps its
+// own copy for the registry/batcher tests that moved there with the
+// transport/engine split.
+func trainModel(t testing.TB, seed uint64, nFeatures, dim int) (*prid.Model, [][]float64, [][]float64) {
+	t.Helper()
+	src := rng.New(seed)
+	const k, perClass = 3, 10
+	protos := make([][]float64, k)
+	for c := range protos {
+		p := make([]float64, nFeatures)
+		for _, j := range src.Sample(nFeatures, nFeatures/4) {
+			p[j] = src.Uniform(0.6, 1)
+		}
+		protos[c] = p
+	}
+	draw := func(c int, noise float64) []float64 {
+		v := make([]float64, nFeatures)
+		copy(v, protos[c])
+		for j := range v {
+			v[j] += src.Gaussian(0, noise)
+			if v[j] < 0 {
+				v[j] = 0
+			}
+		}
+		return v
+	}
+	var x, queries [][]float64
+	var y []int
+	for c := 0; c < k; c++ {
+		for i := 0; i < perClass; i++ {
+			x = append(x, draw(c, 0.08))
+			y = append(y, c)
+		}
+		queries = append(queries, draw(c, 0.2))
+	}
+	m, err := prid.TrainClassifier(x, y, k, prid.WithDimension(dim), prid.WithSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, x, queries
+}

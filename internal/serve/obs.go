@@ -8,6 +8,8 @@ import (
 
 // Metric handles are resolved once at package init per the obs hot-path
 // discipline: request accounting is a few atomic adds, no map lookups.
+// The batch and reload metrics moved to internal/serve/engine with the
+// code that records them; the serve.* names are unchanged.
 var (
 	logger = obs.Logger("serve")
 
@@ -17,26 +19,12 @@ var (
 	metricErrors   = map[string]*obs.Counter{}
 	metricSeconds  = map[string]*obs.Histogram{}
 
-	// Batching: per-batch row-count distribution plus the last size as a
-	// gauge. serve.batch.size buckets of 1 prove single-request batches;
-	// anything landing above the 1-bucket is cross-request micro-batching.
-	// Queue vs service split: queue_seconds is per request (enqueue →
-	// batch-fn start, the latency cost micro-batching charges a request),
-	// service_seconds is per batch (the fn execution those requests then
-	// share).
-	metricBatchSize           = obs.GetHistogram("serve.batch.size", obs.ExponentialBuckets(1, 2, 10))
-	metricBatchLast           = obs.GetGauge("serve.batch.last_size")
-	metricBatchRows           = obs.GetCounter("serve.batch.rows")
-	metricBatchQueueSeconds   = obs.GetHistogram("serve.batch.queue_seconds", nil)
-	metricBatchServiceSeconds = obs.GetHistogram("serve.batch.service_seconds", nil)
-
 	// Admission control and resilience. metricShed counts tiered
 	// load-shedding rejections per endpoint (capacity rejections land in
 	// metricRejected); metricPanics counts handler panics the recovery
 	// middleware converted into 500s.
 	metricInFlight = obs.GetGauge("serve.inflight")
 	metricRejected = obs.GetCounter("serve.rejected")
-	metricReloads  = obs.GetCounter("serve.reloads")
 	metricPanics   = obs.GetCounter("serve.panics")
 	metricShed     = map[string]*obs.Counter{}
 	// metricServeFailures counts accept-loop exits that were not a
@@ -56,39 +44,16 @@ func init() {
 	}
 }
 
-// Stage names of the request trace, in pipeline order. Each Mark records
-// the END of the named stage, so the /debug/requests breakdown reads as
-// consecutive deltas: admission wait, micro-batch queue wait, predict
-// (batch-fn) execution, handler service, response write.
+// Transport-owned stage names of the request trace. The engine marks its
+// own stages (batch queue wait, predict) between these; each Mark
+// records the END of the named stage, so the /debug/requests breakdown
+// reads as consecutive deltas: admission wait, micro-batch queue wait,
+// predict execution, handler service, response write.
 const (
-	stageAdmitted   = "admitted"
-	stageBatchQueue = "batch_queue"
-	stagePredict    = "predict"
-	stageService    = "service"
-	stageWrite      = "write"
+	stageAdmitted = "admitted"
+	stageService  = "service"
+	stageWrite    = "write"
 )
-
-// observeBatch records one flushed predict batch: the size metrics, the
-// batch-fn service time, and each member request's queue wait (both the
-// histogram and its trace's stage mark).
-func observeBatch(batch []*batchReq, start time.Time) {
-	size := len(batch)
-	metricBatchSize.Observe(float64(size))
-	metricBatchLast.Set(float64(size))
-	metricBatchRows.Add(int64(size))
-	for _, req := range batch {
-		metricBatchQueueSeconds.Observe(start.Sub(req.enqueued).Seconds())
-	}
-}
-
-// observeBatchDirect records a bypass batch (a request that was already
-// batch-sized): no queue wait, service time measured by the caller.
-func observeBatchDirect(size int, service time.Duration) {
-	metricBatchSize.Observe(float64(size))
-	metricBatchLast.Set(float64(size))
-	metricBatchRows.Add(int64(size))
-	metricBatchServiceSeconds.Observe(service.Seconds())
-}
 
 // observeRequest records one completed request on endpoint name.
 func observeRequest(name string, start time.Time, failed bool) {

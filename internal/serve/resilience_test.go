@@ -10,6 +10,7 @@ import (
 
 	"prid/internal/faultinject"
 	"prid/internal/obs"
+	"prid/internal/serve/engine"
 )
 
 func TestRetryAfterSeconds(t *testing.T) {
@@ -201,15 +202,15 @@ func TestTieredLoadShedding(t *testing.T) {
 }
 
 func TestCheckFiniteFieldErrors(t *testing.T) {
-	if err := checkFiniteRows([][]float64{{0, 1}, {2, math.NaN()}}, "inputs"); err == nil ||
+	if err := engine.CheckFiniteRows([][]float64{{0, 1}, {2, math.NaN()}}, "inputs"); err == nil ||
 		!strings.Contains(err.Error(), "inputs[1][1]") {
 		t.Fatalf("NaN error %v does not name inputs[1][1]", err)
 	}
-	if err := checkFiniteRow([]float64{0, math.Inf(-1)}, "input"); err == nil ||
+	if err := engine.CheckFiniteRow([]float64{0, math.Inf(-1)}, "input"); err == nil ||
 		!strings.Contains(err.Error(), "input[1]") {
 		t.Fatalf("-Inf error %v does not name input[1]", err)
 	}
-	if err := checkFiniteRows([][]float64{{0, 1}, {2, 3}}, "inputs"); err != nil {
+	if err := engine.CheckFiniteRows([][]float64{{0, 1}, {2, 3}}, "inputs"); err != nil {
 		t.Fatalf("finite rows rejected: %v", err)
 	}
 }

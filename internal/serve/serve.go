@@ -1,20 +1,19 @@
-// Package serve is the networked deployment layer of the PRID
-// reproduction: an HTTP JSON service that exposes a registry of trained
-// HDC models for prediction — and, because the paper's whole point is
-// what a deployed model gives away, the attacker's view of the same
-// boundary (/v1/reconstruct) and a defender self-audit
-// (/v1/audit/leakage). PRID's threat model is an adversary with query
-// access to a shared or served model; this package is that query access
-// made concrete.
+// Package serve is the HTTP transport adapter of the PRID serving
+// stack: a JSON-over-HTTP front end on the transport-agnostic engine
+// (internal/serve/engine) that holds the model registry and the predict
+// micro-batcher. The paper's whole point is what a deployed model gives
+// away, so beside prediction the same boundary exposes the attacker's
+// view (/v1/reconstruct) and a defender self-audit (/v1/audit/leakage):
+// PRID's threat model is an adversary with query access to a shared or
+// served model; this package is that query access made concrete.
 //
-// The hot path micro-batches concurrent predict requests (see batcher):
-// requests arriving within a small window are encoded together through
-// the root package's parallel PredictBatch and fanned back out.
-// Admission control is a fixed concurrency limit (503 + Retry-After when
-// saturated) with a per-request timeout; Shutdown drains in-flight work.
-// Every endpoint reports per-endpoint counters and latency histograms
-// plus batch-size metrics through internal/obs, published on the same
-// mux as /debug/vars and /debug/pprof.
+// The transport owns everything HTTP: routing, JSON codecs, admission
+// control (503 + Retry-After when saturated), tiered load shedding,
+// panic recovery, per-request timeouts, request-ID assignment, and
+// graceful drain. The engine owns everything domain: the registry, the
+// micro-batcher, input validation, and the predict/attack/audit
+// operations — which is exactly what lets internal/gateway front the
+// same engine surface across a fleet of these servers.
 //
 // The package is stdlib-only, like the rest of the module.
 package serve
@@ -27,10 +26,19 @@ import (
 	"sync/atomic"
 	"time"
 
-	"prid"
 	"prid/internal/faultinject"
 	"prid/internal/obs"
+	"prid/internal/serve/engine"
 )
+
+// ModelInfo is the public shape of one registry entry, what GET
+// /v1/models returns. It lives in the engine; the alias keeps the
+// transport's API surface self-contained.
+type ModelInfo = engine.ModelInfo
+
+// ErrBatcherClosed is returned by the engine when a predict lands on an
+// entry mid-reload or mid-shutdown; the transport maps it to 503.
+var ErrBatcherClosed = engine.ErrBatcherClosed
 
 // Config tunes a Server. The zero value is usable: defaults are filled in
 // by NewServer.
@@ -85,7 +93,8 @@ func (c Config) withDefaults() Config {
 // populate the registry, then Start and eventually Shutdown.
 type Server struct {
 	cfg Config
-	reg *Registry
+	eng *engine.Engine
+	reg *engine.Registry
 	srv *http.Server
 	ln  net.Listener
 	sem chan struct{}
@@ -103,12 +112,11 @@ func NewServer(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:  cfg,
+		eng:  engine.New(engine.Config{BatchWindow: cfg.BatchWindow, BatchMax: cfg.BatchMax}),
 		sem:  make(chan struct{}, cfg.MaxInFlight),
 		slow: obs.NewTraceRing(cfg.SlowTraces),
 	}
-	s.reg = NewRegistry(func(m *prid.Model) *batcher {
-		return newBatcher(m.PredictBatch, cfg.BatchWindow, cfg.BatchMax)
-	})
+	s.reg = s.eng.Registry()
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/readyz", s.handleReady)
@@ -127,7 +135,12 @@ func NewServer(cfg Config) *Server {
 
 // Registry exposes the server's model registry for population and
 // inspection.
-func (s *Server) Registry() *Registry { return s.reg }
+func (s *Server) Registry() *engine.Registry { return s.reg }
+
+// Engine exposes the transport's underlying engine — the same surface an
+// in-process caller (or a test asserting transport/domain parity) would
+// use directly.
+func (s *Server) Engine() *engine.Engine { return s.eng }
 
 // Start binds the configured address and serves in a background
 // goroutine until Shutdown.
@@ -158,11 +171,11 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 
 // Shutdown marks the server draining (visible on /readyz), stops
 // accepting new connections, waits for in-flight requests to drain
-// (bounded by ctx), then closes the registry's batchers.
+// (bounded by ctx), then closes the engine's batchers.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
 	err := s.srv.Shutdown(ctx)
-	s.reg.Close()
+	s.eng.Close()
 	if err != nil {
 		return fmt.Errorf("serve: shutdown: %w", err)
 	}

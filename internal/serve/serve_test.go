@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"prid/internal/obs"
+	"prid/internal/serve/engine"
 )
 
 // testServer starts a Server on a loopback port with two registered
@@ -60,7 +61,7 @@ func TestPredictRoundTrip(t *testing.T) {
 	_, _, queries := trainModel(t, 11, 24, 256)
 
 	// Single-input form must agree with the in-process model.
-	want, err := e.model.Predict(queries[0])
+	want, err := e.Model().Predict(queries[0])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestPredictRoundTrip(t *testing.T) {
 	}
 
 	// Multi-input form, element-wise.
-	wantBatch, err := e.model.PredictBatch(queries)
+	wantBatch, err := e.Model().PredictBatch(queries)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestSimilaritiesEndpoint(t *testing.T) {
 	s, base := testServer(t, Config{})
 	e, _ := s.Registry().Get("alpha")
 	_, _, queries := trainModel(t, 11, 24, 256)
-	want, err := e.model.Similarities(queries[1])
+	want, err := e.Model().Similarities(queries[1])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestReconstructAndAuditEndpoints(t *testing.T) {
 
 	// The served audit must agree exactly with the in-process audit —
 	// both are deterministic functions of (model, train, queries).
-	want, err := e.model.AuditLeakage(train, queries[:2])
+	want, err := e.Model().AuditLeakage(train, queries[:2])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +279,7 @@ func TestReconstructAndAuditRejectNonFinite(t *testing.T) {
 
 	// The guard the handlers wire in, with the handlers' field names.
 	rq := reconstructRequest{Model: "alpha", Query: []float64{0.1, math.NaN()}}
-	if err := checkFiniteRow(rq.Query, "query"); err == nil || !strings.Contains(err.Error(), "query[1]") {
+	if err := engine.CheckFiniteRow(rq.Query, "query"); err == nil || !strings.Contains(err.Error(), "query[1]") {
 		t.Fatalf("reconstruct NaN guard error %v does not name query[1]", err)
 	}
 	aq := auditRequest{
@@ -286,10 +287,10 @@ func TestReconstructAndAuditRejectNonFinite(t *testing.T) {
 		Train:   [][]float64{{0.1}, {math.Inf(1)}},
 		Queries: [][]float64{{math.Inf(-1)}},
 	}
-	if err := checkFiniteRows(aq.Train, "train"); err == nil || !strings.Contains(err.Error(), "train[1][0]") {
+	if err := engine.CheckFiniteRows(aq.Train, "train"); err == nil || !strings.Contains(err.Error(), "train[1][0]") {
 		t.Fatalf("audit +Inf guard error %v does not name train[1][0]", err)
 	}
-	if err := checkFiniteRows(aq.Queries, "queries"); err == nil || !strings.Contains(err.Error(), "queries[0][0]") {
+	if err := engine.CheckFiniteRows(aq.Queries, "queries"); err == nil || !strings.Contains(err.Error(), "queries[0][0]") {
 		t.Fatalf("audit -Inf guard error %v does not name queries[0][0]", err)
 	}
 }
@@ -430,7 +431,7 @@ func TestLargeBatchBypass(t *testing.T) {
 	s, base := testServer(t, Config{BatchMax: 2})
 	e, _ := s.Registry().Get("alpha")
 	_, _, queries := trainModel(t, 11, 24, 256)
-	want, err := e.model.PredictBatch(queries)
+	want, err := e.Model().PredictBatch(queries)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -476,8 +477,8 @@ func TestServeReloadEndpoint(t *testing.T) {
 		t.Fatalf("reloaded %d, want 1 (only gamma is file-backed)", rr.Reloaded)
 	}
 	e, _ := s.Registry().Get("gamma")
-	if e.info.Dimension != 512 {
-		t.Fatalf("gamma dimension %d after reload, want 512", e.info.Dimension)
+	if e.Info().Dimension != 512 {
+		t.Fatalf("gamma dimension %d after reload, want 512", e.Info().Dimension)
 	}
 }
 
