@@ -1,7 +1,8 @@
 # Tier-1+ gate for the PRID reproduction. `make check` is what a PR must
 # pass: formatting (gofmt -s), vet, the pridlint invariant suite, build,
-# the full test suite (shuffled), and the four end-to-end smokes
-# (serving correctness, chaos resilience, load/SLO, multi-node gateway).
+# the full test suite (shuffled), and the five end-to-end smokes
+# (serving correctness, chaos resilience, load/SLO, multi-node gateway,
+# crash durability).
 # `make race` additionally runs the race detector over the packages with
 # concurrency (and everything else), `make chaos` hammers the server
 # with an aggressive fault schedule, `make soak` runs the minutes-long
@@ -11,7 +12,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt lint check bench bench-compile bench-snapshot serve-smoke chaos-smoke chaos load-smoke gateway-smoke soak slo-snapshot
+.PHONY: build test race vet fmt lint check bench bench-compile bench-snapshot serve-smoke chaos-smoke chaos load-smoke gateway-smoke crash-smoke soak slo-snapshot
 
 build:
 	$(GO) build ./...
@@ -55,7 +56,7 @@ fmt:
 lint:
 	$(GO) run ./cmd/pridlint ./...
 
-check: fmt vet lint build test bench-compile serve-smoke chaos-smoke load-smoke gateway-smoke
+check: fmt vet lint build test bench-compile serve-smoke chaos-smoke load-smoke gateway-smoke crash-smoke
 
 # Benchmark-compile gate: every benchmark must build and survive one
 # iteration, so benches cannot rot uncompiled (or silently broken)
@@ -99,6 +100,15 @@ load-smoke:
 # transitions, a bit-identical quorum majority, and a leak-free drain.
 gateway-smoke:
 	$(GO) run ./cmd/gateway-smoke
+
+# Durability gate: SIGKILLs a snapshot writer mid-write, bit-flips and
+# truncates the newest generations, then requires two real `prid serve
+# --store` processes behind the gateway to recover to the last intact
+# generation — bit-identical predictions, zero dropped requests through
+# a backend kill -9 and restart, corrupt generations reported on
+# /debug/vars, and forward-only motion on fleet reload.
+crash-smoke:
+	$(GO) run ./cmd/crash-smoke
 
 # Endurance profile (NOT part of check; minutes-long by design): the
 # gateway fleet under continuous bit-identical traffic with a rotating

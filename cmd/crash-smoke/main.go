@@ -1,0 +1,606 @@
+// Command crash-smoke is the durability gate, run by `make crash-smoke`
+// (and therefore `make check`). It attacks the snapshot store the way a
+// machine does — kill -9 mid-write, bit flips, truncation — and asserts
+// the serving stack recovers to the last known-good generation without
+// dropping a request.
+//
+// The choreography:
+//
+//  1. train a model in-process, save it as generation 1 of a snapshot
+//     store, and record its predictions — the bit-identical baseline;
+//  2. re-exec this binary as a deliberately slow snapshot writer and
+//     SIGKILL it mid-write: the store must show temp-file debris but an
+//     untouched manifest (generation 1 intact);
+//  3. write generation 2 and flip one byte of its payload; write
+//     generation 3 and truncate it — the newest *intact* generation is
+//     still 1;
+//  4. boot two real `prid serve --store` OS processes behind an
+//     in-process gateway: both must fall back to generation 1, serve
+//     bit-identical predictions, and report the skipped generations on
+//     /debug/vars (store.corrupt_generations) and /v1/models;
+//  5. SIGKILL one backend under live traffic and restart it on the same
+//     address: the gateway must absorb the crash with zero dropped
+//     requests, and the restarted process must recover to generation 1
+//     on its own;
+//  6. save an intact generation 4 and reload through the gateway: every
+//     backend must advance to it (the no-rollback guard allows forward
+//     motion only) and serve the new model's predictions.
+//
+// Any violation exits non-zero.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"prid"
+	"prid/internal/dataset"
+	"prid/internal/gateway"
+	"prid/internal/store"
+)
+
+func main() {
+	requests := flag.Int("requests", 200, "minimum predict requests to drive through the crash")
+	workers := flag.Int("workers", 4, "concurrent client workers")
+	slowWrite := flag.String("slow-write", "", "internal: run as the slow snapshot writer against this store dir")
+	flag.Parse()
+	if *slowWrite != "" {
+		if err := slowWriteChild(*slowWrite); err != nil {
+			fmt.Fprintln(os.Stderr, "crash-smoke writer:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if err := run(*requests, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "crash-smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("crash-smoke: OK")
+}
+
+// slowWriteChild is the re-exec'd victim: it saves a generation whose
+// payload trickles out over ~20s, giving the parent a wide window to
+// SIGKILL it mid-write. It must never finish in a passing run.
+func slowWriteChild(dir string) error {
+	st, err := store.Open(dir, store.Config{})
+	if err != nil {
+		return err
+	}
+	_, err = st.Save("activity", store.Info{Features: 1, Dimension: 1, Classes: 1}, func(w io.Writer) error {
+		chunk := bytes.Repeat([]byte{0x42}, 4096)
+		for i := 0; i < 1000; i++ {
+			if _, err := w.Write(chunk); err != nil {
+				return err
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		return nil
+	})
+	return err
+}
+
+// backendProc is one real `prid serve` OS process — a crash gate needs
+// kill -9 semantics an in-process server cannot give.
+type backendProc struct {
+	cmd  *exec.Cmd
+	addr string
+}
+
+// startBackend boots `prid serve --store` on listen and waits for its
+// addr-file handshake.
+func startBackend(bin, storeDir, listen, addrFile string) (*backendProc, error) {
+	os.Remove(addrFile) //pridlint:allow errdrop stale addr-file from a previous boot; absence is the expected state
+	cmd := exec.Command(bin, "serve",
+		"--store", storeDir,
+		"--listen", listen,
+		"--addr-file", addrFile,
+		"--batch-window", "1ms",
+		"--drain", "5s")
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		data, err := os.ReadFile(addrFile)
+		if err == nil && len(data) > 0 {
+			return &backendProc{cmd: cmd, addr: strings.TrimSpace(string(data))}, nil
+		}
+		if cmd.ProcessState != nil {
+			return nil, fmt.Errorf("backend exited before handshake")
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill() //pridlint:allow errdrop best-effort cleanup of a backend that never came up
+			return nil, fmt.Errorf("backend on %s never wrote its addr-file", listen)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func (b *backendProc) sigkill() error {
+	if err := b.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	b.cmd.Wait() //pridlint:allow errdrop a killed process reports an error by design; reaping is the point
+	return nil
+}
+
+func (b *backendProc) sigterm() error {
+	if err := b.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return err
+	}
+	done := make(chan error, 1)
+	go func() { done <- b.cmd.Wait() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(15 * time.Second):
+		b.cmd.Process.Kill() //pridlint:allow errdrop escalation after a drain timeout; the gate fails anyway
+		return fmt.Errorf("backend %s did not drain within 15s of SIGTERM", b.addr)
+	}
+}
+
+// getJSON decodes one GET endpoint.
+func getJSON(httpc *http.Client, url string, out any) error {
+	resp, err := httpc.Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close() //pridlint:allow errdrop read errors surface via the decoder; the close is best-effort
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(resp.Body) //pridlint:allow errdrop best-effort error-body capture for the message
+		return fmt.Errorf("GET %s: status %d: %s", url, resp.StatusCode, raw)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// modelsView is the slice of /v1/models this gate cares about.
+type modelsView struct {
+	Models []struct {
+		Name       string `json:"name"`
+		Generation uint64 `json:"generation"`
+		Checksum   string `json:"checksum"`
+	} `json:"models"`
+}
+
+// backendGeneration asserts one backend serves model "activity" at the
+// wanted generation and checksum.
+func backendGeneration(httpc *http.Client, addr string, wantGen uint64, wantSHA string) error {
+	var mv modelsView
+	if err := getJSON(httpc, "http://"+addr+"/v1/models", &mv); err != nil {
+		return err
+	}
+	for _, m := range mv.Models {
+		if m.Name != "activity" {
+			continue
+		}
+		if m.Generation != wantGen || m.Checksum != wantSHA {
+			return fmt.Errorf("backend %s serves generation %d (sha %.12s), want generation %d (sha %.12s)",
+				addr, m.Generation, m.Checksum, wantGen, wantSHA)
+		}
+		return nil
+	}
+	return fmt.Errorf("backend %s does not list model activity: %+v", addr, mv)
+}
+
+// corruptCounter reads store.corrupt_generations off a backend's
+// /debug/vars.
+func corruptCounter(httpc *http.Client, addr string) (int64, error) {
+	var vars struct {
+		Metrics struct {
+			Counters map[string]int64 `json:"counters"`
+		} `json:"prid_metrics"`
+	}
+	if err := getJSON(httpc, "http://"+addr+"/debug/vars", &vars); err != nil {
+		return 0, err
+	}
+	return vars.Metrics.Counters["store.corrupt_generations"], nil
+}
+
+func run(requests, workers int) error {
+	scratch, err := os.MkdirTemp("", "prid-crash-smoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(scratch) //pridlint:allow errdrop best-effort temp-dir cleanup
+
+	// Real OS processes need a real binary.
+	bin := filepath.Join(scratch, "prid")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/prid")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		return fmt.Errorf("building prid binary: %w", err)
+	}
+
+	// --- stage 1: generation 1, the last known good ---------------------
+	cfg := dataset.DefaultConfig()
+	cfg.TrainSize = 90
+	cfg.TestSize = 30
+	ds, err := dataset.Load("ACTIVITY", cfg)
+	if err != nil {
+		return err
+	}
+	model, err := prid.TrainClassifier(ds.TrainX, ds.TrainY, ds.Classes, prid.WithDimension(512))
+	if err != nil {
+		return err
+	}
+	queries := ds.TestX
+	want, err := model.PredictBatch(queries)
+	if err != nil {
+		return err
+	}
+	storeDir := filepath.Join(scratch, "store")
+	st, err := store.Open(storeDir, store.Config{})
+	if err != nil {
+		return err
+	}
+	meta1, err := model.SaveGeneration(st, "activity", store.Info{})
+	if err != nil {
+		return err
+	}
+	modelDir := filepath.Join(storeDir, "activity")
+
+	// --- stage 2: kill -9 a writer mid-snapshot-write -------------------
+	exe, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	writer := exec.Command(exe, "-slow-write", storeDir)
+	writer.Stderr = os.Stderr
+	if err := writer.Start(); err != nil {
+		return err
+	}
+	tmpGlob := filepath.Join(modelDir, ".tmp-*")
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		matches, _ := filepath.Glob(tmpGlob) //pridlint:allow errdrop glob only errors on a malformed pattern
+		if len(matches) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			writer.Process.Kill() //pridlint:allow errdrop best-effort cleanup before failing the gate
+			return fmt.Errorf("slow writer produced no temp file within 15s")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := writer.Process.Kill(); err != nil {
+		return err
+	}
+	writer.Wait()                       //pridlint:allow errdrop a killed process reports an error by design; reaping is the point
+	debris, _ := filepath.Glob(tmpGlob) //pridlint:allow errdrop glob only errors on a malformed pattern
+	if len(debris) == 0 {
+		return fmt.Errorf("kill -9 mid-write left no temp debris — the crash window was not exercised")
+	}
+	gens, err := st.Generations("activity")
+	if err != nil {
+		return err
+	}
+	if len(gens) != 1 || gens[0].Generation != 1 {
+		return fmt.Errorf("manifest after mid-write kill lists %+v, want exactly generation 1", gens)
+	}
+	fmt.Printf("crash-smoke: kill -9 mid-write left %d temp file(s), manifest intact at generation 1\n", len(debris))
+
+	// --- stage 3: corrupt the two newest generations --------------------
+	if _, err := model.SaveGeneration(st, "activity", store.Info{}); err != nil {
+		return err
+	}
+	gen2 := filepath.Join(modelDir, "gen-00000002.prid")
+	data, err := os.ReadFile(gen2)
+	if err != nil {
+		return err
+	}
+	data[len(data)/2] ^= 0x40
+	//pridlint:allow atomicwrite deliberate bit-flip corruption of a snapshot under test
+	if err := os.WriteFile(gen2, data, 0o644); err != nil {
+		return err
+	}
+	if _, err := model.SaveGeneration(st, "activity", store.Info{}); err != nil {
+		return err
+	}
+	gen3 := filepath.Join(modelDir, "gen-00000003.prid")
+	fi, err := os.Stat(gen3)
+	if err != nil {
+		return err
+	}
+	if err := os.Truncate(gen3, fi.Size()/2); err != nil {
+		return err
+	}
+
+	// --- stage 4: a real fleet must recover to generation 1 -------------
+	backends := make([]*backendProc, 2)
+	addrFiles := make([]string, 2)
+	for i := range backends {
+		addrFiles[i] = filepath.Join(scratch, fmt.Sprintf("backend-%d.addr", i))
+		b, err := startBackend(bin, storeDir, "127.0.0.1:0", addrFiles[i])
+		if err != nil {
+			return err
+		}
+		backends[i] = b
+	}
+	defer func() {
+		for _, b := range backends {
+			if b.cmd.ProcessState == nil {
+				b.cmd.Process.Kill() //pridlint:allow errdrop last-resort cleanup on exit
+			}
+		}
+	}()
+	urls := []string{"http://" + backends[0].addr, "http://" + backends[1].addr}
+
+	baseline := runtime.NumGoroutine()
+	gw, err := gateway.New(gateway.Config{
+		Addr:              "127.0.0.1:0",
+		Backends:          urls,
+		ProbeInterval:     40 * time.Millisecond,
+		FailThreshold:     2,
+		ClientMaxAttempts: 6,
+		ClientBaseBackoff: 5 * time.Millisecond,
+		ClientMaxBackoff:  50 * time.Millisecond,
+		Store:             st,
+	})
+	if err != nil {
+		return err
+	}
+	if err := gw.Start(); err != nil {
+		return err
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		gw.Shutdown(ctx) //pridlint:allow errdrop best-effort shutdown on exit
+	}()
+	base := "http://" + gw.Addr()
+	httpc := &http.Client{Timeout: 30 * time.Second}
+
+	gz := func() (gateway.GatewayzResponse, error) {
+		var out gateway.GatewayzResponse
+		err := getJSON(httpc, base+"/gatewayz", &out)
+		return out, err
+	}
+	waitHealthy := func(n int) error {
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			view, err := gz()
+			if err != nil {
+				return err
+			}
+			if view.Healthy == n {
+				return nil
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("timed out waiting for %d healthy backends (have %d)", n, view.Healthy)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	if err := waitHealthy(2); err != nil {
+		return err
+	}
+
+	// Both backends fell back past two corrupt generations to the last
+	// known good, and said so.
+	for _, b := range backends {
+		if err := backendGeneration(httpc, b.addr, 1, meta1.SHA256); err != nil {
+			return fmt.Errorf("after corrupt-head boot: %w", err)
+		}
+		n, err := corruptCounter(httpc, b.addr)
+		if err != nil {
+			return err
+		}
+		if n < 2 {
+			return fmt.Errorf("backend %s reports %d corrupt generations on /debug/vars, want >= 2 (bit-flipped gen 2 + truncated gen 3)", b.addr, n)
+		}
+	}
+	fmt.Println("crash-smoke: both backends fell back to generation 1 and reported the corrupt generations")
+
+	// --- stage 5: zero dropped requests through a backend SIGKILL -------
+	var (
+		wg       sync.WaitGroup
+		sent     atomic.Int64
+		firstErr atomic.Value
+		stop     = make(chan struct{})
+	)
+	fail := func(err error) {
+		firstErr.CompareAndSwap(nil, err) //nolint:errcheck // keep the first failure only
+	}
+	predictOnce := func(w, i int, expected []int) {
+		q := (w + i) % len(queries)
+		body, err := json.Marshal(map[string]any{"model": "activity", "input": queries[q]})
+		if err != nil {
+			fail(err)
+			return
+		}
+		resp, err := httpc.Post(base+"/v1/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			fail(fmt.Errorf("worker %d request %d: %w", w, i, err))
+			return
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close() //pridlint:allow errdrop body fully read; close is best-effort
+		if err != nil {
+			fail(fmt.Errorf("worker %d request %d: reading body: %w", w, i, err))
+			return
+		}
+		if resp.StatusCode != http.StatusOK {
+			fail(fmt.Errorf("worker %d request %d: dropped with status %d: %s", w, i, resp.StatusCode, raw))
+			return
+		}
+		var out struct {
+			Predictions []int `json:"predictions"`
+		}
+		if err := json.Unmarshal(raw, &out); err != nil {
+			fail(fmt.Errorf("worker %d request %d: %w", w, i, err))
+			return
+		}
+		if len(out.Predictions) != 1 || out.Predictions[0] != expected[q] {
+			fail(fmt.Errorf("worker %d query %d: gateway served %v, last-known-good class %d",
+				w, q, out.Predictions, expected[q]))
+			return
+		}
+		sent.Add(1)
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if firstErr.Load() != nil {
+					return
+				}
+				predictOnce(w, i, want)
+			}
+		}(w)
+	}
+
+	time.Sleep(100 * time.Millisecond) // traffic established on last-known-good
+	victimAddr := backends[1].addr
+	if err := backends[1].sigkill(); err != nil {
+		return err
+	}
+	if err := waitHealthy(1); err != nil {
+		return fmt.Errorf("after SIGKILL: %w", err)
+	}
+	time.Sleep(150 * time.Millisecond) // serve from the survivor under traffic
+	revived, err := startBackend(bin, storeDir, victimAddr, addrFiles[1])
+	if err != nil {
+		return fmt.Errorf("restarting backend on %s: %w", victimAddr, err)
+	}
+	backends[1] = revived
+	if err := waitHealthy(2); err != nil {
+		return fmt.Errorf("after restart: %w", err)
+	}
+	// The restarted process walked the same corrupt store and recovered
+	// to the same generation.
+	if err := backendGeneration(httpc, revived.addr, 1, meta1.SHA256); err != nil {
+		return fmt.Errorf("restarted backend: %w", err)
+	}
+	if n, err := corruptCounter(httpc, revived.addr); err != nil {
+		return err
+	} else if n < 2 {
+		return fmt.Errorf("restarted backend reports %d corrupt generations, want >= 2", n)
+	}
+
+	for sent.Load() < int64(requests) && firstErr.Load() == nil {
+		time.Sleep(20 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+	if err, _ := firstErr.Load().(error); err != nil {
+		return err
+	}
+	fmt.Printf("crash-smoke: %d predictions bit-identical from last-known-good through SIGKILL/restart of %s\n",
+		sent.Load(), victimAddr)
+
+	// --- stage 6: forward motion — generation 4 via fleet reload --------
+	model4, err := prid.TrainClassifier(ds.TrainX, ds.TrainY, ds.Classes, prid.WithDimension(1024))
+	if err != nil {
+		return err
+	}
+	want4, err := model4.PredictBatch(queries)
+	if err != nil {
+		return err
+	}
+	meta4, err := model4.SaveGeneration(st, "activity", store.Info{})
+	if err != nil {
+		return err
+	}
+	if meta4.Generation != 4 {
+		return fmt.Errorf("fresh save landed on generation %d, want 4", meta4.Generation)
+	}
+	resp, err := httpc.Post(base+"/v1/models/reload", "application/json", nil)
+	if err != nil {
+		return err
+	}
+	raw, _ := io.ReadAll(resp.Body) //pridlint:allow errdrop best-effort body capture for the message
+	resp.Body.Close()               //pridlint:allow errdrop body already read; close is best-effort
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("fleet reload: status %d: %s", resp.StatusCode, raw)
+	}
+	for _, b := range backends {
+		if err := backendGeneration(httpc, b.addr, 4, meta4.SHA256); err != nil {
+			return fmt.Errorf("after reload: %w", err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		body, err := json.Marshal(map[string]any{"model": "activity", "input": queries[i]})
+		if err != nil {
+			return err
+		}
+		resp, err := httpc.Post(base+"/v1/predict", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return err
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close() //pridlint:allow errdrop body fully read; close is best-effort
+		if err != nil {
+			return err
+		}
+		var out struct {
+			Predictions []int `json:"predictions"`
+		}
+		if err := json.Unmarshal(raw, &out); err != nil {
+			return fmt.Errorf("predict after reload: %w (%s)", err, raw)
+		}
+		if len(out.Predictions) != 1 || out.Predictions[0] != want4[i] {
+			return fmt.Errorf("after reload query %d: gateway served %v, generation-4 class %d", i, out.Predictions, want4[i])
+		}
+	}
+	// The gateway's provenance view agrees: the store's head is 4.
+	view, err := gz()
+	if err != nil {
+		return err
+	}
+	headOK := false
+	for _, h := range view.StoreHeads {
+		if h.Model == "activity" && h.Generation == 4 && h.SHA256 == meta4.SHA256 {
+			headOK = true
+		}
+	}
+	if !headOK {
+		return fmt.Errorf("/gatewayz store_heads missing activity@4: %+v", view.StoreHeads)
+	}
+	fmt.Println("crash-smoke: fleet advanced to generation 4 via reload; /gatewayz store head agrees")
+
+	// --- drain and leak check -------------------------------------------
+	for _, b := range backends {
+		if err := b.sigterm(); err != nil {
+			return fmt.Errorf("draining backend %s: %w", b.addr, err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := gw.Shutdown(ctx); err != nil {
+		return fmt.Errorf("gateway drain: %w", err)
+	}
+	httpc.CloseIdleConnections()
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= baseline+3 {
+			fmt.Printf("crash-smoke: clean drain, %d goroutines (baseline %d)\n", n, baseline)
+			return nil
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			return fmt.Errorf("goroutine leak: %d alive, baseline %d\n%s",
+				n, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

@@ -3,6 +3,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -13,6 +14,7 @@ import (
 	"prid/internal/experiments"
 	"prid/internal/report"
 	"prid/internal/rng"
+	"prid/internal/store"
 	"prid/internal/vecmath"
 )
 
@@ -75,6 +77,9 @@ func cmdTrain(args []string) error {
 	fs := newFlagSet("train")
 	df := loadFlags(fs)
 	save := fs.String("save", "", "write the trained model (basis + classes) to this file")
+	storeDir := fs.String("store", "", "save the model as a new checksummed generation in this snapshot store")
+	storeName := fs.String("store-name", "", "model name inside --store (default: dataset name, lowercased)")
+	audit := fs.Bool("audit-leakage", false, "with --store: measure the attack leakage Δ and stamp it into the generation's manifest entry")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -87,18 +92,34 @@ func cmdTrain(args []string) error {
 		return err
 	}
 	if *save != "" {
-		f, err := os.Create(*save)
-		if err != nil {
-			return err
-		}
-		if err := model.Save(f); err != nil {
-			_ = f.Close()
-			return err
-		}
-		if err := f.Close(); err != nil {
+		if err := model.SaveFile(*save); err != nil {
 			return err
 		}
 		fmt.Printf("model written to %s\n", *save)
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Config{})
+		if err != nil {
+			return err
+		}
+		name := *storeName
+		if name == "" {
+			name = strings.ToLower(ds.Name)
+		}
+		var info store.Info
+		if *audit {
+			delta, err := model.AuditLeakage(ds.TrainX, ds.TestX)
+			if err != nil {
+				return err
+			}
+			info.Leakage = delta
+			info.HasLeakage = true
+		}
+		meta, err := model.SaveGeneration(st, name, info)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("model stored as %s generation %d (sha256 %s…)\n", name, meta.Generation, meta.SHA256[:12])
 	}
 	hdcAcc, err := model.Accuracy(ds.TestX, ds.TestY)
 	if err != nil {
@@ -376,17 +397,11 @@ func cmdExperiment(args []string) error {
 				return err
 			}
 			path := filepath.Join(*svgDir, id+".svg")
-			f, err := os.Create(path)
-			if err != nil {
-				return err
-			}
 			// The chart re-runs the experiment: runs are deterministic, so
 			// figure and table always agree, at the cost of a second pass.
-			if err := experiments.RunSVG(id, sc, f); err != nil {
-				_ = f.Close()
-				return err
-			}
-			if err := f.Close(); err != nil {
+			if _, _, err := store.AtomicWrite(path, 0o644, func(w io.Writer) error {
+				return experiments.RunSVG(id, sc, w)
+			}); err != nil {
 				return err
 			}
 			fmt.Fprintf(os.Stderr, "figure written to %s\n", path)

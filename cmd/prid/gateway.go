@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"prid/internal/gateway"
+	"prid/internal/store"
 )
 
 // backendFlags collects repeated --backend URL values.
@@ -46,11 +47,19 @@ func cmdGateway(args []string) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request processing timeout")
 	drain := fs.Duration("drain", 15*time.Second, "max time to drain in-flight requests on shutdown")
 	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
+	storeDir := fs.String("store", "", "expose this snapshot store's manifest heads on /gatewayz (provenance view; the gateway loads nothing from it)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if len(backends) == 0 {
 		return fmt.Errorf("gateway: no backends (use --backend URL at least once)")
+	}
+	var st *store.Store
+	if *storeDir != "" {
+		var err error
+		if st, err = store.Open(*storeDir, store.Config{}); err != nil {
+			return err
+		}
 	}
 	g, err := gateway.New(gateway.Config{
 		Addr:           *listen,
@@ -63,6 +72,7 @@ func cmdGateway(args []string) error {
 		FailThreshold:  *failThreshold,
 		MaxInFlight:    *inflight,
 		RequestTimeout: *timeout,
+		Store:          st,
 	})
 	if err != nil {
 		return err
@@ -73,7 +83,8 @@ func cmdGateway(args []string) error {
 	fmt.Fprintf(os.Stderr, "gateway: listening on http://%s (%d backends, replicas=%d, quorum=%v; /v1/* /gatewayz /debug/vars /debug/pprof)\n",
 		g.Addr(), len(backends), *replicas, *quorum)
 	if *addrFile != "" {
-		if err := os.WriteFile(*addrFile, []byte(g.Addr()), 0o644); err != nil {
+		// Atomic so a watcher script can never read a half-written address.
+		if err := store.AtomicWriteFile(*addrFile, []byte(g.Addr()), 0o644); err != nil {
 			return fmt.Errorf("gateway: writing --addr-file: %w", err)
 		}
 	}

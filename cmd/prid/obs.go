@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"prid/internal/obs"
+	"prid/internal/store"
 )
 
 // globalFlags are the observability flags accepted by every command, at
@@ -79,15 +80,7 @@ func setupObservability(g globalFlags) (cleanup func(), err error) {
 
 // writeTraceJSON dumps the span tree and metrics snapshot to path.
 func writeTraceJSON(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("writing trace: %w", err)
-	}
-	if err := obs.WriteTrace(f); err != nil {
-		_ = f.Close()
-		return fmt.Errorf("writing trace: %w", err)
-	}
-	if err := f.Close(); err != nil {
+	if _, _, err := store.AtomicWrite(path, 0o644, obs.WriteTrace); err != nil {
 		return fmt.Errorf("writing trace: %w", err)
 	}
 	fmt.Fprintf(os.Stderr, "trace written to %s\n", path)

@@ -12,6 +12,7 @@ import (
 
 	"prid/internal/faultinject"
 	"prid/internal/serve"
+	"prid/internal/store"
 )
 
 // modelFlags collects repeated --model name=path pairs.
@@ -43,6 +44,7 @@ func cmdServe(args []string) error {
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request processing timeout")
 	drain := fs.Duration("drain", 15*time.Second, "max time to drain in-flight requests on shutdown")
 	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
+	storeDir := fs.String("store", "", "serve every model in this snapshot store (newest intact generation; see 'prid train --store')")
 	chaos := fs.String("chaos", "", "inject faults per this schedule ([site.]kind=value,... — e.g. \"error=0.1,predict.latency=0.5:1ms-20ms\") for resilience testing")
 	chaosSeed := fs.Uint64("chaos-seed", 1, "seed for --chaos fault decisions")
 	if err := fs.Parse(args); err != nil {
@@ -84,8 +86,25 @@ func cmdServe(args []string) error {
 			}
 		}
 	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir, store.Config{})
+		if err != nil {
+			return err
+		}
+		names, err := st.Models()
+		if err != nil {
+			return err
+		}
+		for _, name := range names {
+			// Corruption fallback happens inside LoadStore: the registry gets
+			// the newest generation whose checksum verifies and which loads.
+			if err := s.Registry().LoadStore(name, st); err != nil {
+				return err
+			}
+		}
+	}
 	if s.Registry().Len() == 0 {
-		return fmt.Errorf("serve: no models loaded (use --model name=path or --models-dir; files come from 'prid train --save')")
+		return fmt.Errorf("serve: no models loaded (use --model name=path, --models-dir, or --store; files come from 'prid train --save', stores from 'prid train --store')")
 	}
 	if err := s.Start(); err != nil {
 		return err
@@ -93,7 +112,8 @@ func cmdServe(args []string) error {
 	fmt.Fprintf(os.Stderr, "serve: listening on http://%s (%d models; /v1/predict /v1/similarities /v1/reconstruct /v1/audit/leakage /v1/models /debug/vars /debug/pprof)\n",
 		s.Addr(), s.Registry().Len())
 	if *addrFile != "" {
-		if err := os.WriteFile(*addrFile, []byte(s.Addr()), 0o644); err != nil {
+		// Atomic so a watcher script can never read a half-written address.
+		if err := store.AtomicWriteFile(*addrFile, []byte(s.Addr()), 0o644); err != nil {
 			return fmt.Errorf("serve: writing --addr-file: %w", err)
 		}
 	}

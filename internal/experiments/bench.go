@@ -14,6 +14,7 @@ import (
 	"prid/internal/hdc"
 	"prid/internal/obs"
 	"prid/internal/rng"
+	"prid/internal/store"
 )
 
 // BenchResult is the machine-readable throughput snapshot written by
@@ -221,5 +222,5 @@ func WriteQuickBenchFile(sc Scale, path, label string) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(out, '\n'), 0o644)
+	return store.AtomicWriteFile(path, append(out, '\n'), 0o644)
 }

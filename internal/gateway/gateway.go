@@ -36,6 +36,7 @@ import (
 
 	"prid/internal/obs"
 	"prid/internal/serve/client"
+	"prid/internal/store"
 )
 
 // Config tunes a Gateway. Backends is required; everything else has a
@@ -85,6 +86,13 @@ type Config struct {
 	ClientMaxBackoff  time.Duration
 	// EventLog caps the /gatewayz membership event history (default 64).
 	EventLog int
+	// Store, when non-nil, gives the gateway a provenance view of the
+	// fleet's snapshot store: /gatewayz reports each model's manifest
+	// head (newest claimed generation, checksum, leakage Δ) so an
+	// operator can spot a backend serving an older generation than the
+	// store holds — the rollback evidence the snapshot layer exists to
+	// make visible. The gateway never loads models from it.
+	Store *store.Store
 }
 
 func (c Config) withDefaults() Config {

@@ -14,6 +14,7 @@ import (
 
 	"prid/internal/obs"
 	"prid/internal/serve/client"
+	"prid/internal/store"
 )
 
 // maxBodyBytes caps request bodies, matching the backend's limit: the
@@ -210,6 +211,12 @@ type GatewayzResponse struct {
 	Backends    []BackendStatus `json:"backends"`
 	RingMembers []string        `json:"ring_members"`
 	Events      []MemberEvent   `json:"events"`
+	// StoreHeads is present only when the gateway was given a snapshot
+	// store (--store): each model's manifest head — the generation the
+	// store *claims* is current. Comparing it against the generations the
+	// backends report on /v1/models exposes a fleet serving stale or
+	// rolled-back snapshots.
+	StoreHeads []store.ModelHead `json:"store_heads,omitempty"`
 }
 
 func (g *Gateway) handleGatewayz(w http.ResponseWriter, r *http.Request) {
@@ -221,6 +228,13 @@ func (g *Gateway) handleGatewayz(w http.ResponseWriter, r *http.Request) {
 		Healthy:     int(g.healthyN.Load()),
 		RingMembers: g.ring.Members(),
 		Events:      g.eventsSnapshot(),
+	}
+	if g.cfg.Store != nil {
+		// Best-effort provenance: an unreadable store must not take the
+		// membership view down with it.
+		if heads, err := g.cfg.Store.Heads(); err == nil {
+			resp.StoreHeads = heads
+		}
 	}
 	for _, url := range g.order {
 		resp.Backends = append(resp.Backends, g.backends[url].status())

@@ -2,8 +2,10 @@ package lint
 
 import (
 	"go/ast"
+	"go/constant"
 	"go/token"
 	"go/types"
+	"os"
 	"strconv"
 	"strings"
 )
@@ -345,4 +347,60 @@ func callName(info *types.Info, call *ast.CallExpr) string {
 		return fun.Sel.Name
 	}
 	return "call"
+}
+
+// --- atomicwrite -----------------------------------------------------------
+
+// AnalyzerAtomicWrite forbids raw os.Create/os.WriteFile (and os.OpenFile
+// with a create/truncate mode) outside internal/store. A bare write has
+// two crash windows the snapshot layer exists to close: a kill mid-write
+// leaves a torn file under the final name, and an unfsynced write can
+// roll back after power loss — for model files, silently reinstating an
+// older, possibly less-defended generation. Persistent artifacts go
+// through store.AtomicWrite/AtomicWriteFile; genuinely transient files
+// (fixtures, deliberate corruption in smoke gates) carry an allow
+// directive saying why.
+var AnalyzerAtomicWrite = &Analyzer{
+	Name: "atomicwrite",
+	Doc:  "forbid raw os.Create/os.WriteFile outside internal/store; use store.AtomicWrite for persistent artifacts",
+	Run:  runAtomicWrite,
+}
+
+func runAtomicWrite(p *Pass) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch name := pkgFuncName(p.Info, call.Fun); name {
+			case "os.Create", "os.WriteFile":
+				p.Report(call.Pos(), "%s writes non-atomically (torn file on crash, no fsync); use store.AtomicWrite/AtomicWriteFile or annotate why this file is transient", name)
+			case "os.OpenFile":
+				if openFileCreates(p.Info, call) {
+					p.Report(call.Pos(), "os.OpenFile with O_CREATE/O_TRUNC writes non-atomically; use store.AtomicWrite or annotate why this file is transient")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// openFileCreates reports whether an os.OpenFile call's flag argument
+// provably includes O_CREATE or O_TRUNC. Flags that cannot be evaluated
+// at compile time are let through: the analyzer only flags what it can
+// prove, and the errdrop-style fallback is review.
+func openFileCreates(info *types.Info, call *ast.CallExpr) bool {
+	if len(call.Args) < 2 {
+		return false
+	}
+	tv, ok := info.Types[call.Args[1]]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	if !ok {
+		return false
+	}
+	return v&(int64(os.O_CREATE)|int64(os.O_TRUNC)) != 0
 }

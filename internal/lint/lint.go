@@ -77,6 +77,7 @@ var Analyzers = []*Analyzer{
 	AnalyzerGoFan,
 	AnalyzerObsOnly,
 	AnalyzerErrDrop,
+	AnalyzerAtomicWrite,
 }
 
 // ByName returns the analyzer with the given name, or nil.
@@ -118,6 +119,9 @@ func isCore(relPath string) bool { return corePackages[relPath] }
 //     dropped errors and raw float comparisons are bugs anywhere).
 //   - obsonly: library packages only (package main prints to its user;
 //     libraries must go through obs component loggers).
+//   - atomicwrite: every package except internal/store itself — the
+//     store is where the sanctioned temp-file/fsync/rename machinery
+//     lives, so its own primitives are the one legitimate call site.
 func AnalyzersFor(relPath, pkgName string) []*Analyzer {
 	var out []*Analyzer
 	core := isCore(relPath)
@@ -130,6 +134,10 @@ func AnalyzersFor(relPath, pkgName string) []*Analyzer {
 			}
 		case "obsonly":
 			if library {
+				out = append(out, a)
+			}
+		case "atomicwrite":
+			if relPath != "internal/store" {
 				out = append(out, a)
 			}
 		default: // floateq, errdrop

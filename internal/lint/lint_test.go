@@ -117,16 +117,19 @@ func TestAnalyzersFor(t *testing.T) {
 		want         string
 	}{
 		// Numeric core: everything applies.
-		{"internal/vecmath", "vecmath", "determinism,errdrop,floateq,gofan,maporder,obsonly"},
-		{"internal/attack", "attack", "determinism,errdrop,floateq,gofan,maporder,obsonly"},
-		{"internal/experiments", "experiments", "determinism,errdrop,floateq,gofan,maporder,obsonly"},
+		{"internal/vecmath", "vecmath", "atomicwrite,determinism,errdrop,floateq,gofan,maporder,obsonly"},
+		{"internal/attack", "attack", "atomicwrite,determinism,errdrop,floateq,gofan,maporder,obsonly"},
+		{"internal/experiments", "experiments", "atomicwrite,determinism,errdrop,floateq,gofan,maporder,obsonly"},
 		// Library outside the core: no determinism/maporder/gofan.
-		{"internal/serve", "serve", "errdrop,floateq,obsonly"},
-		{"internal/rng", "rng", "errdrop,floateq,obsonly"},
-		{"", "prid", "errdrop,floateq,obsonly"},
-		// Commands: may print, still cannot drop errors or compare floats raw.
-		{"cmd/prid", "main", "errdrop,floateq"},
-		{"examples/quickstart", "main", "errdrop,floateq"},
+		{"internal/serve", "serve", "atomicwrite,errdrop,floateq,obsonly"},
+		{"internal/rng", "rng", "atomicwrite,errdrop,floateq,obsonly"},
+		{"", "prid", "atomicwrite,errdrop,floateq,obsonly"},
+		// The store itself is the sanctioned home of raw writes.
+		{"internal/store", "store", "errdrop,floateq,obsonly"},
+		// Commands: may print, still cannot drop errors, compare floats
+		// raw, or write persistent files non-atomically.
+		{"cmd/prid", "main", "atomicwrite,errdrop,floateq"},
+		{"examples/quickstart", "main", "atomicwrite,errdrop,floateq"},
 	}
 	for _, c := range cases {
 		if got := names(AnalyzersFor(c.rel, c.pkgName)); got != c.want {

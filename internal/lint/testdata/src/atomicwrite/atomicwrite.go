@@ -1,0 +1,45 @@
+// Package fixture exercises the atomicwrite analyzer: raw os.Create and
+// os.WriteFile are flagged, as is os.OpenFile with a provably creating
+// or truncating mode; read-only opens, the store's own primitives, and
+// annotated transient files are not.
+package fixture
+
+import (
+	"os"
+
+	"prid/internal/store"
+)
+
+func raw(path string, data []byte) {
+	f, _ := os.Create(path)             // want atomicwrite
+	_ = os.WriteFile(path, data, 0o644) // want atomicwrite
+	_ = f.Close()
+}
+
+func openFileModes(path string) {
+	f1, _ := os.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644) // want atomicwrite
+	f2, _ := os.OpenFile(path, os.O_RDWR|os.O_TRUNC, 0o644)    // want atomicwrite
+	f3, _ := os.OpenFile(path, os.O_RDWR|os.O_APPEND, 0o644)   // append-only: no torn-rename hazard
+	_, _ = f1, f2
+	_ = f3.Close()
+}
+
+func unprovableFlag(path string, flag int) {
+	// Runtime flag value: the analyzer only flags what it can prove.
+	f, _ := os.OpenFile(path, flag, 0o644)
+	_ = f.Close()
+}
+
+func sanctioned(path string, data []byte) error {
+	f, err := os.Open(path) // reads are fine
+	if err != nil {
+		return err
+	}
+	_ = f.Close()
+	return store.AtomicWriteFile(path, data, 0o644)
+}
+
+func annotated(path string, data []byte) error {
+	//pridlint:allow atomicwrite deliberate corruption of a scratch file in a test gate
+	return os.WriteFile(path, data, 0o644)
+}

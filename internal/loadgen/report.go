@@ -7,6 +7,8 @@ import (
 	"os"
 	"sort"
 	"time"
+
+	"prid/internal/store"
 )
 
 // EndpointStats aggregates one endpoint's (or the whole run's) samples.
@@ -203,5 +205,5 @@ func WriteReportFile(path, label string, rep *Report) error {
 	if err != nil {
 		return err
 	}
-	return os.WriteFile(path, append(out, '\n'), 0o644)
+	return store.AtomicWriteFile(path, append(out, '\n'), 0o644)
 }

@@ -133,14 +133,19 @@ func New(cfg Config) (*Client, error) {
 
 // --- API surface ------------------------------------------------------
 
-// ModelInfo mirrors the server's /v1/models entry.
+// ModelInfo mirrors the server's /v1/models entry. Generation and
+// Checksum are set only for store-backed models: the snapshot
+// generation the backend actually serves and its payload SHA-256.
 type ModelInfo struct {
-	Name      string    `json:"name"`
-	Path      string    `json:"path,omitempty"`
-	Features  int       `json:"features"`
-	Dimension int       `json:"dimension"`
-	Classes   int       `json:"classes"`
-	LoadedAt  time.Time `json:"loaded_at"`
+	Name       string    `json:"name"`
+	Path       string    `json:"path,omitempty"`
+	Store      string    `json:"store,omitempty"`
+	Generation uint64    `json:"generation,omitempty"`
+	Checksum   string    `json:"checksum,omitempty"`
+	Features   int       `json:"features"`
+	Dimension  int       `json:"dimension"`
+	Classes    int       `json:"classes"`
+	LoadedAt   time.Time `json:"loaded_at"`
 }
 
 // Reconstruction mirrors the server's /v1/reconstruct reply.

@@ -7,17 +7,24 @@ import (
 	"time"
 
 	"prid"
+	"prid/internal/store"
 )
 
 // ModelInfo is the public shape of one registry entry, what GET
-// /v1/models returns on every serving front end.
+// /v1/models returns on every serving front end. Store-backed entries
+// additionally carry the served generation and its payload checksum —
+// the provenance a fleet operator (or the crash-smoke gate) reads to
+// verify which snapshot a backend actually serves after a crash.
 type ModelInfo struct {
-	Name      string    `json:"name"`
-	Path      string    `json:"path,omitempty"`
-	Features  int       `json:"features"`
-	Dimension int       `json:"dimension"`
-	Classes   int       `json:"classes"`
-	LoadedAt  time.Time `json:"loaded_at"`
+	Name       string    `json:"name"`
+	Path       string    `json:"path,omitempty"`
+	Store      string    `json:"store,omitempty"`
+	Generation uint64    `json:"generation,omitempty"`
+	Checksum   string    `json:"checksum,omitempty"`
+	Features   int       `json:"features"`
+	Dimension  int       `json:"dimension"`
+	Classes    int       `json:"classes"`
+	LoadedAt   time.Time `json:"loaded_at"`
 }
 
 // Entry binds one named model to its micro-batcher and a lazily built
@@ -27,6 +34,9 @@ type Entry struct {
 	info  ModelInfo
 	model *prid.Model
 	batch *Batcher
+	// st is non-nil for store-backed entries; Reload pulls newer verified
+	// generations from it.
+	st *store.Store
 
 	attackOnce sync.Once
 	attacker   *prid.Attacker
@@ -77,7 +87,7 @@ func NewRegistry(mk func(m *prid.Model) *Batcher) *Registry {
 // Register installs model under name. A model already registered under
 // that name is replaced atomically; its batcher drains and closes.
 func (r *Registry) Register(name, path string, model *prid.Model) {
-	e := &Entry{
+	r.install(&Entry{
 		info: ModelInfo{
 			Name:      name,
 			Path:      path,
@@ -87,16 +97,22 @@ func (r *Registry) Register(name, path string, model *prid.Model) {
 			LoadedAt:  time.Now().UTC(),
 		},
 		model: model,
-		batch: r.newBatcher(model),
-	}
+	})
+}
+
+// install swaps e into the registry, building its batcher and closing
+// the batcher of any entry it replaces.
+func (r *Registry) install(e *Entry) {
+	e.batch = r.newBatcher(e.model)
 	r.mu.Lock()
-	old := r.entries[name]
-	r.entries[name] = e
+	old := r.entries[e.info.Name]
+	r.entries[e.info.Name] = e
 	r.mu.Unlock()
 	if old != nil {
 		old.batch.Close()
 	}
-	logger.Info("model registered", "name", name, "path", path,
+	logger.Info("model registered", "name", e.info.Name, "path", e.info.Path,
+		"store", e.info.Store, "generation", e.info.Generation,
 		"features", e.info.Features, "dim", e.info.Dimension, "classes", e.info.Classes)
 }
 
@@ -110,22 +126,94 @@ func (r *Registry) LoadFile(name, path string) error {
 	return nil
 }
 
-// Reload re-reads every file-backed entry from disk and swaps the result
-// in (hot reload: in-flight requests finish on the old models). Entries
-// registered without a path are left untouched. The first error aborts
+// LoadStore loads the newest intact generation of name from st and
+// registers it as a store-backed entry: Reload pulls newer verified
+// generations from the same store, and the entry's listing carries the
+// served generation and checksum.
+func (r *Registry) LoadStore(name string, st *store.Store) error {
+	model, meta, err := prid.LoadNewest(st, name)
+	if err != nil {
+		return fmt.Errorf("serve: loading model %q from store %s: %w", name, st.Dir(), err)
+	}
+	r.install(&Entry{
+		info: ModelInfo{
+			Name:       name,
+			Store:      st.Dir(),
+			Generation: meta.Generation,
+			Checksum:   meta.SHA256,
+			Features:   meta.Features,
+			Dimension:  meta.Dimension,
+			Classes:    meta.Classes,
+			LoadedAt:   time.Now().UTC(),
+		},
+		model: model,
+		st:    st,
+	})
+	return nil
+}
+
+// reloadStore refreshes one store-backed entry with a no-rollback
+// guard: the swap happens only when the newest *verified* generation is
+// strictly newer than the one being served. A corrupt head that forces
+// the store to fall back to an older generation therefore never evicts
+// the serving model — in PRID's setting, silently rolling a served model
+// back can reinstate a less-defended, higher-leakage generation.
+func (r *Registry) reloadStore(e *Entry) error {
+	model, meta, err := prid.LoadNewest(e.st, e.info.Name)
+	if err != nil {
+		// Nothing intact in the store: keep serving what we have, loudly.
+		return fmt.Errorf("serve: reloading model %q from store %s (still serving generation %d): %w",
+			e.info.Name, e.st.Dir(), e.info.Generation, err)
+	}
+	if meta.Generation < e.info.Generation {
+		logger.Warn("store reload refused: newest intact generation is older than served",
+			"model", e.info.Name, "served", e.info.Generation, "intact", meta.Generation)
+		return nil
+	}
+	if meta.Generation == e.info.Generation {
+		return nil // already serving the newest intact generation
+	}
+	r.install(&Entry{
+		info: ModelInfo{
+			Name:       e.info.Name,
+			Store:      e.info.Store,
+			Generation: meta.Generation,
+			Checksum:   meta.SHA256,
+			Features:   meta.Features,
+			Dimension:  meta.Dimension,
+			Classes:    meta.Classes,
+			LoadedAt:   time.Now().UTC(),
+		},
+		model: model,
+		st:    e.st,
+	})
+	return nil
+}
+
+// Reload re-reads every backed entry and swaps the result in (hot
+// reload: in-flight requests finish on the old models). File-backed
+// entries re-read their path; store-backed entries pull the newest
+// verified generation, refusing rollbacks (see reloadStore). Entries
+// registered with neither are left untouched. The first error aborts
 // the sweep; models already reloaded stay reloaded.
 func (r *Registry) Reload() (int, error) {
 	r.mu.RLock()
 	backed := make([]*Entry, 0, len(r.entries))
 	for _, e := range r.entries {
-		if e.info.Path != "" {
+		if e.info.Path != "" || e.st != nil {
 			backed = append(backed, e)
 		}
 	}
 	r.mu.RUnlock()
 	sort.Slice(backed, func(i, j int) bool { return backed[i].info.Name < backed[j].info.Name })
 	for _, e := range backed {
-		if err := r.LoadFile(e.info.Name, e.info.Path); err != nil {
+		var err error
+		if e.st != nil {
+			err = r.reloadStore(e)
+		} else {
+			err = r.LoadFile(e.info.Name, e.info.Path)
+		}
+		if err != nil {
 			return 0, err
 		}
 	}

@@ -1,0 +1,162 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"prid"
+	"prid/internal/store"
+)
+
+func newTestStore(t *testing.T) *store.Store {
+	t.Helper()
+	st, err := store.Open(t.TempDir(), store.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func saveGen(t *testing.T, st *store.Store, name string, m *prid.Model) store.Meta {
+	t.Helper()
+	meta, err := m.SaveGeneration(st, name, store.Info{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return meta
+}
+
+func TestRegistryLoadStore(t *testing.T) {
+	st := newTestStore(t)
+	m1, _, _ := trainModel(t, 11, 24, 256)
+	meta := saveGen(t, st, "m", m1)
+
+	r := NewRegistry(nil)
+	defer r.Close()
+	if err := r.LoadStore("m", st); err != nil {
+		t.Fatal(err)
+	}
+	e, ok := r.Get("m")
+	if !ok {
+		t.Fatal("model missing after LoadStore")
+	}
+	info := e.Info()
+	if info.Generation != 1 || info.Checksum != meta.SHA256 || info.Store != st.Dir() {
+		t.Fatalf("info = %+v, want generation 1 checksum %s", info, meta.SHA256)
+	}
+	if info.Dimension != 256 {
+		t.Fatalf("dimension %d, want 256", info.Dimension)
+	}
+	if _, err := e.Batch().Predict(context.Background(), make([]float64, 24)); err != nil {
+		t.Fatalf("predict through store-loaded model: %v", err)
+	}
+}
+
+func TestRegistryStoreReloadAdvancesToNewerGeneration(t *testing.T) {
+	st := newTestStore(t)
+	m1, _, _ := trainModel(t, 12, 24, 256)
+	saveGen(t, st, "m", m1)
+	r := NewRegistry(nil)
+	defer r.Close()
+	if err := r.LoadStore("m", st); err != nil {
+		t.Fatal(err)
+	}
+	e1, _ := r.Get("m")
+
+	m2, _, _ := trainModel(t, 13, 24, 512)
+	meta2 := saveGen(t, st, "m", m2)
+	n, err := r.Reload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("reloaded %d entries, want 1", n)
+	}
+	e2, _ := r.Get("m")
+	if e2.Info().Generation != 2 || e2.Info().Checksum != meta2.SHA256 || e2.Info().Dimension != 512 {
+		t.Fatalf("after reload: %+v, want generation 2", e2.Info())
+	}
+	if _, err := e1.Batch().Predict(context.Background(), make([]float64, 24)); !errors.Is(err, ErrBatcherClosed) {
+		t.Fatalf("replaced entry's batcher err = %v, want ErrBatcherClosed", err)
+	}
+}
+
+// TestRegistryStoreReloadCorruptHeadKeepsServing is the heart of the
+// no-rollback guard: corrupting the newest on-disk generation must leave
+// the in-memory serving model untouched — same entry, batcher still
+// live — rather than falling back to the older intact generation.
+func TestRegistryStoreReloadCorruptHeadKeepsServing(t *testing.T) {
+	st := newTestStore(t)
+	m1, _, _ := trainModel(t, 14, 24, 256)
+	saveGen(t, st, "m", m1)
+	m2, _, _ := trainModel(t, 15, 24, 512)
+	saveGen(t, st, "m", m2)
+	r := NewRegistry(nil)
+	defer r.Close()
+	if err := r.LoadStore("m", st); err != nil {
+		t.Fatal(err)
+	}
+	e1, _ := r.Get("m")
+	if e1.Info().Generation != 2 {
+		t.Fatalf("serving generation %d, want 2", e1.Info().Generation)
+	}
+
+	// Corrupt generation 2 on disk; the newest intact generation is now 1.
+	path := filepath.Join(st.Dir(), "m", "gen-00000002.prid")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := r.Reload(); err != nil {
+		t.Fatalf("reload with corrupt head must not error (guard skips): %v", err)
+	}
+	e2, _ := r.Get("m")
+	if e2 != e1 {
+		t.Fatal("reload rolled the serving model back past a corrupt head")
+	}
+	if e2.Info().Generation != 2 {
+		t.Fatalf("serving generation %d after refused rollback, want 2", e2.Info().Generation)
+	}
+	if _, err := e2.Batch().Predict(context.Background(), make([]float64, 24)); err != nil {
+		t.Fatalf("serving model stopped working after refused rollback: %v", err)
+	}
+}
+
+func TestRegistryStoreReloadSameGenerationIsNoop(t *testing.T) {
+	st := newTestStore(t)
+	m1, _, _ := trainModel(t, 16, 24, 256)
+	saveGen(t, st, "m", m1)
+	r := NewRegistry(nil)
+	defer r.Close()
+	if err := r.LoadStore("m", st); err != nil {
+		t.Fatal(err)
+	}
+	e1, _ := r.Get("m")
+	if _, err := r.Reload(); err != nil {
+		t.Fatal(err)
+	}
+	e2, _ := r.Get("m")
+	if e2 != e1 {
+		t.Fatal("reload rebuilt the entry with no new generation")
+	}
+}
+
+func TestRegistryLoadStoreMissingModel(t *testing.T) {
+	st := newTestStore(t)
+	r := NewRegistry(nil)
+	defer r.Close()
+	if err := r.LoadStore("ghost", st); err == nil {
+		t.Fatal("LoadStore accepted a model with no generations")
+	}
+	if r.Len() != 0 {
+		t.Fatal("failed LoadStore left an entry behind")
+	}
+}

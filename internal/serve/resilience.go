@@ -114,5 +114,13 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	default:
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintf(w, "ready %d models\n", s.reg.Len()) //pridlint:allow errdrop probe response; a write failure has no in-band recovery
+		// Store-backed models append their served generation and payload
+		// checksum — the one-line provenance a fleet operator scrapes to
+		// confirm which snapshot each backend recovered to after a crash.
+		for _, info := range s.reg.List() {
+			if info.Generation > 0 {
+				fmt.Fprintf(w, "model %s generation %d sha256 %s\n", info.Name, info.Generation, info.Checksum) //pridlint:allow errdrop probe response; a write failure has no in-band recovery
+			}
+		}
 	}
 }

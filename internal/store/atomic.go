@@ -1,0 +1,100 @@
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// This file holds the durability primitives the rest of the repository
+// writes persistent artifacts through. A bare os.Create/os.WriteFile has
+// two crash windows a model store cannot afford: a kill mid-write leaves
+// a torn file under the final name, and a completed write that was never
+// fsynced can roll back to an older (possibly less-defended) model after
+// a power loss. AtomicWrite closes both: the payload lands in a
+// same-directory temp file, is fsynced, renamed over the target, and the
+// parent directory is fsynced so the rename itself is durable. The
+// pridlint `atomicwrite` analyzer enforces that persistent artifacts go
+// through here.
+
+// AtomicWrite streams the payload produced by write into path with full
+// crash consistency: temp file in the same directory, fsync, rename,
+// parent-directory fsync. On any error the temp file is removed and the
+// previous contents of path (if any) are untouched. It returns the
+// payload's size and lowercase-hex SHA-256, computed from the very bytes
+// that hit the disk.
+func AtomicWrite(path string, perm fs.FileMode, write func(io.Writer) error) (size int64, sha string, err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".tmp-"+filepath.Base(path)+"-*")
+	if err != nil {
+		return 0, "", fmt.Errorf("store: creating temp file in %s: %w", dir, err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()      //pridlint:allow errdrop error path only; the write error is already being returned
+			os.Remove(tmp) //pridlint:allow errdrop best-effort cleanup of the temp file on the error path
+		}
+	}()
+	h := sha256.New()
+	cw := &countingWriter{w: io.MultiWriter(f, h)}
+	if err = write(cw); err != nil {
+		return 0, "", fmt.Errorf("store: writing %s: %w", path, err)
+	}
+	if err = f.Sync(); err != nil {
+		return 0, "", fmt.Errorf("store: syncing %s: %w", tmp, err)
+	}
+	if err = f.Close(); err != nil {
+		return 0, "", fmt.Errorf("store: closing %s: %w", tmp, err)
+	}
+	if err = os.Chmod(tmp, perm); err != nil {
+		return 0, "", fmt.Errorf("store: chmod %s: %w", tmp, err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return 0, "", fmt.Errorf("store: renaming %s to %s: %w", tmp, path, err)
+	}
+	if err = syncDir(dir); err != nil {
+		return 0, "", err
+	}
+	return cw.n, hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// AtomicWriteFile is AtomicWrite for callers that already hold the whole
+// payload — the drop-in replacement for os.WriteFile on persistent
+// artifacts (model files, snapshot reports, address files).
+func AtomicWriteFile(path string, data []byte, perm fs.FileMode) error {
+	_, _, err := AtomicWrite(path, perm, func(w io.Writer) error {
+		_, werr := w.Write(data)
+		return werr
+	})
+	return err
+}
+
+// syncDir fsyncs a directory so a rename inside it survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: opening dir %s for sync: %w", dir, err)
+	}
+	defer d.Close() //pridlint:allow errdrop read-only directory handle; Sync already surfaced any error
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("store: syncing dir %s: %w", dir, err)
+	}
+	return nil
+}
+
+// countingWriter tracks how many payload bytes passed through.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}

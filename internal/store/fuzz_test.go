@@ -1,0 +1,66 @@
+package store
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseManifest hammers the tolerant parser with arbitrary bytes. The
+// invariants: never panic, never return an error AND entries together,
+// and every accepted entry satisfies the field constraints the rest of
+// the store relies on (positive generation, 64-hex sha, positive shape,
+// ascending unique generations).
+func FuzzParseManifest(f *testing.F) {
+	f.Add([]byte(formatManifest([]Meta{sampleMeta(1), sampleMeta(2)})))
+	f.Add([]byte(manifestHeader + "\n"))
+	f.Add([]byte(""))
+	f.Add([]byte("pridstore 2\ngen=1\n"))
+	f.Add([]byte(manifestHeader + "\ngen=1 size=10 sha256=short features=1 dim=1 classes=1 saved=2026-01-01T00:00:00Z\n"))
+	f.Add([]byte(manifestHeader + "\n" + manifestLine(sampleMeta(3)) + "\n" + manifestLine(sampleMeta(3)) + "\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		metas, _, err := parseManifest(data)
+		if err != nil {
+			if len(metas) != 0 {
+				t.Fatalf("error %v alongside %d entries", err, len(metas))
+			}
+			return
+		}
+		var prev uint64
+		for _, m := range metas {
+			if m.Generation == 0 || m.Size < 0 || len(m.SHA256) != 64 || !isLowerHex(m.SHA256) ||
+				m.Features <= 0 || m.Dimension <= 0 || m.Classes <= 0 || m.SavedAt.IsZero() {
+				t.Fatalf("invariant-violating entry accepted: %+v", m)
+			}
+			if m.Generation <= prev {
+				t.Fatalf("generations not strictly ascending: %d after %d", m.Generation, prev)
+			}
+			prev = m.Generation
+		}
+		// Accepted entries must survive a format/parse round trip.
+		if len(metas) > 0 {
+			again, problems, err := parseManifest([]byte(formatManifest(metas)))
+			if err != nil || len(problems) != 0 || len(again) != len(metas) {
+				t.Fatalf("re-encode not stable: again=%d problems=%v err=%v", len(again), problems, err)
+			}
+		}
+	})
+}
+
+// FuzzParseManifestEntry checks the strict single-line parser never
+// panics and its accepted entries always carry the required fields.
+func FuzzParseManifestEntry(f *testing.F) {
+	f.Add(manifestLine(sampleMeta(1)))
+	f.Add("gen=1 size=0 sha256=" + strings.Repeat("00", 32) + " features=1 dim=1 classes=1 saved=2026-01-01T00:00:00Z leakage=0.5")
+	f.Add("gen=1")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, line string) {
+		m, err := parseManifestEntry(line)
+		if err != nil {
+			return
+		}
+		if m.Generation == 0 || m.Size < 0 || len(m.SHA256) != 64 ||
+			m.Features <= 0 || m.Dimension <= 0 || m.Classes <= 0 || m.SavedAt.IsZero() {
+			t.Fatalf("invariant-violating entry accepted from %q: %+v", line, m)
+		}
+	})
+}

@@ -1,0 +1,200 @@
+package store
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The manifest is the store's source of truth: one header line naming the
+// format version, then one line per retained generation, oldest first.
+// Lines are self-contained key=value fields so a corrupted line damages
+// only its own generation — the tolerant parser skips it (reporting why)
+// and the rest of the store stays reachable. The manifest is always
+// rewritten atomically (AtomicWrite), never appended, so a crash leaves
+// either the old manifest or the new one, both internally consistent.
+//
+// Example:
+//
+//	pridstore 1
+//	gen=1 size=4242 sha256=ab…ef features=75 dim=512 classes=5 saved=2026-08-08T10:00:00Z
+//	gen=2 size=4242 sha256=cd…01 features=75 dim=512 classes=5 saved=2026-08-08T10:05:00Z leakage=0.418
+
+// manifestHeader is the first line of every manifest.
+const manifestHeader = "pridstore 1"
+
+// manifestName is the manifest's filename inside a model directory.
+const manifestName = "MANIFEST"
+
+// Meta describes one snapshot generation: its identity (generation
+// number, size, SHA-256 of the payload file), the model shape recorded at
+// save time, and the optional leakage Δ stamped by the saver — the
+// provenance that lets an operator (or the gateway) see whether a
+// less-defended generation would be reinstated by a rollback.
+type Meta struct {
+	Generation uint64    `json:"generation"`
+	Size       int64     `json:"size"`
+	SHA256     string    `json:"sha256"`
+	Features   int       `json:"features"`
+	Dimension  int       `json:"dimension"`
+	Classes    int       `json:"classes"`
+	SavedAt    time.Time `json:"saved_at"`
+	// Leakage is the paper's Δ measured against this generation at save
+	// time; HasLeakage distinguishes "audited as zero" from "not audited".
+	Leakage    float64 `json:"leakage,omitempty"`
+	HasLeakage bool    `json:"has_leakage,omitempty"`
+}
+
+// manifestLine renders one generation entry.
+func manifestLine(m Meta) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "gen=%d size=%d sha256=%s features=%d dim=%d classes=%d saved=%s",
+		m.Generation, m.Size, m.SHA256, m.Features, m.Dimension, m.Classes,
+		m.SavedAt.UTC().Format(time.RFC3339Nano))
+	if m.HasLeakage {
+		fmt.Fprintf(&b, " leakage=%s", strconv.FormatFloat(m.Leakage, 'g', -1, 64))
+	}
+	return b.String()
+}
+
+// formatManifest renders the full manifest for the given entries
+// (assumed sorted by generation, oldest first).
+func formatManifest(metas []Meta) string {
+	var b strings.Builder
+	b.WriteString(manifestHeader)
+	b.WriteByte('\n')
+	for _, m := range metas {
+		b.WriteString(manifestLine(m))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// parseManifest parses manifest bytes tolerantly: entries it can prove
+// well-formed come back sorted by generation (ascending), and every line
+// it had to skip — malformed fields, impossible values, duplicate
+// generations, a wrong or missing header — is described in problems. A
+// nil error with a non-empty problems slice is the expected shape for a
+// partially corrupted manifest; err is non-nil only when nothing at all
+// is recoverable (wrong header on a non-empty file).
+func parseManifest(data []byte) (metas []Meta, problems []string, err error) {
+	lines := strings.Split(string(data), "\n")
+	if len(lines) == 0 || strings.TrimSpace(lines[0]) != manifestHeader {
+		return nil, nil, fmt.Errorf("store: manifest header %q is not %q", firstLine(data), manifestHeader)
+	}
+	seen := make(map[uint64]bool)
+	for i, line := range lines[1:] {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		m, perr := parseManifestEntry(line)
+		if perr != nil {
+			problems = append(problems, fmt.Sprintf("line %d: %v", i+2, perr))
+			continue
+		}
+		if seen[m.Generation] {
+			problems = append(problems, fmt.Sprintf("line %d: duplicate generation %d", i+2, m.Generation))
+			continue
+		}
+		seen[m.Generation] = true
+		metas = append(metas, m)
+	}
+	sort.Slice(metas, func(i, j int) bool { return metas[i].Generation < metas[j].Generation })
+	return metas, problems, nil
+}
+
+// parseManifestEntry parses one "gen=… size=… …" line.
+func parseManifestEntry(line string) (Meta, error) {
+	var m Meta
+	have := make(map[string]bool)
+	for _, field := range strings.Fields(line) {
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return Meta{}, fmt.Errorf("field %q is not key=value", field)
+		}
+		if have[key] {
+			return Meta{}, fmt.Errorf("duplicate field %q", key)
+		}
+		have[key] = true
+		var err error
+		switch key {
+		case "gen":
+			m.Generation, err = strconv.ParseUint(val, 10, 64)
+			if err == nil && m.Generation == 0 {
+				err = fmt.Errorf("generation 0 is reserved")
+			}
+		case "size":
+			m.Size, err = strconv.ParseInt(val, 10, 64)
+			if err == nil && m.Size < 0 {
+				err = fmt.Errorf("negative size")
+			}
+		case "sha256":
+			if len(val) != 64 || !isLowerHex(val) {
+				err = fmt.Errorf("sha256 %q is not 64 lowercase hex digits", val)
+			}
+			m.SHA256 = val
+		case "features":
+			m.Features, err = parseCount(val)
+		case "dim":
+			m.Dimension, err = parseCount(val)
+		case "classes":
+			m.Classes, err = parseCount(val)
+		case "saved":
+			m.SavedAt, err = time.Parse(time.RFC3339Nano, val)
+		case "leakage":
+			m.Leakage, err = strconv.ParseFloat(val, 64)
+			if err == nil && (math.IsNaN(m.Leakage) || math.IsInf(m.Leakage, 0)) {
+				err = fmt.Errorf("non-finite leakage")
+			}
+			m.HasLeakage = err == nil
+		default:
+			// Unknown keys are a forward-compatibility hatch, not corruption.
+		}
+		if err != nil {
+			return Meta{}, fmt.Errorf("field %q: %v", field, err)
+		}
+	}
+	for _, req := range []string{"gen", "size", "sha256", "features", "dim", "classes", "saved"} {
+		if !have[req] {
+			return Meta{}, fmt.Errorf("missing required field %q", req)
+		}
+	}
+	return m, nil
+}
+
+// parseCount parses a strictly positive int field.
+func parseCount(val string) (int, error) {
+	n, err := strconv.Atoi(val)
+	if err != nil {
+		return 0, err
+	}
+	if n <= 0 {
+		return 0, fmt.Errorf("must be positive, got %d", n)
+	}
+	return n, nil
+}
+
+func isLowerHex(s string) bool {
+	for _, c := range s {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// firstLine renders the first line of data for error messages, bounded.
+func firstLine(data []byte) string {
+	s := string(data)
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 64 {
+		s = s[:64] + "…"
+	}
+	return s
+}

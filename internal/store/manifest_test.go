@@ -1,0 +1,177 @@
+package store
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleMeta(gen uint64) Meta {
+	return Meta{
+		Generation: gen,
+		Size:       4242,
+		SHA256:     strings.Repeat("ab", 32),
+		Features:   75,
+		Dimension:  512,
+		Classes:    5,
+		SavedAt:    time.Date(2026, 8, 8, 10, 0, 0, 0, time.UTC),
+	}
+}
+
+func TestManifestRoundTrip(t *testing.T) {
+	in := []Meta{sampleMeta(1), sampleMeta(2)}
+	in[1].Leakage = 0.418
+	in[1].HasLeakage = true
+	out, problems, err := parseManifest([]byte(formatManifest(in)))
+	if err != nil || len(problems) != 0 {
+		t.Fatalf("round trip: problems=%v err=%v", problems, err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("got %d entries", len(out))
+	}
+	for i := range in {
+		if out[i] != in[i] {
+			t.Errorf("entry %d: got %+v, want %+v", i, out[i], in[i])
+		}
+	}
+}
+
+// TestManifestTruncationAtEveryBoundary truncates a two-entry manifest at
+// every byte offset. No truncation may panic, and any entry the parser
+// does return must be one of the genuinely written ones — a prefix of a
+// valid line must never parse into a different-looking generation.
+func TestManifestTruncationAtEveryBoundary(t *testing.T) {
+	full := formatManifest([]Meta{sampleMeta(1), sampleMeta(2)})
+	headerLen := len(manifestHeader)
+	for cut := 0; cut <= len(full); cut++ {
+		metas, _, err := parseManifest([]byte(full[:cut]))
+		if cut < headerLen {
+			if err == nil {
+				t.Errorf("cut %d: truncated header accepted", cut)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("cut %d: header intact but parse failed: %v", cut, err)
+			continue
+		}
+		for _, m := range metas {
+			want := sampleMeta(m.Generation)
+			if m.Generation != 1 && m.Generation != 2 {
+				t.Errorf("cut %d: invented generation %d", cut, m.Generation)
+			} else if m != want {
+				t.Errorf("cut %d: entry mutated by truncation: %+v", cut, m)
+			}
+		}
+	}
+}
+
+// TestManifestSingleBitFlips flips one bit at every position of a valid
+// manifest. The parser must never panic, and every entry it accepts must
+// satisfy the field invariants (so a flipped entry can at worst vanish or
+// keep a damaged-but-well-formed value, never crash downstream code).
+func TestManifestSingleBitFlips(t *testing.T) {
+	full := []byte(formatManifest([]Meta{sampleMeta(1), sampleMeta(2)}))
+	for pos := range full {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), full...)
+			mut[pos] ^= 1 << bit
+			metas, _, err := parseManifest(mut)
+			if err != nil {
+				continue // header damage: loud failure is fine
+			}
+			for _, m := range metas {
+				if m.Generation == 0 || m.Size < 0 || len(m.SHA256) != 64 ||
+					m.Features <= 0 || m.Dimension <= 0 || m.Classes <= 0 {
+					t.Fatalf("pos %d bit %d: invariant-violating entry accepted: %+v", pos, bit, m)
+				}
+			}
+		}
+	}
+}
+
+func TestParseManifestEntryTable(t *testing.T) {
+	valid := manifestLine(sampleMeta(7))
+	cases := []struct {
+		name    string
+		line    string
+		wantErr string
+	}{
+		{"valid", valid, ""},
+		{"valid with leakage", valid + " leakage=0.25", ""},
+		{"valid with unknown key", valid + " future=stuff", ""},
+		{"not key=value", "gen=1 garbage", "not key=value"},
+		{"duplicate field", valid + " gen=7", "duplicate field"},
+		{"generation zero", strings.Replace(valid, "gen=7", "gen=0", 1), "generation 0 is reserved"},
+		{"generation not a number", strings.Replace(valid, "gen=7", "gen=x", 1), `field "gen=x"`},
+		{"negative size", strings.Replace(valid, "size=4242", "size=-1", 1), "negative size"},
+		{"short sha", strings.Replace(valid, strings.Repeat("ab", 32), "abcd", 1), "not 64 lowercase hex"},
+		{"uppercase sha", strings.Replace(valid, strings.Repeat("ab", 32), strings.Repeat("AB", 32), 1), "not 64 lowercase hex"},
+		{"zero features", strings.Replace(valid, "features=75", "features=0", 1), "must be positive"},
+		{"negative dim", strings.Replace(valid, "dim=512", "dim=-3", 1), "must be positive"},
+		{"bad timestamp", strings.Replace(valid, "saved=2026-08-08T10:00:00Z", "saved=yesterday", 1), `field "saved=yesterday"`},
+		{"nan leakage", valid + " leakage=NaN", "non-finite leakage"},
+		{"inf leakage", valid + " leakage=+Inf", "non-finite leakage"},
+		{"missing gen", strings.Replace(valid, "gen=7 ", "", 1), `missing required field "gen"`},
+		{"missing sha", strings.Replace(valid, " sha256="+strings.Repeat("ab", 32), "", 1), `missing required field "sha256"`},
+		{"missing saved", strings.Replace(valid, " saved=2026-08-08T10:00:00Z", "", 1), `missing required field "saved"`},
+		{"empty", "", "missing required field"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m, err := parseManifestEntry(tc.line)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("parse failed: %v", err)
+				}
+				if m.Generation != 7 {
+					t.Fatalf("generation = %d", m.Generation)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestParseManifestDuplicateGenerations(t *testing.T) {
+	text := manifestHeader + "\n" + manifestLine(sampleMeta(3)) + "\n" + manifestLine(sampleMeta(3)) + "\n"
+	metas, problems, err := parseManifest([]byte(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 1 || metas[0].Generation != 3 {
+		t.Fatalf("metas = %+v, want single generation 3", metas)
+	}
+	if len(problems) != 1 || !strings.Contains(problems[0], "duplicate generation 3") {
+		t.Fatalf("problems = %v", problems)
+	}
+}
+
+func TestParseManifestHeaderOnly(t *testing.T) {
+	metas, problems, err := parseManifest([]byte(manifestHeader + "\n"))
+	if err != nil || len(problems) != 0 || len(metas) != 0 {
+		t.Fatalf("header-only manifest: metas=%v problems=%v err=%v", metas, problems, err)
+	}
+}
+
+func TestParseManifestSortsOutOfOrderEntries(t *testing.T) {
+	text := manifestHeader + "\n" + manifestLine(sampleMeta(5)) + "\n" + manifestLine(sampleMeta(2)) + "\n"
+	metas, _, err := parseManifest([]byte(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 2 || metas[0].Generation != 2 || metas[1].Generation != 5 {
+		t.Fatalf("metas not sorted ascending: %+v", metas)
+	}
+}
+
+func TestParseManifestWrongHeader(t *testing.T) {
+	for _, data := range []string{"", "pridstore 2\n", "MANIFEST v1\n", "\x00\x01\x02"} {
+		if _, _, err := parseManifest([]byte(data)); err == nil {
+			t.Errorf("header %q accepted", firstLine([]byte(data)))
+		}
+	}
+}

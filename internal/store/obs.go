@@ -1,0 +1,61 @@
+package store
+
+import (
+	"sync"
+	"time"
+
+	"prid/internal/obs"
+)
+
+// Metric handles resolved once at init, per the obs hot-path discipline.
+// store.corrupt_generations and store.fallbacks are the counters the
+// crash-smoke gate reads off /debug/vars: a restarted backend that fell
+// back past corrupt generations must show both advancing.
+var (
+	logger = obs.Logger("store")
+
+	metricSaves            = obs.GetCounter("store.saves")
+	metricCorrupt          = obs.GetCounter("store.corrupt_generations")
+	metricFallbacks        = obs.GetCounter("store.fallbacks")
+	metricManifestProblems = obs.GetCounter("store.manifest_problems")
+	metricSwept            = obs.GetCounter("store.swept_files")
+)
+
+// Event is one recorded store incident: a corrupt or unreadable
+// generation skipped on open, a manifest line rejected, or debris swept
+// after a crash. Generation 0 marks store-level events (manifest or
+// sweep) that are not tied to one generation.
+type Event struct {
+	Time       time.Time `json:"time"`
+	Model      string    `json:"model"`
+	Generation uint64    `json:"generation,omitempty"`
+	Reason     string    `json:"reason"`
+}
+
+// eventLog is a bounded keep-newest ring of store events — the same
+// shape as the gateway's membership event log: enough history to audit
+// an incident, never unbounded growth.
+type eventLog struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// maxEvents bounds the ring.
+const maxEvents = 64
+
+func (l *eventLog) record(model string, gen uint64, reason string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.events = append(l.events, Event{Time: time.Now().UTC(), Model: model, Generation: gen, Reason: reason})
+	if len(l.events) > maxEvents {
+		l.events = l.events[len(l.events)-maxEvents:]
+	}
+}
+
+func (l *eventLog) snapshot() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}

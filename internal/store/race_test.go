@@ -1,0 +1,83 @@
+package store
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentSaveOpenPrune exercises the store's concurrency contract
+// under `make race`: one writer goroutine saving generations (each save
+// prunes past the retention cap), several reader goroutines calling
+// OpenNewest and the listing endpoints the serving stack uses. Readers
+// must always land on an intact generation even while pruning deletes
+// files out from under the manifest they first read.
+func TestConcurrentSaveOpenPrune(t *testing.T) {
+	s, err := Open(t.TempDir(), Config{Retain: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := Info{Features: 1, Dimension: 1, Classes: 1}
+	const saves = 60
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < saves; i++ {
+			payload := []byte(fmt.Sprintf("generation payload %d", i+1))
+			if _, err := s.Save("hot", info, func(w io.Writer) error {
+				_, werr := w.Write(payload)
+				return werr
+			}); err != nil {
+				t.Errorf("Save %d: %v", i+1, err)
+				return
+			}
+		}
+	}()
+
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < saves; i++ {
+				var got []byte
+				m, err := s.OpenNewest("hot", func(r io.Reader, _ Meta) error {
+					b, rerr := io.ReadAll(r)
+					got = b
+					return rerr
+				})
+				if err != nil {
+					// Before the first save commits there is nothing to open;
+					// afterwards every open must succeed.
+					continue
+				}
+				want := fmt.Sprintf("generation payload %d", m.Generation)
+				if string(got) != want {
+					t.Errorf("generation %d served %q", m.Generation, got)
+					return
+				}
+				if _, err := s.Generations("hot"); err != nil {
+					t.Errorf("Generations: %v", err)
+					return
+				}
+				s.Events()
+				if _, err := s.Heads(); err != nil {
+					t.Errorf("Heads: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The dust settled: the newest generation must be saves, intact.
+	m, err := s.OpenNewest("hot", func(io.Reader, Meta) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Generation != saves {
+		t.Fatalf("final generation = %d, want %d", m.Generation, saves)
+	}
+}

@@ -1,0 +1,378 @@
+// Package store is the durable model-snapshot layer of the PRID serving
+// stack: versioned, checksummed generations per model with atomic writes
+// (temp file + fsync + rename + parent-directory sync), a per-generation
+// manifest recording provenance (SHA-256, model shape, save time, and
+// the optional leakage Δ measured at save time), bounded retention, and
+// a corruption-aware open that falls back generation by generation to
+// the newest intact snapshot.
+//
+// Why this is a privacy property and not just an ops one: in PRID's
+// threat model the model itself leaks training data, and the defenses
+// trade accuracy for lower leakage across *generations* of a model. A
+// torn or silently rolled-back snapshot can therefore reinstate a
+// less-defended, higher-leakage generation without anyone noticing.
+// Every generation here is integrity-checked before it is served, every
+// skipped corrupt generation is recorded (obs counters + a bounded event
+// log), and the manifest carries each generation's Δ so a fallback's
+// privacy cost is visible, not silent.
+//
+// Concurrency: a Store is safe for concurrent use within one process
+// (saves are serialized; opens run lock-free against the atomically
+// swapped manifest). Cross-process coordination is out of scope — one
+// writer process per store directory, any number of readers.
+//
+// The package is stdlib-only and prid-agnostic: payloads are opaque byte
+// streams, so the root package can build its atomic SaveFile on the same
+// primitives without an import cycle.
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Config tunes a Store. The zero value is usable; Open fills defaults.
+type Config struct {
+	// Retain caps how many generations are kept per model; older ones are
+	// pruned after each successful save (default 5, minimum 1). Retention
+	// is the crash-recovery budget: the store can fall back at most
+	// Retain-1 generations.
+	Retain int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Retain <= 0 {
+		c.Retain = 5
+	}
+	return c
+}
+
+// Info is what the saver declares about a snapshot at save time: the
+// model shape (cross-checked by readers against what actually loads) and
+// the optional leakage Δ audit result.
+type Info struct {
+	Features  int
+	Dimension int
+	Classes   int
+	// Leakage is the measured Δ for this generation; set HasLeakage when
+	// an audit actually ran (zero is a meaningful Δ, not a default).
+	Leakage    float64
+	HasLeakage bool
+}
+
+// Store is a directory of per-model snapshot generations:
+//
+//	<root>/<model>/MANIFEST         — authoritative generation list
+//	<root>/<model>/gen-%08d.prid    — one payload per generation
+//
+// Files never referenced by the manifest are debris (a crash mid-save,
+// a pruned generation) and are swept after the next successful save.
+type Store struct {
+	root   string
+	retain int
+
+	// mu serializes writers: generation numbering, manifest rewrite, and
+	// the post-commit sweep must not interleave. Readers go lock-free —
+	// the manifest swap is atomic, so they see a consistent old or new
+	// view, and a lost race against pruning is retried once.
+	mu sync.Mutex
+
+	events eventLog
+}
+
+// Open roots a store at dir, creating it if needed.
+func Open(dir string, cfg Config) (*Store, error) {
+	cfg = cfg.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	return &Store{root: dir, retain: cfg.Retain}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.root }
+
+// validName guards model names: they become directory names, so path
+// separators and relative-path tricks must not pass.
+func validName(name string) error {
+	if name == "" {
+		return fmt.Errorf("store: empty model name")
+	}
+	if name != filepath.Base(name) || name == "." || name == ".." || strings.ContainsAny(name, "/\\") {
+		return fmt.Errorf("store: model name %q must be a bare directory name", name)
+	}
+	return nil
+}
+
+// genFileName renders a generation's payload filename. Zero-padded so
+// lexical directory order matches generation order for human inspection.
+func genFileName(gen uint64) string { return fmt.Sprintf("gen-%08d.prid", gen) }
+
+// Save writes one new generation for name: payload streams into an
+// atomically written, fsynced gen file; the manifest (rewritten
+// atomically) appends the new entry and applies retention; pruned
+// generations and crash debris are swept only after the manifest commit,
+// so a crash at any point leaves the previous manifest — and every
+// generation it references — fully intact.
+func (s *Store) Save(name string, info Info, payload func(io.Writer) error) (Meta, error) {
+	if err := validName(name); err != nil {
+		return Meta{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	dir := filepath.Join(s.root, name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return Meta{}, fmt.Errorf("store: creating %s: %w", dir, err)
+	}
+	metas, _, err := s.readManifest(name, dir, false)
+	if err != nil {
+		return Meta{}, err
+	}
+	next := uint64(1)
+	if n := len(metas); n > 0 {
+		next = metas[n-1].Generation + 1
+	}
+	genPath := filepath.Join(dir, genFileName(next))
+	size, sha, err := AtomicWrite(genPath, 0o644, payload)
+	if err != nil {
+		return Meta{}, err
+	}
+	meta := Meta{
+		Generation: next,
+		Size:       size,
+		SHA256:     sha,
+		Features:   info.Features,
+		Dimension:  info.Dimension,
+		Classes:    info.Classes,
+		SavedAt:    time.Now().UTC(),
+		Leakage:    info.Leakage,
+		HasLeakage: info.HasLeakage,
+	}
+	metas = append(metas, meta)
+	if len(metas) > s.retain {
+		metas = metas[len(metas)-s.retain:]
+	}
+	if err := AtomicWriteFile(filepath.Join(dir, manifestName), []byte(formatManifest(metas)), 0o644); err != nil {
+		return Meta{}, err
+	}
+	s.sweep(name, dir, metas)
+	metricSaves.Inc()
+	logger.Info("generation saved", "model", name, "generation", meta.Generation,
+		"size", meta.Size, "sha256", meta.SHA256[:12], "leakage_audited", meta.HasLeakage)
+	return meta, nil
+}
+
+// sweep removes every file in dir the committed manifest does not
+// reference: pruned generations, orphaned gen files from a crash between
+// payload rename and manifest commit, and stale temp files from a kill
+// mid-write. Best-effort — debris only costs disk, never correctness.
+func (s *Store) sweep(name, dir string, metas []Meta) {
+	keep := map[string]bool{manifestName: true}
+	for _, m := range metas {
+		keep[genFileName(m.Generation)] = true
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if e.IsDir() || keep[e.Name()] {
+			continue
+		}
+		if os.Remove(filepath.Join(dir, e.Name())) == nil {
+			metricSwept.Inc()
+			s.events.record(name, 0, "swept unreferenced file "+e.Name())
+		}
+	}
+}
+
+// readManifest loads and tolerantly parses a model's manifest. A missing
+// manifest is an empty store for that model, not an error. When
+// recordProblems is set, every skipped line lands in the event log and
+// the manifest-problem counter (the open path wants that evidence; the
+// save path re-reads the same manifest and must not double-count).
+func (s *Store) readManifest(name, dir string, recordProblems bool) ([]Meta, []string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if os.IsNotExist(err) {
+		return nil, nil, nil
+	}
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: reading manifest for %q: %w", name, err)
+	}
+	metas, problems, err := parseManifest(data)
+	if err != nil {
+		if recordProblems {
+			metricManifestProblems.Inc()
+			s.events.record(name, 0, "manifest unreadable: "+err.Error())
+		}
+		return nil, nil, fmt.Errorf("store: manifest for %q: %w", name, err)
+	}
+	if recordProblems {
+		for _, p := range problems {
+			metricManifestProblems.Inc()
+			s.events.record(name, 0, "manifest entry skipped: "+p)
+			logger.Warn("manifest entry skipped", "model", name, "problem", p)
+		}
+	}
+	return metas, problems, nil
+}
+
+// OpenNewest walks name's generations newest-first and hands the first
+// intact one to load: the payload must match the manifest's size and
+// SHA-256 exactly, and load itself must accept it (a checksum-valid file
+// that fails to deserialize is equally corrupt). Every skipped
+// generation is counted and recorded in the event log with its reason —
+// in PRID's setting a silent fallback could mean silently serving a
+// higher-leakage generation, so fallbacks are loud by construction.
+func (s *Store) OpenNewest(name string, load func(r io.Reader, meta Meta) error) (Meta, error) {
+	if err := validName(name); err != nil {
+		return Meta{}, err
+	}
+	dir := filepath.Join(s.root, name)
+	for attempt := 0; ; attempt++ {
+		metas, _, err := s.readManifest(name, dir, true)
+		if err != nil {
+			return Meta{}, err
+		}
+		if len(metas) == 0 {
+			return Meta{}, fmt.Errorf("store: no generations for model %q in %s", name, s.root)
+		}
+		vanished := false
+		skipped := 0
+		for i := len(metas) - 1; i >= 0; i-- {
+			m := metas[i]
+			path := filepath.Join(dir, genFileName(m.Generation))
+			data, rerr := os.ReadFile(path)
+			if rerr != nil {
+				if os.IsNotExist(rerr) {
+					vanished = true
+				}
+				s.skipGeneration(name, m.Generation, "unreadable: "+rerr.Error())
+				skipped++
+				continue
+			}
+			if int64(len(data)) != m.Size {
+				s.skipGeneration(name, m.Generation,
+					fmt.Sprintf("size %d does not match manifest size %d (truncated or grown)", len(data), m.Size))
+				skipped++
+				continue
+			}
+			if sum := sha256.Sum256(data); hex.EncodeToString(sum[:]) != m.SHA256 {
+				s.skipGeneration(name, m.Generation, "sha256 mismatch (payload corrupted)")
+				skipped++
+				continue
+			}
+			if lerr := load(bytes.NewReader(data), m); lerr != nil {
+				s.skipGeneration(name, m.Generation, "checksum intact but payload rejected: "+lerr.Error())
+				skipped++
+				continue
+			}
+			if skipped > 0 {
+				metricFallbacks.Inc()
+				logger.Warn("serving fallback generation", "model", name,
+					"generation", m.Generation, "skipped", skipped)
+			}
+			return m, nil
+		}
+		// Every generation failing with not-exist usually means the read
+		// raced a concurrent save's retention sweep: the manifest we read
+		// was already replaced. One re-read resolves it.
+		if vanished && attempt == 0 {
+			continue
+		}
+		return Meta{}, fmt.Errorf("store: model %q has no intact generation (%d listed, all corrupt or unreadable)", name, len(metas))
+	}
+}
+
+// skipGeneration records one corrupt/unreadable generation: counter,
+// event log, and a warning — the evidence trail the crash-smoke gate
+// asserts on.
+func (s *Store) skipGeneration(name string, gen uint64, reason string) {
+	metricCorrupt.Inc()
+	s.events.record(name, gen, reason)
+	logger.Warn("skipping generation", "model", name, "generation", gen, "reason", reason)
+}
+
+// Generations returns the manifest's view of name's retained
+// generations, oldest first, without verifying payloads.
+func (s *Store) Generations(name string) ([]Meta, error) {
+	if err := validName(name); err != nil {
+		return nil, err
+	}
+	metas, _, err := s.readManifest(name, filepath.Join(s.root, name), false)
+	return metas, err
+}
+
+// Head returns the manifest's newest entry for name — the provenance
+// view (what the store *claims* is current), deliberately unverified:
+// verification happens on open, and the gap between Head and what
+// OpenNewest actually served is exactly the evidence /gatewayz exposes.
+func (s *Store) Head(name string) (Meta, error) {
+	metas, err := s.Generations(name)
+	if err != nil {
+		return Meta{}, err
+	}
+	if len(metas) == 0 {
+		return Meta{}, fmt.Errorf("store: no generations for model %q in %s", name, s.root)
+	}
+	return metas[len(metas)-1], nil
+}
+
+// ModelHead pairs a model name with its manifest head for fleet-level
+// views (/gatewayz).
+type ModelHead struct {
+	Model string `json:"model"`
+	Meta
+}
+
+// Heads returns every model's manifest head, sorted by model name.
+// Models whose manifest is unreadable are skipped — Heads is a
+// provenance readout, not a health gate.
+func (s *Store) Heads() ([]ModelHead, error) {
+	names, err := s.Models()
+	if err != nil {
+		return nil, err
+	}
+	heads := make([]ModelHead, 0, len(names))
+	for _, name := range names {
+		m, err := s.Head(name)
+		if err != nil {
+			continue
+		}
+		heads = append(heads, ModelHead{Model: name, Meta: m})
+	}
+	return heads, nil
+}
+
+// Models lists every model with a manifest in the store, sorted.
+func (s *Store) Models() ([]string, error) {
+	entries, err := os.ReadDir(s.root)
+	if err != nil {
+		return nil, fmt.Errorf("store: reading %s: %w", s.root, err)
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(s.root, e.Name(), manifestName)); err == nil {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Events returns a snapshot of the bounded corruption/fallback event
+// log, oldest first.
+func (s *Store) Events() []Event { return s.events.snapshot() }

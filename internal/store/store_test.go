@@ -1,0 +1,355 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// save writes payload as a new generation and fails the test on error.
+func save(t *testing.T, s *Store, name string, payload []byte, info Info) Meta {
+	t.Helper()
+	m, err := s.Save(name, info, func(w io.Writer) error {
+		_, err := w.Write(payload)
+		return err
+	})
+	if err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	return m
+}
+
+// openNewest reads the newest intact generation's payload.
+func openNewest(t *testing.T, s *Store, name string) ([]byte, Meta) {
+	t.Helper()
+	var got []byte
+	m, err := s.OpenNewest(name, func(r io.Reader, _ Meta) error {
+		b, err := io.ReadAll(r)
+		got = b
+		return err
+	})
+	if err != nil {
+		t.Fatalf("OpenNewest: %v", err)
+	}
+	return got, m
+}
+
+func newStore(t *testing.T, cfg Config) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSaveOpenRoundTrip(t *testing.T) {
+	s := newStore(t, Config{})
+	info := Info{Features: 3, Dimension: 8, Classes: 2, Leakage: 0.25, HasLeakage: true}
+	payload := []byte("generation one payload")
+	m1 := save(t, s, "activity", payload, info)
+	if m1.Generation != 1 {
+		t.Fatalf("first generation = %d, want 1", m1.Generation)
+	}
+	if m1.Size != int64(len(payload)) {
+		t.Fatalf("size = %d, want %d", m1.Size, len(payload))
+	}
+	got, m := openNewest(t, s, "activity")
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch: got %q", got)
+	}
+	if m.Generation != 1 || m.SHA256 != m1.SHA256 {
+		t.Fatalf("meta mismatch: %+v vs %+v", m, m1)
+	}
+	if !m.HasLeakage || m.Leakage != 0.25 { //pridlint:allow floateq exact round-trip of a stored constant, not a computed value
+		t.Fatalf("leakage not round-tripped: %+v", m)
+	}
+	if m.Features != 3 || m.Dimension != 8 || m.Classes != 2 {
+		t.Fatalf("shape not round-tripped: %+v", m)
+	}
+}
+
+func TestGenerationsAdvanceAndRetentionPrunes(t *testing.T) {
+	s := newStore(t, Config{Retain: 3})
+	info := Info{Features: 1, Dimension: 1, Classes: 1}
+	for i := 1; i <= 5; i++ {
+		m := save(t, s, "m", []byte(fmt.Sprintf("payload %d", i)), info)
+		if m.Generation != uint64(i) {
+			t.Fatalf("save %d got generation %d", i, m.Generation)
+		}
+	}
+	gens, err := s.Generations("m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gens) != 3 || gens[0].Generation != 3 || gens[2].Generation != 5 {
+		t.Fatalf("retained generations = %+v, want 3..5", gens)
+	}
+	// Pruned payload files must be gone; retained ones present.
+	dir := filepath.Join(s.Dir(), "m")
+	for gen, want := range map[uint64]bool{1: false, 2: false, 3: true, 4: true, 5: true} {
+		_, err := os.Stat(filepath.Join(dir, genFileName(gen)))
+		if got := err == nil; got != want {
+			t.Errorf("generation %d file present=%v, want %v", gen, got, want)
+		}
+	}
+	got, _ := openNewest(t, s, "m")
+	if string(got) != "payload 5" {
+		t.Fatalf("newest payload = %q", got)
+	}
+}
+
+// corruptFile flips one byte in the middle of the file.
+func corruptFile(t *testing.T, path string) {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// truncateFile cuts the file to frac of its size.
+func truncateFile(t *testing.T, path string, frac float64) {
+	t.Helper()
+	fi, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, int64(frac*float64(fi.Size()))); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFallbackPastCorruptHead(t *testing.T) {
+	s := newStore(t, Config{})
+	info := Info{Features: 1, Dimension: 1, Classes: 1}
+	save(t, s, "m", []byte("good generation 1"), info)
+	save(t, s, "m", []byte("bitflipped generation 2"), info)
+	save(t, s, "m", []byte("truncated generation 3"), info)
+	dir := filepath.Join(s.Dir(), "m")
+	corruptFile(t, filepath.Join(dir, genFileName(2)))
+	truncateFile(t, filepath.Join(dir, genFileName(3)), 0.5)
+
+	corruptBefore := metricCorrupt.Value()
+	fallbackBefore := metricFallbacks.Value()
+	got, m := openNewest(t, s, "m")
+	if string(got) != "good generation 1" || m.Generation != 1 {
+		t.Fatalf("fell back to %q (gen %d), want generation 1", got, m.Generation)
+	}
+	if n := metricCorrupt.Value() - corruptBefore; n != 2 {
+		t.Fatalf("corrupt counter advanced %d, want 2", n)
+	}
+	if n := metricFallbacks.Value() - fallbackBefore; n != 1 {
+		t.Fatalf("fallback counter advanced %d, want 1", n)
+	}
+	// Event log names both skipped generations with their reasons.
+	var sawFlip, sawTrunc bool
+	for _, ev := range s.Events() {
+		if ev.Model != "m" {
+			continue
+		}
+		switch {
+		case ev.Generation == 2 && strings.Contains(ev.Reason, "sha256 mismatch"):
+			sawFlip = true
+		case ev.Generation == 3 && strings.Contains(ev.Reason, "does not match manifest size"):
+			sawTrunc = true
+		}
+	}
+	if !sawFlip || !sawTrunc {
+		t.Fatalf("events missing skip evidence (flip=%v trunc=%v): %+v", sawFlip, sawTrunc, s.Events())
+	}
+}
+
+func TestOpenRejectsPayloadTheLoaderRefuses(t *testing.T) {
+	s := newStore(t, Config{})
+	info := Info{Features: 1, Dimension: 1, Classes: 1}
+	save(t, s, "m", []byte("loadable"), info)
+	save(t, s, "m", []byte("checksum fine, semantically bad"), info)
+	var m Meta
+	m, err := s.OpenNewest("m", func(r io.Reader, meta Meta) error {
+		b, _ := io.ReadAll(r)
+		if strings.Contains(string(b), "bad") {
+			return fmt.Errorf("deserialization failed")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Generation != 1 {
+		t.Fatalf("served generation %d, want fallback to 1", m.Generation)
+	}
+}
+
+func TestAllGenerationsCorruptErrors(t *testing.T) {
+	s := newStore(t, Config{})
+	info := Info{Features: 1, Dimension: 1, Classes: 1}
+	save(t, s, "m", []byte("only generation"), info)
+	corruptFile(t, filepath.Join(s.Dir(), "m", genFileName(1)))
+	_, err := s.OpenNewest("m", func(io.Reader, Meta) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "no intact generation") {
+		t.Fatalf("err = %v, want no-intact-generation", err)
+	}
+}
+
+func TestEmptyStoreAndMissingModel(t *testing.T) {
+	s := newStore(t, Config{})
+	if names, err := s.Models(); err != nil || len(names) != 0 {
+		t.Fatalf("Models on empty store = %v, %v", names, err)
+	}
+	_, err := s.OpenNewest("ghost", func(io.Reader, Meta) error { return nil })
+	if err == nil || !strings.Contains(err.Error(), "no generations") {
+		t.Fatalf("err = %v, want no-generations", err)
+	}
+	if _, err := s.Head("ghost"); err == nil {
+		t.Fatal("Head on missing model must error")
+	}
+}
+
+func TestCrashDebrisIsIgnoredAndSwept(t *testing.T) {
+	s := newStore(t, Config{})
+	info := Info{Features: 1, Dimension: 1, Classes: 1}
+	save(t, s, "m", []byte("real generation"), info)
+	dir := filepath.Join(s.Dir(), "m")
+
+	// Kill-9 mid-write debris: a temp file that was never renamed...
+	tmp := filepath.Join(dir, ".tmp-gen-00000002.prid-12345")
+	if err := os.WriteFile(tmp, []byte("partial write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// ...and an orphan gen file renamed into place whose manifest commit
+	// never happened (the other crash window).
+	orphan := filepath.Join(dir, genFileName(9))
+	if err := os.WriteFile(orphan, []byte("orphan payload"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Open ignores both: the manifest is authoritative.
+	got, m := openNewest(t, s, "m")
+	if string(got) != "real generation" || m.Generation != 1 {
+		t.Fatalf("debris influenced open: %q gen %d", got, m.Generation)
+	}
+	// The next save sweeps them.
+	save(t, s, "m", []byte("second real generation"), info)
+	for _, p := range []string{tmp, orphan} {
+		if _, err := os.Stat(p); !os.IsNotExist(err) {
+			t.Errorf("debris %s survived the sweep", filepath.Base(p))
+		}
+	}
+}
+
+func TestManifestCorruptLineSkipsOnlyThatGeneration(t *testing.T) {
+	s := newStore(t, Config{})
+	info := Info{Features: 1, Dimension: 1, Classes: 1}
+	save(t, s, "m", []byte("gen one"), info)
+	save(t, s, "m", []byte("gen two"), info)
+	path := filepath.Join(s.Dir(), "m", manifestName)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Damage the newest entry's line (the last non-empty line).
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	lines[len(lines)-1] = "gen=2 size=GARBAGE"
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	problemsBefore := metricManifestProblems.Value()
+	got, m := openNewest(t, s, "m")
+	if string(got) != "gen one" || m.Generation != 1 {
+		t.Fatalf("got %q gen %d, want generation 1", got, m.Generation)
+	}
+	if metricManifestProblems.Value() == problemsBefore {
+		t.Fatal("manifest problem not counted")
+	}
+}
+
+func TestManifestWrongHeaderFailsLoudly(t *testing.T) {
+	s := newStore(t, Config{})
+	save(t, s, "m", []byte("gen one"), Info{Features: 1, Dimension: 1, Classes: 1})
+	path := filepath.Join(s.Dir(), "m", manifestName)
+	if err := os.WriteFile(path, []byte("not a manifest\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.OpenNewest("m", func(io.Reader, Meta) error { return nil }); err == nil {
+		t.Fatal("unrecognizable manifest must fail open, not silently serve")
+	}
+}
+
+func TestHeadsAndModels(t *testing.T) {
+	s := newStore(t, Config{})
+	info := Info{Features: 1, Dimension: 1, Classes: 1}
+	save(t, s, "beta", []byte("b1"), info)
+	save(t, s, "alpha", []byte("a1"), info)
+	save(t, s, "alpha", []byte("a2"), info)
+	names, err := s.Models()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "alpha" || names[1] != "beta" {
+		t.Fatalf("Models = %v", names)
+	}
+	heads, err := s.Heads()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(heads) != 2 || heads[0].Model != "alpha" || heads[0].Generation != 2 ||
+		heads[1].Model != "beta" || heads[1].Generation != 1 {
+		t.Fatalf("Heads = %+v", heads)
+	}
+}
+
+func TestValidName(t *testing.T) {
+	s := newStore(t, Config{})
+	for _, bad := range []string{"", ".", "..", "a/b", `a\b`, "../escape"} {
+		if _, err := s.Save(bad, Info{}, func(io.Writer) error { return nil }); err == nil {
+			t.Errorf("Save accepted model name %q", bad)
+		}
+		if _, err := s.OpenNewest(bad, func(io.Reader, Meta) error { return nil }); err == nil {
+			t.Errorf("OpenNewest accepted model name %q", bad)
+		}
+	}
+}
+
+func TestAtomicWriteFileReplacesAndSurvivesWriterError(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "artifact")
+	if err := AtomicWriteFile(path, []byte("v1"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A failing payload writer must leave the previous contents intact
+	// and no temp debris behind.
+	_, _, err := AtomicWrite(path, 0o644, func(w io.Writer) error {
+		w.Write([]byte("partial")) //pridlint:allow errdrop test writer; the injected error below is the point
+		return fmt.Errorf("injected failure")
+	})
+	if err == nil {
+		t.Fatal("AtomicWrite swallowed the writer error")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil || string(data) != "v1" {
+		t.Fatalf("target damaged by failed write: %q, %v", data, err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("temp debris left behind: %v", entries)
+	}
+	if err := AtomicWriteFile(path, []byte("v2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	data, _ = os.ReadFile(path)
+	if string(data) != "v2" {
+		t.Fatalf("replacement not applied: %q", data)
+	}
+}

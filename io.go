@@ -7,6 +7,7 @@ import (
 
 	"prid/internal/decode"
 	"prid/internal/hdc"
+	"prid/internal/store"
 )
 
 // Save serializes the model — basis plus class hypervectors, i.e. exactly
@@ -22,20 +23,54 @@ func (m *Model) Save(w io.Writer) error {
 	return nil
 }
 
-// SaveFile writes the model to path (see Save).
+// SaveFile writes the model to path (see Save) with full crash
+// consistency: the bytes land in a same-directory temp file that is
+// fsynced and renamed over path, so a kill mid-save can never leave a
+// torn model file under the final name and a completed save survives
+// power loss.
 func (m *Model) SaveFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("prid: saving model: %w", err)
-	}
-	if err := m.Save(f); err != nil {
-		_ = f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
+	if _, _, err := store.AtomicWrite(path, 0o644, m.Save); err != nil {
 		return fmt.Errorf("prid: saving model: %w", err)
 	}
 	return nil
+}
+
+// SaveGeneration writes the model as a new checksummed generation of
+// name in st. The model's shape is stamped into the manifest entry
+// automatically; callers that ran a leakage audit pass its Δ through
+// info so the generation's privacy provenance travels with it.
+func (m *Model) SaveGeneration(st *store.Store, name string, info store.Info) (store.Meta, error) {
+	info.Features = m.Features()
+	info.Dimension = m.Dimension()
+	info.Classes = m.Classes()
+	return st.Save(name, info, m.Save)
+}
+
+// LoadNewest loads the newest intact generation of name from st,
+// falling back past corrupt or truncated generations (see
+// store.OpenNewest). Beyond the store's checksum, the loaded model's
+// shape is cross-checked against what the manifest promised — a payload
+// that checksums correctly but deserializes into a different model is
+// treated as corrupt and skipped too.
+func LoadNewest(st *store.Store, name string) (*Model, store.Meta, error) {
+	var model *Model
+	meta, err := st.OpenNewest(name, func(r io.Reader, meta store.Meta) error {
+		loaded, lerr := Load(r)
+		if lerr != nil {
+			return lerr
+		}
+		if loaded.Features() != meta.Features || loaded.Dimension() != meta.Dimension || loaded.Classes() != meta.Classes {
+			return fmt.Errorf("prid: loaded shape %d/%d/%d does not match manifest %d/%d/%d",
+				loaded.Features(), loaded.Dimension(), loaded.Classes(),
+				meta.Features, meta.Dimension, meta.Classes)
+		}
+		model = loaded
+		return nil
+	})
+	if err != nil {
+		return nil, store.Meta{}, err
+	}
+	return model, meta, nil
 }
 
 // Load reads a model previously written by Save. The learning-based
