@@ -69,7 +69,9 @@ bench-compile:
 # and saves two quick models, starts `prid serve` on a random port,
 # drives predict / similarities / reconstruct / audit-leakage over real
 # HTTP against in-process expectations, then requires a clean SIGINT
-# drain. Fails non-zero on any mismatch.
+# drain. A second phase restarts in `--mode binary` and holds the
+# Hamming fast path (plus a `prid gateway` in front) to the same bar,
+# including the 400 on reconstruct. Fails non-zero on any mismatch.
 serve-smoke:
 	$(GO) run ./cmd/serve-smoke
 

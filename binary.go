@@ -1,0 +1,259 @@
+package prid
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"prid/internal/hdc"
+	"prid/internal/store"
+	"prid/internal/vecmath"
+)
+
+// BinaryModel is the bit-packed serving form of a Model: the encoding
+// basis held packed (64× smaller, bit-identical encode) and the class
+// hypervectors reduced to their sign patterns, classified by XOR +
+// popcount Hamming distance. This is the paper's 1-bit quantization
+// defense deployed as the inference format — the accuracy/leakage/
+// throughput tradeoff the binary serve mode exists to exploit.
+//
+// A BinaryModel serves predict and similarities but not reconstruction
+// or leakage audits: those need the float class hypervectors the packing
+// deliberately destroyed (that destruction is the defense).
+type BinaryModel struct {
+	basis *hdc.PackedBasis
+	bin   *hdc.BinaryModel
+	pool  sync.Pool // *binScratch, reused across requests and workers
+}
+
+// binScratch is one worker's classify scratch: the encode destination,
+// the packed query, and the distance vector. Pooled so the batch hot
+// path performs zero per-request allocations.
+type binScratch struct {
+	h     []float64
+	q     []uint64
+	dists []int
+}
+
+func newBinaryModel(basis *hdc.PackedBasis, bin *hdc.BinaryModel) *BinaryModel {
+	b := &BinaryModel{basis: basis, bin: bin}
+	b.pool.New = func() any {
+		return &binScratch{
+			h:     make([]float64, bin.Dim()),
+			q:     make([]uint64, bin.Words()),
+			dists: make([]int, bin.NumClasses()),
+		}
+	}
+	return b
+}
+
+// Binarize returns the bit-packed serving form of m. The packed basis
+// encodes bit-identically to the float one, so binary and float modes
+// disagree only where the sign quantization of the classes does.
+func (m *Model) Binarize() *BinaryModel {
+	return newBinaryModel(hdc.PackBasis(m.basis), hdc.Binarize(m.model))
+}
+
+// Features returns the input dimensionality n.
+func (b *BinaryModel) Features() int { return b.basis.Features() }
+
+// Dimension returns the hypervector dimensionality D.
+func (b *BinaryModel) Dimension() int { return b.basis.Dim() }
+
+// Classes returns the number of classes k.
+func (b *BinaryModel) Classes() int { return b.bin.NumClasses() }
+
+// MemoryBytes returns the packed footprint of basis plus model.
+func (b *BinaryModel) MemoryBytes() int { return b.basis.MemoryBytes() + b.bin.MemoryBytes() }
+
+// CompressionRatio returns the float-model-to-packed size ratio of the
+// class hypervectors (≈ 64).
+func (b *BinaryModel) CompressionRatio() float64 { return b.bin.CompressionRatio() }
+
+func (b *BinaryModel) validateRows(x [][]float64) error {
+	n := b.Features()
+	for i, row := range x {
+		if len(row) != n {
+			return fmt.Errorf("prid: sample %d has %d features, model expects %d", i, len(row), n)
+		}
+		if err := checkFinite(row, fmt.Sprintf("sample[%d]", i)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// classifyPooled encodes and classifies one row using pooled scratch.
+func (b *BinaryModel) classifyPooled(row []float64) int {
+	s := b.pool.Get().(*binScratch)
+	b.basis.EncodeInto(s.h, row)
+	pred := b.bin.ClassifyInto(s.dists, s.q, s.h)
+	b.pool.Put(s)
+	return pred
+}
+
+// Predict returns the Hamming-nearest class for one feature vector.
+func (b *BinaryModel) Predict(x []float64) (int, error) {
+	if len(x) != b.Features() {
+		return 0, fmt.Errorf("prid: sample has %d features, model expects %d", len(x), b.Features())
+	}
+	if err := checkFinite(x, "sample"); err != nil {
+		return 0, err
+	}
+	return b.classifyPooled(x), nil
+}
+
+// PredictBatch classifies every row of x, fanning samples out across
+// cores; each worker reuses pooled scratch, so beyond the result slice
+// the hot path is allocation-free per request. Results are element-wise
+// identical to calling Predict on each row.
+func (b *BinaryModel) PredictBatch(x [][]float64) ([]int, error) {
+	if len(x) == 0 {
+		return nil, errors.New("prid: empty batch")
+	}
+	if err := b.validateRows(x); err != nil {
+		return nil, err
+	}
+	out := make([]int, len(x))
+	vecmath.ParallelRows(len(x), 0, func(lo, hi int) {
+		s := b.pool.Get().(*binScratch)
+		for i := lo; i < hi; i++ {
+			b.basis.EncodeInto(s.h, x[i])
+			out[i] = b.bin.ClassifyInto(s.dists, s.q, s.h)
+		}
+		b.pool.Put(s)
+	})
+	return out, nil
+}
+
+// Similarities returns the Hamming similarity (the cosine of the two
+// sign patterns, 1 − 2·hd/D) of x's encoding to every class.
+func (b *BinaryModel) Similarities(x []float64) ([]float64, error) {
+	if len(x) != b.Features() {
+		return nil, fmt.Errorf("prid: sample has %d features, model expects %d", len(x), b.Features())
+	}
+	if err := checkFinite(x, "sample"); err != nil {
+		return nil, err
+	}
+	s := b.pool.Get().(*binScratch)
+	b.basis.EncodeInto(s.h, x)
+	b.bin.ClassifyInto(s.dists, s.q, s.h)
+	sims := make([]float64, len(s.dists))
+	for l, hd := range s.dists {
+		sims[l] = b.bin.HammingSimilarity(hd)
+	}
+	b.pool.Put(s)
+	return sims, nil
+}
+
+// Accuracy scores the binary model on a labeled set.
+func (b *BinaryModel) Accuracy(x [][]float64, y []int) (float64, error) {
+	if len(x) != len(y) {
+		return 0, fmt.Errorf("prid: %d samples but %d labels", len(x), len(y))
+	}
+	if len(x) == 0 {
+		return 0, errors.New("prid: empty evaluation set")
+	}
+	preds, err := b.PredictBatch(x)
+	if err != nil {
+		return 0, err
+	}
+	correct := 0
+	for i, p := range preds {
+		if p == y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(x)), nil
+}
+
+// Save serializes the packed model — basis section plus "PRIDBIN1" model
+// section — in the repository's versioned binary format.
+func (b *BinaryModel) Save(w io.Writer) error {
+	if err := hdc.WritePackedBasis(w, b.basis); err != nil {
+		return fmt.Errorf("prid: saving basis: %w", err)
+	}
+	if err := hdc.WriteBinaryModel(w, b.bin); err != nil {
+		return fmt.Errorf("prid: saving binary model: %w", err)
+	}
+	return nil
+}
+
+// SaveFile writes the packed model to path with the same atomic
+// crash-consistency as Model.SaveFile.
+func (b *BinaryModel) SaveFile(path string) error {
+	if _, _, err := store.AtomicWrite(path, 0o644, b.Save); err != nil {
+		return fmt.Errorf("prid: saving binary model: %w", err)
+	}
+	return nil
+}
+
+// SaveGeneration writes the packed model as a new checksummed generation
+// of name in st, stamping its shape into the manifest like the float
+// form does.
+func (b *BinaryModel) SaveGeneration(st *store.Store, name string, info store.Info) (store.Meta, error) {
+	info.Features = b.Features()
+	info.Dimension = b.Dimension()
+	info.Classes = b.Classes()
+	return st.Save(name, info, b.Save)
+}
+
+// LoadBinary reads a model stream into serving-ready binary form. It
+// accepts both artifact layouts behind the basis section: a persisted
+// binary model ("PRIDBIN1") loads directly, and a float model
+// ("PRIDMDL1") is binarized on load — so any existing float artifact can
+// be served in binary mode without retraining. Hardening matches Load.
+func LoadBinary(r io.Reader) (*BinaryModel, error) {
+	basis, err := hdc.ReadPackedBasis(r)
+	if err != nil {
+		return nil, fmt.Errorf("prid: loading basis: %w", err)
+	}
+	fm, bm, err := hdc.ReadAnyModel(r)
+	if err != nil {
+		return nil, fmt.Errorf("prid: loading model: %w", err)
+	}
+	if fm != nil {
+		bm = hdc.Binarize(fm)
+	}
+	if bm.Dim() != basis.Dim() {
+		return nil, fmt.Errorf("prid: basis dimension %d does not match model dimension %d", basis.Dim(), bm.Dim())
+	}
+	return newBinaryModel(basis, bm), nil
+}
+
+// LoadBinaryFile reads a model file (float or persisted-binary) into
+// binary serving form.
+func LoadBinaryFile(path string) (*BinaryModel, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("prid: loading binary model: %w", err)
+	}
+	defer f.Close() //pridlint:allow errdrop read-path close: LoadBinary already surfaced any read error
+	return LoadBinary(f)
+}
+
+// LoadNewestBinary loads the newest intact generation of name from st in
+// binary serving form, with the same corrupt-generation fallback and
+// manifest shape cross-check as LoadNewest.
+func LoadNewestBinary(st *store.Store, name string) (*BinaryModel, store.Meta, error) {
+	var model *BinaryModel
+	meta, err := st.OpenNewest(name, func(r io.Reader, meta store.Meta) error {
+		loaded, lerr := LoadBinary(r)
+		if lerr != nil {
+			return lerr
+		}
+		if loaded.Features() != meta.Features || loaded.Dimension() != meta.Dimension || loaded.Classes() != meta.Classes {
+			return fmt.Errorf("prid: loaded shape %d/%d/%d does not match manifest %d/%d/%d",
+				loaded.Features(), loaded.Dimension(), loaded.Classes(),
+				meta.Features, meta.Dimension, meta.Classes)
+		}
+		model = loaded
+		return nil
+	})
+	if err != nil {
+		return nil, store.Meta{}, err
+	}
+	return model, meta, nil
+}

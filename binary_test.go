@@ -1,0 +1,195 @@
+package prid
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"prid/internal/store"
+)
+
+func mustBinary(t *testing.T, seed uint64) (*Model, *BinaryModel, [][]float64, []int) {
+	t.Helper()
+	x, y, queries := problem(seed)
+	m := mustTrain(t, x, y, WithDimension(512), WithSeed(seed))
+	return m, m.Binarize(), append(queries, x...), y
+}
+
+func TestBinarizeShapeAndCompression(t *testing.T) {
+	m, bm, _, _ := mustBinary(t, 41)
+	if bm.Features() != m.Features() || bm.Dimension() != m.Dimension() || bm.Classes() != m.Classes() {
+		t.Fatalf("binary shape %d/%d/%d != float %d/%d/%d",
+			bm.Features(), bm.Dimension(), bm.Classes(), m.Features(), m.Dimension(), m.Classes())
+	}
+	if bm.CompressionRatio() < 60 {
+		t.Fatalf("compression ratio %.1f, want ≈ 64", bm.CompressionRatio())
+	}
+	if bm.MemoryBytes() <= 0 {
+		t.Fatal("non-positive memory footprint")
+	}
+}
+
+// PredictBatch must be element-wise identical to per-row Predict (the
+// pooled parallel path must not change answers), and Similarities must
+// rank the predicted class first.
+func TestBinaryPredictBatchMatchesPredict(t *testing.T) {
+	_, bm, queries, _ := mustBinary(t, 42)
+	batch, err := bm.PredictBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, q := range queries {
+		single, err := bm.Predict(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if single != batch[i] {
+			t.Fatalf("query %d: Predict %d != PredictBatch %d", i, single, batch[i])
+		}
+		sims, err := bm.Similarities(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sims) != bm.Classes() {
+			t.Fatalf("query %d: %d similarities for %d classes", i, len(sims), bm.Classes())
+		}
+		best := 0
+		for l, s := range sims {
+			if s > sims[best] {
+				best = l
+			}
+		}
+		if best != single {
+			t.Fatalf("query %d: top similarity class %d != prediction %d", i, best, single)
+		}
+	}
+}
+
+// The binary model is a sign quantization of a well-separated float
+// model, so accuracy on the training set must stay high.
+func TestBinaryAccuracyCloseToFloat(t *testing.T) {
+	m, bm, _, _ := mustBinary(t, 43)
+	x, y, _ := problem(43)
+	facc, err := m.Accuracy(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bacc, err := bm.Accuracy(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bacc < facc-0.1 {
+		t.Fatalf("binary accuracy %.3f fell more than 0.1 below float %.3f", bacc, facc)
+	}
+}
+
+// Save → LoadBinary must preserve every prediction bit for bit, for
+// both artifact layouts: the persisted-binary form and binarize-on-load
+// from a float artifact.
+func TestBinarySaveLoadRoundTrip(t *testing.T) {
+	m, bm, queries, _ := mustBinary(t, 44)
+	want, err := bm.PredictBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var binBuf, floatBuf bytes.Buffer
+	if err := bm.Save(&binBuf); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Save(&floatBuf); err != nil {
+		t.Fatal(err)
+	}
+	for name, raw := range map[string][]byte{"persisted-binary": binBuf.Bytes(), "binarize-on-load": floatBuf.Bytes()} {
+		loaded, err := LoadBinary(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got, err := loaded.PredictBatch(queries)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: query %d predicted %d, want %d", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestBinarySaveFileLoadFile(t *testing.T) {
+	_, bm, queries, _ := mustBinary(t, 45)
+	path := filepath.Join(t.TempDir(), "m.prid")
+	if err := bm.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadBinaryFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := bm.PredictBatch(queries)
+	got, err := loaded.PredictBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("query %d predicted %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBinaryStoreGenerationRoundTrip(t *testing.T) {
+	_, bm, queries, _ := mustBinary(t, 46)
+	st, err := store.Open(t.TempDir(), store.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := bm.SaveGeneration(st, "bin", store.Info{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.Features != bm.Features() || meta.Dimension != bm.Dimension() || meta.Classes != bm.Classes() {
+		t.Fatalf("manifest shape %d/%d/%d != model %d/%d/%d",
+			meta.Features, meta.Dimension, meta.Classes, bm.Features(), bm.Dimension(), bm.Classes())
+	}
+	loaded, meta2, err := LoadNewestBinary(st, "bin")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta2.Generation != meta.Generation {
+		t.Fatalf("loaded generation %d, want %d", meta2.Generation, meta.Generation)
+	}
+	want, _ := bm.PredictBatch(queries)
+	got, err := loaded.PredictBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("query %d predicted %d, want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBinaryValidation(t *testing.T) {
+	_, bm, _, _ := mustBinary(t, 47)
+	if _, err := bm.Predict(make([]float64, 3)); err == nil {
+		t.Fatal("wrong feature count accepted")
+	}
+	bad := make([]float64, bm.Features())
+	bad[2] = math.NaN()
+	if _, err := bm.Predict(bad); err == nil {
+		t.Fatal("NaN sample accepted")
+	}
+	if _, err := bm.PredictBatch(nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := bm.Similarities(make([]float64, 1)); err == nil {
+		t.Fatal("wrong-length similarities accepted")
+	}
+	if _, err := bm.Accuracy(make([][]float64, 2), make([]int, 1)); err == nil {
+		t.Fatal("mismatched labels accepted")
+	}
+}

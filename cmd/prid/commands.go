@@ -80,6 +80,7 @@ func cmdTrain(args []string) error {
 	storeDir := fs.String("store", "", "save the model as a new checksummed generation in this snapshot store")
 	storeName := fs.String("store-name", "", "model name inside --store (default: dataset name, lowercased)")
 	audit := fs.Bool("audit-leakage", false, "with --store: measure the attack leakage Δ and stamp it into the generation's manifest entry")
+	binarize := fs.Bool("binarize", false, "persist the bit-packed binary form (1-bit sign classes, packed basis) instead of the float model; serve it with 'prid serve --mode binary'")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -91,8 +92,17 @@ func cmdTrain(args []string) error {
 	if err != nil {
 		return err
 	}
+	var bin *prid.BinaryModel
+	if *binarize {
+		bin = model.Binarize()
+	}
 	if *save != "" {
-		if err := model.SaveFile(*save); err != nil {
+		if bin != nil {
+			err = bin.SaveFile(*save)
+		} else {
+			err = model.SaveFile(*save)
+		}
+		if err != nil {
 			return err
 		}
 		fmt.Printf("model written to %s\n", *save)
@@ -108,14 +118,29 @@ func cmdTrain(args []string) error {
 		}
 		var info store.Info
 		if *audit {
-			delta, err := model.AuditLeakage(ds.TrainX, ds.TestX)
+			// The binary artifact's attack surface is the 1-bit quantized
+			// model (the packing destroys the rest), so with --binarize the
+			// manifest records that model's leakage, not the float one's.
+			audited := model
+			if bin != nil {
+				audited, err = model.DefendQuantize(ds.TrainX, ds.TrainY, 1)
+				if err != nil {
+					return err
+				}
+			}
+			delta, err := audited.AuditLeakage(ds.TrainX, ds.TestX)
 			if err != nil {
 				return err
 			}
 			info.Leakage = delta
 			info.HasLeakage = true
 		}
-		meta, err := model.SaveGeneration(st, name, info)
+		var meta store.Meta
+		if bin != nil {
+			meta, err = bin.SaveGeneration(st, name, info)
+		} else {
+			meta, err = model.SaveGeneration(st, name, info)
+		}
 		if err != nil {
 			return err
 		}
@@ -145,6 +170,13 @@ func cmdTrain(args []string) error {
 		ds.Name, *df.dim, len(ds.TrainX), len(ds.TestX)),
 		"model", "accuracy")
 	t.AddRow("HDC (PRID)", report.Pct(hdcAcc))
+	if bin != nil {
+		binAcc, err := bin.Accuracy(ds.TestX, ds.TestY)
+		if err != nil {
+			return err
+		}
+		t.AddRow("HDC binary (1-bit Hamming)", report.Pct(binAcc))
+	}
 	t.AddRow(comp.Name(), report.Pct(baseline.Accuracy(comp, ds.TestX, ds.TestY)))
 	return t.WriteText(os.Stdout)
 }

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"prid"
 )
 
 // Fast shared arguments: tiny dims and splits keep each CLI invocation in
@@ -26,6 +28,7 @@ func TestRunErrors(t *testing.T) {
 		{"serve", "--model", "noequals"},                // malformed --model spec
 		{"serve", "--model", "m=/does/not/exist"},       // missing model file
 		{"serve", "--models-dir", "/does/not/exist/at"}, // empty glob, no models
+		{"serve", "--mode", "ternary"},                  // unknown serving mode
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {
@@ -63,6 +66,26 @@ func TestTrainSaveAttackLoadRoundTrip(t *testing.T) {
 	args := append([]string{"attack", "--load", path, "--queries", "2", "--visual=false"}, fastArgs...)
 	if err := run(args); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTrainBinarizeSavesBinaryArtifact: --binarize persists a packed
+// artifact that the binary loader accepts and the float loader rejects
+// (the sign packing is one-way).
+func TestTrainBinarizeSavesBinaryArtifact(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "model.prid")
+	if err := run(append([]string{"train", "--binarize", "--save", path}, fastArgs...)); err != nil {
+		t.Fatal(err)
+	}
+	bm, err := prid.LoadBinaryFile(path)
+	if err != nil {
+		t.Fatalf("binary loader rejected --binarize artifact: %v", err)
+	}
+	if bm.Classes() == 0 || bm.Dimension() != 256 {
+		t.Fatalf("loaded binary model shape %d classes / dim %d", bm.Classes(), bm.Dimension())
+	}
+	if _, err := prid.LoadFile(path); err == nil {
+		t.Fatal("float loader accepted a packed binary artifact")
 	}
 }
 

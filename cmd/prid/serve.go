@@ -12,6 +12,7 @@ import (
 
 	"prid/internal/faultinject"
 	"prid/internal/serve"
+	"prid/internal/serve/engine"
 	"prid/internal/store"
 )
 
@@ -45,10 +46,14 @@ func cmdServe(args []string) error {
 	drain := fs.Duration("drain", 15*time.Second, "max time to drain in-flight requests on shutdown")
 	addrFile := fs.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
 	storeDir := fs.String("store", "", "serve every model in this snapshot store (newest intact generation; see 'prid train --store')")
+	mode := fs.String("mode", "", "serving mode: \"\" (float cosine) or \"binary\" (bit-packed Hamming fast path; float artifacts binarize on load, reconstruct/audit refuse)")
 	chaos := fs.String("chaos", "", "inject faults per this schedule ([site.]kind=value,... — e.g. \"error=0.1,predict.latency=0.5:1ms-20ms\") for resilience testing")
 	chaosSeed := fs.Uint64("chaos-seed", 1, "seed for --chaos fault decisions")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *mode != "" && *mode != engine.ModeBinary {
+		return fmt.Errorf("serve: unknown --mode %q (want \"\" or %q)", *mode, engine.ModeBinary)
 	}
 	var inj *faultinject.Injector
 	if *chaos != "" {
@@ -68,9 +73,15 @@ func cmdServe(args []string) error {
 		RequestTimeout: *timeout,
 		Injector:       inj,
 	})
+	// All three sources route through the mode-selected loader pair, so
+	// --mode binary serves files, directories, and stores identically.
+	loadFile, loadStore := s.Registry().LoadFile, s.Registry().LoadStore
+	if *mode == engine.ModeBinary {
+		loadFile, loadStore = s.Registry().LoadFileBinary, s.Registry().LoadStoreBinary
+	}
 	for _, spec := range models {
 		name, path, _ := strings.Cut(spec, "=")
-		if err := s.Registry().LoadFile(name, path); err != nil {
+		if err := loadFile(name, path); err != nil {
 			return err
 		}
 	}
@@ -81,7 +92,7 @@ func cmdServe(args []string) error {
 		}
 		for _, path := range paths {
 			name := strings.TrimSuffix(filepath.Base(path), ".prid")
-			if err := s.Registry().LoadFile(name, path); err != nil {
+			if err := loadFile(name, path); err != nil {
 				return err
 			}
 		}
@@ -98,7 +109,7 @@ func cmdServe(args []string) error {
 		for _, name := range names {
 			// Corruption fallback happens inside LoadStore: the registry gets
 			// the newest generation whose checksum verifies and which loads.
-			if err := s.Registry().LoadStore(name, st); err != nil {
+			if err := loadStore(name, st); err != nil {
 				return err
 			}
 		}

@@ -4,7 +4,11 @@
 // a random port, drives the predict / similarities / reconstruct /
 // audit-leakage endpoints over real HTTP, checks every response against
 // the same deterministic computation done in-process, and finally sends
-// SIGINT and requires a clean drain. Any mismatch exits non-zero.
+// SIGINT and requires a clean drain. A second phase restarts the server
+// in `--mode binary` (binarize-on-load of the same artifacts) and holds
+// the bit-packed Hamming path to the same bar — mode in the listing,
+// bit-identical predicts, a 400 on reconstruct, and a `prid gateway` in
+// front propagating all of it. Any mismatch exits non-zero.
 package main
 
 import (
@@ -197,6 +201,153 @@ func run() error {
 		return fmt.Errorf("server did not exit within 20s of SIGINT")
 	}
 	fmt.Println("serve-smoke: graceful shutdown ok")
+
+	return runBinaryPhase(dir, bin, activity, dsActivity)
+}
+
+// runBinaryPhase restarts the server in `--mode binary` over the same
+// float artifacts (binarize-on-load) and holds it to the binary bar:
+// the listing carries the mode, predicts are bit-identical to the
+// in-process binary model, the attack surface answers 400, and a `prid
+// gateway` in front propagates all of it unchanged.
+func runBinaryPhase(dir, bin string, activity *prid.Model, dsActivity *dataset.Dataset) error {
+	addrFile := filepath.Join(dir, "addr-binary")
+	srv := exec.Command(bin, "serve",
+		"--listen", "127.0.0.1:0",
+		"--mode", "binary",
+		"--models-dir", dir,
+		"--addr-file", addrFile,
+		"--batch-window", "1ms")
+	srv.Stderr = os.Stderr
+	if err := srv.Start(); err != nil {
+		return fmt.Errorf("starting prid serve --mode binary: %w", err)
+	}
+	serverDone := make(chan error, 1)
+	go func() { serverDone <- srv.Wait() }()
+	defer srv.Process.Kill() //pridlint:allow errdrop belt-and-braces kill on failure paths; normal exit is the drain below
+
+	base, err := waitForServer(addrFile, serverDone)
+	if err != nil {
+		return err
+	}
+
+	// Listing: every entry must carry the binary mode.
+	var models struct {
+		Models []struct {
+			Name string `json:"name"`
+			Mode string `json:"mode"`
+		} `json:"models"`
+	}
+	if err := getJSON(base+"/v1/models", &models); err != nil {
+		return err
+	}
+	if len(models.Models) != 2 {
+		return fmt.Errorf("binary /v1/models lists %d models, want 2", len(models.Models))
+	}
+	for _, m := range models.Models {
+		if m.Mode != "binary" {
+			return fmt.Errorf("binary-mode server lists %s with mode %q, want \"binary\"", m.Name, m.Mode)
+		}
+	}
+
+	// Predict: bit-identical to the in-process binarized model.
+	want, err := activity.Binarize().PredictBatch(dsActivity.TestX)
+	if err != nil {
+		return err
+	}
+	var pr struct {
+		Predictions []int `json:"predictions"`
+	}
+	if err := postJSON(base+"/v1/predict",
+		map[string]any{"model": "activity", "inputs": dsActivity.TestX}, &pr); err != nil {
+		return err
+	}
+	for i := range want {
+		if pr.Predictions[i] != want[i] {
+			return fmt.Errorf("binary prediction %d = %d, in-process %d", i, pr.Predictions[i], want[i])
+		}
+	}
+	fmt.Printf("serve-smoke: binary predict ok (%d rows)\n", len(want))
+
+	// The attack surface must refuse: reconstruct against a binary entry
+	// is a caller error (the packed model holds no float hypervectors).
+	if status, err := postStatus(base+"/v1/reconstruct",
+		map[string]any{"model": "activity", "query": dsActivity.TestX[0]}); err != nil {
+		return err
+	} else if status != http.StatusBadRequest {
+		return fmt.Errorf("binary reconstruct answered status %d, want 400", status)
+	}
+	fmt.Println("serve-smoke: binary reconstruct refused with 400 ok")
+
+	// Gateway probe: a `prid gateway` over the binary backend must carry
+	// the mode through its merged listing and serve bit-identical predicts.
+	gwAddrFile := filepath.Join(dir, "addr-gateway")
+	gw := exec.Command(bin, "gateway",
+		"--listen", "127.0.0.1:0",
+		"--backend", base,
+		"--probe-interval", "50ms",
+		"--addr-file", gwAddrFile)
+	gw.Stderr = os.Stderr
+	if err := gw.Start(); err != nil {
+		return fmt.Errorf("starting prid gateway: %w", err)
+	}
+	gwDone := make(chan error, 1)
+	go func() { gwDone <- gw.Wait() }()
+	defer gw.Process.Kill() //pridlint:allow errdrop belt-and-braces kill on failure paths
+	gwBase, err := waitForServer(gwAddrFile, gwDone)
+	if err != nil {
+		return fmt.Errorf("gateway: %w", err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if err := getJSON(gwBase+"/v1/models", &models); err == nil && len(models.Models) == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("gateway never aggregated the binary backend's models")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	for _, m := range models.Models {
+		if m.Mode != "binary" {
+			return fmt.Errorf("gateway lists %s with mode %q, want \"binary\"", m.Name, m.Mode)
+		}
+	}
+	if err := postJSON(gwBase+"/v1/predict",
+		map[string]any{"model": "activity", "inputs": dsActivity.TestX}, &pr); err != nil {
+		return err
+	}
+	for i := range want {
+		if pr.Predictions[i] != want[i] {
+			return fmt.Errorf("gateway binary prediction %d = %d, in-process %d", i, pr.Predictions[i], want[i])
+		}
+	}
+	fmt.Println("serve-smoke: gateway over binary backend ok")
+
+	// Drain the gateway, then the binary server.
+	if err := gw.Process.Signal(syscall.SIGINT); err != nil {
+		return err
+	}
+	select {
+	case err := <-gwDone:
+		if err != nil {
+			return fmt.Errorf("gateway exited non-zero after SIGINT: %w", err)
+		}
+	case <-time.After(20 * time.Second):
+		return fmt.Errorf("gateway did not exit within 20s of SIGINT")
+	}
+	if err := srv.Process.Signal(syscall.SIGINT); err != nil {
+		return err
+	}
+	select {
+	case err := <-serverDone:
+		if err != nil {
+			return fmt.Errorf("binary server exited non-zero after SIGINT: %w", err)
+		}
+	case <-time.After(20 * time.Second):
+		return fmt.Errorf("binary server did not exit within 20s of SIGINT")
+	}
+	fmt.Println("serve-smoke: binary graceful shutdown ok")
 	return nil
 }
 
@@ -240,6 +391,21 @@ func postJSON(url string, body, out any) error {
 		return fmt.Errorf("POST %s: status %d: %s", url, resp.StatusCode, e.Error)
 	}
 	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// postStatus POSTs body and returns only the response status code —
+// for probes that expect a refusal.
+func postStatus(url string, body any) (int, error) {
+	raw, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		return 0, err
+	}
+	resp.Body.Close() //pridlint:allow errdrop only the status code is read
+	return resp.StatusCode, nil
 }
 
 func getJSON(url string, out any) error {

@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"prid/internal/hdc"
+	"prid/internal/quant"
+	"prid/internal/report"
+)
+
+// AblationBinaryResult measures the full cost/benefit of serving the
+// model in bit-packed binary form — the accuracy given up by the 1-bit
+// sign quantization, the leakage an attacker loses (the binary
+// artifact's attack surface is the 1-bit quantized model; the packing
+// destroys everything beyond the signs), and the classify throughput
+// gained by trading the k·D-flop cosine sweep for XOR + popcount over
+// packed words.
+type AblationBinaryResult struct {
+	// FloatAccuracy / BinaryAccuracy are test accuracy in each serving
+	// mode; Agreement is the fraction of test encodings on which the two
+	// modes pick the same class.
+	FloatAccuracy  float64
+	BinaryAccuracy float64
+	Agreement      float64
+	// FloatDelta / BinaryDelta are the combined attack's mean leakage Δ
+	// against the float model and against its 1-bit quantization.
+	FloatDelta  float64
+	BinaryDelta float64
+	// FloatClassifyPerSec / BinaryClassifyPerSec time the model-side
+	// classify op (what the serve hot path runs after encoding): the
+	// cosine sweep vs pack + Hamming.
+	FloatClassifyPerSec  float64
+	BinaryClassifyPerSec float64
+	Speedup              float64
+	// Compression is the float-to-packed size ratio of the class
+	// hypervectors (≈ 64).
+	Compression float64
+}
+
+// AblationBinary runs the tradeoff on the MNIST stand-in.
+func AblationBinary(sc Scale) AblationBinaryResult {
+	tr := prepare("MNIST", sc, sc.Dim)
+	bin := hdc.Binarize(tr.model)
+	res := AblationBinaryResult{
+		FloatAccuracy:  tr.testAccuracy(tr.model),
+		BinaryAccuracy: bin.Accuracy(tr.encTe, tr.ds.TestY),
+		Agreement:      bin.AgreesWithCosine(tr.model, tr.encTe),
+		Compression:    bin.CompressionRatio(),
+	}
+	res.FloatDelta = tr.runCombinedAttack(tr.model, tr.ls, sc.AttackIterations).Delta
+	res.BinaryDelta = tr.runCombinedAttack(quant.Model(tr.model, 1), tr.ls, sc.AttackIterations).Delta
+	res.FloatClassifyPerSec, res.BinaryClassifyPerSec = measureClassifyOps(tr.model, bin, tr.encTe)
+	res.Speedup = res.BinaryClassifyPerSec / res.FloatClassifyPerSec
+	return res
+}
+
+// classifyOpMinDuration is how long each classify-throughput probe runs:
+// long enough to dominate timer noise, short enough that the quick scale
+// stays in tens of milliseconds per mode.
+const classifyOpMinDuration = 25 * time.Millisecond
+
+// measureClassifyOps times model-side classification — the per-query op
+// the serving hot path performs after encoding — for the float cosine
+// and packed Hamming forms over the same encoded rows. The binary probe
+// includes the query bit-packing, exactly as the serve path pays it.
+func measureClassifyOps(m *hdc.Model, bin *hdc.BinaryModel, encoded [][]float64) (floatPerSec, binPerSec float64) {
+	rate := func(pass func()) float64 {
+		start := time.Now() //pridlint:allow determinism wall-clock feeds throughput reporting only, never the numerics
+		ops := 0
+		for time.Since(start) < classifyOpMinDuration {
+			pass()
+			ops += len(encoded)
+		}
+		return float64(ops) / time.Since(start).Seconds()
+	}
+	floatPerSec = rate(func() {
+		for _, h := range encoded {
+			m.Classify(h)
+		}
+	})
+	q := make([]uint64, bin.Words())
+	dists := make([]int, bin.NumClasses())
+	binPerSec = rate(func() {
+		for _, h := range encoded {
+			bin.ClassifyInto(dists, q, h)
+		}
+	})
+	return floatPerSec, binPerSec
+}
+
+// Table renders the tradeoff, one row per serving mode plus the ratio
+// line the serve-mode decision actually reads.
+func (r AblationBinaryResult) Table() *report.Table {
+	t := report.NewTable("Ablation — binary Hamming serving tradeoff (MNIST)",
+		"serving mode", "test accuracy", "leakage Δ", "classify ops/s")
+	t.AddRow("float cosine", report.Pct(r.FloatAccuracy), report.F(r.FloatDelta),
+		fmt.Sprintf("%.0f", r.FloatClassifyPerSec))
+	t.AddRow("binary Hamming (1-bit)", report.Pct(r.BinaryAccuracy), report.F(r.BinaryDelta),
+		fmt.Sprintf("%.0f", r.BinaryClassifyPerSec))
+	t.AddRow(fmt.Sprintf("ratio (%.1f%% class agreement)", r.Agreement*100),
+		fmt.Sprintf("%.1f× smaller classes", r.Compression), "", fmt.Sprintf("%.1f× faster", r.Speedup))
+	return t
+}

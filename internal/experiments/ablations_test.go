@@ -176,3 +176,30 @@ func TestAblationPartialShape(t *testing.T) {
 		t.Fatalf("class match decreased with disclosure: %.2f → %.2f", first.ClassHit, last.ClassHit)
 	}
 }
+
+func TestAblationBinaryShape(t *testing.T) {
+	r := AblationBinary(Quick())
+	if r.BinaryAccuracy < r.FloatAccuracy-0.1 {
+		t.Fatalf("binary accuracy %.3f fell more than 0.1 below float %.3f",
+			r.BinaryAccuracy, r.FloatAccuracy)
+	}
+	if r.Agreement < 0.8 {
+		t.Fatalf("binary/float class agreement %.2f too low", r.Agreement)
+	}
+	// The 1-bit quantization is the paper's strongest quantization defense:
+	// the binary artifact must not leak more than the float model.
+	if r.BinaryDelta > r.FloatDelta+0.02 {
+		t.Fatalf("binary-mode leakage %.3f above float %.3f", r.BinaryDelta, r.FloatDelta)
+	}
+	// Conservative floor for CI noise — the BENCH snapshot records the
+	// real ratio (≥10× at quick scale on idle hardware).
+	if r.Speedup < 3 {
+		t.Fatalf("binary classify speedup %.1f× implausibly low", r.Speedup)
+	}
+	if r.Compression < 60 {
+		t.Fatalf("compression ratio %.1f, want ≈ 64", r.Compression)
+	}
+	if r.Table().NumRows() != 3 {
+		t.Fatalf("table rows %d, want 3", r.Table().NumRows())
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"prid/internal/decode"
 	"prid/internal/hdc"
 	"prid/internal/obs"
+	"prid/internal/quant"
 	"prid/internal/rng"
 	"prid/internal/store"
 )
@@ -54,6 +55,19 @@ type BenchResult struct {
 	FeatReplRuns    int64   `json:"feature_replacement_runs"`
 	FeatReplSeconds float64 `json:"feature_replacement_seconds"`
 	FeatReplPerSec  float64 `json:"feature_replacement_runs_per_sec"`
+
+	// The binary fast-path tradeoff: model-side classify throughput in
+	// each serving mode (the op `prid serve --mode binary` accelerates —
+	// end-to-end predict is encode-bound, so encode throughput above is
+	// the other half of the story), with the accuracy and leakage the
+	// speedup costs/buys recorded alongside so the ratio is never read
+	// without its price.
+	PredictFloatPerSec   float64 `json:"predict_float_per_sec"`
+	PredictBinaryPerSec  float64 `json:"predict_binary_per_sec"`
+	PredictBinarySpeedup float64 `json:"predict_binary_speedup"`
+	FloatAccuracy        float64 `json:"float_accuracy"`
+	BinaryAccuracy       float64 `json:"binary_accuracy"`
+	BinaryMeanDelta      float64 `json:"binary_attack_mean_delta"`
 
 	Metrics obs.Snapshot `json:"metrics"`
 }
@@ -119,6 +133,15 @@ func QuickBench(sc Scale) BenchResult {
 
 	res.FeatReplRuns, res.FeatReplSeconds = measureFeatureReplacement(tr, sc)
 	res.FeatReplPerSec = obs.Rate(res.FeatReplRuns, res.FeatReplSeconds)
+
+	bin := hdc.Binarize(model)
+	res.FloatAccuracy = hdc.Accuracy(model, tr.encTe, ds.TestY)
+	res.BinaryAccuracy = bin.Accuracy(tr.encTe, ds.TestY)
+	res.BinaryMeanDelta = tr.runCombinedAttack(quant.Model(model, 1), tr.ls, sc.AttackIterations).Delta
+	res.PredictFloatPerSec, res.PredictBinaryPerSec = measureClassifyOps(model, bin, tr.encTe)
+	if res.PredictFloatPerSec > 0 {
+		res.PredictBinarySpeedup = res.PredictBinaryPerSec / res.PredictFloatPerSec
+	}
 	return res
 }
 

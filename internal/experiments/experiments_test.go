@@ -233,8 +233,8 @@ func TestTableIIBudgetedComparison(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	ids := IDs()
-	if len(ids) != 17 { // 10 paper artifacts + 7 ablations
-		t.Fatalf("expected 17 experiments, got %v", ids)
+	if len(ids) != 18 { // 10 paper artifacts + 8 ablations
+		t.Fatalf("expected 18 experiments, got %v", ids)
 	}
 	for i := 1; i < len(ids); i++ {
 		if ids[i-1] >= ids[i] {

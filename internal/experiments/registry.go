@@ -65,6 +65,7 @@ var registry = map[string]Runner{
 	"ablation-clustering": func(sc Scale) Renderable { return AblationClustering(sc) },
 	"ablation-federated":  func(sc Scale) Renderable { return AblationFederated(sc) },
 	"ablation-partial":    func(sc Scale) Renderable { return AblationPartial(sc) },
+	"ablation-binary":     func(sc Scale) Renderable { return AblationBinary(sc) },
 }
 
 // IDs returns the registered experiment ids, sorted.

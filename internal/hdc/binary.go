@@ -3,6 +3,8 @@ package hdc
 import (
 	"fmt"
 	"math/bits"
+
+	"prid/internal/vecmath"
 )
 
 // BinaryModel is the sign-quantized, bit-packed form of a Model: one bit
@@ -17,6 +19,9 @@ import (
 // cosine against the sign-quantized classes whenever the query is also
 // sign-binarized. Classify uses the query's signs; ClassifyFloat keeps
 // the query's magnitudes (dot product against ±1, still branch-free).
+//
+// Sign packing follows the binary layer's canonical v >= 0 → bit 1
+// convention, stated once in internal/vecmath/binary.go.
 type BinaryModel struct {
 	k, d  int
 	words int
@@ -25,15 +30,10 @@ type BinaryModel struct {
 
 // Binarize packs the sign pattern of every class hypervector of m.
 func Binarize(m *Model) *BinaryModel {
-	words := (m.d + 63) / 64
+	words := vecmath.PackedWords(m.d)
 	b := &BinaryModel{k: len(m.classes), d: m.d, words: words, bits: make([]uint64, len(m.classes)*words)}
 	for l, class := range m.classes {
-		row := b.bits[l*words : (l+1)*words]
-		for j, v := range class {
-			if v >= 0 {
-				row[j/64] |= 1 << uint(j%64)
-			}
-		}
+		vecmath.PackSignsInto(b.bits[l*words:(l+1)*words], class)
 	}
 	return b
 }
@@ -44,59 +44,74 @@ func (b *BinaryModel) NumClasses() int { return b.k }
 // Dim returns D.
 func (b *BinaryModel) Dim() int { return b.d }
 
+// Words returns the packed words per class row, the scratch width
+// ClassifyInto callers size their query buffer to.
+func (b *BinaryModel) Words() int { return b.words }
+
 // MemoryBytes returns the packed footprint.
 func (b *BinaryModel) MemoryBytes() int { return len(b.bits) * 8 }
 
-// packSigns packs the sign pattern of h into dst (length words). Tail
-// bits beyond d stay zero on both sides, cancelling in XOR.
-func (b *BinaryModel) packSigns(dst []uint64, h []float64) {
-	for i := range dst {
-		dst[i] = 0
+// Equal reports whether two binary models have identical shape and bit
+// patterns — the differential-test primitive for the sign-of-zero
+// convention.
+func (b *BinaryModel) Equal(o *BinaryModel) bool {
+	if b.k != o.k || b.d != o.d || b.words != o.words {
+		return false
 	}
-	for j, v := range h {
-		if v >= 0 {
-			dst[j/64] |= 1 << uint(j%64)
+	for i, w := range b.bits {
+		if w != o.bits[i] {
+			return false
 		}
 	}
+	return true
+}
+
+// ClassifyInto sign-binarizes the query into q, fills dists with the
+// Hamming distance to every class, and returns the class with the
+// minimum distance (ties to the lowest index). q must have length
+// Words() and dists length NumClasses(); nothing is allocated, which is
+// what makes the serve batcher's binary hot path allocation-free per
+// request. Bit-identical to Classify.
+func (b *BinaryModel) ClassifyInto(dists []int, q []uint64, h []float64) int {
+	if len(h) != b.d {
+		panic(fmt.Sprintf("hdc: BinaryModel.ClassifyInto length %d, want %d", len(h), b.d))
+	}
+	if len(q) != b.words {
+		panic(fmt.Sprintf("hdc: BinaryModel.ClassifyInto scratch %d words, want %d", len(q), b.words))
+	}
+	if len(dists) != b.k {
+		panic(fmt.Sprintf("hdc: BinaryModel.ClassifyInto dists length %d, want %d", len(dists), b.k))
+	}
+	vecmath.PackSignsInto(q, h)
+	vecmath.HammingRowsInto(dists, b.bits, b.words, q)
+	return vecmath.ArgMinInt(dists)
 }
 
 // Classify sign-binarizes the query and returns the class with the
-// minimum Hamming distance, plus the distance vector. Ties resolve to the
-// lowest class index.
+// minimum Hamming distance, plus the distance vector. Ties resolve to
+// the lowest class index. Allocating wrapper around ClassifyInto.
 func (b *BinaryModel) Classify(h []float64) (int, []int) {
-	if len(h) != b.d {
-		panic(fmt.Sprintf("hdc: BinaryModel.Classify length %d, want %d", len(h), b.d))
-	}
 	q := make([]uint64, b.words)
-	b.packSigns(q, h)
 	dists := make([]int, b.k)
-	best := 0
-	for l := 0; l < b.k; l++ {
-		row := b.bits[l*b.words : (l+1)*b.words]
-		hd := 0
-		for w := range row {
-			hd += bits.OnesCount64(row[w] ^ q[w])
-		}
-		dists[l] = hd
-		if hd < dists[best] {
-			best = l
-		}
-	}
+	best := b.ClassifyInto(dists, q, h)
 	return best, dists
 }
 
-// ClassifyFloat keeps the query's magnitudes: score_l = Σ_j h_j·sign_lj,
-// evaluated without unpacking (add where the bit is set, subtract the
-// total otherwise: Σ h_j·s_j = 2·Σ_{set} h_j − Σ h_j).
-func (b *BinaryModel) ClassifyFloat(h []float64) (int, []float64) {
+// ClassifyFloatInto keeps the query's magnitudes: score_l = Σ_j
+// h_j·sign_lj, evaluated without unpacking (add where the bit is set,
+// subtract the total otherwise: Σ h_j·s_j = 2·Σ_{set} h_j − Σ h_j).
+// scores must have length NumClasses(); nothing is allocated.
+func (b *BinaryModel) ClassifyFloatInto(scores []float64, h []float64) int {
 	if len(h) != b.d {
-		panic(fmt.Sprintf("hdc: BinaryModel.ClassifyFloat length %d, want %d", len(h), b.d))
+		panic(fmt.Sprintf("hdc: BinaryModel.ClassifyFloatInto length %d, want %d", len(h), b.d))
+	}
+	if len(scores) != b.k {
+		panic(fmt.Sprintf("hdc: BinaryModel.ClassifyFloatInto scores length %d, want %d", len(scores), b.k))
 	}
 	var total float64
 	for _, v := range h {
 		total += v
 	}
-	scores := make([]float64, b.k)
 	best := 0
 	for l := 0; l < b.k; l++ {
 		row := b.bits[l*b.words : (l+1)*b.words]
@@ -114,6 +129,13 @@ func (b *BinaryModel) ClassifyFloat(h []float64) (int, []float64) {
 			best = l
 		}
 	}
+	return best
+}
+
+// ClassifyFloat is the allocating wrapper around ClassifyFloatInto.
+func (b *BinaryModel) ClassifyFloat(h []float64) (int, []float64) {
+	scores := make([]float64, b.k)
+	best := b.ClassifyFloatInto(scores, h)
 	return best, scores
 }
 
@@ -122,9 +144,11 @@ func (b *BinaryModel) Accuracy(encoded [][]float64, y []int) float64 {
 	if len(encoded) == 0 {
 		return 0
 	}
+	q := make([]uint64, b.words)
+	dists := make([]int, b.k)
 	correct := 0
 	for i, h := range encoded {
-		if pred, _ := b.Classify(h); pred == y[i] {
+		if b.ClassifyInto(dists, q, h) == y[i] {
 			correct++
 		}
 	}

@@ -95,6 +95,143 @@ func TestBinaryAccuracyEmpty(t *testing.T) {
 	}
 }
 
+// binarizeRef is the scalar reference for Binarize: one bit test per
+// element, v >= 0 → bit 1 (the layer's sign-of-zero convention).
+func binarizeRef(m *Model) []uint64 {
+	words := (m.Dim() + 63) / 64
+	bits := make([]uint64, m.NumClasses()*words)
+	for l := 0; l < m.NumClasses(); l++ {
+		for j, v := range m.Class(l) {
+			if v >= 0 {
+				bits[l*words+j/64] |= 1 << uint(j%64)
+			}
+		}
+	}
+	return bits
+}
+
+// Binarize rides the vecmath packer; it must stay bit-identical to the
+// scalar reference at every tail dimension, including exact zeros.
+func TestBinarizeMatchesScalarReference(t *testing.T) {
+	src := rng.New(73)
+	for _, d := range []int{1, 7, 63, 64, 65, 100, 127, 128, 129} {
+		m := NewModel(3, d)
+		for l := 0; l < 3; l++ {
+			h := make([]float64, d)
+			src.FillNorm(h)
+			for j := l; j < d; j += 5 {
+				h[j] = 0 // exact zeros must land on the positive side
+			}
+			m.Bundle(l, h)
+		}
+		bm := Binarize(m)
+		want := binarizeRef(m)
+		for i, w := range want {
+			if bm.bits[i] != w {
+				t.Fatalf("d=%d word %d: Binarize %016x != reference %016x", d, i, bm.bits[i], w)
+			}
+		}
+	}
+}
+
+// ClassifyInto with caller scratch must match the allocating Classify
+// bit for bit at every tail dimension.
+func TestClassifyIntoBitIdenticalToClassify(t *testing.T) {
+	src := rng.New(74)
+	for _, d := range []int{1, 63, 64, 65, 127, 128, 300} {
+		m := NewModel(4, d)
+		for l := 0; l < 4; l++ {
+			h := make([]float64, d)
+			src.FillNorm(h)
+			m.Bundle(l, h)
+		}
+		bm := Binarize(m)
+		q := make([]uint64, bm.Words())
+		dists := make([]int, bm.NumClasses())
+		scores := make([]float64, bm.NumClasses())
+		for trial := 0; trial < 5; trial++ {
+			h := make([]float64, d)
+			src.FillNorm(h)
+			wantBest, wantDists := bm.Classify(h)
+			if got := bm.ClassifyInto(dists, q, h); got != wantBest {
+				t.Fatalf("d=%d: ClassifyInto %d != Classify %d", d, got, wantBest)
+			}
+			for l := range dists {
+				if dists[l] != wantDists[l] {
+					t.Fatalf("d=%d class %d: dist %d != %d", d, l, dists[l], wantDists[l])
+				}
+			}
+			wantFBest, wantScores := bm.ClassifyFloat(h)
+			if got := bm.ClassifyFloatInto(scores, h); got != wantFBest {
+				t.Fatalf("d=%d: ClassifyFloatInto %d != ClassifyFloat %d", d, got, wantFBest)
+			}
+			for l := range scores {
+				if scores[l] != wantScores[l] {
+					t.Fatalf("d=%d class %d: score %v != %v", d, l, scores[l], wantScores[l])
+				}
+			}
+		}
+	}
+}
+
+// The hot-path contract the batcher relies on: ClassifyInto with
+// caller-owned scratch allocates nothing.
+func TestClassifyIntoZeroAllocs(t *testing.T) {
+	src := rng.New(75)
+	m := NewModel(10, 2048)
+	for l := 0; l < 10; l++ {
+		h := make([]float64, 2048)
+		src.FillNorm(h)
+		m.Bundle(l, h)
+	}
+	bm := Binarize(m)
+	q := make([]uint64, bm.Words())
+	dists := make([]int, bm.NumClasses())
+	h := make([]float64, 2048)
+	src.FillNorm(h)
+	if allocs := testing.AllocsPerRun(100, func() {
+		bm.ClassifyInto(dists, q, h)
+	}); allocs != 0 {
+		t.Fatalf("ClassifyInto allocates %v objects per call, want 0", allocs)
+	}
+	scores := make([]float64, bm.NumClasses())
+	if allocs := testing.AllocsPerRun(100, func() {
+		bm.ClassifyFloatInto(scores, h)
+	}); allocs != 0 {
+		t.Fatalf("ClassifyFloatInto allocates %v objects per call, want 0", allocs)
+	}
+}
+
+func TestBinaryModelEqual(t *testing.T) {
+	src := rng.New(76)
+	m := NewModel(2, 100)
+	for l := 0; l < 2; l++ {
+		h := make([]float64, 100)
+		src.FillNorm(h)
+		m.Bundle(l, h)
+	}
+	a, b := Binarize(m), Binarize(m)
+	if !a.Equal(b) {
+		t.Fatal("identical binarizations not Equal")
+	}
+	b.bits[1] ^= 1 << 13
+	if a.Equal(b) {
+		t.Fatal("flipped bit not detected by Equal")
+	}
+	if a.Equal(Binarize(NewModel(2, 64))) {
+		t.Fatal("different shapes reported Equal")
+	}
+}
+
+func TestClassifyIntoPanics(t *testing.T) {
+	bm := Binarize(NewModel(2, 64))
+	h := make([]float64, 64)
+	mustPanic(t, "ClassifyInto wrong h", func() { bm.ClassifyInto(make([]int, 2), make([]uint64, 1), make([]float64, 3)) })
+	mustPanic(t, "ClassifyInto wrong q", func() { bm.ClassifyInto(make([]int, 2), make([]uint64, 2), h) })
+	mustPanic(t, "ClassifyInto wrong dists", func() { bm.ClassifyInto(make([]int, 3), make([]uint64, 1), h) })
+	mustPanic(t, "ClassifyFloatInto wrong scores", func() { bm.ClassifyFloatInto(make([]float64, 3), h) })
+}
+
 func BenchmarkFloatClassify10x2048(b *testing.B) {
 	src := rng.New(1)
 	m := NewModel(10, 2048)
@@ -125,5 +262,25 @@ func BenchmarkBinaryClassify10x2048(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		bm.Classify(q)
+	}
+}
+
+func BenchmarkBinaryClassifyInto10x2048(b *testing.B) {
+	src := rng.New(1)
+	m := NewModel(10, 2048)
+	for l := 0; l < 10; l++ {
+		h := make([]float64, 2048)
+		src.FillNorm(h)
+		m.Bundle(l, h)
+	}
+	bm := Binarize(m)
+	q := make([]float64, 2048)
+	src.FillNorm(q)
+	scratch := make([]uint64, bm.Words())
+	dists := make([]int, bm.NumClasses())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bm.ClassifyInto(dists, scratch, q)
 	}
 }

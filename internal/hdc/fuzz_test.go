@@ -37,6 +37,40 @@ func FuzzReadBasis(f *testing.F) {
 	})
 }
 
+// FuzzReadBinaryModel hardens the packed-model deserializer: arbitrary
+// bytes must either parse into a structurally valid binary model or
+// error — never panic, never hang, never allocate absurdly. Tail bits
+// of every accepted row must be zero (the Hamming kernels rely on it).
+func FuzzReadBinaryModel(f *testing.F) {
+	m := NewModel(2, 70)
+	m.Bundle(0, make([]float64, 70))
+	var valid bytes.Buffer
+	if err := WriteBinaryModel(&valid, Binarize(m)); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte(binaryMagic))
+	f.Add([]byte{})
+	f.Add([]byte("PRIDBIN1\x01\x00\x00\x00\xff\xff\xff\xff"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := ReadBinaryModel(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if b.NumClasses() <= 0 || b.Dim() <= 0 {
+			t.Fatalf("accepted binary model with shape %dx%d", b.NumClasses(), b.Dim())
+		}
+		if tail := uint(b.Dim() % 64); tail != 0 {
+			mask := ^((uint64(1) << tail) - 1)
+			for l := 0; l < b.NumClasses(); l++ {
+				if b.bits[(l+1)*b.words-1]&mask != 0 {
+					t.Fatalf("accepted binary model with tail bits set in class %d", l)
+				}
+			}
+		}
+	})
+}
+
 // FuzzReadModel hardens the model deserializer the same way, and
 // additionally requires every accepted model to be finite.
 func FuzzReadModel(f *testing.F) {

@@ -14,13 +14,18 @@ import (
 //
 //	magic "PRIDBAS1" | n uint32 | d uint32 | packed basis words
 //	magic "PRIDMDL1" | k uint32 | d uint32 | counts k×uint32 | classes k×d×float64
+//	magic "PRIDBIN1" | k uint32 | d uint32 | packed class words k×ceil(d/64)×uint64
 //
 // Readers validate magic, version and sizes and fail loudly on trailing
 // garbage being absent — corrupt model files must never load silently.
+// A model section is either float ("PRIDMDL1") or packed binary
+// ("PRIDBIN1"); ReadAnyModel dispatches on the magic so a store
+// generation can hold either behind the same basis.
 
 const (
-	basisMagic = "PRIDBAS1"
-	modelMagic = "PRIDMDL1"
+	basisMagic  = "PRIDBAS1"
+	modelMagic  = "PRIDMDL1"
+	binaryMagic = "PRIDBIN1"
 	// maxSerializedDim guards against absurd allocations from corrupt
 	// headers (a 16M-dimensional hypervector is far beyond any HDC use).
 	maxSerializedDim = 1 << 24
@@ -56,6 +61,26 @@ func WriteBasis(w io.Writer, b *Basis) error {
 	return bw.Flush()
 }
 
+// WritePackedBasis serializes an already-packed basis to w — the same
+// "PRIDBAS1" section WriteBasis produces, without materializing the
+// dense form.
+func WritePackedBasis(w io.Writer, p *PackedBasis) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(basisMagic); err != nil {
+		return fmt.Errorf("hdc: writing basis magic: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(p.n)); err != nil {
+		return fmt.Errorf("hdc: writing basis n: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(p.d)); err != nil {
+		return fmt.Errorf("hdc: writing basis d: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, p.bits); err != nil {
+		return fmt.Errorf("hdc: writing basis bits: %w", err)
+	}
+	return bw.Flush()
+}
+
 // ReadBasis deserializes a basis written by WriteBasis. The reader is not
 // buffered internally: multiple artifacts are commonly concatenated in one
 // stream (basis followed by model), and a read-ahead buffer would consume
@@ -66,6 +91,18 @@ func WriteBasis(w io.Writer, b *Basis) error {
 // as bytes actually arrive, so a corrupt or truncated stream can never
 // force an allocation much larger than the data it supplies.
 func ReadBasis(r io.Reader) (*Basis, error) {
+	p, err := ReadPackedBasis(r)
+	if err != nil {
+		return nil, err
+	}
+	return p.Unpack(), nil
+}
+
+// ReadPackedBasis deserializes the same "PRIDBAS1" section as ReadBasis
+// but keeps it bit-packed — the form a binary serve node holds, 64×
+// smaller than the dense basis, since packed encode is bit-identical to
+// dense encode anyway. Hardening is identical to ReadBasis.
+func ReadPackedBasis(r io.Reader) (*PackedBasis, error) {
 	if err := expectMagic(r, basisMagic); err != nil {
 		return nil, err
 	}
@@ -78,28 +115,40 @@ func ReadBasis(r io.Reader) (*Basis, error) {
 		return nil, err
 	}
 	words := (d + 63) / 64
-	if int64(n)*int64(words)*8 > maxSerializedBytes {
-		return nil, fmt.Errorf("hdc: basis %d×%d declares %d bytes, above the %d-byte cap (corrupt stream)",
-			n, d, int64(n)*int64(words)*8, int64(maxSerializedBytes))
+	bits, err := readPackedRows(r, n, d, words, "basis")
+	if err != nil {
+		return nil, err
 	}
-	// Tail bits beyond d must be zero (the writer masks them); reject
+	return &PackedBasis{n: n, d: d, words: words, bits: bits}, nil
+}
+
+// readPackedRows reads count packed rows of dimension d (words uint64
+// each), validating the tail bits of every row and growing storage row by
+// row as bytes actually arrive (see ReadBasis on why headers are not
+// trusted for up-front allocation).
+func readPackedRows(r io.Reader, count, d, words int, what string) ([]uint64, error) {
+	if int64(count)*int64(words)*8 > maxSerializedBytes {
+		return nil, fmt.Errorf("hdc: %s %d×%d declares %d bytes, above the %d-byte cap (corrupt stream)",
+			what, count, d, int64(count)*int64(words)*8, int64(maxSerializedBytes))
+	}
+	// Tail bits beyond d must be zero (the writers mask them); reject
 	// otherwise, it means truncation/corruption landed mid-stream.
 	var tailMask uint64
 	if tail := uint(d % 64); tail != 0 {
 		tailMask = ^((uint64(1) << tail) - 1)
 	}
-	p := &PackedBasis{n: n, d: d, words: words}
+	var bits []uint64
 	row := make([]uint64, words)
-	for i := 0; i < n; i++ {
+	for i := 0; i < count; i++ {
 		if err := binary.Read(r, binary.LittleEndian, row); err != nil {
-			return nil, fmt.Errorf("hdc: reading basis row %d: %w", i, err)
+			return nil, fmt.Errorf("hdc: reading %s row %d: %w", what, i, err)
 		}
 		if tailMask != 0 && row[words-1]&tailMask != 0 {
-			return nil, fmt.Errorf("hdc: basis row %d has non-zero tail bits (corrupt stream)", i)
+			return nil, fmt.Errorf("hdc: %s row %d has non-zero tail bits (corrupt stream)", what, i)
 		}
-		p.bits = append(p.bits, row...)
+		bits = append(bits, row...)
 	}
-	return p.Unpack(), nil
+	return bits, nil
 }
 
 // WriteModel serializes m to w.
@@ -127,6 +176,75 @@ func WriteModel(w io.Writer, m *Model) error {
 	return bw.Flush()
 }
 
+// WriteBinaryModel serializes a bit-packed binary model to w — the
+// "PRIDBIN1" section a binary store generation carries in place of the
+// float model.
+func WriteBinaryModel(w io.Writer, b *BinaryModel) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return fmt.Errorf("hdc: writing binary model magic: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(b.k)); err != nil {
+		return fmt.Errorf("hdc: writing binary model k: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint32(b.d)); err != nil {
+		return fmt.Errorf("hdc: writing binary model d: %w", err)
+	}
+	if err := binary.Write(bw, binary.LittleEndian, b.bits); err != nil {
+		return fmt.Errorf("hdc: writing binary model bits: %w", err)
+	}
+	return bw.Flush()
+}
+
+// ReadBinaryModel deserializes a binary model written by WriteBinaryModel,
+// with the same header hardening as the float reader: capped declared
+// sizes, row-by-row allocation, and tail-bit validation on every class
+// row.
+func ReadBinaryModel(r io.Reader) (*BinaryModel, error) {
+	if err := expectMagic(r, binaryMagic); err != nil {
+		return nil, err
+	}
+	return readBinaryModelBody(r)
+}
+
+func readBinaryModelBody(r io.Reader) (*BinaryModel, error) {
+	k, err := readDim(r, "binary model k", maxSerializedClasses)
+	if err != nil {
+		return nil, err
+	}
+	d, err := readDim(r, "binary model d", maxSerializedDim)
+	if err != nil {
+		return nil, err
+	}
+	words := (d + 63) / 64
+	bits, err := readPackedRows(r, k, d, words, "binary model")
+	if err != nil {
+		return nil, err
+	}
+	return &BinaryModel{k: k, d: d, words: words, bits: bits}, nil
+}
+
+// ReadAnyModel reads whichever model section comes next in the stream — a
+// float model ("PRIDMDL1") or a packed binary one ("PRIDBIN1") — and
+// returns exactly one of the two. This is how loaders accept both
+// artifact layouts behind the same basis section without seeking.
+func ReadAnyModel(r io.Reader) (*Model, *BinaryModel, error) {
+	buf := make([]byte, len(modelMagic))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, nil, fmt.Errorf("hdc: reading model magic: %w", err)
+	}
+	switch string(buf) {
+	case modelMagic:
+		m, err := readModelBody(r)
+		return m, nil, err
+	case binaryMagic:
+		b, err := readBinaryModelBody(r)
+		return nil, b, err
+	}
+	return nil, nil, fmt.Errorf("hdc: bad magic %q, want %q or %q (wrong file type or version)",
+		buf, modelMagic, binaryMagic)
+}
+
 // ReadModel deserializes a model written by WriteModel. Like ReadBasis it
 // reads exactly its own section, so artifacts can be concatenated. Class
 // hypervectors are allocated one at a time as their bytes arrive (see
@@ -135,6 +253,10 @@ func ReadModel(r io.Reader) (*Model, error) {
 	if err := expectMagic(r, modelMagic); err != nil {
 		return nil, err
 	}
+	return readModelBody(r)
+}
+
+func readModelBody(r io.Reader) (*Model, error) {
 	k, err := readDim(r, "model k", maxSerializedClasses)
 	if err != nil {
 		return nil, err

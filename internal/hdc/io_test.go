@@ -164,6 +164,129 @@ func TestReadModelRejectsNonFinite(t *testing.T) {
 	}
 }
 
+func TestBinaryModelRoundTrip(t *testing.T) {
+	src := rng.New(5)
+	for _, d := range []int{1, 63, 64, 65, 100, 127, 128, 1000} {
+		m := NewModel(3, d)
+		for l := 0; l < 3; l++ {
+			h := make([]float64, d)
+			src.FillNorm(h)
+			m.Bundle(l, h)
+		}
+		bm := Binarize(m)
+		var buf bytes.Buffer
+		if err := WriteBinaryModel(&buf, bm); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadBinaryModel(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bm.Equal(got) {
+			t.Fatalf("d=%d: binary model changed in round trip", d)
+		}
+	}
+}
+
+func TestReadPackedBasisMatchesReadBasis(t *testing.T) {
+	for _, d := range []int{1, 63, 64, 65, 100} {
+		b := NewBasis(5, d, rng.New(uint64(40+d)))
+		var buf bytes.Buffer
+		if err := WriteBasis(&buf, b); err != nil {
+			t.Fatal(err)
+		}
+		p, err := ReadPackedBasis(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := p.Unpack()
+		for k := 0; k < 5; k++ {
+			if vecmath.MSE(b.Row(k), back.Row(k)) != 0 {
+				t.Fatalf("d=%d: packed read changed row %d", d, k)
+			}
+		}
+	}
+}
+
+func TestReadAnyModelDispatches(t *testing.T) {
+	m := NewModel(2, 70)
+	m.Bundle(0, make([]float64, 70))
+	var fbuf, bbuf bytes.Buffer
+	if err := WriteModel(&fbuf, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinaryModel(&bbuf, Binarize(m)); err != nil {
+		t.Fatal(err)
+	}
+	fm, fb, err := ReadAnyModel(bytes.NewReader(fbuf.Bytes()))
+	if err != nil || fm == nil || fb != nil {
+		t.Fatalf("float section: model=%v binary=%v err=%v", fm != nil, fb != nil, err)
+	}
+	bm, bb, err := ReadAnyModel(bytes.NewReader(bbuf.Bytes()))
+	if err != nil || bm != nil || bb == nil {
+		t.Fatalf("binary section: model=%v binary=%v err=%v", bm != nil, bb != nil, err)
+	}
+	if _, _, err := ReadAnyModel(strings.NewReader("NOTMAGIC????????")); err == nil {
+		t.Fatal("bad magic accepted by ReadAnyModel")
+	}
+	// A basis section is neither kind of model.
+	var basisBuf bytes.Buffer
+	if err := WriteBasis(&basisBuf, NewBasis(2, 64, rng.New(6))); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadAnyModel(bytes.NewReader(basisBuf.Bytes())); err == nil {
+		t.Fatal("basis stream accepted as a model section")
+	}
+}
+
+// The corrupt-header table for the binary format, mirroring the float
+// model's hardening: zero dims, absurd dims, oversized payload products,
+// non-zero tail bits, truncation at every stage.
+func TestReadBinaryModelCorruptHeaders(t *testing.T) {
+	le32 := func(v uint32) []byte { return []byte{byte(v), byte(v >> 8), byte(v >> 16), byte(v >> 24)} }
+	hdr := func(k, d uint32) []byte {
+		raw := []byte(binaryMagic)
+		raw = append(raw, le32(k)...)
+		return append(raw, le32(d)...)
+	}
+	cases := map[string][]byte{
+		"wrong magic":      []byte("NOTMAGIC????????"),
+		"zero classes":     hdr(0, 64),
+		"zero dim":         hdr(1, 0),
+		"absurd classes":   hdr(0xffffffff, 64),
+		"absurd dim":       hdr(1, 0xffffffff),
+		"oversize payload": hdr(1<<16-1, 1<<24-1),
+		"missing body":     hdr(2, 64),
+	}
+	for name, raw := range cases {
+		if _, err := ReadBinaryModel(bytes.NewReader(raw)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+
+	// Non-zero tail bits past d must be rejected (they mean corruption).
+	raw := hdr(1, 65)
+	body := make([]byte, 16) // 2 words
+	body[8] = 0xff           // bits 64..71 — only bit 64 is in range
+	raw = append(raw, body...)
+	if _, err := ReadBinaryModel(bytes.NewReader(raw)); err == nil {
+		t.Error("non-zero tail bits accepted")
+	}
+
+	// Truncation sweep over a valid stream.
+	m := NewModel(3, 100)
+	var buf bytes.Buffer
+	if err := WriteBinaryModel(&buf, Binarize(m)); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	for _, cut := range []int{0, 4, 9, 13, len(valid) / 2, len(valid) - 1} {
+		if _, err := ReadBinaryModel(bytes.NewReader(valid[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}
+
 func BenchmarkBasisRoundTrip784x2048(b *testing.B) {
 	basis := NewBasis(784, 2048, rng.New(1))
 	b.ResetTimer()

@@ -118,21 +118,9 @@ func (p *PackedBasis) EncodeInto(dst, features []float64) {
 		if f == 0 { //pridlint:allow floateq exact sparsity skip: a zero feature contributes exactly nothing
 			continue
 		}
-		row := p.bits[k*p.words : (k+1)*p.words]
-		for w, word := range row {
-			base := w * 64
-			end := p.d - base
-			if end > 64 {
-				end = 64
-			}
-			for j := 0; j < end; j++ {
-				if word&(1<<uint(j)) != 0 {
-					dst[base+j] += f
-				} else {
-					dst[base+j] -= f
-				}
-			}
-		}
+		// Bit-walk accumulate: one ±f add per element, so bit-identical to
+		// the dense Axpy against the unpacked ±1 row (see vecmath.AxpySigned).
+		vecmath.AxpySigned(f, p.bits[k*p.words:(k+1)*p.words], dst)
 	}
 }
 

@@ -76,6 +76,10 @@ func (q Quantizer) ApplyInPlace(x []float64) {
 		if meanAbs == 0 { //pridlint:allow floateq exact guard: all-zero input has no sign structure to quantize
 			return
 		}
+		// v >= 0 → positive is the binary layer's canonical sign-of-zero
+		// convention (stated in internal/vecmath/binary.go), so
+		// Binarize(Quantize1bit(m)) bit-equals Binarize(m) even with exact
+		// zeros: 0 maps to +meanAbs here and to bit 1 there.
 		for i, v := range x {
 			if v >= 0 {
 				x[i] = meanAbs

@@ -245,6 +245,33 @@ func TestNewPanicsOnZeroBits(t *testing.T) {
 	New(0)
 }
 
+// The binary layer's sign-of-zero convention, end to end: 1-bit
+// quantization maps v >= 0 to +meanAbs and Binarize maps v >= 0 to bit 1
+// (both per internal/vecmath/binary.go), so binarizing the 1-bit
+// quantized model must be bit-for-bit the same as binarizing the float
+// model — even for models containing exact zeros and an all-zero class
+// (which the 1-bit quantizer leaves untouched: 0 stays 0, and 0 → bit 1
+// on both paths).
+func TestBinarizeCommutesWithOneBitQuant(t *testing.T) {
+	r := rng.New(91)
+	for _, d := range []int{63, 64, 65, 100} {
+		m := hdc.NewModel(4, d)
+		for l := 0; l < 3; l++ { // class 3 stays all-zero
+			h := make([]float64, d)
+			r.FillNorm(h)
+			for j := l; j < d; j += 7 {
+				h[j] = 0 // exact zeros at varying positions
+			}
+			m.Bundle(l, h)
+		}
+		direct := hdc.Binarize(m)
+		viaQuant := hdc.Binarize(Model(m, 1))
+		if !direct.Equal(viaQuant) {
+			t.Fatalf("d=%d: Binarize(Quantize1bit(m)) differs from Binarize(m)", d)
+		}
+	}
+}
+
 func BenchmarkQuantize4096(b *testing.B) {
 	r := rng.New(1)
 	x := make([]float64, 4096)

@@ -142,6 +142,7 @@ type ModelInfo struct {
 	Store      string    `json:"store,omitempty"`
 	Generation uint64    `json:"generation,omitempty"`
 	Checksum   string    `json:"checksum,omitempty"`
+	Mode       string    `json:"mode,omitempty"`
 	Features   int       `json:"features"`
 	Dimension  int       `json:"dimension"`
 	Classes    int       `json:"classes"`

@@ -102,7 +102,7 @@ type Engine struct {
 func New(cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	e := &Engine{cfg: cfg}
-	e.reg = NewRegistry(func(m *prid.Model) *Batcher {
+	e.reg = NewRegistry(func(m Served) *Batcher {
 		return NewBatcher(m.PredictBatch, cfg.BatchWindow, cfg.BatchMax)
 	})
 	return e
@@ -183,7 +183,7 @@ func (e *Engine) Predict(ctx context.Context, model string, rows [][]float64, fi
 	var classes []int
 	if len(rows) >= e.cfg.BatchMax {
 		start := time.Now()
-		classes, err = ent.Model().PredictBatch(rows)
+		classes, err = ent.Served().PredictBatch(rows)
 		if err == nil {
 			observeBatchDirect(len(rows), time.Since(start))
 			obs.ReqTraceFrom(ctx).Mark(StagePredict)
@@ -228,7 +228,7 @@ func (e *Engine) Similarities(model string, row []float64) (int, []float64, erro
 	if err := CheckFiniteRow(row, "input"); err != nil {
 		return 0, nil, errOf(KindInvalid, err)
 	}
-	sims, err := ent.Model().Similarities(row)
+	sims, err := ent.Served().Similarities(row)
 	if err != nil {
 		return 0, nil, errOf(KindInvalid, err)
 	}
@@ -248,6 +248,13 @@ func (e *Engine) Reconstruct(model string, query []float64) (prid.Reconstruction
 	ent, err := e.lookup(model)
 	if err != nil {
 		return prid.Reconstruction{}, err
+	}
+	// Binary entries hold only sign bits — the information reconstruction
+	// needs is exactly what the 1-bit packing destroyed. Refuse with a
+	// caller error pointing at the float generation.
+	if ent.Model() == nil {
+		return prid.Reconstruction{}, errOf(KindInvalid,
+			fmt.Errorf("model %q is served in binary mode; reconstruct requires a float-mode model", model))
 	}
 	// Same non-finite guard as the predict path: a NaN/Inf query would
 	// otherwise propagate through every masked-similarity probe of the
@@ -274,6 +281,10 @@ func (e *Engine) AuditLeakage(model string, train, queries [][]float64) (float64
 	ent, err := e.lookup(model)
 	if err != nil {
 		return 0, err
+	}
+	if ent.Model() == nil {
+		return 0, errOf(KindInvalid,
+			fmt.Errorf("model %q is served in binary mode; leakage audits require a float-mode model", model))
 	}
 	if err := CheckFiniteRows(train, "train"); err != nil {
 		return 0, errOf(KindInvalid, err)

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -9,6 +10,11 @@ import (
 	"prid"
 	"prid/internal/store"
 )
+
+// ModeBinary marks an entry served through the bit-packed Hamming fast
+// path. The zero mode ("") is the float cosine path, kept empty on the
+// wire so pre-binary clients see an unchanged listing.
+const ModeBinary = "binary"
 
 // ModelInfo is the public shape of one registry entry, what GET
 // /v1/models returns on every serving front end. Store-backed entries
@@ -21,17 +27,34 @@ type ModelInfo struct {
 	Store      string    `json:"store,omitempty"`
 	Generation uint64    `json:"generation,omitempty"`
 	Checksum   string    `json:"checksum,omitempty"`
+	Mode       string    `json:"mode,omitempty"`
 	Features   int       `json:"features"`
 	Dimension  int       `json:"dimension"`
 	Classes    int       `json:"classes"`
 	LoadedAt   time.Time `json:"loaded_at"`
 }
 
+// Served is the inference surface a registry entry routes requests to,
+// implemented by both *prid.Model (float cosine) and *prid.BinaryModel
+// (bit-packed Hamming). Reconstruction and leakage audits are
+// deliberately absent: they need the float class hypervectors, which
+// binary entries do not hold.
+type Served interface {
+	Features() int
+	Dimension() int
+	Classes() int
+	PredictBatch(x [][]float64) ([]int, error)
+	Similarities(x []float64) ([]float64, error)
+}
+
 // Entry binds one named model to its micro-batcher and a lazily built
 // attacker (the attacker decodes every class hypervector up front, which
 // is wasted work for models never probed through /v1/reconstruct).
 type Entry struct {
-	info  ModelInfo
+	info   ModelInfo
+	served Served
+	// model is the float form; nil for binary entries (the packing
+	// destroyed what Reconstruct/AuditLeakage need — that's the defense).
 	model *prid.Model
 	batch *Batcher
 	// st is non-nil for store-backed entries; Reload pulls newer verified
@@ -46,8 +69,11 @@ type Entry struct {
 // Info returns the entry's listing metadata.
 func (e *Entry) Info() ModelInfo { return e.info }
 
-// Model returns the loaded model.
+// Model returns the loaded float model, or nil for binary entries.
 func (e *Entry) Model() *prid.Model { return e.model }
+
+// Served returns the inference surface requests route to.
+func (e *Entry) Served() Served { return e.served }
 
 // Batch returns the entry's micro-batcher.
 func (e *Entry) Batch() *Batcher { return e.batch }
@@ -56,6 +82,10 @@ func (e *Entry) Batch() *Batcher { return e.batch }
 // use.
 func (e *Entry) Attacker() (*prid.Attacker, error) {
 	e.attackOnce.Do(func() {
+		if e.model == nil {
+			e.attackErr = errors.New("binary-mode model holds no float class hypervectors to attack")
+			return
+		}
 		e.attacker, e.attackErr = prid.NewAttacker(e.model)
 	})
 	return e.attacker, e.attackErr
@@ -68,7 +98,7 @@ func (e *Entry) Attacker() (*prid.Attacker, error) {
 // serving requests that already hold them — their batcher drains before
 // closing.
 type Registry struct {
-	newBatcher func(m *prid.Model) *Batcher
+	newBatcher func(m Served) *Batcher
 
 	mu      sync.RWMutex
 	entries map[string]*Entry
@@ -77,9 +107,9 @@ type Registry struct {
 // NewRegistry returns an empty registry whose entries micro-batch through
 // batchers built by mk (nil selects batchers that flush every request
 // individually — registry tests use that).
-func NewRegistry(mk func(m *prid.Model) *Batcher) *Registry {
+func NewRegistry(mk func(m Served) *Batcher) *Registry {
 	if mk == nil {
-		mk = func(m *prid.Model) *Batcher { return NewBatcher(m.PredictBatch, 0, 1) }
+		mk = func(m Served) *Batcher { return NewBatcher(m.PredictBatch, 0, 1) }
 	}
 	return &Registry{newBatcher: mk, entries: make(map[string]*Entry)}
 }
@@ -96,14 +126,33 @@ func (r *Registry) Register(name, path string, model *prid.Model) {
 			Classes:   model.Classes(),
 			LoadedAt:  time.Now().UTC(),
 		},
-		model: model,
+		served: model,
+		model:  model,
+	})
+}
+
+// RegisterBinary installs a bit-packed model under name: predicts and
+// similarities route through the Hamming fast path, while reconstruct
+// and leakage audits are refused (the float hypervectors are gone).
+func (r *Registry) RegisterBinary(name, path string, model *prid.BinaryModel) {
+	r.install(&Entry{
+		info: ModelInfo{
+			Name:      name,
+			Path:      path,
+			Mode:      ModeBinary,
+			Features:  model.Features(),
+			Dimension: model.Dimension(),
+			Classes:   model.Classes(),
+			LoadedAt:  time.Now().UTC(),
+		},
+		served: model,
 	})
 }
 
 // install swaps e into the registry, building its batcher and closing
 // the batcher of any entry it replaces.
 func (r *Registry) install(e *Entry) {
-	e.batch = r.newBatcher(e.model)
+	e.batch = r.newBatcher(e.served)
 	r.mu.Lock()
 	old := r.entries[e.info.Name]
 	r.entries[e.info.Name] = e
@@ -112,7 +161,7 @@ func (r *Registry) install(e *Entry) {
 		old.batch.Close()
 	}
 	logger.Info("model registered", "name", e.info.Name, "path", e.info.Path,
-		"store", e.info.Store, "generation", e.info.Generation,
+		"store", e.info.Store, "generation", e.info.Generation, "mode", e.info.Mode,
 		"features", e.info.Features, "dim", e.info.Dimension, "classes", e.info.Classes)
 }
 
@@ -126,6 +175,18 @@ func (r *Registry) LoadFile(name, path string) error {
 	return nil
 }
 
+// LoadFileBinary loads the model file at path into binary serving form —
+// a persisted-binary artifact directly, a float artifact binarized on
+// load — and registers it under name.
+func (r *Registry) LoadFileBinary(name, path string) error {
+	model, err := prid.LoadBinaryFile(path)
+	if err != nil {
+		return fmt.Errorf("serve: loading binary model %q: %w", name, err)
+	}
+	r.RegisterBinary(name, path, model)
+	return nil
+}
+
 // LoadStore loads the newest intact generation of name from st and
 // registers it as a store-backed entry: Reload pulls newer verified
 // generations from the same store, and the entry's listing carries the
@@ -135,21 +196,44 @@ func (r *Registry) LoadStore(name string, st *store.Store) error {
 	if err != nil {
 		return fmt.Errorf("serve: loading model %q from store %s: %w", name, st.Dir(), err)
 	}
-	r.install(&Entry{
+	r.install(storeEntry(name, st, meta, model, model))
+	return nil
+}
+
+// LoadStoreBinary is LoadStore through the binary loader: the newest
+// intact generation (float or persisted-binary) is served in bit-packed
+// Hamming form, and reloads stay in binary mode.
+func (r *Registry) LoadStoreBinary(name string, st *store.Store) error {
+	model, meta, err := prid.LoadNewestBinary(st, name)
+	if err != nil {
+		return fmt.Errorf("serve: loading binary model %q from store %s: %w", name, st.Dir(), err)
+	}
+	r.install(storeEntry(name, st, meta, model, nil))
+	return nil
+}
+
+// storeEntry assembles a store-backed entry; fm is nil for binary mode.
+func storeEntry(name string, st *store.Store, meta store.Meta, served Served, fm *prid.Model) *Entry {
+	mode := ""
+	if fm == nil {
+		mode = ModeBinary
+	}
+	return &Entry{
 		info: ModelInfo{
 			Name:       name,
 			Store:      st.Dir(),
 			Generation: meta.Generation,
 			Checksum:   meta.SHA256,
+			Mode:       mode,
 			Features:   meta.Features,
 			Dimension:  meta.Dimension,
 			Classes:    meta.Classes,
 			LoadedAt:   time.Now().UTC(),
 		},
-		model: model,
-		st:    st,
-	})
-	return nil
+		served: served,
+		model:  fm,
+		st:     st,
+	}
 }
 
 // reloadStore refreshes one store-backed entry with a no-rollback
@@ -159,7 +243,18 @@ func (r *Registry) LoadStore(name string, st *store.Store) error {
 // the serving model — in PRID's setting, silently rolling a served model
 // back can reinstate a less-defended, higher-leakage generation.
 func (r *Registry) reloadStore(e *Entry) error {
-	model, meta, err := prid.LoadNewest(e.st, e.info.Name)
+	// A binary entry reloads through the binary loader so the serving
+	// mode survives hot reloads and generation advances.
+	var served Served
+	var fm *prid.Model
+	var meta store.Meta
+	var err error
+	if e.info.Mode == ModeBinary {
+		served, meta, err = prid.LoadNewestBinary(e.st, e.info.Name)
+	} else {
+		fm, meta, err = prid.LoadNewest(e.st, e.info.Name)
+		served = fm
+	}
 	if err != nil {
 		// Nothing intact in the store: keep serving what we have, loudly.
 		return fmt.Errorf("serve: reloading model %q from store %s (still serving generation %d): %w",
@@ -173,20 +268,7 @@ func (r *Registry) reloadStore(e *Entry) error {
 	if meta.Generation == e.info.Generation {
 		return nil // already serving the newest intact generation
 	}
-	r.install(&Entry{
-		info: ModelInfo{
-			Name:       e.info.Name,
-			Store:      e.info.Store,
-			Generation: meta.Generation,
-			Checksum:   meta.SHA256,
-			Features:   meta.Features,
-			Dimension:  meta.Dimension,
-			Classes:    meta.Classes,
-			LoadedAt:   time.Now().UTC(),
-		},
-		model: model,
-		st:    e.st,
-	})
+	r.install(storeEntry(e.info.Name, e.st, meta, served, fm))
 	return nil
 }
 
@@ -208,9 +290,12 @@ func (r *Registry) Reload() (int, error) {
 	sort.Slice(backed, func(i, j int) bool { return backed[i].info.Name < backed[j].info.Name })
 	for _, e := range backed {
 		var err error
-		if e.st != nil {
+		switch {
+		case e.st != nil:
 			err = r.reloadStore(e)
-		} else {
+		case e.info.Mode == ModeBinary:
+			err = r.LoadFileBinary(e.info.Name, e.info.Path)
+		default:
 			err = r.LoadFile(e.info.Name, e.info.Path)
 		}
 		if err != nil {

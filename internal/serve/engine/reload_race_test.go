@@ -9,7 +9,6 @@ import (
 	"testing"
 	"time"
 
-	"prid"
 	"prid/internal/faultinject"
 )
 
@@ -35,7 +34,7 @@ func TestReloadRaceNoTornReads(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	reg := NewRegistry(func(mm *prid.Model) *Batcher {
+	reg := NewRegistry(func(mm Served) *Batcher {
 		fn := func(rows [][]float64) ([]int, error) {
 			if d := inj.Decide("predict"); d.Latency > 0 {
 				time.Sleep(d.Latency)

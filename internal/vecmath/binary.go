@@ -1,0 +1,164 @@
+package vecmath
+
+import "math/bits"
+
+// This file is the bit-packed compute-kernel layer: sign packing, XOR +
+// popcount Hamming distance, and the exact signed accumulate that packed
+// encode rides on. One uint64 word carries 64 dimensions, so a Hamming
+// row costs D/64 XOR+popcount ops where the float cosine costs 3·D
+// multiply-adds. The same two invariants as kernel.go hold: blocked and
+// parallel variants are bit-identical to the scalar forms (trivially so
+// for integer popcount sums; load-bearing for AxpySigned, which performs
+// exactly one ±f float add per element in ascending-j independence), and
+// parallel variants distribute whole rows.
+//
+// Sign-of-zero convention — the canonical statement for the entire
+// binary layer. A value v maps to the POSITIVE side iff v >= 0: exact
+// zeros are positive. Everything downstream agrees:
+//
+//   - PackSignsInto here: bit j set ⇔ x[j] >= 0
+//   - hdc.Binarize and BinaryModel query packing: v >= 0 → bit 1 (+1)
+//   - internal/quant 1-bit: v >= 0 → +meanAbs
+//   - hdc.PackBasis is NOT a sign quantizer: it packs an already-±1
+//     basis and panics on any other value (including 0) rather than
+//     silently picking a side.
+//
+// Consequence, enforced by a differential test in internal/quant:
+// Binarize(Quantize1bit(m)) bit-equals Binarize(m) even for models
+// containing exact zeros.
+
+// PackedWords returns the number of uint64 words holding d packed
+// dimensions: ceil(d/64).
+func PackedWords(d int) int { return (d + 63) / 64 }
+
+// PackSignsInto packs the sign pattern of x into dst: bit j set iff
+// x[j] >= 0 (see the sign-of-zero convention above). dst must have
+// length PackedWords(len(x)); tail bits beyond len(x) are cleared so
+// packed vectors of equal dimension XOR without a mask.
+func PackSignsInto(dst []uint64, x []float64) {
+	checkLen("PackSignsInto dst", len(dst), PackedWords(len(x)))
+	for w := range dst {
+		base := w * 64
+		n := len(x) - base
+		if n > 64 {
+			n = 64
+		}
+		var word uint64
+		for j := 0; j < n; j++ {
+			if x[base+j] >= 0 {
+				word |= 1 << uint(j)
+			}
+		}
+		dst[w] = word
+	}
+}
+
+// Hamming returns the number of differing bits between a and b
+// (popcount of the XOR), the packed analogue of a distance. Callers
+// keep tail bits zeroed (PackSignsInto and the hdc packers do), so no
+// mask is needed here.
+func Hamming(a, b []uint64) int {
+	checkLen("Hamming", len(a), len(b))
+	hd := 0
+	for i, w := range a {
+		hd += bits.OnesCount64(w ^ b[i])
+	}
+	return hd
+}
+
+// hammingRows4 computes dst[r] = Hamming(rows[r], q) for four rows
+// sharing one pass over q, mirroring mulVec4: each query word is loaded
+// once per four rows. Integer sums are order-independent, so this is
+// exactly Hamming row by row.
+func hammingRows4(dst []int, r0, r1, r2, r3, q []uint64) {
+	var h0, h1, h2, h3 int
+	for i, qi := range q {
+		h0 += bits.OnesCount64(r0[i] ^ qi)
+		h1 += bits.OnesCount64(r1[i] ^ qi)
+		h2 += bits.OnesCount64(r2[i] ^ qi)
+		h3 += bits.OnesCount64(r3[i] ^ qi)
+	}
+	dst[0], dst[1], dst[2], dst[3] = h0, h1, h2, h3
+}
+
+// hammingRowsRange fills dst[lo:hi] with Hamming distances of packed
+// rows lo..hi (words uint64 each, stored back to back in rows) against
+// q, through the four-row blocked kernel.
+func hammingRowsRange(dst []int, rows []uint64, words int, q []uint64, lo, hi int) {
+	i := lo
+	for ; i+4 <= hi; i += 4 {
+		hammingRows4(dst[i:i+4],
+			rows[i*words:(i+1)*words],
+			rows[(i+1)*words:(i+2)*words],
+			rows[(i+2)*words:(i+3)*words],
+			rows[(i+3)*words:(i+4)*words], q)
+	}
+	for ; i < hi; i++ {
+		dst[i] = Hamming(rows[i*words:(i+1)*words], q)
+	}
+}
+
+// HammingRowsInto computes dst[r] = Hamming(row r, q) for every packed
+// row in rows (k rows × words uint64, k = len(dst)) without allocating.
+func HammingRowsInto(dst []int, rows []uint64, words int, q []uint64) {
+	checkLen("HammingRowsInto q", len(q), words)
+	checkLen("HammingRowsInto rows", len(rows), len(dst)*words)
+	hammingRowsRange(dst, rows, words, q, 0, len(dst))
+}
+
+// HammingRowsIntoParallel is HammingRowsInto with the row loop fanned
+// out across up to workers goroutines (0 selects GOMAXPROCS). Small
+// matrices run sequentially under the same flop gate as the float
+// kernels (one word op stands in for one multiply-add). Bit-identical
+// to HammingRowsInto for any worker count.
+func HammingRowsIntoParallel(dst []int, rows []uint64, words int, q []uint64, workers int) {
+	checkLen("HammingRowsIntoParallel q", len(q), words)
+	checkLen("HammingRowsIntoParallel rows", len(rows), len(dst)*words)
+	if len(dst)*words < minParallelFlops {
+		hammingRowsRange(dst, rows, words, q, 0, len(dst))
+		return
+	}
+	ParallelRows(len(dst), workers, func(lo, hi int) {
+		hammingRowsRange(dst, rows, words, q, lo, hi)
+	})
+}
+
+// AxpySigned performs dst[j] += f where bit j of row is set and
+// dst[j] -= f where it is clear, for j < len(dst) — the packed-basis
+// encode step. It walks set bits and complement bits with trailing-zero
+// scans instead of branching per element, which removes the
+// data-dependent branch from the hot loop; each element still receives
+// exactly one ±f add (dst[j] -= f and dst[j] += (-f) are the same IEEE
+// operation), so the result is bit-identical to the dense Axpy against
+// the unpacked ±1 row regardless of traversal order.
+func AxpySigned(f float64, row []uint64, dst []float64) {
+	checkLen("AxpySigned row", len(row), PackedWords(len(dst)))
+	for w, word := range row {
+		base := w * 64
+		mask := ^uint64(0)
+		if n := len(dst) - base; n < 64 {
+			mask = (uint64(1) << uint(n)) - 1
+		}
+		for set := word & mask; set != 0; set &= set - 1 {
+			dst[base+bits.TrailingZeros64(set)] += f
+		}
+		for clr := ^word & mask; clr != 0; clr &= clr - 1 {
+			dst[base+bits.TrailingZeros64(clr)] -= f
+		}
+	}
+}
+
+// ArgMinInt returns the index of the smallest element of x, ties to the
+// lowest index — the integer analogue of ArgMin for Hamming distances.
+func ArgMinInt(x []int) int {
+	if len(x) == 0 {
+		panic("vecmath: ArgMinInt of empty slice")
+	}
+	best := 0
+	for i, v := range x {
+		if v < x[best] {
+			best = i
+		}
+	}
+	return best
+}

@@ -1,0 +1,244 @@
+package vecmath
+
+import (
+	"math"
+	"math/bits"
+	"testing"
+
+	"prid/internal/rng"
+)
+
+// tailDims exercises every packed tail shape: sub-word, exact word
+// boundaries, and d % 64 ∈ {1, 63} on either side of them.
+var tailDims = []int{1, 7, 63, 64, 65, 100, 127, 128, 129, 191, 256, 300}
+
+// packRef is the scalar reference packer: bit j set iff x[j] >= 0.
+func packRef(x []float64) []uint64 {
+	dst := make([]uint64, PackedWords(len(x)))
+	for j, v := range x {
+		if v >= 0 {
+			dst[j/64] |= 1 << uint(j%64)
+		}
+	}
+	return dst
+}
+
+// randSigns draws a vector of noise with exact zeros sprinkled in, so
+// the v >= 0 zero-is-positive convention is actually exercised.
+func randSigns(n int, seed uint64) []float64 {
+	v := make([]float64, n)
+	r := rng.New(seed)
+	r.FillUniform(v, -1, 1)
+	for i := 0; i < n; i += 7 {
+		v[i] = 0
+	}
+	if n > 2 {
+		v[1] = math.Copysign(0, -1) // −0 is >= 0: positive side
+	}
+	return v
+}
+
+func TestPackSignsIntoMatchesReference(t *testing.T) {
+	for _, d := range tailDims {
+		x := randSigns(d, uint64(d))
+		want := packRef(x)
+		got := make([]uint64, PackedWords(d))
+		// Pre-poison dst so stale words and tail bits must be cleared.
+		for i := range got {
+			got[i] = ^uint64(0)
+		}
+		PackSignsInto(got, x)
+		for w := range want {
+			if got[w] != want[w] {
+				t.Fatalf("d=%d word %d: packed %016x != reference %016x", d, w, got[w], want[w])
+			}
+		}
+		if tail := uint(d % 64); tail != 0 {
+			if got[len(got)-1]&^((uint64(1)<<tail)-1) != 0 {
+				t.Fatalf("d=%d: tail bits beyond dim are set: %016x", d, got[len(got)-1])
+			}
+		}
+	}
+}
+
+// hammingRef counts differing bits the slow way, bit by bit.
+func hammingRef(a, b []uint64, d int) int {
+	hd := 0
+	for j := 0; j < d; j++ {
+		if (a[j/64]>>uint(j%64))&1 != (b[j/64]>>uint(j%64))&1 {
+			hd++
+		}
+	}
+	return hd
+}
+
+func TestHammingMatchesBitReference(t *testing.T) {
+	for _, d := range tailDims {
+		a := packRef(randSigns(d, uint64(d)))
+		b := packRef(randSigns(d, uint64(d)+1))
+		if got, want := Hamming(a, b), hammingRef(a, b, d); got != want {
+			t.Fatalf("d=%d: Hamming %d != reference %d", d, got, want)
+		}
+	}
+	if Hamming([]uint64{0}, []uint64{^uint64(0)}) != 64 {
+		t.Fatal("Hamming of complementary words != 64")
+	}
+}
+
+// randPackedRows builds k packed rows of dimension d with tail bits
+// clear, as every packer in the repo guarantees.
+func randPackedRows(k, d int, seed uint64) []uint64 {
+	words := PackedWords(d)
+	rows := make([]uint64, k*words)
+	r := rng.New(seed)
+	for i := range rows {
+		rows[i] = r.Uint64()
+	}
+	if tail := uint(d % 64); tail != 0 {
+		mask := (uint64(1) << tail) - 1
+		for row := 0; row < k; row++ {
+			rows[row*words+words-1] &= mask
+		}
+	}
+	return rows
+}
+
+// The blocked row kernel must equal Hamming row by row at every k that
+// exercises the 4-row block remainder, and every tail dimension.
+func TestHammingRowsIntoBitIdentical(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 4, 5, 7, 8, 10, 17} {
+		for _, d := range tailDims {
+			words := PackedWords(d)
+			rows := randPackedRows(k, d, uint64(k*1000+d))
+			q := packRef(randSigns(d, uint64(d)+9))
+			got := make([]int, k)
+			HammingRowsInto(got, rows, words, q)
+			for r := 0; r < k; r++ {
+				if want := Hamming(rows[r*words:(r+1)*words], q); got[r] != want {
+					t.Fatalf("k=%d d=%d row %d: blocked %d != Hamming %d", k, d, r, got[r], want)
+				}
+			}
+		}
+	}
+}
+
+// Parallel Hamming rows must be bit-identical to sequential for every
+// worker count, above and below the flop gate.
+func TestHammingRowsIntoParallelBitIdentical(t *testing.T) {
+	for _, shape := range [][2]int{{5, 65}, {10, 2048}, {700, 8192}, {1000, 4097}} {
+		k, d := shape[0], shape[1]
+		words := PackedWords(d)
+		rows := randPackedRows(k, d, uint64(d))
+		q := packRef(randSigns(d, 3))
+		want := make([]int, k)
+		HammingRowsInto(want, rows, words, q)
+		for _, workers := range []int{0, 1, 2, 3, 4, 7, 16} {
+			got := make([]int, k)
+			HammingRowsIntoParallel(got, rows, words, q, workers)
+			for r := range got {
+				if got[r] != want[r] {
+					t.Fatalf("k=%d d=%d workers=%d row %d: parallel %d != sequential %d",
+						k, d, workers, r, got[r], want[r])
+				}
+			}
+		}
+	}
+}
+
+// axpySignedRef is the scalar reference: one branch per element.
+func axpySignedRef(f float64, row []uint64, dst []float64) {
+	for j := range dst {
+		if row[j/64]&(1<<uint(j%64)) != 0 {
+			dst[j] += f
+		} else {
+			dst[j] -= f
+		}
+	}
+}
+
+// The bit-walk accumulate must be bit-identical to the per-element
+// branch — each element receives exactly one ±f add either way — at
+// every tail dimension, over a chain of accumulations (the encode
+// loop's shape: many features into one dst).
+func TestAxpySignedBitIdenticalToReference(t *testing.T) {
+	for _, d := range tailDims {
+		got := make([]float64, d)
+		want := make([]float64, d)
+		feats := randSigns(16, uint64(d)+5)
+		for k, f := range feats {
+			row := randPackedRows(1, d, uint64(d*100+k))
+			AxpySigned(f, row, got)
+			axpySignedRef(f, row, want)
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("d=%d elem %d: bit-walk %v != scalar reference %v", d, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+func TestArgMinInt(t *testing.T) {
+	if got := ArgMinInt([]int{5, 2, 9, 2}); got != 1 {
+		t.Fatalf("ArgMinInt ties-to-lowest: got %d, want 1", got)
+	}
+	if got := ArgMinInt([]int{3}); got != 0 {
+		t.Fatalf("ArgMinInt single: got %d, want 0", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ArgMinInt(empty) did not panic")
+		}
+	}()
+	ArgMinInt(nil)
+}
+
+func TestBinaryKernelPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"PackSignsInto short dst": func() { PackSignsInto(make([]uint64, 1), make([]float64, 65)) },
+		"Hamming length mismatch": func() { Hamming(make([]uint64, 2), make([]uint64, 3)) },
+		"HammingRowsInto q":       func() { HammingRowsInto(make([]int, 2), make([]uint64, 4), 2, make([]uint64, 1)) },
+		"HammingRowsInto rows":    func() { HammingRowsInto(make([]int, 3), make([]uint64, 4), 2, make([]uint64, 2)) },
+		"AxpySigned short row":    func() { AxpySigned(1, make([]uint64, 1), make([]float64, 65)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Sanity anchor for the word-parallel claim: popcount of a full word
+// equals 64 bit tests.
+func TestOnesCountAnchor(t *testing.T) {
+	if bits.OnesCount64(^uint64(0)) != 64 {
+		t.Fatal("OnesCount64(all ones) != 64")
+	}
+}
+
+func BenchmarkHammingRows10x2048(b *testing.B) {
+	const k, d = 10, 2048
+	words := PackedWords(d)
+	rows := randPackedRows(k, d, 1)
+	q := packRef(randSigns(d, 2))
+	dst := make([]int, k)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		HammingRowsInto(dst, rows, words, q)
+	}
+}
+
+func BenchmarkPackSigns2048(b *testing.B) {
+	x := randSigns(2048, 1)
+	dst := make([]uint64, PackedWords(2048))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		PackSignsInto(dst, x)
+	}
+}

@@ -18,6 +18,15 @@ func TestParallelKernelsConcurrentCallersBitIdentical(t *testing.T) {
 	m.MulVecInto(wantMul, x)
 	wantGram := m.GramParallel(1)
 
+	// Packed Hamming inputs: big enough to clear the flop gate so the
+	// parallel path actually fans out.
+	const hk, hd = 700, 8192
+	hwords := PackedWords(hd)
+	hrows := randPackedRows(hk, hd, 7)
+	hq := packRef(randSigns(hd, 8))
+	wantHam := make([]int, hk)
+	HammingRowsInto(wantHam, hrows, hwords, hq)
+
 	const goroutines = 8
 	var wg sync.WaitGroup
 	errs := make(chan string, goroutines)
@@ -54,6 +63,15 @@ func TestParallelKernelsConcurrentCallersBitIdentical(t *testing.T) {
 			for i := range gram.Data {
 				if gram.Data[i] != wantGram.Data[i] {
 					errs <- "GramParallel diverged under concurrent callers"
+					return
+				}
+			}
+
+			ham := make([]int, hk)
+			HammingRowsIntoParallel(ham, hrows, hwords, hq, workers)
+			for i := range ham {
+				if ham[i] != wantHam[i] {
+					errs <- "HammingRowsIntoParallel diverged under concurrent callers"
 					return
 				}
 			}
