@@ -12,7 +12,7 @@
 
 GO ?= go
 
-.PHONY: build test race vet fmt lint check bench bench-compile bench-snapshot serve-smoke chaos-smoke chaos load-smoke gateway-smoke crash-smoke soak slo-snapshot
+.PHONY: build test race vet fmt lint lint-report check bench bench-compile bench-snapshot serve-smoke chaos-smoke chaos load-smoke gateway-smoke crash-smoke soak slo-snapshot
 
 build:
 	$(GO) build ./...
@@ -49,12 +49,21 @@ fmt:
 		echo "gofmt -s needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# Project invariant suite (internal/lint): determinism, float equality,
-# map-order, goroutine fan-out, library logging, and dropped-error
-# checks. Must exit clean; suppressions require a written
+# Project invariant suite (internal/lint): the per-function syntactic
+# analyzers (determinism, float equality, map-order, goroutine fan-out,
+# library logging, dropped errors, atomic writes) plus the
+# interprocedural dataflow analyzers (leaksurface taint, poolescape,
+# ctxflow). Must exit clean; suppressions require a written
 # //pridlint:allow reason.
 lint:
-	$(GO) run ./cmd/pridlint ./...
+	$(GO) run ./cmd/pridlint -timing ./...
+
+# Machine-readable lint reports for CI artifact upload: findings as
+# JSON next to a SARIF 2.1.0 document for code-scanning annotation.
+# Produces the files even when findings exist (pridlint exits 1).
+lint-report:
+	$(GO) run ./cmd/pridlint -json ./... > pridlint.json || true
+	$(GO) run ./cmd/pridlint -sarif ./... > pridlint.sarif || true
 
 check: fmt vet lint build test bench-compile serve-smoke chaos-smoke load-smoke gateway-smoke crash-smoke
 

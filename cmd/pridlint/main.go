@@ -5,11 +5,11 @@
 //
 // Usage:
 //
-//	pridlint [-json] [-analyzers determinism,floateq,...] [patterns...]
+//	pridlint [-json|-sarif] [-timing] [-analyzers determinism,floateq,...] [patterns...]
 //
 // With no patterns it lints ./... from the enclosing module root. Exit
 // status is 0 when clean, 1 when findings were reported, 2 on load or
-// type-check failure.
+// type-check failure (or an unknown analyzer name).
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"prid/internal/lint"
 )
@@ -31,9 +32,15 @@ func run(args []string) int {
 	fs := flag.NewFlagSet("pridlint", flag.ContinueOnError)
 	fs.SetOutput(os.Stderr)
 	jsonOut := fs.Bool("json", false, "emit diagnostics as a JSON array instead of file:line:col text")
+	sarifOut := fs.Bool("sarif", false, "emit diagnostics as a SARIF 2.1.0 document for code-scanning upload")
+	timing := fs.Bool("timing", false, "print load/index/analyze wall-clock timing to stderr")
 	only := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
 	list := fs.Bool("list", false, "list the analyzers and exit")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *jsonOut && *sarifOut {
+		fmt.Fprintln(os.Stderr, "pridlint: -json and -sarif are mutually exclusive")
 		return 2
 	}
 	if *list {
@@ -47,7 +54,12 @@ func run(args []string) int {
 		for _, n := range strings.Split(*only, ",") {
 			n = strings.TrimSpace(n)
 			if lint.ByName(n) == nil {
-				fmt.Fprintf(os.Stderr, "pridlint: unknown analyzer %q (try -list)\n", n)
+				var valid []string
+				for _, a := range lint.Analyzers {
+					valid = append(valid, a.Name)
+				}
+				fmt.Fprintf(os.Stderr, "pridlint: unknown analyzer %q; valid analyzers: %s\n",
+					n, strings.Join(valid, ", "))
 				return 2
 			}
 			onlyNames = append(onlyNames, n)
@@ -62,12 +74,18 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "pridlint: %v\n", err)
 		return 2
 	}
-	diags, err := lint.Run(moduleDir, patterns, onlyNames)
+	diags, tm, err := lint.RunTimed(moduleDir, patterns, onlyNames)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "pridlint: %v\n", err)
 		return 2
 	}
-	if *jsonOut {
+	if *timing {
+		fmt.Fprintf(os.Stderr, "pridlint: %d packages — load %s, summaries %s, analyze %s\n",
+			tm.Packages, tm.Load.Round(time.Millisecond), tm.Index.Round(time.Millisecond),
+			tm.Analyze.Round(time.Millisecond))
+	}
+	switch {
+	case *jsonOut:
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
@@ -77,13 +95,23 @@ func run(args []string) int {
 			fmt.Fprintf(os.Stderr, "pridlint: encoding output: %v\n", err)
 			return 2
 		}
-	} else {
+	case *sarifOut:
+		raw, err := lint.MarshalSARIF(diags)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "pridlint: encoding SARIF: %v\n", err)
+			return 2
+		}
+		if _, err := os.Stdout.Write(append(raw, '\n')); err != nil {
+			fmt.Fprintf(os.Stderr, "pridlint: writing SARIF: %v\n", err)
+			return 2
+		}
+	default:
 		for _, d := range diags {
 			fmt.Fprintln(os.Stdout, d)
 		}
 	}
 	if len(diags) > 0 {
-		if !*jsonOut {
+		if !*jsonOut && !*sarifOut {
 			fmt.Fprintf(os.Stderr, "pridlint: %d finding(s)\n", len(diags))
 		}
 		return 1

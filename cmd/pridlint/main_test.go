@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture redirects an *os.File (os.Stdout / os.Stderr) for the
+// duration of fn and returns what was written.
+func capture(t *testing.T, f **os.File, fn func()) string {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := *f
+	*f = w
+	defer func() { *f = old }()
+	done := make(chan string)
+	go func() {
+		buf := make([]byte, 0, 4096)
+		tmp := make([]byte, 4096)
+		for {
+			n, err := r.Read(tmp)
+			buf = append(buf, tmp[:n]...)
+			if err != nil {
+				break
+			}
+		}
+		done <- string(buf)
+	}()
+	fn()
+	w.Close()
+	return <-done
+}
+
+func TestUnknownAnalyzerExits2WithValidNames(t *testing.T) {
+	var code int
+	errOut := capture(t, &os.Stderr, func() {
+		code = run([]string{"-analyzers", "nosuchthing"})
+	})
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if !strings.Contains(errOut, `unknown analyzer "nosuchthing"`) {
+		t.Errorf("stderr missing the offending name: %q", errOut)
+	}
+	for _, name := range []string{"leaksurface", "poolescape", "ctxflow", "errdrop"} {
+		if !strings.Contains(errOut, name) {
+			t.Errorf("stderr does not list valid analyzer %q: %q", name, errOut)
+		}
+	}
+}
+
+func TestJSONAndSARIFAreExclusive(t *testing.T) {
+	var code int
+	capture(t, &os.Stderr, func() {
+		code = run([]string{"-json", "-sarif"})
+	})
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestListExitsClean(t *testing.T) {
+	var code int
+	out := capture(t, &os.Stdout, func() {
+		code = run([]string{"-list"})
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0", code)
+	}
+	for _, name := range []string{"leaksurface", "poolescape", "ctxflow"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-list output missing %q", name)
+		}
+	}
+}
+
+func TestSARIFOutputParses(t *testing.T) {
+	var code int
+	out := capture(t, &os.Stdout, func() {
+		code = run([]string{"-sarif", "./internal/rng"})
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (internal/rng should lint clean)", code)
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []any `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("-sarif output does not parse: %v\n%s", err, out)
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 {
+		t.Errorf("version %q runs %d, want 2.1.0 with one run", doc.Version, len(doc.Runs))
+	}
+	if doc.Runs[0].Results == nil {
+		t.Error("clean run must carry an empty results array, not null")
+	}
+}

@@ -68,6 +68,7 @@ func main() {
 	} {
 		defended, err := d.run()
 		if err != nil {
+			//pridlint:allow leaksurface fatal line logs the defense label and error only
 			obs.Fatal(logger, "defense failed", "defense", d.name, "err", err)
 		}
 		t.AddRow(d.name, report.F(auc(defended, random)), report.F(auc(defended, ds.TestX[:40])))

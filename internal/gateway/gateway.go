@@ -244,6 +244,7 @@ func (g *Gateway) Start() error {
 		}
 	}()
 	go g.prober()
+	//pridlint:allow leaksurface logs the bound address and ring topology config only
 	logger.Info("gateway serving", "addr", g.Addr(), "backends", len(g.order),
 		"healthy", g.healthyN.Load(), "replicas", g.cfg.Replicas, "quorum", g.cfg.Quorum,
 		"vnodes", g.cfg.VNodes, "seed", g.cfg.Seed)

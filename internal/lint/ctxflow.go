@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerCtxFlow guards the request-path context chain built in the
+// tracing and gateway PRs: X-Request-ID propagation, per-stage latency
+// attribution, and timeout/cancellation all ride the context.Context
+// threaded from the HTTP boundary down through the engine. It flags,
+// in request-path packages only (serve, its engine/client, gateway,
+// loadgen):
+//
+//   - minting context.Background()/context.TODO() inside a function
+//     that already receives a Context or an *http.Request — severing
+//     the incoming chain instead of deriving from it;
+//   - a named Context parameter that the function body never uses —
+//     the chain ends silently right there;
+//   - passing a nil literal where the callee expects a Context.
+//
+// Functions with no incoming context (background pollers, startup
+// paths) may mint their own root; they are not flagged.
+var AnalyzerCtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "request-path functions dropping an incoming context.Context or " +
+		"minting context.Background(), severing tracing and timeout chains",
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(p *Pass) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkCtxFlow(p, fn)
+		}
+	}
+}
+
+func checkCtxFlow(p *Pass, fn *ast.FuncDecl) {
+	ctxParams, hasIncoming := incomingCtx(p.Info, fn)
+
+	// Rule: a named Context parameter must be used somewhere in the body.
+	for _, obj := range ctxParams {
+		used := false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && p.Info.Uses[id] == obj {
+				used = true
+			}
+			return !used
+		})
+		if !used {
+			p.Report(obj.Pos(),
+				"incoming context.Context %q is never used — pass it down so tracing and cancellation survive, or annotate //pridlint:allow ctxflow <reason>", obj.Name())
+		}
+	}
+
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		// Rule: no fresh root contexts where an incoming one exists.
+		if hasIncoming {
+			switch pkgFuncName(p.Info, call.Fun) {
+			case "context.Background", "context.TODO":
+				p.Report(call.Pos(),
+					"%s minted inside a request-path function that already receives a context — derive from the incoming one so tracing and timeouts survive", pkgFuncName(p.Info, call.Fun))
+			}
+		}
+		// Rule: nil is not a Context.
+		callee := staticCallee(p.Info, call)
+		if callee == nil {
+			return true
+		}
+		sig, ok := callee.Type().(*types.Signature)
+		if !ok {
+			return true
+		}
+		for i, a := range call.Args {
+			id, ok := ast.Unparen(a).(*ast.Ident)
+			if !ok || id.Name != "nil" || p.Info.Uses[id] != nil && p.Info.Uses[id] != types.Universe.Lookup("nil") {
+				continue
+			}
+			pi := i
+			if sig.Variadic() && pi >= sig.Params().Len()-1 {
+				pi = sig.Params().Len() - 1
+			}
+			if pi >= sig.Params().Len() {
+				continue
+			}
+			if isNamedType(sig.Params().At(pi).Type(), "context", "Context") {
+				p.Report(a.Pos(),
+					"nil passed where %s expects a context.Context — use the incoming request context (or context.Background() at a true root)", callee.Name())
+			}
+		}
+		return true
+	})
+}
+
+// incomingCtx returns the named Context parameters of fn and whether fn
+// receives any incoming request context at all (a Context parameter,
+// named or blank, or an *http.Request carrying one).
+func incomingCtx(info *types.Info, fn *ast.FuncDecl) (named []*types.Var, has bool) {
+	if fn.Type.Params == nil {
+		return nil, false
+	}
+	for _, field := range fn.Type.Params.List {
+		for _, name := range field.Names {
+			obj, ok := info.ObjectOf(name).(*types.Var)
+			if !ok {
+				continue
+			}
+			if isNamedType(obj.Type(), "context", "Context") {
+				has = true
+				if name.Name != "_" {
+					named = append(named, obj)
+				}
+			}
+			if isNamedType(obj.Type(), "net/http", "Request") {
+				has = true
+			}
+		}
+	}
+	return named, has
+}

@@ -2,6 +2,8 @@ package lint
 
 import (
 	"fmt"
+	"go/ast"
+	"go/token"
 	"strings"
 )
 
@@ -69,6 +71,23 @@ func (s *suppressions) allows(d Diagnostic) bool {
 	return s.byLine[d.File][d.Line][d.Analyzer]
 }
 
+// allowsAt is the positional form used during summary computation,
+// before a finding has been packaged into a Diagnostic.
+func (s *suppressions) allowsAt(file string, line int, analyzer string) bool {
+	return s.byLine[file][line][analyzer]
+}
+
+// merge folds every directive of o into s.
+func (s *suppressions) merge(o *suppressions) {
+	for file, lines := range o.byLine {
+		for line, set := range lines {
+			for analyzer := range set {
+				s.add(file, line, analyzer)
+			}
+		}
+	}
+}
+
 func (s *suppressions) add(file string, line int, analyzer string) {
 	if s.byLine == nil {
 		s.byLine = map[string]map[int]map[string]bool{}
@@ -101,6 +120,7 @@ func collectDirectives(pkg *Package) (*suppressions, []Diagnostic) {
 	for _, f := range pkg.Files {
 		type pending struct {
 			line     int
+			offset   int
 			analyzer string
 		}
 		var ds []pending
@@ -123,21 +143,116 @@ func collectDirectives(pkg *Package) (*suppressions, []Diagnostic) {
 					continue
 				}
 				directiveLines[pos.Line] = true
-				ds = append(ds, pending{line: pos.Line, analyzer: d.Analyzer})
+				ds = append(ds, pending{line: pos.Line, offset: pos.Offset, analyzer: d.Analyzer})
 			}
 		}
 		if len(ds) == 0 {
 			continue
 		}
+		// lineCode maps each line to the smallest offset of a code token
+		// on it — used to tell a trailing directive (code precedes it on
+		// the line) from a standalone one.
+		lineCode := map[int]int{}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n.(type) {
+			case nil:
+				return true
+			case *ast.Comment, *ast.CommentGroup:
+				return false
+			}
+			pos := pkg.Fset.Position(n.Pos())
+			if o, ok := lineCode[pos.Line]; !ok || pos.Offset < o {
+				lineCode[pos.Line] = pos.Offset
+			}
+			return true
+		})
 		file := pkg.Fset.Position(f.Package).Filename
 		for _, p := range ds {
 			sup.add(file, p.line, p.analyzer)
+			if o, ok := lineCode[p.line]; ok && o < p.offset {
+				// Trailing form: the directive shares its line with the
+				// statement (or struct field) it suppresses. Cover the
+				// innermost flat node containing that line in full, so
+				// multi-line statements are suppressed wherever the
+				// finding is positioned.
+				if lo, hi, ok := containingFlatRange(pkg.Fset, f, p.line); ok {
+					sup.addRange(file, lo, hi, p.analyzer)
+				}
+				continue
+			}
+			// Standalone form: the directive (or a stack of them) stands
+			// above the code it suppresses. Cover the full extent of the
+			// widest flat node starting on the first non-directive line.
 			target := p.line + 1
 			for directiveLines[target] {
 				target++
 			}
 			sup.add(file, target, p.analyzer)
+			if hi, ok := flatRangeStartingAt(pkg.Fset, f, target); ok {
+				sup.addRange(file, target, hi, p.analyzer)
+			}
 		}
 	}
 	return sup, bad
+}
+
+func (s *suppressions) addRange(file string, lo, hi int, analyzer string) {
+	for line := lo; line <= hi; line++ {
+		s.add(file, line, analyzer)
+	}
+}
+
+// flatNode reports whether n is a directive coverage unit: a statement
+// without its own block structure, a struct/interface/parameter field,
+// or a declaration spec. Block-bearing statements (if/for/switch) and
+// whole declarations are excluded so a directive never silently covers
+// an entire control-flow body it wasn't written against — with the
+// deliberate exception of go/defer, whose closure is the statement.
+func flatNode(n ast.Node) bool {
+	switch n.(type) {
+	case *ast.AssignStmt, *ast.ExprStmt, *ast.ReturnStmt, *ast.GoStmt,
+		*ast.DeferStmt, *ast.SendStmt, *ast.IncDecStmt, *ast.DeclStmt,
+		*ast.Field, *ast.ValueSpec, *ast.TypeSpec:
+		return true
+	}
+	return false
+}
+
+// containingFlatRange finds the innermost flat node whose source range
+// includes the given line and returns its full line extent.
+func containingFlatRange(fset *token.FileSet, f *ast.File, line int) (lo, hi int, ok bool) {
+	best := -1
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !flatNode(n) {
+			return true
+		}
+		nlo := fset.Position(n.Pos()).Line
+		nhi := fset.Position(n.End()).Line
+		if line < nlo || line > nhi {
+			return true
+		}
+		if span := nhi - nlo; best < 0 || span < best {
+			best, lo, hi, ok = span, nlo, nhi, true
+		}
+		return true
+	})
+	return lo, hi, ok
+}
+
+// flatRangeStartingAt finds the widest flat node beginning on the given
+// line and returns its last line.
+func flatRangeStartingAt(fset *token.FileSet, f *ast.File, line int) (hi int, ok bool) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil || !flatNode(n) {
+			return true
+		}
+		if fset.Position(n.Pos()).Line != line {
+			return true
+		}
+		if nhi := fset.Position(n.End()).Line; !ok || nhi > hi {
+			hi, ok = nhi, true
+		}
+		return true
+	})
+	return hi, ok
 }

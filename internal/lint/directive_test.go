@@ -1,6 +1,8 @@
 package lint
 
 import (
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"unicode/utf8"
@@ -92,4 +94,99 @@ func FuzzParseDirective(f *testing.F) {
 			t.Fatalf("reason not valid UTF-8 for valid input %q", text)
 		}
 	})
+}
+
+// loadDirectivePkg writes src as a one-file package and returns its
+// suppression index plus the filename diagnostics key on.
+func loadDirectivePkg(t *testing.T, src string) (*suppressions, string) {
+	t.Helper()
+	root := moduleRoot(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "f.go")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup, bad := collectDirectives(pkg)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", bad)
+	}
+	return sup, pkg.Fset.Position(pkg.Files[0].Package).Filename
+}
+
+// TestDirectiveCoversStructField pins the node-range rule for struct
+// fields: a trailing directive covers its own field, and a standalone
+// directive above a field covers that field's full extent — including
+// later lines of a multi-line field — but nothing past it.
+func TestDirectiveCoversStructField(t *testing.T) {
+	src := `package fixture
+
+type cfg struct {
+	Threshold float64 //pridlint:allow floateq trailing form covers this field
+
+	//pridlint:allow obsonly standalone form covers the whole multi-line field
+	Compare func(
+		a float64,
+		b float64,
+	) bool
+
+	Plain int
+}
+`
+	sup, file := loadDirectivePkg(t, src)
+	if !sup.allowsAt(file, 4, "floateq") {
+		t.Error("trailing directive does not cover its own struct field line")
+	}
+	for line := 7; line <= 10; line++ {
+		if !sup.allowsAt(file, line, "obsonly") {
+			t.Errorf("standalone directive does not cover line %d of the multi-line field", line)
+		}
+	}
+	if sup.allowsAt(file, 12, "obsonly") {
+		t.Error("directive bleeds past its field onto the next declaration")
+	}
+}
+
+// TestDirectiveCoversMultilineStatement pins the rule for statements: a
+// trailing directive on the first line of a multi-line call covers the
+// whole statement (findings may be positioned at an argument on a later
+// line), and so does a standalone directive above one.
+func TestDirectiveCoversMultilineStatement(t *testing.T) {
+	src := `package fixture
+
+func sink(args ...any) {}
+
+func f(a, b float64) {
+	sink( //pridlint:allow floateq trailing form covers the whole call
+		a == b,
+	)
+	//pridlint:allow maporder standalone form covers the whole call
+	sink(
+		a,
+		b,
+	)
+	sink(a)
+}
+`
+	sup, file := loadDirectivePkg(t, src)
+	for line := 6; line <= 8; line++ {
+		if !sup.allowsAt(file, line, "floateq") {
+			t.Errorf("trailing directive does not cover line %d of its statement", line)
+		}
+	}
+	for line := 10; line <= 13; line++ {
+		if !sup.allowsAt(file, line, "maporder") {
+			t.Errorf("standalone directive does not cover line %d of the next statement", line)
+		}
+	}
+	if sup.allowsAt(file, 14, "floateq") || sup.allowsAt(file, 14, "maporder") {
+		t.Error("directive bleeds past its statement")
+	}
 }

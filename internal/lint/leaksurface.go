@@ -1,0 +1,41 @@
+package lint
+
+import (
+	"sort"
+	"strings"
+)
+
+// AnalyzerLeakSurface machine-checks the repo's leakage-surface
+// contract: class hypervectors (and full-resolution values derived from
+// them) must not reach the outside world — HTTP responses, marshalled
+// payloads, wire writers, logs — except through the explicitly
+// allowlisted attacker/audit endpoints and model savers. This is the
+// PRID threat model as a compile-time invariant: anything the analyzer
+// flags is a value an attacker could run model inversion against.
+var AnalyzerLeakSurface = &Analyzer{
+	Name: "leaksurface",
+	Doc: "model class rows or full-resolution derived data flowing to an " +
+		"HTTP response, marshaller, wire writer, or log outside the " +
+		"allowlisted reconstruct/audit endpoints and PRIDMDL1/PRIDBIN1 savers",
+	RunModule: runLeakSurface,
+}
+
+func runLeakSurface(p *ModulePass) {
+	for _, fd := range p.Index.funcsOf(p.Target) {
+		sum := p.Index.summaries[fd.obj]
+		if sum == nil {
+			continue
+		}
+		findings := append([]leakFinding(nil), sum.findings...)
+		sort.Slice(findings, func(i, j int) bool { return findings[i].pos < findings[j].pos })
+		for _, f := range findings {
+			via := ""
+			if len(f.hit.via) > 0 {
+				via = " via " + strings.Join(f.hit.via, " → ")
+			}
+			p.Report(f.pos,
+				"model-derived data reaches %s sink %s%s; only the reconstruct/audit endpoints and model savers may emit it (fix the flow or annotate //pridlint:allow leaksurface <reason>)",
+				f.hit.cat, f.hit.sink, via)
+		}
+	}
+}

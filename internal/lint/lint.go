@@ -62,11 +62,22 @@ func (p *Pass) Report(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// An Analyzer is one named invariant check.
+// An Analyzer is one named invariant check. Syntactic analyzers set
+// Run; analyzers needing the whole-module dataflow view (call graph +
+// taint summaries) set RunModule instead and receive a ModulePass.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name      string
+	Doc       string
+	Run       func(*Pass)
+	RunModule func(*ModulePass)
+}
+
+// ModulePass extends Pass with the package under analysis and the
+// shared module index, for interprocedural analyzers.
+type ModulePass struct {
+	*Pass
+	Target *Package
+	Index  *ModuleIndex
 }
 
 // Analyzers is the full suite, in reporting order.
@@ -78,6 +89,9 @@ var Analyzers = []*Analyzer{
 	AnalyzerObsOnly,
 	AnalyzerErrDrop,
 	AnalyzerAtomicWrite,
+	AnalyzerLeakSurface,
+	AnalyzerPoolEscape,
+	AnalyzerCtxFlow,
 }
 
 // ByName returns the analyzer with the given name, or nil.
@@ -122,6 +136,10 @@ func isCore(relPath string) bool { return corePackages[relPath] }
 //   - atomicwrite: every package except internal/store itself — the
 //     store is where the sanctioned temp-file/fsync/rename machinery
 //     lives, so its own primitives are the one legitimate call site.
+//   - leaksurface, poolescape: every package — model data and pooled
+//     buffers move through the whole tree.
+//   - ctxflow: request-path packages only (serve and its engine/client,
+//     gateway, loadgen) — batch tools legitimately mint root contexts.
 func AnalyzersFor(relPath, pkgName string) []*Analyzer {
 	var out []*Analyzer
 	core := isCore(relPath)
@@ -140,18 +158,41 @@ func AnalyzersFor(relPath, pkgName string) []*Analyzer {
 			if relPath != "internal/store" {
 				out = append(out, a)
 			}
-		default: // floateq, errdrop
+		case "ctxflow":
+			if isRequestPath(relPath) {
+				out = append(out, a)
+			}
+		default: // floateq, errdrop, leaksurface, poolescape
 			out = append(out, a)
 		}
 	}
 	return out
 }
 
+// requestPathPackages are the module-relative roots whose functions sit
+// on the serving request path, where the context chain is load-bearing.
+var requestPathPackages = []string{
+	"internal/serve",
+	"internal/gateway",
+	"internal/loadgen",
+}
+
+func isRequestPath(relPath string) bool {
+	for _, p := range requestPathPackages {
+		if relPath == p || strings.HasPrefix(relPath, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
 // RunPackage runs the given analyzers over one loaded package and
 // returns the surviving diagnostics: suppressed findings are dropped,
 // and malformed or unparseable pridlint directives are reported under
-// the reserved analyzer name "directive".
-func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+// the reserved analyzer name "directive". ix carries the shared
+// whole-module view for interprocedural analyzers; it may be nil when
+// none of the analyzers declare RunModule.
+func RunPackage(pkg *Package, analyzers []*Analyzer, ix *ModuleIndex) []Diagnostic {
 	var raw []Diagnostic
 	for _, a := range analyzers {
 		pass := &Pass{
@@ -162,7 +203,12 @@ func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			analyzer: a.Name,
 			diags:    &raw,
 		}
-		a.Run(pass)
+		switch {
+		case a.Run != nil:
+			a.Run(pass)
+		case a.RunModule != nil && ix != nil:
+			a.RunModule(&ModulePass{Pass: pass, Target: pkg, Index: ix})
+		}
 	}
 	sup, bad := collectDirectives(pkg)
 	var out []Diagnostic

@@ -74,8 +74,9 @@ func runFixture(t *testing.T, a *Analyzer) {
 	if err != nil {
 		t.Fatalf("loading fixture: %v", err)
 	}
+	ix := NewModuleIndex(l.Fset, l.Loaded())
 	got := map[string]int{}
-	for _, d := range RunPackage(pkg, []*Analyzer{a}) {
+	for _, d := range RunPackage(pkg, []*Analyzer{a}, ix) {
 		got[fmt.Sprintf("%d:%s", d.Line, d.Analyzer)]++
 	}
 	want := map[string]int{}
@@ -116,20 +117,25 @@ func TestAnalyzersFor(t *testing.T) {
 		rel, pkgName string
 		want         string
 	}{
-		// Numeric core: everything applies.
-		{"internal/vecmath", "vecmath", "atomicwrite,determinism,errdrop,floateq,gofan,maporder,obsonly"},
-		{"internal/attack", "attack", "atomicwrite,determinism,errdrop,floateq,gofan,maporder,obsonly"},
-		{"internal/experiments", "experiments", "atomicwrite,determinism,errdrop,floateq,gofan,maporder,obsonly"},
-		// Library outside the core: no determinism/maporder/gofan.
-		{"internal/serve", "serve", "atomicwrite,errdrop,floateq,obsonly"},
-		{"internal/rng", "rng", "atomicwrite,errdrop,floateq,obsonly"},
-		{"", "prid", "atomicwrite,errdrop,floateq,obsonly"},
+		// Numeric core: everything except ctxflow applies.
+		{"internal/vecmath", "vecmath", "atomicwrite,determinism,errdrop,floateq,gofan,leaksurface,maporder,obsonly,poolescape"},
+		{"internal/attack", "attack", "atomicwrite,determinism,errdrop,floateq,gofan,leaksurface,maporder,obsonly,poolescape"},
+		{"internal/experiments", "experiments", "atomicwrite,determinism,errdrop,floateq,gofan,leaksurface,maporder,obsonly,poolescape"},
+		// Request path: ctxflow joins; no determinism/maporder/gofan.
+		{"internal/serve", "serve", "atomicwrite,ctxflow,errdrop,floateq,leaksurface,obsonly,poolescape"},
+		{"internal/serve/engine", "engine", "atomicwrite,ctxflow,errdrop,floateq,leaksurface,obsonly,poolescape"},
+		{"internal/serve/client", "client", "atomicwrite,ctxflow,errdrop,floateq,leaksurface,obsonly,poolescape"},
+		{"internal/gateway", "gateway", "atomicwrite,ctxflow,errdrop,floateq,leaksurface,obsonly,poolescape"},
+		{"internal/loadgen", "loadgen", "atomicwrite,ctxflow,errdrop,floateq,leaksurface,obsonly,poolescape"},
+		// Library outside both the core and the request path.
+		{"internal/rng", "rng", "atomicwrite,errdrop,floateq,leaksurface,obsonly,poolescape"},
+		{"", "prid", "atomicwrite,errdrop,floateq,leaksurface,obsonly,poolescape"},
 		// The store itself is the sanctioned home of raw writes.
-		{"internal/store", "store", "errdrop,floateq,obsonly"},
+		{"internal/store", "store", "errdrop,floateq,leaksurface,obsonly,poolescape"},
 		// Commands: may print, still cannot drop errors, compare floats
-		// raw, or write persistent files non-atomically.
-		{"cmd/prid", "main", "atomicwrite,errdrop,floateq"},
-		{"examples/quickstart", "main", "atomicwrite,errdrop,floateq"},
+		// raw, write persistent files non-atomically, or leak model rows.
+		{"cmd/prid", "main", "atomicwrite,errdrop,floateq,leaksurface,poolescape"},
+		{"examples/quickstart", "main", "atomicwrite,errdrop,floateq,leaksurface,poolescape"},
 	}
 	for _, c := range cases {
 		if got := names(AnalyzersFor(c.rel, c.pkgName)); got != c.want {
@@ -162,7 +168,7 @@ func f(path string) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags := RunPackage(pkg, []*Analyzer{AnalyzerErrDrop})
+	diags := RunPackage(pkg, []*Analyzer{AnalyzerErrDrop}, nil)
 	byAnalyzer := map[string]int{}
 	for _, d := range diags {
 		byAnalyzer[d.Analyzer]++
@@ -208,7 +214,7 @@ func g(a, b float64) bool {
 	if err != nil {
 		t.Fatal(err)
 	}
-	diags := RunPackage(pkg, []*Analyzer{AnalyzerObsOnly, AnalyzerFloatEq})
+	diags := RunPackage(pkg, []*Analyzer{AnalyzerObsOnly, AnalyzerFloatEq}, nil)
 	// The fmt.Println is suppressed by the second stacked directive; the
 	// float comparison in g is the only surviving finding.
 	if len(diags) != 1 || diags[0].Analyzer != "floateq" {

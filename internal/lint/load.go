@@ -11,6 +11,8 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
+	"time"
 )
 
 // Package is one parsed and type-checked package ready for analysis.
@@ -38,10 +40,38 @@ type Loader struct {
 	// it are loaded from ModuleDir instead of the source importer.
 	ModulePath string
 
-	std      types.ImporterFrom
 	cache    map[string]*types.Package // by import path
 	pkgCache map[string]*Package       // by absolute dir
 	loading  map[string]bool           // import-cycle guard
+}
+
+// The source importer recompiles each stdlib dependency from GOROOT
+// source, which dominates load time (net/http alone is seconds). One
+// process-wide importer with its own FileSet shares that work across
+// every Loader — pridlint's single run, and each fixture subtest's
+// fresh Loader, all hit the same warmed cache. Stdlib object positions
+// resolve against the shared FileSet, not a Loader's own, which is fine:
+// diagnostics are only ever positioned at module files.
+var (
+	sharedStdMu   sync.Mutex
+	sharedStdImp  types.ImporterFrom
+	sharedStdOnce sync.Once
+)
+
+func sharedStd() types.ImporterFrom {
+	sharedStdOnce.Do(func() {
+		sharedStdImp = importer.ForCompiler(token.NewFileSet(), "source", nil).(types.ImporterFrom)
+	})
+	return sharedStdImp
+}
+
+// importStd resolves a non-module import through the shared importer.
+// The source importer is not safe for concurrent use, so calls are
+// serialized process-wide.
+func importStd(path, srcDir string, mode types.ImportMode) (*types.Package, error) {
+	sharedStdMu.Lock()
+	defer sharedStdMu.Unlock()
+	return sharedStd().ImportFrom(path, srcDir, mode)
 }
 
 // NewLoader returns a Loader rooted at moduleDir. The module path is
@@ -51,16 +81,14 @@ func NewLoader(moduleDir string) (*Loader, error) {
 	if err != nil {
 		return nil, err
 	}
-	fset := token.NewFileSet()
 	l := &Loader{
-		Fset:       fset,
+		Fset:       token.NewFileSet(),
 		ModuleDir:  moduleDir,
 		ModulePath: modPath,
 		cache:      map[string]*types.Package{},
 		pkgCache:   map[string]*Package{},
 		loading:    map[string]bool{},
 	}
-	l.std = importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
 	return l, nil
 }
 
@@ -101,12 +129,24 @@ func (l *Loader) ImportFrom(path, srcDir string, mode types.ImportMode) (*types.
 		}
 		return p.Types, nil
 	}
-	pkg, err := l.std.ImportFrom(path, srcDir, mode)
+	pkg, err := importStd(path, srcDir, mode)
 	if err != nil {
 		return nil, err
 	}
 	l.cache[path] = pkg
 	return pkg, nil
+}
+
+// Loaded returns every module-local package this loader has
+// type-checked — the packages explicitly loaded plus every module
+// dependency pulled in to satisfy their imports — sorted by directory.
+func (l *Loader) Loaded() []*Package {
+	out := make([]*Package, 0, len(l.pkgCache))
+	for _, p := range l.pkgCache {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Dir < out[j].Dir })
+	return out
 }
 
 // LoadDir parses and type-checks the package in dir (non-test files
@@ -249,14 +289,35 @@ func PackageDirs(root string) ([]string, error) {
 	return dirs, nil
 }
 
+// Timing breaks a Run into its phases: parsing+type-checking every
+// package once, building the shared module index (call graph + taint
+// summaries), and running the analyzers.
+type Timing struct {
+	Load     time.Duration `json:"load"`
+	Index    time.Duration `json:"index"`
+	Analyze  time.Duration `json:"analyze"`
+	Packages int           `json:"packages"`
+}
+
 // Run loads every package under moduleDir matched by patterns (either
 // explicit directories or the "./..." form) and runs the applicable
 // analyzers over each, returning all surviving diagnostics with
 // module-relative file paths.
 func Run(moduleDir string, patterns []string, only []string) ([]Diagnostic, error) {
+	diags, _, err := RunTimed(moduleDir, patterns, only)
+	return diags, err
+}
+
+// RunTimed is Run with per-phase wall-clock timing. Every matched
+// package is loaded up front through one shared Loader, one ModuleIndex
+// is built over everything loaded (matched packages plus their module
+// dependencies), and every analyzer then runs against that single view
+// — packages and the index are never re-loaded per analyzer.
+func RunTimed(moduleDir string, patterns []string, only []string) ([]Diagnostic, Timing, error) {
+	var tm Timing
 	l, err := NewLoader(moduleDir)
 	if err != nil {
-		return nil, err
+		return nil, tm, err
 	}
 	var dirs []string
 	for _, pat := range patterns {
@@ -264,13 +325,13 @@ func Run(moduleDir string, patterns []string, only []string) ([]Diagnostic, erro
 		case pat == "./..." || pat == "...":
 			ds, err := PackageDirs(moduleDir)
 			if err != nil {
-				return nil, err
+				return nil, tm, err
 			}
 			dirs = append(dirs, ds...)
 		case strings.HasSuffix(pat, "/..."):
 			ds, err := PackageDirs(filepath.Join(moduleDir, strings.TrimSuffix(pat, "/...")))
 			if err != nil {
-				return nil, err
+				return nil, tm, err
 			}
 			dirs = append(dirs, ds...)
 		default:
@@ -280,17 +341,35 @@ func Run(moduleDir string, patterns []string, only []string) ([]Diagnostic, erro
 			dirs = append(dirs, pat)
 		}
 	}
-	var all []Diagnostic
+
+	start := time.Now()
+	var pkgs []*Package
+	seen := map[string]bool{}
 	for _, dir := range dirs {
 		pkg, err := l.LoadDir(dir)
 		if err != nil {
-			return nil, err
+			return nil, tm, err
 		}
+		if !seen[pkg.Dir] {
+			seen[pkg.Dir] = true
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	tm.Load = time.Since(start)
+	tm.Packages = len(pkgs)
+
+	start = time.Now()
+	ix := NewModuleIndex(l.Fset, l.Loaded())
+	tm.Index = time.Since(start)
+
+	start = time.Now()
+	var all []Diagnostic
+	for _, pkg := range pkgs {
 		analyzers := AnalyzersFor(pkg.Rel, pkg.Name)
 		if len(only) > 0 {
 			analyzers = filterAnalyzers(analyzers, only)
 		}
-		diags := RunPackage(pkg, analyzers)
+		diags := RunPackage(pkg, analyzers, ix)
 		for i := range diags {
 			if r, err := filepath.Rel(moduleDir, diags[i].File); err == nil && !strings.HasPrefix(r, "..") {
 				diags[i].File = filepath.ToSlash(r)
@@ -299,7 +378,8 @@ func Run(moduleDir string, patterns []string, only []string) ([]Diagnostic, erro
 		all = append(all, diags...)
 	}
 	sortDiagnostics(all)
-	return all, nil
+	tm.Analyze = time.Since(start)
+	return all, tm, nil
 }
 
 func filterAnalyzers(as []*Analyzer, only []string) []*Analyzer {

@@ -1,0 +1,207 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file is the package-graph layer under the interprocedural
+// analyzers: a module-local call graph over every loaded package, with
+// functions grouped into strongly-connected components and ordered so
+// that callees are analyzed before their callers. Taint summaries
+// (taint.go) are computed bottom-up over this order; mutually recursive
+// functions share an SCC and iterate to a fixed point.
+
+// funcDecl is one module-local function or method with a body, tied to
+// the package that declares it.
+type funcDecl struct {
+	obj  *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+}
+
+// name renders a short human name for diagnostics ("Reconstruct",
+// "writeJSON").
+func (fd *funcDecl) name() string { return fd.decl.Name.Name }
+
+// ModuleIndex is the shared whole-module view the dataflow analyzers
+// run against: every loaded package, the call graph over their declared
+// functions, and the taint summaries computed bottom-up over it. It is
+// built once per pridlint invocation and shared by every analyzer and
+// every analyzed package — the load and the summary computation are the
+// expensive parts, so they must not be repeated per analyzer.
+type ModuleIndex struct {
+	Fset *token.FileSet
+	Pkgs []*Package
+
+	funcs     map[*types.Func]*funcDecl
+	summaries map[*types.Func]*summary
+
+	// allow merges every package's pridlint:allow directives so summary
+	// computation can honor them: a sink line annotated at its source is
+	// sanctioned for every caller, not just suppressed where it appears.
+	allow *suppressions
+}
+
+// NewModuleIndex builds the call graph and computes taint summaries for
+// every function declared in pkgs. pkgs should be every module-local
+// package the loader has seen (Loader.Loaded()), not just the packages
+// under analysis: taint flows through shared internal dependencies.
+func NewModuleIndex(fset *token.FileSet, pkgs []*Package) *ModuleIndex {
+	ix := &ModuleIndex{
+		Fset:      fset,
+		Pkgs:      pkgs,
+		funcs:     map[*types.Func]*funcDecl{},
+		summaries: map[*types.Func]*summary{},
+		allow:     &suppressions{},
+	}
+	for _, pkg := range pkgs {
+		sup, _ := collectDirectives(pkg) // malformed directives re-surface in RunPackage
+		ix.allow.merge(sup)
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fn, ok := d.(*ast.FuncDecl)
+				if !ok || fn.Body == nil {
+					continue
+				}
+				obj, ok := pkg.Info.Defs[fn.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				ix.funcs[obj] = &funcDecl{obj: obj, decl: fn, pkg: pkg}
+			}
+		}
+	}
+	ix.computeSummaries()
+	return ix
+}
+
+// funcsOf returns the declared functions of pkg in source order.
+func (ix *ModuleIndex) funcsOf(pkg *Package) []*funcDecl {
+	var out []*funcDecl
+	for _, fd := range ix.funcs {
+		if fd.pkg == pkg {
+			out = append(out, fd)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].decl.Pos() < out[j].decl.Pos() })
+	return out
+}
+
+// staticCallee resolves a call expression to the *types.Func it
+// statically invokes: a package-level function, a method on a concrete
+// type, or an interface method. Calls through function values and
+// built-ins resolve to nil.
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	for {
+		switch f := fun.(type) {
+		case *ast.IndexExpr: // generic instantiation
+			fun = ast.Unparen(f.X)
+			continue
+		case *ast.IndexListExpr:
+			fun = ast.Unparen(f.X)
+			continue
+		}
+		break
+	}
+	switch f := fun.(type) {
+	case *ast.Ident:
+		obj, _ := info.Uses[f].(*types.Func)
+		return obj
+	case *ast.SelectorExpr:
+		obj, _ := info.Uses[f.Sel].(*types.Func)
+		return obj
+	}
+	return nil
+}
+
+// callees returns the module-local functions fd statically calls,
+// deduplicated, in source order.
+func (ix *ModuleIndex) callees(fd *funcDecl) []*funcDecl {
+	seen := map[*types.Func]bool{}
+	var out []*funcDecl
+	ast.Inspect(fd.decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := staticCallee(fd.pkg.Info, call)
+		if obj == nil || seen[obj] {
+			return true
+		}
+		seen[obj] = true
+		if callee, ok := ix.funcs[obj]; ok {
+			out = append(out, callee)
+		}
+		return true
+	})
+	return out
+}
+
+// sccOrder groups the call graph into strongly-connected components and
+// returns them in reverse topological order — every component's callees
+// appear in an earlier component (or in the component itself, for
+// recursion). Tarjan's algorithm, iterative only in its bookkeeping;
+// the recursion depth is the call-graph depth, which is shallow here.
+func (ix *ModuleIndex) sccOrder() [][]*funcDecl {
+	// Deterministic node order: by position.
+	nodes := make([]*funcDecl, 0, len(ix.funcs))
+	for _, fd := range ix.funcs {
+		nodes = append(nodes, fd)
+	}
+	sort.Slice(nodes, func(i, j int) bool {
+		pi, pj := ix.Fset.Position(nodes[i].decl.Pos()), ix.Fset.Position(nodes[j].decl.Pos())
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Offset < pj.Offset
+	})
+
+	index := map[*funcDecl]int{}
+	lowlink := map[*funcDecl]int{}
+	onStack := map[*funcDecl]bool{}
+	var stack []*funcDecl
+	var sccs [][]*funcDecl
+	next := 0
+
+	var strongconnect func(v *funcDecl)
+	strongconnect = func(v *funcDecl) {
+		index[v] = next
+		lowlink[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range ix.callees(v) {
+			if _, seen := index[w]; !seen {
+				strongconnect(w)
+				lowlink[v] = min(lowlink[v], lowlink[w])
+			} else if onStack[w] {
+				lowlink[v] = min(lowlink[v], index[w])
+			}
+		}
+		if lowlink[v] == index[v] {
+			var scc []*funcDecl
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				scc = append(scc, w)
+				if w == v {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, v := range nodes {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	// Tarjan emits components in reverse topological order already:
+	// a component is completed only after everything it reaches.
+	return sccs
+}

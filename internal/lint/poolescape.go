@@ -1,0 +1,318 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerPoolEscape flags sync.Pool-backed buffers that outlive their
+// Put: returned to the caller, stored into a field, global, or
+// parameter-rooted structure, or captured by a goroutine — while the
+// same function also Puts the buffer back. The classify and attack hot
+// paths pool their scratch; an escaped alias means a later request
+// silently overwrites an earlier result, which is exactly the class of
+// corruption the bit-identity gates exist to catch. A function with a
+// Get but no Put is ownership transfer and is not flagged.
+//
+// Derivation is intra-function and alias-based, not taint-based: a
+// value is pool-derived only through field/index/slice access of a
+// pooled object, composite literals embedding one, or append. Call
+// results are never considered derived — helpers like vecmath.Clone
+// exist precisely to copy data out of pooled storage.
+var AnalyzerPoolEscape = &Analyzer{
+	Name: "poolescape",
+	Doc: "a sync.Pool Get-derived buffer escaping (returned, stored to a " +
+		"field/global, or goroutine-captured) in a function that also Puts it back",
+	Run: runPoolEscape,
+}
+
+func runPoolEscape(p *Pass) {
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkPoolEscape(p, fn)
+		}
+	}
+}
+
+// poolState is the per-function escape analysis.
+type poolState struct {
+	pass    *Pass
+	derived map[types.Object]bool
+	hasPut  bool
+}
+
+func checkPoolEscape(p *Pass, fn *ast.FuncDecl) {
+	st := &poolState{pass: p, derived: map[types.Object]bool{}}
+
+	// Seed: objects assigned from pool.Get() (with or without the usual
+	// type assertion), and detect whether the function Puts anything back.
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.CallExpr:
+			if callee := staticCallee(p.Info, s); callee != nil && callee.FullName() == "(*sync.Pool).Put" {
+				st.hasPut = true
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				if i < len(s.Lhs) && isPoolGetExpr(p.Info, rhs) {
+					if id, ok := s.Lhs[i].(*ast.Ident); ok && id.Name != "_" {
+						st.derived[p.Info.ObjectOf(id)] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(st.derived) == 0 || !st.hasPut {
+		return
+	}
+
+	// Propagate aliases to a fixed point: plain assignment, and storing
+	// a derived value into a local container derives the container.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if i >= len(as.Lhs) || !st.derivedExpr(rhs) {
+					continue
+				}
+				switch lhs := as.Lhs[i].(type) {
+				case *ast.Ident:
+					if lhs.Name == "_" {
+						continue
+					}
+					obj := p.Info.ObjectOf(lhs)
+					if obj != nil && !st.derived[obj] && isLocalVar(obj) {
+						st.derived[obj] = true
+						changed = true
+					}
+				default:
+					root := lvalueRootObj(p.Info, lhs)
+					if root != nil && !st.derived[root] && isLocalVar(root) && !isParamOf(fn, p.Info, root) {
+						st.derived[root] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+
+	// Findings: returns, stores through non-local roots, goroutine capture.
+	lits := funcLitRanges(fn.Body)
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ReturnStmt:
+			if insideLit(s.Pos(), lits) {
+				return true
+			}
+			for _, r := range s.Results {
+				if st.derivedExpr(r) {
+					p.Report(s.Pos(), "sync.Pool buffer is returned after being Put back — the pooled array will be reused by a later caller; return a copy instead")
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range s.Rhs {
+				if i >= len(s.Lhs) || !st.derivedExpr(rhs) {
+					continue
+				}
+				if _, isIdent := s.Lhs[i].(*ast.Ident); isIdent {
+					continue
+				}
+				root := lvalueRootObj(p.Info, s.Lhs[i])
+				if root == nil || !isLocalVar(root) || isParamOf(fn, p.Info, root) {
+					p.Report(s.Pos(), "sync.Pool buffer is stored outside the function that Puts it back — the pooled array will be reused by a later caller; store a copy instead")
+				}
+			}
+		case *ast.GoStmt:
+			if st.goCaptures(s) {
+				p.Report(s.Pos(), "sync.Pool buffer is captured by a goroutine that may outlive its Put — the pooled array will be reused concurrently; pass a copy or move the Put after the goroutine completes")
+			}
+		}
+		return true
+	})
+}
+
+// derivedExpr reports whether e aliases pooled memory. Values whose
+// type cannot alias (scalars, strings, arrays — all copied on load) are
+// never derived, so reading one float out of a pooled slice is fine.
+func (st *poolState) derivedExpr(e ast.Expr) bool {
+	if t := st.pass.Info.TypeOf(e); t != nil && !aliasCapable(t) {
+		return false
+	}
+	switch x := e.(type) {
+	case *ast.Ident:
+		return st.derived[st.pass.Info.ObjectOf(x)]
+	case *ast.ParenExpr:
+		return st.derivedExpr(x.X)
+	case *ast.SelectorExpr:
+		if id, ok := x.X.(*ast.Ident); ok {
+			if _, isPkg := st.pass.Info.Uses[id].(*types.PkgName); isPkg {
+				return false
+			}
+		}
+		return st.derivedExpr(x.X)
+	case *ast.IndexExpr:
+		return st.derivedExpr(x.X)
+	case *ast.SliceExpr:
+		return st.derivedExpr(x.X)
+	case *ast.StarExpr:
+		return st.derivedExpr(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			// Address-of aliases regardless of the operand's own
+			// copy semantics (&s.arr aliases even though s.arr loads copy).
+			return st.chainDerived(x.X)
+		}
+		return st.derivedExpr(x.X)
+	case *ast.TypeAssertExpr:
+		return st.derivedExpr(x.X)
+	case *ast.CompositeLit:
+		for _, el := range x.Elts {
+			v := el
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			if st.derivedExpr(v) {
+				return true
+			}
+		}
+	case *ast.CallExpr:
+		// Only append-to-a-derived-slice keeps pooled backing memory:
+		// appended elements are copied in, so append(nil, s.buf...) is
+		// the sanctioned copy idiom and stays clean. Any other call
+		// result is treated as fresh memory.
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "append" && len(x.Args) > 0 {
+			return st.derivedExpr(x.Args[0])
+		}
+	}
+	return false
+}
+
+// chainDerived walks a selector/index/deref chain to its base identifier
+// purely syntactically — used for address-of, where aliasing is
+// established by the operation itself rather than the value's type.
+func (st *poolState) chainDerived(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			return st.derived[st.pass.Info.ObjectOf(x)]
+		default:
+			return false
+		}
+	}
+}
+
+// aliasCapable reports whether assigning a value of type t can share
+// memory with its source: true for pointers, slices, maps, channels,
+// funcs, and interfaces, plus structs containing any of those. Basic
+// values, strings, and arrays are copied on load.
+func aliasCapable(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		return false
+	case *types.Array:
+		return false
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if aliasCapable(u.Field(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return true
+}
+
+// goCaptures reports whether the go statement smuggles a pooled buffer:
+// a derived argument, or a function literal whose body references a
+// derived object.
+func (st *poolState) goCaptures(g *ast.GoStmt) bool {
+	for _, a := range g.Call.Args {
+		if st.derivedExpr(a) {
+			return true
+		}
+	}
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return false
+	}
+	captured := false
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := st.pass.Info.Uses[id]; obj != nil && st.derived[obj] {
+				captured = true
+			}
+		}
+		return !captured
+	})
+	return captured
+}
+
+// isPoolGetExpr matches pool.Get() and the idiomatic
+// pool.Get().(*scratchT) form.
+func isPoolGetExpr(info *types.Info, e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	callee := staticCallee(info, call)
+	return callee != nil && callee.FullName() == "(*sync.Pool).Get"
+}
+
+// isLocalVar reports whether obj is a function-scoped variable (not a
+// package-level var, not a field).
+func isLocalVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok {
+		return false
+	}
+	if v.IsField() {
+		return false
+	}
+	scope := v.Parent()
+	return scope != nil && scope != v.Pkg().Scope()
+}
+
+// isParamOf reports whether obj is a parameter or receiver of fn —
+// storing pooled memory through one escapes to the caller.
+func isParamOf(fn *ast.FuncDecl, info *types.Info, obj types.Object) bool {
+	var fields []*ast.Field
+	if fn.Recv != nil {
+		fields = append(fields, fn.Recv.List...)
+	}
+	if fn.Type.Params != nil {
+		fields = append(fields, fn.Type.Params.List...)
+	}
+	for _, f := range fields {
+		for _, name := range f.Names {
+			if info.ObjectOf(name) == obj {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,69 @@
+// Package ctxflow exercises the request-path context-chain analyzer:
+// request-scoped tracing and timeouts ride the context.Context threaded
+// from the HTTP boundary, so request-path functions must not drop an
+// incoming context or mint a fresh root.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+	"time"
+)
+
+func work(ctx context.Context) error {
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// fetch threads the incoming context — clean.
+func fetch(ctx context.Context, d time.Duration) error {
+	cctx, cancel := context.WithTimeout(ctx, d)
+	defer cancel()
+	return work(cctx)
+}
+
+// sever checks its context but still mints a fresh root for the
+// downstream call — the tracing chain dies here.
+func sever(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	cctx, cancel := context.WithTimeout(context.Background(), d) // want ctxflow
+	defer cancel()
+	return work(cctx)
+}
+
+// handler receives the request context through r but severs it anyway.
+func handler(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second) // want ctxflow
+	defer cancel()
+	_ = work(ctx)
+}
+
+// dropped never touches its incoming context at all.
+func dropped(ctx context.Context, n int) int { // want ctxflow
+	return n * 2
+}
+
+// nilCtx passes nil where the callee expects a context.
+func nilCtx() error {
+	return work(nil) // want ctxflow
+}
+
+// rootPoller has no incoming context: minting its own root is fine.
+func rootPoller(every time.Duration) {
+	ctx, cancel := context.WithTimeout(context.Background(), every)
+	defer cancel()
+	_ = work(ctx)
+}
+
+// detach is the suppressed case: deliberately detaching from the
+// request context, with a written reason.
+func detach(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	//pridlint:allow ctxflow fixture: deliberate detach for a background flush
+	dctx := context.Background()
+	return work(dctx)
+}

@@ -1,0 +1,93 @@
+// Package leaksurface exercises the interprocedural taint analyzer.
+// The seeded case is the PRID threat model in miniature: class rows
+// leave the model through an innocent-looking helper and reach an HTTP
+// response two calls away — a flow no per-function syntactic analyzer
+// can see.
+package leaksurface
+
+import (
+	"encoding/json"
+	"log/slog"
+	"net/http"
+
+	"prid/internal/hdc"
+)
+
+// server mimics the serving stack: it holds the model whose class rows
+// are the taint source.
+type server struct {
+	m *hdc.Model
+}
+
+// rows is the laundering hop: in isolation it is just a method
+// returning a slice. The summary layer records that its result is
+// model-derived.
+func (s *server) rows() [][]float64 {
+	out := make([][]float64, s.m.NumClasses())
+	for l := range out {
+		out[l] = s.m.Class(l)
+	}
+	return out
+}
+
+// handleRows is the seeded leak: class rows reach an HTTP response two
+// calls away from the model accessor. The error is consumed so no v1
+// syntactic analyzer has anything to say about this line — only the
+// dataflow layer sees the flow.
+func (s *server) handleRows(w http.ResponseWriter, r *http.Request) {
+	err := json.NewEncoder(w).Encode(s.rows()) // want leaksurface
+	_ = err
+}
+
+// handlePredict ships classification outputs only: signed-int
+// predictions launder taint by the kill rule, so this stays clean.
+func (s *server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	pred, _ := s.m.Classify(nil)
+	json.NewEncoder(w).Encode([]int{pred})
+}
+
+// logSims leaks full-resolution similarity vectors into the log stream.
+func (s *server) logSims(h []float64) {
+	sims := s.m.Similarities(h)
+	slog.Info("similarities", "values", sims) // want leaksurface
+}
+
+// logAggregate logs a lone scalar — an aggregate below reconstruction
+// resolution, so no finding.
+func (s *server) logAggregate(h []float64) {
+	best := s.m.Similarity(h, 0)
+	slog.Info("similarity", "best", best)
+}
+
+// respond is a sink-by-summary helper: its v parameter reaches an HTTP
+// response, so tainted arguments are charged to its callers.
+func respond(w http.ResponseWriter, v any) {
+	json.NewEncoder(w).Encode(v)
+}
+
+// handleDirect leaks through the helper's parameter sink.
+func (s *server) handleDirect(w http.ResponseWriter, r *http.Request) {
+	respond(w, s.m.Class(0)) // want leaksurface
+}
+
+// handleInfo ships only model metadata — untainted, clean.
+func (s *server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	respond(w, map[string]int{"classes": s.m.NumClasses(), "dim": s.m.Dim()})
+}
+
+// debugDump is the suppressed case: the flow is real but annotated.
+func (s *server) debugDump(w http.ResponseWriter) {
+	//pridlint:allow leaksurface fixture exercises the suppression form
+	json.NewEncoder(w).Encode(s.rows())
+}
+
+func use(b []byte, err error) { _ = b }
+
+// wrappedDump exercises multi-line statement coverage: the directive
+// stands above a statement whose sinking call sits on a later line.
+func (s *server) wrappedDump() {
+	//pridlint:allow leaksurface fixture: directive covers the whole multi-line statement
+	use(
+		json.Marshal(s.rows()),
+	)
+}

@@ -1,0 +1,76 @@
+// Package poolescape exercises the pooled-buffer escape analyzer: a
+// sync.Pool Get-derived buffer must not outlive its Put. Escaped
+// aliases let a later request overwrite an earlier result in place —
+// silent corruption in the classify/attack hot paths.
+package poolescape
+
+import "sync"
+
+type scratch struct {
+	buf []float64
+}
+
+var pool = sync.Pool{New: func() any { return &scratch{buf: make([]float64, 64)} }}
+
+type cache struct {
+	last []float64
+}
+
+// escapeReturn returns pooled memory it already gave back.
+func escapeReturn() []float64 {
+	s := pool.Get().(*scratch)
+	defer pool.Put(s)
+	return s.buf // want poolescape
+}
+
+// escapeStore parks pooled memory in a field that outlives the Put.
+func (c *cache) escapeStore() {
+	s := pool.Get().(*scratch)
+	defer pool.Put(s)
+	c.last = s.buf // want poolescape
+}
+
+// escapeGo hands pooled memory to a goroutine racing the Put.
+func escapeGo(out chan<- float64) {
+	s := pool.Get().(*scratch)
+	go func() { out <- s.buf[0] }() // want poolescape
+	pool.Put(s)
+}
+
+// escapeVia launders the alias through a local container first.
+func escapeVia() [][]float64 {
+	s := pool.Get().(*scratch)
+	defer pool.Put(s)
+	frames := make([][]float64, 1)
+	frames[0] = s.buf
+	return frames // want poolescape
+}
+
+// copyOut is the sanctioned idiom: the data leaves, the buffer stays.
+func copyOut() []float64 {
+	s := pool.Get().(*scratch)
+	defer pool.Put(s)
+	return append([]float64(nil), s.buf...)
+}
+
+// scalarOut reads one value out of pooled memory — a copy, not an alias.
+func scalarOut() float64 {
+	s := pool.Get().(*scratch)
+	defer pool.Put(s)
+	return s.buf[0]
+}
+
+// transfer moves ownership: no Put here, so handing the buffer out is
+// the caller's business.
+func transfer() *scratch {
+	return pool.Get().(*scratch)
+}
+
+// escapeAllowed is the suppressed case: the escape is real but carries
+// a written reason.
+func escapeAllowed() []float64 {
+	s := pool.Get().(*scratch)
+	defer pool.Put(s)
+	//pridlint:allow poolescape fixture exercises the suppression form
+	return s.buf
+}

@@ -206,6 +206,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	//pridlint:allow leaksurface logs the run configuration (shape, rps, model name) only
 	logger.Info("load run starting", "shape", string(cfg.Shape), "rps", cfg.RPS,
 		"duration", cfg.Duration, "requests", len(plan), "model", w.model, "seed", cfg.Seed)
 
@@ -254,6 +255,7 @@ func Run(ctx context.Context, cfg Config) (*Report, error) {
 			rep.Gateway = gatewayDelta(gzBefore, gzAfter)
 		}
 	}
+	//pridlint:allow leaksurface logs request-count and latency aggregates only
 	logger.Info("load run complete", "requests", rep.Overall.Requests,
 		"ok", rep.Overall.OK, "shed", rep.Overall.Shed, "failed", rep.Overall.Failed,
 		"p99_ms", rep.Overall.P99MS, "achieved_rps", rep.AchievedRPS)

@@ -201,7 +201,7 @@ func WriteReportFile(path, label string, rep *Report) error {
 		file.Snapshots = map[string]Report{}
 	}
 	file.Snapshots[label] = *rep
-	out, err := json.MarshalIndent(file, "", "  ")
+	out, err := json.MarshalIndent(file, "", "  ") //pridlint:allow leaksurface SLO snapshot holds latency and error-rate aggregates only
 	if err != nil {
 		return err
 	}

@@ -160,6 +160,7 @@ func (r *Registry) install(e *Entry) {
 	if old != nil {
 		old.batch.Close()
 	}
+	//pridlint:allow leaksurface logs ModelInfo metadata (name, path, shape) only; class rows never pass through ModelInfo
 	logger.Info("model registered", "name", e.info.Name, "path", e.info.Path,
 		"store", e.info.Store, "generation", e.info.Generation, "mode", e.info.Mode,
 		"features", e.info.Features, "dim", e.info.Dimension, "classes", e.info.Classes)

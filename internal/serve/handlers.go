@@ -180,6 +180,7 @@ func (s *Server) handleSimilarities(w http.ResponseWriter, r *http.Request) erro
 	if err != nil {
 		return writeEngineError(w, r, err)
 	}
+	//pridlint:allow leaksurface /v1/similarities is the paper's query oracle: full-resolution scores are the deliberate attack surface PRID measures
 	return writeJSON(w, r, similaritiesResponse{Model: req.Model, Class: class, Similarities: sims})
 }
 

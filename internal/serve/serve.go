@@ -159,6 +159,7 @@ func (s *Server) Start() error {
 			logger.Error("serve loop exited", "err", err)
 		}
 	}()
+	//pridlint:allow leaksurface logs the bound address and batching config only, nothing model-derived
 	logger.Info("serving", "addr", s.Addr(), "models", s.reg.Len(),
 		"batch_window", s.cfg.BatchWindow, "batch_max", s.cfg.BatchMax,
 		"max_inflight", s.cfg.MaxInFlight)

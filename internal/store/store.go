@@ -167,6 +167,7 @@ func (s *Store) Save(name string, info Info, payload func(io.Writer) error) (Met
 	}
 	s.sweep(name, dir, metas)
 	metricSaves.Inc()
+	//pridlint:allow leaksurface logs manifest metadata (name, generation, checksum prefix) — the artifact bytes never reach the log
 	logger.Info("generation saved", "model", name, "generation", meta.Generation,
 		"size", meta.Size, "sha256", meta.SHA256[:12], "leakage_audited", meta.HasLeakage)
 	return meta, nil
